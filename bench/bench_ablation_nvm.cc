@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Ablation: NVM read/write asymmetry (paper §4.3).
+ *
+ * Replaces the throttled-DRAM SlowMem with the Table 1 PCM profile
+ * (150 ns loads, 450 ns stores, 2 GB/s) and compares against a
+ * symmetric tier of the same load latency. Store-heavy applications
+ * pay for the asymmetry; read-mostly ones barely notice — the
+ * motivation for the write-aware placement the paper sketches as
+ * future work.
+ */
+
+#include "bench_common.hh"
+
+using namespace hos;
+
+int
+main()
+{
+    bench::banner("ablation: NVM store-latency asymmetry");
+
+    sim::Table t("SlowMem-only runtime: symmetric vs PCM-asymmetric "
+                 "(same load latency)");
+    t.header({"app", "symmetric(s)", "NVM/PCM(s)", "penalty"});
+
+    for (workload::AppId app : workload::allApps) {
+        // Symmetric: 150 ns loads and stores, 2 GB/s.
+        auto sym_spec = bench::paperSpec(core::Approach::SlowMemOnly);
+        sym_spec.use_custom_slow = true;
+        sym_spec.custom_slow = mem::nvmSpec(0);
+        sym_spec.custom_slow.store_latency_ns =
+            sym_spec.custom_slow.load_latency_ns;
+        const auto sym = core::runApp(app, sym_spec);
+
+        // Asymmetric: the Table 1 PCM profile (stores 3x loads).
+        auto nvm_spec = bench::paperSpec(core::Approach::SlowMemOnly);
+        nvm_spec.use_custom_slow = true;
+        nvm_spec.custom_slow = mem::nvmSpec(0);
+        const auto nvm = core::runApp(app, nvm_spec);
+
+        t.row({workload::appName(app), sim::Table::num(sym.seconds()),
+               sim::Table::num(nvm.seconds()),
+               sim::Table::pct((nvm.seconds() / sym.seconds() - 1.0) *
+                                   100.0,
+                               1)});
+    }
+    t.print();
+
+    std::puts("Expected shape: write-heavy apps (Metis, the graph\n"
+              "engines' update phases) pay the largest penalty;\n"
+              "read-mostly serving (Redis GETs, Nginx) the least.");
+    return 0;
+}

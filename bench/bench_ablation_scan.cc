@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Ablation: batched hotness scanning (Section 4.1).
+ *
+ * Sweeps the scan batch size with the interval fixed, showing the
+ * cost/coverage trade-off: bigger batches find hot pages sooner but
+ * charge more per scan (the TLB flush amortizes, the per-PTE work
+ * doesn't).
+ */
+
+#include "bench_common.hh"
+
+#include "policy/vmm_exclusive.hh"
+
+using namespace hos;
+
+int
+main()
+{
+    bench::banner("ablation: hotness-scan batch size");
+
+    sim::Table t("Graphchi under VMM-exclusive, 100 ms interval");
+    t.header({"pages/scan", "runtime(s)", "hotscan overhead(s)",
+              "pages migrated (M)"});
+
+    for (std::uint64_t batch : {std::uint64_t(8192),
+                                std::uint64_t(16384),
+                                std::uint64_t(32768),
+                                std::uint64_t(65536)}) {
+        core::HostConfig host;
+        host.fast = mem::dramSpec(bench::scaledBytes(1 * mem::gib));
+        host.slow = mem::defaultSlowMemSpec(bench::scaledBytes(8 * mem::gib));
+        core::HeteroSystem sys(host);
+
+        vmm::HotnessConfig hot;
+        hot.interval = sim::milliseconds(100);
+        hot.pages_per_scan = batch;
+        auto policy = std::make_unique<policy::VmmExclusivePolicy>(hot);
+        auto *raw = policy.get();
+        auto &slot = sys.addVm(std::move(policy), core::GuestSizing{});
+
+        const auto r = sys.runOne(
+            slot, workload::makeApp(workload::AppId::GraphChi,
+                                    bench::benchScale()));
+        t.row({sim::Table::num(batch), sim::Table::num(r.seconds()),
+               sim::Table::num(sim::toSeconds(slot.kernel->overheadTotal(
+                   guestos::OverheadKind::HotScan))),
+               sim::Table::num(
+                   static_cast<double>(raw->pagesMigrated()) / 1e6, 2)});
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,70 @@
+#include "bench_common.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace hos::bench {
+
+double
+benchScale()
+{
+    if (const char *env = std::getenv("HOS_BENCH_SCALE")) {
+        const double v = std::atof(env);
+        if (v > 0.0 && v <= 1.0)
+            return v;
+    }
+    return 0.3;
+}
+
+std::string
+ThrottlePoint::label() const
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "L:%g,B:%g", lat, bw);
+    return buf;
+}
+
+std::vector<ThrottlePoint>
+figure1Sweep()
+{
+    return {{2, 2}, {5, 5}, {5, 7}, {5, 9}, {5, 12}};
+}
+
+core::RunSpec
+paperSpec(core::Approach a)
+{
+    core::RunSpec spec;
+    spec.approach = a;
+    spec.slow_lat_factor = 5.0;
+    spec.slow_bw_factor = 9.0;
+    spec.scale = benchScale();
+    // Capacities scale with the workloads so footprint:capacity
+    // ratios — which drive every placement result — match the paper
+    // at any scale.
+    spec.fast_bytes = scaledBytes(4 * mem::gib);
+    spec.slow_bytes = scaledBytes(8 * mem::gib);
+    spec.llc_bytes = 16 * mem::mib;
+    return spec;
+}
+
+std::uint64_t
+scaledBytes(std::uint64_t bytes)
+{
+    const double s = benchScale();
+    const auto v = static_cast<std::uint64_t>(
+        static_cast<double>(bytes) * s);
+    // Round up to whole MiB so tiny scales keep sane zone sizes.
+    return std::max<std::uint64_t>(mem::mib,
+                                   (v + mem::mib - 1) / mem::mib *
+                                       mem::mib);
+}
+
+void
+banner(const char *what)
+{
+    std::printf("HeteroOS reproduction bench — %s (scale=%.2f)\n\n", what,
+                benchScale());
+}
+
+} // namespace hos::bench

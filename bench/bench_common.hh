@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction bench binaries.
+ *
+ * Every bench regenerates one table or figure from the paper; these
+ * helpers keep the sweeps and scaling uniform. HOS_BENCH_SCALE (env)
+ * scales workload sizes globally (default 0.3: large enough for the
+ * shapes, small enough for CI-speed runs; use 1.0 for full fidelity).
+ */
+
+#ifndef HOS_BENCH_BENCH_COMMON_HH
+#define HOS_BENCH_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+#include "sim/table.hh"
+
+namespace hos::bench {
+
+/** Workload scale for benches (HOS_BENCH_SCALE env, default 0.3). */
+double benchScale();
+
+/** A Table 3 throttle point L:x,B:y. */
+struct ThrottlePoint
+{
+    double lat;
+    double bw;
+    std::string label() const;
+};
+
+/** The Figure 1/2 sweep points. */
+std::vector<ThrottlePoint> figure1Sweep();
+
+/** Spec preset: Section 5.1 methodology (L:5,B:9, 16 MiB LLC). */
+core::RunSpec paperSpec(core::Approach a);
+
+/** Scale a capacity with the bench scale (min 1 MiB). */
+std::uint64_t scaledBytes(std::uint64_t bytes);
+
+/** Print the standard bench banner. */
+void banner(const char *what);
+
+} // namespace hos::bench
+
+#endif // HOS_BENCH_BENCH_COMMON_HH

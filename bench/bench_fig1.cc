@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Figure 1 (+ Tables 1 and 3): bandwidth and latency sensitivity.
+ *
+ * Every application runs entirely in SlowMem while the throttle point
+ * sweeps L:2,B:2 .. L:5,B:12, plus the Remote-NUMA comparison point;
+ * bars are the slowdown relative to FastMem-only (L:1,B:1).
+ * Testbed model: 16 MiB LLC (Intel X5560-class).
+ */
+
+#include "bench_common.hh"
+
+using namespace hos;
+
+int
+main()
+{
+    bench::banner("Figure 1: slowdown vs SlowMem throttle point");
+
+    // Table 1 context: the tier technologies this sweep abstracts.
+    sim::Table t1("Table 1: heterogeneous memory characteristics");
+    t1.header({"property", "Stacked-3D", "DRAM", "NVM(PCM)"});
+    t1.row({"load latency (ns)", "30-50", "60", "150"});
+    t1.row({"store latency (ns)", "30-50", "60", "300-600"});
+    t1.row({"BW (GB/s)", "120-200", "15-25", "2"});
+    t1.print();
+
+    // Table 3: the throttle configurations (model's loaded latency).
+    sim::Table t3("Table 3: throttle configurations");
+    t3.header({"config", "latency(ns)", "BW(GB/s)"});
+    for (auto pt : {bench::ThrottlePoint{1, 1}, bench::ThrottlePoint{2, 2},
+                    bench::ThrottlePoint{5, 5},
+                    bench::ThrottlePoint{5, 12}}) {
+        mem::MemDevice dev(mem::throttledSpec(pt.lat, pt.bw, mem::gib));
+        t3.row({pt.label(),
+                sim::Table::num(dev.loadedLatencyNs(
+                    pt.bw >= 5 ? 0.85 : 0.55), 0),
+                sim::Table::num(dev.spec().bandwidth_gbps, 2)});
+    }
+    t3.print();
+
+    sim::Table fig("Figure 1: slowdown factor relative to FastMem-only");
+    std::vector<std::string> header = {"app"};
+    for (auto pt : bench::figure1Sweep())
+        header.push_back(pt.label());
+    header.push_back("RemoteNUMA");
+    fig.header(header);
+
+    for (workload::AppId app : workload::allApps) {
+        // FastMem-only baseline.
+        auto spec = bench::paperSpec(core::Approach::FastMemOnly);
+        const auto base = core::runApp(app, spec);
+
+        std::vector<std::string> row = {workload::appName(app)};
+        for (auto pt : bench::figure1Sweep()) {
+            auto s = bench::paperSpec(core::Approach::SlowMemOnly);
+            s.slow_lat_factor = pt.lat;
+            s.slow_bw_factor = pt.bw;
+            const auto r = core::runApp(app, s);
+            row.push_back(
+                sim::Table::num(core::slowdownFactor(base, r)));
+        }
+        // Remote NUMA: FastMem across a QPI hop (~1.6x latency,
+        // ~1.5x less bandwidth) — the paper's Observation 2 contrast.
+        auto s = bench::paperSpec(core::Approach::SlowMemOnly);
+        s.use_custom_slow = true;
+        s.custom_slow = mem::throttledSpec(1.6, 1.5, s.slow_bytes);
+        s.custom_slow.name = "RemoteNUMA";
+        const auto r = core::runApp(app, s);
+        row.push_back(sim::Table::num(core::slowdownFactor(base, r)));
+        fig.row(row);
+    }
+    fig.print();
+    return 0;
+}

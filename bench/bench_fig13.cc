@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Figure 13: multi-VM heterogeneous memory sharing.
+ *
+ * Two VMs share a 4 GiB FastMem / 8 GiB SlowMem host:
+ *  - a GraphChi VM (Twitter preset, 6 GB heap / 1.5 GB WSS),
+ *    reservation <2*1GB FastMem, 1*4GB SlowMem>;
+ *  - a Metis VM (8 GB heap / 5.4 GB WSS),
+ *    reservation <2*3GB FastMem, 1*4GB SlowMem>.
+ *
+ * Three sharing regimes are compared — VMM-exclusive, max-min-based
+ * HeteroOS-coordinated, and weighted-DRF HeteroOS-coordinated — as
+ * % gain over each app's SlowMem-only run, plus the single-VM
+ * coordinated runs (the paper's stars).
+ */
+
+#include "bench_common.hh"
+
+#include "vmm/drf.hh"
+#include "vmm/max_min.hh"
+
+using namespace hos;
+
+namespace {
+
+enum class Sharing { VmmExclusive, MaxMinCoordinated, DrfCoordinated };
+
+const char *
+sharingName(Sharing s)
+{
+    switch (s) {
+      case Sharing::VmmExclusive:
+        return "VMM-exclusive";
+      case Sharing::MaxMinCoordinated:
+        return "HeteroOS-coordinated";
+      case Sharing::DrfCoordinated:
+        return "DRF-HeteroOS-coordinated";
+    }
+    return "?";
+}
+
+/** The Section 5.5 reservation contracts. */
+vmm::VmConfig
+graphchiContract()
+{
+    vmm::VmConfig cfg;
+    cfg.reservations = {
+        {mem::MemType::FastMem,
+         mem::bytesToPages(bench::scaledBytes(1 * mem::gib)),
+         mem::bytesToPages(bench::scaledBytes(4 * mem::gib)), 2.0},
+        {mem::MemType::SlowMem,
+         mem::bytesToPages(bench::scaledBytes(4 * mem::gib)),
+         mem::bytesToPages(bench::scaledBytes(8 * mem::gib)), 1.0}};
+    return cfg;
+}
+
+vmm::VmConfig
+metisContract()
+{
+    vmm::VmConfig cfg;
+    cfg.reservations = {
+        {mem::MemType::FastMem,
+         mem::bytesToPages(bench::scaledBytes(3 * mem::gib)),
+         mem::bytesToPages(bench::scaledBytes(4 * mem::gib)), 2.0},
+        {mem::MemType::SlowMem,
+         mem::bytesToPages(bench::scaledBytes(4 * mem::gib)),
+         mem::bytesToPages(bench::scaledBytes(8 * mem::gib)), 1.0}};
+    return cfg;
+}
+
+struct PairResult
+{
+    workload::Workload::Result graphchi;
+    workload::Workload::Result metis;
+};
+
+PairResult
+runPair(Sharing sharing, double scale)
+{
+    core::HostConfig host;
+    host.fast = mem::dramSpec(bench::scaledBytes(4 * mem::gib));
+    host.slow = mem::defaultSlowMemSpec(bench::scaledBytes(8 * mem::gib));
+    core::HeteroSystem sys(host);
+
+    switch (sharing) {
+      case Sharing::VmmExclusive:
+        sys.vmm().setFairness(std::make_unique<vmm::MaxMinFairness>());
+        break;
+      case Sharing::MaxMinCoordinated:
+        sys.vmm().setFairness(std::make_unique<vmm::MaxMinFairness>());
+        break;
+      case Sharing::DrfCoordinated:
+        sys.vmm().setFairness(std::make_unique<vmm::DrfFairness>());
+        break;
+    }
+
+    const core::Approach app_approach =
+        sharing == Sharing::VmmExclusive ? core::Approach::VmmExclusive
+                                         : core::Approach::Coordinated;
+
+    // Boot to the minimum reservation; growth happens via the
+    // on-demand balloon, gated by the fairness policy.
+    core::GuestSizing g_sizing;
+    g_sizing.name = "graphchi-vm";
+    g_sizing.fast_max = bench::scaledBytes(4 * mem::gib);
+    g_sizing.fast_initial = bench::scaledBytes(1 * mem::gib);
+    g_sizing.slow_max = bench::scaledBytes(8 * mem::gib);
+    g_sizing.slow_initial = bench::scaledBytes(4 * mem::gib);
+
+    core::GuestSizing m_sizing;
+    m_sizing.name = "metis-vm";
+    m_sizing.fast_max = bench::scaledBytes(4 * mem::gib);
+    m_sizing.fast_initial = bench::scaledBytes(3 * mem::gib);
+    m_sizing.slow_max = bench::scaledBytes(8 * mem::gib);
+    m_sizing.slow_initial = bench::scaledBytes(4 * mem::gib);
+    m_sizing.seed = 7;
+
+    // Reservation contracts are installed via a policy wrapper: the
+    // system takes VmConfig from the policy, so wrap the policies to
+    // inject them.
+    struct ContractPolicy final : policy::ManagementPolicy
+    {
+        std::unique_ptr<policy::ManagementPolicy> inner;
+        vmm::VmConfig contract;
+        const char *name() const override { return inner->name(); }
+        void
+        configureGuest(guestos::GuestConfig &cfg) const override
+        {
+            inner->configureGuest(cfg);
+        }
+        void
+        configureVm(vmm::VmConfig &cfg) const override
+        {
+            inner->configureVm(cfg);
+            cfg.reservations = contract.reservations;
+        }
+        void
+        attach(vmm::Vmm &vmm, vmm::VmId id,
+               guestos::GuestKernel &kernel) override
+        {
+            inner->attach(vmm, id, kernel);
+        }
+    };
+
+    auto wrap = [&](vmm::VmConfig contract) {
+        auto p = std::make_unique<ContractPolicy>();
+        p->inner = core::makePolicy(app_approach);
+        p->contract = std::move(contract);
+        return p;
+    };
+
+    auto &g_slot = sys.addVm(wrap(graphchiContract()), g_sizing);
+    auto &m_slot = sys.addVm(wrap(metisContract()), m_sizing);
+
+    auto results = sys.runMany(
+        {{&g_slot, workload::makeGraphchiTwitter(scale)},
+         {&m_slot, workload::makeMetisLarge(scale)}});
+    return PairResult{results[0], results[1]};
+}
+
+workload::Workload::Result
+runSingle(const workload::WorkloadFactory &factory, core::Approach a,
+          double scale)
+{
+    auto spec = bench::paperSpec(a);
+    spec.scale = scale;
+    return core::runFactory(factory, spec);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 13: multi-VM resource sharing");
+    const double scale = bench::benchScale();
+
+    // SlowMem-only baselines per app (the figure's reference).
+    const auto g_slow = runSingle(workload::makeGraphchiTwitter(scale),
+                                  core::Approach::SlowMemOnly, scale);
+    const auto m_slow = runSingle(workload::makeMetisLarge(scale),
+                                  core::Approach::SlowMemOnly, scale);
+
+    sim::Table fig("Figure 13: % gain relative to SlowMem-only");
+    fig.header({"scheme", "Graphchi VM", "Metis VM"});
+
+    for (Sharing s : {Sharing::VmmExclusive, Sharing::MaxMinCoordinated,
+                      Sharing::DrfCoordinated}) {
+        const auto pair = runPair(s, scale);
+        fig.row({sharingName(s),
+                 sim::Table::pct(core::gainPercent(g_slow, pair.graphchi),
+                                 1),
+                 sim::Table::pct(core::gainPercent(m_slow, pair.metis),
+                                 1)});
+    }
+
+    // Single-VM coordinated runs: the paper's stars.
+    const auto g_single =
+        runSingle(workload::makeGraphchiTwitter(scale),
+                  core::Approach::Coordinated, scale);
+    const auto m_single = runSingle(workload::makeMetisLarge(scale),
+                                    core::Approach::Coordinated, scale);
+    fig.row({"Single-VM HeteroOS-coordinated (stars)",
+             sim::Table::pct(core::gainPercent(g_slow, g_single), 1),
+             sim::Table::pct(core::gainPercent(m_slow, m_single), 1)});
+    fig.print();
+
+    std::puts("Expected shape: DRF protects the Graphchi VM's dominant\n"
+              "SlowMem from the memory-hungry Metis VM — its gain rises\n"
+              "well above the max-min run (paper: +42% vs max-min,\n"
+              "+87% vs VMM-exclusive) while Metis stays comparable.");
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 7: STREAM triad bandwidth at 0.5 and 1.5 GiB working sets,
+ * under the same five approaches as Figure 6 (FastMem 0.5 GiB).
+ */
+
+#include "bench_common.hh"
+
+#include "workload/stream.hh"
+
+using namespace hos;
+
+namespace {
+
+workload::WorkloadFactory
+streamFactory(std::uint64_t wss)
+{
+    return [wss](workload::VmEnv env) {
+        workload::StreamBenchmark::Params p;
+        p.wss_bytes = wss;
+        return std::make_unique<workload::StreamBenchmark>(
+            std::move(env), p);
+    };
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 7: STREAM bandwidth");
+
+    const double wss_gb[] = {0.5, 1.5};
+    const core::Approach approaches[] = {
+        core::Approach::SlowMemOnly, core::Approach::Random,
+        core::Approach::HeapOd, core::Approach::FastMemOnly,
+        core::Approach::VmmExclusive};
+
+    sim::Table fig("Figure 7: STREAM bandwidth (GB/s)");
+    std::vector<std::string> header = {"WSS(GB)"};
+    for (auto a : approaches)
+        header.push_back(core::approachName(a));
+    fig.header(header);
+
+    for (double gb : wss_gb) {
+        const auto wss = bench::scaledBytes(static_cast<std::uint64_t>(
+            gb * static_cast<double>(mem::gib)));
+        std::vector<std::string> row = {sim::Table::num(gb, 1)};
+        for (auto a : approaches) {
+            auto s = bench::paperSpec(a);
+            s.fast_bytes = bench::scaledBytes(512 * mem::mib);
+            s.slow_bytes = bench::scaledBytes(3584ull * mem::mib);
+            const auto r = core::runFactory(streamFactory(wss), s);
+            row.push_back(sim::Table::num(r.metric, 2));
+        }
+        fig.row(row);
+    }
+    fig.print();
+
+    std::puts("Expected shape: Heap-OD matches FastMem-only at 0.5 GiB\n"
+              "and degrades toward SlowMem-only at 1.5 GiB; Random and\n"
+              "VMM-exclusive sit in between.");
+    return 0;
+}

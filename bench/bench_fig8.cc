@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Figure 8: VMM-exclusive hotness-tracking and migration cost.
+ *
+ * GraphChi runs under HeteroVisor-style management (no SlowMem
+ * emulation — the point is pure software overhead) while the scan
+ * interval sweeps 100..500 ms per 32K-page batch. Output: runtime
+ * overhead split into hot-page-scan and migration components, plus
+ * the migrated-page counts the paper prints inside the bars.
+ */
+
+#include "bench_common.hh"
+
+#include "policy/vmm_exclusive.hh"
+
+using namespace hos;
+
+int
+main()
+{
+    bench::banner("Figure 8: VMM-exclusive tracking/migration overhead");
+
+    // Baseline: same homogeneous-speed host, no tracking at all.
+    auto base_spec = bench::paperSpec(core::Approach::FastMemOnly);
+    const auto base =
+        core::runApp(workload::AppId::GraphChi, base_spec);
+
+    sim::Table fig("Figure 8: runtime overhead on Graphchi (both tiers "
+                   "at DRAM speed; overhead is software-only)");
+    fig.header({"scan interval(ms)", "hotscan(%)", "migration(%)",
+                "total(%)", "pages migrated (M)"});
+
+    for (std::uint64_t interval_ms : {100, 200, 300, 400, 500}) {
+        // Both tiers run at DRAM speed: placement is performance-
+        // neutral, isolating the management software cost.
+        core::HostConfig host;
+        host.fast = mem::dramSpec(bench::scaledBytes(4 * mem::gib));
+        host.slow = mem::dramSpec(bench::scaledBytes(8 * mem::gib));
+        host.slow.name = "DRAM-as-SlowMem";
+        host.llc.size_bytes = 16 * mem::mib;
+        core::HeteroSystem sys(host);
+
+        vmm::HotnessConfig hot;
+        hot.interval = sim::milliseconds(interval_ms);
+        hot.pages_per_scan = 32768;
+        auto policy =
+            std::make_unique<policy::VmmExclusivePolicy>(hot);
+        auto *policy_raw = policy.get();
+
+        core::GuestSizing sizing;
+        auto &slot = sys.addVm(std::move(policy), sizing);
+        const auto r = sys.runOne(
+            slot, workload::makeApp(workload::AppId::GraphChi,
+                                    bench::benchScale()));
+
+        auto &k = *slot.kernel;
+        const double base_s = static_cast<double>(base.elapsed);
+        const double scan_pct =
+            100.0 *
+            static_cast<double>(
+                k.overheadTotal(guestos::OverheadKind::HotScan)) /
+            base_s;
+        const double mig_pct =
+            100.0 *
+            static_cast<double>(
+                k.overheadTotal(guestos::OverheadKind::Migration)) /
+            base_s;
+        const double total_pct =
+            100.0 * (static_cast<double>(r.elapsed) - base_s) / base_s;
+
+        fig.row({sim::Table::num(interval_ms),
+                 sim::Table::num(scan_pct, 1),
+                 sim::Table::num(mig_pct, 1),
+                 sim::Table::num(total_pct, 1),
+                 sim::Table::num(
+                     static_cast<double>(policy_raw->pagesMigrated()) /
+                         1e6,
+                     2)});
+    }
+    fig.print();
+
+    std::puts("Expected shape: ~60% total at 100 ms falling toward\n"
+              "~30% at 500 ms, scan cost dominating migrations.");
+    return 0;
+}

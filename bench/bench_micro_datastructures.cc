@@ -1,0 +1,122 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the hot data structures: the
+ * buddy allocator, per-CPU lists, page-table map/scan, LRU churn,
+ * and the slab allocator. These guard the simulator's own
+ * performance (the benches sweep thousands of runs).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "guestos/buddy_allocator.hh"
+#include "guestos/lru.hh"
+#include "guestos/page.hh"
+#include "guestos/page_table.hh"
+#include "mem/migration_cost.hh"
+
+using namespace hos;
+using namespace hos::guestos;
+
+namespace {
+
+void
+BM_BuddyAllocFree(benchmark::State &state)
+{
+    PageArray pages(1 << 18);
+    BuddyAllocator buddy(pages, 0, 1 << 18);
+    buddy.addFreeRange(0, 1 << 18);
+    std::vector<Gpfn> held;
+    held.reserve(4096);
+    for (auto _ : state) {
+        for (int i = 0; i < 4096; ++i)
+            held.push_back(buddy.alloc(0));
+        for (Gpfn pfn : held)
+            buddy.free(pfn, 0);
+        held.clear();
+    }
+    state.SetItemsProcessed(state.iterations() * 8192);
+}
+BENCHMARK(BM_BuddyAllocFree);
+
+void
+BM_BuddyOrderMix(benchmark::State &state)
+{
+    PageArray pages(1 << 18);
+    BuddyAllocator buddy(pages, 0, 1 << 18);
+    buddy.addFreeRange(0, 1 << 18);
+    for (auto _ : state) {
+        std::vector<std::pair<Gpfn, unsigned>> held;
+        for (unsigned o = 0; o < 8; ++o)
+            held.emplace_back(buddy.alloc(o), o);
+        for (auto [pfn, o] : held)
+            buddy.free(pfn, o);
+    }
+    state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_BuddyOrderMix);
+
+void
+BM_PageTableMapTouch(benchmark::State &state)
+{
+    PageTable table;
+    const std::uint64_t n = 4096;
+    for (std::uint64_t i = 0; i < n; ++i)
+        table.map(i * mem::pageSize, i, true);
+    std::uint64_t va = 0;
+    for (auto _ : state) {
+        table.touch(va, va & 1);
+        va = (va + mem::pageSize) % (n * mem::pageSize);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PageTableMapTouch);
+
+void
+BM_PageTableScan(benchmark::State &state)
+{
+    PageTable table;
+    const std::uint64_t n = 65536;
+    for (std::uint64_t i = 0; i < n; ++i)
+        table.map(i * mem::pageSize, i, true);
+    for (auto _ : state) {
+        std::uint64_t seen = 0;
+        table.scanRange(0, n * mem::pageSize,
+                        [&](std::uint64_t, const PteView &) { ++seen; },
+                        true);
+        benchmark::DoNotOptimize(seen);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PageTableScan);
+
+void
+BM_LruTouchChurn(benchmark::State &state)
+{
+    PageArray pages(1 << 16);
+    SplitLru lru(pages);
+    for (Gpfn pfn = 0; pfn < (1 << 16); ++pfn)
+        lru.addPage(pfn);
+    Gpfn pfn = 0;
+    for (auto _ : state) {
+        lru.touch(pfn);
+        pfn = (pfn + 7919) & ((1 << 16) - 1);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LruTouchChurn);
+
+void
+BM_MigrationCostModel(benchmark::State &state)
+{
+    std::uint64_t batch = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            mem::MigrationCostModel::batchCost(batch));
+        batch = batch * 2 + 1;
+        if (batch > (1 << 20))
+            batch = 1;
+    }
+}
+BENCHMARK(BM_MigrationCostModel);
+
+} // namespace

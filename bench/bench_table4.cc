@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Table 4: memory intensity of the applications in MPKI
+ * (LLC misses per kilo-instruction), measured on the 16 MiB-LLC
+ * testbed configuration with everything resident in FastMem.
+ */
+
+#include "bench_common.hh"
+
+using namespace hos;
+
+int
+main()
+{
+    bench::banner("Table 4: application MPKI");
+
+    sim::Table t("Table 4: memory intensity (MPKI)");
+    t.header({"app", "MPKI (measured)", "MPKI (paper)"});
+
+    const double paper_mpki[] = {27.4, 24.8, 14.9, 4.7, 11.1, 2.1};
+
+    std::size_t i = 0;
+    for (workload::AppId app : workload::allApps) {
+        const auto r = core::runApp(
+            app, bench::paperSpec(core::Approach::FastMemOnly));
+        t.row({workload::appName(app), sim::Table::num(r.mpki, 1),
+               sim::Table::num(paper_mpki[i++], 1)});
+    }
+    t.print();
+
+    std::puts("Expected shape: Graphchi > X-Stream > Metis > Redis >\n"
+              "LevelDB > Nginx, spanning roughly an order of magnitude.");
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Scenario: out-of-core graph analytics on tiered memory.
+ *
+ * The workload the paper's introduction motivates: GraphChi-style
+ * PageRank whose shard churn and vertex state fight for a small
+ * FastMem tier. The example sweeps the FastMem:SlowMem capacity
+ * ratio and shows how each management layer earns its keep:
+ * on-demand placement, HeteroOS-LRU, and coordinated tracking.
+ *
+ * Run: ./build/examples/graph_analytics
+ */
+
+#include <cstdio>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+#include "sim/table.hh"
+
+using namespace hos;
+
+int
+main()
+{
+    const double scale = 0.25;
+    const std::uint64_t slow = static_cast<std::uint64_t>(
+        8.0 * scale * static_cast<double>(mem::gib));
+
+    sim::Table table("Graph analytics: gains vs SlowMem-only, by "
+                     "FastMem:SlowMem ratio");
+    table.header({"ratio", "Heap-IO-Slab-OD", "HeteroOS-LRU",
+                  "HeteroOS-coordinated"});
+
+    core::RunSpec base;
+    base.scale = scale;
+    base.slow_bytes = slow;
+
+    base.approach = core::Approach::SlowMemOnly;
+    const auto slow_run = core::runApp(workload::AppId::GraphChi, base);
+
+    for (double ratio : {0.5, 0.25, 0.125}) {
+        std::vector<std::string> row = {
+            ratio == 0.5 ? "1/2" : (ratio == 0.25 ? "1/4" : "1/8")};
+        for (auto a : {core::Approach::HeapIoSlabOd,
+                       core::Approach::HeteroLru,
+                       core::Approach::Coordinated}) {
+            auto spec = base;
+            spec.approach = a;
+            spec.fast_bytes = static_cast<std::uint64_t>(
+                static_cast<double>(slow) * ratio);
+            const auto r = core::runApp(workload::AppId::GraphChi, spec);
+            row.push_back(
+                sim::Table::pct(core::gainPercent(slow_run, r), 0));
+        }
+        table.row(row);
+    }
+    table.print();
+
+    std::puts("Reading the table: gains shrink as FastMem shrinks, and\n"
+              "the LRU/coordinated mechanisms matter most at 1/8 where\n"
+              "proactive placement alone cannot hold the working set.");
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Scenario: two tenants sharing one heterogeneous-memory host.
+ *
+ * An out-of-core graph job (GraphChi, Twitter preset: large heap,
+ * drifting 1.5 GB working set, SlowMem-dominant) shares the box with
+ * a memory-hungry analytics job (Metis, FastMem-dominant). The
+ * example contrasts single-resource max-min fairness with the
+ * paper's weighted DRF: under max-min the analytics job can balloon
+ * away the graph job's SlowMem while staying "fair" on FastMem; DRF
+ * treats SlowMem as the graph job's dominant resource and protects
+ * its guarantee (the paper's Figure 13 scenario, as an operator
+ * would configure it).
+ *
+ * Run: ./build/examples/multi_tenant_drf
+ */
+
+#include <cstdio>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+#include "sim/table.hh"
+#include "vmm/drf.hh"
+#include "vmm/max_min.hh"
+
+using namespace hos;
+
+namespace {
+
+struct TenantResult
+{
+    workload::Workload::Result graph;
+    workload::Workload::Result metis;
+    std::uint64_t graph_slow_mb; ///< final SlowMem holding
+};
+
+TenantResult
+runShared(bool use_drf, double scale)
+{
+    core::HostConfig host;
+    host.fast = mem::dramSpec(static_cast<std::uint64_t>(
+        scale * 4.0 * static_cast<double>(mem::gib)));
+    host.slow = mem::defaultSlowMemSpec(static_cast<std::uint64_t>(
+        scale * 8.0 * static_cast<double>(mem::gib)));
+    core::HeteroSystem sys(host);
+    if (use_drf)
+        sys.vmm().setFairness(std::make_unique<vmm::DrfFairness>());
+    else
+        sys.vmm().setFairness(std::make_unique<vmm::MaxMinFairness>());
+
+    // The store is provisioned tightly (its working set just fits its
+    // SlowMem share); the analytics tenant is under-provisioned and
+    // will balloon for more — the fairness policy decides at whose
+    // expense.
+    core::GuestSizing graph_sizing;
+    graph_sizing.name = "graph-vm";
+    graph_sizing.fast_max = host.fast.capacity_bytes;
+    graph_sizing.fast_initial = host.fast.capacity_bytes / 4;
+    graph_sizing.slow_max = host.slow.capacity_bytes;
+    graph_sizing.slow_initial = host.slow.capacity_bytes / 2;
+
+    core::GuestSizing metis_sizing = graph_sizing;
+    metis_sizing.name = "metis-vm";
+    metis_sizing.fast_initial = host.fast.capacity_bytes * 3 / 4;
+    metis_sizing.slow_initial = host.slow.capacity_bytes / 2;
+    metis_sizing.seed = 11;
+
+    auto &graph_vm = sys.addVm(
+        core::makePolicy(core::Approach::Coordinated), graph_sizing);
+    auto &metis_vm = sys.addVm(
+        core::makePolicy(core::Approach::Coordinated), metis_sizing);
+
+    auto results = sys.runMany(
+        {{&graph_vm, workload::makeGraphchiTwitter(scale)},
+         {&metis_vm, workload::makeMetisLarge(scale)}});
+    const auto slow_mb =
+        sys.vmm().vm(graph_vm.id).framesOf(mem::MemType::SlowMem) *
+        mem::pageSize / mem::mib;
+    return {results[0], results[1], slow_mb};
+}
+
+} // namespace
+
+int
+main()
+{
+    const double scale = 0.25;
+
+    const auto maxmin = runShared(false, scale);
+    const auto drf = runShared(true, scale);
+
+    sim::Table table("Two tenants, 4:8 FastMem:SlowMem host");
+    table.header({"fairness", "GraphChi (runtime s)",
+                  "GraphChi SlowMem (MB)", "Metis (runtime s)"});
+    table.row({"single-resource max-min",
+               sim::Table::num(maxmin.graph.seconds()),
+               sim::Table::num(maxmin.graph_slow_mb),
+               sim::Table::num(maxmin.metis.seconds())});
+    table.row({"weighted DRF", sim::Table::num(drf.graph.seconds()),
+               sim::Table::num(drf.graph_slow_mb),
+               sim::Table::num(drf.metis.seconds())});
+    table.print();
+
+    std::printf("GraphChi runtime under DRF vs max-min: %+.1f%%\n",
+                (maxmin.graph.seconds() / drf.graph.seconds() - 1.0) *
+                    100.0);
+    std::puts("DRF treats each memory type as its own resource: the\n"
+              "analytics tenant cannot drain the graph job's dominant\n"
+              "SlowMem while staying nominally 'fair' on FastMem.");
+    return 0;
+}

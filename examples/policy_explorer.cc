@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Scenario: pick a management policy for your workload.
+ *
+ * Runs every application under every approach at a fixed capacity
+ * ratio and prints the full gain matrix plus each approach's
+ * management overhead breakdown — the view an operator would use to
+ * choose a configuration.
+ *
+ * Run: ./build/examples/policy_explorer [scale]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+#include "sim/table.hh"
+
+using namespace hos;
+
+int
+main(int argc, char **argv)
+{
+    const double scale = argc > 1 ? std::atof(argv[1]) : 0.15;
+
+    const core::Approach approaches[] = {
+        core::Approach::NumaPreferred, core::Approach::HeapOd,
+        core::Approach::HeapIoSlabOd,  core::Approach::HeteroLru,
+        core::Approach::VmmExclusive,  core::Approach::Coordinated};
+
+    sim::Table table("Gain vs SlowMem-only (1/4 capacity ratio, "
+                     "scale=" + sim::Table::num(scale) + ")");
+    std::vector<std::string> header = {"app"};
+    for (auto a : approaches)
+        header.push_back(core::approachName(a));
+    table.header(header);
+
+    core::RunSpec base;
+    base.scale = scale;
+    base.slow_bytes = static_cast<std::uint64_t>(
+        scale * 8.0 * static_cast<double>(mem::gib));
+    base.fast_bytes = base.slow_bytes / 4;
+
+    for (auto app : workload::allApps) {
+        auto spec = base;
+        spec.approach = core::Approach::SlowMemOnly;
+        const auto slow_run = core::runApp(app, spec);
+
+        std::vector<std::string> row = {workload::appName(app)};
+        for (auto a : approaches) {
+            spec.approach = a;
+            const auto r = core::runApp(app, spec);
+            row.push_back(
+                sim::Table::pct(core::gainPercent(slow_run, r), 0));
+        }
+        table.row(row);
+    }
+    table.print();
+
+    // Overhead anatomy for one representative run.
+    auto spec = base;
+    spec.approach = core::Approach::Coordinated;
+    auto sys = core::systemFor(spec);
+    auto &slot = sys->slot(0);
+    sys->runOne(slot, workload::makeApp(workload::AppId::GraphChi, scale));
+
+    sim::Table ov("HeteroOS-coordinated overhead anatomy (GraphChi)");
+    ov.header({"account", "time (ms)"});
+    for (int i = 0; i < static_cast<int>(guestos::numOverheadKinds); ++i) {
+        const auto kind = static_cast<guestos::OverheadKind>(i);
+        const double ms =
+            sim::toMilliseconds(slot.kernel->overheadTotal(kind));
+        if (ms > 0.01) {
+            ov.row({guestos::overheadKindName(kind),
+                    sim::Table::num(ms, 1)});
+        }
+    }
+    ov.print();
+    return 0;
+}

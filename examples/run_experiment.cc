@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Command-line experiment runner: any application under any
+ * management approach at any capacity ratio, with the full result
+ * and overhead breakdown — the Swiss-army knife for exploring the
+ * system beyond the canned benches.
+ *
+ * Usage:
+ *   run_experiment [app] [approach] [fast_ratio] [scale]
+ *   run_experiment --list
+ *
+ *   app        graphchi|xstream|metis|leveldb|redis|nginx (default graphchi)
+ *   approach   slow|fast|random|numa|heap-od|od|lru|vmm|coord (default lru)
+ *   fast_ratio FastMem:SlowMem capacity ratio, e.g. 0.25 (default 0.25)
+ *   scale      workload scale 0..1 (default 0.2)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+#include "sim/table.hh"
+
+using namespace hos;
+
+namespace {
+
+std::optional<workload::AppId>
+parseApp(const char *s)
+{
+    const struct
+    {
+        const char *name;
+        workload::AppId id;
+    } apps[] = {{"graphchi", workload::AppId::GraphChi},
+                {"xstream", workload::AppId::XStream},
+                {"metis", workload::AppId::Metis},
+                {"leveldb", workload::AppId::LevelDb},
+                {"redis", workload::AppId::Redis},
+                {"nginx", workload::AppId::Nginx}};
+    for (const auto &a : apps) {
+        if (std::strcmp(s, a.name) == 0)
+            return a.id;
+    }
+    return std::nullopt;
+}
+
+std::optional<core::Approach>
+parseApproach(const char *s)
+{
+    const struct
+    {
+        const char *name;
+        core::Approach a;
+    } approaches[] = {{"slow", core::Approach::SlowMemOnly},
+                      {"fast", core::Approach::FastMemOnly},
+                      {"random", core::Approach::Random},
+                      {"numa", core::Approach::NumaPreferred},
+                      {"heap-od", core::Approach::HeapOd},
+                      {"od", core::Approach::HeapIoSlabOd},
+                      {"lru", core::Approach::HeteroLru},
+                      {"vmm", core::Approach::VmmExclusive},
+                      {"coord", core::Approach::Coordinated}};
+    for (const auto &e : approaches) {
+        if (std::strcmp(s, e.name) == 0)
+            return e.a;
+    }
+    return std::nullopt;
+}
+
+void
+usage()
+{
+    std::puts(
+        "usage: run_experiment [app] [approach] [fast_ratio] [scale]\n"
+        "  app:      graphchi xstream metis leveldb redis nginx\n"
+        "  approach: slow fast random numa heap-od od lru vmm coord\n"
+        "  fast_ratio: FastMem as a fraction of SlowMem (default 0.25)\n"
+        "  scale:      workload scale (default 0.2)");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc > 1 && std::strcmp(argv[1], "--list") == 0) {
+        usage();
+        return 0;
+    }
+
+    const auto app = parseApp(argc > 1 ? argv[1] : "graphchi");
+    const auto approach = parseApproach(argc > 2 ? argv[2] : "lru");
+    const double ratio = argc > 3 ? std::atof(argv[3]) : 0.25;
+    const double scale = argc > 4 ? std::atof(argv[4]) : 0.2;
+    if (!app || !approach || ratio <= 0.0 || scale <= 0.0 ||
+        scale > 1.0) {
+        usage();
+        return 1;
+    }
+
+    core::RunSpec spec;
+    spec.approach = *approach;
+    spec.scale = scale;
+    spec.slow_bytes = static_cast<std::uint64_t>(
+        scale * 8.0 * static_cast<double>(mem::gib));
+    spec.fast_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(spec.slow_bytes) * ratio);
+
+    // Baseline for the gain column.
+    auto base_spec = spec;
+    base_spec.approach = core::Approach::SlowMemOnly;
+    const auto base = core::runApp(*app, base_spec);
+
+    auto sys = core::systemFor(spec);
+    auto &slot = sys->slot(0);
+    const auto res =
+        sys->runOne(slot, workload::makeApp(*app, spec.scale));
+
+    sim::Table t("Result: " + res.workload + " under " +
+                 core::approachName(*approach));
+    t.header({"metric", "value"});
+    t.row({"runtime (s)", sim::Table::num(res.seconds())});
+    t.row({res.metric_name, sim::Table::num(res.metric)});
+    t.row({"gain vs SlowMem-only",
+           sim::Table::pct(core::gainPercent(base, res))});
+    t.row({"phases", sim::Table::num(res.phases)});
+    t.row({"MPKI", sim::Table::num(res.mpki, 1)});
+    t.print();
+
+    auto &k = *slot.kernel;
+    sim::Table ov("Management overhead breakdown");
+    ov.header({"account", "ms"});
+    for (int i = 0; i < static_cast<int>(guestos::numOverheadKinds); ++i) {
+        const auto kind = static_cast<guestos::OverheadKind>(i);
+        const double ms =
+            sim::toMilliseconds(k.overheadTotal(kind));
+        if (ms > 0.005)
+            ov.row({guestos::overheadKindName(kind),
+                    sim::Table::num(ms, 2)});
+    }
+    ov.print();
+
+    sim::Table pg("Page allocations by type");
+    pg.header({"type", "pages"});
+    for (int i = 1; i < static_cast<int>(guestos::numPageTypes); ++i) {
+        const auto type = static_cast<guestos::PageType>(i);
+        const auto n = k.allocCount(type);
+        if (n > 0)
+            pg.row({guestos::pageTypeName(type), sim::Table::num(n)});
+    }
+    pg.row({"FastMem alloc miss ratio",
+            sim::Table::num(k.allocator().overallFastMissRatio(), 3)});
+    pg.print();
+    return 0;
+}

@@ -1,0 +1,119 @@
+#include "core/experiment.hh"
+
+#include "policy/baselines.hh"
+#include "policy/coordinated.hh"
+#include "policy/heap_io_slab_od.hh"
+#include "policy/heap_od.hh"
+#include "policy/hetero_lru_policy.hh"
+#include "policy/vmm_exclusive.hh"
+#include "sim/log.hh"
+
+namespace hos::core {
+
+const char *
+approachName(Approach a)
+{
+    switch (a) {
+      case Approach::SlowMemOnly:
+        return "SlowMem-only";
+      case Approach::FastMemOnly:
+        return "FastMem-only";
+      case Approach::Random:
+        return "Random";
+      case Approach::NumaPreferred:
+        return "NUMA-preferred";
+      case Approach::HeapOd:
+        return "Heap-OD";
+      case Approach::HeapIoSlabOd:
+        return "Heap-IO-Slab-OD";
+      case Approach::HeteroLru:
+        return "HeteroOS-LRU";
+      case Approach::VmmExclusive:
+        return "VMM-exclusive";
+      case Approach::Coordinated:
+        return "HeteroOS-coordinated";
+    }
+    return "?";
+}
+
+std::unique_ptr<policy::ManagementPolicy>
+makePolicy(Approach a)
+{
+    switch (a) {
+      case Approach::SlowMemOnly:
+        return std::make_unique<policy::SlowMemOnlyPolicy>();
+      case Approach::FastMemOnly:
+        return std::make_unique<policy::FastMemOnlyPolicy>();
+      case Approach::Random:
+        return std::make_unique<policy::RandomPolicy>();
+      case Approach::NumaPreferred:
+        return std::make_unique<policy::NumaPreferredPolicy>();
+      case Approach::HeapOd:
+        return std::make_unique<policy::HeapOdPolicy>();
+      case Approach::HeapIoSlabOd:
+        return std::make_unique<policy::HeapIoSlabOdPolicy>();
+      case Approach::HeteroLru:
+        return std::make_unique<policy::HeteroLruPolicy>();
+      case Approach::VmmExclusive:
+        return std::make_unique<policy::VmmExclusivePolicy>();
+      case Approach::Coordinated:
+        return std::make_unique<policy::CoordinatedPolicy>();
+    }
+    sim::panic("unknown approach");
+}
+
+HostConfig
+hostFor(const RunSpec &spec)
+{
+    HostConfig host;
+    host.llc.size_bytes = spec.llc_bytes;
+
+    if (spec.approach == Approach::FastMemOnly) {
+        // Ideal baseline: FastMem with unlimited capacity.
+        host.fast = mem::dramSpec(spec.fast_bytes + spec.slow_bytes +
+                                  8 * mem::gib);
+        host.has_slow = false;
+        return host;
+    }
+
+    host.fast = mem::dramSpec(spec.fast_bytes);
+    if (spec.use_custom_slow) {
+        host.slow = spec.custom_slow;
+        host.slow.capacity_bytes = spec.slow_bytes;
+    } else {
+        host.slow = mem::throttledSpec(spec.slow_lat_factor,
+                                       spec.slow_bw_factor,
+                                       spec.slow_bytes);
+    }
+    if (spec.approach == Approach::SlowMemOnly) {
+        // The naive floor never touches FastMem; don't even give the
+        // guest a fast node.
+        host.has_fast = false;
+    }
+    return host;
+}
+
+std::unique_ptr<HeteroSystem>
+systemFor(const RunSpec &spec)
+{
+    auto sys = std::make_unique<HeteroSystem>(hostFor(spec));
+    GuestSizing sizing;
+    sizing.seed = spec.seed;
+    sys->addVm(makePolicy(spec.approach), sizing);
+    return sys;
+}
+
+workload::Workload::Result
+runFactory(const workload::WorkloadFactory &factory, const RunSpec &spec)
+{
+    auto sys = systemFor(spec);
+    return sys->runOne(sys->slot(0), factory);
+}
+
+workload::Workload::Result
+runApp(workload::AppId app, const RunSpec &spec)
+{
+    return runFactory(workload::makeApp(app, spec.scale), spec);
+}
+
+} // namespace hos::core

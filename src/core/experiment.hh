@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Experiment harness shared by the bench binaries.
+ *
+ * Encodes the evaluation methodology of Section 5.1: host tiers
+ * (DRAM FastMem + L:5,B:9 throttled SlowMem by default), the approach
+ * zoo (Table 5 plus baselines), capacity-ratio sweeps, and the
+ * standard result records every bench prints.
+ */
+
+#ifndef HOS_CORE_EXPERIMENT_HH
+#define HOS_CORE_EXPERIMENT_HH
+
+#include <memory>
+#include <string>
+
+#include "core/hetero_system.hh"
+#include "workload/apps.hh"
+
+namespace hos::core {
+
+/** The evaluated management approaches. */
+enum class Approach {
+    SlowMemOnly,
+    FastMemOnly,
+    Random,
+    NumaPreferred,
+    HeapOd,
+    HeapIoSlabOd,
+    HeteroLru,
+    VmmExclusive,
+    Coordinated,
+};
+
+const char *approachName(Approach a);
+
+/** Policy factory. */
+std::unique_ptr<policy::ManagementPolicy> makePolicy(Approach a);
+
+/** One experiment's knobs. */
+struct RunSpec
+{
+    Approach approach = Approach::HeteroLru;
+
+    /** SlowMem throttle factors (Table 3). */
+    double slow_lat_factor = 5.0;
+    double slow_bw_factor = 9.0;
+
+    std::uint64_t fast_bytes = 4 * mem::gib;
+    std::uint64_t slow_bytes = 8 * mem::gib;
+
+    /** LLC: 16 MiB (Fig. 1 testbed) or 48 MiB (Fig. 2 emulator). */
+    std::uint64_t llc_bytes = 16 * mem::mib;
+
+    /** Workload scale (tests use small values; benches 1.0). */
+    double scale = 1.0;
+    std::uint64_t seed = 1;
+
+    /** Replace the throttled SlowMem with a custom tier spec. */
+    bool use_custom_slow = false;
+    mem::MemTierSpec custom_slow;
+};
+
+/** Host configuration implementing a RunSpec. */
+HostConfig hostFor(const RunSpec &spec);
+
+/** Build a single-VM system + policy for a spec; slot 0 is the VM. */
+std::unique_ptr<HeteroSystem> systemFor(const RunSpec &spec);
+
+/** Run an application (or any factory) under a spec. */
+workload::Workload::Result runApp(workload::AppId app,
+                                  const RunSpec &spec);
+workload::Workload::Result
+runFactory(const workload::WorkloadFactory &factory, const RunSpec &spec);
+
+} // namespace hos::core
+
+#endif // HOS_CORE_EXPERIMENT_HH

@@ -1,0 +1,154 @@
+#include "core/hetero_system.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace hos::core {
+
+HeteroSystem::HeteroSystem(HostConfig cfg) : cfg_(std::move(cfg))
+{
+    if (cfg_.has_fast)
+        machine_.addNode(mem::MemType::FastMem, cfg_.fast);
+    if (cfg_.has_medium)
+        machine_.addNode(mem::MemType::MediumMem, cfg_.medium);
+    if (cfg_.has_slow)
+        machine_.addNode(mem::MemType::SlowMem, cfg_.slow);
+    hos_assert(machine_.numNodes() > 0, "host needs memory");
+    vmm_ = std::make_unique<vmm::Vmm>(machine_);
+}
+
+HeteroSystem::~HeteroSystem() = default;
+
+HeteroSystem::VmSlot &
+HeteroSystem::addVm(std::unique_ptr<policy::ManagementPolicy> policy,
+                    GuestSizing sizing)
+{
+    hos_assert(policy != nullptr, "VM needs a policy");
+
+    guestos::GuestConfig gcfg;
+    gcfg.name = sizing.name + std::to_string(slots_.size());
+    gcfg.cpus = sizing.cpus;
+    gcfg.seed = sizing.seed;
+
+    if (cfg_.has_fast) {
+        guestos::GuestNodeConfig nc;
+        nc.type = mem::MemType::FastMem;
+        nc.max_bytes =
+            sizing.fast_max ? sizing.fast_max : cfg_.fast.capacity_bytes;
+        nc.initial_bytes = sizing.fast_initial == ~std::uint64_t(0)
+                               ? nc.max_bytes
+                               : sizing.fast_initial;
+        gcfg.nodes.push_back(nc);
+    }
+    if (cfg_.has_medium) {
+        guestos::GuestNodeConfig nc;
+        nc.type = mem::MemType::MediumMem;
+        nc.max_bytes = cfg_.medium.capacity_bytes;
+        nc.initial_bytes = nc.max_bytes;
+        gcfg.nodes.push_back(nc);
+    }
+    if (cfg_.has_slow) {
+        guestos::GuestNodeConfig nc;
+        nc.type = mem::MemType::SlowMem;
+        nc.max_bytes =
+            sizing.slow_max ? sizing.slow_max : cfg_.slow.capacity_bytes;
+        nc.initial_bytes = sizing.slow_initial == ~std::uint64_t(0)
+                               ? nc.max_bytes
+                               : sizing.slow_initial;
+        gcfg.nodes.push_back(nc);
+    }
+
+    policy->configureGuest(gcfg);
+
+    auto slot = std::make_unique<VmSlot>();
+    slot->policy = std::move(policy);
+    slot->kernel = std::make_unique<guestos::GuestKernel>(gcfg);
+
+    vmm::VmConfig vcfg;
+    vcfg.name = gcfg.name;
+    slot->policy->configureVm(vcfg);
+    slot->id = vmm_->registerVm(*slot->kernel, std::move(vcfg));
+    slot->policy->attach(*vmm_, slot->id, *slot->kernel);
+
+    slots_.push_back(std::move(slot));
+
+    // Each VM gets an equal slice of the shared LLC; re-slice every
+    // resident VM when the population changes.
+    mem::CacheConfig slice = cfg_.llc;
+    slice.size_bytes = cfg_.llc.size_bytes / slots_.size();
+    for (auto &s : slots_)
+        s->llc = std::make_unique<mem::CacheModel>(slice);
+
+    return *slots_.back();
+}
+
+workload::VmEnv
+HeteroSystem::envFor(VmSlot &slot)
+{
+    workload::VmEnv env;
+    env.kernel = slot.kernel.get();
+    env.llc = slot.llc.get();
+    env.device = [this](mem::MemType t) -> mem::MemDevice & {
+        if (machine_.hasType(t))
+            return machine_.nodeByType(t).device();
+        // Single-tier hosts (FastMem-only baseline): everything is
+        // serviced by the tier that exists.
+        return machine_.node(0).device();
+    };
+    env.sharers = [this] { return active_vms_; };
+    const vmm::VmId id = slot.id;
+    env.report_misses = [this, id](std::uint64_t misses) {
+        vmm_->vm(id).reportLlcMisses(misses);
+    };
+    return env;
+}
+
+workload::Workload::Result
+HeteroSystem::runOne(VmSlot &slot, const workload::WorkloadFactory &factory)
+{
+    active_vms_ = 1;
+    auto wl = factory(envFor(slot));
+    return wl->run();
+}
+
+std::vector<workload::Workload::Result>
+HeteroSystem::runMany(
+    const std::vector<std::pair<VmSlot *, workload::WorkloadFactory>>
+        &pairs)
+{
+    std::vector<std::unique_ptr<workload::Workload>> wls;
+    wls.reserve(pairs.size());
+    for (const auto &[slot, factory] : pairs) {
+        wls.push_back(factory(envFor(*slot)));
+        wls.back()->start();
+    }
+
+    // Lockstep: always advance the workload with the smallest local
+    // clock, so cross-VM interactions (ballooning, contention) happen
+    // in causal order.
+    for (;;) {
+        workload::Workload *next = nullptr;
+        unsigned active = 0;
+        for (auto &wl : wls) {
+            if (wl->done())
+                continue;
+            ++active;
+            if (!next || wl->elapsed() < next->elapsed())
+                next = wl.get();
+        }
+        if (!next)
+            break;
+        active_vms_ = active;
+        next->step();
+    }
+    active_vms_ = 1;
+
+    std::vector<workload::Workload::Result> results;
+    results.reserve(wls.size());
+    for (auto &wl : wls)
+        results.push_back(wl->finish());
+    return results;
+}
+
+} // namespace hos::core

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * HeteroSystem: the top-level public API.
+ *
+ * Assembles a simulated host (heterogeneous machine memory + VMM),
+ * adds guest VMs under chosen management policies, and runs workloads
+ * — one VM at a time or several in lockstep with device contention.
+ * This is the entry point examples and benches use:
+ *
+ *   core::HostConfig host;                    // tiers, LLC
+ *   core::HeteroSystem sys(host);
+ *   auto &vm = sys.addVm(std::make_unique<policy::CoordinatedPolicy>(),
+ *                        core::GuestSizing{});
+ *   auto result = sys.runOne(vm, workload::makeApp(AppId::GraphChi));
+ */
+
+#ifndef HOS_CORE_HETERO_SYSTEM_HH
+#define HOS_CORE_HETERO_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "mem/cache_model.hh"
+#include "mem/machine_memory.hh"
+#include "policy/placement_policy.hh"
+#include "vmm/vmm.hh"
+#include "workload/workload.hh"
+
+namespace hos::core {
+
+/** Host hardware configuration. */
+struct HostConfig
+{
+    mem::MemTierSpec fast = mem::dramSpec(4 * mem::gib);
+    mem::MemTierSpec slow = mem::defaultSlowMemSpec(8 * mem::gib);
+    /** Optional middle tier (paper §4.3 multi-level memories). */
+    mem::MemTierSpec medium = mem::throttledSpec(2.0, 3.0, 4 * mem::gib);
+    bool has_fast = true;
+    bool has_slow = true;
+    bool has_medium = false;
+    mem::CacheConfig llc{16 * mem::mib, 16};
+};
+
+/** Guest VM sizing. */
+struct GuestSizing
+{
+    /** 0 = inherit the host tier capacity. */
+    std::uint64_t fast_max = 0;
+    std::uint64_t fast_initial = ~std::uint64_t(0); ///< ~0 = fast_max
+    std::uint64_t slow_max = 0;
+    std::uint64_t slow_initial = ~std::uint64_t(0);
+    unsigned cpus = 16;
+    std::uint64_t seed = 1;
+    std::string name = "guest";
+};
+
+/** A host with heterogeneous memory, a VMM, and guest VMs. */
+class HeteroSystem
+{
+  public:
+    explicit HeteroSystem(HostConfig cfg);
+    ~HeteroSystem();
+
+    HeteroSystem(const HeteroSystem &) = delete;
+    HeteroSystem &operator=(const HeteroSystem &) = delete;
+
+    /** One VM plus its policy and (shared-slice) LLC model. */
+    struct VmSlot
+    {
+        std::unique_ptr<policy::ManagementPolicy> policy;
+        std::unique_ptr<guestos::GuestKernel> kernel;
+        std::unique_ptr<mem::CacheModel> llc;
+        vmm::VmId id = 0;
+    };
+
+    mem::MachineMemory &machine() { return machine_; }
+    vmm::Vmm &vmm() { return *vmm_; }
+    const HostConfig &config() const { return cfg_; }
+
+    /**
+     * Create and register a VM managed by `policy`. The guest's node
+     * layout derives from the host tiers and `sizing`; the policy
+     * then adjusts it (e.g., VMM-exclusive collapses it).
+     */
+    VmSlot &addVm(std::unique_ptr<policy::ManagementPolicy> policy,
+                  GuestSizing sizing = {});
+
+    std::size_t numVms() const { return slots_.size(); }
+    VmSlot &slot(std::size_t i) { return *slots_[i]; }
+
+    /** Build the workload environment for a VM. */
+    workload::VmEnv envFor(VmSlot &slot);
+
+    /** Run one workload to completion on one VM. */
+    workload::Workload::Result
+    runOne(VmSlot &slot, const workload::WorkloadFactory &factory);
+
+    /**
+     * Run one workload per VM in lockstep (smallest-elapsed-first
+     * interleaving); devices see the number of still-active VMs as
+     * contending sharers. Results are indexed like `pairs`.
+     */
+    std::vector<workload::Workload::Result>
+    runMany(const std::vector<
+            std::pair<VmSlot *, workload::WorkloadFactory>> &pairs);
+
+  private:
+    HostConfig cfg_;
+    mem::MachineMemory machine_;
+    std::unique_ptr<vmm::Vmm> vmm_;
+    std::vector<std::unique_ptr<VmSlot>> slots_;
+    unsigned active_vms_ = 1;
+};
+
+} // namespace hos::core
+
+#endif // HOS_CORE_HETERO_SYSTEM_HH

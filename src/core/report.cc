@@ -1,0 +1,26 @@
+#include "core/report.hh"
+
+#include <algorithm>
+
+namespace hos::core {
+
+double
+slowdownFactor(const workload::Workload::Result &baseline,
+               const workload::Workload::Result &other)
+{
+    const double base = std::max<double>(1.0,
+                                         static_cast<double>(
+                                             baseline.elapsed));
+    return static_cast<double>(other.elapsed) / base;
+}
+
+double
+gainPercent(const workload::Workload::Result &baseline,
+            const workload::Workload::Result &improved)
+{
+    const double now = std::max<double>(1.0, static_cast<double>(
+                                                 improved.elapsed));
+    return (static_cast<double>(baseline.elapsed) / now - 1.0) * 100.0;
+}
+
+} // namespace hos::core

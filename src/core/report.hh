@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Result arithmetic for paper-style reporting.
+ */
+
+#ifndef HOS_CORE_REPORT_HH
+#define HOS_CORE_REPORT_HH
+
+#include "workload/workload.hh"
+
+namespace hos::core {
+
+/** Slowdown factor of `other` relative to `baseline` (>1 = slower). */
+double slowdownFactor(const workload::Workload::Result &baseline,
+                      const workload::Workload::Result &other);
+
+/**
+ * Percent gain of `improved` over `baseline`
+ * ((T_base / T_new - 1) * 100; the paper's Figures 9, 11, 13).
+ */
+double gainPercent(const workload::Workload::Result &baseline,
+                   const workload::Workload::Result &improved);
+
+} // namespace hos::core
+
+#endif // HOS_CORE_REPORT_HH

@@ -1,0 +1,134 @@
+#include "guestos/address_space.hh"
+
+#include <algorithm>
+
+namespace hos::guestos {
+
+namespace {
+/** Mappings start above the traditional program segments. */
+constexpr std::uint64_t vaBase = 0x0000'1000'0000ull;
+/** Guard gap between consecutive mappings. */
+constexpr std::uint64_t vaGuard = mem::pageSize;
+} // namespace
+
+AddressSpace::AddressSpace(ProcessId pid, MmBacking &backing)
+    : pid_(pid), backing_(backing),
+      table_([&backing](std::int64_t d) { backing.onPageTablePages(d); }),
+      next_va_(vaBase)
+{
+}
+
+std::uint64_t
+AddressSpace::mmap(std::uint64_t length, VmaKind kind, MemHint hint,
+                   FileId file, std::uint64_t file_offset,
+                   std::string label)
+{
+    hos_assert(length > 0, "mmap of zero length");
+    // Round to page granularity as the real syscall does.
+    length = mem::bytesToPages(length) * mem::pageSize;
+
+    Vma vma;
+    vma.start = next_va_;
+    vma.length = length;
+    vma.kind = kind;
+    vma.hint = hint;
+    vma.file = file;
+    vma.file_offset = file_offset;
+    vma.label = std::move(label);
+
+    next_va_ += length + vaGuard;
+    hos_assert(next_va_ < PageTable::vaSpan, "virtual address space full");
+
+    const std::uint64_t start = vma.start;
+    vmas_.emplace(start, std::move(vma));
+    return start;
+}
+
+void
+AddressSpace::munmap(std::uint64_t start)
+{
+    auto it = vmas_.find(start);
+    hos_assert(it != vmas_.end(), "munmap of unknown VMA");
+    Vma &vma = it->second;
+
+    std::vector<Gpfn> anon_released;
+    std::vector<Gpfn> file_released;
+    for (std::uint64_t va = vma.start; va < vma.end();
+         va += mem::pageSize) {
+        auto pfn = table_.unmap(va);
+        if (!pfn)
+            continue;
+        if (vma.kind == VmaKind::File)
+            file_released.push_back(*pfn);
+        else
+            anon_released.push_back(*pfn);
+    }
+
+    for (Gpfn pfn : anon_released)
+        backing_.freeUserPage(pfn);
+    backing_.onUnmapRelease(anon_released, file_released);
+    vmas_.erase(it);
+}
+
+const Vma *
+AddressSpace::findVma(std::uint64_t va) const
+{
+    auto it = vmas_.upper_bound(va);
+    if (it == vmas_.begin())
+        return nullptr;
+    --it;
+    return it->second.contains(va) ? &it->second : nullptr;
+}
+
+Gpfn
+AddressSpace::touch(std::uint64_t vaddr, bool write)
+{
+    const std::uint64_t va = vaddr & ~(mem::pageSize - 1);
+    if (auto pte = table_.lookup(va)) {
+        table_.touch(va, write);
+        return pte->pfn;
+    }
+
+    const Vma *vma = findVma(va);
+    hos_assert(vma != nullptr, "fault outside any VMA");
+
+    Gpfn pfn;
+    if (vma->kind == VmaKind::File) {
+        const std::uint64_t offset = vma->file_offset + (va - vma->start);
+        pfn = backing_.fileBackedPage(vma->file, offset, vma->hint, pid_,
+                                      va);
+    } else {
+        pfn = backing_.allocUserPage(vma->pageType(), vma->hint, pid_, va);
+    }
+    if (pfn == invalidGpfn)
+        return invalidGpfn;
+
+    table_.map(va, pfn, true);
+    table_.touch(va, write);
+    return pfn;
+}
+
+std::optional<Gpfn>
+AddressSpace::translate(std::uint64_t vaddr) const
+{
+    const std::uint64_t va = vaddr & ~(mem::pageSize - 1);
+    if (auto pte = table_.lookup(va))
+        return pte->pfn;
+    return std::nullopt;
+}
+
+void
+AddressSpace::forEachVma(const std::function<void(const Vma &)> &fn) const
+{
+    for (const auto &kv : vmas_)
+        fn(kv.second);
+}
+
+void
+AddressSpace::releaseAll()
+{
+    while (!vmas_.empty())
+        munmap(vmas_.begin()->first);
+}
+
+} // namespace hos::guestos

@@ -1,0 +1,46 @@
+#include "guestos/blockdev.hh"
+
+#include "sim/log.hh"
+
+namespace hos::guestos {
+
+BlockDevice::BlockDevice(BlockDeviceConfig cfg) : cfg_(cfg)
+{
+    hos_assert(cfg_.seq_read_gbps > 0 && cfg_.seq_write_gbps > 0,
+               "block device needs bandwidth");
+}
+
+sim::Duration
+BlockDevice::transfer(std::uint64_t bytes, double gbps)
+{
+    requests_.inc();
+    const double ns = cfg_.io_latency_us * 1000.0 +
+                      static_cast<double>(bytes) / gbps;
+    return static_cast<sim::Duration>(ns);
+}
+
+sim::Duration
+BlockDevice::read(std::uint64_t bytes, bool sequential)
+{
+    bytes_read_.inc(bytes);
+    return transfer(bytes, sequential ? cfg_.seq_read_gbps
+                                      : cfg_.rand_read_gbps);
+}
+
+sim::Duration
+BlockDevice::write(std::uint64_t bytes, bool sequential)
+{
+    bytes_written_.inc(bytes);
+    return transfer(bytes, sequential ? cfg_.seq_write_gbps
+                                      : cfg_.rand_write_gbps);
+}
+
+void
+BlockDevice::resetStats()
+{
+    bytes_read_.reset();
+    bytes_written_.reset();
+    requests_.reset();
+}
+
+} // namespace hos::guestos

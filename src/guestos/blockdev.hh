@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Simulated block storage device.
+ *
+ * The storage-intensive workloads (LevelDB, GraphChi shard loading,
+ * X-Stream streaming partitions) exercise the page cache, whose whole
+ * purpose is hiding this device's latency. Parameters default to a
+ * SATA-class datacenter SSD circa the paper's testbed.
+ */
+
+#ifndef HOS_GUESTOS_BLOCKDEV_HH
+#define HOS_GUESTOS_BLOCKDEV_HH
+
+#include <cstdint>
+
+#include "sim/stats.hh"
+#include "sim/time.hh"
+
+namespace hos::guestos {
+
+/** Device performance parameters. */
+struct BlockDeviceConfig
+{
+    double seq_read_gbps = 0.50;   ///< sequential read bandwidth
+    double seq_write_gbps = 0.40;  ///< sequential write bandwidth
+    double rand_read_gbps = 0.20;  ///< 4K random read throughput
+    double rand_write_gbps = 0.15; ///< 4K random write throughput
+    double io_latency_us = 80.0;   ///< per-request latency
+};
+
+/** Charges simulated time for disk I/O. */
+class BlockDevice
+{
+  public:
+    explicit BlockDevice(BlockDeviceConfig cfg = {});
+
+    const BlockDeviceConfig &config() const { return cfg_; }
+
+    /** Time to read `bytes` (sequential or random pattern). */
+    sim::Duration read(std::uint64_t bytes, bool sequential);
+
+    /** Time to write `bytes`. */
+    sim::Duration write(std::uint64_t bytes, bool sequential);
+
+    std::uint64_t bytesRead() const { return bytes_read_.value(); }
+    std::uint64_t bytesWritten() const { return bytes_written_.value(); }
+    std::uint64_t requests() const { return requests_.value(); }
+
+    void resetStats();
+
+  private:
+    sim::Duration transfer(std::uint64_t bytes, double gbps);
+
+    BlockDeviceConfig cfg_;
+    sim::Counter bytes_read_;
+    sim::Counter bytes_written_;
+    sim::Counter requests_;
+};
+
+} // namespace hos::guestos
+
+#endif // HOS_GUESTOS_BLOCKDEV_HH

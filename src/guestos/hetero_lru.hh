@@ -1,0 +1,124 @@
+/**
+ * @file
+ * HeteroOS-LRU: memory-type-aware contention resolution (Section 3.3).
+ *
+ * Linux's split LRU triggers on whole-system memory pressure and
+ * mostly targets I/O pages. HeteroOS-LRU instead:
+ *
+ *  1. keeps *per-memory-type* thresholds — FastMem reclaim triggers on
+ *     FastMem pressure alone;
+ *  2. actively monitors active->inactive transitions and demotes
+ *     inactive FastMem pages immediately rather than waiting for a
+ *     usage-threshold storm;
+ *  3. applies type-specific rules: pages released by munmap are
+ *     marked inactive and aggressively demoted to SlowMem, and
+ *     I/O page/buffer-cache pages are demoted right after their I/O
+ *     completes.
+ *
+ * Demotion keeps pages usable (anon pages stay mapped, cache pages
+ * stay cached) — only the backing tier changes — so this is eviction
+ * *from FastMem*, not from memory.
+ */
+
+#ifndef HOS_GUESTOS_HETERO_LRU_HH
+#define HOS_GUESTOS_HETERO_LRU_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "guestos/page.hh"
+#include "sim/stats.hh"
+#include "sim/time.hh"
+
+namespace hos::guestos {
+
+class GuestKernel;
+
+/** HeteroOS-LRU policy knobs. */
+struct HeteroLruConfig
+{
+    bool enabled = false;
+    /** Rule 1: demote file pages released by munmap immediately. */
+    bool eager_unmap_demotion = true;
+    /** Rule 2: demote I/O cache pages when their I/O completes. */
+    bool eager_io_eviction = true;
+    /**
+     * FastMem free-page ratios: reclaim starts below `low`, runs
+     * until `high` (memory-type-specific thresholds, not the global
+     * pressure trigger Linux uses).
+     */
+    double fast_low_ratio = 0.04;
+    double fast_high_ratio = 0.08;
+    /** Pages per reclaim scan batch. */
+    std::uint64_t scan_batch = 512;
+    /** Per-page scan cost charged as reclaim overhead. */
+    double scan_cost_ns = 150.0;
+};
+
+/** Statistics of HeteroOS-LRU activity. */
+struct HeteroLruStats
+{
+    std::uint64_t demoted_anon = 0;
+    std::uint64_t demoted_cache = 0;
+    std::uint64_t dropped_cache = 0;
+    std::uint64_t reclaim_passes = 0;
+    std::uint64_t pages_scanned = 0;
+};
+
+/** The HeteroOS-LRU engine for one guest. */
+class HeteroLru
+{
+  public:
+    HeteroLru(GuestKernel &kernel, HeteroLruConfig cfg);
+
+    const HeteroLruConfig &config() const { return cfg_; }
+    void setConfig(const HeteroLruConfig &cfg) { cfg_ = cfg; }
+    const HeteroLruStats &stats() const { return stats_; }
+
+    /**
+     * Reclaim at least `target_pages` of FastMem by demoting inactive
+     * pages (any subsystem, including the heap) to SlowMem. Charges
+     * scan + migration overhead to the kernel. Returns pages freed.
+     */
+    std::uint64_t reclaimFastMem(std::uint64_t target_pages);
+
+    /** True when the FastMem node is below its low threshold. */
+    bool fastMemUnderPressure() const;
+
+    /** Periodic maintenance: balance LRUs, honor thresholds. */
+    void tick();
+
+    /**
+     * Hook: an I/O completed on these pages (rule 2). Only finished
+     * (write-back) pages are eagerly demoted; fresh read fills are
+     * about to be consumed.
+     */
+    void onIoComplete(const std::vector<Gpfn> &pages, bool writeback);
+
+    /** Hook: file pages lost their mapping via munmap (rule 1). */
+    void onUnmapRelease(const std::vector<Gpfn> &file_pages);
+
+    /**
+     * Demote one page from FastMem to SlowMem, keeping it usable.
+     * Returns the pages actually freed in FastMem (0 or 1).
+     */
+    std::uint64_t demotePage(Gpfn pfn);
+
+    /**
+     * Stock direct reclaim (kswapd-equivalent): free pages *anywhere*
+     * by dropping clean page-cache pages, writing dirty ones back
+     * when nothing clean remains. Runs regardless of the HeteroOS-LRU
+     * enable flag — every Linux baseline has this. Returns pages
+     * freed.
+     */
+    std::uint64_t directReclaim(std::uint64_t target_pages);
+
+  private:
+    GuestKernel &kernel_;
+    HeteroLruConfig cfg_;
+    HeteroLruStats stats_;
+};
+
+} // namespace hos::guestos
+
+#endif // HOS_GUESTOS_HETERO_LRU_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Guest -> VMM interface (the hypercall surface the guest sees).
+ *
+ * The on-demand allocation driver is a split front-end/back-end pair
+ * (Figure 5): the guest front-end asks the back-end to populate or
+ * unpopulate guest page frames of a specific memory node. Defining
+ * the back-end as an abstract interface here keeps the guest OS
+ * library free of VMM dependencies; hos::vmm::Vmm implements it.
+ */
+
+#ifndef HOS_GUESTOS_HYPERCALLS_HH
+#define HOS_GUESTOS_HYPERCALLS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "guestos/page.hh"
+
+namespace hos::guestos {
+
+/** The VMM side of the on-demand allocation (balloon) channel. */
+class BalloonBackendIf
+{
+  public:
+    virtual ~BalloonBackendIf() = default;
+
+    /**
+     * Back `gpfns` of guest node `guest_node` with machine frames of
+     * the matching memory type. Returns how many were populated (a
+     * prefix of the list); fewer than requested means the VMM is out
+     * of that memory type or the fair-share policy said no.
+     */
+    virtual std::uint64_t
+    populatePages(unsigned guest_node, const std::vector<Gpfn> &gpfns) = 0;
+
+    /** Release the machine frames backing `gpfns` back to the VMM. */
+    virtual void
+    unpopulatePages(unsigned guest_node,
+                    const std::vector<Gpfn> &gpfns) = 0;
+};
+
+} // namespace hos::guestos
+
+#endif // HOS_GUESTOS_HYPERCALLS_HH

@@ -1,0 +1,451 @@
+#include "guestos/kernel.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace hos::guestos {
+
+const char *
+overheadKindName(OverheadKind k)
+{
+    switch (k) {
+      case OverheadKind::Alloc:
+        return "alloc";
+      case OverheadKind::Reclaim:
+        return "reclaim";
+      case OverheadKind::Migration:
+        return "migration";
+      case OverheadKind::HotScan:
+        return "hotscan";
+      case OverheadKind::Balloon:
+        return "balloon";
+      case OverheadKind::Writeback:
+        return "writeback";
+      case OverheadKind::Io:
+        return "io";
+      case OverheadKind::Swap:
+        return "swap";
+    }
+    return "?";
+}
+
+namespace {
+
+std::uint64_t
+totalMaxPages(const GuestConfig &cfg)
+{
+    std::uint64_t n = 0;
+    for (const auto &nc : cfg.nodes)
+        n += mem::bytesToPages(nc.max_bytes);
+    return n;
+}
+
+} // namespace
+
+GuestKernel::GuestKernel(GuestConfig cfg)
+    : cfg_(std::move(cfg)), stats_(cfg_.name), rng_(cfg_.seed),
+      tlb_(cfg_.tlb), disk_(cfg_.disk), pages_(totalMaxPages(cfg_))
+{
+    hos_assert(!cfg_.nodes.empty(), "guest needs at least one node");
+
+    // Lay out nodes back to back in the gpfn space and stamp each
+    // page with its node identity.
+    Gpfn base = 0;
+    for (unsigned id = 0; id < cfg_.nodes.size(); ++id) {
+        const auto &nc = cfg_.nodes[id];
+        const std::uint64_t span = mem::bytesToPages(nc.max_bytes);
+        nodes_.push_back(std::make_unique<NumaNode>(id, nc.type, pages_,
+                                                    base, span));
+        for (Gpfn pfn = base; pfn < base + span; ++pfn) {
+            Page &p = pages_.page(pfn);
+            p.numa_node = static_cast<std::uint8_t>(id);
+            p.mem_type = nc.type;
+        }
+        // Every gpfn starts unpopulated; LIFO so low gpfns pop first.
+        auto &unpop = unpopulated_.emplace_back();
+        unpop.reserve(span);
+        for (Gpfn pfn = base + span; pfn-- > base;)
+            unpop.push_back(pfn);
+        base += span;
+    }
+
+    percpu_ = std::make_unique<PerCpuPageLists>(
+        pages_, cfg_.cpus, static_cast<unsigned>(nodes_.size()));
+    allocator_ =
+        std::make_unique<HeteroAllocator>(*this, cfg_.alloc, cfg_.seed);
+    hetero_lru_ = std::make_unique<HeteroLru>(*this, cfg_.lru);
+    balloon_ = std::make_unique<BalloonFrontend>(*this);
+    migrator_ = std::make_unique<MigrationFrontend>(*this);
+    page_cache_ = std::make_unique<PageCache>(pages_, *this, disk_,
+                                              cfg_.readahead_pages);
+    slab_ = std::make_unique<SlabAllocator>(*this);
+    swap_ = std::make_unique<SwapDevice>(
+        disk_, mem::bytesToPages(cfg_.swap_bytes));
+}
+
+GuestKernel::~GuestKernel() = default;
+
+NumaNode &
+GuestKernel::node(unsigned id)
+{
+    hos_assert(id < nodes_.size(), "bad node id");
+    return *nodes_[id];
+}
+
+NumaNode *
+GuestKernel::nodeFor(mem::MemType type)
+{
+    for (auto &n : nodes_) {
+        if (n->memType() == type)
+            return n.get();
+    }
+    return nullptr;
+}
+
+bool
+GuestKernel::hasType(mem::MemType type) const
+{
+    for (const auto &n : nodes_) {
+        if (n->memType() == type)
+            return true;
+    }
+    return false;
+}
+
+NumaNode &
+GuestKernel::nodeOf(Gpfn pfn)
+{
+    const Page &p = pages_.page(pfn);
+    return node(p.numa_node);
+}
+
+Zone &
+GuestKernel::zoneOf(Gpfn pfn)
+{
+    return nodeOf(pfn).zoneOf(pfn);
+}
+
+std::uint64_t
+GuestKernel::effectiveFreePages(NumaNode &node)
+{
+    return node.freePages() + percpu_->cachedOnNode(node.id());
+}
+
+AddressSpace &
+GuestKernel::createProcess(const std::string &name)
+{
+    (void)name;
+    const auto pid = static_cast<ProcessId>(processes_.size());
+    processes_.push_back(std::make_unique<AddressSpace>(pid, *this));
+    return *processes_.back();
+}
+
+AddressSpace &
+GuestKernel::process(ProcessId pid)
+{
+    hos_assert(pid < processes_.size(), "bad pid");
+    return *processes_[pid];
+}
+
+bool
+GuestKernel::hasProcess(ProcessId pid) const
+{
+    return pid < processes_.size();
+}
+
+Gpfn
+GuestKernel::allocPage(const AllocRequest &req)
+{
+    return allocator_->allocPage(req);
+}
+
+void
+GuestKernel::freePage(Gpfn pfn, unsigned cpu)
+{
+    Page &p = pages_.page(pfn);
+    hos_assert(p.lru == LruState::None,
+               "freeing a page still on the LRU");
+    allocator_->freePage(pfn, cpu);
+}
+
+Gpfn
+GuestKernel::allocPageOnNode(unsigned node_id, PageType type,
+                             unsigned cpu)
+{
+    NumaNode &n = node(node_id);
+    const Gpfn pfn = percpu_->alloc(cpu, n);
+    if (pfn == invalidGpfn)
+        return invalidGpfn;
+    Page &p = pages_.page(pfn);
+    p.type = type;
+    return pfn;
+}
+
+std::vector<Gpfn>
+GuestKernel::takeUnpopulatedGpfns(unsigned node_id, std::uint64_t n)
+{
+    hos_assert(node_id < unpopulated_.size(), "bad node id");
+    auto &stack = unpopulated_[node_id];
+    std::vector<Gpfn> out;
+    const std::uint64_t take = std::min<std::uint64_t>(n, stack.size());
+    out.reserve(take);
+    for (std::uint64_t i = 0; i < take; ++i) {
+        out.push_back(stack.back());
+        stack.pop_back();
+    }
+    return out;
+}
+
+void
+GuestKernel::returnUnpopulatedGpfns(unsigned node_id,
+                                    const std::vector<Gpfn> &gpfns)
+{
+    hos_assert(node_id < unpopulated_.size(), "bad node id");
+    auto &stack = unpopulated_[node_id];
+    for (Gpfn pfn : gpfns) {
+        hos_assert(!pages_.page(pfn).populated,
+                   "returning a populated gpfn");
+        stack.push_back(pfn);
+    }
+}
+
+mem::MemType
+GuestKernel::backingOf(Gpfn pfn) const
+{
+    if (backing_oracle_)
+        return backing_oracle_(pfn);
+    return pages_.page(pfn).mem_type;
+}
+
+void
+GuestKernel::lruAdd(Gpfn pfn)
+{
+    zoneOf(pfn).lru().addPage(pfn);
+}
+
+void
+GuestKernel::lruAddActive(Gpfn pfn)
+{
+    zoneOf(pfn).lru().addPageActive(pfn);
+}
+
+void
+GuestKernel::lruRemove(Gpfn pfn)
+{
+    zoneOf(pfn).lru().removePage(pfn);
+}
+
+void
+GuestKernel::lruTouch(Gpfn pfn)
+{
+    zoneOf(pfn).lru().touch(pfn);
+}
+
+void
+GuestKernel::charge(OverheadKind kind, sim::Duration d)
+{
+    overhead_total_[static_cast<std::size_t>(kind)] += d;
+    pending_overhead_ += d;
+}
+
+sim::Duration
+GuestKernel::drainPendingOverhead()
+{
+    const sim::Duration d = pending_overhead_;
+    pending_overhead_ = 0;
+    return d;
+}
+
+sim::Duration
+GuestKernel::overheadTotal(OverheadKind kind) const
+{
+    return overhead_total_[static_cast<std::size_t>(kind)];
+}
+
+sim::Duration
+GuestKernel::overheadGrandTotal() const
+{
+    sim::Duration d = 0;
+    for (auto v : overhead_total_)
+        d += v;
+    return d;
+}
+
+void
+GuestKernel::startDaemons()
+{
+    // Demand-window rotation (the allocator's 100 ms epoch).
+    events_.schedulePeriodic(cfg_.alloc.epoch, [this](sim::Duration p) {
+        allocator_->rotateEpoch();
+        return p;
+    });
+    // HeteroOS-LRU maintenance tick.
+    if (cfg_.lru.enabled) {
+        events_.schedulePeriodic(sim::milliseconds(50),
+                                 [this](sim::Duration p) {
+                                     hetero_lru_->tick();
+                                     return p;
+                                 });
+    }
+    // Dirty page flusher (kupdate-style, 500 ms).
+    events_.schedulePeriodic(sim::milliseconds(500),
+                             [this](sim::Duration p) {
+                                 const auto t =
+                                     page_cache_->writeback(4096);
+                                 charge(OverheadKind::Writeback, t / 4);
+                                 return p;
+                             });
+}
+
+// --- MmBacking -------------------------------------------------------
+
+Gpfn
+GuestKernel::allocUserPage(PageType type, MemHint hint, ProcessId process,
+                           std::uint64_t vaddr)
+{
+    AllocRequest req;
+    req.type = type;
+    req.hint = hint;
+    req.process = process;
+    req.vaddr = vaddr;
+    const Gpfn pfn = allocator_->allocPage(req);
+    if (pfn == invalidGpfn)
+        return invalidGpfn;
+    Page &p = pages_.page(pfn);
+    p.owner_process = process;
+    p.vaddr = vaddr;
+    lruAdd(pfn);
+    return pfn;
+}
+
+void
+GuestKernel::freeUserPage(Gpfn pfn)
+{
+    Page &p = pages_.page(pfn);
+    if (p.lru != LruState::None)
+        lruRemove(pfn);
+    freePage(pfn);
+}
+
+Gpfn
+GuestKernel::fileBackedPage(FileId file, std::uint64_t offset,
+                            MemHint hint, ProcessId process,
+                            std::uint64_t vaddr)
+{
+    (void)process;
+    (void)vaddr;
+    sim::Duration io_time = 0;
+    const Gpfn pfn = page_cache_->mapPage(file, offset, hint, io_time);
+    charge(OverheadKind::Io, io_time);
+    return pfn;
+}
+
+void
+GuestKernel::onUnmapRelease(const std::vector<Gpfn> &anon_released,
+                            const std::vector<Gpfn> &file_released)
+{
+    (void)anon_released; // already freed by the address space
+    hetero_lru_->onUnmapRelease(file_released);
+}
+
+void
+GuestKernel::onPageTablePages(std::int64_t delta)
+{
+    if (delta > 0) {
+        for (std::int64_t i = 0; i < delta; ++i) {
+            AllocRequest req;
+            req.type = PageType::PageTable;
+            const Gpfn pfn = allocator_->allocPage(req);
+            if (pfn == invalidGpfn) {
+                ++pt_unbacked_;
+                continue;
+            }
+            pages_.page(pfn).unevictable = true;
+            pt_pages_.push_back(pfn);
+        }
+    } else {
+        for (std::int64_t i = 0; i < -delta; ++i) {
+            if (pt_unbacked_ > 0) {
+                --pt_unbacked_;
+                continue;
+            }
+            if (pt_pages_.empty())
+                break;
+            const Gpfn pfn = pt_pages_.back();
+            pt_pages_.pop_back();
+            pages_.page(pfn).unevictable = false;
+            freePage(pfn);
+        }
+    }
+}
+
+// --- PageCacheBacking -------------------------------------------------
+
+Gpfn
+GuestKernel::allocIoPage(PageType type, MemHint hint)
+{
+    AllocRequest req;
+    req.type = type;
+    req.hint = hint;
+    const Gpfn pfn = allocator_->allocPage(req);
+    if (pfn == invalidGpfn)
+        return invalidGpfn;
+    lruAdd(pfn);
+    return pfn;
+}
+
+void
+GuestKernel::freeIoPage(Gpfn pfn)
+{
+    Page &p = pages_.page(pfn);
+    if (p.lru != LruState::None)
+        lruRemove(pfn);
+    freePage(pfn);
+}
+
+void
+GuestKernel::touchIoPage(Gpfn pfn, bool write)
+{
+    (void)write; // dirtiness is tracked by the page cache itself
+    lruTouch(pfn);
+    pages_.page(pfn).pte_accessed = true; // I/O touches are references
+}
+
+void
+GuestKernel::onIoComplete(const std::vector<Gpfn> &pages, IoKind kind)
+{
+    hetero_lru_->onIoComplete(pages, kind == IoKind::Writeback);
+}
+
+// --- SlabBacking --------------------------------------------------------
+
+Gpfn
+GuestKernel::allocSlabPage(PageType type, MemHint hint)
+{
+    AllocRequest req;
+    req.type = type;
+    req.hint = hint;
+    const Gpfn pfn = allocator_->allocPage(req);
+    if (pfn == invalidGpfn)
+        return invalidGpfn;
+    // Slab pages hold kernel objects referenced by pointer: pinned,
+    // never on the LRU, reclaimed only when the slab page empties.
+    pages_.page(pfn).unevictable = true;
+    return pfn;
+}
+
+void
+GuestKernel::freeSlabPage(Gpfn pfn)
+{
+    pages_.page(pfn).unevictable = false;
+    freePage(pfn);
+}
+
+void
+GuestKernel::touchSlabPage(Gpfn pfn)
+{
+    pages_.page(pfn).pte_accessed = true;
+}
+
+} // namespace hos::guestos

@@ -1,0 +1,157 @@
+#include "guestos/lru.hh"
+
+namespace hos::guestos {
+
+SplitLru::SplitLru(PageArray &pages)
+    : pages_(pages), active_(pages, listLruActive),
+      inactive_(pages, listLruInactive)
+{
+}
+
+void
+SplitLru::addPage(Gpfn pfn)
+{
+    Page &p = pages_.page(pfn);
+    hos_assert(p.lru == LruState::None, "page already on an LRU");
+    p.lru = LruState::Inactive;
+    p.referenced = false;
+    inactive_.pushFront(pfn);
+}
+
+void
+SplitLru::addPageActive(Gpfn pfn)
+{
+    Page &p = pages_.page(pfn);
+    hos_assert(p.lru == LruState::None, "page already on an LRU");
+    p.lru = LruState::Active;
+    p.referenced = false;
+    active_.pushFront(pfn);
+}
+
+void
+SplitLru::removePage(Gpfn pfn)
+{
+    Page &p = pages_.page(pfn);
+    switch (p.lru) {
+      case LruState::Active:
+        active_.remove(pfn);
+        break;
+      case LruState::Inactive:
+        inactive_.remove(pfn);
+        break;
+      case LruState::None:
+        sim::panic("removing page %llu not on an LRU",
+                   static_cast<unsigned long long>(pfn));
+    }
+    p.lru = LruState::None;
+    p.referenced = false;
+}
+
+void
+SplitLru::touch(Gpfn pfn)
+{
+    Page &p = pages_.page(pfn);
+    switch (p.lru) {
+      case LruState::Inactive:
+        if (p.referenced) {
+            // Second touch: promote (mark_page_accessed semantics).
+            inactive_.remove(pfn);
+            p.lru = LruState::Active;
+            p.referenced = false;
+            active_.pushFront(pfn);
+        } else {
+            p.referenced = true;
+        }
+        break;
+      case LruState::Active:
+        p.referenced = true;
+        break;
+      case LruState::None:
+        break; // not managed (e.g., pagetable pages)
+    }
+}
+
+void
+SplitLru::deactivate(Gpfn pfn)
+{
+    Page &p = pages_.page(pfn);
+    if (p.lru == LruState::Inactive)
+        return;
+    hos_assert(p.lru == LruState::Active, "deactivating non-LRU page");
+    active_.remove(pfn);
+    p.lru = LruState::Inactive;
+    p.referenced = false;
+    inactive_.pushFront(pfn);
+}
+
+bool
+SplitLru::contains(Gpfn pfn) const
+{
+    return pages_.page(pfn).lru != LruState::None;
+}
+
+std::uint64_t
+SplitLru::scanInactive(std::uint64_t nscan,
+                       const std::function<bool(Page &)> &reclaim)
+{
+    std::uint64_t reclaimed = 0;
+    for (std::uint64_t i = 0; i < nscan && !inactive_.empty(); ++i) {
+        const Gpfn pfn = inactive_.tail();
+        Page &p = pages_.page(pfn);
+        scanned_.inc();
+
+        if (p.under_io || p.unevictable) {
+            inactive_.moveToFront(pfn);
+            continue;
+        }
+        if (p.referenced) {
+            // Second chance: promote to active, as Linux's
+            // shrink_inactive does for referenced+accessed pages.
+            p.referenced = false;
+            inactive_.remove(pfn);
+            p.lru = LruState::Active;
+            active_.pushFront(pfn);
+            continue;
+        }
+
+        inactive_.remove(pfn);
+        p.lru = LruState::None;
+        if (reclaim(p)) {
+            ++reclaimed;
+        } else {
+            // Taker declined (e.g., dirty page pending writeback):
+            // rotate back to the inactive head.
+            p.lru = LruState::Inactive;
+            inactive_.pushFront(pfn);
+        }
+    }
+    return reclaimed;
+}
+
+std::uint64_t
+SplitLru::balance(double target_ratio, std::uint64_t nscan)
+{
+    std::uint64_t demoted = 0;
+    const std::uint64_t total = totalCount();
+    for (std::uint64_t i = 0; i < nscan && !active_.empty(); ++i) {
+        if (static_cast<double>(inactive_.size()) >=
+            target_ratio * static_cast<double>(total)) {
+            break;
+        }
+        const Gpfn pfn = active_.tail();
+        Page &p = pages_.page(pfn);
+        scanned_.inc();
+        if (p.referenced) {
+            p.referenced = false;
+            active_.moveToFront(pfn);
+            continue;
+        }
+        active_.remove(pfn);
+        p.lru = LruState::Inactive;
+        inactive_.pushFront(pfn);
+        ++demoted;
+    }
+    return demoted;
+}
+
+} // namespace hos::guestos

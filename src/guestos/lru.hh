@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Linux-style split active/inactive page LRU.
+ *
+ * Each zone keeps two approximate-LRU lists. New pages enter the
+ * inactive list; a page touched while inactive gets its software
+ * referenced bit set, and a second touch promotes it to active
+ * (two-touch promotion, as in Linux). Reclaim scans from the inactive
+ * tail with second-chance rotation. HeteroOS-LRU (hetero_lru.hh)
+ * builds its memory-type-aware replacement on top of these primitives.
+ */
+
+#ifndef HOS_GUESTOS_LRU_HH
+#define HOS_GUESTOS_LRU_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "guestos/page.hh"
+#include "sim/stats.hh"
+
+namespace hos::guestos {
+
+/** Split active/inactive LRU over one zone's pages. */
+class SplitLru
+{
+  public:
+    explicit SplitLru(PageArray &pages);
+
+    std::uint64_t activeCount() const { return active_.size(); }
+    std::uint64_t inactiveCount() const { return inactive_.size(); }
+    std::uint64_t totalCount() const
+    {
+        return active_.size() + inactive_.size();
+    }
+
+    /** Insert a newly allocated page (inactive, unreferenced). */
+    void addPage(Gpfn pfn);
+
+    /** Insert straight to the active list (known-hot pages). */
+    void addPageActive(Gpfn pfn);
+
+    /** Remove a page about to be freed or migrated away. */
+    void removePage(Gpfn pfn);
+
+    /**
+     * Record a touch: referenced bit first, promotion to active head
+     * on a repeated touch (mirrors mark_page_accessed()).
+     */
+    void touch(Gpfn pfn);
+
+    /** Force a page onto the inactive list (deactivation). */
+    void deactivate(Gpfn pfn);
+
+    /** True if the page is on either list. */
+    bool contains(Gpfn pfn) const;
+
+    /**
+     * Scan up to `nscan` pages from the inactive tail. Referenced
+     * pages get a second chance (cleared + rotated). Unreferenced,
+     * reclaimable pages are handed to `reclaim`, which returns true
+     * if it took the page (the scan removes it from the LRU first).
+     * Pages under I/O or unevictable are rotated.
+     *
+     * @return number of pages reclaimed.
+     */
+    std::uint64_t scanInactive(std::uint64_t nscan,
+                               const std::function<bool(Page &)> &reclaim);
+
+    /**
+     * Rebalance: demote pages from the active tail to inactive until
+     * the inactive list holds at least `target_ratio` of all pages,
+     * scanning at most `nscan` pages. Referenced active pages are
+     * cleared and rotated (one second chance).
+     *
+     * @return pages demoted.
+     */
+    std::uint64_t balance(double target_ratio, std::uint64_t nscan);
+
+    /** Pages scanned by reclaim since construction (cost accounting). */
+    std::uint64_t scanned() const { return scanned_.value(); }
+
+  private:
+    PageArray &pages_;
+    PageList active_;
+    PageList inactive_;
+    sim::Counter scanned_;
+};
+
+} // namespace hos::guestos
+
+#endif // HOS_GUESTOS_LRU_HH

@@ -1,0 +1,145 @@
+#include "guestos/migration_frontend.hh"
+
+#include "guestos/kernel.hh"
+#include "sim/log.hh"
+
+namespace hos::guestos {
+
+MigrationFrontend::MigrationFrontend(GuestKernel &kernel)
+    : kernel_(kernel)
+{
+}
+
+bool
+MigrationFrontend::migrateOne(Gpfn pfn, mem::MemType dst,
+                              MigrationOutcome &out)
+{
+    Page &p = kernel_.pageMeta(pfn);
+
+    if (!p.allocated) {
+        // Released since the candidate list was built: the guest-side
+        // check the VMM cannot do (Section 4.1, "page state").
+        ++out.skipped_unmapped;
+        return false;
+    }
+    if (p.under_io) {
+        ++out.skipped_under_io;
+        return false;
+    }
+    if (isMigrationException(p.type) || p.unevictable) {
+        ++out.skipped_pinned;
+        return false;
+    }
+    if (p.mem_type == dst)
+        return false; // already there; not an error, just nothing to do
+
+    NumaNode *target = kernel_.nodeFor(dst);
+    if (!target) {
+        ++out.skipped_no_memory;
+        return false;
+    }
+
+    switch (p.type) {
+      case PageType::Anon: {
+        if (p.owner_process == noProcess ||
+            !kernel_.hasProcess(p.owner_process)) {
+            ++out.skipped_unmapped;
+            return false;
+        }
+        AddressSpace &as = kernel_.process(p.owner_process);
+        auto mapped = as.translate(p.vaddr);
+        if (!mapped || *mapped != pfn) {
+            ++out.skipped_unmapped;
+            return false;
+        }
+        const Gpfn newp = kernel_.allocPageOnNode(target->id(), p.type);
+        if (newp == invalidGpfn) {
+            ++out.skipped_no_memory;
+            return false;
+        }
+        Page &d = kernel_.pageMeta(newp);
+        d.owner_process = p.owner_process;
+        d.vaddr = p.vaddr;
+        d.dirty = p.dirty;
+        d.pte_accessed = p.pte_accessed;
+        as.pageTable().remap(p.vaddr, newp);
+
+        if (p.lru != LruState::None)
+            kernel_.lruRemove(pfn);
+        // Promotions carry proven heat: land active. Demotions start
+        // inactive so they are first out again under pressure.
+        if (dst == mem::MemType::FastMem)
+            kernel_.lruAddActive(newp);
+        else
+            kernel_.lruAdd(newp);
+        p.dirty = false;
+        p.owner_process = noProcess;
+        kernel_.freePage(pfn);
+        return true;
+      }
+      case PageType::PageCache:
+      case PageType::BufferCache: {
+        PageCache &cache = kernel_.pageCache();
+        if (!cache.owns(pfn)) {
+            ++out.skipped_unmapped;
+            return false;
+        }
+        if (p.dirty && dst == mem::MemType::FastMem) {
+            // Dirty short-lived I/O pages: migrating them only adds
+            // overhead (Section 4.1); they are about to be written
+            // back and evicted anyway.
+            ++out.skipped_dirty_io;
+            return false;
+        }
+        if (p.dirty && dst != mem::MemType::FastMem) {
+            ++out.skipped_dirty_io;
+            return false;
+        }
+        const Gpfn newp = kernel_.allocPageOnNode(target->id(), p.type);
+        if (newp == invalidGpfn) {
+            ++out.skipped_no_memory;
+            return false;
+        }
+        cache.remapPage(pfn, newp);
+        if (p.lru != LruState::None)
+            kernel_.lruRemove(pfn);
+        if (dst == mem::MemType::FastMem)
+            kernel_.lruAddActive(newp);
+        else
+            kernel_.lruAdd(newp);
+        kernel_.freePage(pfn);
+        return true;
+      }
+      default:
+        ++out.skipped_pinned;
+        return false;
+    }
+}
+
+MigrationOutcome
+MigrationFrontend::migratePages(const std::vector<Gpfn> &pfns,
+                                mem::MemType dst)
+{
+    MigrationOutcome out;
+    out.attempted = pfns.size();
+    for (Gpfn pfn : pfns) {
+        if (migrateOne(pfn, dst, out))
+            ++out.migrated;
+    }
+    migrated_.inc(out.migrated);
+    skipped_.inc(out.attempted - out.migrated);
+
+    if (out.migrated > 0) {
+        // Guest-internal moves: copy + PTE remap + targeted
+        // shootdown, batched. Much cheaper than the VMM path
+        // (Table 6) because the guest validates and remaps its own
+        // mappings directly — the design point of Section 4.1.
+        sim::Duration cost = static_cast<sim::Duration>(
+            static_cast<double>(out.migrated) * 3000.0);
+        cost += kernel_.tlb().shootdownCost(out.migrated);
+        kernel_.charge(OverheadKind::Migration, cost);
+    }
+    return out;
+}
+
+} // namespace hos::guestos

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Guest-controlled page migration (Section 4.1).
+ *
+ * A fundamental HeteroOS design point: the VMM only *tracks* hotness;
+ * the migrations themselves run in the guest, because only the guest
+ * can check page state (still mapped? marked for deletion? dirty
+ * I/O?) and skip pages whose migration would pollute FastMem or waste
+ * work. Costs follow Table 6's batch-amortized per-page walk + copy
+ * model plus a TLB shootdown per batch.
+ */
+
+#ifndef HOS_GUESTOS_MIGRATION_FRONTEND_HH
+#define HOS_GUESTOS_MIGRATION_FRONTEND_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "guestos/page.hh"
+#include "mem/mem_spec.hh"
+#include "sim/stats.hh"
+
+namespace hos::guestos {
+
+class GuestKernel;
+
+/** Outcome counters for migration batches. */
+struct MigrationOutcome
+{
+    std::uint64_t attempted = 0;
+    std::uint64_t migrated = 0;
+    std::uint64_t skipped_unmapped = 0; ///< released/marked-for-deletion
+    std::uint64_t skipped_dirty_io = 0; ///< dirty short-lived I/O pages
+    std::uint64_t skipped_under_io = 0;
+    std::uint64_t skipped_pinned = 0;   ///< slab/pagetable/DMA
+    std::uint64_t skipped_no_memory = 0;
+};
+
+/** The guest's migration engine. */
+class MigrationFrontend
+{
+  public:
+    explicit MigrationFrontend(GuestKernel &kernel);
+
+    /**
+     * Migrate a batch of pages to the given memory type, validating
+     * page state first (the checks the VMM cannot do). Charges
+     * walk + copy + shootdown overhead for the pages actually moved.
+     */
+    MigrationOutcome migratePages(const std::vector<Gpfn> &pfns,
+                                  mem::MemType dst);
+
+    std::uint64_t totalMigrated() const { return migrated_.value(); }
+    std::uint64_t totalSkipped() const { return skipped_.value(); }
+
+  private:
+    /** Move one validated page; returns false when skipped. */
+    bool migrateOne(Gpfn pfn, mem::MemType dst, MigrationOutcome &out);
+
+    GuestKernel &kernel_;
+    sim::Counter migrated_;
+    sim::Counter skipped_;
+};
+
+} // namespace hos::guestos
+
+#endif // HOS_GUESTOS_MIGRATION_FRONTEND_HH

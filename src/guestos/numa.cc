@@ -1,0 +1,94 @@
+#include "guestos/numa.hh"
+
+#include "sim/log.hh"
+
+namespace hos::guestos {
+
+namespace {
+/** DMA zone size on conventional (SlowMem) nodes: 16 MiB. */
+constexpr std::uint64_t dmaZonePages = (16 * mem::mib) / mem::pageSize;
+} // namespace
+
+NumaNode::NumaNode(unsigned id, mem::MemType type, PageArray &pages,
+                   Gpfn base, std::uint64_t span_pages)
+    : id_(id), type_(type), base_(base), span_pages_(span_pages)
+{
+    hos_assert(span_pages > 0, "empty NUMA node");
+    if (type == mem::MemType::FastMem) {
+        // HeteroOS: one unified zone to conserve FastMem capacity.
+        zones_.push_back(std::make_unique<Zone>(pages, ZoneKind::Unified,
+                                                base, span_pages));
+    } else if (span_pages > 2 * dmaZonePages) {
+        zones_.push_back(std::make_unique<Zone>(pages, ZoneKind::Dma, base,
+                                                dmaZonePages));
+        zones_.push_back(std::make_unique<Zone>(pages, ZoneKind::Normal,
+                                                base + dmaZonePages,
+                                                span_pages - dmaZonePages));
+    } else {
+        zones_.push_back(std::make_unique<Zone>(pages, ZoneKind::Normal,
+                                                base, span_pages));
+    }
+}
+
+Zone &
+NumaNode::zoneOf(Gpfn pfn)
+{
+    for (auto &z : zones_) {
+        if (z->containsGpfn(pfn))
+            return *z;
+    }
+    sim::panic("gpfn %llu not in node %u",
+               static_cast<unsigned long long>(pfn), id_);
+}
+
+Zone &
+NumaNode::primaryZone()
+{
+    // The last zone is Unified (FastMem) or Normal (SlowMem).
+    return *zones_.back();
+}
+
+const Zone &
+NumaNode::primaryZone() const
+{
+    return *zones_.back();
+}
+
+std::uint64_t
+NumaNode::freePages() const
+{
+    std::uint64_t n = 0;
+    for (const auto &z : zones_)
+        n += z->freePages();
+    return n;
+}
+
+std::uint64_t
+NumaNode::managedPages() const
+{
+    std::uint64_t n = 0;
+    for (const auto &z : zones_)
+        n += z->managedPages();
+    return n;
+}
+
+Gpfn
+NumaNode::allocBlock(unsigned order)
+{
+    // Prefer the primary zone; fall back to DMA only under pressure
+    // (Linux's lowmem-protection behaviour, simplified).
+    for (auto it = zones_.rbegin(); it != zones_.rend(); ++it) {
+        const Gpfn pfn = (*it)->buddy().alloc(order);
+        if (pfn != invalidGpfn)
+            return pfn;
+    }
+    return invalidGpfn;
+}
+
+void
+NumaNode::freeBlock(Gpfn pfn, unsigned order)
+{
+    zoneOf(pfn).buddy().free(pfn, order);
+}
+
+} // namespace hos::guestos

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Guest page metadata (struct Page) and intrusive page lists.
+ *
+ * The guest OS keeps one Page descriptor per guest page frame (gpfn),
+ * like Linux's struct page / mem_map. Descriptors carry:
+ *
+ *  - the memory type (the paper's extra FASTMEM/SLOWMEM 1-bit flag),
+ *  - the page-use type (heap, I/O cache, slab, ...),
+ *  - LRU state (active/inactive, referenced),
+ *  - a reverse-map hint (owning process + virtual address) so the
+ *    migration front-end can validate and remap pages, and
+ *  - buddy-allocator state (order, in-buddy flag).
+ *
+ * PageList is an intrusive doubly-linked list over descriptors using
+ * index links, so LRU and free lists add no per-node allocations.
+ */
+
+#ifndef HOS_GUESTOS_PAGE_HH
+#define HOS_GUESTOS_PAGE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "guestos/page_types.hh"
+#include "mem/mem_spec.hh"
+#include "sim/log.hh"
+#include "sim/time.hh"
+
+namespace hos::guestos {
+
+/** Guest page frame number. */
+using Gpfn = std::uint64_t;
+constexpr Gpfn invalidGpfn = ~Gpfn(0);
+
+/** Identifies a guest process. */
+using ProcessId = std::uint32_t;
+constexpr ProcessId noProcess = ~ProcessId(0);
+
+/** Which LRU list a page sits on. */
+enum class LruState : std::uint8_t {
+    None = 0,
+    Inactive,
+    Active,
+};
+
+/** Per-page metadata, one per guest page frame. */
+struct Page
+{
+    // Identity (fixed at boot).
+    Gpfn pfn = invalidGpfn;
+    std::uint8_t numa_node = 0;
+    mem::MemType mem_type = mem::MemType::SlowMem;
+
+    // Allocation state.
+    PageType type = PageType::Free;
+    std::uint8_t buddy_order = 0;  ///< order of the buddy block headed here
+    bool in_buddy = false;         ///< heads a free buddy block
+    bool allocated = false;
+    bool populated = false;        ///< backed by a machine frame (P2M)
+
+    // LRU / reclaim state.
+    LruState lru = LruState::None;
+    bool referenced = false;   ///< software referenced bit (second chance)
+    bool dirty = false;
+    bool under_io = false;     ///< I/O in flight; not reclaimable
+    bool unevictable = false;
+
+    // Reverse map hint (single mapping; the workloads don't share pages).
+    ProcessId owner_process = noProcess;
+    std::uint64_t vaddr = 0;
+
+    // Hotness ground truth for trackers to harvest.
+    bool pte_accessed = false;     ///< hardware access bit in the PTE
+    std::uint16_t heat = 0;        ///< EWMA touch counter (tracker state)
+    sim::Tick last_touch = 0;
+
+    // Intrusive list links (indices into the PageArray; invalidGpfn = null).
+    Gpfn link_prev = invalidGpfn;
+    Gpfn link_next = invalidGpfn;
+    std::uint8_t on_list = 0;      ///< debug tag: which list owns the links
+};
+
+/** Identifier tags for list ownership (catch double-insertion bugs). */
+enum ListTag : std::uint8_t {
+    listNone = 0,
+    listBuddy,
+    listPerCpu,
+    listLruActive,
+    listLruInactive,
+    listIo,
+    listOther,
+};
+
+class PageArray;
+
+/**
+ * Intrusive doubly-linked list of Page descriptors.
+ *
+ * Handles live in the pages themselves; the list stores head/tail
+ * indices and a count. Pages can be removed from the middle in O(1),
+ * which LRU rotation and targeted eviction need.
+ */
+class PageList
+{
+  public:
+    PageList(PageArray &pages, ListTag tag) : pages_(&pages), tag_(tag) {}
+
+    bool empty() const { return count_ == 0; }
+    std::uint64_t size() const { return count_; }
+    Gpfn head() const { return head_; }
+    Gpfn tail() const { return tail_; }
+    ListTag tag() const { return tag_; }
+
+    /** Push to the front (most-recently-used end). */
+    void pushFront(Gpfn pfn);
+    /** Push to the back (least-recently-used end). */
+    void pushBack(Gpfn pfn);
+    /** Remove an arbitrary member. */
+    void remove(Gpfn pfn);
+    /** Pop from the front; invalidGpfn when empty. */
+    Gpfn popFront();
+    /** Pop from the back; invalidGpfn when empty. */
+    Gpfn popBack();
+    /** Move an existing member to the front. */
+    void moveToFront(Gpfn pfn);
+
+    /** True if the page is currently on this list. */
+    bool contains(Gpfn pfn) const;
+
+  private:
+    PageArray *pages_;
+    ListTag tag_;
+    Gpfn head_ = invalidGpfn;
+    Gpfn tail_ = invalidGpfn;
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * The guest's mem_map: one Page per gpfn, plus per-node gpfn ranges.
+ */
+class PageArray
+{
+  public:
+    explicit PageArray(std::uint64_t num_pages);
+
+    std::uint64_t size() const { return pages_.size(); }
+
+    Page &page(Gpfn pfn)
+    {
+        hos_assert(pfn < pages_.size(), "gpfn out of range");
+        return pages_[pfn];
+    }
+
+    const Page &page(Gpfn pfn) const
+    {
+        hos_assert(pfn < pages_.size(), "gpfn out of range");
+        return pages_[pfn];
+    }
+
+  private:
+    std::vector<Page> pages_;
+};
+
+} // namespace hos::guestos
+
+#endif // HOS_GUESTOS_PAGE_HH

@@ -1,0 +1,244 @@
+#include "guestos/page_cache.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace hos::guestos {
+
+PageCache::PageCache(PageArray &pages, PageCacheBacking &backing,
+                     BlockDevice &disk, unsigned readahead_pages)
+    : pages_(pages), backing_(backing), disk_(disk),
+      readahead_pages_(readahead_pages)
+{
+}
+
+FileId
+PageCache::createFile(std::uint64_t size_bytes)
+{
+    files_.push_back(FileMeta{size_bytes, ~std::uint64_t(0), {}});
+    return static_cast<FileId>(files_.size() - 1);
+}
+
+std::uint64_t
+PageCache::fileSize(FileId file) const
+{
+    hos_assert(file < files_.size(), "unknown file");
+    return files_[file].size;
+}
+
+void
+PageCache::populate(FileMeta &meta, FileId file, std::uint64_t first_page,
+                    std::uint64_t last_page, MemHint hint, IoResult &res,
+                    bool for_write)
+{
+    // Collect the missing page indexes, then fetch them as one run
+    // (the device model rewards sequential transfers).
+    std::vector<std::uint64_t> missing;
+    for (std::uint64_t idx = first_page; idx <= last_page; ++idx) {
+        auto it = meta.pages.find(idx);
+        if (it != meta.pages.end()) {
+            hits_.inc();
+            backing_.touchIoPage(it->second, for_write);
+            res.pages.push_back(it->second);
+        } else {
+            missing.push_back(idx);
+        }
+    }
+    res.pages_touched += last_page - first_page + 1;
+
+    if (missing.empty())
+        return;
+
+    std::vector<Gpfn> filled;
+    for (std::uint64_t idx : missing) {
+        const Gpfn pfn = backing_.allocIoPage(PageType::PageCache, hint);
+        if (pfn == invalidGpfn) {
+            // Out of memory for cache pages: serve the rest directly
+            // from disk without caching (uncommon; accounted as a
+            // miss each time).
+            misses_.inc();
+            res.pages_missed += 1;
+            if (!for_write)
+                res.disk_time += disk_.read(mem::pageSize, false);
+            continue;
+        }
+        meta.pages.emplace(idx, pfn);
+        reverse_.emplace(pfn, ReverseEntry{file, idx});
+        Page &p = pages_.page(pfn);
+        p.under_io = true;
+        filled.push_back(pfn);
+        res.pages.push_back(pfn);
+        misses_.inc();
+        res.pages_missed += 1;
+    }
+
+    if (!filled.empty()) {
+        if (!for_write) {
+            // One transfer for the whole run; runs of >= 8 pages are
+            // treated as sequential.
+            const bool seq = filled.size() >= 8;
+            res.disk_time +=
+                disk_.read(filled.size() * mem::pageSize, seq);
+        }
+        for (Gpfn pfn : filled) {
+            Page &p = pages_.page(pfn);
+            p.under_io = false;
+            if (for_write) {
+                if (!p.dirty) {
+                    p.dirty = true;
+                    ++dirty_count_;
+                    dirty_fifo_.push_back(pfn);
+                }
+            }
+        }
+        backing_.onIoComplete(filled,
+                              PageCacheBacking::IoKind::ReadFill);
+    }
+}
+
+IoResult
+PageCache::read(FileId file, std::uint64_t offset, std::uint64_t len,
+                MemHint hint)
+{
+    hos_assert(file < files_.size(), "unknown file");
+    hos_assert(len > 0, "zero-length read");
+    FileMeta &meta = files_[file];
+
+    const std::uint64_t first = offset / mem::pageSize;
+    std::uint64_t last = (offset + len - 1) / mem::pageSize;
+
+    // Sequential pattern => extend with read-ahead.
+    const bool sequential = offset == meta.last_read_end;
+    meta.last_read_end = offset + len;
+    if (sequential && meta.size > 0) {
+        const std::uint64_t eof_page = (meta.size - 1) / mem::pageSize;
+        last = std::min(last + readahead_pages_, eof_page);
+    }
+
+    IoResult res;
+    populate(meta, file, first, last, hint, res, false);
+    return res;
+}
+
+IoResult
+PageCache::write(FileId file, std::uint64_t offset, std::uint64_t len,
+                 MemHint hint)
+{
+    hos_assert(file < files_.size(), "unknown file");
+    hos_assert(len > 0, "zero-length write");
+    FileMeta &meta = files_[file];
+    meta.size = std::max(meta.size, offset + len);
+
+    const std::uint64_t first = offset / mem::pageSize;
+    const std::uint64_t last = (offset + len - 1) / mem::pageSize;
+
+    IoResult res;
+    populate(meta, file, first, last, hint, res, true);
+    // Dirty every page touched by the write (hits included).
+    for (Gpfn pfn : res.pages) {
+        Page &p = pages_.page(pfn);
+        if (!p.dirty) {
+            p.dirty = true;
+            ++dirty_count_;
+            dirty_fifo_.push_back(pfn);
+        }
+    }
+    return res;
+}
+
+Gpfn
+PageCache::mapPage(FileId file, std::uint64_t offset, MemHint hint,
+                   sim::Duration &io_time)
+{
+    hos_assert(file < files_.size(), "unknown file");
+    FileMeta &meta = files_[file];
+    const std::uint64_t idx = offset / mem::pageSize;
+
+    auto it = meta.pages.find(idx);
+    if (it != meta.pages.end()) {
+        hits_.inc();
+        backing_.touchIoPage(it->second, false);
+        return it->second;
+    }
+
+    IoResult res;
+    populate(meta, file, idx, idx, hint, res, false);
+    io_time += res.disk_time;
+    auto again = meta.pages.find(idx);
+    return again == meta.pages.end() ? invalidGpfn : again->second;
+}
+
+sim::Duration
+PageCache::writeback(std::uint64_t max_pages)
+{
+    std::vector<Gpfn> cleaned;
+    while (!dirty_fifo_.empty() && cleaned.size() < max_pages) {
+        const Gpfn pfn = dirty_fifo_.front();
+        dirty_fifo_.pop_front();
+        if (!owns(pfn))
+            continue; // evicted since queued
+        Page &p = pages_.page(pfn);
+        if (!p.dirty)
+            continue; // already cleaned
+        p.dirty = false;
+        hos_assert(dirty_count_ > 0, "dirty count underflow");
+        --dirty_count_;
+        cleaned.push_back(pfn);
+    }
+    if (cleaned.empty())
+        return 0;
+
+    const sim::Duration t =
+        disk_.write(cleaned.size() * mem::pageSize, cleaned.size() >= 8);
+    backing_.onIoComplete(cleaned, PageCacheBacking::IoKind::Writeback);
+    return t;
+}
+
+bool
+PageCache::evictPage(Gpfn pfn)
+{
+    auto it = reverse_.find(pfn);
+    hos_assert(it != reverse_.end(), "evicting a non-cache page");
+    Page &p = pages_.page(pfn);
+    if (p.dirty || p.under_io)
+        return false;
+
+    FileMeta &meta = files_[it->second.file];
+    meta.pages.erase(it->second.page_index);
+    reverse_.erase(it);
+    backing_.freeIoPage(pfn);
+    return true;
+}
+
+void
+PageCache::remapPage(Gpfn old_pfn, Gpfn new_pfn)
+{
+    auto it = reverse_.find(old_pfn);
+    hos_assert(it != reverse_.end(), "remapping a non-cache page");
+    const ReverseEntry entry = it->second;
+    reverse_.erase(it);
+
+    FileMeta &meta = files_[entry.file];
+    meta.pages[entry.page_index] = new_pfn;
+    reverse_.emplace(new_pfn, entry);
+
+    Page &oldp = pages_.page(old_pfn);
+    Page &newp = pages_.page(new_pfn);
+    newp.dirty = oldp.dirty;
+    newp.under_io = oldp.under_io;
+    if (oldp.dirty) {
+        // The dirty FIFO entry for the old frame is skipped lazily
+        // (owns() check in writeback); queue the new frame.
+        oldp.dirty = false;
+        dirty_fifo_.push_back(new_pfn);
+    }
+}
+
+bool
+PageCache::owns(Gpfn pfn) const
+{
+    return reverse_.count(pfn) > 0;
+}
+
+} // namespace hos::guestos

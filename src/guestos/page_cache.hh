@@ -1,0 +1,172 @@
+/**
+ * @file
+ * File page cache with read-ahead and write-back.
+ *
+ * I/O page-cache pages are first-class placement citizens in HeteroOS
+ * (Observation 3): storage-intensive applications allocate and release
+ * them at high rate, they are short-lived with high reuse, and placing
+ * them in FastMem hides disk latency. The cache maps (file, page
+ * offset) -> gpfn, reads ahead on sequential access, buffers dirty
+ * pages, and exposes the I/O-completion hook HeteroOS-LRU uses for
+ * eager FastMem eviction (Section 3.3, rule 2).
+ */
+
+#ifndef HOS_GUESTOS_PAGE_CACHE_HH
+#define HOS_GUESTOS_PAGE_CACHE_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "guestos/blockdev.hh"
+#include "guestos/page.hh"
+#include "guestos/vma.hh"
+#include "sim/stats.hh"
+
+namespace hos::guestos {
+
+/** Services the page cache needs from the kernel. */
+class PageCacheBacking
+{
+  public:
+    virtual ~PageCacheBacking() = default;
+
+    /** Allocate a cache page (PageCache or BufferCache type). */
+    virtual Gpfn allocIoPage(PageType type, MemHint hint) = 0;
+
+    /** Free a cache page evicted from the cache entirely. */
+    virtual void freeIoPage(Gpfn pfn) = 0;
+
+    /** LRU touch for a cache hit. */
+    virtual void touchIoPage(Gpfn pfn, bool write) = 0;
+
+    /** What kind of I/O just finished on a set of cache pages. */
+    enum class IoKind {
+        ReadFill,  ///< pages were filled from disk; use is imminent
+        Writeback, ///< dirty pages were cleaned; their job is done
+    };
+
+    /**
+     * An I/O involving these pages completed. HeteroOS-LRU eagerly
+     * demotes Writeback completions (the page's work is finished);
+     * ReadFill pages are about to be consumed and stay put.
+     */
+    virtual void onIoComplete(const std::vector<Gpfn> &pages,
+                              IoKind kind) = 0;
+};
+
+/** Result of a cached read or write. */
+struct IoResult
+{
+    sim::Duration disk_time = 0;     ///< time spent on the device
+    std::uint64_t pages_touched = 0; ///< cache pages involved
+    std::uint64_t pages_missed = 0;  ///< pages that went to disk
+    std::vector<Gpfn> pages;         ///< the touched cache pages
+};
+
+/** The guest's file page cache. */
+class PageCache
+{
+  public:
+    /**
+     * @param pages    the guest page array (dirty/IO flags)
+     * @param backing  kernel services
+     * @param disk     the backing block device
+     * @param readahead_pages window fetched ahead on sequential reads
+     */
+    PageCache(PageArray &pages, PageCacheBacking &backing,
+              BlockDevice &disk, unsigned readahead_pages = 32);
+
+    /** Register a simulated file; returns its id. */
+    FileId createFile(std::uint64_t size_bytes);
+
+    std::uint64_t fileSize(FileId file) const;
+
+    /**
+     * Buffered read of [offset, offset+len). Misses go to disk
+     * (sequential when the range follows the previous read).
+     * Read-ahead extends the fetched window.
+     */
+    IoResult read(FileId file, std::uint64_t offset, std::uint64_t len,
+                  MemHint hint = MemHint::None);
+
+    /**
+     * Buffered write: dirties cache pages; data reaches disk via
+     * writeback(). Extends the file if needed.
+     */
+    IoResult write(FileId file, std::uint64_t offset, std::uint64_t len,
+                   MemHint hint = MemHint::None);
+
+    /**
+     * The page backing (file, byte offset) for mmap'd files;
+     * allocates + reads it on a miss. Returns the gpfn and adds any
+     * disk time to `io_time`.
+     */
+    Gpfn mapPage(FileId file, std::uint64_t offset, MemHint hint,
+                 sim::Duration &io_time);
+
+    /**
+     * Write back up to `max_pages` dirty pages (oldest first).
+     * @return time charged to the flusher.
+     */
+    sim::Duration writeback(std::uint64_t max_pages);
+
+    /**
+     * Drop a specific clean page from the cache (reclaim path).
+     * Returns false if the page is dirty or under I/O (caller should
+     * write back first).
+     */
+    bool evictPage(Gpfn pfn);
+
+    /**
+     * Replace the frame backing a cached page (tier demotion or
+     * promotion while staying cached). The caller owns data-copy cost
+     * accounting and freeing the old page. Dirty/IO state transfers.
+     */
+    void remapPage(Gpfn old_pfn, Gpfn new_pfn);
+
+    /** Is this gpfn a page-cache page? */
+    bool owns(Gpfn pfn) const;
+
+    std::uint64_t cachedPages() const { return reverse_.size(); }
+    std::uint64_t dirtyPages() const { return dirty_count_; }
+
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+
+  private:
+    struct FileMeta
+    {
+        std::uint64_t size = 0;
+        /** sequential-pattern detector; ~0 = no read yet */
+        std::uint64_t last_read_end = ~std::uint64_t(0);
+        std::unordered_map<std::uint64_t, Gpfn> pages; ///< page idx -> gpfn
+    };
+
+    struct ReverseEntry
+    {
+        FileId file;
+        std::uint64_t page_index;
+    };
+
+    /** Ensure pages [first, last] of file are cached; report misses. */
+    void populate(FileMeta &meta, FileId file, std::uint64_t first_page,
+                  std::uint64_t last_page, MemHint hint, IoResult &res,
+                  bool for_write);
+
+    PageArray &pages_;
+    PageCacheBacking &backing_;
+    BlockDevice &disk_;
+    unsigned readahead_pages_;
+    std::vector<FileMeta> files_;
+    std::unordered_map<Gpfn, ReverseEntry> reverse_;
+    std::deque<Gpfn> dirty_fifo_;
+    std::uint64_t dirty_count_ = 0;
+    sim::Counter hits_;
+    sim::Counter misses_;
+};
+
+} // namespace hos::guestos
+
+#endif // HOS_GUESTOS_PAGE_CACHE_HH

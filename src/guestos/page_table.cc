@@ -1,0 +1,233 @@
+#include "guestos/page_table.hh"
+
+#include <algorithm>
+
+namespace hos::guestos {
+
+namespace {
+
+// Leaf-slot layout.
+constexpr std::uint64_t bitPresent = 1ull << 0;
+constexpr std::uint64_t bitRw = 1ull << 1;
+constexpr std::uint64_t bitAccessed = 1ull << 2;
+constexpr std::uint64_t bitDirty = 1ull << 3;
+constexpr std::uint64_t pfnShift = 12;
+
+// Intermediate slots store the child Node pointer (8-byte aligned, so
+// the low three bits are free) plus the present bit.
+constexpr std::uint64_t ptrMask = ~std::uint64_t(0x7);
+
+std::uint64_t
+makeLeaf(Gpfn pfn, bool writable)
+{
+    return (pfn << pfnShift) | bitPresent | (writable ? bitRw : 0);
+}
+
+PteView
+decodeLeaf(std::uint64_t slot)
+{
+    PteView v;
+    v.pfn = slot >> pfnShift;
+    v.writable = slot & bitRw;
+    v.accessed = slot & bitAccessed;
+    v.dirty = slot & bitDirty;
+    return v;
+}
+
+} // namespace
+
+PageTable::PageTable(TableAccounting accounting)
+    : accounting_(std::move(accounting)), root_(std::make_unique<Node>())
+{
+    node_count_ = 1;
+    if (accounting_)
+        accounting_(1);
+}
+
+PageTable::~PageTable()
+{
+    // Nodes are freed by unique_ptr recursion below (children are
+    // owned raw pointers inside slots, released here).
+    std::function<void(Node *, unsigned)> destroy =
+        [&](Node *n, unsigned level) {
+            if (level == 0)
+                return;
+            for (auto slot : n->slots) {
+                if (slot & bitPresent) {
+                    Node *child =
+                        reinterpret_cast<Node *>(slot & ptrMask);
+                    destroy(child, level - 1);
+                    delete child;
+                }
+            }
+        };
+    destroy(root_.get(), levels - 1);
+    if (accounting_)
+        accounting_(-static_cast<std::int64_t>(node_count_));
+}
+
+unsigned
+PageTable::levelIndex(std::uint64_t vaddr, unsigned level)
+{
+    return static_cast<unsigned>(
+        (vaddr >> (mem::pageShift + bitsPerLevel * level)) &
+        (entriesPerNode - 1));
+}
+
+PageTable::Node *
+PageTable::childOf(const Node &n, unsigned idx) const
+{
+    const std::uint64_t slot = n.slots[idx];
+    if (!(slot & bitPresent))
+        return nullptr;
+    return reinterpret_cast<Node *>(slot & ptrMask);
+}
+
+PageTable::Node *
+PageTable::ensureChild(Node &n, unsigned idx)
+{
+    if (Node *c = childOf(n, idx))
+        return c;
+    Node *c = new Node();
+    n.slots[idx] =
+        (reinterpret_cast<std::uint64_t>(c) & ptrMask) | bitPresent;
+    ++n.used;
+    ++node_count_;
+    if (accounting_)
+        accounting_(1);
+    return c;
+}
+
+std::uint64_t *
+PageTable::leafSlot(std::uint64_t vaddr) const
+{
+    Node *n = root_.get();
+    for (unsigned level = levels - 1; level > 0; --level) {
+        n = childOf(*n, levelIndex(vaddr, level));
+        if (!n)
+            return nullptr;
+    }
+    return &n->slots[levelIndex(vaddr, 0)];
+}
+
+void
+PageTable::map(std::uint64_t vaddr, Gpfn pfn, bool writable)
+{
+    hos_assert(vaddr < vaSpan, "vaddr outside table span");
+    Node *n = root_.get();
+    for (unsigned level = levels - 1; level > 0; --level)
+        n = ensureChild(*n, levelIndex(vaddr, level));
+    std::uint64_t &slot = n->slots[levelIndex(vaddr, 0)];
+    hos_assert(!(slot & bitPresent), "overmapping vaddr");
+    slot = makeLeaf(pfn, writable);
+    ++n->used;
+    ++mapped_;
+}
+
+std::optional<Gpfn>
+PageTable::unmap(std::uint64_t vaddr)
+{
+    std::uint64_t *slot = leafSlot(vaddr);
+    if (!slot || !(*slot & bitPresent))
+        return std::nullopt;
+    const Gpfn pfn = *slot >> pfnShift;
+    *slot = 0;
+    hos_assert(mapped_ > 0, "unmap accounting underflow");
+    --mapped_;
+    return pfn;
+}
+
+std::optional<PteView>
+PageTable::lookup(std::uint64_t vaddr) const
+{
+    const std::uint64_t *slot = leafSlot(vaddr);
+    if (!slot || !(*slot & bitPresent))
+        return std::nullopt;
+    return decodeLeaf(*slot);
+}
+
+bool
+PageTable::isMapped(std::uint64_t vaddr) const
+{
+    const std::uint64_t *slot = leafSlot(vaddr);
+    return slot && (*slot & bitPresent);
+}
+
+bool
+PageTable::touch(std::uint64_t vaddr, bool write)
+{
+    std::uint64_t *slot = leafSlot(vaddr);
+    if (!slot || !(*slot & bitPresent))
+        return false;
+    *slot |= bitAccessed;
+    if (write)
+        *slot |= bitDirty;
+    return true;
+}
+
+bool
+PageTable::remap(std::uint64_t vaddr, Gpfn new_pfn)
+{
+    std::uint64_t *slot = leafSlot(vaddr);
+    if (!slot || !(*slot & bitPresent))
+        return false;
+    const std::uint64_t flags = *slot & (bitPresent | bitRw);
+    // Remap drops accessed/dirty: the migration path copies data and
+    // the hardware re-marks on next touch.
+    *slot = (new_pfn << pfnShift) | flags;
+    return true;
+}
+
+std::uint64_t
+PageTable::scanNode(
+    Node &node, unsigned level, std::uint64_t va_base, std::uint64_t va_lo,
+    std::uint64_t va_hi,
+    const std::function<void(std::uint64_t, const PteView &)> &visit,
+    bool clear_accessed, std::uint64_t max_visits)
+{
+    const std::uint64_t slot_span =
+        1ull << (mem::pageShift + bitsPerLevel * level);
+    std::uint64_t visited = 0;
+
+    unsigned first = 0;
+    if (va_lo > va_base)
+        first = static_cast<unsigned>((va_lo - va_base) / slot_span);
+
+    for (unsigned i = first; i < entriesPerNode; ++i) {
+        if (visited >= max_visits)
+            break;
+        const std::uint64_t slot_va = va_base + slot_span * i;
+        if (slot_va >= va_hi)
+            break;
+        std::uint64_t &slot = node.slots[i];
+        if (!(slot & bitPresent))
+            continue;
+        if (level == 0) {
+            ++visited;
+            visit(slot_va, decodeLeaf(slot));
+            if (clear_accessed)
+                slot &= ~bitAccessed;
+        } else {
+            Node *child = reinterpret_cast<Node *>(slot & ptrMask);
+            visited += scanNode(*child, level - 1, slot_va, va_lo, va_hi,
+                                visit, clear_accessed,
+                                max_visits - visited);
+        }
+    }
+    return visited;
+}
+
+std::uint64_t
+PageTable::scanRange(
+    std::uint64_t va_lo, std::uint64_t va_hi,
+    const std::function<void(std::uint64_t, const PteView &)> &visit,
+    bool clear_accessed, std::uint64_t max_visits)
+{
+    if (va_lo >= va_hi || max_visits == 0)
+        return 0;
+    va_hi = std::min(va_hi, vaSpan);
+    return scanNode(*root_, levels - 1, 0, va_lo, va_hi, visit,
+                    clear_accessed, max_visits);
+}
+
+} // namespace hos::guestos

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Four-level page table (x86-64 style).
+ *
+ * Real tables matter here: the VMM's hotness tracker harvests PTE
+ * accessed bits by scanning these structures (Section 2.3), the
+ * migration path remaps live PTEs, and page-table pages themselves
+ * are a tracked page type (Figure 4). Entries are packed 64-bit words
+ * holding a frame/child number plus present/rw/accessed/dirty bits.
+ */
+
+#ifndef HOS_GUESTOS_PAGE_TABLE_HH
+#define HOS_GUESTOS_PAGE_TABLE_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "guestos/page.hh"
+
+namespace hos::guestos {
+
+/** Decoded view of a leaf PTE. */
+struct PteView
+{
+    Gpfn pfn = invalidGpfn;
+    bool writable = false;
+    bool accessed = false;
+    bool dirty = false;
+};
+
+/**
+ * A 4-level, 9-bits-per-level page table covering a 48-bit virtual
+ * address space with 4 KiB leaves.
+ */
+class PageTable
+{
+  public:
+    static constexpr unsigned levels = 4;
+    static constexpr unsigned bitsPerLevel = 9;
+    static constexpr unsigned entriesPerNode = 1u << bitsPerLevel;
+    static constexpr std::uint64_t vaSpan =
+        1ull << (levels * bitsPerLevel + mem::pageShift);
+
+    /**
+     * Called when a table node is allocated (+1) or the table is
+     * destroyed (-count) so the kernel can account PageTable pages.
+     */
+    using TableAccounting = std::function<void(std::int64_t delta)>;
+
+    explicit PageTable(TableAccounting accounting = {});
+    ~PageTable();
+
+    PageTable(const PageTable &) = delete;
+    PageTable &operator=(const PageTable &) = delete;
+
+    /** Map vaddr -> pfn. Panics if already mapped (no overmap). */
+    void map(std::uint64_t vaddr, Gpfn pfn, bool writable);
+
+    /** Unmap; returns the pfn that was mapped, or nullopt. */
+    std::optional<Gpfn> unmap(std::uint64_t vaddr);
+
+    /** Look up a leaf translation. */
+    std::optional<PteView> lookup(std::uint64_t vaddr) const;
+
+    /** True if a leaf mapping exists. */
+    bool isMapped(std::uint64_t vaddr) const;
+
+    /**
+     * Simulate a hardware access: set the accessed (and optionally
+     * dirty) bit. Returns false if unmapped (page fault).
+     */
+    bool touch(std::uint64_t vaddr, bool write);
+
+    /** Change the frame a vaddr points to (migration remap). */
+    bool remap(std::uint64_t vaddr, Gpfn new_pfn);
+
+    /**
+     * Scan leaf PTEs in [va_lo, va_hi), invoking
+     * visit(vaddr, PteView) for each present entry, stopping after
+     * `max_visits` entries. When `clear_accessed` is set, accessed
+     * bits are reset after being reported — exactly what software
+     * hotness tracking does, which is why the caller must also charge
+     * a TLB flush.
+     *
+     * @return number of PTE slots visited (present entries), used for
+     *         scan cost accounting and scan-cursor resumption.
+     */
+    std::uint64_t scanRange(
+        std::uint64_t va_lo, std::uint64_t va_hi,
+        const std::function<void(std::uint64_t, const PteView &)> &visit,
+        bool clear_accessed,
+        std::uint64_t max_visits = ~std::uint64_t(0));
+
+    /** Present leaf mappings. */
+    std::uint64_t mappedPages() const { return mapped_; }
+
+    /** Table nodes allocated (each is one PageTable-type page). */
+    std::uint64_t tableNodes() const { return node_count_; }
+
+  private:
+    struct Node
+    {
+        std::array<std::uint64_t, entriesPerNode> slots{};
+        std::uint16_t used = 0;
+    };
+
+    static unsigned levelIndex(std::uint64_t vaddr, unsigned level);
+    Node *childOf(const Node &n, unsigned idx) const;
+    Node *ensureChild(Node &n, unsigned idx);
+    std::uint64_t *leafSlot(std::uint64_t vaddr) const;
+
+    std::uint64_t scanNode(Node &node, unsigned level,
+                           std::uint64_t va_base, std::uint64_t va_lo,
+                           std::uint64_t va_hi,
+                           const std::function<void(std::uint64_t,
+                                                    const PteView &)> &visit,
+                           bool clear_accessed, std::uint64_t max_visits);
+
+    TableAccounting accounting_;
+    std::unique_ptr<Node> root_;
+    std::uint64_t mapped_ = 0;
+    std::uint64_t node_count_ = 0;
+};
+
+} // namespace hos::guestos
+
+#endif // HOS_GUESTOS_PAGE_TABLE_HH

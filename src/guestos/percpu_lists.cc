@@ -1,0 +1,121 @@
+#include "guestos/percpu_lists.hh"
+
+namespace hos::guestos {
+
+PerCpuPageLists::PerCpuPageLists(PageArray &pages, unsigned cpus,
+                                 unsigned nodes, unsigned batch,
+                                 unsigned high)
+    : pages_(pages), cpus_(cpus), nodes_(nodes), batch_(batch), high_(high)
+{
+    hos_assert(cpus > 0 && nodes > 0, "need cpus and nodes");
+    lists_.reserve(static_cast<std::size_t>(cpus) * nodes);
+    for (unsigned i = 0; i < cpus * nodes; ++i)
+        lists_.emplace_back(pages_, listPerCpu);
+}
+
+PageList &
+PerCpuPageLists::listFor(unsigned cpu, unsigned node)
+{
+    hos_assert(cpu < cpus_ && node < nodes_, "bad cpu/node");
+    return lists_[static_cast<std::size_t>(cpu) * nodes_ + node];
+}
+
+const PageList &
+PerCpuPageLists::listFor(unsigned cpu, unsigned node) const
+{
+    hos_assert(cpu < cpus_ && node < nodes_, "bad cpu/node");
+    return lists_[static_cast<std::size_t>(cpu) * nodes_ + node];
+}
+
+Gpfn
+PerCpuPageLists::alloc(unsigned cpu, NumaNode &node)
+{
+    PageList &list = listFor(cpu, node.id());
+    if (!list.empty()) {
+        hits_.inc();
+        const Gpfn pfn = list.popFront();
+        pages_.page(pfn).allocated = true;
+        return pfn;
+    }
+    // Refill a batch from the buddy; hand out the first page.
+    refills_.inc();
+    const Gpfn first = node.allocBlock(0);
+    if (first == invalidGpfn)
+        return invalidGpfn;
+    for (unsigned i = 1; i < batch_; ++i) {
+        const Gpfn pfn = node.allocBlock(0);
+        if (pfn == invalidGpfn)
+            break;
+        Page &p = pages_.page(pfn);
+        p.allocated = false; // parked in the per-CPU cache
+        list.pushBack(pfn);
+    }
+    return first;
+}
+
+void
+PerCpuPageLists::free(unsigned cpu, NumaNode &node, Gpfn pfn)
+{
+    PageList &list = listFor(cpu, node.id());
+    Page &p = pages_.page(pfn);
+    hos_assert(p.allocated, "per-cpu free of non-allocated page");
+    // Reset as the buddy would; the page stays out of the buddy while
+    // cached here.
+    p.allocated = false;
+    p.type = PageType::Free;
+    p.dirty = false;
+    p.referenced = false;
+    p.pte_accessed = false;
+    p.heat = 0; // a recycled frame is not the hot page it backed
+    p.owner_process = noProcess;
+    list.pushFront(pfn);
+
+    if (list.size() > high_) {
+        // Drain half back to the buddy (from the cold end).
+        const std::uint64_t target = high_ / 2;
+        while (list.size() > target) {
+            const Gpfn cold = list.popBack();
+            pages_.page(cold).allocated = true; // satisfy buddy sanity
+            node.freeBlock(cold, 0);
+        }
+    }
+}
+
+void
+PerCpuPageLists::drainNode(NumaNode &node)
+{
+    for (unsigned cpu = 0; cpu < cpus_; ++cpu) {
+        PageList &list = listFor(cpu, node.id());
+        while (!list.empty()) {
+            const Gpfn pfn = list.popBack();
+            pages_.page(pfn).allocated = true;
+            node.freeBlock(pfn, 0);
+        }
+    }
+}
+
+std::uint64_t
+PerCpuPageLists::cached(unsigned cpu, unsigned node) const
+{
+    return listFor(cpu, node).size();
+}
+
+std::uint64_t
+PerCpuPageLists::cachedOnNode(unsigned node) const
+{
+    std::uint64_t n = 0;
+    for (unsigned cpu = 0; cpu < cpus_; ++cpu)
+        n += listFor(cpu, node).size();
+    return n;
+}
+
+std::uint64_t
+PerCpuPageLists::totalCached() const
+{
+    std::uint64_t n = 0;
+    for (const auto &l : lists_)
+        n += l.size();
+    return n;
+}
+
+} // namespace hos::guestos

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Per-CPU free page lists, multi-dimensional by memory type.
+ *
+ * Linux keeps a per-CPU list of order-0 pages so hot allocations skip
+ * the buddy allocator. Those lists assume a single memory type;
+ * HeteroOS redesigns them as arrays of lists indexed by (cpu, node)
+ * so that a FastMem allocation never has to drain a SlowMem cache or
+ * vice versa (Section 3.1, "Extending page allocators and per-CPU
+ * free list"). bench_ablation_percpu measures the fast-path win.
+ */
+
+#ifndef HOS_GUESTOS_PERCPU_LISTS_HH
+#define HOS_GUESTOS_PERCPU_LISTS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "guestos/numa.hh"
+#include "guestos/page.hh"
+#include "sim/stats.hh"
+
+namespace hos::guestos {
+
+/** Per-(cpu, node) caches of order-0 pages. */
+class PerCpuPageLists
+{
+  public:
+    /**
+     * @param batch pages pulled from the buddy per refill
+     * @param high  watermark above which frees drain back to the buddy
+     */
+    PerCpuPageLists(PageArray &pages, unsigned cpus, unsigned nodes,
+                    unsigned batch = 32, unsigned high = 96);
+
+    unsigned cpus() const { return cpus_; }
+    unsigned nodes() const { return nodes_; }
+
+    /**
+     * Fast-path allocation from cpu's cache for `node`; refills one
+     * batch from the node's buddy when empty. invalidGpfn when the
+     * buddy is also empty.
+     */
+    Gpfn alloc(unsigned cpu, NumaNode &node);
+
+    /**
+     * Fast-path free into cpu's cache; drains half the cache back to
+     * the buddy above the high watermark.
+     */
+    void free(unsigned cpu, NumaNode &node, Gpfn pfn);
+
+    /** Return every cached page of `node` to its buddy. */
+    void drainNode(NumaNode &node);
+
+    std::uint64_t cached(unsigned cpu, unsigned node) const;
+    std::uint64_t totalCached() const;
+
+    /** Pages cached for one node across all CPUs. */
+    std::uint64_t cachedOnNode(unsigned node) const;
+
+    std::uint64_t fastPathHits() const { return hits_.value(); }
+    std::uint64_t refills() const { return refills_.value(); }
+
+  private:
+    PageList &listFor(unsigned cpu, unsigned node);
+    const PageList &listFor(unsigned cpu, unsigned node) const;
+
+    PageArray &pages_;
+    unsigned cpus_;
+    unsigned nodes_;
+    unsigned batch_;
+    unsigned high_;
+    std::vector<PageList> lists_;
+    sim::Counter hits_;
+    sim::Counter refills_;
+};
+
+} // namespace hos::guestos
+
+#endif // HOS_GUESTOS_PERCPU_LISTS_HH

@@ -1,0 +1,144 @@
+#include "guestos/slab.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace hos::guestos {
+
+SlabAllocator::SlabAllocator(SlabBacking &backing) : backing_(backing) {}
+
+SlabCacheId
+SlabAllocator::createCache(std::string name, std::uint32_t object_size,
+                           PageType page_type)
+{
+    hos_assert(object_size > 0 && object_size <= mem::pageSize,
+               "slab objects must fit a page");
+    Cache c;
+    c.name = std::move(name);
+    c.object_size = object_size;
+    c.objs_per_page =
+        static_cast<std::uint32_t>(mem::pageSize / object_size);
+    c.page_type = page_type;
+    caches_.push_back(std::move(c));
+    return static_cast<SlabCacheId>(caches_.size() - 1);
+}
+
+SlabAllocator::Cache &
+SlabAllocator::cacheRef(SlabCacheId id)
+{
+    hos_assert(id < caches_.size(), "unknown slab cache");
+    return caches_[id];
+}
+
+const SlabAllocator::Cache &
+SlabAllocator::cacheRef(SlabCacheId id) const
+{
+    hos_assert(id < caches_.size(), "unknown slab cache");
+    return caches_[id];
+}
+
+SlabObject
+SlabAllocator::alloc(SlabCacheId cache, MemHint hint)
+{
+    Cache &c = cacheRef(cache);
+
+    while (!c.partial.empty()) {
+        const Gpfn pfn = c.partial.back();
+        SlabPage &sp = page_meta_.at(pfn);
+        if (sp.free_slots.empty()) {
+            c.partial.pop_back(); // page filled up earlier
+            continue;
+        }
+        const std::uint32_t slot = sp.free_slots.back();
+        sp.free_slots.pop_back();
+        ++sp.used;
+        ++c.objects;
+        if (sp.free_slots.empty())
+            c.partial.pop_back();
+        backing_.touchSlabPage(pfn);
+        return SlabObject{pfn, slot};
+    }
+
+    // Grow the cache by one slab page.
+    const Gpfn pfn = backing_.allocSlabPage(c.page_type, hint);
+    if (pfn == invalidGpfn)
+        return SlabObject{};
+    SlabPage sp;
+    sp.cache = cache;
+    sp.free_slots.reserve(c.objs_per_page);
+    for (std::uint32_t s = c.objs_per_page; s-- > 1;)
+        sp.free_slots.push_back(s);
+    sp.used = 1;
+    page_meta_.emplace(pfn, std::move(sp));
+    ++c.pages;
+    ++c.objects;
+    if (c.objs_per_page > 1)
+        c.partial.push_back(pfn);
+    return SlabObject{pfn, 0};
+}
+
+void
+SlabAllocator::free(SlabCacheId cache, SlabObject obj)
+{
+    hos_assert(obj.valid(), "freeing invalid slab object");
+    Cache &c = cacheRef(cache);
+    auto it = page_meta_.find(obj.pfn);
+    hos_assert(it != page_meta_.end(), "freeing into unknown slab page");
+    SlabPage &sp = it->second;
+    hos_assert(sp.cache == cache, "object freed into the wrong cache");
+    hos_assert(sp.used > 0, "slab page accounting underflow");
+
+    --sp.used;
+    --c.objects;
+    if (sp.used == 0) {
+        // Page fully free: return it to the kernel. Remove it from
+        // the partial list lazily (alloc() skips stale entries via
+        // the page_meta_ lookup), but we must drop the metadata now.
+        page_meta_.erase(it);
+        std::erase(c.partial, obj.pfn);
+        --c.pages;
+        backing_.freeSlabPage(obj.pfn);
+        return;
+    }
+
+    const bool was_full = sp.free_slots.empty();
+    sp.free_slots.push_back(obj.slot);
+    if (was_full)
+        c.partial.push_back(obj.pfn);
+}
+
+std::uint32_t
+SlabAllocator::objectsPerPage(SlabCacheId cache) const
+{
+    return cacheRef(cache).objs_per_page;
+}
+
+std::uint64_t
+SlabAllocator::objectsInUse(SlabCacheId cache) const
+{
+    return cacheRef(cache).objects;
+}
+
+std::uint64_t
+SlabAllocator::pagesInUse(SlabCacheId cache) const
+{
+    return cacheRef(cache).pages;
+}
+
+std::uint64_t
+SlabAllocator::totalPagesInUse() const
+{
+    std::uint64_t n = 0;
+    for (const auto &c : caches_)
+        n += c.pages;
+    return n;
+}
+
+const std::string &
+SlabAllocator::cacheName(SlabCacheId cache) const
+{
+    return cacheRef(cache).name;
+}
+
+} // namespace hos::guestos

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Kernel slab allocator (kmem caches).
+ *
+ * Network-intensive applications hammer the slab for skbuff data, and
+ * storage-intensive ones for filesystem metadata (dentries/inodes) —
+ * the paper's Figure 4 shows slab pages are a large share of Redis's
+ * footprint, and prioritizing them to FastMem is one of HeteroOS's
+ * placement wins (Heap-IO-Slab-OD). Object handles are (page, slot);
+ * pages are pulled from the kernel allocator with PageType::Slab or
+ * PageType::NetBuf so placement policy sees the distinction.
+ */
+
+#ifndef HOS_GUESTOS_SLAB_HH
+#define HOS_GUESTOS_SLAB_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "guestos/page.hh"
+#include "guestos/vma.hh"
+#include "sim/stats.hh"
+
+namespace hos::guestos {
+
+/** Services the slab allocator needs from the kernel. */
+class SlabBacking
+{
+  public:
+    virtual ~SlabBacking() = default;
+
+    virtual Gpfn allocSlabPage(PageType type, MemHint hint) = 0;
+    virtual void freeSlabPage(Gpfn pfn) = 0;
+    /** LRU touch when objects on the page are used. */
+    virtual void touchSlabPage(Gpfn pfn) = 0;
+};
+
+/** Identifies a kmem cache. */
+using SlabCacheId = std::uint32_t;
+
+/** Handle to an allocated object. */
+struct SlabObject
+{
+    Gpfn pfn = invalidGpfn;
+    std::uint32_t slot = 0;
+
+    bool valid() const { return pfn != invalidGpfn; }
+};
+
+/** The guest's slab allocator. */
+class SlabAllocator
+{
+  public:
+    explicit SlabAllocator(SlabBacking &backing);
+
+    /**
+     * Create a kmem cache.
+     * @param page_type Slab for metadata caches, NetBuf for skbuff
+     */
+    SlabCacheId createCache(std::string name, std::uint32_t object_size,
+                            PageType page_type = PageType::Slab);
+
+    /** Allocate one object; invalid handle when out of memory. */
+    SlabObject alloc(SlabCacheId cache, MemHint hint = MemHint::None);
+
+    /** Free an object; empty slab pages return to the kernel. */
+    void free(SlabCacheId cache, SlabObject obj);
+
+    /** Objects per page for a cache. */
+    std::uint32_t objectsPerPage(SlabCacheId cache) const;
+
+    std::uint64_t objectsInUse(SlabCacheId cache) const;
+    std::uint64_t pagesInUse(SlabCacheId cache) const;
+    std::uint64_t totalPagesInUse() const;
+
+    const std::string &cacheName(SlabCacheId cache) const;
+
+  private:
+    struct SlabPage
+    {
+        SlabCacheId cache;
+        std::uint32_t used = 0;
+        std::vector<std::uint32_t> free_slots;
+    };
+
+    struct Cache
+    {
+        std::string name;
+        std::uint32_t object_size;
+        std::uint32_t objs_per_page;
+        PageType page_type;
+        std::vector<Gpfn> partial; ///< pages with free slots
+        std::uint64_t objects = 0;
+        std::uint64_t pages = 0;
+    };
+
+    Cache &cacheRef(SlabCacheId id);
+    const Cache &cacheRef(SlabCacheId id) const;
+
+    SlabBacking &backing_;
+    std::vector<Cache> caches_;
+    std::unordered_map<Gpfn, SlabPage> page_meta_;
+};
+
+} // namespace hos::guestos
+
+#endif // HOS_GUESTOS_SLAB_HH

@@ -1,0 +1,31 @@
+#include "guestos/swap.hh"
+
+#include "mem/mem_spec.hh"
+#include "sim/log.hh"
+
+namespace hos::guestos {
+
+SwapDevice::SwapDevice(BlockDevice &disk, std::uint64_t capacity_pages)
+    : disk_(disk), capacity_pages_(capacity_pages)
+{
+}
+
+sim::Duration
+SwapDevice::swapOut(std::uint64_t n)
+{
+    hos_assert(used_pages_ + n <= capacity_pages_, "swap space exhausted");
+    used_pages_ += n;
+    swapped_out_.inc(n);
+    return disk_.write(n * mem::pageSize, n >= 8);
+}
+
+sim::Duration
+SwapDevice::swapIn(std::uint64_t n)
+{
+    hos_assert(used_pages_ >= n, "swapping in more than was swapped out");
+    used_pages_ -= n;
+    swapped_in_.inc(n);
+    return disk_.read(n * mem::pageSize, false);
+}
+
+} // namespace hos::guestos

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Swap device.
+ *
+ * The last resort of the balloon driver: when a guest must give pages
+ * back to the VMM and HeteroOS-LRU finds no clean inactive pages,
+ * anonymous pages are swapped to disk (Section 4.2, "balloon drivers
+ * first use HeteroOS-LRU to find inactive pages, and if not, swap
+ * pages to the disk").
+ */
+
+#ifndef HOS_GUESTOS_SWAP_HH
+#define HOS_GUESTOS_SWAP_HH
+
+#include <cstdint>
+
+#include "guestos/blockdev.hh"
+#include "sim/stats.hh"
+#include "sim/time.hh"
+
+namespace hos::guestos {
+
+/** Swap space on a block device. */
+class SwapDevice
+{
+  public:
+    SwapDevice(BlockDevice &disk, std::uint64_t capacity_pages);
+
+    std::uint64_t capacityPages() const { return capacity_pages_; }
+    std::uint64_t usedPages() const { return used_pages_; }
+    std::uint64_t freePages() const
+    {
+        return capacity_pages_ - used_pages_;
+    }
+
+    /** Swap out `n` pages; returns the I/O time. Panics if full. */
+    sim::Duration swapOut(std::uint64_t n);
+
+    /** Swap `n` pages back in. */
+    sim::Duration swapIn(std::uint64_t n);
+
+    std::uint64_t totalSwappedOut() const { return swapped_out_.value(); }
+    std::uint64_t totalSwappedIn() const { return swapped_in_.value(); }
+
+  private:
+    BlockDevice &disk_;
+    std::uint64_t capacity_pages_;
+    std::uint64_t used_pages_ = 0;
+    sim::Counter swapped_out_;
+    sim::Counter swapped_in_;
+};
+
+} // namespace hos::guestos
+
+#endif // HOS_GUESTOS_SWAP_HH

@@ -1,0 +1,3 @@
+// vma.hh is header-only; this translation unit exists so the build
+// target has a home for future out-of-line VMA helpers.
+#include "guestos/vma.hh"

@@ -1,0 +1,40 @@
+#include "guestos/zone.hh"
+
+#include <algorithm>
+
+namespace hos::guestos {
+
+const char *
+zoneKindName(ZoneKind k)
+{
+    switch (k) {
+      case ZoneKind::Unified:
+        return "Unified";
+      case ZoneKind::Normal:
+        return "Normal";
+      case ZoneKind::Dma:
+        return "DMA";
+    }
+    return "?";
+}
+
+Zone::Zone(PageArray &pages, ZoneKind kind, Gpfn base,
+           std::uint64_t span_pages)
+    : kind_(kind), buddy_(pages, base, span_pages), lru_(pages)
+{
+}
+
+void
+Zone::updateWatermarks()
+{
+    // Linux computes watermarks from min_free_kbytes, roughly
+    // proportional to sqrt(zone size); a fixed fraction keeps the
+    // model simple and preserves the behaviour that small (FastMem)
+    // zones hit pressure earlier in absolute terms.
+    const std::uint64_t managed = buddy_.managedPages();
+    wmark_min_ = std::max<std::uint64_t>(16, managed / 256);
+    wmark_low_ = wmark_min_ + wmark_min_ / 2;
+    wmark_high_ = wmark_min_ * 2;
+}
+
+} // namespace hos::guestos

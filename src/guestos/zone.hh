@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Memory zones.
+ *
+ * Linux statically splits each NUMA node into DMA / Normal / HighMem
+ * zones. HeteroOS (Section 3.1) gives FastMem nodes a *single unified
+ * zone* where both user and kernel pages can be allocated, to conserve
+ * the scarce fast capacity; SlowMem nodes keep the conventional
+ * DMA + Normal split. A zone bundles a buddy allocator, a split LRU,
+ * and Linux-style min/low/high watermarks.
+ */
+
+#ifndef HOS_GUESTOS_ZONE_HH
+#define HOS_GUESTOS_ZONE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "guestos/buddy_allocator.hh"
+#include "guestos/lru.hh"
+#include "guestos/page.hh"
+
+namespace hos::guestos {
+
+/** Zone roles. */
+enum class ZoneKind : std::uint8_t {
+    Unified, ///< FastMem: single zone for user + kernel pages
+    Normal,  ///< general-purpose zone
+    Dma,     ///< low-memory DMA zone
+};
+
+const char *zoneKindName(ZoneKind k);
+
+/** One zone: a gpfn range with its allocator, LRU, and watermarks. */
+class Zone
+{
+  public:
+    Zone(PageArray &pages, ZoneKind kind, Gpfn base,
+         std::uint64_t span_pages);
+
+    ZoneKind kind() const { return kind_; }
+    Gpfn base() const { return buddy_.base(); }
+    std::uint64_t spanPages() const { return buddy_.spanPages(); }
+
+    BuddyAllocator &buddy() { return buddy_; }
+    const BuddyAllocator &buddy() const { return buddy_; }
+    SplitLru &lru() { return lru_; }
+    const SplitLru &lru() const { return lru_; }
+
+    std::uint64_t freePages() const { return buddy_.freePages(); }
+    std::uint64_t managedPages() const { return buddy_.managedPages(); }
+
+    bool containsGpfn(Gpfn pfn) const
+    {
+        return pfn >= base() && pfn < base() + spanPages();
+    }
+
+    /** Recompute watermarks from the managed page count. */
+    void updateWatermarks();
+
+    std::uint64_t watermarkMin() const { return wmark_min_; }
+    std::uint64_t watermarkLow() const { return wmark_low_; }
+    std::uint64_t watermarkHigh() const { return wmark_high_; }
+
+    bool belowMin() const { return freePages() < wmark_min_; }
+    bool belowLow() const { return freePages() < wmark_low_; }
+    bool belowHigh() const { return freePages() < wmark_high_; }
+
+  private:
+    ZoneKind kind_;
+    BuddyAllocator buddy_;
+    SplitLru lru_;
+    std::uint64_t wmark_min_ = 0;
+    std::uint64_t wmark_low_ = 0;
+    std::uint64_t wmark_high_ = 0;
+};
+
+} // namespace hos::guestos
+
+#endif // HOS_GUESTOS_ZONE_HH

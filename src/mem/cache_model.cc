@@ -1,0 +1,72 @@
+#include "mem/cache_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/log.hh"
+
+namespace hos::mem {
+
+double
+CacheConfig::efficiency() const
+{
+    // A 16-way cache behaves close to fully associative for streaming
+    // and blocked kernels; lower associativity loses usable capacity
+    // to conflicts. The constants follow the classic 30% rule of thumb
+    // for conflict misses in low-associativity caches.
+    const double a = static_cast<double>(associativity);
+    return 1.0 - 0.30 / std::sqrt(a);
+}
+
+CacheModel::CacheModel(CacheConfig cfg) : cfg_(cfg)
+{
+    hos_assert(cfg_.size_bytes > 0, "cache needs capacity");
+    hos_assert(cfg_.associativity > 0, "cache needs associativity");
+}
+
+double
+CacheModel::hitRatio(const RegionLocality &region,
+                     std::uint64_t llc_claim_bytes) const
+{
+    const double t = std::clamp(region.temporal, 0.0, 1.0);
+    if (region.wss_bytes == 0)
+        return 1.0;
+
+    const std::uint64_t claim =
+        llc_claim_bytes == 0 ? cfg_.size_bytes : llc_claim_bytes;
+    const double usable =
+        static_cast<double>(claim) * cfg_.efficiency();
+    const double coverage =
+        std::min(1.0, usable / static_cast<double>(region.wss_bytes));
+    return t + (1.0 - t) * coverage;
+}
+
+std::uint64_t
+CacheModel::access(const RegionLocality &region, std::uint64_t accesses,
+                   std::uint64_t llc_claim_bytes)
+{
+    const double hr = hitRatio(region, llc_claim_bytes);
+    const auto misses = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(accesses) * (1.0 - hr)));
+    accesses_.inc(accesses);
+    misses_.inc(misses);
+    return misses;
+}
+
+double
+CacheModel::mpki(std::uint64_t instructions) const
+{
+    if (instructions == 0)
+        return 0.0;
+    return static_cast<double>(misses_.value()) * 1000.0 /
+           static_cast<double>(instructions);
+}
+
+void
+CacheModel::resetStats()
+{
+    accesses_.reset();
+    misses_.reset();
+}
+
+} // namespace hos::mem

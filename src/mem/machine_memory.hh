@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Machine (host-physical) memory: frames grouped into per-tier nodes.
+ *
+ * The VMM owns machine memory. Each heterogeneous tier is one
+ * MachineNode holding a frame allocator and the tier's timing device.
+ * Guests never see machine frame numbers (MFNs) directly; the VMM's
+ * P2M layer maps guest page frames onto MFNs (vmm/p2m.hh).
+ */
+
+#ifndef HOS_MEM_MACHINE_MEMORY_HH
+#define HOS_MEM_MACHINE_MEMORY_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "mem/mem_device.hh"
+#include "mem/mem_spec.hh"
+#include "sim/stats.hh"
+
+namespace hos::mem {
+
+/** Machine frame number. Globally unique across nodes. */
+using Mfn = std::uint64_t;
+
+constexpr Mfn invalidMfn = ~Mfn(0);
+
+/** Owner id for frames (a VM id, or ownerVmm for VMM-held frames). */
+using OwnerId = std::uint32_t;
+constexpr OwnerId ownerNone = 0;
+constexpr OwnerId ownerVmm = 1;
+constexpr OwnerId firstVmOwner = 2;
+
+/** One memory tier's frames plus its timing device. */
+class MachineNode
+{
+  public:
+    /**
+     * @param node_id host node index (also the guest NUMA node id)
+     * @param type    role of this tier (FastMem/SlowMem/...)
+     * @param spec    capacity and timing
+     * @param mfn_base first MFN of this node's contiguous frame range
+     */
+    MachineNode(unsigned node_id, MemType type, MemTierSpec spec,
+                Mfn mfn_base);
+
+    unsigned nodeId() const { return node_id_; }
+    MemType type() const { return type_; }
+    const MemTierSpec &spec() const { return spec_; }
+    MemDevice &device() { return device_; }
+    const MemDevice &device() const { return device_; }
+
+    std::uint64_t totalFrames() const { return total_frames_; }
+    std::uint64_t freeFrames() const { return free_.size(); }
+    std::uint64_t usedFrames() const { return total_frames_ - free_.size(); }
+
+    Mfn mfnBase() const { return mfn_base_; }
+    bool containsMfn(Mfn mfn) const;
+
+    /** Allocate one frame for `owner`; nullopt when exhausted. */
+    std::optional<Mfn> allocFrame(OwnerId owner);
+
+    /** Allocate up to `n` frames; returns what was available. */
+    std::vector<Mfn> allocFrames(OwnerId owner, std::uint64_t n);
+
+    /** Return a frame. Panics on double-free or foreign MFN. */
+    void freeFrame(Mfn mfn);
+
+    /** Owner of a frame (ownerNone when free). */
+    OwnerId frameOwner(Mfn mfn) const;
+
+    /** Frames currently owned by `owner`. */
+    std::uint64_t framesOwnedBy(OwnerId owner) const;
+
+  private:
+    std::size_t indexOf(Mfn mfn) const;
+
+    unsigned node_id_;
+    MemType type_;
+    MemTierSpec spec_;
+    MemDevice device_;
+    Mfn mfn_base_;
+    std::uint64_t total_frames_;
+    std::vector<Mfn> free_;
+    std::vector<OwnerId> owner_;
+    std::vector<std::uint64_t> owned_count_;
+};
+
+/** The host's collection of memory nodes (one per tier instance). */
+class MachineMemory
+{
+  public:
+    MachineMemory() = default;
+
+    /** Append a node; returns its node id. MFN ranges never overlap. */
+    unsigned addNode(MemType type, MemTierSpec spec);
+
+    std::size_t numNodes() const { return nodes_.size(); }
+    MachineNode &node(unsigned id);
+    const MachineNode &node(unsigned id) const;
+
+    /** First node of the given type; panics if absent. */
+    MachineNode &nodeByType(MemType type);
+    const MachineNode &nodeByType(MemType type) const;
+    bool hasType(MemType type) const;
+
+    /** Node owning an MFN; panics for an unmapped MFN. */
+    MachineNode &nodeOfMfn(Mfn mfn);
+
+  private:
+    std::vector<std::unique_ptr<MachineNode>> nodes_;
+    Mfn next_mfn_base_ = 0;
+};
+
+} // namespace hos::mem
+
+#endif // HOS_MEM_MACHINE_MEMORY_HH

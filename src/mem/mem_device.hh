@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Memory-device service model.
+ *
+ * A MemDevice turns a batch of LLC misses into simulated service time.
+ * The model has two components:
+ *
+ *  - a latency component: misses are serviced at the tier's load/store
+ *    latency, overlapped by the workload's memory-level parallelism
+ *    (MLP) — a pointer-chasing app (MLP~1) pays nearly the full
+ *    latency per miss, while a batched graph kernel (MLP 4-8) hides
+ *    most of it;
+ *  - a bandwidth component: the bytes moved, divided by the tier's
+ *    bandwidth, scaled by how many concurrent clients share the device.
+ *
+ * Service time is max(latency, bandwidth) — the two overlap in a
+ * pipelined memory system — inflated by an M/M/1-style queueing factor
+ * as utilization approaches saturation. This reproduces the paper's
+ * Figure 1/2 separation between latency-sensitive and
+ * bandwidth-sensitive applications and Table 3's loaded latencies.
+ */
+
+#ifndef HOS_MEM_MEM_DEVICE_HH
+#define HOS_MEM_MEM_DEVICE_HH
+
+#include <cstdint>
+
+#include "mem/mem_spec.hh"
+#include "sim/stats.hh"
+#include "sim/time.hh"
+
+namespace hos::mem {
+
+/** A batch of memory traffic to be serviced by one device. */
+struct AccessBatch
+{
+    std::uint64_t loads = 0;   ///< LLC load misses reaching this device
+    std::uint64_t stores = 0;  ///< LLC store misses / writebacks
+    std::uint64_t bytes = 0;   ///< total bytes moved (lines or pages)
+    double mlp = 1.0;          ///< workload memory-level parallelism
+};
+
+/** One physical memory tier's timing model plus service statistics. */
+class MemDevice
+{
+  public:
+    explicit MemDevice(MemTierSpec spec);
+
+    const MemTierSpec &spec() const { return spec_; }
+
+    /**
+     * Simulated time to service `batch`, with `sharers` concurrent
+     * clients splitting the device bandwidth. Also accumulates
+     * utilization statistics.
+     */
+    sim::Duration service(const AccessBatch &batch, unsigned sharers = 1);
+
+    /**
+     * Effective (loaded) access latency at a given utilization in
+     * [0,1) — the number Table 3 reports for each throttle setting.
+     */
+    double loadedLatencyNs(double utilization) const;
+
+    /** Average achieved bandwidth over everything serviced, GB/s. */
+    double achievedBandwidthGbps() const;
+
+    /** Raw time spent servicing batches (ns). */
+    sim::Duration busyTime() const { return busy_ns_; }
+
+    std::uint64_t totalLoads() const { return loads_.value(); }
+    std::uint64_t totalStores() const { return stores_.value(); }
+    std::uint64_t totalBytes() const { return bytes_.value(); }
+
+    void resetStats();
+
+  private:
+    MemTierSpec spec_;
+    sim::Counter loads_;
+    sim::Counter stores_;
+    sim::Counter bytes_;
+    sim::Duration busy_ns_ = 0;
+};
+
+} // namespace hos::mem
+
+#endif // HOS_MEM_MEM_DEVICE_HH

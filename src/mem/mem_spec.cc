@@ -1,0 +1,82 @@
+#include "mem/mem_spec.hh"
+
+#include <cstdio>
+
+#include "sim/log.hh"
+
+namespace hos::mem {
+
+const char *
+memTypeName(MemType t)
+{
+    switch (t) {
+      case MemType::FastMem:
+        return "FastMem";
+      case MemType::SlowMem:
+        return "SlowMem";
+      case MemType::MediumMem:
+        return "MediumMem";
+    }
+    return "?";
+}
+
+MemTierSpec
+dramSpec(std::uint64_t capacity_bytes)
+{
+    MemTierSpec s;
+    s.name = "DRAM(L:1,B:1)";
+    s.load_latency_ns = 60.0;
+    s.store_latency_ns = 60.0;
+    s.bandwidth_gbps = 24.0;
+    s.capacity_bytes = capacity_bytes;
+    return s;
+}
+
+MemTierSpec
+throttledSpec(double lat_factor, double bw_factor,
+              std::uint64_t capacity_bytes)
+{
+    hos_assert(lat_factor >= 1.0 && bw_factor >= 1.0,
+               "throttling cannot speed memory up");
+    MemTierSpec s = dramSpec(capacity_bytes);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "Throttled(L:%g,B:%g)", lat_factor,
+                  bw_factor);
+    s.name = buf;
+    s.load_latency_ns *= lat_factor;
+    s.store_latency_ns *= lat_factor;
+    s.bandwidth_gbps /= bw_factor;
+    return s;
+}
+
+MemTierSpec
+stacked3dSpec(std::uint64_t capacity_bytes)
+{
+    MemTierSpec s;
+    s.name = "Stacked3D";
+    s.load_latency_ns = 40.0;
+    s.store_latency_ns = 40.0;
+    s.bandwidth_gbps = 160.0;
+    s.capacity_bytes = capacity_bytes;
+    return s;
+}
+
+MemTierSpec
+nvmSpec(std::uint64_t capacity_bytes)
+{
+    MemTierSpec s;
+    s.name = "NVM(PCM)";
+    s.load_latency_ns = 150.0;
+    s.store_latency_ns = 450.0;
+    s.bandwidth_gbps = 2.0;
+    s.capacity_bytes = capacity_bytes;
+    return s;
+}
+
+MemTierSpec
+defaultSlowMemSpec(std::uint64_t capacity_bytes)
+{
+    return throttledSpec(5.0, 9.0, capacity_bytes);
+}
+
+} // namespace hos::mem

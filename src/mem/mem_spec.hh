@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Memory-tier specifications.
+ *
+ * Encodes Table 1 (technology characteristics) and Table 3 (the paper's
+ * DRAM-throttling configurations, written L:x,B:y for a latency increase
+ * factor x and bandwidth reduction factor y relative to DRAM).
+ */
+
+#ifndef HOS_MEM_MEM_SPEC_HH
+#define HOS_MEM_MEM_SPEC_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace hos::mem {
+
+/** 4 KiB pages throughout, as in the paper's Linux/Xen substrate. */
+constexpr std::uint64_t pageSize = 4096;
+constexpr std::uint64_t pageShift = 12;
+
+constexpr std::uint64_t kib = 1024ull;
+constexpr std::uint64_t mib = 1024ull * kib;
+constexpr std::uint64_t gib = 1024ull * mib;
+
+/** Convert a byte count to whole pages (rounding up). */
+constexpr std::uint64_t
+bytesToPages(std::uint64_t bytes)
+{
+    return (bytes + pageSize - 1) / pageSize;
+}
+
+/** Role a memory tier plays in the two-tier HeteroOS configuration. */
+enum class MemType : std::uint8_t {
+    FastMem = 0,   ///< high-bandwidth, low-latency, limited capacity
+    SlowMem = 1,   ///< low-bandwidth, high-latency, large capacity
+    MediumMem = 2, ///< optional middle tier (paper §4.3 future work)
+};
+
+constexpr std::size_t numMemTypes = 3;
+
+/** Printable name for a memory type. */
+const char *memTypeName(MemType t);
+
+/** Performance/capacity description of one memory tier. */
+struct MemTierSpec
+{
+    std::string name;
+    double load_latency_ns = 60.0;
+    double store_latency_ns = 60.0;
+    double bandwidth_gbps = 24.0;
+    std::uint64_t capacity_bytes = 8 * gib;
+
+    /** Bandwidth in bytes per simulated nanosecond. */
+    double bytesPerNs() const { return bandwidth_gbps; }
+
+    /** Capacity in 4 KiB pages. */
+    std::uint64_t capacityPages() const { return capacity_bytes / pageSize; }
+};
+
+/**
+ * DRAM baseline: the paper's FastMem reference point L:1,B:1
+ * (60 ns loads, 24 GB/s per socket; Table 3 first column).
+ */
+MemTierSpec dramSpec(std::uint64_t capacity_bytes);
+
+/**
+ * A throttled tier L:x,B:y per Table 3: latency multiplied by
+ * `lat_factor`, bandwidth divided by `bw_factor`, relative to DRAM.
+ */
+MemTierSpec throttledSpec(double lat_factor, double bw_factor,
+                          std::uint64_t capacity_bytes);
+
+/** Stacked 3D-DRAM per Table 1 (40 ns, 160 GB/s midpoints). */
+MemTierSpec stacked3dSpec(std::uint64_t capacity_bytes);
+
+/**
+ * PCM-like NVM per Table 1 (150 ns loads, 450 ns stores midpoint,
+ * 2 GB/s).
+ */
+MemTierSpec nvmSpec(std::uint64_t capacity_bytes);
+
+/**
+ * The paper's main SlowMem emulation point: L:5,B:9
+ * (Section 5.1: bandwidth reduced ~9x, latency increased ~5x).
+ */
+MemTierSpec defaultSlowMemSpec(std::uint64_t capacity_bytes);
+
+} // namespace hos::mem
+
+#endif // HOS_MEM_MEM_SPEC_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Page-migration software cost model (Table 6).
+ *
+ * The paper measures, per migrated page, the data-copy cost
+ * (T_page_move) and the page-table walk cost (T_page_walk), and shows
+ * both amortize with migration batch size:
+ *
+ *   batch   T_page_move   T_page_walk
+ *   8K      25.5 us       43.21 us
+ *   64K     15.7 us       26.32 us
+ *   128K    11.12 us      10.25 us
+ *
+ * The model interpolates those anchors piecewise-linearly in
+ * log2(batch) and clamps outside the measured range, so bench_table6
+ * reproduces the table exactly and every migration path (guest or
+ * VMM) charges consistent costs.
+ */
+
+#ifndef HOS_MEM_MIGRATION_COST_HH
+#define HOS_MEM_MIGRATION_COST_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "sim/time.hh"
+
+namespace hos::mem {
+
+/** Per-page migration costs as a function of batch size. */
+class MigrationCostModel
+{
+  public:
+    /** Per-page data-copy cost in microseconds for a batch. */
+    static double
+    pageMoveUs(std::uint64_t batch_pages)
+    {
+        return interp(batch_pages, moveAnchors);
+    }
+
+    /** Per-page page-walk cost in microseconds for a batch. */
+    static double
+    pageWalkUs(std::uint64_t batch_pages)
+    {
+        return interp(batch_pages, walkAnchors);
+    }
+
+    /** Total cost to migrate a batch (walk + move for every page). */
+    static sim::Duration
+    batchCost(std::uint64_t batch_pages)
+    {
+        if (batch_pages == 0)
+            return 0;
+        const double us =
+            static_cast<double>(batch_pages) *
+            (pageMoveUs(batch_pages) + pageWalkUs(batch_pages));
+        return static_cast<sim::Duration>(us * 1000.0);
+    }
+
+  private:
+    struct Anchor
+    {
+        double log2_batch;
+        double us;
+    };
+
+    // Table 6 anchors at log2(8K)=13, log2(64K)=16, log2(128K)=17.
+    static constexpr Anchor moveAnchors[3] = {
+        {13.0, 25.5}, {16.0, 15.7}, {17.0, 11.12}};
+    static constexpr Anchor walkAnchors[3] = {
+        {13.0, 43.21}, {16.0, 26.32}, {17.0, 10.25}};
+
+    static double
+    interp(std::uint64_t batch_pages, const Anchor (&a)[3])
+    {
+        const double x =
+            std::log2(static_cast<double>(std::max<std::uint64_t>(
+                1, batch_pages)));
+        if (x <= a[0].log2_batch)
+            return a[0].us;
+        if (x >= a[2].log2_batch)
+            return a[2].us;
+        const Anchor &lo = x <= a[1].log2_batch ? a[0] : a[1];
+        const Anchor &hi = x <= a[1].log2_batch ? a[1] : a[2];
+        const double f = (x - lo.log2_batch) /
+                         (hi.log2_batch - lo.log2_batch);
+        return lo.us + f * (hi.us - lo.us);
+    }
+};
+
+} // namespace hos::mem
+
+#endif // HOS_MEM_MIGRATION_COST_HH

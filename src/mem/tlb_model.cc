@@ -1,0 +1,52 @@
+#include "mem/tlb_model.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace hos::mem {
+
+TlbModel::TlbModel(TlbConfig cfg) : cfg_(cfg)
+{
+    hos_assert(cfg_.entries > 0 && cfg_.cpus > 0, "bad TLB config");
+}
+
+sim::Duration
+TlbModel::scanFlushCost(std::uint64_t pages_scanned,
+                        std::uint64_t live_pages)
+{
+    flushes_.inc();
+    // Only translations actually resident get re-walked; the resident
+    // set is bounded by TLB reach and by what the scan touched.
+    const std::uint64_t resident =
+        std::min<std::uint64_t>({live_pages, cfg_.entries, pages_scanned});
+    refills_.inc(resident);
+    const double cost = cfg_.flush_cost_ns +
+                        static_cast<double>(resident) * cfg_.walk_cost_ns;
+    return static_cast<sim::Duration>(cost);
+}
+
+sim::Duration
+TlbModel::shootdownCost(std::uint64_t pages)
+{
+    flushes_.inc();
+    // One IPI round per batch, then per-page invalidations on each CPU
+    // plus the eventual refill walk by the owner.
+    const double per_page = 15.0; // invlpg-equivalent on each CPU
+    const double cost =
+        cfg_.flush_cost_ns +
+        static_cast<double>(pages) * per_page *
+            static_cast<double>(cfg_.cpus) +
+        static_cast<double>(std::min<std::uint64_t>(pages, cfg_.entries)) *
+            cfg_.walk_cost_ns;
+    return static_cast<sim::Duration>(cost);
+}
+
+void
+TlbModel::resetStats()
+{
+    flushes_.reset();
+    refills_.reset();
+}
+
+} // namespace hos::mem

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * TLB cost model.
+ *
+ * Hotness tracking by access-bit scanning (Section 2.3, Observation 4)
+ * must flush TLB entries so the hardware re-sets accessed bits on the
+ * next touch; migration requires shootdowns. Both costs land on the
+ * application as stalls, and the paper identifies them as the dominant
+ * software overhead (Figure 8). The model charges:
+ *
+ *  - a fixed per-flush cost (IPI + microcode),
+ *  - a refill cost: each flushed-and-live translation is re-walked on
+ *    next use (4-level walk),
+ *  - a per-CPU shootdown multiplier for migrations.
+ */
+
+#ifndef HOS_MEM_TLB_MODEL_HH
+#define HOS_MEM_TLB_MODEL_HH
+
+#include <cstdint>
+
+#include "sim/stats.hh"
+#include "sim/time.hh"
+
+namespace hos::mem {
+
+/** Parameters of the modelled TLB and page-walk hardware. */
+struct TlbConfig
+{
+    unsigned entries = 1536;        ///< combined L2 TLB entries
+    double flush_cost_ns = 800.0;   ///< full flush / IPI round trip
+    double walk_cost_ns = 80.0;     ///< one 4-level page-table walk
+    unsigned cpus = 16;             ///< cores receiving shootdown IPIs
+};
+
+/** Charges TLB flush / refill / shootdown costs. */
+class TlbModel
+{
+  public:
+    explicit TlbModel(TlbConfig cfg);
+
+    const TlbConfig &config() const { return cfg_; }
+
+    /**
+     * Cost of invalidating translations for a scan over
+     * `pages_scanned` pages of a working set with `live_pages`
+     * currently-hot translations: a flush plus refills for the live
+     * entries that were resident (bounded by TLB reach).
+     */
+    sim::Duration scanFlushCost(std::uint64_t pages_scanned,
+                                std::uint64_t live_pages);
+
+    /** Cost of shooting down `pages` translations on all CPUs. */
+    sim::Duration shootdownCost(std::uint64_t pages);
+
+    std::uint64_t flushes() const { return flushes_.value(); }
+    std::uint64_t refills() const { return refills_.value(); }
+
+    void resetStats();
+
+  private:
+    TlbConfig cfg_;
+    sim::Counter flushes_;
+    sim::Counter refills_;
+};
+
+} // namespace hos::mem
+
+#endif // HOS_MEM_TLB_MODEL_HH

@@ -1,0 +1,37 @@
+#include "policy/baselines.hh"
+
+namespace hos::policy {
+
+void
+SlowMemOnlyPolicy::configureGuest(guestos::GuestConfig &cfg) const
+{
+    cfg.alloc.mode = guestos::AllocMode::SlowOnly;
+    cfg.alloc.balloon_on_pressure = false;
+    cfg.lru.enabled = false;
+}
+
+void
+FastMemOnlyPolicy::configureGuest(guestos::GuestConfig &cfg) const
+{
+    cfg.alloc.mode = guestos::AllocMode::FastOnly;
+    cfg.alloc.balloon_on_pressure = false;
+    cfg.lru.enabled = false;
+}
+
+void
+RandomPolicy::configureGuest(guestos::GuestConfig &cfg) const
+{
+    cfg.alloc.mode = guestos::AllocMode::Random;
+    cfg.alloc.balloon_on_pressure = false;
+    cfg.lru.enabled = false;
+}
+
+void
+NumaPreferredPolicy::configureGuest(guestos::GuestConfig &cfg) const
+{
+    cfg.alloc.mode = guestos::AllocMode::FastPreferred;
+    cfg.alloc.balloon_on_pressure = false;
+    cfg.lru.enabled = false;
+}
+
+} // namespace hos::policy

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Baseline policies: SlowMem-only, FastMem-only, Random, and
+ * NUMA-preferred (the stock Linux policy of Section 5.3).
+ */
+
+#ifndef HOS_POLICY_BASELINES_HH
+#define HOS_POLICY_BASELINES_HH
+
+#include "policy/placement_policy.hh"
+
+namespace hos::policy {
+
+/** Naive floor: every page in SlowMem. */
+class SlowMemOnlyPolicy final : public ManagementPolicy
+{
+  public:
+    const char *name() const override { return "SlowMem-only"; }
+    void configureGuest(guestos::GuestConfig &cfg) const override;
+};
+
+/** Ideal ceiling: every page in (unlimited) FastMem. */
+class FastMemOnlyPolicy final : public ManagementPolicy
+{
+  public:
+    const char *name() const override { return "FastMem-only"; }
+    void configureGuest(guestos::GuestConfig &cfg) const override;
+};
+
+/** Heterogeneity-oblivious random placement (Figure 6 baseline). */
+class RandomPolicy final : public ManagementPolicy
+{
+  public:
+    const char *name() const override { return "Random"; }
+    void configureGuest(guestos::GuestConfig &cfg) const override;
+};
+
+/**
+ * Linux's preferred-node NUMA policy with FastMem preferred: fill
+ * the fast node first, spill to slow, no type awareness beyond that.
+ */
+class NumaPreferredPolicy final : public ManagementPolicy
+{
+  public:
+    const char *name() const override { return "NUMA-preferred"; }
+    void configureGuest(guestos::GuestConfig &cfg) const override;
+};
+
+} // namespace hos::policy
+
+#endif // HOS_POLICY_BASELINES_HH

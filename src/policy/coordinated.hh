@@ -1,0 +1,84 @@
+/**
+ * @file
+ * HeteroOS-coordinated: the paper's full system (Section 4).
+ *
+ * Everything HeteroOS-LRU does, plus guestOS-VMM coordination when
+ * proactive placement alone cannot find FastMem:
+ *
+ *  - the guest publishes a tracking list (its anonymous VMA ranges)
+ *    and an exception list (short-lived I/O, page-table, DMA pages)
+ *    over a shared ring;
+ *  - the VMM's hotness tracker scans only those ranges, with the
+ *    Equation 1 LLC-miss-adaptive interval;
+ *  - hot candidates flow back over the ring, and the *guest*
+ *    migration front-end validates page state and performs the
+ *    migrations, making room with HeteroOS-LRU first.
+ */
+
+#ifndef HOS_POLICY_COORDINATED_HH
+#define HOS_POLICY_COORDINATED_HH
+
+#include <memory>
+
+#include "policy/placement_policy.hh"
+#include "vmm/hotness_tracker.hh"
+#include "vmm/shared_ring.hh"
+
+namespace hos::policy {
+
+/** Knobs for the coordinated policy (ablation hooks). */
+struct CoordinatedConfig
+{
+    vmm::HotnessConfig hotness = defaultHotness();
+    /** How often the guest republishes its tracking directives. */
+    sim::Duration directive_interval = sim::milliseconds(200);
+    /** Use the Equation 1 adaptive interval (ablation switch). */
+    bool adaptive_interval = true;
+    /** Guide the scan with guest VMA ranges (ablation switch). */
+    bool os_guided = true;
+
+    static vmm::HotnessConfig
+    defaultHotness()
+    {
+        vmm::HotnessConfig h;
+        h.interval = sim::milliseconds(100);
+        h.pages_per_scan = 8192;
+        // OS-guided scans touch only the tracking-list ranges and use
+        // targeted invalidations instead of HeteroVisor's full-VM
+        // flush storms: the per-PTE cost is roughly halved
+        // (Section 4.1, "reduces the scope and cost").
+        h.per_pte_ns = 350.0;
+        h.adaptive = true;
+        return h;
+    }
+};
+
+/** The complete HeteroOS-coordinated management. */
+class CoordinatedPolicy final : public ManagementPolicy
+{
+  public:
+    explicit CoordinatedPolicy(CoordinatedConfig cfg = {});
+
+    const char *name() const override { return "HeteroOS-coordinated"; }
+
+    void configureGuest(guestos::GuestConfig &cfg) const override;
+    void attach(vmm::Vmm &vmm, vmm::VmId id,
+                guestos::GuestKernel &kernel) override;
+
+    const vmm::HotnessTracker *tracker() const { return tracker_.get(); }
+
+    /** Pages migrated by the guest front-end (promotions). */
+    std::uint64_t pagesMigrated() const { return promoted_; }
+
+  private:
+    void publishDirectives(guestos::GuestKernel &kernel);
+
+    CoordinatedConfig cfg_;
+    vmm::SharedRing ring_;
+    std::unique_ptr<vmm::HotnessTracker> tracker_;
+    std::uint64_t promoted_ = 0;
+};
+
+} // namespace hos::policy
+
+#endif // HOS_POLICY_COORDINATED_HH

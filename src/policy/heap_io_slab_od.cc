@@ -1,0 +1,12 @@
+#include "policy/heap_io_slab_od.hh"
+
+namespace hos::policy {
+
+void
+HeapIoSlabOdPolicy::configureGuest(guestos::GuestConfig &cfg) const
+{
+    cfg.alloc = guestos::heapIoSlabOdConfig();
+    cfg.lru.enabled = false;
+}
+
+} // namespace hos::policy

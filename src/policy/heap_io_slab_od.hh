@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Heap-IO-Slab-OD: demand-based FastMem prioritization across *all*
+ * subsystems — heap, I/O page cache, buffer cache, slab, and network
+ * buffers (Table 5, second increment; the paper's Observation 3).
+ */
+
+#ifndef HOS_POLICY_HEAP_IO_SLAB_OD_HH
+#define HOS_POLICY_HEAP_IO_SLAB_OD_HH
+
+#include "policy/placement_policy.hh"
+
+namespace hos::policy {
+
+/** On-demand placement for heap + I/O + slab page types. */
+class HeapIoSlabOdPolicy final : public ManagementPolicy
+{
+  public:
+    const char *name() const override { return "Heap-IO-Slab-OD"; }
+    void configureGuest(guestos::GuestConfig &cfg) const override;
+};
+
+} // namespace hos::policy
+
+#endif // HOS_POLICY_HEAP_IO_SLAB_OD_HH

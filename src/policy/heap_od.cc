@@ -1,0 +1,12 @@
+#include "policy/heap_od.hh"
+
+namespace hos::policy {
+
+void
+HeapOdPolicy::configureGuest(guestos::GuestConfig &cfg) const
+{
+    cfg.alloc = guestos::heapOdConfig();
+    cfg.lru.enabled = false;
+}
+
+} // namespace hos::policy

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Heap-OD: on-demand FastMem allocation for heap pages only
+ * (Table 5, first HeteroOS increment).
+ */
+
+#ifndef HOS_POLICY_HEAP_OD_HH
+#define HOS_POLICY_HEAP_OD_HH
+
+#include "policy/placement_policy.hh"
+
+namespace hos::policy {
+
+/** Guest-OS heterogeneity awareness + on-demand heap placement. */
+class HeapOdPolicy final : public ManagementPolicy
+{
+  public:
+    const char *name() const override { return "Heap-OD"; }
+    void configureGuest(guestos::GuestConfig &cfg) const override;
+};
+
+} // namespace hos::policy
+
+#endif // HOS_POLICY_HEAP_OD_HH

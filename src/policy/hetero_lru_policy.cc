@@ -1,0 +1,15 @@
+#include "policy/hetero_lru_policy.hh"
+
+namespace hos::policy {
+
+void
+HeteroLruPolicy::configureGuest(guestos::GuestConfig &cfg) const
+{
+    cfg.alloc = guestos::heapIoSlabOdConfig();
+    cfg.alloc.active_reclaim = true;
+    cfg.lru.enabled = true;
+    cfg.lru.eager_io_eviction = true;
+    cfg.lru.eager_unmap_demotion = true;
+}
+
+} // namespace hos::policy

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * HeteroOS-LRU: Heap-IO-Slab-OD plus active, memory-type-aware
+ * contention resolution (Table 5, third increment; Section 3.3).
+ */
+
+#ifndef HOS_POLICY_HETERO_LRU_POLICY_HH
+#define HOS_POLICY_HETERO_LRU_POLICY_HH
+
+#include "policy/placement_policy.hh"
+
+namespace hos::policy {
+
+/** Full guest-OS-only HeteroOS management. */
+class HeteroLruPolicy final : public ManagementPolicy
+{
+  public:
+    const char *name() const override { return "HeteroOS-LRU"; }
+    void configureGuest(guestos::GuestConfig &cfg) const override;
+};
+
+} // namespace hos::policy
+
+#endif // HOS_POLICY_HETERO_LRU_POLICY_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Management-policy interface.
+ *
+ * A ManagementPolicy bundles everything that distinguishes the
+ * paper's evaluated approaches (Table 5 plus the baselines): how the
+ * guest boots (node layout, allocator mode, HeteroOS-LRU switches),
+ * how the VM registers with the VMM (heterogeneity hidden or not,
+ * reservations), and which daemons run after boot (hotness trackers,
+ * migration loops, coordination rings). One policy instance manages
+ * one VM.
+ */
+
+#ifndef HOS_POLICY_PLACEMENT_POLICY_HH
+#define HOS_POLICY_PLACEMENT_POLICY_HH
+
+#include "guestos/kernel.hh"
+#include "vmm/vmm.hh"
+
+namespace hos::policy {
+
+/** One VM's heterogeneous-memory management approach. */
+class ManagementPolicy
+{
+  public:
+    virtual ~ManagementPolicy() = default;
+
+    virtual const char *name() const = 0;
+
+    /** Adjust the guest's boot configuration (pre-construction). */
+    virtual void configureGuest(guestos::GuestConfig &cfg) const = 0;
+
+    /** Adjust VM registration parameters (pre-registration). */
+    virtual void configureVm(vmm::VmConfig &cfg) const { (void)cfg; }
+
+    /** Wire up daemons/oracles after the VM is registered. */
+    virtual void attach(vmm::Vmm &vmm, vmm::VmId id,
+                        guestos::GuestKernel &kernel)
+    {
+        (void)vmm;
+        (void)id;
+        (void)kernel;
+    }
+};
+
+} // namespace hos::policy
+
+#endif // HOS_POLICY_PLACEMENT_POLICY_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * VMM-exclusive management — the HeteroVisor model (Section 2.3).
+ *
+ * The guest is registered heterogeneity-hidden: it sees one
+ * homogeneous memory node, and all placement intelligence lives in
+ * the VMM, which periodically scans the *entire* guest for hotness
+ * and migrates pages by retargeting the P2M (promote hot to FastMem,
+ * demote the coldest fast-backed pages to make room). No proactive
+ * placement, no guest information — the paper's critique in
+ * Observations 4 and 5, and the main comparison baseline.
+ */
+
+#ifndef HOS_POLICY_VMM_EXCLUSIVE_HH
+#define HOS_POLICY_VMM_EXCLUSIVE_HH
+
+#include <memory>
+
+#include "policy/placement_policy.hh"
+#include "vmm/hotness_tracker.hh"
+#include "vmm/migration_engine.hh"
+
+namespace hos::policy {
+
+/** HeteroVisor: VMM-only tracking and migration. */
+class VmmExclusivePolicy final : public ManagementPolicy
+{
+  public:
+    explicit VmmExclusivePolicy(vmm::HotnessConfig hotness = {});
+
+    const char *name() const override { return "VMM-exclusive"; }
+
+    void configureGuest(guestos::GuestConfig &cfg) const override;
+    void configureVm(vmm::VmConfig &cfg) const override;
+    void attach(vmm::Vmm &vmm, vmm::VmId id,
+                guestos::GuestKernel &kernel) override;
+
+    const vmm::HotnessTracker *tracker() const { return tracker_.get(); }
+    const vmm::MigrationEngine *engine() const { return engine_.get(); }
+
+    /** Pages migrated by the VMM so far. */
+    std::uint64_t pagesMigrated() const
+    {
+        return engine_ ? engine_->totalMigrated() : 0;
+    }
+
+  private:
+    vmm::HotnessConfig hotness_;
+    std::unique_ptr<vmm::HotnessTracker> tracker_;
+    std::unique_ptr<vmm::MigrationEngine> engine_;
+};
+
+} // namespace hos::policy
+
+#endif // HOS_POLICY_VMM_EXCLUSIVE_HH

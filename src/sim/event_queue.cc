@@ -1,0 +1,58 @@
+#include "sim/event_queue.hh"
+
+#include <memory>
+
+#include "sim/log.hh"
+
+namespace hos::sim {
+
+void
+EventQueue::schedule(Tick when, std::function<void()> action)
+{
+    if (when < now_)
+        when = now_;
+    heap_.push(Event{when, next_seq_++, std::move(action)});
+}
+
+void
+EventQueue::scheduleAfter(Duration delay, std::function<void()> action)
+{
+    schedule(now_ + delay, std::move(action));
+}
+
+void
+EventQueue::schedulePeriodic(Duration period,
+                             std::function<Duration(Duration)> action)
+{
+    hos_assert(period > 0, "periodic event needs a nonzero period");
+    // The shared_ptr lets the rescheduling lambda refer to itself.
+    auto self = std::make_shared<std::function<void(Duration)>>();
+    *self = [this, action = std::move(action), self](Duration cur) {
+        const Duration next = action(cur);
+        if (next > 0)
+            scheduleAfter(next, [self, next] { (*self)(next); });
+    };
+    scheduleAfter(period, [self, period] { (*self)(period); });
+}
+
+void
+EventQueue::runUntil(Tick t)
+{
+    while (!heap_.empty() && heap_.top().when <= t) {
+        Event ev = heap_.top();
+        heap_.pop();
+        now_ = ev.when;
+        ev.action();
+    }
+    if (t > now_)
+        now_ = t;
+}
+
+void
+EventQueue::clear()
+{
+    while (!heap_.empty())
+        heap_.pop();
+}
+
+} // namespace hos::sim

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Discrete-event queue.
+ *
+ * The simulation is largely phase-driven (workloads advance simulated
+ * time in chunks), but periodic daemons — hotness-tracking scans, LRU
+ * reclaim passes, balloon adjustments, writeback — are scheduled as
+ * events so their cadence interleaves correctly with workload progress.
+ */
+
+#ifndef HOS_SIM_EVENT_QUEUE_HH
+#define HOS_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace hos::sim {
+
+/** An event: a callback due at a simulated tick. */
+struct Event
+{
+    Tick when;
+    std::uint64_t seq;  ///< tie-breaker: FIFO among same-tick events
+    std::function<void()> action;
+};
+
+/**
+ * A minimal discrete-event scheduler.
+ *
+ * Time only moves via runUntil(): the workload engine advances its own
+ * clock and calls runUntil(now) so that daemons due before `now` fire
+ * in order. Events may schedule further events.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule an action at absolute tick `when` (>= now). */
+    void schedule(Tick when, std::function<void()> action);
+
+    /** Schedule an action `delay` after now. */
+    void scheduleAfter(Duration delay, std::function<void()> action);
+
+    /**
+     * Schedule `action` every `period`, starting one period from now.
+     * The action returns the next period (0 = stop), which lets daemons
+     * adapt their own cadence (Equation 1 in the paper).
+     */
+    void schedulePeriodic(Duration period,
+                          std::function<Duration(Duration)> action);
+
+    /** Fire all events due at or before `t`, and advance now to `t`. */
+    void runUntil(Tick t);
+
+    /** Number of pending events. */
+    std::size_t pending() const { return heap_.size(); }
+
+    /** Drop all pending events (end of run). */
+    void clear();
+
+  private:
+    struct Later
+    {
+        bool operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    Tick now_ = 0;
+    std::uint64_t next_seq_ = 0;
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+};
+
+} // namespace hos::sim
+
+#endif // HOS_SIM_EVENT_QUEUE_HH

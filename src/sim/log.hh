@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Logging and error-reporting helpers in the gem5 spirit.
+ *
+ * panic()  — an internal invariant was violated (a simulator bug);
+ *            aborts the process.
+ * fatal()  — the simulation cannot continue because of a user error
+ *            (bad configuration, impossible parameters); exits cleanly.
+ * warn()   — something is questionable but the run continues.
+ * inform() — status messages.
+ */
+
+#ifndef HOS_SIM_LOG_HH
+#define HOS_SIM_LOG_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace hos::sim {
+
+/** Global verbosity: 0 = quiet (warn/panic only), 1 = inform, 2 = debug. */
+void setLogLevel(int level);
+int logLevel();
+
+/** Abort with a formatted message; use for internal invariant violations. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Exit(1) with a formatted message; use for user/configuration errors. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning; the simulation continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message (suppressed at log level 0). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a debug message (only at log level >= 2). */
+void debug(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** hos_assert's slow path: report the failed condition and abort. */
+[[noreturn]] void assertFail(const char *cond, const char *file, int line,
+                             const char *fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+} // namespace hos::sim
+
+/**
+ * Assert a simulator invariant with a formatted explanation.
+ * Unlike assert(), stays active in release builds: invariants in the
+ * memory-management state machines are cheap relative to simulation
+ * work.
+ */
+#define hos_assert(cond, ...)                                              \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::hos::sim::assertFail(#cond, __FILE__, __LINE__,              \
+                                   __VA_ARGS__);                           \
+        }                                                                  \
+    } while (0)
+
+#endif // HOS_SIM_LOG_HH

@@ -1,0 +1,131 @@
+#include "sim/rng.hh"
+
+#include <cmath>
+
+#include "sim/log.hh"
+
+namespace hos::sim {
+
+namespace {
+
+std::uint64_t
+splitMix64(std::uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &s : state)
+        s = splitMix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+    const std::uint64_t t = state[1] << 17;
+
+    state[2] ^= state[0];
+    state[3] ^= state[1];
+    state[1] ^= state[2];
+    state[0] ^= state[3];
+    state[2] ^= t;
+    state[3] = rotl(state[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t bound)
+{
+    hos_assert(bound > 0, "uniformInt bound must be positive");
+    // Multiply-shift bounded rejection (Lemire); bias is eliminated by
+    // rejecting the small sliver of values that would wrap.
+    const std::uint64_t threshold = (-bound) % bound;
+    for (;;) {
+        const std::uint64_t r = next();
+        const __uint128_t m = static_cast<__uint128_t>(r) * bound;
+        if (static_cast<std::uint64_t>(m) >= threshold)
+            return static_cast<std::uint64_t>(m >> 64);
+    }
+}
+
+std::uint64_t
+Rng::uniformRange(std::uint64_t lo, std::uint64_t hi)
+{
+    hos_assert(lo <= hi, "uniformRange lo > hi");
+    return lo + uniformInt(hi - lo + 1);
+}
+
+double
+Rng::uniformDouble()
+{
+    // 53 high-quality bits into the mantissa.
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniformDouble() < p;
+}
+
+std::uint64_t
+Rng::zipf(std::uint64_t n, double s)
+{
+    hos_assert(n > 0, "zipf requires a non-empty range");
+    if (n == 1)
+        return 0;
+    // Rejection-inversion sampling over the harmonic integral.
+    const double q = s;
+    const double one_minus_q = 1.0 - q;
+    auto h_integral = [&](double x) {
+        if (one_minus_q == 0.0)
+            return std::log(x);
+        return (std::pow(x, one_minus_q) - 1.0) / one_minus_q;
+    };
+    auto h_integral_inv = [&](double y) {
+        if (one_minus_q == 0.0)
+            return std::exp(y);
+        return std::pow(1.0 + y * one_minus_q, 1.0 / one_minus_q);
+    };
+    const double hx0 = h_integral(0.5);
+    const double hxn = h_integral(static_cast<double>(n) + 0.5);
+    for (;;) {
+        const double u = hx0 + uniformDouble() * (hxn - hx0);
+        const double x = h_integral_inv(u);
+        std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+        if (k < 1)
+            k = 1;
+        if (k > n)
+            k = n;
+        // Accept with probability proportional to the true pmf over the
+        // envelope; the envelope is tight so acceptance is ~97%.
+        const double accept =
+            (h_integral(static_cast<double>(k) + 0.5) -
+             h_integral(static_cast<double>(k) - 0.5)) /
+            std::pow(static_cast<double>(k), -q);
+        if (uniformDouble() * accept <= 1.0)
+            return k - 1;
+    }
+}
+
+} // namespace hos::sim

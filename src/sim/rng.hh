@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Deterministic random-number generation.
+ *
+ * Every stochastic decision in the simulator (random placement policy,
+ * workload address streams, request mixes) draws from an explicitly
+ * seeded Rng so that runs are exactly reproducible. The generator is
+ * xoshiro256** seeded via SplitMix64, which is fast and has no
+ * observable bias for our use.
+ */
+
+#ifndef HOS_SIM_RNG_HH
+#define HOS_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace hos::sim {
+
+/** Deterministic xoshiro256** pseudo-random generator. */
+class Rng
+{
+  public:
+    /** Seed via SplitMix64 expansion of a single 64-bit seed. */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    std::uint64_t uniformInt(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t uniformRange(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniformDouble();
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool chance(double p);
+
+    /**
+     * Zipf-distributed rank in [0, n) with skew parameter s.
+     * Used by workload models for skewed page popularity
+     * (key-value stores, graph vertex degree skew).
+     * Uses rejection-inversion (Jim Gray's approximation) — O(1) per draw.
+     */
+    std::uint64_t zipf(std::uint64_t n, double s);
+
+  private:
+    std::uint64_t state[4];
+};
+
+} // namespace hos::sim
+
+#endif // HOS_SIM_RNG_HH

@@ -1,0 +1,129 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/log.hh"
+
+namespace hos::sim {
+
+void
+Distribution::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++count_;
+    total_ += v;
+}
+
+void
+Distribution::reset()
+{
+    count_ = 0;
+    total_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t nbuckets)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(nbuckets)),
+      counts_(nbuckets, 0)
+{
+    hos_assert(hi > lo && nbuckets > 0, "bad histogram shape");
+}
+
+void
+Histogram::sample(double v, std::uint64_t weight)
+{
+    double idx = (v - lo_) / width_;
+    std::size_t b;
+    if (idx < 0.0) {
+        b = 0;
+    } else if (idx >= static_cast<double>(counts_.size())) {
+        b = counts_.size() - 1;
+    } else {
+        b = static_cast<std::size_t>(idx);
+    }
+    counts_[b] += weight;
+    samples_ += weight;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    samples_ = 0;
+}
+
+double
+Histogram::bucketLo(std::size_t i) const
+{
+    return lo_ + width_ * static_cast<double>(i);
+}
+
+Counter &
+StatGroup::counter(const std::string &stat)
+{
+    return counters_[stat];
+}
+
+Gauge &
+StatGroup::gauge(const std::string &stat)
+{
+    return gauges_[stat];
+}
+
+Distribution &
+StatGroup::distribution(const std::string &stat)
+{
+    return dists_[stat];
+}
+
+const Counter &
+StatGroup::findCounter(const std::string &stat) const
+{
+    auto it = counters_.find(stat);
+    if (it == counters_.end())
+        panic("unknown counter '%s.%s'", name_.c_str(), stat.c_str());
+    return it->second;
+}
+
+bool
+StatGroup::hasCounter(const std::string &stat) const
+{
+    return counters_.count(stat) > 0;
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &kv : counters_)
+        kv.second.reset();
+    for (auto &kv : gauges_)
+        kv.second.reset();
+    for (auto &kv : dists_)
+        kv.second.reset();
+}
+
+std::string
+StatGroup::dump() const
+{
+    std::ostringstream os;
+    for (const auto &kv : counters_)
+        os << name_ << '.' << kv.first << ' ' << kv.second.value() << '\n';
+    for (const auto &kv : gauges_)
+        os << name_ << '.' << kv.first << ' ' << kv.second.value() << '\n';
+    for (const auto &kv : dists_) {
+        os << name_ << '.' << kv.first << ".mean " << kv.second.mean()
+           << '\n';
+        os << name_ << '.' << kv.first << ".max " << kv.second.max() << '\n';
+    }
+    return os.str();
+}
+
+} // namespace hos::sim

@@ -1,0 +1,91 @@
+#include "sim/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace hos::sim {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void
+Table::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+Table::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::num(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+std::string
+Table::pct(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, v);
+    return buf;
+}
+
+std::string
+Table::render() const
+{
+    // Compute column widths over header + rows.
+    std::vector<std::size_t> widths;
+    auto grow = [&](const std::vector<std::string> &cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(header_);
+    for (const auto &r : rows_)
+        grow(r);
+
+    std::ostringstream os;
+    os << "== " << title_ << " ==\n";
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string &c = i < cells.size() ? cells[i] : std::string();
+            os << c;
+            if (i + 1 < widths.size())
+                os << std::string(widths[i] - c.size() + 2, ' ');
+        }
+        os << '\n';
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (std::size_t w : widths)
+            total += w + 2;
+        os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+    }
+    for (const auto &r : rows_)
+        emit(r);
+    return os.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(render().c_str(), stdout);
+    std::fputs("\n", stdout);
+    std::fflush(stdout);
+}
+
+} // namespace hos::sim

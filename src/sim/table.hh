@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fixed-width table printer for paper-style output.
+ *
+ * Every bench binary prints the rows/series of one table or figure from
+ * the paper; this helper keeps those outputs aligned and uniform.
+ */
+
+#ifndef HOS_SIM_TABLE_HH
+#define HOS_SIM_TABLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hos::sim {
+
+/** Accumulates rows of string cells and renders an aligned text table. */
+class Table
+{
+  public:
+    /** @param title caption printed above the table. */
+    explicit Table(std::string title);
+
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Format a double with the given precision. */
+    static std::string num(double v, int precision = 2);
+
+    /** Format an integer. */
+    static std::string num(std::uint64_t v);
+
+    /** Format a percentage ("12.3%"). */
+    static std::string pct(double v, int precision = 1);
+
+    /** Render the table to a string. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace hos::sim
+
+#endif // HOS_SIM_TABLE_HH

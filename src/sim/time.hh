@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Simulated-time primitives.
+ *
+ * All simulated time in HeteroOS is expressed in integer nanoseconds
+ * (a Tick). Helper constructors exist for the units the paper uses
+ * (ns latencies, ms scan intervals, second-scale runtimes).
+ */
+
+#ifndef HOS_SIM_TIME_HH
+#define HOS_SIM_TIME_HH
+
+#include <cstdint>
+
+namespace hos::sim {
+
+/** Simulated time in nanoseconds. */
+using Tick = std::uint64_t;
+
+/** A span of simulated time in nanoseconds. */
+using Duration = std::uint64_t;
+
+constexpr Tick maxTick = ~Tick(0);
+
+/** Construct a duration from nanoseconds. */
+constexpr Duration
+nanoseconds(std::uint64_t n)
+{
+    return n;
+}
+
+/** Construct a duration from microseconds. */
+constexpr Duration
+microseconds(std::uint64_t us)
+{
+    return us * 1000ull;
+}
+
+/** Construct a duration from milliseconds. */
+constexpr Duration
+milliseconds(std::uint64_t ms)
+{
+    return ms * 1000ull * 1000ull;
+}
+
+/** Construct a duration from seconds. */
+constexpr Duration
+seconds(std::uint64_t s)
+{
+    return s * 1000ull * 1000ull * 1000ull;
+}
+
+/** Convert a duration to (double) seconds, for reporting. */
+constexpr double
+toSeconds(Duration d)
+{
+    return static_cast<double>(d) / 1e9;
+}
+
+/** Convert a duration to (double) milliseconds, for reporting. */
+constexpr double
+toMilliseconds(Duration d)
+{
+    return static_cast<double>(d) / 1e6;
+}
+
+/** Convert a duration to (double) microseconds, for reporting. */
+constexpr double
+toMicroseconds(Duration d)
+{
+    return static_cast<double>(d) / 1e3;
+}
+
+} // namespace hos::sim
+
+#endif // HOS_SIM_TIME_HH

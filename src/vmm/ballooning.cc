@@ -1,0 +1,65 @@
+#include "vmm/ballooning.hh"
+
+#include <algorithm>
+
+namespace hos::vmm {
+
+std::uint64_t
+overcommitFrames(const VmContext &vm, mem::MemType t)
+{
+    const std::uint64_t have = vm.framesOf(t);
+    const std::uint64_t min = vm.minPages(t);
+    return have > min ? have - min : 0;
+}
+
+std::uint64_t
+totalOvercommitFrames(const VmContext &vm)
+{
+    std::uint64_t held = 0;
+    std::uint64_t min = 0;
+    for (std::size_t i = 0; i < mem::numMemTypes; ++i) {
+        const auto t = static_cast<mem::MemType>(i);
+        held += vm.framesOf(t);
+        min += vm.minPages(t);
+    }
+    return held > min ? held - min : 0;
+}
+
+std::uint64_t
+balloonReclaim(Vmm &vmm, VmContext &victim, mem::MemType t,
+               std::uint64_t n, ReclaimCap cap)
+{
+    const std::uint64_t held = victim.framesOf(t);
+    const std::uint64_t limit =
+        cap == ReclaimCap::PerTypeMin
+            ? overcommitFrames(victim, t)
+            : held - std::min(held, held / 8); // leave a 1/8 floor
+    n = std::min(n, limit);
+    if (n == 0)
+        return 0;
+
+    const std::uint64_t free_before = vmm.freeFrames(t);
+    auto &balloon = victim.kernel().balloon();
+
+    if (victim.kernel().hasType(t)) {
+        balloon.surrenderPages(t, n);
+    } else {
+        // Heterogeneity-hidden guest: it cannot name the tier, so ask
+        // for generic pages until enough frames of the wanted tier
+        // come back (bounded effort).
+        const mem::MemType guest_type =
+            victim.kernel().node(0).memType();
+        std::uint64_t freed = 0;
+        for (int round = 0; round < 4 && freed < n; ++round) {
+            const std::uint64_t got =
+                balloon.surrenderPages(guest_type, n - freed);
+            if (got == 0)
+                break;
+            freed = vmm.freeFrames(t) - free_before;
+        }
+    }
+    const std::uint64_t free_after = vmm.freeFrames(t);
+    return free_after > free_before ? free_after - free_before : 0;
+}
+
+} // namespace hos::vmm

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * VMM-initiated balloon reclamation.
+ *
+ * The inflate direction of the heterogeneity-aware balloon
+ * (Section 4.2): the VMM asks a victim VM's guest to surrender pages
+ * of a specific memory type. The guest front-end frees free pages
+ * first, then HeteroOS-LRU-demotable pages, then swaps — so the cost
+ * lands on the victim, and the frames return to the machine pool.
+ */
+
+#ifndef HOS_VMM_BALLOONING_HH
+#define HOS_VMM_BALLOONING_HH
+
+#include <cstdint>
+
+#include "mem/mem_spec.hh"
+#include "vmm/vmm.hh"
+
+namespace hos::vmm {
+
+/** How much of a victim's holding a reclaim may take. */
+enum class ReclaimCap {
+    PerTypeMin, ///< honor the per-type guarantee (DRF's view)
+    Unbounded,  ///< only a 1/8 floor — single-resource max-min's
+                ///< view of its *unmanaged* resources (Figure 13)
+};
+
+/**
+ * Reclaim up to `n` frames of tier `t` from a victim VM. Returns the
+ * number of frames of that tier actually freed to the machine pool.
+ *
+ * Works for heterogeneity-hidden VMs too: their guests surrender
+ * generic pages, and the function counts how many of the freed frames
+ * were of the wanted tier.
+ */
+std::uint64_t balloonReclaim(Vmm &vmm, VmContext &victim, mem::MemType t,
+                             std::uint64_t n,
+                             ReclaimCap cap = ReclaimCap::PerTypeMin);
+
+/**
+ * Frames of tier `t` a VM holds beyond its guaranteed minimum —
+ * what's reclaimable without violating its per-type contract.
+ */
+std::uint64_t overcommitFrames(const VmContext &vm, mem::MemType t);
+
+/** Frames a VM holds beyond the sum of its per-type minimums. */
+std::uint64_t totalOvercommitFrames(const VmContext &vm);
+
+} // namespace hos::vmm
+
+#endif // HOS_VMM_BALLOONING_HH

@@ -1,0 +1,80 @@
+#include "vmm/drf.hh"
+
+#include <algorithm>
+
+#include "vmm/ballooning.hh"
+
+namespace hos::vmm {
+
+double
+DrfFairness::resourceShare(const Vmm &vmm, const VmContext &vm,
+                           mem::MemType t)
+{
+    const std::uint64_t total = vmm.totalFrames(t);
+    if (total == 0)
+        return 0.0;
+    return vm.weight(t) * static_cast<double>(vm.framesOf(t)) /
+           static_cast<double>(total);
+}
+
+double
+DrfFairness::dominantShare(const Vmm &vmm, const VmContext &vm)
+{
+    double s = 0.0;
+    for (std::size_t i = 0; i < mem::numMemTypes; ++i) {
+        const auto t = static_cast<mem::MemType>(i);
+        s = std::max(s, resourceShare(vmm, vm, t));
+    }
+    return s;
+}
+
+std::uint64_t
+DrfFairness::approve(Vmm &vmm, VmContext &requester, mem::MemType t,
+                     std::uint64_t n)
+{
+    // Basic (minimum) share is sacrosanct: grant it outright,
+    // reclaiming from any overcommitted neighbour.
+    const std::uint64_t have = requester.framesOf(t);
+    const std::uint64_t min = requester.minPages(t);
+    const bool below_min = have < min;
+
+    std::uint64_t deficit =
+        n > vmm.freeFrames(t) ? n - vmm.freeFrames(t) : 0;
+
+    while (deficit > 0) {
+        // Algorithm 1: service the lowest dominant share first. As a
+        // reclamation rule that inverts to: take overcommit back from
+        // the *highest* dominant share — and only if it exceeds the
+        // requester's (unless the requester is below its basic
+        // share, which always wins).
+        const double s_req = dominantShare(vmm, requester);
+        VmContext *victim = nullptr;
+        double worst = below_min ? 0.0 : s_req;
+        for (VmId id = 0; id < vmm.numVms(); ++id) {
+            VmContext &vm = vmm.vm(id);
+            if (vm.id() == requester.id())
+                continue;
+            if (overcommitFrames(vm, t) == 0)
+                continue;
+            const double s = dominantShare(vmm, vm);
+            if (s > worst) {
+                worst = s;
+                victim = &vm;
+            }
+        }
+        if (!victim)
+            break;
+        const std::uint64_t got =
+            balloonReclaim(vmm, *victim, t, deficit);
+        if (got == 0)
+            break;
+        deficit -= std::min(deficit, got);
+    }
+
+    // Strategy-proofness guard: overcommit beyond max is already
+    // capped by the VMM; asking for more than you use only inflates
+    // your dominant share and makes you the next reclaim victim.
+    return std::min(n, vmm.freeFrames(t));
+}
+
+} // namespace hos::vmm

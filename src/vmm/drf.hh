@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Weighted Dominant Resource Fairness (Algorithm 1, Section 4.2).
+ *
+ * Each memory type is a resource. A VM's share of resource j is
+ * weight_j * allocated_j / total_j; its *dominant share* is the
+ * maximum over resources. Requests are granted while they fit; when a
+ * resource runs dry, the policy reclaims overcommit from the VM with
+ * the highest dominant share — but only if that share exceeds the
+ * requester's, which is what protects a VM whose dominant resource
+ * differs from the contended one (the paper's Graphchi-vs-Metis
+ * scenario in Figure 13).
+ *
+ * Weights (FastMem=2, SlowMem=1 by default) keep small-but-precious
+ * FastMem from being drowned out by sheer SlowMem page counts.
+ */
+
+#ifndef HOS_VMM_DRF_HH
+#define HOS_VMM_DRF_HH
+
+#include "vmm/vmm.hh"
+
+namespace hos::vmm {
+
+/** Weighted DRF across memory types. */
+class DrfFairness final : public FairnessPolicy
+{
+  public:
+    const char *name() const override { return "weighted-drf"; }
+
+    std::uint64_t approve(Vmm &vmm, VmContext &requester, mem::MemType t,
+                          std::uint64_t n) override;
+
+    /** Weighted share of one resource held by a VM. */
+    static double resourceShare(const Vmm &vmm, const VmContext &vm,
+                                mem::MemType t);
+
+    /** Weighted dominant share of a VM (Algorithm 1 line 10). */
+    static double dominantShare(const Vmm &vmm, const VmContext &vm);
+};
+
+} // namespace hos::vmm
+
+#endif // HOS_VMM_DRF_HH

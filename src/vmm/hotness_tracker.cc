@@ -1,0 +1,156 @@
+#include "vmm/hotness_tracker.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace hos::vmm {
+
+HotnessTracker::HotnessTracker(VmContext &vm, HotnessConfig cfg)
+    : vm_(vm), cfg_(cfg), interval_(cfg.interval)
+{
+}
+
+void
+HotnessTracker::heatPage(guestos::Page &p, bool accessed, ScanResult &res)
+{
+    // Exponentially decaying heat: halve, then add for a fresh touch.
+    p.heat = static_cast<std::uint16_t>(p.heat / 2 + (accessed ? 64 : 0));
+    if (accessed)
+        ++res.accessed;
+    if (p.heat >= cfg_.hot_threshold)
+        res.hot.push_back(p.pfn);
+}
+
+ScanResult
+HotnessTracker::scanOnce()
+{
+    ScanResult res;
+    auto &kernel = vm_.kernel();
+    auto &pages = kernel.pages();
+
+    if (ring_ && ring_->hasDirectives()) {
+        // OS-guided: walk only the tracking-list VMA ranges through
+        // the owning process's page table, skipping exception pages.
+        // A persistent cursor resumes where the previous scan left
+        // off, so each round costs at most pages_per_scan PTEs.
+        const TrackingDirectives &d = ring_->directives();
+        if (d.version != directives_version_) {
+            directives_version_ = d.version;
+            range_cursor_ = 0;
+            va_cursor_ = 0;
+        }
+        std::size_t ranges_stepped = 0;
+        while (!d.ranges.empty() &&
+               res.pages_scanned < cfg_.pages_per_scan &&
+               ranges_stepped < d.ranges.size()) {
+            if (range_cursor_ >= d.ranges.size()) {
+                range_cursor_ = 0;
+                va_cursor_ = 0;
+            }
+            const TrackingRange &r = d.ranges[range_cursor_];
+            if (!kernel.hasProcess(r.pid)) {
+                ++range_cursor_;
+                va_cursor_ = 0;
+                ++ranges_stepped;
+                continue;
+            }
+            const std::uint64_t lo =
+                (va_cursor_ > r.va_lo && va_cursor_ < r.va_hi)
+                    ? va_cursor_
+                    : r.va_lo;
+            std::uint64_t last_va = lo;
+            auto &as = kernel.process(r.pid);
+            const std::uint64_t budget =
+                cfg_.pages_per_scan - res.pages_scanned;
+            const std::uint64_t visited = as.pageTable().scanRange(
+                lo, r.va_hi,
+                [&](std::uint64_t va, const guestos::PteView &pte) {
+                    last_va = va;
+                    guestos::Page &p = pages.page(pte.pfn);
+                    if (d.exception && d.exception(p))
+                        return;
+                    const bool accessed =
+                        pte.accessed || p.pte_accessed;
+                    p.pte_accessed = false;
+                    heatPage(p, accessed, res);
+                },
+                /*clear_accessed=*/true, budget);
+            res.pages_scanned += visited;
+            if (visited < budget) {
+                // Range exhausted: move to the next one.
+                ++range_cursor_;
+                va_cursor_ = 0;
+                ++ranges_stepped;
+            } else {
+                va_cursor_ = last_va + mem::pageSize;
+            }
+        }
+    } else {
+        // Full-VM sweep: the VMM has no idea what the pages are, so
+        // it walks everything, pages_per_scan at a time (HeteroVisor).
+        const std::uint64_t span = pages.size();
+        std::uint64_t visited = 0;
+        for (std::uint64_t step = 0;
+             step < span && visited < cfg_.pages_per_scan; ++step) {
+            const Gpfn pfn = cursor_;
+            cursor_ = (cursor_ + 1) % span;
+            guestos::Page &p = pages.page(pfn);
+            if (!p.allocated)
+                continue;
+            ++visited;
+            const bool accessed = p.pte_accessed;
+            p.pte_accessed = false;
+            heatPage(p, accessed, res);
+        }
+        res.pages_scanned = visited;
+    }
+
+    // Charge: per-PTE software cost plus the forced TLB invalidation
+    // (needed so access bits get re-set by the hardware).
+    const double scan_ns =
+        static_cast<double>(res.pages_scanned) * cfg_.per_pte_ns;
+    res.cost = static_cast<sim::Duration>(scan_ns);
+    res.cost += kernel.tlb().scanFlushCost(res.pages_scanned,
+                                           res.accessed);
+    kernel.charge(guestos::OverheadKind::HotScan, res.cost);
+
+    scans_.inc();
+    scanned_.inc(res.pages_scanned);
+    total_cost_ += res.cost;
+    return res;
+}
+
+void
+HotnessTracker::adaptInterval()
+{
+    if (!cfg_.adaptive)
+        return;
+    // The VMM exports cumulative LLC misses; Equation 1 works on the
+    // misses observed *within* each epoch.
+    const std::uint64_t cum = vm_.llcMisses();
+    const std::uint64_t epoch_misses =
+        cum >= last_llc_misses_ ? cum - last_llc_misses_ : 0;
+    last_llc_misses_ = cum;
+    if (last_epoch_misses_ == 0) {
+        last_epoch_misses_ = epoch_misses;
+        return;
+    }
+
+    // Equation 1: Interval -= dLLC * Interval, with dLLC the relative
+    // change in per-epoch misses. A rising miss rate shrinks the
+    // interval (track hotter, migrate sooner); a falling one
+    // lengthens it (save the scanning cost).
+    const double d_llc =
+        (static_cast<double>(epoch_misses) -
+         static_cast<double>(last_epoch_misses_)) /
+        static_cast<double>(last_epoch_misses_);
+    last_epoch_misses_ = epoch_misses;
+    double next = static_cast<double>(interval_) *
+                  (1.0 - std::clamp(d_llc, -1.0, 1.0));
+    next = std::clamp(next, static_cast<double>(cfg_.min_interval),
+                      static_cast<double>(cfg_.max_interval));
+    interval_ = static_cast<sim::Duration>(next);
+}
+
+} // namespace hos::vmm

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * VMM page-hotness tracking (Sections 2.3 and 4.1).
+ *
+ * Software hotness tracking works by periodically scanning page-table
+ * entries, recording access bits, and resetting them — which requires
+ * TLB invalidations so the hardware re-sets the bits on the next
+ * touch. The scan plus the induced refill walks are the dominant
+ * management overhead the paper measures (Figure 8); every scan here
+ * charges that cost to the VM it tracks.
+ *
+ * Two scanning scopes:
+ *  - Full-VM (HeteroVisor / VMM-exclusive): a cursor sweeps the whole
+ *    guest gpfn space, `pages_per_scan` pages per interval.
+ *  - OS-guided (HeteroOS-coordinated): only the VMA ranges on the
+ *    guest's tracking list are walked, and exception-listed pages
+ *    (short-lived I/O, page-table, DMA) are skipped — the guest's
+ *    knowledge shrinking the VMM's work.
+ *
+ * The scan interval adapts to cache behaviour with Equation 1 when
+ * enabled: rising LLC misses shorten the interval, falling misses
+ * lengthen it.
+ */
+
+#ifndef HOS_VMM_HOTNESS_TRACKER_HH
+#define HOS_VMM_HOTNESS_TRACKER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/time.hh"
+#include "vmm/shared_ring.hh"
+#include "vmm/vmm.hh"
+
+namespace hos::vmm {
+
+/** Hotness-tracking configuration. */
+struct HotnessConfig
+{
+    /** Scan interval (HeteroVisor default: 100 ms per 32K pages). */
+    sim::Duration interval = sim::milliseconds(100);
+    std::uint64_t pages_per_scan = 32768;
+    /** EWMA heat threshold above which a page counts as hot. */
+    std::uint16_t hot_threshold = 96;
+    /**
+     * Per-PTE scan cost charged to the VM, covering the table walk,
+     * access-bit reset, and the amortized TLB-refill penalty the
+     * forced invalidation causes (calibrated against Figure 8).
+     */
+    double per_pte_ns = 700.0;
+    /**
+     * Migration rate limit in pages/second: hot candidates beyond
+     * interval * rate are deferred to the next round. Real systems
+     * throttle migration batches; without a limit the Table 6
+     * per-page costs would stall the VM.
+     */
+    double promote_rate_pps = 1800.0;
+
+    /** Hot-page budget for one round at the current interval. */
+    std::uint64_t
+    promoteBudget(sim::Duration interval) const
+    {
+        return static_cast<std::uint64_t>(
+            promote_rate_pps * sim::toSeconds(interval));
+    }
+    /** Equation 1 adaptive interval. */
+    bool adaptive = false;
+    sim::Duration min_interval = sim::milliseconds(50);
+    sim::Duration max_interval = sim::seconds(1);
+};
+
+/** Result of one scan pass. */
+struct ScanResult
+{
+    std::uint64_t pages_scanned = 0;
+    std::uint64_t accessed = 0;
+    std::vector<Gpfn> hot; ///< pages over the heat threshold
+    sim::Duration cost = 0;
+};
+
+/** Tracks page hotness for one VM. */
+class HotnessTracker
+{
+  public:
+    HotnessTracker(VmContext &vm, HotnessConfig cfg);
+
+    const HotnessConfig &config() const { return cfg_; }
+    sim::Duration interval() const { return interval_; }
+
+    /**
+     * Attach OS-guided directives (coordinated mode). Passing nullptr
+     * reverts to full-VM scanning.
+     */
+    void guideWith(const SharedRing *ring) { ring_ = ring; }
+
+    /**
+     * Perform one scan pass: harvest and reset access bits, update
+     * per-page heat, collect hot candidates, and charge the scan cost
+     * to the VM.
+     */
+    ScanResult scanOnce();
+
+    /**
+     * Equation 1: adjust the interval from the LLC-miss delta the VMM
+     * observed for this VM since the previous call.
+     */
+    void adaptInterval();
+
+    std::uint64_t totalScanned() const { return scanned_.value(); }
+    std::uint64_t totalScans() const { return scans_.value(); }
+    sim::Duration totalCost() const { return total_cost_; }
+
+  private:
+    /** Update one page's heat from its harvested access bit. */
+    void heatPage(guestos::Page &p, bool accessed, ScanResult &res);
+
+    VmContext &vm_;
+    HotnessConfig cfg_;
+    sim::Duration interval_;
+    const SharedRing *ring_ = nullptr;
+    Gpfn cursor_ = 0;
+    std::size_t range_cursor_ = 0;      ///< guided-scan resume point
+    std::uint64_t va_cursor_ = 0;
+    std::uint64_t directives_version_ = 0;
+    std::uint64_t last_llc_misses_ = 0;
+    std::uint64_t last_epoch_misses_ = 0;
+    sim::Counter scanned_;
+    sim::Counter scans_;
+    sim::Duration total_cost_ = 0;
+};
+
+} // namespace hos::vmm
+
+#endif // HOS_VMM_HOTNESS_TRACKER_HH

@@ -1,0 +1,57 @@
+#include "vmm/max_min.hh"
+
+#include <algorithm>
+
+#include "vmm/ballooning.hh"
+
+namespace hos::vmm {
+
+std::uint64_t
+MaxMinFairness::approve(Vmm &vmm, VmContext &requester, mem::MemType t,
+                        std::uint64_t n)
+{
+    // Below the basic share: always granted (reclaiming from
+    // overcommitted neighbours if the pool is dry).
+    // Above it: granted while memory is free, and the policy will
+    // still balloon *other* VMs' overcommit — max-min on a single
+    // resource has no cross-resource brake, which is precisely the
+    // paper's critique.
+    std::uint64_t deficit =
+        n > vmm.freeFrames(t) ? n - vmm.freeFrames(t) : 0;
+
+    // Single-resource max-min manages exactly one resource — the
+    // scarce FastMem. Guarantees exist for it alone; SlowMem is a
+    // free-for-all pool (the paper's Figure 13 failure mode: a
+    // memory-hungry VM drains a neighbour's SlowMem while staying
+    // "fair" on FastMem).
+    const bool managed = t == mem::MemType::FastMem;
+    const ReclaimCap cap =
+        managed ? ReclaimCap::PerTypeMin : ReclaimCap::Unbounded;
+
+    while (deficit > 0) {
+        VmContext *victim = nullptr;
+        std::uint64_t best = 0;
+        for (VmId id = 0; id < vmm.numVms(); ++id) {
+            VmContext &vm = vmm.vm(id);
+            if (vm.id() == requester.id())
+                continue;
+            const std::uint64_t oc =
+                managed ? overcommitFrames(vm, t) : vm.framesOf(t);
+            if (oc > best) {
+                best = oc;
+                victim = &vm;
+            }
+        }
+        if (!victim)
+            break;
+        const std::uint64_t got =
+            balloonReclaim(vmm, *victim, t, deficit, cap);
+        if (got == 0)
+            break;
+        deficit -= std::min(deficit, got);
+    }
+
+    return std::min(n, vmm.freeFrames(t));
+}
+
+} // namespace hos::vmm

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Single-resource max-min fairness (the baseline of Section 4.2).
+ *
+ * Each memory type is managed independently: a VM's basic share (its
+ * minimum reservation) is always honored, unused memory is handed to
+ * whoever asks (overcommit), and when the pool runs dry the policy
+ * balloons back overcommitted pages from the VM holding the most of
+ * *that one resource*. The paper's Figure 13 shows the failure mode:
+ * because fairness is per-resource, a memory-hungry VM can drain a
+ * neighbour's SlowMem while staying "fair" on FastMem.
+ */
+
+#ifndef HOS_VMM_MAX_MIN_HH
+#define HOS_VMM_MAX_MIN_HH
+
+#include "vmm/vmm.hh"
+
+namespace hos::vmm {
+
+/** Single-resource max-min fairness. */
+class MaxMinFairness final : public FairnessPolicy
+{
+  public:
+    const char *name() const override { return "max-min"; }
+
+    std::uint64_t approve(Vmm &vmm, VmContext &requester, mem::MemType t,
+                          std::uint64_t n) override;
+};
+
+} // namespace hos::vmm
+
+#endif // HOS_VMM_MAX_MIN_HH

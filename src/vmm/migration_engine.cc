@@ -1,0 +1,171 @@
+#include "vmm/migration_engine.hh"
+
+#include <algorithm>
+
+#include "mem/migration_cost.hh"
+#include "sim/log.hh"
+
+namespace hos::vmm {
+
+MigrationEngine::MigrationEngine(Vmm &vmm) : vmm_(vmm) {}
+
+VmmMigrationResult
+MigrationEngine::migrateBacking(VmContext &vm,
+                                const std::vector<Gpfn> &gpfns,
+                                mem::MemType dst)
+{
+    VmmMigrationResult res;
+    P2m &p2m = vm.p2m();
+    auto &machine = vmm_.machine();
+    if (!machine.hasType(dst))
+        return res;
+    mem::MachineNode &dst_node = machine.nodeByType(dst);
+
+    for (Gpfn gpfn : gpfns) {
+        if (!p2m.populated(gpfn))
+            continue; // ballooned away since the candidate was chosen
+        if (p2m.tierOf(gpfn) == dst)
+            continue;
+        auto frame = dst_node.allocFrame(vm.owner());
+        if (!frame) {
+            ++res.no_frames;
+            continue;
+        }
+        const mem::Mfn old = p2m.mfnOf(gpfn);
+        machine.nodeOfMfn(old).freeFrame(old);
+        p2m.set(gpfn, *frame, dst);
+        if (dst == mem::MemType::FastMem)
+            vm.fastBacked().insert(gpfn);
+        else
+            vm.fastBacked().erase(gpfn);
+        ++res.migrated;
+    }
+
+    if (res.migrated > 0) {
+        res.cost = mem::MigrationCostModel::batchCost(res.migrated);
+        res.cost += vm.kernel().tlb().shootdownCost(res.migrated);
+        vm.kernel().charge(guestos::OverheadKind::Migration, res.cost);
+        migrated_.inc(res.migrated);
+    }
+    return res;
+}
+
+std::vector<Gpfn>
+MigrationEngine::coldestFastBacked(VmContext &vm, std::uint64_t n)
+{
+    // Sample-and-sort over the fast-backed set: cheap and close
+    // enough to true LRU for eviction purposes.
+    auto &fast = vm.fastBacked();
+    auto &pages = vm.kernel().pages();
+
+    std::vector<Gpfn> sample;
+    const std::uint64_t sample_cap = std::max<std::uint64_t>(n * 4, 1024);
+    sample.reserve(std::min<std::uint64_t>(sample_cap, fast.size()));
+    for (Gpfn pfn : fast) {
+        sample.push_back(pfn);
+        if (sample.size() >= sample_cap)
+            break;
+    }
+    std::sort(sample.begin(), sample.end(), [&](Gpfn a, Gpfn b) {
+        return pages.page(a).heat < pages.page(b).heat;
+    });
+    if (sample.size() > n)
+        sample.resize(n);
+    return sample;
+}
+
+bool
+MigrationEngine::exchangeBacking(VmContext &vm, Gpfn promote, Gpfn evict)
+{
+    P2m &p2m = vm.p2m();
+    if (!p2m.populated(promote) || !p2m.populated(evict))
+        return false;
+    if (p2m.tierOf(promote) == mem::MemType::FastMem ||
+        p2m.tierOf(evict) != mem::MemType::FastMem) {
+        return false;
+    }
+    const mem::Mfn slow_mfn = p2m.mfnOf(promote);
+    const mem::Mfn fast_mfn = p2m.mfnOf(evict);
+    const mem::MemType slow_tier = p2m.tierOf(promote);
+    p2m.set(promote, fast_mfn, mem::MemType::FastMem);
+    p2m.set(evict, slow_mfn, slow_tier);
+    vm.fastBacked().insert(promote);
+    vm.fastBacked().erase(evict);
+    return true;
+}
+
+VmmMigrationResult
+MigrationEngine::promoteWithEviction(VmContext &vm,
+                                     const std::vector<Gpfn> &hot,
+                                     std::uint64_t budget)
+{
+    VmmMigrationResult total;
+
+    // Promotion candidates: hot pages not already fast-backed. The
+    // rate-limit budget applies to *useful* candidates only.
+    std::vector<Gpfn> promote;
+    promote.reserve(std::min<std::size_t>(hot.size(), budget));
+    const P2m &p2m = vm.p2m();
+    for (Gpfn pfn : hot) {
+        if (promote.size() >= budget)
+            break;
+        if (p2m.populated(pfn) &&
+            p2m.tierOf(pfn) != mem::MemType::FastMem) {
+            promote.push_back(pfn);
+        }
+    }
+    if (promote.empty())
+        return total;
+
+    // Use any free FastMem frames first.
+    const std::uint64_t free_fast =
+        vmm_.freeFrames(mem::MemType::FastMem);
+    std::size_t idx = 0;
+    if (free_fast > 0) {
+        std::vector<Gpfn> head(
+            promote.begin(),
+            promote.begin() + std::min<std::size_t>(free_fast,
+                                                    promote.size()));
+        const auto moved =
+            migrateBacking(vm, head, mem::MemType::FastMem);
+        total.migrated += moved.migrated;
+        total.cost += moved.cost;
+        idx = head.size();
+    }
+
+    // Remaining promotions: pairwise exchange with the coldest
+    // fast-backed pages (HeteroVisor's promote-hot/evict-LRU cycle;
+    // works even when both tiers are fully committed). Skip victims
+    // that are themselves hot — no churn for nothing.
+    if (idx < promote.size()) {
+        auto victims = coldestFastBacked(vm, promote.size() - idx);
+        auto &pages = vm.kernel().pages();
+        std::uint64_t exchanged = 0;
+        for (Gpfn victim : victims) {
+            if (idx >= promote.size())
+                break;
+            if (pages.page(victim).heat >=
+                pages.page(promote[idx]).heat) {
+                continue; // eviction would hurt more than it helps
+            }
+            if (exchangeBacking(vm, promote[idx], victim)) {
+                ++idx;
+                ++exchanged;
+            }
+        }
+        if (exchanged > 0) {
+            // Each exchange is two page moves plus shootdowns.
+            sim::Duration cost =
+                mem::MigrationCostModel::batchCost(exchanged * 2);
+            cost += vm.kernel().tlb().shootdownCost(exchanged * 2);
+            vm.kernel().charge(guestos::OverheadKind::Migration, cost);
+            migrated_.inc(exchanged * 2);
+            total.migrated += exchanged * 2;
+            total.cost += cost;
+        }
+        total.no_frames = promote.size() - idx;
+    }
+    return total;
+}
+
+} // namespace hos::vmm

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * VMM-level page migration (the HeteroVisor mechanism).
+ *
+ * In the VMM-exclusive model the hypervisor moves a page between
+ * tiers by allocating a frame in the destination tier, copying, and
+ * retargeting the P2M entry — the guest never notices. Costs follow
+ * the same Table 6 batch-amortized model as guest migrations, plus a
+ * shootdown (the hardware mappings derived from the P2M must be
+ * invalidated).
+ *
+ * The engine also implements the eviction side: when FastMem fills,
+ * the *least-hot* fast-backed pages of the VM are demoted to make
+ * room (HeteroVisor's LRU eviction of hot pages' predecessors).
+ */
+
+#ifndef HOS_VMM_MIGRATION_ENGINE_HH
+#define HOS_VMM_MIGRATION_ENGINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/time.hh"
+#include "vmm/vmm.hh"
+
+namespace hos::vmm {
+
+/** Result of a VMM migration batch. */
+struct VmmMigrationResult
+{
+    std::uint64_t migrated = 0;
+    std::uint64_t no_frames = 0; ///< destination tier was full
+    sim::Duration cost = 0;
+};
+
+/** Moves page backing between tiers behind a guest's back. */
+class MigrationEngine
+{
+  public:
+    explicit MigrationEngine(Vmm &vmm);
+
+    /**
+     * Retarget the backing of `gpfns` to tier `dst`. Unpopulated
+     * gpfns and pages already in `dst` are skipped silently. The
+     * walk+copy+shootdown cost is charged to the VM.
+     */
+    VmmMigrationResult migrateBacking(VmContext &vm,
+                                      const std::vector<Gpfn> &gpfns,
+                                      mem::MemType dst);
+
+    /**
+     * Pick up to `n` of the coldest FastMem-backed gpfns of the VM
+     * (lowest tracker heat), for eviction ahead of promotions.
+     */
+    std::vector<Gpfn> coldestFastBacked(VmContext &vm, std::uint64_t n);
+
+    /**
+     * Swap the backing frames of a SlowMem-backed and a FastMem-
+     * backed gpfn (promotion + eviction in one exchange, used when
+     * neither tier has free frames).
+     */
+    bool exchangeBacking(VmContext &vm, Gpfn promote, Gpfn evict);
+
+    /**
+     * Promote `hot` pages into FastMem, evicting cold fast-backed
+     * pages first when FastMem lacks room (by migration when SlowMem
+     * has free frames, by pairwise exchange otherwise). At most
+     * `budget` promotions are performed (rate limiting); pages that
+     * are already FastMem-backed do not consume budget. The complete
+     * HeteroVisor migration round.
+     */
+    VmmMigrationResult
+    promoteWithEviction(VmContext &vm, const std::vector<Gpfn> &hot,
+                        std::uint64_t budget = ~std::uint64_t(0));
+
+    std::uint64_t totalMigrated() const { return migrated_.value(); }
+
+  private:
+    Vmm &vmm_;
+    sim::Counter migrated_;
+};
+
+} // namespace hos::vmm
+
+#endif // HOS_VMM_MIGRATION_ENGINE_HH

@@ -1,0 +1,26 @@
+#include "vmm/shared_ring.hh"
+
+namespace hos::vmm {
+
+void
+SharedRing::publishDirectives(TrackingDirectives d)
+{
+    d.version = directives_.version + 1;
+    directives_ = std::move(d);
+}
+
+void
+SharedRing::pushHotPages(const std::vector<guestos::Gpfn> &pfns)
+{
+    hot_.insert(hot_.end(), pfns.begin(), pfns.end());
+}
+
+std::vector<guestos::Gpfn>
+SharedRing::drainHotPages()
+{
+    std::vector<guestos::Gpfn> out;
+    out.swap(hot_);
+    return out;
+}
+
+} // namespace hos::vmm

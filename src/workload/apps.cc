@@ -1,0 +1,539 @@
+#include "workload/apps.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/log.hh"
+
+namespace hos::workload {
+
+namespace {
+
+std::uint64_t
+scaled(double scale, std::uint64_t v)
+{
+    return std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(static_cast<double>(v) * scale));
+}
+
+/**
+ * GraphChi: PageRank over the Orkut graph (8M nodes, 500M edges).
+ * Out-of-core: each iteration loads shards through the page cache,
+ * builds a heap arena for the subgraph, computes, and releases the
+ * arena — the frequent allocate/release pattern Section 5.3 credits
+ * for its on-demand allocation wins. Memory-intensive (MPKI 27.4),
+ * bandwidth-sensitive (16 threads of batched edge processing).
+ */
+class GraphChiApp final : public Workload
+{
+  public:
+    /** Orkut (default) or the larger Twitter dataset (Section 5.5). */
+    enum class Preset { Orkut, Twitter };
+
+    GraphChiApp(VmEnv env, double scale, Preset preset = Preset::Orkut)
+        : Workload(std::move(env), "GraphChi"), scale_(scale),
+          preset_(preset)
+    {
+        io_overlap_ = 0.7; // sequential shard loads prefetch well
+    }
+
+  protected:
+    void
+    setup() override
+    {
+        const bool twitter = preset_ == Preset::Twitter;
+        graph_file_ = makeFile(
+            scaled(scale_, (twitter ? 10 : 6) * mem::gib));
+        // Persistent vertex/edge state. The Twitter preset carries
+        // ~6 GB of live heap but an active working set of 1.5 GB.
+        const std::uint64_t heap =
+            scaled(scale_, (twitter ? 6144 : 1536) * mem::mib);
+        const std::uint64_t wss =
+            scaled(scale_, (twitter ? 1536 : 1024) * mem::mib);
+        vertices_ = makeAnonRegion("vertices", heap, wss,
+                                   /*temporal=*/0.35, /*mlp=*/14.0,
+                                   /*write_frac=*/0.45);
+        // Vertex state is touched far less intensely per page than
+        // the shard arenas (141 vs ~730 references per page/phase).
+        vertices_.ref_chance = 0.22;
+        growRegion(vertices_, heap);
+        iters_ = std::max<std::uint64_t>(2, scaled(scale_, 24));
+        shards_ = 4;
+    }
+
+    bool
+    phase(std::uint64_t idx) override
+    {
+        const std::uint64_t shard = idx % shards_;
+        const std::uint64_t shard_bytes = scaled(scale_, 44 * mem::mib);
+
+        // Load this shard's edges through the page cache and
+        // compute over the mmap'd pages (the cache IS the edge
+        // working set; its placement matters as much as the heap's).
+        auto shard_pages =
+            ioRead(graph_file_, shard * shard_bytes * 8 +
+                                    (idx / shards_ % 8) * shard_bytes,
+                   shard_bytes);
+        accessPages(shard_pages, scaled(scale_, 9'000'000),
+                    /*temporal=*/0.15, /*mlp=*/16.0,
+                    /*write_frac=*/0.05);
+
+        // Build the in-memory subgraph (fresh arena every shard).
+        Region arena = makeAnonRegion(
+            "shard-arena", scaled(scale_, 160 * mem::mib),
+            scaled(scale_, 160 * mem::mib), /*temporal=*/0.25,
+            /*mlp=*/16.0, /*write_frac=*/0.35);
+        arena.ref_chance = 0.85; // every arena page is hammered
+        growRegion(arena, scaled(scale_, 160 * mem::mib));
+
+        // Edge-centric update: hammer the arena and the vertex state.
+        accessRegion(arena, scaled(scale_, 30'000'000));
+        accessRegion(vertices_, scaled(scale_, 11'000'000));
+        chargeInstructions(scaled(scale_, 1'500'000'000));
+        chargeCpu(sim::milliseconds(scaled(scale_, 115)));
+
+        // Release the arena: pages churn back to the allocator.
+        releaseRegion(arena);
+
+        return idx + 1 < iters_ * shards_;
+    }
+
+  private:
+    double scale_;
+    Preset preset_;
+    guestos::FileId graph_file_ = guestos::noFile;
+    Region vertices_;
+    std::uint64_t iters_ = 0;
+    std::uint64_t shards_ = 0;
+};
+
+/**
+ * X-Stream: edge-centric graph processing over streaming partitions.
+ * Computes over memory-mapped I/O data: the page cache IS the working
+ * set (Figure 4: I/O cache dominates), with high streaming bandwidth
+ * demand (MPKI 24.8) and an update file rewritten every iteration.
+ */
+class XStreamApp final : public Workload
+{
+  public:
+    XStreamApp(VmEnv env, double scale)
+        : Workload(std::move(env), "X-Stream"), scale_(scale)
+    {
+        io_overlap_ = 0.9;
+    }
+
+  protected:
+    void
+    setup() override
+    {
+        edges_ = makeFile(scaled(scale_, 6656 * mem::mib));
+        updates_ = makeFile(scaled(scale_, 2 * mem::gib));
+        state_ = makeAnonRegion("vertex-state",
+                                scaled(scale_, 1024 * mem::mib),
+                                scaled(scale_, 1024 * mem::mib),
+                                /*temporal=*/0.30, /*mlp=*/14.0,
+                                /*write_frac=*/0.4);
+        growRegion(state_, scaled(scale_, 640 * mem::mib));
+        iters_ = std::max<std::uint64_t>(2, scaled(scale_, 14));
+        chunks_ = 12;
+    }
+
+    bool
+    phase(std::uint64_t idx) override
+    {
+        const std::uint64_t chunk = idx % chunks_;
+        const std::uint64_t chunk_bytes =
+            scaled(scale_, 6656 * mem::mib) / chunks_;
+
+        // Stream one edge partition (mmap'd: compute reads the cache
+        // pages directly — their placement is the whole ballgame).
+        auto chunk_pages = ioRead(edges_, chunk * chunk_bytes,
+                                  chunk_bytes);
+        accessPages(chunk_pages, scaled(scale_, 16'000'000),
+                    /*temporal=*/0.12, /*mlp=*/16.0,
+                    /*write_frac=*/0.08);
+
+        // Scatter updates to the update file (dirty cache pages).
+        ioWrite(updates_,
+                chunk * (scaled(scale_, 2 * mem::gib) / chunks_),
+                scaled(scale_, 2 * mem::gib) / chunks_ / 2);
+
+        accessRegion(state_, scaled(scale_, 9'000'000));
+        chargeInstructions(scaled(scale_, 1'300'000'000));
+        chargeCpu(sim::milliseconds(scaled(scale_, 55)));
+
+        return idx + 1 < iters_ * chunks_;
+    }
+
+  private:
+    double scale_;
+    guestos::FileId edges_ = guestos::noFile;
+    guestos::FileId updates_ = guestos::noFile;
+    Region state_;
+    std::uint64_t iters_ = 0;
+    std::uint64_t chunks_ = 0;
+};
+
+/**
+ * Metis: shared-memory map-reduce (Phoenix-optimized) on a 4 GB
+ * dataset with 8 mapper-reducer threads. One large heap grown during
+ * the map phase and *seldom released* (Section 5.3), 5.4 GB working
+ * set, moderate memory intensity (MPKI 14.9).
+ */
+class MetisApp final : public Workload
+{
+  public:
+    /** Crime dataset (default) or the larger Section 5.5 dataset. */
+    enum class Preset { Crime, Large };
+
+    MetisApp(VmEnv env, double scale, Preset preset = Preset::Crime)
+        : Workload(std::move(env), "Metis"), scale_(scale),
+          preset_(preset)
+    {
+        io_overlap_ = 0.6;
+    }
+
+  protected:
+    void
+    setup() override
+    {
+        heap_bytes_ = scaled(
+            scale_,
+            (preset_ == Preset::Large ? std::uint64_t(8)
+                                      : std::uint64_t(7)) * mem::gib);
+        input_ = makeFile(scaled(scale_, 4 * mem::gib));
+        heap_ = makeAnonRegion("mr-heap", heap_bytes_,
+                               scaled(scale_, 5400 * mem::mib),
+                               /*temporal=*/0.35, /*mlp=*/10.0,
+                               /*write_frac=*/0.4);
+        phases_ = std::max<std::uint64_t>(4, scaled(scale_, 80));
+    }
+
+    bool
+    phase(std::uint64_t idx) override
+    {
+        const std::uint64_t grow_phases = phases_ / 2;
+        if (idx < grow_phases) {
+            // Map: read input, emit intermediate pairs into the heap.
+            ioRead(input_, idx * (scaled(scale_, 4 * mem::gib) /
+                                  grow_phases),
+                   scaled(scale_, 4 * mem::gib) / grow_phases);
+            growRegion(heap_, heap_bytes_ / grow_phases);
+        }
+        accessRegion(heap_, scaled(scale_, 34'000'000));
+        chargeInstructions(scaled(scale_, 1'900'000'000));
+        chargeCpu(sim::milliseconds(scaled(scale_, 200)));
+        return idx + 1 < phases_;
+    }
+
+  private:
+    double scale_;
+    Preset preset_;
+    std::uint64_t heap_bytes_ = 0;
+    guestos::FileId input_ = guestos::noFile;
+    Region heap_;
+    std::uint64_t phases_ = 0;
+};
+
+/**
+ * LevelDB: Google's LSM store driven SQLite-bench style with 1M keys.
+ * Storage-intensive with a small working set (MPKI 4.7): log appends
+ * through the buffer cache, a memtable heap, and random reads through
+ * the memory-mapped table files. Metric: throughput in MB/s.
+ */
+class LevelDbApp final : public Workload
+{
+  public:
+    LevelDbApp(VmEnv env, double scale)
+        : Workload(std::move(env), "LevelDB"), scale_(scale)
+    {
+        io_overlap_ = 0.35; // random reads expose latency
+    }
+
+  protected:
+    void
+    setup() override
+    {
+        db_ = makeFile(scaled(scale_, 2 * mem::gib));
+        log_ = makeFile(scaled(scale_, 512 * mem::mib));
+        memtable_ = makeAnonRegion("memtable",
+                                   scaled(scale_, 256 * mem::mib),
+                                   scaled(scale_, 256 * mem::mib),
+                                   /*temporal=*/0.55, /*mlp=*/3.0,
+                                   /*write_frac=*/0.5);
+        growRegion(memtable_, scaled(scale_, 256 * mem::mib));
+        metadata_ = kernel().slab().createCache("leveldb-meta", 256);
+        phases_ = std::max<std::uint64_t>(4, scaled(scale_, 120));
+        hot_db_bytes_ = scaled(scale_, 600 * mem::mib);
+    }
+
+    bool
+    phase(std::uint64_t idx) override
+    {
+        const std::uint64_t ops = scaled(scale_, 9000);
+        const std::uint64_t value = 1100; // ~1.1 KB per record
+
+        // Write path: log append (sequential, buffered).
+        ioWrite(log_, (idx * ops * value) %
+                          scaled(scale_, 512 * mem::mib),
+                ops * value / 2);
+
+        // Memtable updates.
+        accessRegion(memtable_, scaled(scale_, 2'500'000));
+
+        // Read path: random gets over the hot span of the mmap'd
+        // table files — page-cache residency and *placement* decide
+        // the latency.
+        for (int i = 0; i < 24; ++i) {
+            const std::uint64_t off =
+                rng().zipf(hot_db_bytes_ / (32 * mem::kib), 0.9) *
+                (32 * mem::kib);
+            ioRead(db_, off, 32 * mem::kib);
+        }
+
+        // Filesystem metadata (dentries/inodes) via the slab.
+        for (int i = 0; i < 64; ++i) {
+            auto obj = kernel().slab().alloc(metadata_);
+            if (obj.valid())
+                meta_objs_.push_back(obj);
+        }
+        while (meta_objs_.size() > 4096) {
+            kernel().slab().free(metadata_, meta_objs_.back());
+            meta_objs_.pop_back();
+        }
+
+        bytes_processed_ += ops * value;
+        chargeInstructions(scaled(scale_, 220'000'000));
+        chargeCpu(sim::milliseconds(scaled(scale_, 45)));
+        return idx + 1 < phases_;
+    }
+
+    double
+    metricValue() const override
+    {
+        return static_cast<double>(bytes_processed_) /
+               static_cast<double>(mem::mib) /
+               std::max(1e-9, sim::toSeconds(elapsed()));
+    }
+
+    const char *
+    metricName() const override
+    {
+        return "throughput(MB/s)";
+    }
+
+  private:
+    double scale_;
+    guestos::FileId db_ = guestos::noFile;
+    guestos::FileId log_ = guestos::noFile;
+    Region memtable_;
+    guestos::SlabCacheId metadata_ = 0;
+    std::vector<guestos::SlabObject> meta_objs_;
+    std::uint64_t phases_ = 0;
+    std::uint64_t hot_db_bytes_ = 0;
+    std::uint64_t bytes_processed_ = 0;
+};
+
+/**
+ * Redis: in-memory key-value store under redis-benchmark, 4M ops at
+ * 80% GET. Network-intensive: every request cycles skbuff slab
+ * buffers (Figure 4's NW-buff share), while values live in a
+ * zipf-hot heap (MPKI 11.1). Metric: requests/second.
+ */
+class RedisApp final : public Workload
+{
+  public:
+    RedisApp(VmEnv env, double scale)
+        : Workload(std::move(env), "Redis"), scale_(scale)
+    {
+        io_overlap_ = 0.5;
+    }
+
+  protected:
+    void
+    setup() override
+    {
+        values_ = makeAnonRegion("values",
+                                 scaled(scale_, 2560 * mem::mib),
+                                 scaled(scale_, 800 * mem::mib),
+                                 /*temporal=*/0.45, /*mlp=*/3.0,
+                                 /*write_frac=*/0.25);
+        values_.drift_frac = 0.003; // zipf-hot keys are fairly stable
+        growRegion(values_, scaled(scale_, 2560 * mem::mib));
+        phases_ = std::max<std::uint64_t>(4, scaled(scale_, 200));
+        ops_per_phase_ = scaled(scale_, 20'000);
+    }
+
+    bool
+    phase(std::uint64_t idx) override
+    {
+        // Request/response traffic through skbuffs.
+        netRequestBatch(ops_per_phase_, 1024);
+        // Value accesses (80% GET => read-mostly).
+        accessRegion(values_, scaled(scale_, 5'500'000));
+        ops_done_ += ops_per_phase_;
+        chargeInstructions(scaled(scale_, 500'000'000));
+        chargeCpu(sim::milliseconds(scaled(scale_, 95)));
+        return idx + 1 < phases_;
+    }
+
+    double
+    metricValue() const override
+    {
+        return static_cast<double>(ops_done_) /
+               std::max(1e-9, sim::toSeconds(elapsed()));
+    }
+
+    const char *
+    metricName() const override
+    {
+        return "requests/sec";
+    }
+
+  private:
+    double scale_;
+    Region values_;
+    std::uint64_t phases_ = 0;
+    std::uint64_t ops_per_phase_ = 0;
+    std::uint64_t ops_done_ = 0;
+};
+
+/**
+ * NGinx: static/dynamic web serving over 1M pages of content, with a
+ * <60 MB active working set (Section 2.2) — hence barely sensitive
+ * to memory heterogeneity (MPKI 2.1, <10% impact even at L:5,B:9).
+ * Metric: requests/second.
+ */
+class NginxApp final : public Workload
+{
+  public:
+    NginxApp(VmEnv env, double scale)
+        : Workload(std::move(env), "NGinx"), scale_(scale)
+    {
+        io_overlap_ = 0.6;
+    }
+
+  protected:
+    void
+    setup() override
+    {
+        content_ = makeFile(scaled(scale_, 4 * mem::gib));
+        heap_ = makeAnonRegion("workers", scaled(scale_, 80 * mem::mib),
+                               scaled(scale_, 40 * mem::mib),
+                               /*temporal=*/0.9, /*mlp=*/2.0,
+                               /*write_frac=*/0.3);
+        growRegion(heap_, scaled(scale_, 80 * mem::mib));
+        phases_ = std::max<std::uint64_t>(4, scaled(scale_, 100));
+        hot_bytes_ = scaled(scale_, 56 * mem::mib);
+    }
+
+    bool
+    phase(std::uint64_t idx) override
+    {
+        const std::uint64_t reqs = scaled(scale_, 30'000);
+        netRequestBatch(reqs, 1400);
+        // Hot content served from the page cache (tiny, zipf-hot).
+        for (int i = 0; i < 16; ++i) {
+            const std::uint64_t off =
+                rng().zipf(hot_bytes_ / (16 * mem::kib), 1.0) *
+                (16 * mem::kib);
+            ioRead(content_, off, 16 * mem::kib);
+        }
+        accessRegion(heap_, scaled(scale_, 1'200'000));
+        reqs_done_ += reqs;
+        chargeInstructions(scaled(scale_, 900'000'000));
+        chargeCpu(sim::milliseconds(scaled(scale_, 210)));
+        return idx + 1 < phases_;
+    }
+
+    double
+    metricValue() const override
+    {
+        return static_cast<double>(reqs_done_) /
+               std::max(1e-9, sim::toSeconds(elapsed()));
+    }
+
+    const char *
+    metricName() const override
+    {
+        return "requests/sec";
+    }
+
+  private:
+    double scale_;
+    guestos::FileId content_ = guestos::noFile;
+    Region heap_;
+    std::uint64_t phases_ = 0;
+    std::uint64_t hot_bytes_ = 0;
+    std::uint64_t reqs_done_ = 0;
+};
+
+} // namespace
+
+const char *
+appName(AppId id)
+{
+    switch (id) {
+      case AppId::GraphChi:
+        return "Graphchi";
+      case AppId::XStream:
+        return "X-Stream";
+      case AppId::Metis:
+        return "Metis";
+      case AppId::LevelDb:
+        return "LevelDB";
+      case AppId::Redis:
+        return "Redis";
+      case AppId::Nginx:
+        return "Nginx";
+    }
+    return "?";
+}
+
+std::unique_ptr<Workload>
+createApp(AppId id, VmEnv env, double scale)
+{
+    switch (id) {
+      case AppId::GraphChi:
+        return std::make_unique<GraphChiApp>(std::move(env), scale);
+      case AppId::XStream:
+        return std::make_unique<XStreamApp>(std::move(env), scale);
+      case AppId::Metis:
+        return std::make_unique<MetisApp>(std::move(env), scale);
+      case AppId::LevelDb:
+        return std::make_unique<LevelDbApp>(std::move(env), scale);
+      case AppId::Redis:
+        return std::make_unique<RedisApp>(std::move(env), scale);
+      case AppId::Nginx:
+        return std::make_unique<NginxApp>(std::move(env), scale);
+    }
+    sim::panic("unknown app id");
+}
+
+WorkloadFactory
+makeApp(AppId id, double scale)
+{
+    return [id, scale](VmEnv env) {
+        return createApp(id, std::move(env), scale);
+    };
+}
+
+WorkloadFactory
+makeGraphchiTwitter(double scale)
+{
+    return [scale](VmEnv env) -> std::unique_ptr<Workload> {
+        return std::make_unique<GraphChiApp>(
+            std::move(env), scale, GraphChiApp::Preset::Twitter);
+    };
+}
+
+WorkloadFactory
+makeMetisLarge(double scale)
+{
+    return [scale](VmEnv env) -> std::unique_ptr<Workload> {
+        return std::make_unique<MetisApp>(std::move(env), scale,
+                                          MetisApp::Preset::Large);
+    };
+}
+
+} // namespace hos::workload

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The paper's datacenter applications (Table 2) as workload models.
+ *
+ * Each model reproduces the published characterization of the real
+ * application — region mix and footprint (Figure 4), working-set
+ * size, memory intensity (Table 4 MPKI), parallelism, and I/O
+ * behaviour — rather than its computation:
+ *
+ *  - GraphChi:  out-of-core PageRank; per-shard load (page cache) +
+ *               heap arena compute with frequent allocate/release.
+ *  - X-Stream:  edge-centric streaming over mmap'd partitions; page-
+ *               cache dominated, bandwidth hungry.
+ *  - Metis:     shared-memory map-reduce; one big seldom-released
+ *               heap, input read once.
+ *  - LevelDB:   SQLite-bench style store; log append (buffer cache),
+ *               memtable heap, random reads via the mmap'd table.
+ *  - Redis:     key-value serving; skbuff (NetBuf slab) churn plus
+ *               zipf-skewed heap value accesses.
+ *  - NGinx:     web serving; tiny (<60 MB) hot set, page cache +
+ *               skbuffs.
+ *
+ * All sizes accept a `scale` factor (tests use small scales; benches
+ * run at 1.0).
+ */
+
+#ifndef HOS_WORKLOAD_APPS_HH
+#define HOS_WORKLOAD_APPS_HH
+
+#include <memory>
+
+#include "workload/workload.hh"
+
+namespace hos::workload {
+
+/** The evaluated applications. */
+enum class AppId {
+    GraphChi,
+    XStream,
+    Metis,
+    LevelDb,
+    Redis,
+    Nginx,
+};
+
+constexpr AppId allApps[] = {AppId::GraphChi, AppId::XStream,
+                             AppId::Metis,    AppId::LevelDb,
+                             AppId::Redis,    AppId::Nginx};
+
+/** The five apps Figure 9-12 evaluate (NGinx excluded, as in §5.3). */
+constexpr AppId placementApps[] = {AppId::GraphChi, AppId::XStream,
+                                   AppId::Metis, AppId::LevelDb,
+                                   AppId::Redis};
+
+const char *appName(AppId id);
+
+/**
+ * Factory for an application model.
+ * @param scale shrinks footprints and phase counts (0 < scale <= 1)
+ */
+WorkloadFactory makeApp(AppId id, double scale = 1.0);
+
+/** Construct directly (ownership to caller). */
+std::unique_ptr<Workload> createApp(AppId id, VmEnv env,
+                                    double scale = 1.0);
+
+/**
+ * Section 5.5 multi-VM presets:
+ *  - GraphChi on the Twitter dataset: ~6 GB of live heap with a
+ *    1.5 GB active working set;
+ *  - Metis on the larger dataset: ~8 GB heap, 5.4 GB working set.
+ */
+WorkloadFactory makeGraphchiTwitter(double scale = 1.0);
+WorkloadFactory makeMetisLarge(double scale = 1.0);
+
+} // namespace hos::workload
+
+#endif // HOS_WORKLOAD_APPS_HH

@@ -1,0 +1,54 @@
+#include "workload/memlat.hh"
+
+#include <algorithm>
+
+namespace hos::workload {
+
+namespace {
+constexpr double cpuGhz = 2.67;
+} // namespace
+
+MemlatBenchmark::MemlatBenchmark(VmEnv env, Params p)
+    : Workload(std::move(env), "memlat"), p_(p)
+{
+    io_overlap_ = 0.0;
+}
+
+void
+MemlatBenchmark::setup()
+{
+    buf_ = makeAnonRegion("chase-buffer", p_.wss_bytes, p_.wss_bytes,
+                          /*temporal=*/0.0, /*mlp=*/1.0,
+                          /*write_frac=*/0.0);
+    growRegion(buf_, p_.wss_bytes);
+}
+
+bool
+MemlatBenchmark::phase(std::uint64_t idx)
+{
+    accessRegion(buf_, p_.accesses_per_phase);
+    accesses_done_ += p_.accesses_per_phase;
+    chargeInstructions(p_.accesses_per_phase * 4);
+    // A dependent chase is pure memory time; the ALU work between
+    // loads hides under the misses. LLC hits still cost ~40 cycles.
+    const std::uint64_t hits =
+        p_.accesses_per_phase -
+        std::min(p_.accesses_per_phase, p_.accesses_per_phase);
+    (void)hits;
+    chargeCpu(static_cast<sim::Duration>(
+        static_cast<double>(p_.accesses_per_phase) * 15.0 / cpuGhz));
+    return idx + 1 < p_.phases;
+}
+
+double
+MemlatBenchmark::avgLatencyCycles() const
+{
+    if (accesses_done_ == 0)
+        return 0.0;
+    const double ns_per_access =
+        static_cast<double>(elapsed()) /
+        static_cast<double>(accesses_done_);
+    return ns_per_access * cpuGhz;
+}
+
+} // namespace hos::workload

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * 'memlat' pointer-chase latency microbenchmark (Figure 6).
+ *
+ * A single dependent-load chain over a heap buffer of configurable
+ * working-set size: MLP of 1, no temporal locality, so every LLC miss
+ * pays the full backing-tier latency. The metric is the average
+ * access latency in CPU cycles (2.67 GHz, as the paper's testbed).
+ */
+
+#ifndef HOS_WORKLOAD_MEMLAT_HH
+#define HOS_WORKLOAD_MEMLAT_HH
+
+#include "workload/workload.hh"
+
+namespace hos::workload {
+
+/** Pointer-chase latency benchmark. */
+class MemlatBenchmark final : public Workload
+{
+  public:
+    struct Params
+    {
+        std::uint64_t wss_bytes = 512 * mem::mib;
+        std::uint64_t accesses_per_phase = 2'000'000;
+        std::uint64_t phases = 40;
+    };
+
+    MemlatBenchmark(VmEnv env, Params p);
+
+    /** Average access latency in cycles at 2.67 GHz. */
+    double avgLatencyCycles() const;
+
+  protected:
+    void setup() override;
+    bool phase(std::uint64_t idx) override;
+    double metricValue() const override { return avgLatencyCycles(); }
+    const char *metricName() const override { return "latency(cycles)"; }
+
+  private:
+    Params p_;
+    Region buf_;
+    std::uint64_t accesses_done_ = 0;
+};
+
+} // namespace hos::workload
+
+#endif // HOS_WORKLOAD_MEMLAT_HH

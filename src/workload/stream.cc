@@ -1,0 +1,44 @@
+#include "workload/stream.hh"
+
+#include <algorithm>
+
+namespace hos::workload {
+
+StreamBenchmark::StreamBenchmark(VmEnv env, Params p)
+    : Workload(std::move(env), "stream"), p_(p)
+{
+    io_overlap_ = 0.0;
+}
+
+void
+StreamBenchmark::setup()
+{
+    buf_ = makeAnonRegion("triad-buffer", p_.wss_bytes, p_.wss_bytes,
+                          /*temporal=*/0.0, /*mlp=*/24.0,
+                          /*write_frac=*/0.34);
+    growRegion(buf_, p_.wss_bytes);
+}
+
+bool
+StreamBenchmark::phase(std::uint64_t idx)
+{
+    // One sweep touches every line of the buffer (2 loads + 1 store
+    // per element => bytes ~ 3 * wss per pass, modelled as accesses).
+    const std::uint64_t accesses =
+        p_.wss_bytes / mem::cacheLineSize * 3 / 2;
+    accessRegion(buf_, accesses);
+    bytes_moved_ += p_.wss_bytes * 3;
+    chargeInstructions(accesses * 3);
+    return idx + 1 < p_.sweeps;
+}
+
+double
+StreamBenchmark::bandwidthGbps()const
+{
+    if (elapsed() == 0)
+        return 0.0;
+    return static_cast<double>(bytes_moved_) /
+           static_cast<double>(elapsed());
+}
+
+} // namespace hos::workload

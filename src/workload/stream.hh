@@ -1,0 +1,46 @@
+/**
+ * @file
+ * STREAM bandwidth microbenchmark (Figure 7).
+ *
+ * Triad-style streaming over a heap buffer: very high MLP, zero
+ * temporal locality, 2 loads + 1 store per element. Metric: achieved
+ * memory bandwidth in GB/s.
+ */
+
+#ifndef HOS_WORKLOAD_STREAM_HH
+#define HOS_WORKLOAD_STREAM_HH
+
+#include "workload/workload.hh"
+
+namespace hos::workload {
+
+/** STREAM triad bandwidth benchmark. */
+class StreamBenchmark final : public Workload
+{
+  public:
+    struct Params
+    {
+        std::uint64_t wss_bytes = 512 * mem::mib;
+        std::uint64_t sweeps = 40; ///< full passes over the buffer
+    };
+
+    StreamBenchmark(VmEnv env, Params p);
+
+    /** Achieved bandwidth in GB/s. */
+    double bandwidthGbps() const;
+
+  protected:
+    void setup() override;
+    bool phase(std::uint64_t idx) override;
+    double metricValue() const override { return bandwidthGbps(); }
+    const char *metricName() const override { return "BW(GB/s)"; }
+
+  private:
+    Params p_;
+    Region buf_;
+    std::uint64_t bytes_moved_ = 0;
+};
+
+} // namespace hos::workload
+
+#endif // HOS_WORKLOAD_STREAM_HH

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * AddressSpace: mmap/munmap, demand faulting, page-type routing,
+ * VMA lookup, and release.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hh"
+
+namespace {
+
+using namespace hos;
+using namespace hos::guestos;
+
+struct AsFixture : ::testing::Test
+{
+    std::unique_ptr<GuestKernel> kernel = test::standaloneGuest();
+    AddressSpace *as = nullptr;
+
+    void
+    SetUp() override
+    {
+        as = &kernel->createProcess("proc");
+    }
+};
+
+TEST_F(AsFixture, MmapAssignsDisjointRanges)
+{
+    const auto a = as->mmap(mem::mib, VmaKind::Anon);
+    const auto b = as->mmap(mem::mib, VmaKind::Anon);
+    EXPECT_GE(b, a + mem::mib);
+    EXPECT_EQ(as->vmaCount(), 2u);
+    EXPECT_NE(as->findVma(a), nullptr);
+    EXPECT_NE(as->findVma(b + mem::mib - 1), nullptr);
+    EXPECT_EQ(as->findVma(a + mem::mib), nullptr) << "guard gap";
+}
+
+TEST_F(AsFixture, TouchFaultsInOnce)
+{
+    const auto va = as->mmap(mem::mib, VmaKind::Anon);
+    const Gpfn first = as->touch(va, true);
+    ASSERT_NE(first, invalidGpfn);
+    EXPECT_EQ(as->touch(va, false), first) << "no refault";
+    EXPECT_EQ(as->mappedPages(), 1u);
+
+    const Page &p = kernel->pageMeta(first);
+    EXPECT_EQ(p.type, PageType::Anon);
+    EXPECT_EQ(p.owner_process, as->pid());
+    EXPECT_EQ(p.vaddr, va);
+    EXPECT_EQ(p.lru, LruState::Inactive);
+}
+
+TEST_F(AsFixture, TouchSetsPteBits)
+{
+    const auto va = as->mmap(mem::mib, VmaKind::Anon);
+    as->touch(va, true);
+    auto pte = as->pageTable().lookup(va);
+    ASSERT_TRUE(pte.has_value());
+    EXPECT_TRUE(pte->accessed);
+    EXPECT_TRUE(pte->dirty);
+}
+
+TEST_F(AsFixture, TranslateWithoutFault)
+{
+    const auto va = as->mmap(mem::mib, VmaKind::Anon);
+    EXPECT_FALSE(as->translate(va).has_value());
+    const Gpfn pfn = as->touch(va, false);
+    EXPECT_EQ(as->translate(va), pfn);
+}
+
+TEST_F(AsFixture, MunmapFreesPages)
+{
+    const auto va = as->mmap(16 * mem::pageSize, VmaKind::Anon);
+    std::vector<Gpfn> pfns;
+    for (int i = 0; i < 16; ++i)
+        pfns.push_back(as->touch(va + i * mem::pageSize, true));
+    as->munmap(va);
+    EXPECT_EQ(as->mappedPages(), 0u);
+    EXPECT_EQ(as->vmaCount(), 0u);
+    for (Gpfn pfn : pfns)
+        EXPECT_FALSE(kernel->pageMeta(pfn).allocated);
+}
+
+TEST_F(AsFixture, FileBackedFaultsThroughPageCache)
+{
+    const FileId f = kernel->pageCache().createFile(mem::mib);
+    const auto va = as->mmap(mem::mib, VmaKind::File, MemHint::None, f, 0);
+    const Gpfn pfn = as->touch(va, false);
+    ASSERT_NE(pfn, invalidGpfn);
+    EXPECT_TRUE(kernel->pageCache().owns(pfn));
+    EXPECT_EQ(kernel->pageMeta(pfn).type, PageType::PageCache);
+
+    // A second process view of the same offset shares the page.
+    auto &as2 = kernel->createProcess("proc2");
+    const auto va2 =
+        as2.mmap(mem::mib, VmaKind::File, MemHint::None, f, 0);
+    EXPECT_EQ(as2.touch(va2, false), pfn);
+}
+
+TEST_F(AsFixture, MunmapOfFileVmaKeepsCache)
+{
+    const FileId f = kernel->pageCache().createFile(mem::mib);
+    const auto va = as->mmap(mem::mib, VmaKind::File, MemHint::None, f, 0);
+    const Gpfn pfn = as->touch(va, false);
+    as->munmap(va);
+    // The mapping is gone but the data stays cached (possibly in a
+    // demoted frame — HeteroOS-LRU rule 1 moves it to SlowMem).
+    auto r = kernel->pageCache().read(f, 0, 4 * mem::kib);
+    EXPECT_EQ(r.pages_missed, 0u) << "cache outlives the mapping";
+    (void)pfn;
+}
+
+TEST_F(AsFixture, ReleaseAllUnwindsEverything)
+{
+    for (int i = 0; i < 4; ++i) {
+        const auto va = as->mmap(8 * mem::pageSize, VmaKind::Anon);
+        for (int j = 0; j < 8; ++j)
+            as->touch(va + j * mem::pageSize, true);
+    }
+    as->releaseAll();
+    EXPECT_EQ(as->vmaCount(), 0u);
+    EXPECT_EQ(as->mappedPages(), 0u);
+}
+
+TEST_F(AsFixture, MemHintRoutesPlacement)
+{
+    const auto fast_va =
+        as->mmap(mem::pageSize, VmaKind::Anon, MemHint::FastMem);
+    const auto slow_va =
+        as->mmap(mem::pageSize, VmaKind::Anon, MemHint::SlowMem);
+    const Gpfn fp = as->touch(fast_va, true);
+    const Gpfn sp = as->touch(slow_va, true);
+    EXPECT_EQ(kernel->pageMeta(fp).mem_type, mem::MemType::FastMem);
+    EXPECT_EQ(kernel->pageMeta(sp).mem_type, mem::MemType::SlowMem);
+}
+
+} // namespace

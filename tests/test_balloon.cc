@@ -1,0 +1,128 @@
+/**
+ * @file
+ * BalloonFrontend end-to-end with the VMM: boot population runs,
+ * surrender under load (free pages, reclaim, swap), and the
+ * detached-backend behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "guestos/kernel.hh"
+#include "mem/machine_memory.hh"
+#include "vmm/vmm.hh"
+
+#include "test_helpers.hh"
+
+namespace {
+
+using namespace hos;
+
+struct BalloonFixture : ::testing::Test
+{
+    mem::MachineMemory machine;
+    std::unique_ptr<vmm::Vmm> hypervisor;
+    std::unique_ptr<guestos::GuestKernel> guest;
+
+    void
+    SetUp() override
+    {
+        machine.addNode(mem::MemType::FastMem, mem::dramSpec(8 * mem::mib));
+        machine.addNode(mem::MemType::SlowMem,
+                        mem::defaultSlowMemSpec(32 * mem::mib));
+        hypervisor = std::make_unique<vmm::Vmm>(machine);
+
+        guestos::GuestConfig cfg;
+        cfg.name = "g";
+        cfg.cpus = 2;
+        cfg.lru.enabled = true;
+        cfg.nodes = {{mem::MemType::FastMem, 8 * mem::mib, 4 * mem::mib},
+                     {mem::MemType::SlowMem, 32 * mem::mib,
+                      16 * mem::mib}};
+        guest = std::make_unique<guestos::GuestKernel>(cfg);
+        hypervisor->registerVm(*guest, {});
+    }
+};
+
+TEST_F(BalloonFixture, DetachedFrontendRefuses)
+{
+    guestos::GuestConfig cfg;
+    cfg.name = "lonely";
+    cfg.nodes = {{mem::MemType::SlowMem, mem::mib, mem::mib}};
+    guestos::GuestKernel lonely(cfg);
+    EXPECT_FALSE(lonely.balloon().attached());
+    EXPECT_EQ(lonely.balloon().requestPages(mem::MemType::SlowMem, 10),
+              0u);
+}
+
+TEST_F(BalloonFixture, PopulatedTracksGrantsAndSurrenders)
+{
+    const auto boot_fast = guest->balloon().populated(0);
+    EXPECT_EQ(boot_fast, mem::bytesToPages(4 * mem::mib));
+    guest->balloon().requestPages(mem::MemType::FastMem, 100);
+    EXPECT_EQ(guest->balloon().populated(0), boot_fast + 100);
+    guest->balloon().surrenderPages(mem::MemType::FastMem, 50);
+    EXPECT_EQ(guest->balloon().populated(0), boot_fast + 50);
+}
+
+TEST_F(BalloonFixture, SurrenderUsesFreePagesFirst)
+{
+    const auto before =
+        guest->overheadTotal(guestos::OverheadKind::Swap);
+    const auto given =
+        guest->balloon().surrenderPages(mem::MemType::SlowMem, 128);
+    EXPECT_EQ(given, 128u);
+    EXPECT_EQ(guest->overheadTotal(guestos::OverheadKind::Swap), before)
+        << "free pages satisfied the balloon without swapping";
+}
+
+TEST_F(BalloonFixture, SurrenderSwapsWhenNothingIsFree)
+{
+    // Exhaust SlowMem with mapped anon pages.
+    auto &as = guest->createProcess("hog");
+    const auto va = as.mmap(16 * mem::mib, guestos::VmaKind::Anon,
+                            guestos::MemHint::SlowMem);
+    std::uint64_t mapped = 0;
+    for (std::uint64_t off = 0; off < 16 * mem::mib;
+         off += mem::pageSize) {
+        if (as.touch(va + off, true) != guestos::invalidGpfn)
+            ++mapped;
+    }
+    ASSERT_GT(mapped, mem::bytesToPages(14 * mem::mib));
+
+    const auto swapped_before = guest->swap().totalSwappedOut();
+    const auto given =
+        guest->balloon().surrenderPages(mem::MemType::SlowMem, 256);
+    EXPECT_GT(given, 0u);
+    EXPECT_GT(guest->swap().totalSwappedOut(), swapped_before)
+        << "the last resort is swapping anon pages out";
+    EXPECT_LT(as.mappedPages(), mapped) << "swapped pages lost PTEs";
+}
+
+TEST_F(BalloonFixture, SurrenderedFramesServeOtherVms)
+{
+    guest->balloon().surrenderPages(mem::MemType::FastMem,
+                                    mem::bytesToPages(2 * mem::mib));
+
+    guestos::GuestConfig cfg;
+    cfg.name = "second";
+    cfg.cpus = 1;
+    cfg.nodes = {{mem::MemType::FastMem, 8 * mem::mib, 6 * mem::mib},
+                 {mem::MemType::SlowMem, 8 * mem::mib, 4 * mem::mib}};
+    guestos::GuestKernel second(cfg);
+    const auto id2 = hypervisor->registerVm(second, {});
+    EXPECT_EQ(hypervisor->vm(id2).framesOf(mem::MemType::FastMem),
+              mem::bytesToPages(6 * mem::mib));
+}
+
+TEST_F(BalloonFixture, GrantedPagesAreAllocatable)
+{
+    auto *fast = guest->nodeFor(mem::MemType::FastMem);
+    const auto before = fast->managedPages();
+    guest->balloon().requestPages(mem::MemType::FastMem, 64);
+    EXPECT_EQ(fast->managedPages(), before + 64);
+    const auto pfn =
+        guest->allocPageOnNode(fast->id(), guestos::PageType::Anon);
+    EXPECT_NE(pfn, guestos::invalidGpfn);
+}
+
+} // namespace

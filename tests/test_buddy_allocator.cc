@@ -1,0 +1,168 @@
+/**
+ * @file
+ * BuddyAllocator: split/coalesce correctness, alignment, exhaustion,
+ * ballooning removal, and a property sweep that hammers random
+ * alloc/free sequences and then checks full-coalescing invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "guestos/buddy_allocator.hh"
+#include "sim/rng.hh"
+
+namespace {
+
+using namespace hos::guestos;
+
+struct BuddyFixture : ::testing::Test
+{
+    static constexpr std::uint64_t span = 1 << 14; // 16K pages
+    PageArray pages{span};
+    BuddyAllocator buddy{pages, 0, span};
+
+    void
+    SetUp() override
+    {
+        buddy.addFreeRange(0, span);
+    }
+};
+
+TEST_F(BuddyFixture, StartsFullyFree)
+{
+    EXPECT_EQ(buddy.freePages(), span);
+    EXPECT_EQ(buddy.managedPages(), span);
+    buddy.checkInvariants();
+}
+
+TEST_F(BuddyFixture, AllocMarksPagesAllocated)
+{
+    const Gpfn pfn = buddy.alloc(3);
+    ASSERT_NE(pfn, invalidGpfn);
+    EXPECT_EQ(pfn % 8, 0u) << "order-3 block must be aligned";
+    for (int i = 0; i < 8; ++i)
+        EXPECT_TRUE(pages.page(pfn + i).allocated);
+    EXPECT_EQ(buddy.freePages(), span - 8);
+    buddy.checkInvariants();
+}
+
+TEST_F(BuddyFixture, FreeCoalescesBackToMaximalBlocks)
+{
+    std::vector<Gpfn> held;
+    for (int i = 0; i < 64; ++i)
+        held.push_back(buddy.alloc(0));
+    for (Gpfn pfn : held)
+        buddy.free(pfn, 0);
+    EXPECT_EQ(buddy.freePages(), span);
+    buddy.checkInvariants();
+    // Everything should have coalesced into max-order blocks again.
+    EXPECT_EQ(buddy.freeBlocks(BuddyAllocator::maxOrder - 1),
+              span >> (BuddyAllocator::maxOrder - 1));
+}
+
+TEST_F(BuddyFixture, ExhaustionReturnsInvalid)
+{
+    std::uint64_t got = 0;
+    while (buddy.alloc(0) != invalidGpfn)
+        ++got;
+    EXPECT_EQ(got, span);
+    EXPECT_EQ(buddy.alloc(0), invalidGpfn);
+    EXPECT_EQ(buddy.freePages(), 0u);
+}
+
+TEST_F(BuddyFixture, LargeOrderAfterFragmentationFails)
+{
+    // Allocate everything, free every other page: max fragmentation.
+    std::vector<Gpfn> held;
+    while (true) {
+        const Gpfn pfn = buddy.alloc(0);
+        if (pfn == invalidGpfn)
+            break;
+        held.push_back(pfn);
+    }
+    for (std::size_t i = 0; i < held.size(); i += 2)
+        buddy.free(held[i], 0);
+    EXPECT_EQ(buddy.alloc(1), invalidGpfn);
+    EXPECT_GT(buddy.freePages(), 0u);
+    buddy.checkInvariants();
+}
+
+TEST_F(BuddyFixture, RemoveFreePagePrefersSmallBlocks)
+{
+    const Gpfn a = buddy.alloc(0); // creates small split blocks
+    const Gpfn removed = buddy.removeFreePage();
+    ASSERT_NE(removed, invalidGpfn);
+    EXPECT_EQ(buddy.managedPages(), span - 1);
+    // Give it back via addFreeRange (balloon deflate).
+    buddy.addFreeRange(removed, 1);
+    EXPECT_EQ(buddy.managedPages(), span);
+    buddy.free(a, 0);
+    buddy.checkInvariants();
+}
+
+TEST_F(BuddyFixture, DoubleFreePanics)
+{
+    const Gpfn pfn = buddy.alloc(0);
+    buddy.free(pfn, 0);
+    EXPECT_DEATH(buddy.free(pfn, 0), "double free|freeing");
+}
+
+TEST(BuddyAllocator, NonZeroBaseBlocks)
+{
+    PageArray pages(1 << 12);
+    BuddyAllocator buddy(pages, 1024, 2048);
+    buddy.addFreeRange(1024, 2048);
+    const Gpfn pfn = buddy.alloc(4);
+    ASSERT_NE(pfn, invalidGpfn);
+    EXPECT_GE(pfn, 1024u);
+    EXPECT_LT(pfn + 16, 1024u + 2048u);
+    EXPECT_EQ((pfn - 1024) % 16, 0u) << "alignment is base-relative";
+    buddy.free(pfn, 4);
+    buddy.checkInvariants();
+}
+
+/** Property sweep: random alloc/free traffic preserves invariants. */
+class BuddyChurn : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(BuddyChurn, RandomTrafficKeepsInvariants)
+{
+    const std::uint64_t seed = GetParam();
+    hos::sim::Rng rng(seed);
+    constexpr std::uint64_t span = 1 << 13;
+    PageArray pages(span);
+    BuddyAllocator buddy(pages, 0, span);
+    buddy.addFreeRange(0, span);
+
+    std::vector<std::pair<Gpfn, unsigned>> held;
+    for (int step = 0; step < 4000; ++step) {
+        if (held.empty() || rng.chance(0.55)) {
+            const auto order = static_cast<unsigned>(rng.uniformInt(5));
+            const Gpfn pfn = buddy.alloc(order);
+            if (pfn != invalidGpfn)
+                held.emplace_back(pfn, order);
+        } else {
+            const auto idx = rng.uniformInt(held.size());
+            buddy.free(held[idx].first, held[idx].second);
+            held[idx] = held.back();
+            held.pop_back();
+        }
+    }
+    buddy.checkInvariants();
+    std::uint64_t held_pages = 0;
+    for (auto [pfn, order] : held)
+        held_pages += 1ull << order;
+    EXPECT_EQ(buddy.freePages() + held_pages, span);
+
+    for (auto [pfn, order] : held)
+        buddy.free(pfn, order);
+    EXPECT_EQ(buddy.freePages(), span);
+    buddy.checkInvariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BuddyChurn,
+                         ::testing::Values(1, 7, 42, 1337, 99991));
+
+} // namespace

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * CacheModel: hit-ratio properties (bounds, monotonicity in WSS,
+ * temporal locality, cache size) and MPKI accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache_model.hh"
+
+namespace {
+
+using namespace hos::mem;
+
+CacheModel
+model(std::uint64_t size = 16 * mib)
+{
+    return CacheModel(CacheConfig{size, 16});
+}
+
+TEST(CacheModel, FitsEntirelyMeansHighHitRatio)
+{
+    auto m = model();
+    RegionLocality r{4 * mib, 0.0};
+    EXPECT_GT(m.hitRatio(r), 0.95);
+}
+
+TEST(CacheModel, HitRatioBounded)
+{
+    auto m = model();
+    for (std::uint64_t wss : {std::uint64_t(1) * mib, 100 * mib,
+                              std::uint64_t(4) * gib}) {
+        for (double t : {0.0, 0.3, 0.9}) {
+            const double h = m.hitRatio(RegionLocality{wss, t});
+            EXPECT_GE(h, 0.0);
+            EXPECT_LE(h, 1.0);
+        }
+    }
+}
+
+TEST(CacheModel, LargerWssMissesMore)
+{
+    auto m = model();
+    const double small = m.hitRatio(RegionLocality{32 * mib, 0.2});
+    const double large = m.hitRatio(RegionLocality{512 * mib, 0.2});
+    EXPECT_GT(small, large);
+}
+
+TEST(CacheModel, TemporalLocalityFloorsHitRatio)
+{
+    auto m = model();
+    RegionLocality r{std::uint64_t(8) * gib, 0.6};
+    EXPECT_GE(m.hitRatio(r), 0.6);
+}
+
+TEST(CacheModel, BiggerCacheHitsMore)
+{
+    auto m16 = model(16 * mib);
+    auto m48 = model(48 * mib);
+    RegionLocality r{96 * mib, 0.1};
+    EXPECT_GT(m48.hitRatio(r), m16.hitRatio(r));
+}
+
+TEST(CacheModel, EmptyRegionAlwaysHits)
+{
+    auto m = model();
+    EXPECT_DOUBLE_EQ(m.hitRatio(RegionLocality{0, 0.0}), 1.0);
+}
+
+TEST(CacheModel, AccessAccumulatesAndComputesMpki)
+{
+    auto m = model();
+    RegionLocality r{std::uint64_t(1) * gib, 0.0};
+    const auto misses = m.access(r, 1'000'000);
+    EXPECT_GT(misses, 900'000u); // tiny coverage -> nearly all miss
+    EXPECT_EQ(m.totalAccesses(), 1'000'000u);
+    EXPECT_EQ(m.totalMisses(), misses);
+    // 1e6 misses-ish over 100e6 instructions ~ 10 MPKI.
+    EXPECT_NEAR(m.mpki(100'000'000), 10.0, 1.5);
+    m.resetStats();
+    EXPECT_EQ(m.totalMisses(), 0u);
+}
+
+TEST(CacheModel, ClaimRestrictsEffectiveCapacity)
+{
+    auto m = model(48 * mib);
+    RegionLocality r{40 * mib, 0.0};
+    const double full = m.hitRatio(r);
+    const double slice = m.hitRatio(r, 8 * mib);
+    EXPECT_GT(full, slice);
+}
+
+/** Property: hit ratio is monotonically non-increasing in WSS. */
+class WssSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(WssSweep, MonotoneInWss)
+{
+    const double temporal = GetParam();
+    auto m = model();
+    double prev = 1.0;
+    for (std::uint64_t wss = mib; wss <= 8 * gib; wss *= 2) {
+        const double h = m.hitRatio(RegionLocality{wss, temporal});
+        EXPECT_LE(h, prev + 1e-12) << "wss " << wss;
+        prev = h;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(TemporalGrid, WssSweep,
+                         ::testing::Values(0.0, 0.15, 0.35, 0.6, 0.9));
+
+} // namespace

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * EventQueue: ordering, FIFO ties, periodic self-adaptive events.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace {
+
+using namespace hos::sim;
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> fired;
+    q.schedule(30, [&] { fired.push_back(3); });
+    q.schedule(10, [&] { fired.push_back(1); });
+    q.schedule(20, [&] { fired.push_back(2); });
+    q.runUntil(25);
+    EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+    EXPECT_EQ(q.now(), 25u);
+    q.runUntil(100);
+    EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue q;
+    std::vector<int> fired;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(10, [&fired, i] { fired.push_back(i); });
+    q.runUntil(10);
+    EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsMayScheduleEvents)
+{
+    EventQueue q;
+    int count = 0;
+    q.schedule(5, [&] {
+        ++count;
+        q.scheduleAfter(5, [&] { ++count; });
+    });
+    q.runUntil(20);
+    EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueue, PeriodicRunsAtPeriod)
+{
+    EventQueue q;
+    int fires = 0;
+    q.schedulePeriodic(10, [&](Duration p) {
+        ++fires;
+        return p;
+    });
+    q.runUntil(100);
+    EXPECT_EQ(fires, 10);
+}
+
+TEST(EventQueue, PeriodicCanAdaptAndStop)
+{
+    EventQueue q;
+    std::vector<Tick> at;
+    q.schedulePeriodic(10, [&](Duration p) -> Duration {
+        at.push_back(q.now());
+        if (at.size() == 1)
+            return p * 2; // slow down
+        if (at.size() == 2)
+            return 0; // stop
+        return p;
+    });
+    q.runUntil(1000);
+    ASSERT_EQ(at.size(), 2u);
+    EXPECT_EQ(at[0], 10u);
+    EXPECT_EQ(at[1], 30u);
+}
+
+TEST(EventQueue, PastEventsClampToNow)
+{
+    EventQueue q;
+    q.runUntil(50);
+    bool fired = false;
+    q.schedule(10, [&] { fired = true; });
+    q.runUntil(50);
+    EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, ClearDropsPending)
+{
+    EventQueue q;
+    bool fired = false;
+    q.schedule(10, [&] { fired = true; });
+    q.clear();
+    q.runUntil(100);
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(q.pending(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Fairness policies: DRF dominant shares, weighted DRF protection of
+ * a dominant resource, max-min's single-resource failure mode, and
+ * DRF's strategy-proofness property (lying does not pay).
+ */
+
+#include <gtest/gtest.h>
+
+#include "guestos/kernel.hh"
+#include "mem/machine_memory.hh"
+#include "vmm/ballooning.hh"
+#include "vmm/drf.hh"
+#include "vmm/max_min.hh"
+#include "vmm/vmm.hh"
+
+namespace {
+
+using namespace hos;
+
+struct FairnessFixture : ::testing::Test
+{
+    mem::MachineMemory machine;
+    std::unique_ptr<vmm::Vmm> vmm_;
+    std::vector<std::unique_ptr<guestos::GuestKernel>> guests;
+
+    void
+    SetUp() override
+    {
+        machine.addNode(mem::MemType::FastMem,
+                        mem::dramSpec(16 * mem::mib));
+        machine.addNode(mem::MemType::SlowMem,
+                        mem::defaultSlowMemSpec(32 * mem::mib));
+        vmm_ = std::make_unique<vmm::Vmm>(machine);
+    }
+
+    /** Register a VM with min/max (in MiB) per tier. */
+    vmm::VmId
+    addVm(std::uint64_t fast_min_mb, std::uint64_t slow_min_mb,
+          std::uint64_t fast_max_mb = 16, std::uint64_t slow_max_mb = 32)
+    {
+        guestos::GuestConfig cfg;
+        cfg.name = "vm" + std::to_string(guests.size());
+        cfg.cpus = 1;
+        cfg.nodes = {{mem::MemType::FastMem, fast_max_mb * mem::mib,
+                      fast_min_mb * mem::mib},
+                     {mem::MemType::SlowMem, slow_max_mb * mem::mib,
+                      slow_min_mb * mem::mib}};
+        guests.push_back(std::make_unique<guestos::GuestKernel>(cfg));
+
+        vmm::VmConfig vcfg;
+        vcfg.reservations = {
+            {mem::MemType::FastMem, mem::bytesToPages(fast_min_mb * mem::mib),
+             mem::bytesToPages(fast_max_mb * mem::mib), 2.0},
+            {mem::MemType::SlowMem, mem::bytesToPages(slow_min_mb * mem::mib),
+             mem::bytesToPages(slow_max_mb * mem::mib), 1.0}};
+        return vmm_->registerVm(*guests.back(), vcfg);
+    }
+};
+
+TEST_F(FairnessFixture, DominantShareComputation)
+{
+    const auto a = addVm(8, 4); // fast share 0.5*2=1.0 dominant
+    const auto b = addVm(2, 16); // slow share 0.5 dominant
+    auto &va = vmm_->vm(a);
+    auto &vb = vmm_->vm(b);
+    EXPECT_NEAR(vmm::DrfFairness::resourceShare(*vmm_, va,
+                                                mem::MemType::FastMem),
+                1.0, 0.01);
+    EXPECT_NEAR(vmm::DrfFairness::dominantShare(*vmm_, va), 1.0, 0.01);
+    EXPECT_NEAR(vmm::DrfFairness::dominantShare(*vmm_, vb), 0.5, 0.01);
+}
+
+TEST_F(FairnessFixture, OvercommitAccounting)
+{
+    const auto a = addVm(4, 8);
+    auto &va = vmm_->vm(a);
+    EXPECT_EQ(vmm::overcommitFrames(va, mem::MemType::FastMem), 0u);
+    guests[0]->balloon().requestPages(mem::MemType::FastMem, 100);
+    EXPECT_EQ(vmm::overcommitFrames(va, mem::MemType::FastMem), 100u);
+    EXPECT_EQ(vmm::totalOvercommitFrames(va), 100u);
+}
+
+TEST_F(FairnessFixture, MaxMinDrainsNeighbourSlowMem)
+{
+    vmm_->setFairness(std::make_unique<vmm::MaxMinFairness>());
+    // Victim holds SlowMem above its summed minimum.
+    const auto victim = addVm(2, 8, 16, 32);
+    guests[0]->balloon().requestPages(mem::MemType::SlowMem,
+                                      mem::bytesToPages(16 * mem::mib));
+    auto &vv = vmm_->vm(victim);
+    const auto victim_slow_before = vv.framesOf(mem::MemType::SlowMem);
+
+    // A hungry neighbour wants more SlowMem than remains free.
+    addVm(2, 8, 16, 32);
+    const auto got = guests[1]->balloon().requestPages(
+        mem::MemType::SlowMem, mem::bytesToPages(12 * mem::mib));
+    EXPECT_GT(got, 0u);
+    EXPECT_LT(vv.framesOf(mem::MemType::SlowMem), victim_slow_before)
+        << "single-resource max-min balloons the neighbour's SlowMem";
+}
+
+TEST_F(FairnessFixture, DrfProtectsDominantResource)
+{
+    vmm_->setFairness(std::make_unique<vmm::DrfFairness>());
+    // The victim's dominant resource is SlowMem; its holding stays at
+    // its guaranteed minimum even under pressure.
+    const auto victim = addVm(0, 12, 4, 16);
+    auto &vv = vmm_->vm(victim);
+    const auto guaranteed = vv.minPages(mem::MemType::SlowMem);
+
+    // Hungry VM with a far higher dominant share (FastMem-heavy).
+    addVm(14, 4, 16, 32);
+    guests[1]->balloon().requestPages(mem::MemType::SlowMem,
+                                      mem::bytesToPages(32 * mem::mib));
+    EXPECT_GE(vv.framesOf(mem::MemType::SlowMem), guaranteed)
+        << "DRF never reclaims below the per-type guarantee";
+}
+
+TEST_F(FairnessFixture, DrfStrategyProofness)
+{
+    // Property: a VM that asks for more than it can use ends up with
+    // a higher dominant share and becomes the preferred reclaim
+    // victim — lying does not improve its final holdings when a
+    // competitor arrives.
+    vmm_->setFairness(std::make_unique<vmm::DrfFairness>());
+    const auto liar = addVm(2, 4, 16, 32);
+    // The liar grabs all the FastMem it can (far beyond its min).
+    guests[0]->balloon().requestPages(mem::MemType::FastMem,
+                                      mem::bytesToPages(16 * mem::mib));
+    auto &vl = vmm_->vm(liar);
+    const auto liar_peak = vl.framesOf(mem::MemType::FastMem);
+
+    // An honest VM requests its fair share.
+    addVm(2, 4, 16, 32);
+    const auto honest_got = guests[1]->balloon().requestPages(
+        mem::MemType::FastMem, mem::bytesToPages(6 * mem::mib));
+
+    EXPECT_GT(honest_got, 0u) << "the honest VM is served";
+    EXPECT_LT(vl.framesOf(mem::MemType::FastMem), liar_peak)
+        << "the liar's overcommit was the first thing reclaimed";
+    EXPECT_GE(vl.framesOf(mem::MemType::FastMem),
+              vl.minPages(mem::MemType::FastMem));
+}
+
+TEST_F(FairnessFixture, DrfParetoEfficiencyFreeMemoryIsGranted)
+{
+    vmm_->setFairness(std::make_unique<vmm::DrfFairness>());
+    addVm(2, 4);
+    // Free memory exists: any request is granted (no artificial
+    // withholding — Pareto efficiency).
+    const auto got = guests[0]->balloon().requestPages(
+        mem::MemType::FastMem, 128);
+    EXPECT_EQ(got, 128u);
+}
+
+} // namespace

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared fixtures for guest-OS and system tests.
+ */
+
+#ifndef HOS_TESTS_TEST_HELPERS_HH
+#define HOS_TESTS_TEST_HELPERS_HH
+
+#include <memory>
+
+#include "guestos/kernel.hh"
+
+namespace hos::test {
+
+/**
+ * A guest kernel with its nodes fully populated directly (no VMM) —
+ * the standalone-OS configuration Section 4.3 mentions ("easily
+ * applied to non-virtualized systems").
+ */
+inline std::unique_ptr<guestos::GuestKernel>
+standaloneGuest(std::uint64_t fast_bytes = 64 * mem::mib,
+                std::uint64_t slow_bytes = 256 * mem::mib,
+                guestos::AllocConfig alloc = guestos::heapIoSlabOdConfig(),
+                bool lru_enabled = true)
+{
+    guestos::GuestConfig cfg;
+    cfg.name = "test-guest";
+    cfg.cpus = 2;
+    cfg.alloc = alloc;
+    cfg.alloc.balloon_on_pressure = false; // no VMM attached
+    cfg.lru.enabled = lru_enabled;
+    cfg.nodes.clear();
+    if (fast_bytes > 0) {
+        cfg.nodes.push_back(
+            {mem::MemType::FastMem, fast_bytes, fast_bytes});
+    }
+    cfg.nodes.push_back({mem::MemType::SlowMem, slow_bytes, slow_bytes});
+
+    auto kernel = std::make_unique<guestos::GuestKernel>(cfg);
+    for (unsigned nid = 0; nid < kernel->numNodes(); ++nid) {
+        auto &node = kernel->node(nid);
+        auto gpfns =
+            kernel->takeUnpopulatedGpfns(nid, node.spanPages());
+        for (guestos::Gpfn pfn : gpfns) {
+            kernel->pageMeta(pfn).populated = true;
+            node.zoneOf(pfn).buddy().addFreeRange(pfn, 1);
+        }
+        for (std::size_t zi = 0; zi < node.numZones(); ++zi)
+            node.zone(zi).updateWatermarks();
+    }
+    return kernel;
+}
+
+} // namespace hos::test
+
+#endif // HOS_TESTS_TEST_HELPERS_HH

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * HeteroAllocator: placement by mode, on-demand eligibility, miss
+ * accounting, demand windows, hints, and fallback.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hh"
+
+namespace {
+
+using namespace hos;
+using namespace hos::guestos;
+
+Gpfn
+allocOf(GuestKernel &k, PageType t, MemHint hint = MemHint::None)
+{
+    AllocRequest req;
+    req.type = t;
+    req.hint = hint;
+    return k.allocPage(req);
+}
+
+TEST(HeteroAllocator, SlowOnlyNeverTouchesFast)
+{
+    auto k = test::standaloneGuest(64 * mem::mib, 128 * mem::mib,
+                                   [] {
+                                       AllocConfig c;
+                                       c.mode = AllocMode::SlowOnly;
+                                       return c;
+                                   }(),
+                                   false);
+    for (int i = 0; i < 1000; ++i) {
+        const Gpfn pfn = allocOf(*k, PageType::Anon);
+        ASSERT_NE(pfn, invalidGpfn);
+        EXPECT_EQ(k->pageMeta(pfn).mem_type, mem::MemType::SlowMem);
+    }
+}
+
+TEST(HeteroAllocator, FastPreferredFillsFastThenSpills)
+{
+    AllocConfig c;
+    c.mode = AllocMode::FastPreferred;
+    auto k = test::standaloneGuest(4 * mem::mib, 64 * mem::mib, c, false);
+    std::uint64_t fast = 0, slow = 0;
+    for (int i = 0; i < 3000; ++i) {
+        const Gpfn pfn = allocOf(*k, PageType::Anon);
+        ASSERT_NE(pfn, invalidGpfn);
+        (k->pageMeta(pfn).mem_type == mem::MemType::FastMem ? fast
+                                                            : slow)++;
+    }
+    EXPECT_GT(fast, 900u) << "the 1024-page fast node fills first";
+    EXPECT_GT(slow, 0u) << "then the allocator spills";
+}
+
+TEST(HeteroAllocator, OnDemandEligibilityGates)
+{
+    auto k = test::standaloneGuest(64 * mem::mib, 128 * mem::mib,
+                                   heapOdConfig(), false);
+    const Gpfn heap = allocOf(*k, PageType::Anon);
+    const Gpfn cache = allocOf(*k, PageType::PageCache);
+    EXPECT_EQ(k->pageMeta(heap).mem_type, mem::MemType::FastMem);
+    EXPECT_EQ(k->pageMeta(cache).mem_type, mem::MemType::SlowMem)
+        << "Heap-OD sends ineligible types to SlowMem";
+    k->freePage(heap);
+    k->freePage(cache);
+}
+
+TEST(HeteroAllocator, HeapIoSlabOdAdmitsIoTypes)
+{
+    auto k = test::standaloneGuest(64 * mem::mib, 128 * mem::mib,
+                                   heapIoSlabOdConfig(), false);
+    for (PageType t : {PageType::Anon, PageType::PageCache,
+                       PageType::BufferCache, PageType::Slab,
+                       PageType::NetBuf}) {
+        const Gpfn pfn = allocOf(*k, t);
+        ASSERT_NE(pfn, invalidGpfn);
+        EXPECT_EQ(k->pageMeta(pfn).mem_type, mem::MemType::FastMem)
+            << pageTypeName(t);
+        k->freePage(pfn);
+    }
+}
+
+TEST(HeteroAllocator, MissAccountingAndRatio)
+{
+    AllocConfig c;
+    c.mode = AllocMode::SlowOnly;
+    auto k = test::standaloneGuest(16 * mem::mib, 64 * mem::mib, c,
+                                   false);
+    for (int i = 0; i < 100; ++i)
+        allocOf(*k, PageType::Anon);
+    auto &alloc = k->allocator();
+    EXPECT_EQ(alloc.totalRequests(), 100u + k->pageTablePages());
+    EXPECT_DOUBLE_EQ(alloc.overallFastMissRatio(), 1.0);
+}
+
+TEST(HeteroAllocator, DemandWindowRotation)
+{
+    AllocConfig c;
+    c.mode = AllocMode::SlowOnly;
+    auto k = test::standaloneGuest(16 * mem::mib, 64 * mem::mib, c,
+                                   false);
+    for (int i = 0; i < 50; ++i)
+        allocOf(*k, PageType::Anon);
+    auto &alloc = k->allocator();
+    EXPECT_GT(alloc.windowMissRatio(PageType::Anon), 0.9);
+    alloc.rotateEpoch();
+    // Previous window still blends in.
+    EXPECT_GT(alloc.windowMissRatio(PageType::Anon), 0.9);
+    alloc.rotateEpoch();
+    alloc.rotateEpoch();
+    EXPECT_DOUBLE_EQ(alloc.windowMissRatio(PageType::Anon), 0.0);
+}
+
+TEST(HeteroAllocator, HintsOverridePolicy)
+{
+    AllocConfig c;
+    c.mode = AllocMode::SlowOnly; // policy says slow...
+    auto k = test::standaloneGuest(16 * mem::mib, 64 * mem::mib, c,
+                                   false);
+    const Gpfn pfn = allocOf(*k, PageType::Anon, MemHint::FastMem);
+    EXPECT_EQ(k->pageMeta(pfn).mem_type, mem::MemType::FastMem)
+        << "...but the explicit mmap flag wins";
+}
+
+TEST(HeteroAllocator, ExhaustionFallsBackAcrossNodes)
+{
+    AllocConfig c;
+    c.mode = AllocMode::FastPreferred;
+    auto k = test::standaloneGuest(mem::mib, 2 * mem::mib, c, false);
+    std::uint64_t total = 0;
+    while (allocOf(*k, PageType::Anon) != invalidGpfn)
+        ++total;
+    // Both nodes exhausted: 768 pages minus page-table overhead.
+    EXPECT_GT(total, 700u);
+    EXPECT_EQ(allocOf(*k, PageType::Anon), invalidGpfn);
+}
+
+TEST(HeteroAllocator, PerTypeAllocationCounts)
+{
+    auto k = test::standaloneGuest();
+    allocOf(*k, PageType::Anon);
+    allocOf(*k, PageType::Anon);
+    allocOf(*k, PageType::NetBuf);
+    EXPECT_EQ(k->allocCount(PageType::Anon), 2u);
+    EXPECT_EQ(k->allocCount(PageType::NetBuf), 1u);
+    EXPECT_EQ(k->allocCount(PageType::Dma), 0u);
+}
+
+} // namespace

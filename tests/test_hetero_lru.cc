@@ -1,0 +1,184 @@
+/**
+ * @file
+ * HeteroOS-LRU: tier demotion keeps pages usable, eager write-back
+ * eviction, unmap demotion, never-touched protection, and direct
+ * reclaim.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hh"
+
+namespace {
+
+using namespace hos;
+using namespace hos::guestos;
+
+struct HeteroLruFixture : ::testing::Test
+{
+    std::unique_ptr<GuestKernel> kernel =
+        test::standaloneGuest(8 * mem::mib, 64 * mem::mib);
+    AddressSpace *as = nullptr;
+
+    void
+    SetUp() override
+    {
+        as = &kernel->createProcess("proc");
+        // Leave boot time: reclaim is disabled at tick 0 by design.
+        kernel->events().runUntil(sim::milliseconds(1));
+    }
+
+    Gpfn
+    fastAnonPage()
+    {
+        const auto va =
+            as->mmap(mem::pageSize, VmaKind::Anon, MemHint::FastMem);
+        const Gpfn pfn = as->touch(va, true);
+        EXPECT_EQ(kernel->pageMeta(pfn).mem_type,
+                  mem::MemType::FastMem);
+        // Mark it used once so the never-touched guard doesn't apply.
+        kernel->pageMeta(pfn).last_touch = 1;
+        return pfn;
+    }
+};
+
+TEST_F(HeteroLruFixture, AnonDemotionKeepsMappingUsable)
+{
+    const Gpfn pfn = fastAnonPage();
+    const std::uint64_t va = kernel->pageMeta(pfn).vaddr;
+    ASSERT_EQ(kernel->heteroLru().demotePage(pfn), 1u);
+
+    auto now = as->translate(va);
+    ASSERT_TRUE(now.has_value());
+    EXPECT_NE(*now, pfn);
+    EXPECT_EQ(kernel->pageMeta(*now).mem_type, mem::MemType::SlowMem);
+    EXPECT_EQ(kernel->pageMeta(*now).vaddr, va);
+    EXPECT_FALSE(kernel->pageMeta(pfn).allocated);
+}
+
+TEST_F(HeteroLruFixture, CacheDemotionStaysCached)
+{
+    const FileId f = kernel->pageCache().createFile(mem::mib);
+    auto r = kernel->pageCache().read(f, 0, 4 * mem::kib,
+                                      MemHint::FastMem);
+    ASSERT_EQ(r.pages.size(), 1u);
+    const Gpfn pfn = r.pages[0];
+    ASSERT_EQ(kernel->pageMeta(pfn).mem_type, mem::MemType::FastMem);
+
+    ASSERT_EQ(kernel->heteroLru().demotePage(pfn), 1u);
+    auto again = kernel->pageCache().read(f, 0, 4 * mem::kib);
+    EXPECT_EQ(again.pages_missed, 0u) << "still cached after demotion";
+    EXPECT_EQ(kernel->pageMeta(again.pages[0]).mem_type,
+              mem::MemType::SlowMem);
+}
+
+TEST_F(HeteroLruFixture, DirtyCachePagesAreNotDemoted)
+{
+    const FileId f = kernel->pageCache().createFile(mem::mib);
+    auto w = kernel->pageCache().write(f, 0, 4 * mem::kib,
+                                       MemHint::FastMem);
+    EXPECT_EQ(kernel->heteroLru().demotePage(w.pages[0]), 0u);
+}
+
+TEST_F(HeteroLruFixture, SlowPagesAreNotDemoted)
+{
+    const auto va =
+        as->mmap(mem::pageSize, VmaKind::Anon, MemHint::SlowMem);
+    const Gpfn pfn = as->touch(va, true);
+    EXPECT_EQ(kernel->heteroLru().demotePage(pfn), 0u);
+}
+
+TEST_F(HeteroLruFixture, ReclaimFreesFastMem)
+{
+    // Fill FastMem with touched, unreferenced anon pages.
+    std::vector<Gpfn> pfns;
+    const auto va = as->mmap(4 * mem::mib, VmaKind::Anon,
+                             MemHint::FastMem);
+    for (std::uint64_t off = 0; off < 4 * mem::mib;
+         off += mem::pageSize) {
+        const Gpfn pfn = as->touch(va + off, true);
+        kernel->pageMeta(pfn).last_touch = 1;
+        kernel->pageMeta(pfn).referenced = false;
+        pfns.push_back(pfn);
+    }
+    auto *fast = kernel->nodeFor(mem::MemType::FastMem);
+    const auto before = kernel->effectiveFreePages(*fast);
+    const auto freed = kernel->heteroLru().reclaimFastMem(128);
+    EXPECT_GE(freed, 128u);
+    EXPECT_GT(kernel->effectiveFreePages(*fast), before);
+    EXPECT_GT(kernel->heteroLru().stats().demoted_anon, 0u);
+}
+
+TEST_F(HeteroLruFixture, ReclaimRefusesAtBootTime)
+{
+    auto fresh = test::standaloneGuest(8 * mem::mib, 64 * mem::mib);
+    EXPECT_EQ(fresh->heteroLru().reclaimFastMem(64), 0u)
+        << "no hotness information exists at boot";
+}
+
+TEST_F(HeteroLruFixture, NeverTouchedPagesAreVictimsOfLastResort)
+{
+    // Half the candidates were used once (cold but proven), half were
+    // never touched since allocation. Reclaim must prefer the former.
+    const auto va = as->mmap(128 * mem::pageSize, VmaKind::Anon,
+                             MemHint::FastMem);
+    std::vector<Gpfn> touched;
+    for (int i = 0; i < 128; ++i) {
+        const Gpfn pfn = as->touch(va + i * mem::pageSize, true);
+        if (i < 64) {
+            kernel->pageMeta(pfn).last_touch = 1;
+            touched.push_back(pfn);
+        }
+    }
+    const auto freed = kernel->heteroLru().reclaimFastMem(32);
+    EXPECT_GE(freed, 32u);
+    // At least some of the proven-cold group was demoted.
+    std::uint64_t touched_remaining = 0;
+    for (Gpfn pfn : touched) {
+        if (kernel->pageMeta(pfn).allocated &&
+            kernel->pageMeta(pfn).mem_type == mem::MemType::FastMem) {
+            ++touched_remaining;
+        }
+    }
+    EXPECT_LT(touched_remaining, touched.size());
+}
+
+TEST_F(HeteroLruFixture, WritebackCompletionTriggersEagerDemotion)
+{
+    // Force the pressure condition so rule 2 demotes immediately.
+    auto cfg = kernel->heteroLru().config();
+    cfg.fast_low_ratio = 1.01; // everything counts as pressure
+    kernel->heteroLru().setConfig(cfg);
+    const FileId f = kernel->pageCache().createFile(mem::mib);
+    auto w = kernel->pageCache().write(f, 0, 16 * mem::kib,
+                                       MemHint::FastMem);
+    // Count how many of the written pages sit in FastMem.
+    std::uint64_t in_fast = 0;
+    for (Gpfn pfn : w.pages) {
+        if (kernel->pageMeta(pfn).mem_type == mem::MemType::FastMem)
+            ++in_fast;
+    }
+    if (in_fast == 0)
+        GTEST_SKIP() << "writes landed in SlowMem; nothing to check";
+    kernel->pageCache().writeback(100);
+    // Rule 2: the cleaned pages left FastMem (demoted, still cached).
+    const FileId f2 = f;
+    auto again = kernel->pageCache().read(f2, 0, 16 * mem::kib);
+    for (Gpfn pfn : again.pages) {
+        EXPECT_EQ(kernel->pageMeta(pfn).mem_type,
+                  mem::MemType::SlowMem);
+    }
+}
+
+TEST_F(HeteroLruFixture, DirectReclaimDropsCleanCache)
+{
+    const FileId f = kernel->pageCache().createFile(8 * mem::mib);
+    kernel->pageCache().read(f, 0, 4 * mem::mib);
+    const auto cached = kernel->pageCache().cachedPages();
+    ASSERT_GT(cached, 0u);
+    const auto freed = kernel->heteroLru().directReclaim(64);
+    EXPECT_GE(freed, 64u);
+    EXPECT_LT(kernel->pageCache().cachedPages(), cached);
+}
+
+} // namespace

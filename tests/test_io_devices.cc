@@ -1,0 +1,97 @@
+/**
+ * @file
+ * BlockDevice, SwapDevice, and TlbModel: cost-model sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "guestos/blockdev.hh"
+#include "mem/mem_spec.hh"
+#include "guestos/swap.hh"
+#include "mem/tlb_model.hh"
+
+namespace {
+
+using namespace hos;
+using namespace hos::guestos;
+
+TEST(BlockDevice, SequentialBeatsRandom)
+{
+    BlockDevice dev;
+    const auto seq = dev.read(mem::mib, true);
+    const auto rnd = dev.read(mem::mib, false);
+    EXPECT_LT(seq, rnd);
+}
+
+TEST(BlockDevice, LatencyFloorsSmallRequests)
+{
+    BlockDevice dev;
+    const auto tiny = dev.read(512, true);
+    EXPECT_GE(tiny, sim::microseconds(
+                        static_cast<std::uint64_t>(
+                            dev.config().io_latency_us)));
+}
+
+TEST(BlockDevice, TimeScalesWithBytes)
+{
+    BlockDevice dev;
+    const auto one = dev.read(mem::mib, true);
+    const auto ten = dev.read(10 * mem::mib, true);
+    EXPECT_GT(ten, 5 * one - sim::microseconds(800));
+}
+
+TEST(BlockDevice, StatsAccumulate)
+{
+    BlockDevice dev;
+    dev.read(1000, true);
+    dev.write(500, false);
+    EXPECT_EQ(dev.bytesRead(), 1000u);
+    EXPECT_EQ(dev.bytesWritten(), 500u);
+    EXPECT_EQ(dev.requests(), 2u);
+    dev.resetStats();
+    EXPECT_EQ(dev.requests(), 0u);
+}
+
+TEST(SwapDevice, TracksUsage)
+{
+    BlockDevice disk;
+    SwapDevice swap(disk, 1000);
+    EXPECT_EQ(swap.freePages(), 1000u);
+    const auto t = swap.swapOut(100);
+    EXPECT_GT(t, 0u);
+    EXPECT_EQ(swap.usedPages(), 100u);
+    swap.swapIn(40);
+    EXPECT_EQ(swap.usedPages(), 60u);
+    EXPECT_EQ(swap.totalSwappedOut(), 100u);
+    EXPECT_EQ(swap.totalSwappedIn(), 40u);
+}
+
+TEST(SwapDevice, OverflowPanics)
+{
+    BlockDevice disk;
+    SwapDevice swap(disk, 10);
+    swap.swapOut(10);
+    EXPECT_DEATH(swap.swapOut(1), "exhausted");
+}
+
+TEST(TlbModel, ScanFlushChargesRefills)
+{
+    mem::TlbModel tlb({});
+    const auto small = tlb.scanFlushCost(100, 10);
+    const auto large = tlb.scanFlushCost(100000, 100000);
+    EXPECT_LT(small, large);
+    EXPECT_EQ(tlb.flushes(), 2u);
+    // Refills are bounded by TLB reach.
+    EXPECT_LE(tlb.refills(), 100000u);
+}
+
+TEST(TlbModel, ShootdownScalesWithPagesAndCpus)
+{
+    mem::TlbConfig one_cpu{1536, 800.0, 80.0, 1};
+    mem::TlbConfig many_cpu{1536, 800.0, 80.0, 16};
+    mem::TlbModel a(one_cpu), b(many_cpu);
+    EXPECT_LT(a.shootdownCost(1000), b.shootdownCost(1000));
+    EXPECT_LT(b.shootdownCost(10), b.shootdownCost(1000));
+}
+
+} // namespace

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * SplitLru: two-touch promotion, second-chance reclaim, balancing,
+ * and unevictable/under-IO rotation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "guestos/lru.hh"
+
+namespace {
+
+using namespace hos::guestos;
+
+struct LruFixture : ::testing::Test
+{
+    PageArray pages{256};
+    SplitLru lru{pages};
+};
+
+TEST_F(LruFixture, NewPagesStartInactive)
+{
+    lru.addPage(1);
+    EXPECT_EQ(lru.inactiveCount(), 1u);
+    EXPECT_EQ(lru.activeCount(), 0u);
+    EXPECT_EQ(pages.page(1).lru, LruState::Inactive);
+}
+
+TEST_F(LruFixture, TwoTouchPromotion)
+{
+    lru.addPage(1);
+    lru.touch(1); // sets referenced
+    EXPECT_EQ(lru.activeCount(), 0u);
+    lru.touch(1); // promotes
+    EXPECT_EQ(lru.activeCount(), 1u);
+    EXPECT_EQ(pages.page(1).lru, LruState::Active);
+}
+
+TEST_F(LruFixture, ReclaimTakesColdTailFirst)
+{
+    for (Gpfn p = 1; p <= 5; ++p)
+        lru.addPage(p);
+    // Page 1 is oldest (tail). Reclaim one page:
+    std::vector<Gpfn> taken;
+    lru.scanInactive(1, [&](Page &pg) {
+        taken.push_back(pg.pfn);
+        return true;
+    });
+    ASSERT_EQ(taken.size(), 1u);
+    EXPECT_EQ(taken[0], 1u);
+    EXPECT_EQ(pages.page(1).lru, LruState::None);
+}
+
+TEST_F(LruFixture, ReferencedPagesGetSecondChance)
+{
+    lru.addPage(1);
+    lru.addPage(2);
+    lru.touch(1); // referenced (tail page)
+    std::vector<Gpfn> taken;
+    lru.scanInactive(2, [&](Page &pg) {
+        taken.push_back(pg.pfn);
+        return true;
+    });
+    // Page 1 was referenced: promoted to active instead of reclaimed.
+    ASSERT_EQ(taken.size(), 1u);
+    EXPECT_EQ(taken[0], 2u);
+    EXPECT_EQ(pages.page(1).lru, LruState::Active);
+}
+
+TEST_F(LruFixture, DeclinedPagesRotateBack)
+{
+    lru.addPage(1);
+    const auto got = lru.scanInactive(1, [](Page &) { return false; });
+    EXPECT_EQ(got, 0u);
+    EXPECT_EQ(lru.inactiveCount(), 1u);
+    EXPECT_EQ(pages.page(1).lru, LruState::Inactive);
+}
+
+TEST_F(LruFixture, UnderIoAndUnevictableAreSkipped)
+{
+    lru.addPage(1);
+    lru.addPage(2);
+    pages.page(1).under_io = true;
+    pages.page(2).unevictable = true;
+    const auto got = lru.scanInactive(4, [](Page &) { return true; });
+    EXPECT_EQ(got, 0u);
+    EXPECT_EQ(lru.inactiveCount(), 2u);
+}
+
+TEST_F(LruFixture, BalanceDemotesActiveTail)
+{
+    for (Gpfn p = 1; p <= 10; ++p)
+        lru.addPageActive(p);
+    EXPECT_EQ(lru.inactiveCount(), 0u);
+    const auto demoted = lru.balance(0.5, 100);
+    EXPECT_EQ(demoted, 5u);
+    EXPECT_EQ(lru.inactiveCount(), 5u);
+}
+
+TEST_F(LruFixture, BalanceRespectsReferenced)
+{
+    for (Gpfn p = 1; p <= 4; ++p)
+        lru.addPageActive(p);
+    for (Gpfn p = 1; p <= 4; ++p)
+        lru.touch(p); // all referenced
+    const auto demoted = lru.balance(0.5, 4);
+    EXPECT_EQ(demoted, 0u); // one full pass only clears bits
+    EXPECT_EQ(lru.balance(0.5, 4), 2u); // second pass demotes
+}
+
+TEST_F(LruFixture, RemoveFromEitherList)
+{
+    lru.addPage(1);
+    lru.addPageActive(2);
+    lru.removePage(1);
+    lru.removePage(2);
+    EXPECT_EQ(lru.totalCount(), 0u);
+    EXPECT_EQ(pages.page(1).lru, LruState::None);
+    EXPECT_EQ(pages.page(2).lru, LruState::None);
+}
+
+TEST_F(LruFixture, DeactivateMovesToInactive)
+{
+    lru.addPageActive(1);
+    lru.deactivate(1);
+    EXPECT_EQ(lru.inactiveCount(), 1u);
+    lru.deactivate(1); // idempotent on inactive pages
+    EXPECT_EQ(lru.inactiveCount(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * MemDevice service model: monotonicity in latency/bandwidth factors,
+ * MLP overlap, sharer penalties, and the Table 3 throttle points.
+ * Parameterized across throttle configurations as a property sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/mem_device.hh"
+
+namespace {
+
+using namespace hos::mem;
+
+AccessBatch
+batch(std::uint64_t loads, std::uint64_t stores, double mlp)
+{
+    AccessBatch b;
+    b.loads = loads;
+    b.stores = stores;
+    b.bytes = (loads + stores) * 64;
+    b.mlp = mlp;
+    return b;
+}
+
+TEST(MemDevice, LatencyBoundScalesWithLatencyFactor)
+{
+    MemDevice d1(throttledSpec(1, 1, gib));
+    MemDevice d5(throttledSpec(5, 1, gib));
+    const auto b = batch(100000, 0, 1.0);
+    const auto t1 = d1.service(b);
+    const auto t5 = d5.service(b);
+    EXPECT_NEAR(static_cast<double>(t5) / static_cast<double>(t1), 5.0,
+                0.5);
+}
+
+TEST(MemDevice, BandwidthBoundScalesWithBwFactor)
+{
+    MemDevice d1(throttledSpec(1, 1, gib));
+    MemDevice d12(throttledSpec(1, 12, gib));
+    // Huge MLP: the latency term vanishes, bandwidth dominates.
+    const auto b = batch(1000000, 0, 1000.0);
+    const auto t1 = d1.service(b);
+    const auto t12 = d12.service(b);
+    EXPECT_NEAR(static_cast<double>(t12) / static_cast<double>(t1), 12.0,
+                1.5);
+}
+
+TEST(MemDevice, MlpHidesLatency)
+{
+    MemDevice d(dramSpec(gib));
+    const auto t1 = d.service(batch(10000, 0, 1.0));
+    const auto t8 = d.service(batch(10000, 0, 8.0));
+    EXPECT_GT(t1, t8 * 4);
+}
+
+TEST(MemDevice, SharersSplitBandwidth)
+{
+    MemDevice d(dramSpec(gib));
+    const auto b = batch(1000000, 0, 1000.0);
+    const auto t1 = d.service(b, 1);
+    const auto t2 = d.service(b, 2);
+    EXPECT_GT(t2, t1);
+    EXPECT_NEAR(static_cast<double>(t2) / static_cast<double>(t1), 2.0,
+                0.4);
+}
+
+TEST(MemDevice, StoresCostMoreOnAsymmetricTiers)
+{
+    MemDevice nvm(nvmSpec(gib));
+    const auto tl = nvm.service(batch(10000, 0, 1.0));
+    const auto ts = nvm.service(batch(0, 10000, 1.0));
+    // PCM stores are 3x the load latency (450 vs 150 ns).
+    EXPECT_NEAR(static_cast<double>(ts) / static_cast<double>(tl), 3.0,
+                0.3);
+}
+
+TEST(MemDevice, StatsAccumulate)
+{
+    MemDevice d(dramSpec(gib));
+    d.service(batch(10, 5, 1.0));
+    EXPECT_EQ(d.totalLoads(), 10u);
+    EXPECT_EQ(d.totalStores(), 5u);
+    EXPECT_EQ(d.totalBytes(), 15u * 64u);
+    d.resetStats();
+    EXPECT_EQ(d.totalLoads(), 0u);
+}
+
+TEST(MemDevice, LoadedLatencyGrowsWithUtilization)
+{
+    MemDevice d(dramSpec(gib));
+    EXPECT_LT(d.loadedLatencyNs(0.1), d.loadedLatencyNs(0.9));
+    EXPECT_GE(d.loadedLatencyNs(0.0), d.spec().load_latency_ns);
+}
+
+/** Property sweep over the Table 3 throttle grid. */
+class ThrottleSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{
+};
+
+TEST_P(ThrottleSweep, ServiceTimeMonotonicInThrottle)
+{
+    const auto [lat, bw] = GetParam();
+    MemDevice base(dramSpec(gib));
+    MemDevice throttled(throttledSpec(lat, bw, gib));
+    for (double mlp : {1.0, 4.0, 16.0}) {
+        const auto b = batch(50000, 10000, mlp);
+        EXPECT_GE(throttled.service(b), base.service(b))
+            << "L:" << lat << " B:" << bw << " mlp " << mlp;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table3Grid, ThrottleSweep,
+    ::testing::Values(std::make_tuple(2.0, 2.0), std::make_tuple(5.0, 5.0),
+                      std::make_tuple(5.0, 7.0), std::make_tuple(5.0, 9.0),
+                      std::make_tuple(5.0, 12.0),
+                      std::make_tuple(1.6, 1.5)));
+
+} // namespace

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * MigrationCostModel: exact reproduction of the Table 6 anchors,
+ * interpolation monotonicity, and clamping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/migration_cost.hh"
+
+namespace {
+
+using hos::mem::MigrationCostModel;
+
+TEST(MigrationCost, Table6AnchorsExact)
+{
+    EXPECT_DOUBLE_EQ(MigrationCostModel::pageMoveUs(8 * 1024), 25.5);
+    EXPECT_DOUBLE_EQ(MigrationCostModel::pageMoveUs(64 * 1024), 15.7);
+    EXPECT_DOUBLE_EQ(MigrationCostModel::pageMoveUs(128 * 1024), 11.12);
+    EXPECT_DOUBLE_EQ(MigrationCostModel::pageWalkUs(8 * 1024), 43.21);
+    EXPECT_DOUBLE_EQ(MigrationCostModel::pageWalkUs(64 * 1024), 26.32);
+    EXPECT_DOUBLE_EQ(MigrationCostModel::pageWalkUs(128 * 1024), 10.25);
+}
+
+TEST(MigrationCost, PerPageCostShrinksWithBatch)
+{
+    double prev = 1e9;
+    for (std::uint64_t batch = 1024; batch <= 256 * 1024; batch *= 2) {
+        const double cost = MigrationCostModel::pageMoveUs(batch) +
+                            MigrationCostModel::pageWalkUs(batch);
+        EXPECT_LE(cost, prev) << "batch " << batch;
+        prev = cost;
+    }
+}
+
+TEST(MigrationCost, ClampsOutsideMeasuredRange)
+{
+    EXPECT_DOUBLE_EQ(MigrationCostModel::pageMoveUs(1),
+                     MigrationCostModel::pageMoveUs(8 * 1024));
+    EXPECT_DOUBLE_EQ(MigrationCostModel::pageMoveUs(1 << 30),
+                     MigrationCostModel::pageMoveUs(128 * 1024));
+}
+
+TEST(MigrationCost, BatchCostIsPagesTimesPerPage)
+{
+    const std::uint64_t batch = 8 * 1024;
+    const double per_page_us = 25.5 + 43.21;
+    const auto expect_ns = static_cast<hos::sim::Duration>(
+        batch * per_page_us * 1000.0);
+    EXPECT_NEAR(static_cast<double>(
+                    MigrationCostModel::batchCost(batch)),
+                static_cast<double>(expect_ns), 1e6);
+    EXPECT_EQ(MigrationCostModel::batchCost(0), 0u);
+}
+
+} // namespace

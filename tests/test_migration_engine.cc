@@ -1,0 +1,139 @@
+/**
+ * @file
+ * MigrationEngine: P2M retargeting, exchange when tiers are full,
+ * cold-victim selection, and promoteWithEviction end-to-end.
+ */
+
+#include <gtest/gtest.h>
+
+#include "guestos/kernel.hh"
+#include "mem/machine_memory.hh"
+#include "vmm/migration_engine.hh"
+#include "vmm/vmm.hh"
+
+namespace {
+
+using namespace hos;
+
+struct EngineFixture : ::testing::Test
+{
+    mem::MachineMemory machine;
+    std::unique_ptr<vmm::Vmm> hypervisor;
+    std::unique_ptr<guestos::GuestKernel> guest;
+    vmm::VmId id = 0;
+
+    void
+    SetUp() override
+    {
+        machine.addNode(mem::MemType::FastMem, mem::dramSpec(4 * mem::mib));
+        machine.addNode(mem::MemType::SlowMem,
+                        mem::defaultSlowMemSpec(16 * mem::mib));
+        hypervisor = std::make_unique<vmm::Vmm>(machine);
+
+        // Hidden VM sized to fill both tiers completely.
+        guestos::GuestConfig cfg;
+        cfg.name = "hidden";
+        cfg.cpus = 1;
+        cfg.nodes = {{mem::MemType::SlowMem, 20 * mem::mib,
+                      20 * mem::mib}};
+        guest = std::make_unique<guestos::GuestKernel>(cfg);
+        vmm::VmConfig vcfg;
+        vcfg.hide_heterogeneity = true;
+        id = hypervisor->registerVm(*guest, vcfg);
+    }
+};
+
+TEST_F(EngineFixture, MigrateBackingRetargetsP2m)
+{
+    auto &vm = hypervisor->vm(id);
+    vmm::MigrationEngine engine(*hypervisor);
+
+    // gpfn 0 is slow-backed after boot (slow fills first). Both tiers
+    // are full, so free a fast frame by demoting one fast-backed page.
+    ASSERT_EQ(vm.p2m().tierOf(0), mem::MemType::SlowMem);
+    ASSERT_FALSE(vm.fastBacked().empty());
+
+    const guestos::Gpfn fastpage = *vm.fastBacked().begin();
+    // No free slow frames either -> plain migration fails...
+    auto res = engine.migrateBacking(vm, {0}, mem::MemType::FastMem);
+    EXPECT_EQ(res.migrated, 0u);
+    EXPECT_EQ(res.no_frames, 1u);
+
+    // ...but the exchange path swaps the two backings.
+    EXPECT_TRUE(engine.exchangeBacking(vm, 0, fastpage));
+    EXPECT_EQ(vm.p2m().tierOf(0), mem::MemType::FastMem);
+    EXPECT_EQ(vm.p2m().tierOf(fastpage), mem::MemType::SlowMem);
+    EXPECT_TRUE(vm.fastBacked().count(0));
+    EXPECT_FALSE(vm.fastBacked().count(fastpage));
+}
+
+TEST_F(EngineFixture, ExchangeRejectsWrongDirections)
+{
+    auto &vm = hypervisor->vm(id);
+    vmm::MigrationEngine engine(*hypervisor);
+    const guestos::Gpfn fastpage = *vm.fastBacked().begin();
+    EXPECT_FALSE(engine.exchangeBacking(vm, fastpage, fastpage));
+    EXPECT_FALSE(engine.exchangeBacking(vm, 0, 1)) << "both slow";
+}
+
+TEST_F(EngineFixture, ColdestFastBackedSortsByHeat)
+{
+    auto &vm = hypervisor->vm(id);
+    vmm::MigrationEngine engine(*hypervisor);
+    // Give two fast-backed pages distinct heat.
+    auto it = vm.fastBacked().begin();
+    const guestos::Gpfn hotp = *it++;
+    const guestos::Gpfn coldp = *it;
+    guest->pageMeta(hotp).heat = 120;
+    guest->pageMeta(coldp).heat = 0;
+
+    auto victims = engine.coldestFastBacked(vm, 4);
+    ASSERT_GE(victims.size(), 2u);
+    EXPECT_LE(guest->pageMeta(victims.front()).heat,
+              guest->pageMeta(victims.back()).heat);
+}
+
+TEST_F(EngineFixture, PromoteWithEvictionMovesHotIn)
+{
+    auto &vm = hypervisor->vm(id);
+    vmm::MigrationEngine engine(*hypervisor);
+
+    // Mark three slow-backed pages hot; fast-backed victims are cold.
+    std::vector<guestos::Gpfn> hot = {0, 1, 2};
+    for (auto pfn : hot) {
+        ASSERT_EQ(vm.p2m().tierOf(pfn), mem::MemType::SlowMem);
+        guest->pageMeta(pfn).heat = 120;
+    }
+    const auto before =
+        guest->overheadTotal(guestos::OverheadKind::Migration);
+    auto res = engine.promoteWithEviction(vm, hot);
+    EXPECT_EQ(res.migrated, 6u) << "three exchanges = six page moves";
+    for (auto pfn : hot)
+        EXPECT_EQ(vm.p2m().tierOf(pfn), mem::MemType::FastMem);
+    EXPECT_GT(guest->overheadTotal(guestos::OverheadKind::Migration),
+              before);
+}
+
+TEST_F(EngineFixture, PromoteSkipsWhenVictimsAreHotter)
+{
+    auto &vm = hypervisor->vm(id);
+    vmm::MigrationEngine engine(*hypervisor);
+    for (auto pfn : vm.fastBacked())
+        guest->pageMeta(pfn).heat = 127; // everything resident is hot
+    guest->pageMeta(0).heat = 100;       // candidate is cooler
+    auto res = engine.promoteWithEviction(vm, {0});
+    EXPECT_EQ(res.migrated, 0u) << "no exchange that loses heat";
+    EXPECT_EQ(vm.p2m().tierOf(0), mem::MemType::SlowMem);
+}
+
+TEST_F(EngineFixture, AlreadyFastPagesAreNotCandidates)
+{
+    auto &vm = hypervisor->vm(id);
+    vmm::MigrationEngine engine(*hypervisor);
+    const guestos::Gpfn fastpage = *vm.fastBacked().begin();
+    guest->pageMeta(fastpage).heat = 127;
+    auto res = engine.promoteWithEviction(vm, {fastpage});
+    EXPECT_EQ(res.migrated, 0u);
+}
+
+} // namespace

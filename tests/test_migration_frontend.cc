@@ -1,0 +1,131 @@
+/**
+ * @file
+ * MigrationFrontend: the guest-side page-state validity checks the
+ * paper credits to guest-controlled migration (Section 4.1) —
+ * released pages, dirty I/O pages, pinned pages — plus successful
+ * promotion/demotion and cost charging.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hh"
+
+namespace {
+
+using namespace hos;
+using namespace hos::guestos;
+
+struct MigrationFixture : ::testing::Test
+{
+    std::unique_ptr<GuestKernel> kernel =
+        test::standaloneGuest(16 * mem::mib, 64 * mem::mib);
+    AddressSpace *as = nullptr;
+
+    void
+    SetUp() override
+    {
+        as = &kernel->createProcess("p");
+    }
+};
+
+TEST_F(MigrationFixture, PromotesSlowAnonPages)
+{
+    const auto va =
+        as->mmap(8 * mem::pageSize, VmaKind::Anon, MemHint::SlowMem);
+    std::vector<Gpfn> pfns;
+    for (int i = 0; i < 8; ++i)
+        pfns.push_back(as->touch(va + i * mem::pageSize, true));
+
+    auto out =
+        kernel->migrator().migratePages(pfns, mem::MemType::FastMem);
+    EXPECT_EQ(out.migrated, 8u);
+    for (int i = 0; i < 8; ++i) {
+        auto cur = as->translate(va + i * mem::pageSize);
+        ASSERT_TRUE(cur.has_value());
+        EXPECT_EQ(kernel->pageMeta(*cur).mem_type,
+                  mem::MemType::FastMem);
+        EXPECT_EQ(kernel->pageMeta(*cur).lru, LruState::Active)
+            << "promotions land on the active list";
+    }
+    EXPECT_GT(kernel->overheadTotal(OverheadKind::Migration), 0u);
+}
+
+TEST_F(MigrationFixture, SkipsReleasedPages)
+{
+    const auto va = as->mmap(mem::pageSize, VmaKind::Anon,
+                             MemHint::SlowMem);
+    const Gpfn pfn = as->touch(va, true);
+    as->munmap(va); // page released: the VMM couldn't know
+    auto out =
+        kernel->migrator().migratePages({pfn}, mem::MemType::FastMem);
+    EXPECT_EQ(out.migrated, 0u);
+    EXPECT_EQ(out.skipped_unmapped, 1u);
+}
+
+TEST_F(MigrationFixture, SkipsDirtyIoPages)
+{
+    const FileId f = kernel->pageCache().createFile(mem::mib);
+    auto w = kernel->pageCache().write(f, 0, 4 * mem::kib,
+                                       MemHint::SlowMem);
+    auto out = kernel->migrator().migratePages(w.pages,
+                                               mem::MemType::FastMem);
+    EXPECT_EQ(out.migrated, 0u);
+    EXPECT_EQ(out.skipped_dirty_io, 1u);
+}
+
+TEST_F(MigrationFixture, MigratesCleanCachePages)
+{
+    const FileId f = kernel->pageCache().createFile(mem::mib);
+    auto r = kernel->pageCache().read(f, 0, 4 * mem::kib,
+                                      MemHint::SlowMem);
+    auto out = kernel->migrator().migratePages(r.pages,
+                                               mem::MemType::FastMem);
+    EXPECT_EQ(out.migrated, 1u);
+    auto again = kernel->pageCache().read(f, 0, 4 * mem::kib);
+    EXPECT_EQ(again.pages_missed, 0u);
+    EXPECT_EQ(kernel->pageMeta(again.pages[0]).mem_type,
+              mem::MemType::FastMem);
+}
+
+TEST_F(MigrationFixture, SkipsPinnedPages)
+{
+    const auto c = kernel->slab().createCache("pinned", 512);
+    auto obj = kernel->slab().alloc(c, MemHint::SlowMem);
+    auto out = kernel->migrator().migratePages({obj.pfn},
+                                               mem::MemType::FastMem);
+    EXPECT_EQ(out.migrated, 0u);
+    EXPECT_EQ(out.skipped_pinned, 1u);
+}
+
+TEST_F(MigrationFixture, SkipsPagesAlreadyThere)
+{
+    const auto va = as->mmap(mem::pageSize, VmaKind::Anon,
+                             MemHint::FastMem);
+    const Gpfn pfn = as->touch(va, true);
+    auto out =
+        kernel->migrator().migratePages({pfn}, mem::MemType::FastMem);
+    EXPECT_EQ(out.migrated, 0u);
+    EXPECT_EQ(out.attempted, 1u);
+}
+
+TEST_F(MigrationFixture, StalePfnAfterReuseIsSkipped)
+{
+    const auto va = as->mmap(mem::pageSize, VmaKind::Anon,
+                             MemHint::SlowMem);
+    const Gpfn pfn = as->touch(va, true);
+    as->munmap(va);
+    // The frame gets reused for a different mapping.
+    const auto va2 = as->mmap(mem::pageSize, VmaKind::Anon,
+                              MemHint::SlowMem);
+    const Gpfn reused = as->touch(va2, true);
+    ASSERT_EQ(reused, pfn) << "per-CPU cache reuses the hot frame";
+    // Migrating by the stale candidate still works safely: the page
+    // is validated against its *current* mapping.
+    auto out =
+        kernel->migrator().migratePages({pfn}, mem::MemType::FastMem);
+    EXPECT_EQ(out.migrated, 1u);
+    EXPECT_EQ(kernel->pageMeta(*as->translate(va2)).mem_type,
+              mem::MemType::FastMem);
+}
+
+} // namespace

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * P2m: mapping lifecycle, tier accounting, and retargeting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vmm/p2m.hh"
+
+namespace {
+
+using namespace hos;
+using vmm::P2m;
+
+TEST(P2m, StartsUnpopulated)
+{
+    P2m p2m(100);
+    EXPECT_EQ(p2m.populatedCount(), 0u);
+    EXPECT_FALSE(p2m.populated(0));
+    EXPECT_EQ(p2m.mfnOf(5), mem::invalidMfn);
+}
+
+TEST(P2m, SetAndClear)
+{
+    P2m p2m(100);
+    p2m.set(3, 777, mem::MemType::FastMem);
+    EXPECT_TRUE(p2m.populated(3));
+    EXPECT_EQ(p2m.mfnOf(3), 777u);
+    EXPECT_EQ(p2m.tierOf(3), mem::MemType::FastMem);
+    EXPECT_EQ(p2m.populatedCount(), 1u);
+    EXPECT_EQ(p2m.populatedOfTier(mem::MemType::FastMem), 1u);
+
+    p2m.clear(3);
+    EXPECT_FALSE(p2m.populated(3));
+    EXPECT_EQ(p2m.populatedCount(), 0u);
+    EXPECT_EQ(p2m.populatedOfTier(mem::MemType::FastMem), 0u);
+}
+
+TEST(P2m, RetargetMovesTierAccounting)
+{
+    P2m p2m(10);
+    p2m.set(1, 100, mem::MemType::SlowMem);
+    p2m.set(1, 200, mem::MemType::FastMem); // migration retarget
+    EXPECT_EQ(p2m.populatedCount(), 1u);
+    EXPECT_EQ(p2m.populatedOfTier(mem::MemType::SlowMem), 0u);
+    EXPECT_EQ(p2m.populatedOfTier(mem::MemType::FastMem), 1u);
+    EXPECT_EQ(p2m.mfnOf(1), 200u);
+}
+
+TEST(P2m, OutOfRangePanics)
+{
+    P2m p2m(4);
+    EXPECT_DEATH(p2m.set(4, 1, mem::MemType::FastMem), "out of P2M");
+    EXPECT_DEATH(p2m.clear(0), "unmapped");
+}
+
+} // namespace

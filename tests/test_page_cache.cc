@@ -1,0 +1,141 @@
+/**
+ * @file
+ * PageCache: hit/miss behavior, read-ahead, write dirtying,
+ * write-back, eviction, and tier remapping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hh"
+
+namespace {
+
+using namespace hos;
+using namespace hos::guestos;
+
+struct CacheFixture : ::testing::Test
+{
+    std::unique_ptr<GuestKernel> kernel = test::standaloneGuest();
+    PageCache *pc = nullptr;
+
+    void
+    SetUp() override
+    {
+        pc = &kernel->pageCache();
+    }
+};
+
+TEST_F(CacheFixture, ColdReadMissesWarmReadHits)
+{
+    const FileId f = pc->createFile(16 * mem::mib);
+    auto r1 = pc->read(f, 0, 64 * mem::kib);
+    EXPECT_GT(r1.pages_missed, 0u);
+    EXPECT_GT(r1.disk_time, 0u);
+
+    auto r2 = pc->read(f, 0, 64 * mem::kib);
+    EXPECT_EQ(r2.pages_missed, 0u);
+    EXPECT_EQ(r2.disk_time, 0u);
+    EXPECT_EQ(r2.pages.size(), 16u);
+}
+
+TEST_F(CacheFixture, SequentialReadsTriggerReadAhead)
+{
+    const FileId f = pc->createFile(16 * mem::mib);
+    auto r1 = pc->read(f, 0, 4 * mem::kib);
+    // First read is not sequential; second, contiguous one is and
+    // pulls the read-ahead window.
+    auto r2 = pc->read(f, 4 * mem::kib, 4 * mem::kib);
+    EXPECT_GT(r2.pages.size(), 1u) << "read-ahead extended the fetch";
+    // The requested page now hits; read-ahead may prefetch further.
+    auto r3 = pc->read(f, 8 * mem::kib, 4 * mem::kib);
+    EXPECT_FALSE(r3.pages.empty());
+    EXPECT_LE(r3.pages_missed, r3.pages.size() - 1);
+}
+
+TEST_F(CacheFixture, WriteDirtiesAndWritebackCleans)
+{
+    const FileId f = pc->createFile(mem::mib);
+    pc->write(f, 0, 32 * mem::kib);
+    EXPECT_EQ(pc->dirtyPages(), 8u);
+
+    const auto t = pc->writeback(1000);
+    EXPECT_GT(t, 0u);
+    EXPECT_EQ(pc->dirtyPages(), 0u);
+    EXPECT_EQ(pc->writeback(1000), 0u) << "nothing left to write";
+}
+
+TEST_F(CacheFixture, WriteExtendsFile)
+{
+    const FileId f = pc->createFile(0);
+    pc->write(f, 0, 10 * mem::kib);
+    EXPECT_EQ(pc->fileSize(f), 10 * mem::kib);
+}
+
+TEST_F(CacheFixture, EvictRefusesDirtyAcceptsClean)
+{
+    const FileId f = pc->createFile(mem::mib);
+    auto w = pc->write(f, 0, 4 * mem::kib);
+    ASSERT_EQ(w.pages.size(), 1u);
+    const Gpfn pfn = w.pages[0];
+    EXPECT_FALSE(pc->evictPage(pfn)) << "dirty pages stay";
+    pc->writeback(10);
+    EXPECT_TRUE(pc->evictPage(pfn));
+    EXPECT_FALSE(pc->owns(pfn));
+    EXPECT_FALSE(kernel->pageMeta(pfn).allocated);
+}
+
+TEST_F(CacheFixture, MapPageSharesWithBufferedPath)
+{
+    const FileId f = pc->createFile(mem::mib);
+    sim::Duration io = 0;
+    const Gpfn a = pc->mapPage(f, 0, MemHint::None, io);
+    EXPECT_GT(io, 0u);
+    auto r = pc->read(f, 0, 4 * mem::kib);
+    ASSERT_EQ(r.pages.size(), 1u);
+    EXPECT_EQ(r.pages[0], a);
+}
+
+TEST_F(CacheFixture, RemapPageMovesMapping)
+{
+    const FileId f = pc->createFile(mem::mib);
+    auto r = pc->read(f, 0, 4 * mem::kib);
+    const Gpfn old_pfn = r.pages[0];
+
+    auto *slow = kernel->nodeFor(mem::MemType::SlowMem);
+    const Gpfn new_pfn =
+        kernel->allocPageOnNode(slow->id(), PageType::PageCache);
+    pc->remapPage(old_pfn, new_pfn);
+    EXPECT_FALSE(pc->owns(old_pfn));
+    EXPECT_TRUE(pc->owns(new_pfn));
+
+    auto again = pc->read(f, 0, 4 * mem::kib);
+    EXPECT_EQ(again.pages_missed, 0u);
+    EXPECT_EQ(again.pages[0], new_pfn);
+}
+
+TEST_F(CacheFixture, RemapCarriesDirtyState)
+{
+    const FileId f = pc->createFile(mem::mib);
+    auto w = pc->write(f, 0, 4 * mem::kib);
+    const Gpfn old_pfn = w.pages[0];
+    auto *slow = kernel->nodeFor(mem::MemType::SlowMem);
+    const Gpfn new_pfn =
+        kernel->allocPageOnNode(slow->id(), PageType::PageCache);
+    pc->remapPage(old_pfn, new_pfn);
+    EXPECT_TRUE(kernel->pageMeta(new_pfn).dirty);
+    EXPECT_EQ(pc->dirtyPages(), 1u);
+    pc->writeback(10);
+    EXPECT_FALSE(kernel->pageMeta(new_pfn).dirty);
+}
+
+TEST_F(CacheFixture, StatsTrackHitsAndMisses)
+{
+    const FileId f = pc->createFile(mem::mib);
+    pc->read(f, 0, 8 * mem::kib);
+    const auto misses = pc->misses();
+    pc->read(f, 0, 8 * mem::kib);
+    EXPECT_EQ(pc->misses(), misses);
+    EXPECT_GT(pc->hits(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Intrusive PageList: push/pop/remove semantics, link integrity,
+ * and double-insertion detection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "guestos/page.hh"
+
+namespace {
+
+using namespace hos::guestos;
+
+struct PageListFixture : ::testing::Test
+{
+    PageArray pages{64};
+    PageList list{pages, listOther};
+};
+
+TEST_F(PageListFixture, PushFrontPopFrontIsLifo)
+{
+    list.pushFront(1);
+    list.pushFront(2);
+    list.pushFront(3);
+    EXPECT_EQ(list.size(), 3u);
+    EXPECT_EQ(list.popFront(), 3u);
+    EXPECT_EQ(list.popFront(), 2u);
+    EXPECT_EQ(list.popFront(), 1u);
+    EXPECT_TRUE(list.empty());
+    EXPECT_EQ(list.popFront(), invalidGpfn);
+}
+
+TEST_F(PageListFixture, PushBackPopFrontIsFifo)
+{
+    for (Gpfn p : {5, 6, 7})
+        list.pushBack(p);
+    EXPECT_EQ(list.popFront(), 5u);
+    EXPECT_EQ(list.popFront(), 6u);
+    EXPECT_EQ(list.popFront(), 7u);
+}
+
+TEST_F(PageListFixture, RemoveFromMiddle)
+{
+    for (Gpfn p : {1, 2, 3, 4, 5})
+        list.pushBack(p);
+    list.remove(3);
+    EXPECT_EQ(list.size(), 4u);
+    EXPECT_EQ(list.popFront(), 1u);
+    EXPECT_EQ(list.popFront(), 2u);
+    EXPECT_EQ(list.popFront(), 4u);
+    EXPECT_EQ(list.popFront(), 5u);
+}
+
+TEST_F(PageListFixture, RemoveHeadAndTail)
+{
+    for (Gpfn p : {1, 2, 3})
+        list.pushBack(p);
+    list.remove(1);
+    list.remove(3);
+    EXPECT_EQ(list.head(), 2u);
+    EXPECT_EQ(list.tail(), 2u);
+    EXPECT_EQ(list.size(), 1u);
+}
+
+TEST_F(PageListFixture, MoveToFront)
+{
+    for (Gpfn p : {1, 2, 3})
+        list.pushBack(p);
+    list.moveToFront(3);
+    EXPECT_EQ(list.head(), 3u);
+    EXPECT_EQ(list.tail(), 2u);
+}
+
+TEST_F(PageListFixture, MembershipTagTracking)
+{
+    list.pushBack(9);
+    EXPECT_TRUE(list.contains(9));
+    EXPECT_FALSE(list.contains(8));
+    list.remove(9);
+    EXPECT_FALSE(list.contains(9));
+    EXPECT_EQ(pages.page(9).on_list, listNone);
+}
+
+TEST_F(PageListFixture, DoubleInsertPanics)
+{
+    list.pushBack(4);
+    EXPECT_DEATH(list.pushBack(4), "already on list");
+}
+
+TEST_F(PageListFixture, RemoveForeignPanics)
+{
+    PageList other(pages, listIo);
+    other.pushBack(4);
+    EXPECT_DEATH(list.remove(4), "on list");
+}
+
+} // namespace

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * PageTable: mapping, bits, remap, scan (with budget), accounting,
+ * and sparse-address handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "guestos/page_table.hh"
+
+namespace {
+
+using namespace hos::guestos;
+using hos::mem::pageSize;
+
+TEST(PageTable, MapAndLookup)
+{
+    PageTable t;
+    t.map(0x1000, 42, true);
+    auto pte = t.lookup(0x1000);
+    ASSERT_TRUE(pte.has_value());
+    EXPECT_EQ(pte->pfn, 42u);
+    EXPECT_TRUE(pte->writable);
+    EXPECT_FALSE(pte->accessed);
+    EXPECT_FALSE(t.lookup(0x2000).has_value());
+    EXPECT_EQ(t.mappedPages(), 1u);
+}
+
+TEST(PageTable, TouchSetsAccessedAndDirty)
+{
+    PageTable t;
+    t.map(0x1000, 1, true);
+    EXPECT_TRUE(t.touch(0x1000, false));
+    EXPECT_TRUE(t.lookup(0x1000)->accessed);
+    EXPECT_FALSE(t.lookup(0x1000)->dirty);
+    t.touch(0x1000, true);
+    EXPECT_TRUE(t.lookup(0x1000)->dirty);
+    EXPECT_FALSE(t.touch(0x9000, false)) << "fault on unmapped address";
+}
+
+TEST(PageTable, UnmapReturnsFrame)
+{
+    PageTable t;
+    t.map(0x5000, 7, true);
+    auto pfn = t.unmap(0x5000);
+    ASSERT_TRUE(pfn.has_value());
+    EXPECT_EQ(*pfn, 7u);
+    EXPECT_FALSE(t.isMapped(0x5000));
+    EXPECT_FALSE(t.unmap(0x5000).has_value());
+    EXPECT_EQ(t.mappedPages(), 0u);
+}
+
+TEST(PageTable, RemapKeepsMappingDropsBits)
+{
+    PageTable t;
+    t.map(0x1000, 1, true);
+    t.touch(0x1000, true);
+    EXPECT_TRUE(t.remap(0x1000, 99));
+    auto pte = t.lookup(0x1000);
+    EXPECT_EQ(pte->pfn, 99u);
+    EXPECT_FALSE(pte->accessed) << "migration clears hardware bits";
+    EXPECT_FALSE(pte->dirty);
+    EXPECT_FALSE(t.remap(0x7000, 1));
+}
+
+TEST(PageTable, SparseHighAddresses)
+{
+    PageTable t;
+    const std::uint64_t far = (PageTable::vaSpan / 2) & ~(pageSize - 1);
+    t.map(far, 3, false);
+    EXPECT_TRUE(t.isMapped(far));
+    EXPECT_FALSE(t.isMapped(far + pageSize));
+    // A single sparse mapping costs exactly one node chain.
+    EXPECT_EQ(t.tableNodes(), 1u + 3u) << "root + one 3-level chain";
+}
+
+TEST(PageTable, ScanRangeHarvestsAndClears)
+{
+    PageTable t;
+    for (std::uint64_t i = 0; i < 100; ++i)
+        t.map(i * pageSize, i, true);
+    for (std::uint64_t i = 0; i < 100; i += 2)
+        t.touch(i * pageSize, false);
+
+    std::uint64_t accessed = 0;
+    const auto visited = t.scanRange(
+        0, 100 * pageSize,
+        [&](std::uint64_t, const PteView &pte) {
+            if (pte.accessed)
+                ++accessed;
+        },
+        /*clear_accessed=*/true);
+    EXPECT_EQ(visited, 100u);
+    EXPECT_EQ(accessed, 50u);
+
+    // Second scan: bits were cleared.
+    accessed = 0;
+    t.scanRange(0, 100 * pageSize,
+                [&](std::uint64_t, const PteView &pte) {
+                    if (pte.accessed)
+                        ++accessed;
+                },
+                true);
+    EXPECT_EQ(accessed, 0u);
+}
+
+TEST(PageTable, ScanRangeRespectsBudget)
+{
+    PageTable t;
+    for (std::uint64_t i = 0; i < 64; ++i)
+        t.map(i * pageSize, i, true);
+    std::uint64_t seen = 0;
+    const auto visited = t.scanRange(
+        0, 64 * pageSize,
+        [&](std::uint64_t, const PteView &) { ++seen; }, false, 10);
+    EXPECT_EQ(visited, 10u);
+    EXPECT_EQ(seen, 10u);
+}
+
+TEST(PageTable, ScanRangeWindow)
+{
+    PageTable t;
+    for (std::uint64_t i = 0; i < 32; ++i)
+        t.map(i * pageSize, i, true);
+    std::vector<std::uint64_t> vas;
+    t.scanRange(8 * pageSize, 16 * pageSize,
+                [&](std::uint64_t va, const PteView &) {
+                    vas.push_back(va);
+                },
+                false);
+    ASSERT_EQ(vas.size(), 8u);
+    EXPECT_EQ(vas.front(), 8 * pageSize);
+    EXPECT_EQ(vas.back(), 15 * pageSize);
+}
+
+TEST(PageTable, AccountingHook)
+{
+    std::int64_t nodes = 0;
+    {
+        PageTable t([&](std::int64_t d) { nodes += d; });
+        EXPECT_EQ(nodes, 1); // root
+        t.map(0, 1, true);
+        EXPECT_EQ(nodes, 4); // root + 3 levels
+    }
+    EXPECT_EQ(nodes, 0) << "teardown releases everything";
+}
+
+TEST(PageTable, OvermapPanics)
+{
+    PageTable t;
+    t.map(0x1000, 1, true);
+    EXPECT_DEATH(t.map(0x1000, 2, true), "overmapping");
+}
+
+} // namespace

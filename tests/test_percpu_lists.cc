@@ -1,0 +1,98 @@
+/**
+ * @file
+ * PerCpuPageLists: fast-path behavior, refill batching, high-
+ * watermark draining, per-node separation, and accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "guestos/percpu_lists.hh"
+
+namespace {
+
+using namespace hos::guestos;
+
+struct PerCpuFixture : ::testing::Test
+{
+    static constexpr std::uint64_t span = 1 << 12;
+    PageArray pages{2 * span};
+    NumaNode fast{0, hos::mem::MemType::FastMem, pages, 0, span};
+    NumaNode slow{1, hos::mem::MemType::SlowMem, pages, span, span};
+    PerCpuPageLists pcp{pages, 4, 2};
+
+    void
+    SetUp() override
+    {
+        fast.primaryZone().buddy().addFreeRange(0, span);
+        slow.primaryZone().buddy().addFreeRange(span, span);
+    }
+};
+
+TEST_F(PerCpuFixture, FirstAllocRefillsBatch)
+{
+    const Gpfn pfn = pcp.alloc(0, fast);
+    ASSERT_NE(pfn, invalidGpfn);
+    EXPECT_TRUE(pages.page(pfn).allocated);
+    EXPECT_EQ(pcp.refills(), 1u);
+    EXPECT_GT(pcp.cached(0, 0), 0u);
+}
+
+TEST_F(PerCpuFixture, SecondAllocHitsCache)
+{
+    pcp.alloc(0, fast);
+    const auto hits_before = pcp.fastPathHits();
+    pcp.alloc(0, fast);
+    EXPECT_EQ(pcp.fastPathHits(), hits_before + 1);
+}
+
+TEST_F(PerCpuFixture, NodesAreSeparated)
+{
+    const Gpfn f = pcp.alloc(0, fast);
+    const Gpfn s = pcp.alloc(0, slow);
+    EXPECT_TRUE(fast.containsGpfn(f));
+    EXPECT_TRUE(slow.containsGpfn(s));
+    EXPECT_GT(pcp.cached(0, 0), 0u);
+    EXPECT_GT(pcp.cached(0, 1), 0u);
+}
+
+TEST_F(PerCpuFixture, FreeGoesToCacheAndDrainsAboveHigh)
+{
+    std::vector<Gpfn> held;
+    for (int i = 0; i < 200; ++i)
+        held.push_back(pcp.alloc(1, fast));
+    for (Gpfn pfn : held)
+        pcp.free(1, fast, pfn);
+    // The high watermark bounds the cache; the rest went to the buddy.
+    EXPECT_LE(pcp.cached(1, 0), 96u);
+}
+
+TEST_F(PerCpuFixture, DrainNodeReturnsEverything)
+{
+    for (unsigned cpu = 0; cpu < 4; ++cpu)
+        pcp.alloc(cpu, fast);
+    const std::uint64_t buddy_free = fast.freePages();
+    pcp.drainNode(fast);
+    EXPECT_EQ(pcp.cachedOnNode(0), 0u);
+    EXPECT_GT(fast.freePages(), buddy_free);
+    // Accounting: allocated 4 pages total, rest back in the buddy.
+    EXPECT_EQ(fast.freePages(), span - 4);
+}
+
+TEST_F(PerCpuFixture, ExhaustionPropagates)
+{
+    std::uint64_t got = 0;
+    while (pcp.alloc(0, fast) != invalidGpfn)
+        ++got;
+    EXPECT_EQ(got, span);
+}
+
+TEST_F(PerCpuFixture, CachedOnNodeSumsCpus)
+{
+    pcp.alloc(0, fast);
+    pcp.alloc(1, fast);
+    EXPECT_EQ(pcp.cachedOnNode(0),
+              pcp.cached(0, 0) + pcp.cached(1, 0) + pcp.cached(2, 0) +
+                  pcp.cached(3, 0));
+}
+
+} // namespace

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Management policies: guest/VM configuration effects, VMM-exclusive
+ * topology collapsing and oracle installation, coordinated wiring.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "policy/coordinated.hh"
+#include "policy/vmm_exclusive.hh"
+
+namespace {
+
+using namespace hos;
+
+guestos::GuestConfig
+baseGuestCfg()
+{
+    guestos::GuestConfig cfg;
+    cfg.nodes = {{mem::MemType::FastMem, 8 * mem::mib, 8 * mem::mib},
+                 {mem::MemType::SlowMem, 32 * mem::mib, 32 * mem::mib}};
+    return cfg;
+}
+
+TEST(Policies, ModesConfigureAllocator)
+{
+    struct Expect
+    {
+        core::Approach approach;
+        guestos::AllocMode mode;
+        bool lru;
+    };
+    const Expect cases[] = {
+        {core::Approach::SlowMemOnly, guestos::AllocMode::SlowOnly, false},
+        {core::Approach::FastMemOnly, guestos::AllocMode::FastOnly, false},
+        {core::Approach::Random, guestos::AllocMode::Random, false},
+        {core::Approach::NumaPreferred, guestos::AllocMode::FastPreferred,
+         false},
+        {core::Approach::HeapOd, guestos::AllocMode::OnDemand, false},
+        {core::Approach::HeapIoSlabOd, guestos::AllocMode::OnDemand,
+         false},
+        {core::Approach::HeteroLru, guestos::AllocMode::OnDemand, true},
+        {core::Approach::Coordinated, guestos::AllocMode::OnDemand, true},
+    };
+    for (const auto &c : cases) {
+        auto policy = core::makePolicy(c.approach);
+        auto cfg = baseGuestCfg();
+        policy->configureGuest(cfg);
+        EXPECT_EQ(cfg.alloc.mode, c.mode) << core::approachName(c.approach);
+        EXPECT_EQ(cfg.lru.enabled, c.lru)
+            << core::approachName(c.approach);
+    }
+}
+
+TEST(Policies, HeapOdEligibilityIsHeapOnly)
+{
+    auto policy = core::makePolicy(core::Approach::HeapOd);
+    auto cfg = baseGuestCfg();
+    policy->configureGuest(cfg);
+    using PT = guestos::PageType;
+    EXPECT_TRUE(cfg.alloc.od_eligible[guestos::pageTypeIndex(PT::Anon)]);
+    EXPECT_FALSE(
+        cfg.alloc.od_eligible[guestos::pageTypeIndex(PT::PageCache)]);
+    EXPECT_FALSE(
+        cfg.alloc.od_eligible[guestos::pageTypeIndex(PT::NetBuf)]);
+}
+
+TEST(Policies, VmmExclusiveCollapsesTopology)
+{
+    policy::VmmExclusivePolicy policy;
+    auto cfg = baseGuestCfg();
+    policy.configureGuest(cfg);
+    ASSERT_EQ(cfg.nodes.size(), 1u);
+    EXPECT_EQ(cfg.nodes[0].max_bytes, 40 * mem::mib);
+
+    vmm::VmConfig vcfg;
+    policy.configureVm(vcfg);
+    EXPECT_TRUE(vcfg.hide_heterogeneity);
+}
+
+TEST(Policies, VmmExclusiveInstallsBackingOracle)
+{
+    auto spec = core::RunSpec{};
+    spec.approach = core::Approach::VmmExclusive;
+    spec.fast_bytes = 8 * mem::mib;
+    spec.slow_bytes = 32 * mem::mib;
+    auto sys = core::systemFor(spec);
+    auto &slot = sys->slot(0);
+
+    // The guest's nominal node type is SlowMem, but the oracle sees
+    // through to the P2M: the boot tail is fast-backed.
+    auto &vm = sys->vmm().vm(slot.id);
+    ASSERT_FALSE(vm.fastBacked().empty());
+    const guestos::Gpfn fast_backed = *vm.fastBacked().begin();
+    EXPECT_EQ(slot.kernel->pageMeta(fast_backed).mem_type,
+              mem::MemType::SlowMem)
+        << "the guest believes everything is one type";
+    EXPECT_EQ(slot.kernel->backingOf(fast_backed),
+              mem::MemType::FastMem)
+        << "the oracle tells the truth";
+}
+
+TEST(Policies, CoordinatedSchedulesDaemons)
+{
+    auto spec = core::RunSpec{};
+    spec.approach = core::Approach::Coordinated;
+    spec.fast_bytes = 8 * mem::mib;
+    spec.slow_bytes = 32 * mem::mib;
+    auto sys = core::systemFor(spec);
+    auto &slot = sys->slot(0);
+    EXPECT_GE(slot.kernel->events().pending(), 2u)
+        << "directive publisher + scan loop are scheduled";
+}
+
+TEST(Policies, ApproachNamesAreStable)
+{
+    EXPECT_STREQ(core::approachName(core::Approach::HeteroLru),
+                 "HeteroOS-LRU");
+    EXPECT_STREQ(core::approachName(core::Approach::VmmExclusive),
+                 "VMM-exclusive");
+    EXPECT_STREQ(core::approachName(core::Approach::Coordinated),
+                 "HeteroOS-coordinated");
+}
+
+} // namespace

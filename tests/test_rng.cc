@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Rng: determinism, bounds, and distribution sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hh"
+
+namespace {
+
+using hos::sim::Rng;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformIntRespectsBound)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.uniformInt(bound), bound);
+    }
+}
+
+TEST(Rng, UniformRangeInclusive)
+{
+    Rng rng(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.uniformRange(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformDoubleInUnitInterval)
+{
+    Rng rng(9);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.uniformDouble();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceEdgeCases)
+{
+    Rng rng(11);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ZipfIsSkewedTowardLowRanks)
+{
+    Rng rng(13);
+    const std::uint64_t n = 1000;
+    std::uint64_t low = 0, total = 20000;
+    for (std::uint64_t i = 0; i < total; ++i) {
+        const auto v = rng.zipf(n, 0.99);
+        ASSERT_LT(v, n);
+        if (v < n / 10)
+            ++low;
+    }
+    // With s~1, the top decile of ranks draws well over half the mass.
+    EXPECT_GT(low, total / 2);
+}
+
+TEST(Rng, ZipfSingleElement)
+{
+    Rng rng(17);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.zipf(1, 0.9), 0u);
+}
+
+} // namespace

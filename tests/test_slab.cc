@@ -1,0 +1,128 @@
+/**
+ * @file
+ * SlabAllocator: cache creation, object packing, partial-slab reuse,
+ * page return on emptying, and multi-cache isolation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hh"
+
+namespace {
+
+using namespace hos;
+using namespace hos::guestos;
+
+struct SlabFixture : ::testing::Test
+{
+    std::unique_ptr<GuestKernel> kernel = test::standaloneGuest();
+    SlabAllocator *slab = nullptr;
+
+    void
+    SetUp() override
+    {
+        slab = &kernel->slab();
+    }
+};
+
+TEST_F(SlabFixture, ObjectsPackIntoPages)
+{
+    const auto c = slab->createCache("obj512", 512);
+    EXPECT_EQ(slab->objectsPerPage(c), 8u);
+    std::vector<SlabObject> objs;
+    for (int i = 0; i < 8; ++i) {
+        auto o = slab->alloc(c);
+        ASSERT_TRUE(o.valid());
+        objs.push_back(o);
+    }
+    EXPECT_EQ(slab->pagesInUse(c), 1u) << "8 objects fit one page";
+    EXPECT_EQ(objs[0].pfn, objs[7].pfn);
+    auto ninth = slab->alloc(c);
+    EXPECT_EQ(slab->pagesInUse(c), 2u);
+    slab->free(c, ninth);
+    for (auto o : objs)
+        slab->free(c, o);
+    EXPECT_EQ(slab->pagesInUse(c), 0u);
+    EXPECT_EQ(slab->objectsInUse(c), 0u);
+}
+
+TEST_F(SlabFixture, EmptySlabPageReturnsToKernel)
+{
+    const auto c = slab->createCache("obj2048", 2048);
+    auto a = slab->alloc(c);
+    auto b = slab->alloc(c);
+    ASSERT_EQ(a.pfn, b.pfn);
+    EXPECT_TRUE(kernel->pageMeta(a.pfn).allocated);
+    slab->free(c, a);
+    EXPECT_TRUE(kernel->pageMeta(b.pfn).allocated);
+    slab->free(c, b);
+    EXPECT_FALSE(kernel->pageMeta(b.pfn).allocated)
+        << "empty slab page freed";
+}
+
+TEST_F(SlabFixture, PartialSlabsAreReused)
+{
+    const auto c = slab->createCache("obj1024", 1024);
+    auto a = slab->alloc(c);
+    auto b = slab->alloc(c);
+    slab->free(c, a);
+    auto d = slab->alloc(c);
+    EXPECT_EQ(d.pfn, b.pfn) << "hole in the partial slab reused";
+    EXPECT_EQ(slab->pagesInUse(c), 1u);
+}
+
+TEST_F(SlabFixture, CachesAreIsolated)
+{
+    const auto c1 = slab->createCache("dentry", 192);
+    const auto c2 =
+        slab->createCache("skbuff", 2048, PageType::NetBuf);
+    auto o1 = slab->alloc(c1);
+    auto o2 = slab->alloc(c2);
+    EXPECT_NE(o1.pfn, o2.pfn);
+    EXPECT_EQ(kernel->pageMeta(o1.pfn).type, PageType::Slab);
+    EXPECT_EQ(kernel->pageMeta(o2.pfn).type, PageType::NetBuf);
+    EXPECT_EQ(slab->cacheName(c1), "dentry");
+}
+
+TEST_F(SlabFixture, SlabPagesAreUnevictable)
+{
+    const auto c = slab->createCache("pinned", 256);
+    auto o = slab->alloc(c);
+    EXPECT_TRUE(kernel->pageMeta(o.pfn).unevictable);
+    slab->free(c, o);
+    EXPECT_FALSE(kernel->pageMeta(o.pfn).unevictable);
+}
+
+TEST_F(SlabFixture, WrongCacheFreePanics)
+{
+    const auto c1 = slab->createCache("a", 256);
+    const auto c2 = slab->createCache("b", 256);
+    auto o = slab->alloc(c1);
+    EXPECT_DEATH(slab->free(c2, o), "wrong cache|unknown slab");
+    slab->free(c1, o);
+}
+
+TEST_F(SlabFixture, ChurnStressKeepsAccounting)
+{
+    const auto c = slab->createCache("churn", 300);
+    sim::Rng rng(5);
+    std::vector<SlabObject> held;
+    for (int step = 0; step < 20000; ++step) {
+        if (held.empty() || rng.chance(0.52)) {
+            auto o = slab->alloc(c);
+            if (o.valid())
+                held.push_back(o);
+        } else {
+            const auto idx = rng.uniformInt(held.size());
+            slab->free(c, held[idx]);
+            held[idx] = held.back();
+            held.pop_back();
+        }
+    }
+    EXPECT_EQ(slab->objectsInUse(c), held.size());
+    for (auto o : held)
+        slab->free(c, o);
+    EXPECT_EQ(slab->pagesInUse(c), 0u);
+}
+
+} // namespace

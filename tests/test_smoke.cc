@@ -1,0 +1,59 @@
+/**
+ * @file
+ * End-to-end smoke tests: every approach boots a VM and completes a
+ * tiny run of every application without tripping an invariant.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+
+namespace {
+
+using namespace hos;
+
+core::RunSpec
+tinySpec(core::Approach a)
+{
+    core::RunSpec spec;
+    spec.approach = a;
+    spec.fast_bytes = 256 * mem::mib;
+    spec.slow_bytes = 1 * mem::gib;
+    spec.scale = 0.02;
+    return spec;
+}
+
+TEST(Smoke, EveryApproachRunsGraphChi)
+{
+    for (core::Approach a :
+         {core::Approach::SlowMemOnly, core::Approach::FastMemOnly,
+          core::Approach::Random, core::Approach::NumaPreferred,
+          core::Approach::HeapOd, core::Approach::HeapIoSlabOd,
+          core::Approach::HeteroLru, core::Approach::VmmExclusive,
+          core::Approach::Coordinated}) {
+        auto res = core::runApp(workload::AppId::GraphChi, tinySpec(a));
+        EXPECT_GT(res.elapsed, 0u) << core::approachName(a);
+        EXPECT_GT(res.phases, 0u) << core::approachName(a);
+    }
+}
+
+TEST(Smoke, EveryAppRunsUnderHeteroLru)
+{
+    for (workload::AppId app : workload::allApps) {
+        auto res = core::runApp(app, tinySpec(core::Approach::HeteroLru));
+        EXPECT_GT(res.elapsed, 0u) << workload::appName(app);
+    }
+}
+
+TEST(Smoke, FastMemOnlyBeatsSlowMemOnly)
+{
+    auto fast = core::runApp(workload::AppId::GraphChi,
+                             tinySpec(core::Approach::FastMemOnly));
+    auto slow = core::runApp(workload::AppId::GraphChi,
+                             tinySpec(core::Approach::SlowMemOnly));
+    EXPECT_LT(fast.elapsed, slow.elapsed);
+    EXPECT_GT(core::slowdownFactor(fast, slow), 1.05);
+}
+
+} // namespace

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Stats framework: counters, gauges, distributions, histograms,
+ * stat groups, and the table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/stats.hh"
+#include "sim/table.hh"
+
+namespace {
+
+using namespace hos::sim;
+
+TEST(Counter, IncrementAndReset)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, MovesBothWays)
+{
+    Gauge g;
+    g.add(10);
+    g.sub(3);
+    EXPECT_EQ(g.value(), 7);
+    g.sub(10);
+    EXPECT_EQ(g.value(), -3);
+}
+
+TEST(Distribution, TracksMoments)
+{
+    Distribution d;
+    EXPECT_EQ(d.mean(), 0.0);
+    d.sample(2.0);
+    d.sample(4.0);
+    d.sample(6.0);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 6.0);
+}
+
+TEST(Histogram, BucketsAndClamping)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.sample(0.5);
+    h.sample(9.5);
+    h.sample(-1.0);  // clamps into bucket 0
+    h.sample(100.0); // clamps into the last bucket
+    EXPECT_EQ(h.samples(), 4u);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(9), 2u);
+    EXPECT_DOUBLE_EQ(h.bucketLo(5), 5.0);
+}
+
+TEST(StatGroup, NamedAccessAndDump)
+{
+    StatGroup g("guest0");
+    g.counter("alloc").inc(3);
+    g.gauge("resident").set(5);
+    EXPECT_TRUE(g.hasCounter("alloc"));
+    EXPECT_FALSE(g.hasCounter("nope"));
+    EXPECT_EQ(g.findCounter("alloc").value(), 3u);
+    const std::string dump = g.dump();
+    EXPECT_NE(dump.find("guest0.alloc 3"), std::string::npos);
+    g.resetAll();
+    EXPECT_EQ(g.findCounter("alloc").value(), 0u);
+}
+
+TEST(Table, RendersAlignedRows)
+{
+    Table t("demo");
+    t.header({"name", "value"});
+    t.row({"a", Table::num(std::uint64_t(1))});
+    t.row({"long-name", Table::pct(12.345)});
+    const std::string s = t.render();
+    EXPECT_NE(s.find("demo"), std::string::npos);
+    EXPECT_NE(s.find("long-name"), std::string::npos);
+    EXPECT_NE(s.find("12.3%"), std::string::npos);
+}
+
+TEST(Table, NumberFormatting)
+{
+    EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::num(std::uint64_t(42)), "42");
+    EXPECT_EQ(Table::pct(50.0, 0), "50%");
+}
+
+} // namespace

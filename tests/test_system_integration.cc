@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Full-system integration: HeteroSystem assembly, frame conservation
+ * across the whole stack, multi-VM lockstep runs with fairness
+ * policies, and end-to-end policy orderings.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+#include "policy/vmm_exclusive.hh"
+#include "vmm/drf.hh"
+#include "vmm/max_min.hh"
+
+namespace {
+
+using namespace hos;
+
+core::RunSpec
+smallSpec(core::Approach a)
+{
+    core::RunSpec spec;
+    spec.approach = a;
+    spec.fast_bytes = 96 * mem::mib;
+    spec.slow_bytes = 512 * mem::mib;
+    spec.scale = 0.04;
+    return spec;
+}
+
+TEST(SystemIntegration, FrameConservation)
+{
+    auto sys = core::systemFor(smallSpec(core::Approach::HeteroLru));
+    auto &slot = sys->slot(0);
+    sys->runOne(slot, workload::makeApp(workload::AppId::GraphChi, 0.04));
+
+    // Machine frames: used + free == total, per tier.
+    for (auto t : {mem::MemType::FastMem, mem::MemType::SlowMem}) {
+        EXPECT_EQ(sys->vmm().usedFrames(t) + sys->vmm().freeFrames(t),
+                  sys->vmm().totalFrames(t));
+    }
+    // The VM's P2M accounting matches the machine's owner accounting.
+    auto &vm = sys->vmm().vm(slot.id);
+    const auto owner = vm.owner();
+    std::uint64_t owned = 0;
+    for (unsigned n = 0; n < sys->machine().numNodes(); ++n)
+        owned += sys->machine().node(n).framesOwnedBy(owner);
+    EXPECT_EQ(owned, vm.p2m().populatedCount());
+}
+
+TEST(SystemIntegration, GuestPageAccountingHolds)
+{
+    auto sys = core::systemFor(smallSpec(core::Approach::HeteroLru));
+    auto &slot = sys->slot(0);
+    sys->runOne(slot, workload::makeApp(workload::AppId::LevelDb, 0.04));
+
+    auto &k = *slot.kernel;
+    for (unsigned nid = 0; nid < k.numNodes(); ++nid) {
+        auto &node = k.node(nid);
+        std::uint64_t allocated = 0;
+        for (guestos::Gpfn pfn = node.base();
+             pfn < node.base() + node.spanPages(); ++pfn) {
+            if (k.pageMeta(pfn).allocated)
+                ++allocated;
+        }
+        EXPECT_EQ(allocated + k.effectiveFreePages(node),
+                  node.managedPages())
+            << "node " << nid;
+    }
+}
+
+TEST(SystemIntegration, PolicyOrderingEndToEnd)
+{
+    const auto slow = core::runApp(workload::AppId::GraphChi,
+                                   smallSpec(core::Approach::SlowMemOnly));
+    const auto fast = core::runApp(workload::AppId::GraphChi,
+                                   smallSpec(core::Approach::FastMemOnly));
+    const auto od = core::runApp(workload::AppId::GraphChi,
+                                 smallSpec(core::Approach::HeapIoSlabOd));
+
+    EXPECT_LE(fast.elapsed, od.elapsed);
+    EXPECT_LT(od.elapsed, slow.elapsed);
+    EXPECT_GT(core::gainPercent(slow, od), 0.0);
+}
+
+TEST(SystemIntegration, MultiVmLockstepRunsBothToCompletion)
+{
+    core::HostConfig host;
+    host.fast = mem::dramSpec(96 * mem::mib);
+    host.slow = mem::defaultSlowMemSpec(512 * mem::mib);
+    core::HeteroSystem sys(host);
+    sys.vmm().setFairness(std::make_unique<vmm::DrfFairness>());
+
+    core::GuestSizing sizing;
+    sizing.fast_max = 96 * mem::mib;
+    sizing.fast_initial = 32 * mem::mib;
+    sizing.slow_max = 512 * mem::mib;
+    sizing.slow_initial = 224 * mem::mib;
+    auto &a = sys.addVm(core::makePolicy(core::Approach::HeteroLru),
+                        sizing);
+    sizing.seed = 9;
+    auto &b = sys.addVm(core::makePolicy(core::Approach::HeteroLru),
+                        sizing);
+
+    auto results = sys.runMany(
+        {{&a, workload::makeApp(workload::AppId::Redis, 0.04)},
+         {&b, workload::makeApp(workload::AppId::LevelDb, 0.04)}});
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_GT(results[0].elapsed, 0u);
+    EXPECT_GT(results[1].elapsed, 0u);
+}
+
+TEST(SystemIntegration, ContentionSlowsSharedRuns)
+{
+    auto solo_spec = smallSpec(core::Approach::HeteroLru);
+    const auto solo = core::runApp(workload::AppId::Redis, solo_spec);
+
+    core::HostConfig host = core::hostFor(solo_spec);
+    core::HeteroSystem sys(host);
+    core::GuestSizing sizing;
+    sizing.fast_initial = host.fast.capacity_bytes / 2;
+    sizing.slow_initial = host.slow.capacity_bytes / 2;
+    auto &a = sys.addVm(core::makePolicy(core::Approach::HeteroLru),
+                        sizing);
+    sizing.seed = 3;
+    auto &b = sys.addVm(core::makePolicy(core::Approach::HeteroLru),
+                        sizing);
+    auto results = sys.runMany(
+        {{&a, workload::makeApp(workload::AppId::Redis, 0.04)},
+         {&b, workload::makeApp(workload::AppId::Redis, 0.04)}});
+    EXPECT_GT(results[0].elapsed, solo.elapsed)
+        << "shared LLC and devices must cost something";
+}
+
+TEST(SystemIntegration, OverheadAccountsArePopulated)
+{
+    auto spec = smallSpec(core::Approach::Coordinated);
+    spec.scale = 0.12; // long enough for the 100 ms scan cadence
+    auto sys = core::systemFor(spec);
+    auto &slot = sys->slot(0);
+    sys->runOne(slot, workload::makeApp(workload::AppId::GraphChi, 0.12));
+    auto &k = *slot.kernel;
+    EXPECT_GT(k.overheadTotal(guestos::OverheadKind::HotScan), 0u)
+        << "the coordinated tracker charged scan costs";
+    EXPECT_GT(k.overheadGrandTotal(), 0u);
+}
+
+TEST(SystemIntegration, VmmExclusiveMigratesDuringRun)
+{
+    auto spec = smallSpec(core::Approach::VmmExclusive);
+    spec.scale = 0.15; // enough runtime for heat to build up
+    auto sys = std::make_unique<core::HeteroSystem>(core::hostFor(spec));
+    auto policy = core::makePolicy(core::Approach::VmmExclusive);
+    auto *raw =
+        dynamic_cast<policy::VmmExclusivePolicy *>(policy.get());
+    ASSERT_NE(raw, nullptr);
+    auto &slot = sys->addVm(std::move(policy), core::GuestSizing{});
+    sys->runOne(slot, workload::makeApp(workload::AppId::GraphChi, 0.15));
+    EXPECT_GT(raw->pagesMigrated(), 0u);
+    EXPECT_GT(raw->tracker()->totalScans(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Workload-engine internals: region growth/release mechanics, the
+ * drifting skewed hot window, stale-gpfn refresh after migration,
+ * placement-aware I/O charging, and the skbuff pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/hetero_system.hh"
+#include "policy/hetero_lru_policy.hh"
+#include "workload/workload.hh"
+
+namespace {
+
+using namespace hos;
+using namespace hos::workload;
+
+/** A minimal workload exposing the protected engine helpers. */
+class EngineProbe final : public Workload
+{
+  public:
+    explicit EngineProbe(VmEnv env) : Workload(std::move(env), "probe")
+    {
+    }
+
+    Region heap;
+    std::vector<guestos::Gpfn> io_pages;
+    guestos::FileId file = guestos::noFile;
+
+    using Workload::accessRegion;
+    using Workload::growRegion;
+    using Workload::ioRead;
+    using Workload::netRequestBatch;
+    using Workload::regionPage;
+    using Workload::releaseRegion;
+    using Workload::sampleFastFraction;
+
+  protected:
+    void
+    setup() override
+    {
+        heap = makeAnonRegion("probe-heap", 8 * mem::mib, 4 * mem::mib,
+                              0.2, 4.0, 0.3);
+        growRegion(heap, 8 * mem::mib);
+        file = makeFile(4 * mem::mib);
+    }
+
+    bool
+    phase(std::uint64_t idx) override
+    {
+        accessRegion(heap, 100000);
+        chargeCpu(sim::milliseconds(1));
+        return idx + 1 < 2;
+    }
+};
+
+struct WorkloadEngineFixture : ::testing::Test
+{
+    core::HostConfig host;
+    std::unique_ptr<core::HeteroSystem> sys;
+    core::HeteroSystem::VmSlot *slot = nullptr;
+    std::unique_ptr<EngineProbe> wl;
+
+    void
+    SetUp() override
+    {
+        host.fast = mem::dramSpec(16 * mem::mib);
+        host.slow = mem::defaultSlowMemSpec(64 * mem::mib);
+        sys = std::make_unique<core::HeteroSystem>(host);
+        slot = &sys->addVm(
+            std::make_unique<policy::HeteroLruPolicy>(),
+            core::GuestSizing{});
+        wl = std::make_unique<EngineProbe>(sys->envFor(*slot));
+        wl->start();
+    }
+};
+
+TEST_F(WorkloadEngineFixture, GrowRegionFaultsRealPages)
+{
+    EXPECT_EQ(wl->heap.pages.size(),
+              (8 * mem::mib) / mem::pageSize);
+    auto &k = *slot->kernel;
+    for (guestos::Gpfn pfn : wl->heap.pages)
+        EXPECT_TRUE(k.pageMeta(pfn).allocated);
+}
+
+TEST_F(WorkloadEngineFixture, AccessRegionMarksHotWindow)
+{
+    wl->accessRegion(wl->heap, 100000);
+    auto &k = *slot->kernel;
+    std::uint64_t accessed = 0;
+    for (guestos::Gpfn pfn : wl->heap.pages)
+        accessed += k.pageMeta(pfn).pte_accessed ? 1 : 0;
+    // The window covers wss = half the region; the very hot core is
+    // always marked, the rest probabilistically.
+    EXPECT_GT(accessed, wl->heap.wss_pages / 3);
+    EXPECT_LE(accessed, wl->heap.wss_pages + 1);
+}
+
+TEST_F(WorkloadEngineFixture, WindowDriftsAcrossPhases)
+{
+    const auto start0 = wl->heap.window_start;
+    for (int i = 0; i < 60; ++i)
+        wl->accessRegion(wl->heap, 1000);
+    EXPECT_NE(wl->heap.window_start, start0)
+        << "hot sets drift with application phases";
+    EXPECT_LT(wl->heap.window_start, wl->heap.pages.size());
+}
+
+TEST_F(WorkloadEngineFixture, RegionPageRefreshesAfterDemotion)
+{
+    auto &k = *slot->kernel;
+    // Find a FastMem page of the region and demote it behind the
+    // workload's back.
+    std::size_t idx = 0;
+    guestos::Gpfn victim = guestos::invalidGpfn;
+    for (std::size_t i = 0; i < wl->heap.pages.size(); ++i) {
+        auto &p = k.pageMeta(wl->heap.pages[i]);
+        if (p.mem_type == mem::MemType::FastMem) {
+            idx = i;
+            victim = wl->heap.pages[i];
+            break;
+        }
+    }
+    ASSERT_NE(victim, guestos::invalidGpfn);
+    k.pageMeta(victim).last_touch = 1;
+    k.events().runUntil(sim::milliseconds(1)); // leave boot time
+    ASSERT_EQ(k.heteroLru().demotePage(victim), 1u);
+
+    const guestos::Gpfn current = wl->regionPage(wl->heap, idx);
+    EXPECT_NE(current, victim) << "stale gpfn was refreshed";
+    EXPECT_EQ(k.pageMeta(current).mem_type, mem::MemType::SlowMem);
+    EXPECT_EQ(wl->heap.pages[idx], current) << "cache updated in place";
+}
+
+TEST_F(WorkloadEngineFixture, SampleFastFractionTracksPlacement)
+{
+    const double f = wl->sampleFastFraction(wl->heap);
+    // 16 MiB fast node, 8 MiB region allocated fast-first: the hot
+    // window should be overwhelmingly fast.
+    EXPECT_GT(f, 0.8);
+}
+
+TEST_F(WorkloadEngineFixture, ReleaseRegionReturnsMemory)
+{
+    auto &k = *slot->kernel;
+    auto *fast = k.nodeFor(mem::MemType::FastMem);
+    const auto free_before = k.effectiveFreePages(*fast);
+    wl->releaseRegion(wl->heap);
+    EXPECT_TRUE(wl->heap.pages.empty());
+    EXPECT_GT(k.effectiveFreePages(*fast), free_before);
+}
+
+TEST_F(WorkloadEngineFixture, IoReadChargesAndReturnsPages)
+{
+    const auto before = wl->elapsed();
+    auto pages = wl->ioRead(wl->file, 0, 64 * mem::kib);
+    EXPECT_GE(pages.size(), 16u);
+    // I/O wait and copy traffic are charged at phase end; run one.
+    wl->step();
+    EXPECT_GT(wl->elapsed(), before);
+}
+
+TEST_F(WorkloadEngineFixture, SkbuffPoolPersistsAcrossBatches)
+{
+    auto &k = *slot->kernel;
+    wl->netRequestBatch(8000, 1024);
+    const auto pages_after_first = k.slab().totalPagesInUse();
+    EXPECT_GT(pages_after_first, 0u);
+    const auto allocs_after_first =
+        k.allocCount(guestos::PageType::NetBuf);
+    wl->netRequestBatch(8000, 1024);
+    // The pool persists: the second batch churns only a fraction.
+    const auto alloc_delta =
+        k.allocCount(guestos::PageType::NetBuf) - allocs_after_first;
+    EXPECT_LT(alloc_delta, allocs_after_first);
+}
+
+} // namespace

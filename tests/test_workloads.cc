@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Workload engine + application models: lifecycle, placement
+ * sensitivity, metrics, page-mix characterization, and the
+ * microbenchmarks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "workload/memlat.hh"
+#include "workload/stream.hh"
+
+namespace {
+
+using namespace hos;
+
+core::RunSpec
+tiny(core::Approach a)
+{
+    core::RunSpec spec;
+    spec.approach = a;
+    spec.fast_bytes = 128 * mem::mib;
+    spec.slow_bytes = 512 * mem::mib;
+    spec.scale = 0.02;
+    return spec;
+}
+
+TEST(Workloads, LifecycleAndResultFields)
+{
+    auto sys = core::systemFor(tiny(core::Approach::HeteroLru));
+    auto wl = workload::createApp(workload::AppId::LevelDb,
+                                  sys->envFor(sys->slot(0)), 0.02);
+    EXPECT_FALSE(wl->started());
+    wl->start();
+    EXPECT_TRUE(wl->started());
+    while (wl->step()) {
+    }
+    auto res = wl->finish();
+    EXPECT_GT(res.elapsed, 0u);
+    EXPECT_GT(res.phases, 0u);
+    EXPECT_GT(res.instructions, 0u);
+    EXPECT_GT(res.metric, 0.0);
+    EXPECT_EQ(res.metric_name, "throughput(MB/s)");
+}
+
+TEST(Workloads, EveryAppHasASensibleMetric)
+{
+    const char *expected[] = {"time(sec)",          "time(sec)",
+                              "time(sec)",          "throughput(MB/s)",
+                              "requests/sec",       "requests/sec"};
+    std::size_t i = 0;
+    for (auto app : workload::allApps) {
+        auto res = core::runApp(app, tiny(core::Approach::HeapIoSlabOd));
+        EXPECT_EQ(res.metric_name, expected[i++])
+            << workload::appName(app);
+        EXPECT_GT(res.metric, 0.0);
+    }
+}
+
+TEST(Workloads, SlowMemHurtsMemoryBoundApps)
+{
+    auto fast = core::runApp(workload::AppId::GraphChi,
+                             tiny(core::Approach::FastMemOnly));
+    auto slow = core::runApp(workload::AppId::GraphChi,
+                             tiny(core::Approach::SlowMemOnly));
+    EXPECT_GT(slow.elapsed, fast.elapsed);
+}
+
+TEST(Workloads, NginxIsInsensitive)
+{
+    auto fast = core::runApp(workload::AppId::Nginx,
+                             tiny(core::Approach::FastMemOnly));
+    auto slow = core::runApp(workload::AppId::Nginx,
+                             tiny(core::Approach::SlowMemOnly));
+    const double slowdown = static_cast<double>(slow.elapsed) /
+                            static_cast<double>(fast.elapsed);
+    EXPECT_LT(slowdown, 1.5) << "the paper reports <10% at full scale";
+}
+
+TEST(Workloads, MpkiOrderingMatchesTable4)
+{
+    // Graph apps must be markedly more memory-intensive than the
+    // serving apps (Table 4's ordering, loosely).
+    auto graphchi = core::runApp(workload::AppId::GraphChi,
+                                 tiny(core::Approach::FastMemOnly));
+    auto nginx = core::runApp(workload::AppId::Nginx,
+                              tiny(core::Approach::FastMemOnly));
+    EXPECT_GT(graphchi.mpki, 2.0 * nginx.mpki);
+}
+
+TEST(Workloads, PageMixMatchesCharacterization)
+{
+    // Metis: heap-dominated. Redis: substantial NetBuf share. The
+    // Figure 4 shapes, qualitatively.
+    auto sys = core::systemFor(tiny(core::Approach::HeapIoSlabOd));
+    auto &slot = sys->slot(0);
+    sys->runOne(slot, workload::makeApp(workload::AppId::Metis, 0.02));
+    using PT = guestos::PageType;
+    auto &k = *slot.kernel;
+    EXPECT_GT(k.allocCount(PT::Anon),
+              (3 * (k.allocCount(PT::PageCache) +
+                    k.allocCount(PT::NetBuf))) / 2);
+
+    auto sys2 = core::systemFor(tiny(core::Approach::HeapIoSlabOd));
+    auto &slot2 = sys2->slot(0);
+    sys2->runOne(slot2, workload::makeApp(workload::AppId::Redis, 0.02));
+    EXPECT_GT(slot2.kernel->allocCount(PT::NetBuf), 0u);
+}
+
+TEST(Workloads, MemlatLatencyTracksBackingTier)
+{
+    auto run = [&](core::Approach a) {
+        auto spec = tiny(a);
+        return core::runFactory(
+            [](workload::VmEnv env) {
+                workload::MemlatBenchmark::Params p;
+                p.wss_bytes = 64 * mem::mib;
+                p.phases = 6;
+                return std::make_unique<workload::MemlatBenchmark>(
+                    std::move(env), p);
+            },
+            spec);
+    };
+    const auto fast = run(core::Approach::FastMemOnly);
+    const auto slow = run(core::Approach::SlowMemOnly);
+    EXPECT_GT(slow.metric, 2.0 * fast.metric)
+        << "L:5,B:9 SlowMem must show much higher chase latency";
+}
+
+TEST(Workloads, StreamBandwidthTracksBackingTier)
+{
+    auto run = [&](core::Approach a) {
+        auto spec = tiny(a);
+        return core::runFactory(
+            [](workload::VmEnv env) {
+                workload::StreamBenchmark::Params p;
+                p.wss_bytes = 64 * mem::mib;
+                p.sweeps = 6;
+                return std::make_unique<workload::StreamBenchmark>(
+                    std::move(env), p);
+            },
+            spec);
+    };
+    const auto fast = run(core::Approach::FastMemOnly);
+    const auto slow = run(core::Approach::SlowMemOnly);
+    EXPECT_GT(fast.metric, 3.0 * slow.metric)
+        << "B:9 bandwidth reduction must show up in STREAM";
+}
+
+TEST(Workloads, DeterministicAcrossRuns)
+{
+    const auto a = core::runApp(workload::AppId::Redis,
+                                tiny(core::Approach::HeteroLru));
+    const auto b = core::runApp(workload::AppId::Redis,
+                                tiny(core::Approach::HeteroLru));
+    EXPECT_EQ(a.elapsed, b.elapsed) << "same seed, same result";
+}
+
+} // namespace
