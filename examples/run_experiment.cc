@@ -6,23 +6,39 @@
  * system beyond the canned benches.
  *
  * Usage:
- *   run_experiment [app] [approach] [fast_ratio] [scale]
+ *   run_experiment [options] [app] [approach] [fast_ratio] [scale]
  *   run_experiment --list
  *
  *   app        graphchi|xstream|metis|leveldb|redis|nginx (default graphchi)
  *   approach   slow|fast|random|numa|heap-od|od|lru|vmm|coord (default lru)
  *   fast_ratio FastMem:SlowMem capacity ratio, e.g. 0.25 (default 0.25)
  *   scale      workload scale 0..1 (default 0.2)
+ *
+ * Observability options:
+ *   --trace=FILE            Chrome trace_event JSON (chrome://tracing)
+ *   --trace-csv=FILE        same events as compact CSV
+ *   --trace-categories=CSV  e.g. migration,scan,balloon (default all)
+ *   --stats-interval=MS     periodic stats snapshots every MS of sim time
+ *   --stats-out=FILE        snapshot time-series JSON
+ *                           (default stats_timeseries.json)
+ *   --results=FILE          machine-readable results JSON
+ *   --log-level=N           0 quiet, 1 inform, 2 debug (tick-stamped)
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <optional>
+#include <string>
 
 #include "core/experiment.hh"
 #include "core/report.hh"
+#include "sim/log.hh"
 #include "sim/table.hh"
+#include "trace/exporters.hh"
+#include "trace/stats_snapshot.hh"
+#include "trace/trace.hh"
 
 using namespace hos;
 
@@ -75,11 +91,73 @@ void
 usage()
 {
     std::puts(
-        "usage: run_experiment [app] [approach] [fast_ratio] [scale]\n"
+        "usage: run_experiment [options] [app] [approach] [fast_ratio] "
+        "[scale]\n"
         "  app:      graphchi xstream metis leveldb redis nginx\n"
         "  approach: slow fast random numa heap-od od lru vmm coord\n"
         "  fast_ratio: FastMem as a fraction of SlowMem (default 0.25)\n"
-        "  scale:      workload scale (default 0.2)");
+        "  scale:      workload scale (default 0.2)\n"
+        "options:\n"
+        "  --trace=FILE            Chrome trace JSON (chrome://tracing)\n"
+        "  --trace-csv=FILE        trace as compact CSV\n"
+        "  --trace-categories=CSV  alloc,migration,scan,balloon,swap,\n"
+        "                          hypercall,fairness,device,stats,all\n"
+        "  --stats-interval=MS     stats snapshot cadence in sim ms\n"
+        "  --stats-out=FILE        snapshot JSON "
+        "(default stats_timeseries.json)\n"
+        "  --results=FILE          results JSON\n"
+        "  --log-level=N           0 quiet, 1 inform, 2 debug");
+}
+
+/** The observability flags, parsed off the front of argv. */
+struct Options
+{
+    std::string trace_file;
+    std::string trace_csv_file;
+    std::string trace_categories;
+    double stats_interval_ms = 0.0;
+    std::string stats_out = "stats_timeseries.json";
+    std::string results_file;
+};
+
+/** Consume every leading --flag; returns false on a bad one. */
+bool
+parseOptions(int &argc, char **&argv, Options &opt)
+{
+    while (argc > 1 && std::strncmp(argv[1], "--", 2) == 0 &&
+           std::strcmp(argv[1], "--list") != 0) {
+        const std::string arg = argv[1];
+        const auto eat = [&](const char *prefix,
+                             std::string &dst) -> bool {
+            const std::size_t n = std::strlen(prefix);
+            if (arg.compare(0, n, prefix) != 0)
+                return false;
+            dst = arg.substr(n);
+            return true;
+        };
+        std::string interval;
+        if (eat("--trace=", opt.trace_file) ||
+            eat("--trace-csv=", opt.trace_csv_file) ||
+            eat("--trace-categories=", opt.trace_categories)) {
+            // handled
+        } else if (eat("--stats-interval=", interval)) {
+            opt.stats_interval_ms = std::atof(interval.c_str());
+            if (opt.stats_interval_ms <= 0.0)
+                return false;
+        } else if (eat("--stats-out=", opt.stats_out)) {
+            // handled
+        } else if (eat("--results=", opt.results_file)) {
+            // handled
+        } else if (eat("--log-level=", interval)) {
+            sim::setLogLevel(std::atoi(interval.c_str()));
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", argv[1]);
+            return false;
+        }
+        --argc;
+        ++argv;
+    }
+    return true;
 }
 
 } // namespace
@@ -87,6 +165,11 @@ usage()
 int
 main(int argc, char **argv)
 {
+    Options opt;
+    if (!parseOptions(argc, argv, opt)) {
+        usage();
+        return 1;
+    }
     if (argc > 1 && std::strcmp(argv[1], "--list") == 0) {
         usage();
         return 0;
@@ -110,15 +193,36 @@ main(int argc, char **argv)
     spec.fast_bytes = static_cast<std::uint64_t>(
         static_cast<double>(spec.slow_bytes) * ratio);
 
-    // Baseline for the gain column.
+    // Baseline for the gain column (runs untraced — its events would
+    // only pollute the main run's timeline).
     auto base_spec = spec;
     base_spec.approach = core::Approach::SlowMemOnly;
     const auto base = core::runApp(*app, base_spec);
 
+    const bool tracing =
+        !opt.trace_file.empty() || !opt.trace_csv_file.empty();
+    if (tracing) {
+        trace::tracer().clear();
+        trace::tracer().enable(
+            trace::parseCategories(opt.trace_categories));
+    }
+
     auto sys = core::systemFor(spec);
     auto &slot = sys->slot(0);
+
+    std::unique_ptr<trace::StatsSnapshotter> snapshotter;
+    if (opt.stats_interval_ms > 0.0) {
+        snapshotter = std::make_unique<trace::StatsSnapshotter>(
+            sys->statRegistry(), slot.kernel->events(),
+            static_cast<sim::Duration>(opt.stats_interval_ms * 1e6));
+        snapshotter->start();
+    }
+
     const auto res =
         sys->runOne(slot, workload::makeApp(*app, spec.scale));
+
+    if (tracing)
+        trace::tracer().disable();
 
     sim::Table t("Result: " + res.workload + " under " +
                  core::approachName(*approach));
@@ -155,5 +259,42 @@ main(int argc, char **argv)
     pg.row({"FastMem alloc miss ratio",
             sim::Table::num(k.allocator().overallFastMissRatio(), 3)});
     pg.print();
+
+    // --- Observability exports -------------------------------------
+    if (!opt.trace_file.empty() &&
+        trace::writeChromeJson(trace::tracer(), opt.trace_file)) {
+        std::printf("trace: %s (%llu events, %llu dropped)\n",
+                    opt.trace_file.c_str(),
+                    static_cast<unsigned long long>(
+                        trace::tracer().size()),
+                    static_cast<unsigned long long>(
+                        trace::tracer().dropped()));
+    }
+    if (!opt.trace_csv_file.empty() &&
+        trace::writeCsv(trace::tracer(), opt.trace_csv_file)) {
+        std::printf("trace csv: %s\n", opt.trace_csv_file.c_str());
+    }
+    if (snapshotter && snapshotter->writeJson(opt.stats_out)) {
+        std::printf("stats: %s (%llu snapshots)\n", opt.stats_out.c_str(),
+                    static_cast<unsigned long long>(
+                        snapshotter->snapshots().size()));
+    }
+    if (!opt.results_file.empty()) {
+        auto record =
+            core::makeRunRecord(res, core::approachName(*approach));
+        record.gain_pct = core::gainPercent(base, res);
+        for (int i = 0; i < static_cast<int>(guestos::numOverheadKinds);
+             ++i) {
+            const auto kind = static_cast<guestos::OverheadKind>(i);
+            record.extra.emplace_back(
+                std::string("overhead_ms.") +
+                    guestos::overheadKindName(kind),
+                sim::toMilliseconds(k.overheadTotal(kind)));
+        }
+        record.extra.emplace_back("fast_miss_ratio",
+                                  k.allocator().overallFastMissRatio());
+        if (core::writeResultsJson(opt.results_file, record))
+            std::printf("results: %s\n", opt.results_file.c_str());
+    }
     return 0;
 }

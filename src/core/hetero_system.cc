@@ -16,6 +16,7 @@ HeteroSystem::HeteroSystem(HostConfig cfg) : cfg_(std::move(cfg))
         machine_.addNode(mem::MemType::SlowMem, cfg_.slow);
     hos_assert(machine_.numNodes() > 0, "host needs memory");
     vmm_ = std::make_unique<vmm::Vmm>(machine_);
+    registry_.add(&vmm_->stats(), [this] { vmm_->syncStats(); });
 }
 
 HeteroSystem::~HeteroSystem() = default;
@@ -72,6 +73,9 @@ HeteroSystem::addVm(std::unique_ptr<policy::ManagementPolicy> policy,
     slot->policy->attach(*vmm_, slot->id, *slot->kernel);
 
     slots_.push_back(std::move(slot));
+
+    guestos::GuestKernel *kernel = slots_.back()->kernel.get();
+    registry_.add(&kernel->stats(), [kernel] { kernel->syncStats(); });
 
     // Each VM gets an equal slice of the shared LLC; re-slice every
     // resident VM when the population changes.

@@ -23,6 +23,7 @@
 #include "mem/cache_model.hh"
 #include "mem/machine_memory.hh"
 #include "policy/placement_policy.hh"
+#include "sim/stats.hh"
 #include "vmm/vmm.hh"
 #include "workload/workload.hh"
 
@@ -78,6 +79,13 @@ class HeteroSystem
     const HostConfig &config() const { return cfg_; }
 
     /**
+     * Every stat group in the system — the VMM's and one per guest
+     * kernel — with refresh hooks that sync them from live state.
+     * The stats-snapshot daemon samples this registry.
+     */
+    sim::StatRegistry &statRegistry() { return registry_; }
+
+    /**
      * Create and register a VM managed by `policy`. The guest's node
      * layout derives from the host tiers and `sizing`; the policy
      * then adjusts it (e.g., VMM-exclusive collapses it).
@@ -109,6 +117,7 @@ class HeteroSystem
     mem::MachineMemory machine_;
     std::unique_ptr<vmm::Vmm> vmm_;
     std::vector<std::unique_ptr<VmSlot>> slots_;
+    sim::StatRegistry registry_;
     unsigned active_vms_ = 1;
 };
 

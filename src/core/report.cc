@@ -1,6 +1,10 @@
 #include "core/report.hh"
 
 #include <algorithm>
+#include <fstream>
+
+#include "sim/json.hh"
+#include "sim/log.hh"
 
 namespace hos::core {
 
@@ -21,6 +25,60 @@ gainPercent(const workload::Workload::Result &baseline,
     const double now = std::max<double>(1.0, static_cast<double>(
                                                  improved.elapsed));
     return (static_cast<double>(baseline.elapsed) / now - 1.0) * 100.0;
+}
+
+RunRecord
+makeRunRecord(const workload::Workload::Result &result,
+              const std::string &approach)
+{
+    RunRecord r;
+    r.app = result.workload;
+    r.approach = approach;
+    r.metric_name = result.metric_name;
+    r.runtime_s = result.seconds();
+    r.metric = result.metric;
+    r.mpki = result.mpki;
+    r.phases = result.phases;
+    r.instructions = result.instructions;
+    r.llc_misses = result.llc_misses;
+    return r;
+}
+
+void
+writeResultsJson(std::ostream &os, const RunRecord &record)
+{
+    sim::JsonWriter w(os);
+    w.beginObject();
+    w.kv("app", record.app);
+    w.kv("approach", record.approach);
+    w.kv("metric_name", record.metric_name);
+    w.kv("runtime_s", record.runtime_s);
+    w.kv("metric", record.metric);
+    w.kv("gain_pct", record.gain_pct);
+    w.kv("mpki", record.mpki);
+    w.kv("phases", record.phases);
+    w.kv("instructions", record.instructions);
+    w.kv("llc_misses", record.llc_misses);
+    w.key("extra");
+    w.beginObject();
+    for (const auto &[name, value] : record.extra)
+        w.kv(name, value);
+    w.endObject();
+    w.endObject();
+    os << '\n';
+    hos_assert(w.balanced(), "unbalanced results JSON");
+}
+
+bool
+writeResultsJson(const std::string &path, const RunRecord &record)
+{
+    std::ofstream os(path);
+    if (!os) {
+        sim::warn("cannot open results file '%s'", path.c_str());
+        return false;
+    }
+    writeResultsJson(os, record);
+    return os.good();
 }
 
 } // namespace hos::core

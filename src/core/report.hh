@@ -1,10 +1,16 @@
 /**
  * @file
- * Result arithmetic for paper-style reporting.
+ * Result arithmetic and machine-readable export for paper-style
+ * reporting.
  */
 
 #ifndef HOS_CORE_REPORT_HH
 #define HOS_CORE_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "workload/workload.hh"
 
@@ -20,6 +26,35 @@ double slowdownFactor(const workload::Workload::Result &baseline,
  */
 double gainPercent(const workload::Workload::Result &baseline,
                    const workload::Workload::Result &improved);
+
+/**
+ * One run's results, flattened for export. `extra` holds free-form
+ * named values (overhead breakdowns, allocation counts, ...).
+ */
+struct RunRecord
+{
+    std::string app;
+    std::string approach;
+    std::string metric_name;
+    double runtime_s = 0.0;
+    double metric = 0.0;
+    double gain_pct = 0.0;
+    double mpki = 0.0;
+    std::uint64_t phases = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t llc_misses = 0;
+    std::vector<std::pair<std::string, double>> extra;
+};
+
+/** Fill the workload-derived fields of a record from a result. */
+RunRecord makeRunRecord(const workload::Workload::Result &result,
+                        const std::string &approach);
+
+/** Write one record as a JSON object ({"app":...,"extra":{...}}). */
+void writeResultsJson(std::ostream &os, const RunRecord &record);
+
+/** As above, to a file; false when the file cannot be opened. */
+bool writeResultsJson(const std::string &path, const RunRecord &record);
 
 } // namespace hos::core
 

@@ -4,6 +4,7 @@
 
 #include "guestos/kernel.hh"
 #include "sim/log.hh"
+#include "trace/trace.hh"
 
 namespace hos::guestos {
 
@@ -91,6 +92,9 @@ BalloonFrontend::requestPages(mem::MemType type, std::uint64_t pages)
     populated_[node->id()] += granted;
     granted_.inc(granted);
 
+    trace::emit(trace::EventType::BalloonDeflate,
+                kernel_.events().now(),
+                static_cast<std::uint64_t>(type), pages, granted);
     kernel_.charge(OverheadKind::Balloon,
                    static_cast<sim::Duration>(
                        hypercallNs +
@@ -181,6 +185,10 @@ BalloonFrontend::surrenderPages(mem::MemType type, std::uint64_t pages)
     for (std::size_t zi = 0; zi < node->numZones(); ++zi)
         node->zone(zi).updateWatermarks();
 
+    trace::emit(trace::EventType::BalloonInflate,
+                kernel_.events().now(),
+                static_cast<std::uint64_t>(type), pages,
+                victims.size());
     kernel_.charge(OverheadKind::Balloon,
                    static_cast<sim::Duration>(
                        hypercallNs +

@@ -4,6 +4,7 @@
 
 #include "guestos/kernel.hh"
 #include "sim/log.hh"
+#include "trace/trace.hh"
 
 namespace hos::guestos {
 
@@ -232,6 +233,8 @@ HeteroAllocator::allocPage(const AllocRequest &req)
         window_[ti].fast_misses += 1;
         total_fast_misses_.inc();
     }
+    trace::emit(trace::EventType::PageAlloc, kernel_.events().now(), ti,
+                pfn, static_cast<std::uint64_t>(p.mem_type));
     return pfn;
 }
 
@@ -240,6 +243,8 @@ HeteroAllocator::freePage(Gpfn pfn, unsigned cpu)
 {
     Page &p = kernel_.pageMeta(pfn);
     hos_assert(p.allocated, "freeing unallocated page");
+    trace::emit(trace::EventType::PageFree, kernel_.events().now(), pfn,
+                static_cast<std::uint64_t>(p.mem_type));
     kernel_.percpu().free(cpu, kernel_.nodeOf(pfn), pfn);
 }
 

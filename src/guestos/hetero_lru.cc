@@ -4,6 +4,7 @@
 
 #include "guestos/kernel.hh"
 #include "sim/log.hh"
+#include "trace/trace.hh"
 
 namespace {
 
@@ -208,6 +209,8 @@ HeteroLru::reclaimFastMem(std::uint64_t target_pages)
     }
 
     stats_.pages_scanned += scanned_total;
+    trace::emit(trace::EventType::LruReclaim, kernel_.events().now(),
+                target_pages, freed, scanned_total);
     // Charge scan cost plus the batched migration cost of what moved.
     const double scan_ns =
         static_cast<double>(scanned_total) * cfg_.scan_cost_ns;

@@ -298,6 +298,63 @@ GuestKernel::startDaemons()
                              });
 }
 
+void
+GuestKernel::syncStats()
+{
+    stats_.counter("alloc.requests")
+        .set(allocator_->totalRequests());
+    stats_.counter("alloc.fast_misses")
+        .set(allocator_->totalFastMisses());
+    for (std::size_t i = 0; i < numPageTypes; ++i) {
+        const auto t = static_cast<PageType>(i);
+        stats_.counter(std::string("alloc.") + pageTypeName(t))
+            .set(allocator_->allocCount(t));
+    }
+
+    for (auto &node : nodes_) {
+        const std::string prefix =
+            std::string("node.") + mem::memTypeName(node->memType());
+        stats_.gauge(prefix + ".free_pages").set(
+            static_cast<std::int64_t>(node->freePages()));
+        stats_.gauge(prefix + ".managed_pages").set(
+            static_cast<std::int64_t>(node->managedPages()));
+    }
+
+    stats_.counter("migration.migrated")
+        .set(migrator_->totalMigrated());
+    stats_.counter("migration.skipped").set(migrator_->totalSkipped());
+
+    stats_.counter("balloon.requested")
+        .set(balloon_->totalRequested());
+    stats_.counter("balloon.granted").set(balloon_->totalGranted());
+    stats_.counter("balloon.surrendered")
+        .set(balloon_->totalSurrendered());
+
+    stats_.counter("swap.out").set(swap_->totalSwappedOut());
+    stats_.counter("swap.in").set(swap_->totalSwappedIn());
+    stats_.gauge("swap.used_pages").set(
+        static_cast<std::int64_t>(swap_->usedPages()));
+
+    const HeteroLruStats &lru = hetero_lru_->stats();
+    stats_.counter("lru.demoted_anon").set(lru.demoted_anon);
+    stats_.counter("lru.demoted_cache").set(lru.demoted_cache);
+    stats_.counter("lru.dropped_cache").set(lru.dropped_cache);
+    stats_.counter("lru.reclaim_passes").set(lru.reclaim_passes);
+    stats_.counter("lru.pages_scanned").set(lru.pages_scanned);
+
+    stats_.counter("cache.hits").set(page_cache_->hits());
+    stats_.counter("cache.misses").set(page_cache_->misses());
+    stats_.gauge("cache.pages").set(
+        static_cast<std::int64_t>(page_cache_->cachedPages()));
+
+    for (std::size_t i = 0; i < numOverheadKinds; ++i) {
+        const auto k = static_cast<OverheadKind>(i);
+        stats_.counter(std::string("overhead_ns.") +
+                       overheadKindName(k))
+            .set(overhead_total_[i]);
+    }
+}
+
 // --- MmBacking -------------------------------------------------------
 
 Gpfn

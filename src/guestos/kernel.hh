@@ -197,6 +197,14 @@ class GuestKernel final : public MmBacking,
     /** Start periodic daemons (epoch rotation, LRU tick, flusher). */
     void startDaemons();
 
+    /**
+     * Refresh stats() from live subsystem state (allocator, LRU,
+     * balloon, swap, page cache, per-node occupancy, overhead
+     * accounts). Called by the stats-snapshot daemon via the
+     * experiment's StatRegistry.
+     */
+    void syncStats();
+
     // --- MmBacking ---------------------------------------------------
     Gpfn allocUserPage(PageType type, MemHint hint, ProcessId process,
                        std::uint64_t vaddr) override;

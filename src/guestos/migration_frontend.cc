@@ -2,6 +2,7 @@
 
 #include "guestos/kernel.hh"
 #include "sim/log.hh"
+#include "trace/trace.hh"
 
 namespace hos::guestos {
 
@@ -122,6 +123,9 @@ MigrationFrontend::migratePages(const std::vector<Gpfn> &pfns,
 {
     MigrationOutcome out;
     out.attempted = pfns.size();
+    trace::emit(trace::EventType::MigrationStart,
+                kernel_.events().now(), out.attempted,
+                static_cast<std::uint64_t>(dst));
     for (Gpfn pfn : pfns) {
         if (migrateOne(pfn, dst, out))
             ++out.migrated;
@@ -129,16 +133,21 @@ MigrationFrontend::migratePages(const std::vector<Gpfn> &pfns,
     migrated_.inc(out.migrated);
     skipped_.inc(out.attempted - out.migrated);
 
+    sim::Duration cost = 0;
     if (out.migrated > 0) {
         // Guest-internal moves: copy + PTE remap + targeted
         // shootdown, batched. Much cheaper than the VMM path
         // (Table 6) because the guest validates and remaps its own
         // mappings directly — the design point of Section 4.1.
-        sim::Duration cost = static_cast<sim::Duration>(
+        cost = static_cast<sim::Duration>(
             static_cast<double>(out.migrated) * 3000.0);
         cost += kernel_.tlb().shootdownCost(out.migrated);
         kernel_.charge(OverheadKind::Migration, cost);
     }
+    trace::emit(trace::EventType::MigrationComplete,
+                kernel_.events().now(), out.migrated,
+                out.attempted - out.migrated,
+                static_cast<std::uint64_t>(dst), cost);
     return out;
 }
 

@@ -2,6 +2,7 @@
 
 #include "mem/mem_spec.hh"
 #include "sim/log.hh"
+#include "trace/trace.hh"
 
 namespace hos::guestos {
 
@@ -16,7 +17,12 @@ SwapDevice::swapOut(std::uint64_t n)
     hos_assert(used_pages_ + n <= capacity_pages_, "swap space exhausted");
     used_pages_ += n;
     swapped_out_.inc(n);
-    return disk_.write(n * mem::pageSize, n >= 8);
+    const sim::Duration io = disk_.write(n * mem::pageSize, n >= 8);
+    // The swap device has no event queue of its own; the global tick
+    // is the caller's clock.
+    trace::emit(trace::EventType::SwapOut, sim::currentTick(), n,
+                used_pages_, 0, io);
+    return io;
 }
 
 sim::Duration
@@ -25,7 +31,10 @@ SwapDevice::swapIn(std::uint64_t n)
     hos_assert(used_pages_ >= n, "swapping in more than was swapped out");
     used_pages_ -= n;
     swapped_in_.inc(n);
-    return disk_.read(n * mem::pageSize, false);
+    const sim::Duration io = disk_.read(n * mem::pageSize, false);
+    trace::emit(trace::EventType::SwapIn, sim::currentTick(), n,
+                used_pages_, 0, io);
+    return io;
 }
 
 } // namespace hos::guestos

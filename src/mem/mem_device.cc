@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "sim/log.hh"
+#include "trace/trace.hh"
 
 namespace hos::mem {
 
@@ -45,6 +46,10 @@ MemDevice::service(const AccessBatch &batch, unsigned sharers)
 
     const auto d = static_cast<sim::Duration>(t);
     busy_ns_ += d;
+    // Devices have no clock of their own; the global tick is the
+    // caller's (per-phase) simulated time.
+    trace::emit(trace::EventType::DeviceBatch, sim::currentTick(),
+                batch.loads, batch.stores, batch.bytes, d);
     return d;
 }
 

@@ -42,10 +42,12 @@ EventQueue::runUntil(Tick t)
         Event ev = heap_.top();
         heap_.pop();
         now_ = ev.when;
+        setCurrentTick(now_);
         ev.action();
     }
     if (t > now_)
         now_ = t;
+    setCurrentTick(now_);
 }
 
 void

@@ -1,0 +1,153 @@
+#include "sim/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "sim/log.hh"
+
+namespace hos::sim {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        v = 0.0;
+    char buf[32];
+    // %.12g is deterministic, round-trips every value the simulator
+    // produces, and never emits a locale-dependent separator.
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    return buf;
+}
+
+void
+JsonWriter::separate()
+{
+    if (pending_key_) {
+        pending_key_ = false;
+        return; // value directly follows its key; no comma
+    }
+    if (!stack_.empty()) {
+        if (stack_.back())
+            os_ << ',';
+        stack_.back() = true;
+    }
+}
+
+void
+JsonWriter::beginObject()
+{
+    separate();
+    os_ << '{';
+    stack_.push_back(false);
+}
+
+void
+JsonWriter::endObject()
+{
+    hos_assert(!stack_.empty(), "endObject with no open container");
+    stack_.pop_back();
+    os_ << '}';
+}
+
+void
+JsonWriter::beginArray()
+{
+    separate();
+    os_ << '[';
+    stack_.push_back(false);
+}
+
+void
+JsonWriter::endArray()
+{
+    hos_assert(!stack_.empty(), "endArray with no open container");
+    stack_.pop_back();
+    os_ << ']';
+}
+
+void
+JsonWriter::key(const std::string &k)
+{
+    separate();
+    os_ << '"' << jsonEscape(k) << "\":";
+    pending_key_ = true;
+}
+
+void
+JsonWriter::value(const std::string &v)
+{
+    separate();
+    os_ << '"' << jsonEscape(v) << '"';
+}
+
+void
+JsonWriter::value(const char *v)
+{
+    value(std::string(v));
+}
+
+void
+JsonWriter::value(double v)
+{
+    separate();
+    os_ << jsonNumber(v);
+}
+
+void
+JsonWriter::value(std::uint64_t v)
+{
+    separate();
+    os_ << v;
+}
+
+void
+JsonWriter::value(std::int64_t v)
+{
+    separate();
+    os_ << v;
+}
+
+void
+JsonWriter::value(bool v)
+{
+    separate();
+    os_ << (v ? "true" : "false");
+}
+
+} // namespace hos::sim

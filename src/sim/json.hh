@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Minimal streaming JSON writer.
+ *
+ * Every machine-readable artifact the simulator emits (Chrome traces,
+ * stats time-series, results.json) goes through this one writer so
+ * escaping and number formatting stay consistent and deterministic.
+ * The writer is strictly streaming — no DOM — because traces can hold
+ * tens of thousands of records.
+ */
+
+#ifndef HOS_SIM_JSON_HH
+#define HOS_SIM_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hos::sim {
+
+/** Escape a string for inclusion in a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+/** Format a double as a JSON number (finite; NaN/inf become 0). */
+std::string jsonNumber(double v);
+
+/**
+ * Streaming JSON writer with comma/nesting bookkeeping. Usage:
+ *
+ *   JsonWriter w(os);
+ *   w.beginObject();
+ *   w.key("name"); w.value("run");
+ *   w.key("events"); w.beginArray();
+ *   ...
+ *   w.endArray();
+ *   w.endObject();
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    void key(const std::string &k);
+
+    void value(const std::string &v);
+    void value(const char *v);
+    void value(double v);
+    void value(std::uint64_t v);
+    void value(std::int64_t v);
+    void value(int v) { value(static_cast<std::int64_t>(v)); }
+    void value(bool v);
+
+    /** key + value in one call. */
+    template <typename T>
+    void
+    kv(const std::string &k, T v)
+    {
+        key(k);
+        value(v);
+    }
+
+    /** True once every container has been closed. */
+    bool balanced() const { return stack_.empty(); }
+
+  private:
+    /** Emit a separating comma if this container already has items. */
+    void separate();
+
+    std::ostream &os_;
+    std::vector<bool> stack_; ///< per container: has at least one item
+    bool pending_key_ = false;
+};
+
+} // namespace hos::sim
+
+#endif // HOS_SIM_JSON_HH

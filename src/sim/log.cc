@@ -7,6 +7,7 @@ namespace hos::sim {
 
 namespace {
 int g_log_level = 0;
+Tick g_current_tick = 0;
 } // namespace
 
 void
@@ -21,12 +22,34 @@ logLevel()
     return g_log_level;
 }
 
+Tick
+currentTick()
+{
+    return g_current_tick;
+}
+
+void
+setCurrentTick(Tick t)
+{
+    g_current_tick = t;
+}
+
 namespace {
 
 void
 vreport(const char *tag, const char *fmt, va_list ap)
 {
     std::fprintf(stderr, "%s: ", tag);
+    std::vfprintf(stderr, fmt, ap);
+    std::fprintf(stderr, "\n");
+}
+
+/** Status lines carry the simulated time for trace correlation. */
+void
+vreportTimed(const char *tag, const char *fmt, va_list ap)
+{
+    std::fprintf(stderr, "%s: [t=%.3fms] ", tag,
+                 toMilliseconds(g_current_tick));
     std::vfprintf(stderr, fmt, ap);
     std::fprintf(stderr, "\n");
 }
@@ -83,7 +106,7 @@ inform(const char *fmt, ...)
         return;
     va_list ap;
     va_start(ap, fmt);
-    vreport("info", fmt, ap);
+    vreportTimed("info", fmt, ap);
     va_end(ap);
 }
 
@@ -94,7 +117,7 @@ debug(const char *fmt, ...)
         return;
     va_list ap;
     va_start(ap, fmt);
-    vreport("debug", fmt, ap);
+    vreportTimed("debug", fmt, ap);
     va_end(ap);
 }
 

@@ -16,11 +16,25 @@
 #include <cstdarg>
 #include <string>
 
+#include "sim/time.hh"
+
 namespace hos::sim {
 
 /** Global verbosity: 0 = quiet (warn/panic only), 1 = inform, 2 = debug. */
 void setLogLevel(int level);
 int logLevel();
+
+/**
+ * The current simulated tick, advanced by every EventQueue as it
+ * fires events. inform()/debug() lines are stamped with it
+ * ("[t=1.250ms] ...") so log output correlates with trace events; the
+ * tracer uses it as the default timestamp for components that have no
+ * event queue of their own (devices, swap). With several guests in
+ * lockstep this is the clock of whichever queue last ran — exact per
+ * VM, causally ordered across VMs.
+ */
+Tick currentTick();
+void setCurrentTick(Tick t);
 
 /** Abort with a formatted message; use for internal invariant violations. */
 [[noreturn]] void panic(const char *fmt, ...)

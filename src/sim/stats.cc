@@ -84,6 +84,17 @@ StatGroup::distribution(const std::string &stat)
     return dists_[stat];
 }
 
+Histogram &
+StatGroup::histogram(const std::string &stat, double lo, double hi,
+                     std::size_t nbuckets)
+{
+    auto it = histograms_.find(stat);
+    if (it == histograms_.end()) {
+        it = histograms_.try_emplace(stat, lo, hi, nbuckets).first;
+    }
+    return it->second;
+}
+
 const Counter &
 StatGroup::findCounter(const std::string &stat) const
 {
@@ -93,10 +104,55 @@ StatGroup::findCounter(const std::string &stat) const
     return it->second;
 }
 
+const Gauge &
+StatGroup::findGauge(const std::string &stat) const
+{
+    auto it = gauges_.find(stat);
+    if (it == gauges_.end())
+        panic("unknown gauge '%s.%s'", name_.c_str(), stat.c_str());
+    return it->second;
+}
+
+const Distribution &
+StatGroup::findDistribution(const std::string &stat) const
+{
+    auto it = dists_.find(stat);
+    if (it == dists_.end())
+        panic("unknown distribution '%s.%s'", name_.c_str(), stat.c_str());
+    return it->second;
+}
+
+const Histogram &
+StatGroup::findHistogram(const std::string &stat) const
+{
+    auto it = histograms_.find(stat);
+    if (it == histograms_.end())
+        panic("unknown histogram '%s.%s'", name_.c_str(), stat.c_str());
+    return it->second;
+}
+
 bool
 StatGroup::hasCounter(const std::string &stat) const
 {
     return counters_.count(stat) > 0;
+}
+
+bool
+StatGroup::hasGauge(const std::string &stat) const
+{
+    return gauges_.count(stat) > 0;
+}
+
+bool
+StatGroup::hasDistribution(const std::string &stat) const
+{
+    return dists_.count(stat) > 0;
+}
+
+bool
+StatGroup::hasHistogram(const std::string &stat) const
+{
+    return histograms_.count(stat) > 0;
 }
 
 void
@@ -108,22 +164,88 @@ StatGroup::resetAll()
         kv.second.reset();
     for (auto &kv : dists_)
         kv.second.reset();
+    for (auto &kv : histograms_)
+        kv.second.reset();
+}
+
+void
+StatGroup::forEachScalar(
+    const std::function<void(const std::string &, double)> &fn) const
+{
+    for (const auto &kv : counters_)
+        fn(kv.first, static_cast<double>(kv.second.value()));
+    for (const auto &kv : gauges_)
+        fn(kv.first, static_cast<double>(kv.second.value()));
+    for (const auto &kv : dists_) {
+        fn(kv.first + ".count",
+           static_cast<double>(kv.second.count()));
+        fn(kv.first + ".mean", kv.second.mean());
+        fn(kv.first + ".min", kv.second.min());
+        fn(kv.first + ".max", kv.second.max());
+    }
+    for (const auto &kv : histograms_) {
+        fn(kv.first + ".samples",
+           static_cast<double>(kv.second.samples()));
+        for (std::size_t b = 0; b < kv.second.buckets(); ++b) {
+            fn(kv.first + ".bucket" + std::to_string(b),
+               static_cast<double>(kv.second.bucketCount(b)));
+        }
+    }
 }
 
 std::string
 StatGroup::dump() const
 {
     std::ostringstream os;
-    for (const auto &kv : counters_)
-        os << name_ << '.' << kv.first << ' ' << kv.second.value() << '\n';
-    for (const auto &kv : gauges_)
-        os << name_ << '.' << kv.first << ' ' << kv.second.value() << '\n';
-    for (const auto &kv : dists_) {
-        os << name_ << '.' << kv.first << ".mean " << kv.second.mean()
-           << '\n';
-        os << name_ << '.' << kv.first << ".max " << kv.second.max() << '\n';
-    }
+    forEachScalar([&](const std::string &stat, double v) {
+        os << name_ << '.' << stat << ' ' << v << '\n';
+    });
     return os.str();
+}
+
+void
+StatRegistry::add(StatGroup *group, Refresh refresh)
+{
+    hos_assert(group != nullptr, "registering a null stat group");
+    entries_[group->name()] = Entry{group, std::move(refresh)};
+}
+
+void
+StatRegistry::remove(const std::string &name)
+{
+    entries_.erase(name);
+}
+
+StatGroup *
+StatRegistry::find(const std::string &name) const
+{
+    auto it = entries_.find(name);
+    return it == entries_.end() ? nullptr : it->second.group;
+}
+
+void
+StatRegistry::refreshAll() const
+{
+    for (const auto &kv : entries_) {
+        if (kv.second.refresh)
+            kv.second.refresh();
+    }
+}
+
+void
+StatRegistry::forEach(const std::function<void(StatGroup &)> &fn) const
+{
+    for (const auto &kv : entries_)
+        fn(*kv.second.group);
+}
+
+std::string
+StatRegistry::dumpAll() const
+{
+    refreshAll();
+    std::string out;
+    forEach([&](StatGroup &g) { out += g.dump(); });
+    return out;
 }
 
 } // namespace hos::sim

@@ -109,11 +109,27 @@ class StatGroup
     Gauge &gauge(const std::string &stat);
     /** Register (or fetch) a distribution under this group. */
     Distribution &distribution(const std::string &stat);
+    /**
+     * Register (or fetch) a histogram under this group. The shape
+     * parameters apply only on first registration; later fetches
+     * return the existing histogram unchanged.
+     */
+    Histogram &histogram(const std::string &stat, double lo, double hi,
+                         std::size_t nbuckets);
 
     /** Look up a counter; panics if absent (catches stat-name typos). */
     const Counter &findCounter(const std::string &stat) const;
+    /** Look up a gauge; panics if absent. */
+    const Gauge &findGauge(const std::string &stat) const;
+    /** Look up a distribution; panics if absent. */
+    const Distribution &findDistribution(const std::string &stat) const;
+    /** Look up a histogram; panics if absent. */
+    const Histogram &findHistogram(const std::string &stat) const;
 
     bool hasCounter(const std::string &stat) const;
+    bool hasGauge(const std::string &stat) const;
+    bool hasDistribution(const std::string &stat) const;
+    bool hasHistogram(const std::string &stat) const;
 
     const std::string &name() const { return name_; }
 
@@ -123,11 +139,64 @@ class StatGroup
     /** Render "name.stat value" lines, sorted, for dumps. */
     std::string dump() const;
 
+    /**
+     * Visit every statistic as a named scalar sample — counters and
+     * gauges by value, distributions as .count/.mean/.min/.max,
+     * histograms as .samples plus per-bucket counts. This is the
+     * one flattening the snapshot/export machinery relies on.
+     */
+    void
+    forEachScalar(const std::function<void(const std::string &, double)>
+                      &fn) const;
+
   private:
     std::string name_;
     std::map<std::string, Counter> counters_;
     std::map<std::string, Gauge> gauges_;
     std::map<std::string, Distribution> dists_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+/**
+ * A central directory of StatGroups, discoverable by name. Components
+ * register their group (optionally with a refresh hook that syncs the
+ * group from live subsystem state); the snapshot daemon and dump
+ * paths walk the registry instead of knowing each component.
+ */
+class StatRegistry
+{
+  public:
+    using Refresh = std::function<void()>;
+
+    /**
+     * Register a group under its own name. The registry does not own
+     * the group; callers must remove() it before the group dies.
+     * Re-registering a name replaces the entry (VM slots rebuild).
+     */
+    void add(StatGroup *group, Refresh refresh = nullptr);
+    void remove(const std::string &name);
+
+    /** Look up a group by name; nullptr when absent. */
+    StatGroup *find(const std::string &name) const;
+
+    std::size_t size() const { return entries_.size(); }
+
+    /** Run every registered refresh hook (before sampling/dumping). */
+    void refreshAll() const;
+
+    /** Visit groups in name order (deterministic exports). */
+    void forEach(const std::function<void(StatGroup &)> &fn) const;
+
+    /** refreshAll + concatenated dump() of every group. */
+    std::string dumpAll() const;
+
+  private:
+    struct Entry
+    {
+        StatGroup *group = nullptr;
+        Refresh refresh;
+    };
+    std::map<std::string, Entry> entries_;
 };
 
 } // namespace hos::sim

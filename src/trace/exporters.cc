@@ -1,0 +1,128 @@
+#include "trace/exporters.hh"
+
+#include <algorithm>
+#include <fstream>
+
+#include "sim/json.hh"
+#include "sim/log.hh"
+
+namespace hos::trace {
+
+namespace {
+
+/**
+ * Buffered records sorted by (ts, seq). Appends are already in time
+ * order per event queue, but multi-VM lockstep interleaves several
+ * guest clocks, so a stable sort guarantees the monotonically
+ * non-decreasing timestamps trace viewers require.
+ */
+std::vector<Record>
+sortedRecords(const Tracer &tracer)
+{
+    std::vector<Record> records;
+    records.reserve(tracer.size());
+    tracer.forEach([&](const Record &r) { records.push_back(r); });
+    std::stable_sort(records.begin(), records.end(),
+                     [](const Record &a, const Record &b) {
+                         if (a.ts != b.ts)
+                             return a.ts < b.ts;
+                         return a.seq < b.seq;
+                     });
+    return records;
+}
+
+/** Ticks are ns; Chrome wants microseconds (fractional ok). */
+double
+toChromeUs(std::uint64_t ns)
+{
+    return static_cast<double>(ns) / 1e3;
+}
+
+void
+writeArg(sim::JsonWriter &w, const char *name, std::uint64_t v)
+{
+    if (name != nullptr && name[0] != '\0')
+        w.kv(name, v);
+}
+
+} // namespace
+
+void
+writeChromeJson(const Tracer &tracer, std::ostream &os)
+{
+    const auto records = sortedRecords(tracer);
+
+    sim::JsonWriter w(os);
+    w.beginObject();
+    w.kv("displayTimeUnit", "ms");
+    w.key("otherData");
+    w.beginObject();
+    w.kv("recorded", tracer.recorded());
+    w.kv("dropped", tracer.dropped());
+    w.endObject();
+    w.key("traceEvents");
+    w.beginArray();
+    for (const Record &r : records) {
+        const EventTypeInfo &info = eventTypeInfo(r.type);
+        w.beginObject();
+        w.kv("name", info.name);
+        w.kv("cat", categoryName(info.category));
+        w.kv("ph", r.dur > 0 ? "X" : "i");
+        w.kv("ts", toChromeUs(r.ts));
+        if (r.dur > 0)
+            w.kv("dur", toChromeUs(r.dur));
+        else
+            w.kv("s", "t"); // instant scope: thread
+        w.kv("pid", std::uint64_t(0));
+        w.kv("tid", static_cast<std::uint64_t>(r.vm));
+        w.key("args");
+        w.beginObject();
+        writeArg(w, info.a0, r.a0);
+        writeArg(w, info.a1, r.a1);
+        writeArg(w, info.a2, r.a2);
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << '\n';
+    hos_assert(w.balanced(), "unbalanced trace JSON");
+}
+
+bool
+writeChromeJson(const Tracer &tracer, const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os) {
+        sim::warn("cannot open trace file '%s'", path.c_str());
+        return false;
+    }
+    writeChromeJson(tracer, os);
+    return os.good();
+}
+
+void
+writeCsv(const Tracer &tracer, std::ostream &os)
+{
+    os << "ts_ns,dur_ns,type,category,vm,a0,a1,a2\n";
+    for (const Record &r : sortedRecords(tracer)) {
+        const EventTypeInfo &info = eventTypeInfo(r.type);
+        os << r.ts << ',' << r.dur << ',' << info.name << ','
+           << categoryName(info.category) << ',' << r.vm << ',' << r.a0
+           << ',' << r.a1 << ',' << r.a2 << '\n';
+    }
+}
+
+bool
+writeCsv(const Tracer &tracer, const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os) {
+        sim::warn("cannot open trace file '%s'", path.c_str());
+        return false;
+    }
+    writeCsv(tracer, os);
+    return os.good();
+}
+
+} // namespace hos::trace

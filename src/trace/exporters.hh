@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Trace exporters: Chrome trace_event JSON and compact CSV.
+ *
+ * The JSON form loads directly in chrome://tracing and Perfetto
+ * (https://ui.perfetto.dev): each record becomes a complete ("X")
+ * event when it carries a modelled duration, or an instant ("i")
+ * event otherwise, with the record's typed arguments named in
+ * `args`. The CSV form is for pandas/awk-style post-processing.
+ */
+
+#ifndef HOS_TRACE_EXPORTERS_HH
+#define HOS_TRACE_EXPORTERS_HH
+
+#include <ostream>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace hos::trace {
+
+/** Write the buffered records as Chrome trace_event JSON. */
+void writeChromeJson(const Tracer &tracer, std::ostream &os);
+
+/** As above, to a file; false when the file cannot be opened. */
+bool writeChromeJson(const Tracer &tracer, const std::string &path);
+
+/** Write the buffered records as CSV (one header + one row each). */
+void writeCsv(const Tracer &tracer, std::ostream &os);
+
+/** As above, to a file; false when the file cannot be opened. */
+bool writeCsv(const Tracer &tracer, const std::string &path);
+
+} // namespace hos::trace
+
+#endif // HOS_TRACE_EXPORTERS_HH

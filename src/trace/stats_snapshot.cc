@@ -1,0 +1,87 @@
+#include "trace/stats_snapshot.hh"
+
+#include <fstream>
+
+#include "sim/json.hh"
+#include "sim/log.hh"
+#include "trace/trace.hh"
+
+namespace hos::trace {
+
+StatsSnapshotter::StatsSnapshotter(sim::StatRegistry &registry,
+                                   sim::EventQueue &queue,
+                                   sim::Duration interval)
+    : registry_(registry), queue_(queue), interval_(interval)
+{
+    hos_assert(interval_ > 0, "snapshot interval must be nonzero");
+}
+
+void
+StatsSnapshotter::start()
+{
+    queue_.schedulePeriodic(interval_, [this](sim::Duration period) {
+        sampleNow();
+        return period;
+    });
+}
+
+void
+StatsSnapshotter::sampleNow()
+{
+    registry_.refreshAll();
+
+    StatsSnapshot snap;
+    snap.t = queue_.now();
+    std::uint64_t groups = 0;
+    registry_.forEach([&](sim::StatGroup &g) {
+        ++groups;
+        g.forEachScalar([&](const std::string &stat, double v) {
+            snap.values.emplace_back(g.name() + '.' + stat, v);
+        });
+    });
+    emit(EventType::StatsSnapshot, snap.t, snapshots_.size(), groups);
+    sim::inform("stats snapshot %zu: %zu stats from %llu groups",
+                snapshots_.size(), snap.values.size(),
+                static_cast<unsigned long long>(groups));
+    snapshots_.push_back(std::move(snap));
+}
+
+void
+StatsSnapshotter::writeJson(std::ostream &os) const
+{
+    sim::JsonWriter w(os);
+    w.beginObject();
+    w.kv("interval_ns", static_cast<std::uint64_t>(interval_));
+    w.kv("num_snapshots", static_cast<std::uint64_t>(snapshots_.size()));
+    w.key("snapshots");
+    w.beginArray();
+    for (const StatsSnapshot &s : snapshots_) {
+        w.beginObject();
+        w.kv("t_ns", static_cast<std::uint64_t>(s.t));
+        w.kv("t_ms", sim::toMilliseconds(s.t));
+        w.key("stats");
+        w.beginObject();
+        for (const auto &[name, value] : s.values)
+            w.kv(name, value);
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << '\n';
+    hos_assert(w.balanced(), "unbalanced stats JSON");
+}
+
+bool
+StatsSnapshotter::writeJson(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os) {
+        sim::warn("cannot open stats file '%s'", path.c_str());
+        return false;
+    }
+    writeJson(os);
+    return os.good();
+}
+
+} // namespace hos::trace

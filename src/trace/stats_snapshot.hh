@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Periodic stats snapshots: a time-series over every registered
+ * StatGroup.
+ *
+ * gem5 pairs its counters with per-interval stat dumps; this is the
+ * equivalent here. A snapshotter rides an EventQueue: every
+ * `interval` of simulated time it refreshes the registry (so groups
+ * sync from live subsystem state) and records every scalar statistic
+ * into an in-memory time-series, exported as JSON. That is what lets
+ * benches plot *convergence* — fastmem occupancy climbing, migration
+ * rate decaying — rather than only end-of-run totals.
+ */
+
+#ifndef HOS_TRACE_STATS_SNAPSHOT_HH
+#define HOS_TRACE_STATS_SNAPSHOT_HH
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/time.hh"
+
+namespace hos::trace {
+
+/** One sampled point-in-time view of every registered statistic. */
+struct StatsSnapshot
+{
+    sim::Tick t = 0;
+    /** "group.stat" -> value, in deterministic (sorted) order. */
+    std::vector<std::pair<std::string, double>> values;
+};
+
+/** Samples a StatRegistry on a fixed sim-time cadence. */
+class StatsSnapshotter
+{
+  public:
+    /**
+     * `registry` and `queue` must outlive the snapshotter. Nothing is
+     * scheduled until start().
+     */
+    StatsSnapshotter(sim::StatRegistry &registry, sim::EventQueue &queue,
+                     sim::Duration interval);
+
+    /** Schedule the periodic sampling daemon (first sample after one
+     *  interval). */
+    void start();
+
+    /** Take one snapshot immediately (also used by the daemon). */
+    void sampleNow();
+
+    sim::Duration interval() const { return interval_; }
+    const std::vector<StatsSnapshot> &snapshots() const
+    {
+        return snapshots_;
+    }
+
+    /**
+     * Export the time-series as JSON:
+     * {"interval_ns":..., "snapshots":[{"t_ns":..., "stats":{...}}]}
+     */
+    void writeJson(std::ostream &os) const;
+
+    /** As above, to a file; false when the file cannot be opened. */
+    bool writeJson(const std::string &path) const;
+
+  private:
+    sim::StatRegistry &registry_;
+    sim::EventQueue &queue_;
+    sim::Duration interval_;
+    std::vector<StatsSnapshot> snapshots_;
+};
+
+} // namespace hos::trace
+
+#endif // HOS_TRACE_STATS_SNAPSHOT_HH

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Simulation-wide structured event tracing.
+ *
+ * Every interesting internal event — page allocations, migrations,
+ * hotness scans, balloon resizes, swap traffic, hypercalls, DRF
+ * reallocations, device batches — can be recorded as a fixed-size,
+ * sim-tick-timestamped record into a bounded ring buffer. Exporters
+ * (trace/exporters.hh) turn the ring into a Chrome trace_event JSON
+ * (chrome://tracing / Perfetto) or a compact CSV.
+ *
+ * Design constraints, in order:
+ *  1. Zero measurable cost when disabled: the emit() fast path is a
+ *     single load of a plain global mask. Benches run with tracing
+ *     off and must not pay for its existence.
+ *  2. Bounded memory: a fixed-capacity ring; when full, the oldest
+ *     records are overwritten and counted as dropped.
+ *  3. Determinism: two identical runs produce identical traces — no
+ *     wall-clock anywhere, only sim ticks.
+ *
+ * Records carry up to three uint64 arguments whose meaning is fixed
+ * per event type (see eventTypeInfo) so exporters can name them.
+ */
+
+#ifndef HOS_TRACE_TRACE_HH
+#define HOS_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace hos::trace {
+
+/** Event categories (bit flags; --trace-categories selects a set). */
+enum class Category : std::uint32_t {
+    None = 0,
+    Alloc = 1u << 0,     ///< page allocation / free
+    Migration = 1u << 1, ///< guest and VMM page migration
+    Scan = 1u << 2,      ///< hotness scans and LRU reclaim passes
+    Balloon = 1u << 3,   ///< balloon inflate / deflate / reclaim
+    Swap = 1u << 4,      ///< swap-in / swap-out
+    Hypercall = 1u << 5, ///< populate / unpopulate hypercalls
+    Fairness = 1u << 6,  ///< DRF reallocation decisions
+    Device = 1u << 7,    ///< memory-device service batches
+    Stats = 1u << 8,     ///< periodic stats snapshots
+    All = 0x1ffu,
+};
+
+/** Typed event records. The a0/a1/a2 meanings are per-type. */
+enum class EventType : std::uint16_t {
+    PageAlloc = 0,      ///< a0=page type, a1=pfn, a2=tier
+    PageFree,           ///< a0=pfn, a1=tier
+    MigrationStart,     ///< a0=candidates, a1=dst tier
+    MigrationComplete,  ///< a0=migrated, a1=skipped, a2=dst tier
+    HotnessScan,        ///< a0=scanned, a1=accessed, a2=hot
+    LruReclaim,         ///< a0=target, a1=freed, a2=scanned
+    BalloonInflate,     ///< a0=tier, a1=asked, a2=surrendered
+    BalloonDeflate,     ///< a0=tier, a1=asked, a2=granted
+    BalloonReclaim,     ///< a0=victim vm, a1=tier, a2=freed
+    SwapOut,            ///< a0=pages, a1=swap used after
+    SwapIn,             ///< a0=pages, a1=swap used after
+    HypercallPopulate,  ///< a0=guest node, a1=asked, a2=granted
+    HypercallUnpopulate,///< a0=guest node, a1=pages
+    DrfReclaim,         ///< a0=victim vm, a1=tier, a2=reclaimed
+    DeviceBatch,        ///< a0=loads, a1=stores, a2=bytes
+    StatsSnapshot,      ///< a0=snapshot index, a1=groups sampled
+};
+
+constexpr std::size_t numEventTypes = 16;
+
+/** Static description of one event type. */
+struct EventTypeInfo
+{
+    const char *name;
+    Category category;
+    const char *a0, *a1, *a2; ///< argument names ("" = unused)
+};
+
+const EventTypeInfo &eventTypeInfo(EventType t);
+const char *categoryName(Category single_bit);
+
+/**
+ * Parse a comma-separated category list ("migration,scan,balloon")
+ * into a mask; "all" selects everything. Unknown names are reported
+ * via warn() and skipped. Empty input means All.
+ */
+std::uint32_t parseCategories(const std::string &csv);
+
+/** One trace record (fixed size; args are typed per EventType). */
+struct Record
+{
+    sim::Tick ts = 0;       ///< sim time the event happened
+    sim::Duration dur = 0;  ///< modelled cost, when the event has one
+    EventType type = EventType::PageAlloc;
+    std::uint16_t vm = 0;   ///< VM id (0 when single-VM / unknown)
+    std::uint32_t seq = 0;  ///< tie-breaker among same-tick records
+    std::uint64_t a0 = 0, a1 = 0, a2 = 0;
+};
+
+/** Fixed-capacity ring buffer of trace records. */
+class Tracer
+{
+  public:
+    static constexpr std::size_t defaultCapacity = 1u << 16;
+
+    /** Enable recording for the categories in `mask`. */
+    void enable(std::uint32_t mask);
+    /** Stop recording (buffered records stay exportable). */
+    void disable();
+    std::uint32_t mask() const;
+
+    /** Resize the ring (drops all buffered records). */
+    void setCapacity(std::size_t capacity);
+    std::size_t capacity() const { return capacity_; }
+
+    /** Drop all buffered records and the drop/sequence counters. */
+    void clear();
+
+    /** Slow path: append one record (call through emit()). */
+    void record(EventType type, sim::Tick ts, std::uint64_t a0 = 0,
+                std::uint64_t a1 = 0, std::uint64_t a2 = 0,
+                sim::Duration dur = 0, std::uint16_t vm = 0);
+
+    /** Records currently buffered. */
+    std::size_t size() const { return ring_.size(); }
+    /** Records ever recorded (including overwritten ones). */
+    std::uint64_t recorded() const { return recorded_; }
+    /** Records lost to ring wraparound. */
+    std::uint64_t dropped() const
+    {
+        return recorded_ - ring_.size();
+    }
+
+    /** Visit buffered records oldest-first. */
+    void forEach(const std::function<void(const Record &)> &fn) const;
+
+  private:
+    std::size_t capacity_ = defaultCapacity;
+    std::vector<Record> ring_;
+    std::size_t head_ = 0; ///< next write position once full
+    std::uint64_t recorded_ = 0;
+};
+
+/** The process-wide tracer every subsystem emits into. */
+Tracer &tracer();
+
+namespace detail {
+/**
+ * Plain global mirror of the tracer's category mask. Constant-
+ * initialized, so the disabled-path check in emit() is one relaxed
+ * load with no static-init guard — the whole point of the design.
+ */
+extern std::uint32_t g_mask;
+} // namespace detail
+
+/** True when `c` is being recorded. */
+inline bool
+enabled(Category c)
+{
+    return (detail::g_mask & static_cast<std::uint32_t>(c)) != 0;
+}
+
+/** True when any category is being recorded. */
+inline bool
+anyEnabled()
+{
+    return detail::g_mask != 0;
+}
+
+/**
+ * Record an event if its category is enabled. This is the only call
+ * hot paths make; when tracing is off it costs one global load and a
+ * branch.
+ */
+inline void
+emit(EventType type, sim::Tick ts, std::uint64_t a0 = 0,
+     std::uint64_t a1 = 0, std::uint64_t a2 = 0, sim::Duration dur = 0,
+     std::uint16_t vm = 0)
+{
+    if (detail::g_mask == 0)
+        return;
+    if (!enabled(eventTypeInfo(type).category))
+        return;
+    tracer().record(type, ts, a0, a1, a2, dur, vm);
+}
+
+} // namespace hos::trace
+
+#endif // HOS_TRACE_TRACE_HH

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/trace.hh"
+
 namespace hos::vmm {
 
 std::uint64_t
@@ -59,7 +61,13 @@ balloonReclaim(Vmm &vmm, VmContext &victim, mem::MemType t,
         }
     }
     const std::uint64_t free_after = vmm.freeFrames(t);
-    return free_after > free_before ? free_after - free_before : 0;
+    const std::uint64_t freed =
+        free_after > free_before ? free_after - free_before : 0;
+    trace::emit(trace::EventType::BalloonReclaim,
+                victim.kernel().events().now(), victim.id(),
+                static_cast<std::uint64_t>(t), freed, 0,
+                static_cast<std::uint16_t>(victim.id()));
+    return freed;
 }
 
 } // namespace hos::vmm

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "trace/trace.hh"
 #include "vmm/ballooning.hh"
 
 namespace hos::vmm {
@@ -68,6 +69,10 @@ DrfFairness::approve(Vmm &vmm, VmContext &requester, mem::MemType t,
             balloonReclaim(vmm, *victim, t, deficit);
         if (got == 0)
             break;
+        trace::emit(trace::EventType::DrfReclaim,
+                    requester.kernel().events().now(), victim->id(),
+                    static_cast<std::uint64_t>(t), got, 0,
+                    static_cast<std::uint16_t>(requester.id()));
         deficit -= std::min(deficit, got);
     }
 

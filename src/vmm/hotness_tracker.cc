@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/log.hh"
+#include "trace/trace.hh"
 
 namespace hos::vmm {
 
@@ -118,6 +119,9 @@ HotnessTracker::scanOnce()
     scans_.inc();
     scanned_.inc(res.pages_scanned);
     total_cost_ += res.cost;
+    trace::emit(trace::EventType::HotnessScan, kernel.events().now(),
+                res.pages_scanned, res.accessed, res.hot.size(),
+                res.cost, static_cast<std::uint16_t>(vm_.id()));
     return res;
 }
 

@@ -4,6 +4,7 @@
 
 #include "mem/migration_cost.hh"
 #include "sim/log.hh"
+#include "trace/trace.hh"
 
 namespace hos::vmm {
 
@@ -21,6 +22,10 @@ MigrationEngine::migrateBacking(VmContext &vm,
         return res;
     mem::MachineNode &dst_node = machine.nodeByType(dst);
 
+    trace::emit(trace::EventType::MigrationStart,
+                vm.kernel().events().now(), gpfns.size(),
+                static_cast<std::uint64_t>(dst), 0, 0,
+                static_cast<std::uint16_t>(vm.id()));
     for (Gpfn gpfn : gpfns) {
         if (!p2m.populated(gpfn))
             continue; // ballooned away since the candidate was chosen
@@ -47,6 +52,10 @@ MigrationEngine::migrateBacking(VmContext &vm,
         vm.kernel().charge(guestos::OverheadKind::Migration, res.cost);
         migrated_.inc(res.migrated);
     }
+    trace::emit(trace::EventType::MigrationComplete,
+                vm.kernel().events().now(), res.migrated, res.no_frames,
+                static_cast<std::uint64_t>(dst), res.cost,
+                static_cast<std::uint16_t>(vm.id()));
     return res;
 }
 
@@ -162,6 +171,10 @@ MigrationEngine::promoteWithEviction(VmContext &vm,
             migrated_.inc(exchanged * 2);
             total.migrated += exchanged * 2;
             total.cost += cost;
+            trace::emit(trace::EventType::MigrationComplete,
+                        vm.kernel().events().now(), exchanged * 2, 0,
+                        static_cast<std::uint64_t>(mem::MemType::FastMem),
+                        cost, static_cast<std::uint16_t>(vm.id()));
         }
         total.no_frames = promote.size() - idx;
     }

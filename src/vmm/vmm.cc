@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/log.hh"
+#include "trace/trace.hh"
 
 namespace hos::vmm {
 
@@ -192,6 +193,9 @@ Vmm::populatePages(VmContext &vm, unsigned guest_node,
         if (frames.size() < approved)
             break; // tier genuinely drained mid-request
     }
+    trace::emit(trace::EventType::HypercallPopulate,
+                vm.kernel_.events().now(), guest_node, gpfns.size(),
+                granted_total, 0, static_cast<std::uint16_t>(vm.id()));
     return granted_total;
 }
 
@@ -199,7 +203,6 @@ void
 Vmm::unpopulatePages(VmContext &vm, unsigned guest_node,
                      const std::vector<Gpfn> &gpfns)
 {
-    (void)guest_node;
     for (Gpfn gpfn : gpfns) {
         hos_assert(vm.p2m_.populated(gpfn),
                    "unpopulating an unbacked gpfn");
@@ -209,6 +212,9 @@ Vmm::unpopulatePages(VmContext &vm, unsigned guest_node,
             vm.fast_backed_.erase(gpfn);
         vm.p2m_.clear(gpfn);
     }
+    trace::emit(trace::EventType::HypercallUnpopulate,
+                vm.kernel_.events().now(), guest_node, gpfns.size(), 0,
+                0, static_cast<std::uint16_t>(vm.id()));
 }
 
 std::vector<mem::Mfn>
@@ -237,6 +243,31 @@ std::uint64_t
 Vmm::usedFrames(mem::MemType t) const
 {
     return totalFrames(t) - freeFrames(t);
+}
+
+void
+Vmm::syncStats()
+{
+    for (std::size_t i = 0; i < mem::numMemTypes; ++i) {
+        const auto t = static_cast<mem::MemType>(i);
+        if (!machine_.hasType(t))
+            continue;
+        const std::string tier = mem::memTypeName(t);
+        stats_.gauge(tier + ".total_frames").set(
+            static_cast<std::int64_t>(totalFrames(t)));
+        stats_.gauge(tier + ".used_frames").set(
+            static_cast<std::int64_t>(usedFrames(t)));
+        stats_.gauge(tier + ".free_frames").set(
+            static_cast<std::int64_t>(freeFrames(t)));
+    }
+    for (const auto &vm : vms_) {
+        const std::string prefix =
+            "vm" + std::to_string(vm->id());
+        stats_.gauge(prefix + ".fast_backed").set(
+            static_cast<std::int64_t>(vm->fast_backed_.size()));
+        stats_.gauge(prefix + ".populated").set(
+            static_cast<std::int64_t>(vm->p2m_.populatedCount()));
+    }
 }
 
 } // namespace hos::vmm

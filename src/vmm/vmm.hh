@@ -26,6 +26,7 @@
 #include "guestos/hypercalls.hh"
 #include "guestos/kernel.hh"
 #include "mem/machine_memory.hh"
+#include "sim/stats.hh"
 #include "vmm/p2m.hh"
 
 namespace hos::vmm {
@@ -170,6 +171,11 @@ class Vmm
     std::uint64_t freeFrames(mem::MemType t) const;
     std::uint64_t usedFrames(mem::MemType t) const;
 
+    /** VMM-side statistics (frame occupancy per tier, per-VM backing). */
+    sim::StatGroup &stats() { return stats_; }
+    /** Refresh stats_ from live machine/P2M state. */
+    void syncStats();
+
   private:
     /** The adapter a guest balloon front-end talks to. */
     class BalloonAdapter final : public guestos::BalloonBackendIf
@@ -204,6 +210,7 @@ class Vmm
     std::unique_ptr<FairnessPolicy> fairness_;
     std::vector<std::unique_ptr<VmContext>> vms_;
     std::vector<std::unique_ptr<BalloonAdapter>> adapters_;
+    sim::StatGroup stats_{"vmm"};
 };
 
 } // namespace hos::vmm

@@ -7,10 +7,57 @@
 #define HOS_TESTS_TEST_HELPERS_HH
 
 #include <memory>
+#include <string>
 
 #include "guestos/kernel.hh"
 
 namespace hos::test {
+
+/**
+ * String-aware JSON well-formedness check: every brace/bracket opened
+ * outside a string closes in order, and the document ends balanced.
+ * Not a full parser — enough to catch exporter bookkeeping bugs.
+ */
+inline bool
+jsonWellFormed(const std::string &s)
+{
+    std::string stack;
+    bool in_string = false;
+    bool escaped = false;
+    for (char c : s) {
+        if (in_string) {
+            if (escaped)
+                escaped = false;
+            else if (c == '\\')
+                escaped = true;
+            else if (c == '"')
+                in_string = false;
+            continue;
+        }
+        switch (c) {
+          case '"':
+            in_string = true;
+            break;
+          case '{':
+          case '[':
+            stack.push_back(c);
+            break;
+          case '}':
+            if (stack.empty() || stack.back() != '{')
+                return false;
+            stack.pop_back();
+            break;
+          case ']':
+            if (stack.empty() || stack.back() != '[')
+                return false;
+            stack.pop_back();
+            break;
+          default:
+            break;
+        }
+    }
+    return !in_string && stack.empty();
+}
 
 /**
  * A guest kernel with its nodes fully populated directly (no VMM) —

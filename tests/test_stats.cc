@@ -74,6 +74,87 @@ TEST(StatGroup, NamedAccessAndDump)
     EXPECT_EQ(g.findCounter("alloc").value(), 0u);
 }
 
+TEST(StatGroup, HistogramRegistrationIsIdempotent)
+{
+    StatGroup g("hist");
+    Histogram &h = g.histogram("lat", 0.0, 100.0, 10);
+    h.sample(5.0);
+    // A second fetch must return the same histogram regardless of the
+    // (ignored) shape parameters.
+    Histogram &again = g.histogram("lat", 0.0, 1.0, 2);
+    EXPECT_EQ(&h, &again);
+    EXPECT_EQ(again.samples(), 1u);
+    EXPECT_EQ(again.buckets(), 10u);
+}
+
+TEST(StatGroup, FindMirrorsEveryKind)
+{
+    StatGroup g("all");
+    g.counter("c").inc(1);
+    g.gauge("g").set(-4);
+    g.distribution("d").sample(2.5);
+    g.histogram("h", 0.0, 10.0, 5).sample(3.0);
+
+    EXPECT_EQ(g.findGauge("g").value(), -4);
+    EXPECT_EQ(g.findDistribution("d").count(), 1u);
+    EXPECT_EQ(g.findHistogram("h").samples(), 1u);
+    EXPECT_TRUE(g.hasGauge("g"));
+    EXPECT_TRUE(g.hasDistribution("d"));
+    EXPECT_TRUE(g.hasHistogram("h"));
+    EXPECT_FALSE(g.hasGauge("c"));
+    EXPECT_FALSE(g.hasDistribution("nope"));
+    EXPECT_FALSE(g.hasHistogram("nope"));
+}
+
+TEST(StatGroup, DumpCoversAllKinds)
+{
+    StatGroup g("grp");
+    g.counter("c").inc(2);
+    g.gauge("res").set(7);
+    g.distribution("d").sample(4.0);
+    g.histogram("h", 0.0, 10.0, 2).sample(9.0);
+
+    const std::string dump = g.dump();
+    EXPECT_NE(dump.find("grp.c 2"), std::string::npos);
+    EXPECT_NE(dump.find("grp.res 7"), std::string::npos);
+    EXPECT_NE(dump.find("grp.d.mean 4"), std::string::npos);
+    EXPECT_NE(dump.find("grp.h.samples 1"), std::string::npos);
+    EXPECT_NE(dump.find("grp.h.bucket1 1"), std::string::npos);
+}
+
+TEST(StatGroup, ResetAllCoversAllKinds)
+{
+    StatGroup g("grp");
+    g.counter("c").inc(2);
+    g.gauge("res").set(7);
+    g.distribution("d").sample(4.0);
+    g.histogram("h", 0.0, 10.0, 2).sample(9.0);
+
+    g.resetAll();
+    EXPECT_EQ(g.findCounter("c").value(), 0u);
+    EXPECT_EQ(g.findGauge("res").value(), 0);
+    EXPECT_EQ(g.findDistribution("d").count(), 0u);
+    EXPECT_EQ(g.findHistogram("h").samples(), 0u);
+    EXPECT_EQ(g.findHistogram("h").bucketCount(1), 0u);
+}
+
+TEST(StatGroup, ForEachScalarFlattens)
+{
+    StatGroup g("f");
+    g.counter("c").inc(3);
+    g.distribution("d").sample(1.0);
+    g.distribution("d").sample(3.0);
+
+    std::map<std::string, double> seen;
+    g.forEachScalar(
+        [&](const std::string &name, double v) { seen[name] = v; });
+    EXPECT_EQ(seen.at("c"), 3.0);
+    EXPECT_EQ(seen.at("d.count"), 2.0);
+    EXPECT_EQ(seen.at("d.mean"), 2.0);
+    EXPECT_EQ(seen.at("d.min"), 1.0);
+    EXPECT_EQ(seen.at("d.max"), 3.0);
+}
+
 TEST(Table, RendersAlignedRows)
 {
     Table t("demo");

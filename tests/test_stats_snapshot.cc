@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Stats snapshots: registry lookup/refresh, the periodic sampling
+ * daemon's cadence against the event queue, and JSON export.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "test_helpers.hh"
+#include "trace/stats_snapshot.hh"
+
+namespace {
+
+using namespace hos::sim;
+using hos::trace::StatsSnapshotter;
+
+TEST(StatRegistry, FindAndRemove)
+{
+    StatGroup a("alpha"), b("beta");
+    StatRegistry reg;
+    reg.add(&a);
+    reg.add(&b);
+    EXPECT_EQ(reg.size(), 2u);
+    EXPECT_EQ(reg.find("alpha"), &a);
+    EXPECT_EQ(reg.find("gamma"), nullptr);
+    reg.remove("alpha");
+    EXPECT_EQ(reg.find("alpha"), nullptr);
+    EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(StatRegistry, RefreshHooksRunOnDump)
+{
+    StatGroup g("live");
+    std::uint64_t source = 0;
+    StatRegistry reg;
+    reg.add(&g, [&] { g.counter("sampled").set(source); });
+
+    source = 7;
+    const std::string dump = reg.dumpAll();
+    EXPECT_NE(dump.find("live.sampled 7"), std::string::npos);
+}
+
+TEST(StatsSnapshotter, CadenceMatchesEventQueue)
+{
+    StatGroup g("g");
+    std::uint64_t ticks_seen = 0;
+    StatRegistry reg;
+    reg.add(&g, [&] { g.counter("refreshes").set(++ticks_seen); });
+
+    EventQueue q;
+    StatsSnapshotter snap(reg, q, milliseconds(10));
+    snap.start();
+    q.runUntil(milliseconds(95));
+
+    // Samples at 10, 20, ..., 90 ms — the 100 ms one hasn't fired.
+    ASSERT_EQ(snap.snapshots().size(), 9u);
+    for (std::size_t i = 0; i < snap.snapshots().size(); ++i) {
+        EXPECT_EQ(snap.snapshots()[i].t, milliseconds(10) * (i + 1));
+    }
+    EXPECT_EQ(ticks_seen, 9u);
+}
+
+TEST(StatsSnapshotter, SnapshotsCaptureLiveValues)
+{
+    StatGroup g("mem");
+    std::int64_t occupancy = 0;
+    StatRegistry reg;
+    reg.add(&g, [&] { g.gauge("occupancy").set(occupancy); });
+
+    EventQueue q;
+    StatsSnapshotter snap(reg, q, milliseconds(5));
+
+    occupancy = 100;
+    snap.sampleNow();
+    occupancy = 250;
+    snap.sampleNow();
+
+    ASSERT_EQ(snap.snapshots().size(), 2u);
+    const auto &first = snap.snapshots()[0].values;
+    const auto &second = snap.snapshots()[1].values;
+    ASSERT_EQ(first.size(), 1u);
+    EXPECT_EQ(first[0].first, "mem.occupancy");
+    EXPECT_EQ(first[0].second, 100.0);
+    EXPECT_EQ(second[0].second, 250.0);
+}
+
+TEST(StatsSnapshotter, JsonExportRoundTrip)
+{
+    StatGroup g("grp");
+    StatRegistry reg;
+    std::uint64_t n = 0;
+    reg.add(&g, [&] { g.counter("events").set(n += 3); });
+
+    EventQueue q;
+    StatsSnapshotter snap(reg, q, milliseconds(20));
+    snap.start();
+    q.runUntil(milliseconds(50)); // snapshots at 20 and 40 ms
+
+    std::ostringstream os;
+    snap.writeJson(os);
+    const std::string json = os.str();
+
+    EXPECT_TRUE(hos::test::jsonWellFormed(json));
+    EXPECT_NE(json.find("\"num_snapshots\":2"), std::string::npos);
+    EXPECT_NE(json.find("\"grp.events\":3"), std::string::npos);
+    EXPECT_NE(json.find("\"grp.events\":6"), std::string::npos);
+    EXPECT_NE(json.find("\"t_ms\":20"), std::string::npos);
+}
+
+TEST(StatsSnapshotter, GuestKernelSyncStatsPopulatesGroup)
+{
+    auto kernel = hos::test::standaloneGuest();
+    hos::guestos::AllocRequest req;
+    req.type = hos::guestos::PageType::Anon;
+    for (int i = 0; i < 100; ++i)
+        kernel->allocPage(req);
+
+    kernel->syncStats();
+    auto &stats = kernel->stats();
+    EXPECT_EQ(stats.findCounter("alloc.requests").value(), 100u);
+    EXPECT_EQ(stats
+                  .findCounter(std::string("alloc.") +
+                               hos::guestos::pageTypeName(
+                                   hos::guestos::PageType::Anon))
+                  .value(),
+              100u);
+    EXPECT_TRUE(stats.hasGauge("node.FastMem.free_pages"));
+    EXPECT_TRUE(stats.hasCounter("overhead_ns.migration"));
+}
+
+} // namespace
