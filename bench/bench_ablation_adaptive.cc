@@ -19,19 +19,19 @@ namespace {
 workload::Workload::Result
 runCoordinated(bool adaptive, sim::Duration fixed_interval)
 {
-    auto spec = bench::paperSpec(core::Approach::Coordinated);
-    spec.fast_bytes = spec.slow_bytes / 4;
+    auto scenario = bench::paperScenario(core::Approach::Coordinated);
+    scenario.fast_bytes = scenario.slow_bytes / 4;
 
-    core::HeteroSystem sys(core::hostFor(spec));
+    core::HeteroSystem sys(scenario.host());
     policy::CoordinatedConfig cfg;
     cfg.adaptive_interval = adaptive;
     cfg.hotness.interval = fixed_interval;
     auto &slot = sys.addVm(
         std::make_unique<policy::CoordinatedPolicy>(cfg),
-        core::GuestSizing{});
+        scenario.sizing());
     return sys.runOne(slot,
                       workload::makeApp(workload::AppId::GraphChi,
-                                        spec.scale));
+                                        scenario.scale));
 }
 
 } // namespace

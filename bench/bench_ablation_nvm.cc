@@ -25,18 +25,18 @@ main()
 
     for (workload::AppId app : workload::allApps) {
         // Symmetric: 150 ns loads and stores, 2 GB/s.
-        auto sym_spec = bench::paperSpec(core::Approach::SlowMemOnly);
-        sym_spec.use_custom_slow = true;
-        sym_spec.custom_slow = mem::nvmSpec(0);
-        sym_spec.custom_slow.store_latency_ns =
-            sym_spec.custom_slow.load_latency_ns;
-        const auto sym = core::runApp(app, sym_spec);
+        auto sym_tier = mem::nvmSpec(0);
+        sym_tier.store_latency_ns = sym_tier.load_latency_ns;
+        const auto sym = core::run(
+            bench::paperScenario(core::Approach::SlowMemOnly)
+                .withApp(app)
+                .withSlowSpec(sym_tier));
 
         // Asymmetric: the Table 1 PCM profile (stores 3x loads).
-        auto nvm_spec = bench::paperSpec(core::Approach::SlowMemOnly);
-        nvm_spec.use_custom_slow = true;
-        nvm_spec.custom_slow = mem::nvmSpec(0);
-        const auto nvm = core::runApp(app, nvm_spec);
+        const auto nvm = core::run(
+            bench::paperScenario(core::Approach::SlowMemOnly)
+                .withApp(app)
+                .withSlowSpec(mem::nvmSpec(0)));
 
         t.row({workload::appName(app), sim::Table::num(sym.seconds()),
                sim::Table::num(nvm.seconds()),

@@ -31,21 +31,19 @@ figure1Sweep()
     return {{2, 2}, {5, 5}, {5, 7}, {5, 9}, {5, 12}};
 }
 
-core::RunSpec
-paperSpec(core::Approach a)
+core::Scenario
+paperScenario(core::Approach a)
 {
-    core::RunSpec spec;
-    spec.approach = a;
-    spec.slow_lat_factor = 5.0;
-    spec.slow_bw_factor = 9.0;
-    spec.scale = benchScale();
     // Capacities scale with the workloads so footprint:capacity
     // ratios — which drive every placement result — match the paper
     // at any scale.
-    spec.fast_bytes = scaledBytes(4 * mem::gib);
-    spec.slow_bytes = scaledBytes(8 * mem::gib);
-    spec.llc_bytes = 16 * mem::mib;
-    return spec;
+    return core::Scenario{}
+        .withApproach(a)
+        .withThrottle(5.0, 9.0)
+        .withScale(benchScale())
+        .withCapacity(scaledBytes(4 * mem::gib),
+                      scaledBytes(8 * mem::gib))
+        .withLlcBytes(16 * mem::mib);
 }
 
 std::uint64_t

@@ -34,8 +34,11 @@ struct ThrottlePoint
 /** The Figure 1/2 sweep points. */
 std::vector<ThrottlePoint> figure1Sweep();
 
-/** Spec preset: Section 5.1 methodology (L:5,B:9, 16 MiB LLC). */
-core::RunSpec paperSpec(core::Approach a);
+/**
+ * Scenario preset: Section 5.1 methodology (L:5,B:9, 16 MiB LLC)
+ * with workloads and capacities scaled together by benchScale().
+ */
+core::Scenario paperScenario(core::Approach a);
 
 /** Scale a capacity with the bench scale (min 1 MiB). */
 std::uint64_t scaledBytes(std::uint64_t bytes);

@@ -48,25 +48,27 @@ main()
 
     for (workload::AppId app : workload::allApps) {
         // FastMem-only baseline.
-        auto spec = bench::paperSpec(core::Approach::FastMemOnly);
-        const auto base = core::runApp(app, spec);
+        const auto base = core::run(
+            bench::paperScenario(core::Approach::FastMemOnly)
+                .withApp(app));
 
         std::vector<std::string> row = {workload::appName(app)};
         for (auto pt : bench::figure1Sweep()) {
-            auto s = bench::paperSpec(core::Approach::SlowMemOnly);
-            s.slow_lat_factor = pt.lat;
-            s.slow_bw_factor = pt.bw;
-            const auto r = core::runApp(app, s);
+            const auto r = core::run(
+                bench::paperScenario(core::Approach::SlowMemOnly)
+                    .withApp(app)
+                    .withThrottle(pt.lat, pt.bw));
             row.push_back(
                 sim::Table::num(core::slowdownFactor(base, r)));
         }
         // Remote NUMA: FastMem across a QPI hop (~1.6x latency,
         // ~1.5x less bandwidth) — the paper's Observation 2 contrast.
-        auto s = bench::paperSpec(core::Approach::SlowMemOnly);
-        s.use_custom_slow = true;
-        s.custom_slow = mem::throttledSpec(1.6, 1.5, s.slow_bytes);
-        s.custom_slow.name = "RemoteNUMA";
-        const auto r = core::runApp(app, s);
+        auto remote = mem::throttledSpec(1.6, 1.5, 0);
+        remote.name = "RemoteNUMA";
+        const auto r = core::run(
+            bench::paperScenario(core::Approach::SlowMemOnly)
+                .withApp(app)
+                .withSlowSpec(remote));
         row.push_back(sim::Table::num(core::slowdownFactor(base, r)));
         fig.row(row);
     }

@@ -27,7 +27,7 @@ main()
     for (workload::AppId app : workload::placementApps) {
         std::vector<std::string> row = {workload::appName(app)};
         for (core::Approach a : approaches) {
-            auto s = bench::paperSpec(a);
+            auto s = bench::paperScenario(a).withApp(app);
             s.fast_bytes = s.slow_bytes / 8;
             auto sys = core::systemFor(s);
             auto &slot = sys->slot(0);

@@ -28,19 +28,21 @@ main()
                 "HeteroOS-coordinated", "FastMem-only"});
 
     for (workload::AppId app : workload::placementApps) {
-        const auto slow = core::runApp(
-            app, bench::paperSpec(core::Approach::SlowMemOnly));
-        const auto fast = core::runApp(
-            app, bench::paperSpec(core::Approach::FastMemOnly));
+        const auto slow = core::run(
+            bench::paperScenario(core::Approach::SlowMemOnly)
+                .withApp(app));
+        const auto fast = core::run(
+            bench::paperScenario(core::Approach::FastMemOnly)
+                .withApp(app));
 
         for (std::size_t ri = 0; ri < 2; ++ri) {
             std::vector<std::string> row = {workload::appName(app),
                                             ratio_labels[ri]};
             for (core::Approach a : approaches) {
-                auto s = bench::paperSpec(a);
+                auto s = bench::paperScenario(a).withApp(app);
                 s.fast_bytes = static_cast<std::uint64_t>(
                     static_cast<double>(s.slow_bytes) * ratios[ri]);
-                const auto r = core::runApp(app, s);
+                const auto r = core::run(s);
                 row.push_back(
                     sim::Table::pct(core::gainPercent(slow, r), 0));
             }

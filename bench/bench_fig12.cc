@@ -23,17 +23,16 @@ struct MigrationRun
 
 MigrationRun
 runWithMigrationCount(workload::AppId app, core::Approach a,
-                      const core::RunSpec &spec)
+                      const core::Scenario &scenario)
 {
-    auto sys = std::make_unique<core::HeteroSystem>(core::hostFor(spec));
+    auto sys = std::make_unique<core::HeteroSystem>(scenario.host());
     auto policy = core::makePolicy(a);
     auto *raw = policy.get();
-    core::GuestSizing sizing;
-    sizing.seed = spec.seed;
-    auto &slot = sys->addVm(std::move(policy), sizing);
+    auto &slot = sys->addVm(std::move(policy), scenario.sizing());
 
     MigrationRun out;
-    out.result = sys->runOne(slot, workload::makeApp(app, spec.scale));
+    out.result =
+        sys->runOne(slot, workload::makeApp(app, scenario.scale));
 
     std::uint64_t migrated = 0;
     if (auto *ve = dynamic_cast<policy::VmmExclusivePolicy *>(raw))
@@ -70,13 +69,15 @@ main()
                 "HeteroOS-coordinated"});
 
     for (workload::AppId app : apps) {
-        auto base_spec = bench::paperSpec(core::Approach::HeapIoSlabOd);
+        auto base_spec =
+            bench::paperScenario(core::Approach::HeapIoSlabOd)
+                .withApp(app);
         base_spec.fast_bytes = base_spec.slow_bytes / 4;
-        const auto base = core::runApp(app, base_spec);
+        const auto base = core::run(base_spec);
 
         std::vector<std::string> row = {workload::appName(app)};
         for (core::Approach a : approaches) {
-            auto s = bench::paperSpec(a);
+            auto s = bench::paperScenario(a);
             s.fast_bytes = s.slow_bytes / 4;
             const auto run = runWithMigrationCount(app, a, s);
             row.push_back(

@@ -162,9 +162,7 @@ workload::Workload::Result
 runSingle(const workload::WorkloadFactory &factory, core::Approach a,
           double scale)
 {
-    auto spec = bench::paperSpec(a);
-    spec.scale = scale;
-    return core::runFactory(factory, spec);
+    return core::run(bench::paperScenario(a).withScale(scale), factory);
 }
 
 } // namespace

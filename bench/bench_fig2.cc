@@ -24,17 +24,18 @@ main()
     fig.header(header);
 
     for (workload::AppId app : workload::allApps) {
-        auto base_spec = bench::paperSpec(core::Approach::FastMemOnly);
-        base_spec.llc_bytes = 48 * mem::mib;
-        const auto base = core::runApp(app, base_spec);
+        const auto base = core::run(
+            bench::paperScenario(core::Approach::FastMemOnly)
+                .withApp(app)
+                .withLlcBytes(48 * mem::mib));
 
         std::vector<std::string> row = {workload::appName(app)};
         for (auto pt : bench::figure1Sweep()) {
-            auto s = bench::paperSpec(core::Approach::SlowMemOnly);
-            s.llc_bytes = 48 * mem::mib;
-            s.slow_lat_factor = pt.lat;
-            s.slow_bw_factor = pt.bw;
-            const auto r = core::runApp(app, s);
+            const auto r = core::run(
+                bench::paperScenario(core::Approach::SlowMemOnly)
+                    .withApp(app)
+                    .withLlcBytes(48 * mem::mib)
+                    .withThrottle(pt.lat, pt.bw));
             row.push_back(
                 sim::Table::num(core::slowdownFactor(base, r)));
         }

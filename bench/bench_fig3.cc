@@ -27,15 +27,17 @@ main()
     fig.header(header);
 
     for (workload::AppId app : workload::allApps) {
-        const auto base = core::runApp(
-            app, bench::paperSpec(core::Approach::FastMemOnly));
+        const auto base = core::run(
+            bench::paperScenario(core::Approach::FastMemOnly)
+                .withApp(app));
 
         std::vector<std::string> row = {workload::appName(app)};
         for (double ratio : ratios) {
-            auto s = bench::paperSpec(core::Approach::HeapIoSlabOd);
+            auto s = bench::paperScenario(core::Approach::HeapIoSlabOd)
+                         .withApp(app);
             s.fast_bytes = static_cast<std::uint64_t>(
                 static_cast<double>(s.slow_bytes) * ratio);
-            const auto r = core::runApp(app, s);
+            const auto r = core::run(s);
             row.push_back(
                 sim::Table::num(core::slowdownFactor(base, r)));
         }

@@ -27,10 +27,12 @@ main()
         workload::AppId::LevelDb};
 
     for (workload::AppId app : apps) {
-        auto spec = bench::paperSpec(core::Approach::HeapIoSlabOd);
-        auto sys = core::systemFor(spec);
+        const auto scenario =
+            bench::paperScenario(core::Approach::HeapIoSlabOd)
+                .withApp(app);
+        auto sys = core::systemFor(scenario);
         auto &slot = sys->slot(0);
-        sys->runOne(slot, workload::makeApp(app, spec.scale));
+        sys->runOne(slot, workload::makeApp(app, scenario.scale));
 
         auto &k = *slot.kernel;
         using PT = guestos::PageType;

@@ -27,13 +27,12 @@ memlatFactory(std::uint64_t wss)
     };
 }
 
-core::RunSpec
-memlatSpec(core::Approach a)
+core::Scenario
+memlatScenario(core::Approach a)
 {
-    auto s = bench::paperSpec(a);
-    s.fast_bytes = bench::scaledBytes(512 * mem::mib);
-    s.slow_bytes = bench::scaledBytes(3584ull * mem::mib);
-    return s;
+    return bench::paperScenario(a).withCapacity(
+        bench::scaledBytes(512 * mem::mib),
+        bench::scaledBytes(3584ull * mem::mib));
 }
 
 } // namespace
@@ -61,7 +60,7 @@ main()
         std::vector<std::string> row = {sim::Table::num(gb, 2)};
         for (auto a : approaches) {
             const auto r =
-                core::runFactory(memlatFactory(wss), memlatSpec(a));
+                core::run(memlatScenario(a), memlatFactory(wss));
             row.push_back(sim::Table::num(r.metric, 0));
         }
         fig.row(row);

@@ -47,10 +47,10 @@ main()
             gb * static_cast<double>(mem::gib)));
         std::vector<std::string> row = {sim::Table::num(gb, 1)};
         for (auto a : approaches) {
-            auto s = bench::paperSpec(a);
-            s.fast_bytes = bench::scaledBytes(512 * mem::mib);
-            s.slow_bytes = bench::scaledBytes(3584ull * mem::mib);
-            const auto r = core::runFactory(streamFactory(wss), s);
+            const auto s = bench::paperScenario(a).withCapacity(
+                bench::scaledBytes(512 * mem::mib),
+                bench::scaledBytes(3584ull * mem::mib));
+            const auto r = core::run(s, streamFactory(wss));
             row.push_back(sim::Table::num(r.metric, 2));
         }
         fig.row(row);

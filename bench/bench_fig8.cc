@@ -21,9 +21,9 @@ main()
     bench::banner("Figure 8: VMM-exclusive tracking/migration overhead");
 
     // Baseline: same homogeneous-speed host, no tracking at all.
-    auto base_spec = bench::paperSpec(core::Approach::FastMemOnly);
-    const auto base =
-        core::runApp(workload::AppId::GraphChi, base_spec);
+    const auto base = core::run(
+        bench::paperScenario(core::Approach::FastMemOnly)
+            .withApp(workload::AppId::GraphChi));
 
     sim::Table fig("Figure 8: runtime overhead on Graphchi (both tiers "
                    "at DRAM speed; overhead is software-only)");

@@ -21,8 +21,9 @@ main()
 
     std::size_t i = 0;
     for (workload::AppId app : workload::allApps) {
-        const auto r = core::runApp(
-            app, bench::paperSpec(core::Approach::FastMemOnly));
+        const auto r = core::run(
+            bench::paperScenario(core::Approach::FastMemOnly)
+                .withApp(app));
         t.row({workload::appName(app), sim::Table::num(r.mpki, 1),
                sim::Table::num(paper_mpki[i++], 1)});
     }

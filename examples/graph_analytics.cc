@@ -31,12 +31,13 @@ main()
     table.header({"ratio", "Heap-IO-Slab-OD", "HeteroOS-LRU",
                   "HeteroOS-coordinated"});
 
-    core::RunSpec base;
-    base.scale = scale;
-    base.slow_bytes = slow;
+    const auto base = core::Scenario{}
+                          .withApp(workload::AppId::GraphChi)
+                          .withScale(scale)
+                          .withSlowBytes(slow);
 
-    base.approach = core::Approach::SlowMemOnly;
-    const auto slow_run = core::runApp(workload::AppId::GraphChi, base);
+    const auto slow_run = core::run(
+        core::Scenario(base).withApproach(core::Approach::SlowMemOnly));
 
     for (double ratio : {0.5, 0.25, 0.125}) {
         std::vector<std::string> row = {
@@ -44,11 +45,10 @@ main()
         for (auto a : {core::Approach::HeapIoSlabOd,
                        core::Approach::HeteroLru,
                        core::Approach::Coordinated}) {
-            auto spec = base;
-            spec.approach = a;
-            spec.fast_bytes = static_cast<std::uint64_t>(
-                static_cast<double>(slow) * ratio);
-            const auto r = core::runApp(workload::AppId::GraphChi, spec);
+            const auto r = core::run(
+                core::Scenario(base).withApproach(a).withFastBytes(
+                    static_cast<std::uint64_t>(
+                        static_cast<double>(slow) * ratio)));
             row.push_back(
                 sim::Table::pct(core::gainPercent(slow_run, r), 0));
         }

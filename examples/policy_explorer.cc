@@ -36,21 +36,21 @@ main(int argc, char **argv)
         header.push_back(core::approachName(a));
     table.header(header);
 
-    core::RunSpec base;
+    core::Scenario base;
     base.scale = scale;
     base.slow_bytes = static_cast<std::uint64_t>(
         scale * 8.0 * static_cast<double>(mem::gib));
     base.fast_bytes = base.slow_bytes / 4;
 
     for (auto app : workload::allApps) {
-        auto spec = base;
+        auto spec = core::Scenario(base).withApp(app);
         spec.approach = core::Approach::SlowMemOnly;
-        const auto slow_run = core::runApp(app, spec);
+        const auto slow_run = core::run(spec);
 
         std::vector<std::string> row = {workload::appName(app)};
         for (auto a : approaches) {
             spec.approach = a;
-            const auto r = core::runApp(app, spec);
+            const auto r = core::run(spec);
             row.push_back(
                 sim::Table::pct(core::gainPercent(slow_run, r), 0));
         }

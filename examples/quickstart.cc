@@ -20,27 +20,29 @@ int
 main()
 {
     // A host with 1 GiB of FastMem (DRAM-class) and 4 GiB of SlowMem
-    // (the paper's L:5,B:9 throttled tier), and the two runs we want
-    // to compare. scale=0.25 keeps the demo quick.
-    core::RunSpec spec;
-    spec.fast_bytes = 1 * mem::gib;
-    spec.slow_bytes = 4 * mem::gib;
-    spec.scale = 0.25;
+    // (the paper's L:5,B:9 throttled tier), and the runs we want to
+    // compare. scale=0.25 keeps the demo quick.
+    const auto scenario = core::Scenario{}
+                              .withApp(workload::AppId::GraphChi)
+                              .withCapacity(1 * mem::gib, 4 * mem::gib)
+                              .withScale(0.25);
 
     sim::Table table("Quickstart: GraphChi PageRank, 1GiB FastMem");
     table.header({"approach", "runtime(s)", "gain vs SlowMem-only"});
 
-    spec.approach = core::Approach::SlowMemOnly;
-    const auto slow = core::runApp(workload::AppId::GraphChi, spec);
+    const auto slow = core::run(
+        core::Scenario(scenario).withApproach(
+            core::Approach::SlowMemOnly));
     table.row({"SlowMem-only", sim::Table::num(slow.seconds()), "-"});
 
-    spec.approach = core::Approach::HeteroLru;
-    const auto hos_run = core::runApp(workload::AppId::GraphChi, spec);
+    const auto hos_run = core::run(
+        core::Scenario(scenario).withApproach(core::Approach::HeteroLru));
     table.row({"HeteroOS-LRU", sim::Table::num(hos_run.seconds()),
                sim::Table::pct(core::gainPercent(slow, hos_run))});
 
-    spec.approach = core::Approach::Coordinated;
-    const auto coord = core::runApp(workload::AppId::GraphChi, spec);
+    const auto coord = core::run(
+        core::Scenario(scenario).withApproach(
+            core::Approach::Coordinated));
     table.row({"HeteroOS-coordinated", sim::Table::num(coord.seconds()),
                sim::Table::pct(core::gainPercent(slow, coord))});
 

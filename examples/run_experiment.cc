@@ -44,49 +44,6 @@ using namespace hos;
 
 namespace {
 
-std::optional<workload::AppId>
-parseApp(const char *s)
-{
-    const struct
-    {
-        const char *name;
-        workload::AppId id;
-    } apps[] = {{"graphchi", workload::AppId::GraphChi},
-                {"xstream", workload::AppId::XStream},
-                {"metis", workload::AppId::Metis},
-                {"leveldb", workload::AppId::LevelDb},
-                {"redis", workload::AppId::Redis},
-                {"nginx", workload::AppId::Nginx}};
-    for (const auto &a : apps) {
-        if (std::strcmp(s, a.name) == 0)
-            return a.id;
-    }
-    return std::nullopt;
-}
-
-std::optional<core::Approach>
-parseApproach(const char *s)
-{
-    const struct
-    {
-        const char *name;
-        core::Approach a;
-    } approaches[] = {{"slow", core::Approach::SlowMemOnly},
-                      {"fast", core::Approach::FastMemOnly},
-                      {"random", core::Approach::Random},
-                      {"numa", core::Approach::NumaPreferred},
-                      {"heap-od", core::Approach::HeapOd},
-                      {"od", core::Approach::HeapIoSlabOd},
-                      {"lru", core::Approach::HeteroLru},
-                      {"vmm", core::Approach::VmmExclusive},
-                      {"coord", core::Approach::Coordinated}};
-    for (const auto &e : approaches) {
-        if (std::strcmp(s, e.name) == 0)
-            return e.a;
-    }
-    return std::nullopt;
-}
-
 void
 usage()
 {
@@ -175,8 +132,9 @@ main(int argc, char **argv)
         return 0;
     }
 
-    const auto app = parseApp(argc > 1 ? argv[1] : "graphchi");
-    const auto approach = parseApproach(argc > 2 ? argv[2] : "lru");
+    const auto app = core::parseApp(argc > 1 ? argv[1] : "graphchi");
+    const auto approach =
+        core::parseApproach(argc > 2 ? argv[2] : "lru");
     const double ratio = argc > 3 ? std::atof(argv[3]) : 0.25;
     const double scale = argc > 4 ? std::atof(argv[4]) : 0.2;
     if (!app || !approach || ratio <= 0.0 || scale <= 0.0 ||
@@ -185,7 +143,8 @@ main(int argc, char **argv)
         return 1;
     }
 
-    core::RunSpec spec;
+    core::Scenario spec;
+    spec.app = *app;
     spec.approach = *approach;
     spec.scale = scale;
     spec.slow_bytes = static_cast<std::uint64_t>(
@@ -197,18 +156,17 @@ main(int argc, char **argv)
     // only pollute the main run's timeline).
     auto base_spec = spec;
     base_spec.approach = core::Approach::SlowMemOnly;
-    const auto base = core::runApp(*app, base_spec);
+    const auto base = core::run(base_spec);
 
     const bool tracing =
         !opt.trace_file.empty() || !opt.trace_csv_file.empty();
-    if (tracing) {
-        trace::tracer().clear();
-        trace::tracer().enable(
-            trace::parseCategories(opt.trace_categories));
-    }
 
     auto sys = core::systemFor(spec);
     auto &slot = sys->slot(0);
+    // The system's own sink, not the process-wide tracer: another
+    // system in this process would not interleave with this timeline.
+    if (tracing)
+        sys->enableTracing(trace::parseCategories(opt.trace_categories));
 
     std::unique_ptr<trace::StatsSnapshotter> snapshotter;
     if (opt.stats_interval_ms > 0.0) {
@@ -220,9 +178,6 @@ main(int argc, char **argv)
 
     const auto res =
         sys->runOne(slot, workload::makeApp(*app, spec.scale));
-
-    if (tracing)
-        trace::tracer().disable();
 
     sim::Table t("Result: " + res.workload + " under " +
                  core::approachName(*approach));
@@ -261,17 +216,16 @@ main(int argc, char **argv)
     pg.print();
 
     // --- Observability exports -------------------------------------
+    trace::Tracer &sink = sys->traceSink();
     if (!opt.trace_file.empty() &&
-        trace::writeChromeJson(trace::tracer(), opt.trace_file)) {
+        trace::writeChromeJson(sink, opt.trace_file)) {
         std::printf("trace: %s (%llu events, %llu dropped)\n",
                     opt.trace_file.c_str(),
-                    static_cast<unsigned long long>(
-                        trace::tracer().size()),
-                    static_cast<unsigned long long>(
-                        trace::tracer().dropped()));
+                    static_cast<unsigned long long>(sink.size()),
+                    static_cast<unsigned long long>(sink.dropped()));
     }
     if (!opt.trace_csv_file.empty() &&
-        trace::writeCsv(trace::tracer(), opt.trace_csv_file)) {
+        trace::writeCsv(sink, opt.trace_csv_file)) {
         std::printf("trace csv: %s\n", opt.trace_csv_file.c_str());
     }
     if (snapshotter && snapshotter->writeJson(opt.stats_out)) {

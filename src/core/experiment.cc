@@ -10,32 +10,6 @@
 
 namespace hos::core {
 
-const char *
-approachName(Approach a)
-{
-    switch (a) {
-      case Approach::SlowMemOnly:
-        return "SlowMem-only";
-      case Approach::FastMemOnly:
-        return "FastMem-only";
-      case Approach::Random:
-        return "Random";
-      case Approach::NumaPreferred:
-        return "NUMA-preferred";
-      case Approach::HeapOd:
-        return "Heap-OD";
-      case Approach::HeapIoSlabOd:
-        return "Heap-IO-Slab-OD";
-      case Approach::HeteroLru:
-        return "HeteroOS-LRU";
-      case Approach::VmmExclusive:
-        return "VMM-exclusive";
-      case Approach::Coordinated:
-        return "HeteroOS-coordinated";
-    }
-    return "?";
-}
-
 std::unique_ptr<policy::ManagementPolicy>
 makePolicy(Approach a)
 {
@@ -62,58 +36,25 @@ makePolicy(Approach a)
     sim::panic("unknown approach");
 }
 
-HostConfig
-hostFor(const RunSpec &spec)
-{
-    HostConfig host;
-    host.llc.size_bytes = spec.llc_bytes;
-
-    if (spec.approach == Approach::FastMemOnly) {
-        // Ideal baseline: FastMem with unlimited capacity.
-        host.fast = mem::dramSpec(spec.fast_bytes + spec.slow_bytes +
-                                  8 * mem::gib);
-        host.has_slow = false;
-        return host;
-    }
-
-    host.fast = mem::dramSpec(spec.fast_bytes);
-    if (spec.use_custom_slow) {
-        host.slow = spec.custom_slow;
-        host.slow.capacity_bytes = spec.slow_bytes;
-    } else {
-        host.slow = mem::throttledSpec(spec.slow_lat_factor,
-                                       spec.slow_bw_factor,
-                                       spec.slow_bytes);
-    }
-    if (spec.approach == Approach::SlowMemOnly) {
-        // The naive floor never touches FastMem; don't even give the
-        // guest a fast node.
-        host.has_fast = false;
-    }
-    return host;
-}
-
 std::unique_ptr<HeteroSystem>
-systemFor(const RunSpec &spec)
+systemFor(const Scenario &s)
 {
-    auto sys = std::make_unique<HeteroSystem>(hostFor(spec));
-    GuestSizing sizing;
-    sizing.seed = spec.seed;
-    sys->addVm(makePolicy(spec.approach), sizing);
+    auto sys = std::make_unique<HeteroSystem>(s.host());
+    sys->addVm(makePolicy(s.approach), s.sizing());
     return sys;
 }
 
 workload::Workload::Result
-runFactory(const workload::WorkloadFactory &factory, const RunSpec &spec)
+run(const Scenario &s, const workload::WorkloadFactory &factory)
 {
-    auto sys = systemFor(spec);
+    auto sys = systemFor(s);
     return sys->runOne(sys->slot(0), factory);
 }
 
 workload::Workload::Result
-runApp(workload::AppId app, const RunSpec &spec)
+run(const Scenario &s)
 {
-    return runFactory(workload::makeApp(app, spec.scale), spec);
+    return run(s, workload::makeApp(s.app, s.scale));
 }
 
 } // namespace hos::core

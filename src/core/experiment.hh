@@ -2,10 +2,11 @@
  * @file
  * Experiment harness shared by the bench binaries.
  *
- * Encodes the evaluation methodology of Section 5.1: host tiers
- * (DRAM FastMem + L:5,B:9 throttled SlowMem by default), the approach
- * zoo (Table 5 plus baselines), capacity-ratio sweeps, and the
- * standard result records every bench prints.
+ * Executes core::Scenario descriptions (see scenario.hh): builds the
+ * host implementing the scenario's Section 5.1 methodology — DRAM
+ * FastMem + L:5,B:9 throttled SlowMem by default — instantiates the
+ * approach under test, and runs the workload. Sweeps over many
+ * scenarios run through core::Sweep (sweep.hh).
  */
 
 #ifndef HOS_CORE_EXPERIMENT_HH
@@ -14,64 +15,52 @@
 #include <memory>
 #include <string>
 
-#include "core/hetero_system.hh"
+#include "core/scenario.hh"
 #include "workload/apps.hh"
 
 namespace hos::core {
 
-/** The evaluated management approaches. */
-enum class Approach {
-    SlowMemOnly,
-    FastMemOnly,
-    Random,
-    NumaPreferred,
-    HeapOd,
-    HeapIoSlabOd,
-    HeteroLru,
-    VmmExclusive,
-    Coordinated,
-};
-
-const char *approachName(Approach a);
-
 /** Policy factory. */
 std::unique_ptr<policy::ManagementPolicy> makePolicy(Approach a);
 
-/** One experiment's knobs. */
-struct RunSpec
+/** Build a single-VM system + policy for a scenario; slot 0 is the VM. */
+std::unique_ptr<HeteroSystem> systemFor(const Scenario &s);
+
+/** Run the scenario's application under its approach. */
+workload::Workload::Result run(const Scenario &s);
+
+/** Run a custom workload factory under the scenario's host/approach. */
+workload::Workload::Result run(const Scenario &s,
+                               const workload::WorkloadFactory &factory);
+
+// --- Deprecated pre-Scenario names ---------------------------------
+//
+// RunSpec and its free functions were replaced by Scenario (a strict
+// field superset) and the run() overloads. These shims keep
+// out-of-tree code compiling with a warning; they will be removed.
+
+using RunSpec [[deprecated("use core::Scenario")]] = Scenario;
+
+[[deprecated("use scenario.host()")]] inline HostConfig
+hostFor(const Scenario &s)
 {
-    Approach approach = Approach::HeteroLru;
+    return s.host();
+}
 
-    /** SlowMem throttle factors (Table 3). */
-    double slow_lat_factor = 5.0;
-    double slow_bw_factor = 9.0;
+[[deprecated("use core::run(scenario)")]] inline workload::Workload::Result
+runApp(workload::AppId app, const Scenario &s)
+{
+    Scenario with_app = s;
+    with_app.app = app;
+    return run(with_app);
+}
 
-    std::uint64_t fast_bytes = 4 * mem::gib;
-    std::uint64_t slow_bytes = 8 * mem::gib;
-
-    /** LLC: 16 MiB (Fig. 1 testbed) or 48 MiB (Fig. 2 emulator). */
-    std::uint64_t llc_bytes = 16 * mem::mib;
-
-    /** Workload scale (tests use small values; benches 1.0). */
-    double scale = 1.0;
-    std::uint64_t seed = 1;
-
-    /** Replace the throttled SlowMem with a custom tier spec. */
-    bool use_custom_slow = false;
-    mem::MemTierSpec custom_slow;
-};
-
-/** Host configuration implementing a RunSpec. */
-HostConfig hostFor(const RunSpec &spec);
-
-/** Build a single-VM system + policy for a spec; slot 0 is the VM. */
-std::unique_ptr<HeteroSystem> systemFor(const RunSpec &spec);
-
-/** Run an application (or any factory) under a spec. */
-workload::Workload::Result runApp(workload::AppId app,
-                                  const RunSpec &spec);
-workload::Workload::Result
-runFactory(const workload::WorkloadFactory &factory, const RunSpec &spec);
+[[deprecated("use core::run(scenario, factory)")]] inline workload::
+    Workload::Result
+    runFactory(const workload::WorkloadFactory &factory, const Scenario &s)
+{
+    return run(s, factory);
+}
 
 } // namespace hos::core
 

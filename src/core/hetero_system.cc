@@ -108,9 +108,17 @@ HeteroSystem::envFor(VmSlot &slot)
     return env;
 }
 
+void
+HeteroSystem::enableTracing(std::uint32_t mask)
+{
+    trace_enabled_ = true;
+    tracer_.enable(mask);
+}
+
 workload::Workload::Result
 HeteroSystem::runOne(VmSlot &slot, const workload::WorkloadFactory &factory)
 {
+    trace::ScopedSink sink(trace_enabled_ ? &tracer_ : nullptr);
     active_vms_ = 1;
     auto wl = factory(envFor(slot));
     return wl->run();
@@ -121,6 +129,7 @@ HeteroSystem::runMany(
     const std::vector<std::pair<VmSlot *, workload::WorkloadFactory>>
         &pairs)
 {
+    trace::ScopedSink sink(trace_enabled_ ? &tracer_ : nullptr);
     std::vector<std::unique_ptr<workload::Workload>> wls;
     wls.reserve(pairs.size());
     for (const auto &[slot, factory] : pairs) {

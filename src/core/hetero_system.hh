@@ -24,6 +24,7 @@
 #include "mem/machine_memory.hh"
 #include "policy/placement_policy.hh"
 #include "sim/stats.hh"
+#include "trace/trace.hh"
 #include "vmm/vmm.hh"
 #include "workload/workload.hh"
 
@@ -96,6 +97,22 @@ class HeteroSystem
     std::size_t numVms() const { return slots_.size(); }
     VmSlot &slot(std::size_t i) { return *slots_[i]; }
 
+    /**
+     * Opt this system into its own trace sink: while runOne/runMany
+     * execute, events emitted on the running thread land in
+     * traceSink() instead of the process-wide trace::tracer().
+     * Multiple systems (e.g. parallel sweep points) each keep their
+     * own event stream. Systems that never call this keep the legacy
+     * behavior — events go to the global tracer if it is enabled.
+     */
+    void enableTracing(
+        std::uint32_t mask = static_cast<std::uint32_t>(
+            trace::Category::All));
+    bool tracingEnabled() const { return trace_enabled_; }
+
+    /** This system's private trace ring (see enableTracing). */
+    trace::Tracer &traceSink() { return tracer_; }
+
     /** Build the workload environment for a VM. */
     workload::VmEnv envFor(VmSlot &slot);
 
@@ -118,6 +135,8 @@ class HeteroSystem
     std::unique_ptr<vmm::Vmm> vmm_;
     std::vector<std::unique_ptr<VmSlot>> slots_;
     sim::StatRegistry registry_;
+    trace::Tracer tracer_;
+    bool trace_enabled_ = false;
     unsigned active_vms_ = 1;
 };
 

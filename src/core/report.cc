@@ -45,9 +45,8 @@ makeRunRecord(const workload::Workload::Result &result,
 }
 
 void
-writeResultsJson(std::ostream &os, const RunRecord &record)
+writeRunRecord(sim::JsonWriter &w, const RunRecord &record)
 {
-    sim::JsonWriter w(os);
     w.beginObject();
     w.kv("app", record.app);
     w.kv("approach", record.approach);
@@ -65,6 +64,13 @@ writeResultsJson(std::ostream &os, const RunRecord &record)
         w.kv(name, value);
     w.endObject();
     w.endObject();
+}
+
+void
+writeResultsJson(std::ostream &os, const RunRecord &record)
+{
+    sim::JsonWriter w(os);
+    writeRunRecord(w, record);
     os << '\n';
     hos_assert(w.balanced(), "unbalanced results JSON");
 }

@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/json.hh"
 #include "workload/workload.hh"
 
 namespace hos::core {
@@ -49,6 +50,13 @@ struct RunRecord
 /** Fill the workload-derived fields of a record from a result. */
 RunRecord makeRunRecord(const workload::Workload::Result &result,
                         const std::string &approach);
+
+/**
+ * Emit one record as a JSON object through an already-open writer —
+ * the shared element form used both by single-run results files and
+ * by the sweep aggregate's "runs" array.
+ */
+void writeRunRecord(sim::JsonWriter &w, const RunRecord &record);
 
 /** Write one record as a JSON object ({"app":...,"extra":{...}}). */
 void writeResultsJson(std::ostream &os, const RunRecord &record);

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Declarative experiment sweeps and the parallel runner.
+ *
+ * A Sweep is a base Scenario plus named axes; the cartesian product
+ * of the axis values expands into one Scenario per point:
+ *
+ *   core::Sweep sweep(core::Scenario{}.withScale(0.3));
+ *   sweep.approaches({Approach::HeteroLru, Approach::Coordinated})
+ *        .axis("slow_lat_factor", {2.0, 5.0, 8.0});
+ *   core::SweepRunner runner(sweep);
+ *   auto results = runner.run(8);   // 6 points across 8 threads
+ *
+ * Expansion is row-major: the first axis varies slowest, so results
+ * group naturally by the outer axis. Points never share mutable
+ * state — each gets its own HeteroSystem, a thread-local sim tick,
+ * and a seed that depends only on the spec — so a parallel run
+ * produces bit-identical RunRecords to a serial one, in the same
+ * order. This is a tested invariant (test_sweep.cc), not an
+ * aspiration.
+ *
+ * Axis values are carried as JSON scalar texts ("coord", "5", "0.3")
+ * and applied through applyScenarioParam, so every scenario key is
+ * sweepable and sweeps round-trip through JSON files.
+ */
+
+#ifndef HOS_CORE_SWEEP_HH
+#define HOS_CORE_SWEEP_HH
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/report.hh"
+#include "core/scenario.hh"
+
+namespace hos::core {
+
+/** One sweep dimension: a scenario key and its values (scalar text). */
+struct SweepAxis
+{
+    std::string key;
+    std::vector<std::string> values;
+};
+
+/** One expanded point of the cartesian product. */
+struct SweepPoint
+{
+    std::size_t index = 0; ///< row-major position in the product
+    Scenario scenario;     ///< base + this point's axis values
+    /** The (key, value) assignment that produced this point. */
+    std::vector<std::pair<std::string, std::string>> params;
+};
+
+/** A base scenario plus the axes to vary. */
+class Sweep
+{
+  public:
+    Sweep() = default;
+    explicit Sweep(Scenario base) : base_(std::move(base)) {}
+
+    Scenario &base() { return base_; }
+    const Scenario &base() const { return base_; }
+
+    /** Add an axis with pre-rendered scalar values. */
+    Sweep &axis(const std::string &key,
+                std::vector<std::string> values);
+    /** Numeric axis; integral values render without exponent. */
+    Sweep &axis(const std::string &key,
+                const std::vector<double> &values);
+
+    /** Shorthand for the two most-swept axes. */
+    Sweep &approaches(const std::vector<Approach> &as);
+    Sweep &apps(const std::vector<workload::AppId> &ids);
+
+    /**
+     * Run every point `n` times with decorrelated seeds: adds a
+     * "seed" axis whose r-th value is sim::deriveSeed(base.seed, r).
+     * Deterministic — the seeds depend only on the base scenario,
+     * never on scheduling.
+     */
+    Sweep &replicas(unsigned n);
+
+    const std::vector<SweepAxis> &axes() const { return axes_; }
+
+    /** Product of the axis sizes (1 for an axis-less sweep). */
+    std::size_t numPoints() const;
+
+    /**
+     * Expand the cartesian product. An unknown key or bad value
+     * yields an empty vector with a message in `error`.
+     */
+    std::vector<SweepPoint> points(std::string *error = nullptr) const;
+
+  private:
+    Scenario base_;
+    std::vector<SweepAxis> axes_;
+};
+
+/** Serialize ({"base": {...}, "axes": {"key": [...], ...}}). */
+void sweepToJson(sim::JsonWriter &w, const Sweep &sweep);
+
+/** Deserialize; nullopt + `error` on malformed input. */
+std::optional<Sweep> sweepFromJson(const sim::JsonValue &v,
+                                   std::string *error = nullptr);
+
+/** Load a sweep file (JSON with // comments, trailing commas OK). */
+std::optional<Sweep> loadSweep(const std::string &path,
+                               std::string *error = nullptr);
+
+/** One executed point: where it sat in the product and what it got. */
+struct SweepResult
+{
+    SweepPoint point;
+    RunRecord record;
+};
+
+/**
+ * Executes a Sweep's points across a thread pool. Work distribution
+ * is a single atomic counter into the pre-expanded point list;
+ * results land at their point's index, so the output order — and,
+ * because points are isolated, every byte of it — is independent of
+ * the thread count.
+ */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(Sweep sweep) : sweep_(std::move(sweep)) {}
+
+    /**
+     * Progress hook, called once per completed point under an
+     * internal mutex (so it may print). Completion order is
+     * scheduling-dependent; only the returned vector is ordered.
+     */
+    void onPointDone(std::function<void(const SweepResult &)> cb)
+    {
+        on_done_ = std::move(cb);
+    }
+
+    /**
+     * Run every point and return results in point order.
+     * @param jobs worker threads; 0 = hardware concurrency, 1 = run
+     *             serially on the calling thread (no threads spawned).
+     */
+    std::vector<SweepResult> run(unsigned jobs = 1);
+
+    const Sweep &sweep() const { return sweep_; }
+
+  private:
+    Sweep sweep_;
+    std::function<void(const SweepResult &)> on_done_;
+};
+
+/**
+ * Write the aggregate results file: the sweep description plus one
+ * entry per point, each embedding a PR-1-compatible RunRecord object.
+ * Contains no wall-clock anything — two runs of the same sweep are
+ * byte-identical.
+ */
+void writeSweepResultsJson(std::ostream &os, const Sweep &sweep,
+                           const std::vector<SweepResult> &results);
+bool writeSweepResultsJson(const std::string &path, const Sweep &sweep,
+                           const std::vector<SweepResult> &results);
+
+} // namespace hos::core
+
+#endif // HOS_CORE_SWEEP_HH

@@ -2,6 +2,9 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 #include "sim/log.hh"
 
@@ -148,6 +151,362 @@ JsonWriter::value(bool v)
 {
     separate();
     os_ << (v ? "true" : "false");
+}
+
+// --- Parser ---------------------------------------------------------
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : object) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+bool
+JsonValue::asBool(bool dflt) const
+{
+    return kind == Kind::Bool ? boolean : dflt;
+}
+
+double
+JsonValue::asDouble(double dflt) const
+{
+    return kind == Kind::Number ? number : dflt;
+}
+
+std::uint64_t
+JsonValue::asU64(std::uint64_t dflt) const
+{
+    if (kind != Kind::Number || number < 0.0)
+        return dflt;
+    // Integral lexemes convert exactly; the double would round past
+    // 2^53.
+    if (!number_text.empty() &&
+        number_text.find_first_not_of("0123456789") == std::string::npos)
+        return std::strtoull(number_text.c_str(), nullptr, 10);
+    return static_cast<std::uint64_t>(number);
+}
+
+std::string
+JsonValue::asString(const std::string &dflt) const
+{
+    return kind == Kind::String ? string : dflt;
+}
+
+std::string
+JsonValue::scalarText() const
+{
+    switch (kind) {
+      case Kind::Null:
+        return "null";
+      case Kind::Bool:
+        return boolean ? "true" : "false";
+      case Kind::Number:
+        return number_text.empty() ? jsonNumber(number) : number_text;
+      case Kind::String:
+        return string;
+      case Kind::Array:
+      case Kind::Object:
+        return "";
+    }
+    return "";
+}
+
+namespace {
+
+/** Recursive-descent JSON parser with line tracking for errors. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *error)
+        : text_(text), error_(error)
+    {}
+
+    std::optional<JsonValue>
+    parse()
+    {
+        JsonValue v;
+        if (!parseValue(v))
+            return std::nullopt;
+        skipWs();
+        if (pos_ != text_.size()) {
+            fail("trailing content after document");
+            return std::nullopt;
+        }
+        return v;
+    }
+
+  private:
+    bool
+    fail(const std::string &what)
+    {
+        if (error_ && error_->empty())
+            *error_ = "line " + std::to_string(line_) + ": " + what;
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '\n') {
+                ++line_;
+                ++pos_;
+            } else if (c == ' ' || c == '\t' || c == '\r') {
+                ++pos_;
+            } else if (c == '/' && pos_ + 1 < text_.size() &&
+                       text_[pos_ + 1] == '/') {
+                // Config convenience: // comment to end of line.
+                while (pos_ < text_.size() && text_[pos_] != '\n')
+                    ++pos_;
+            } else {
+                break;
+            }
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    parseLiteral(const char *lit)
+    {
+        const std::size_t n = std::char_traits<char>::length(lit);
+        if (text_.compare(pos_, n, lit) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return fail("expected string");
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c == '\n')
+                return fail("unterminated string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return fail("unterminated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                  if (pos_ + 4 > text_.size())
+                      return fail("truncated \\u escape");
+                  unsigned cp = 0;
+                  for (int i = 0; i < 4; ++i) {
+                      const char h = text_[pos_++];
+                      cp <<= 4;
+                      if (h >= '0' && h <= '9')
+                          cp |= static_cast<unsigned>(h - '0');
+                      else if (h >= 'a' && h <= 'f')
+                          cp |= static_cast<unsigned>(h - 'a' + 10);
+                      else if (h >= 'A' && h <= 'F')
+                          cp |= static_cast<unsigned>(h - 'A' + 10);
+                      else
+                          return fail("bad \\u escape digit");
+                  }
+                  // UTF-8 encode the BMP code point (the writer never
+                  // emits surrogate pairs; accept and encode as-is).
+                  if (cp < 0x80) {
+                      out += static_cast<char>(cp);
+                  } else if (cp < 0x800) {
+                      out += static_cast<char>(0xC0 | (cp >> 6));
+                      out += static_cast<char>(0x80 | (cp & 0x3F));
+                  } else {
+                      out += static_cast<char>(0xE0 | (cp >> 12));
+                      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+                      out += static_cast<char>(0x80 | (cp & 0x3F));
+                  }
+                  break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+'))
+            ++pos_;
+        bool digits = false;
+        auto eatDigits = [&] {
+            while (pos_ < text_.size() && text_[pos_] >= '0' &&
+                   text_[pos_] <= '9') {
+                ++pos_;
+                digits = true;
+            }
+        };
+        eatDigits();
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            eatDigits();
+        }
+        if (digits && pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '-' || text_[pos_] == '+'))
+                ++pos_;
+            eatDigits();
+        }
+        if (!digits) {
+            pos_ = start;
+            return fail("expected number");
+        }
+        out.kind = JsonValue::Kind::Number;
+        out.number = std::strtod(text_.c_str() + start, nullptr);
+        out.number_text = text_.substr(start, pos_ - start);
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        const char c = text_[pos_];
+        if (c == '{') {
+            ++pos_;
+            out.kind = JsonValue::Kind::Object;
+            skipWs();
+            if (consume('}'))
+                return true;
+            for (;;) {
+                std::string key;
+                skipWs();
+                if (pos_ < text_.size() && text_[pos_] == '}') {
+                    ++pos_; // trailing comma
+                    return true;
+                }
+                if (!parseString(key))
+                    return false;
+                if (!consume(':'))
+                    return fail("expected ':' after key");
+                JsonValue v;
+                if (!parseValue(v))
+                    return false;
+                out.object.emplace_back(std::move(key), std::move(v));
+                if (consume(','))
+                    continue;
+                if (consume('}'))
+                    return true;
+                return fail("expected ',' or '}' in object");
+            }
+        }
+        if (c == '[') {
+            ++pos_;
+            out.kind = JsonValue::Kind::Array;
+            skipWs();
+            if (consume(']'))
+                return true;
+            for (;;) {
+                skipWs();
+                if (pos_ < text_.size() && text_[pos_] == ']') {
+                    ++pos_; // trailing comma
+                    return true;
+                }
+                JsonValue v;
+                if (!parseValue(v))
+                    return false;
+                out.array.push_back(std::move(v));
+                if (consume(','))
+                    continue;
+                if (consume(']'))
+                    return true;
+                return fail("expected ',' or ']' in array");
+            }
+        }
+        if (c == '"') {
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.string);
+        }
+        if (c == 't') {
+            if (!parseLiteral("true"))
+                return fail("bad literal");
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return true;
+        }
+        if (c == 'f') {
+            if (!parseLiteral("false"))
+                return fail("bad literal");
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return true;
+        }
+        if (c == 'n') {
+            if (!parseLiteral("null"))
+                return fail("bad literal");
+            out.kind = JsonValue::Kind::Null;
+            return true;
+        }
+        return parseNumber(out);
+    }
+
+    const std::string &text_;
+    std::string *error_;
+    std::size_t pos_ = 0;
+    std::size_t line_ = 1;
+};
+
+} // namespace
+
+std::optional<JsonValue>
+jsonParse(const std::string &text, std::string *error)
+{
+    if (error)
+        error->clear();
+    return Parser(text, error).parse();
+}
+
+std::optional<JsonValue>
+jsonParseFile(const std::string &path, std::string *error)
+{
+    std::ifstream is(path);
+    if (!is) {
+        if (error)
+            *error = "cannot open '" + path + "'";
+        return std::nullopt;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    return jsonParse(buf.str(), error);
 }
 
 } // namespace hos::sim

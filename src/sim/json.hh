@@ -1,20 +1,27 @@
 /**
  * @file
- * Minimal streaming JSON writer.
+ * Minimal JSON support: a streaming writer and a small DOM parser.
  *
  * Every machine-readable artifact the simulator emits (Chrome traces,
- * stats time-series, results.json) goes through this one writer so
+ * stats time-series, results.json) goes through the one writer so
  * escaping and number formatting stay consistent and deterministic.
  * The writer is strictly streaming — no DOM — because traces can hold
  * tens of thousands of records.
+ *
+ * The parser is the opposite trade-off: scenario and sweep files are
+ * tiny, so a recursive-descent parse into a JsonValue tree keeps the
+ * loading code simple. It accepts strict JSON plus two conveniences
+ * for hand-written configs: // line comments and trailing commas.
  */
 
 #ifndef HOS_SIM_JSON_HH
 #define HOS_SIM_JSON_HH
 
 #include <cstdint>
+#include <optional>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace hos::sim {
@@ -76,6 +83,64 @@ class JsonWriter
     std::vector<bool> stack_; ///< per container: has at least one item
     bool pending_key_ = false;
 };
+
+/**
+ * One node of a parsed JSON document. Plain aggregate — configuration
+ * files are small enough that a copyable tree beats accessor
+ * ceremony. Object members keep their source order.
+ */
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    /**
+     * A number's source lexeme, verbatim. Doubles only carry 53
+     * mantissa bits, so byte counts (1 TiB = 13 digits) and 64-bit
+     * seeds would corrupt if re-rendered from `number`; scalarText()
+     * and asU64() prefer this exact text.
+     */
+    std::string number_text;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Object member by key, or nullptr (also when not an object). */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Typed reads with a fallback when the kind doesn't match. */
+    bool asBool(bool dflt = false) const;
+    double asDouble(double dflt = 0.0) const;
+    std::uint64_t asU64(std::uint64_t dflt = 0) const;
+    std::string asString(const std::string &dflt = "") const;
+
+    /**
+     * The value as a scalar literal: numbers/bools/null render as
+     * they would in JSON, strings unquoted. Sweep axes use this to
+     * carry heterogeneous JSON scalars uniformly.
+     */
+    std::string scalarText() const;
+};
+
+/**
+ * Parse a complete JSON document. Returns nullopt on malformed input
+ * and, when `error` is given, a "line N: what" description.
+ */
+std::optional<JsonValue> jsonParse(const std::string &text,
+                                   std::string *error = nullptr);
+
+/** As above, reading `path`; reports unreadable files via `error`. */
+std::optional<JsonValue> jsonParseFile(const std::string &path,
+                                       std::string *error = nullptr);
 
 } // namespace hos::sim
 

@@ -7,7 +7,12 @@ namespace hos::sim {
 
 namespace {
 int g_log_level = 0;
-Tick g_current_tick = 0;
+/**
+ * Thread-local so concurrent sweep workers each carry the clock of
+ * the simulation they are running: tick-stamped logs and trace
+ * timestamps stay per-run consistent instead of racing on one global.
+ */
+thread_local Tick t_current_tick = 0;
 } // namespace
 
 void
@@ -25,13 +30,13 @@ logLevel()
 Tick
 currentTick()
 {
-    return g_current_tick;
+    return t_current_tick;
 }
 
 void
 setCurrentTick(Tick t)
 {
-    g_current_tick = t;
+    t_current_tick = t;
 }
 
 namespace {
@@ -49,7 +54,7 @@ void
 vreportTimed(const char *tag, const char *fmt, va_list ap)
 {
     std::fprintf(stderr, "%s: [t=%.3fms] ", tag,
-                 toMilliseconds(g_current_tick));
+                 toMilliseconds(t_current_tick));
     std::vfprintf(stderr, fmt, ap);
     std::fprintf(stderr, "\n");
 }

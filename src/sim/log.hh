@@ -31,7 +31,8 @@ int logLevel();
  * tracer uses it as the default timestamp for components that have no
  * event queue of their own (devices, swap). With several guests in
  * lockstep this is the clock of whichever queue last ran — exact per
- * VM, causally ordered across VMs.
+ * VM, causally ordered across VMs. The tick is thread-local: parallel
+ * sweep workers each carry the clock of their own simulation.
  */
 Tick currentTick();
 void setCurrentTick(Tick t);

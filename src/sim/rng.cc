@@ -89,6 +89,26 @@ Rng::chance(double p)
 }
 
 std::uint64_t
+deriveSeed(std::uint64_t base, std::uint64_t stream)
+{
+    // Feed both words through the SplitMix64 permutation; the golden-
+    // gamma increment decorrelates consecutive stream indices.
+    std::uint64_t x = base ^ 0xA3EC647659359ACDull;
+    (void)splitMix64(x);
+    x ^= stream;
+    std::uint64_t s = splitMix64(x);
+    // Never hand out 0: xoshiro's all-zero state is degenerate and a
+    // zero seed reads as "default" in too many places.
+    return s ? s : 0x9E3779B97F4A7C15ull;
+}
+
+std::uint64_t
+deriveSeed(std::uint64_t base, std::uint64_t s1, std::uint64_t s2)
+{
+    return deriveSeed(deriveSeed(base, s1), s2);
+}
+
+std::uint64_t
 Rng::zipf(std::uint64_t n, double s)
 {
     hos_assert(n > 0, "zipf requires a non-empty range");

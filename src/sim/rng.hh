@@ -50,6 +50,22 @@ class Rng
     std::uint64_t state[4];
 };
 
+/**
+ * Derive an independent seed from a base seed and a stream index.
+ *
+ * A pure SplitMix64 mix with no shared state, so it is safe to call
+ * concurrently from sweep worker threads, and the derived seed
+ * depends only on (base, stream) — never on which thread or in what
+ * order the points execute. Used for per-replica seeding in
+ * core::Sweep; distinct streams give statistically independent Rng
+ * sequences.
+ */
+std::uint64_t deriveSeed(std::uint64_t base, std::uint64_t stream);
+
+/** Two-index variant (e.g. replica x VM). */
+std::uint64_t deriveSeed(std::uint64_t base, std::uint64_t s1,
+                         std::uint64_t s2);
+
 } // namespace hos::sim
 
 #endif // HOS_SIM_RNG_HH

@@ -81,7 +81,7 @@ TEST(Policies, VmmExclusiveCollapsesTopology)
 
 TEST(Policies, VmmExclusiveInstallsBackingOracle)
 {
-    auto spec = core::RunSpec{};
+    auto spec = core::Scenario{};
     spec.approach = core::Approach::VmmExclusive;
     spec.fast_bytes = 8 * mem::mib;
     spec.slow_bytes = 32 * mem::mib;
@@ -103,7 +103,7 @@ TEST(Policies, VmmExclusiveInstallsBackingOracle)
 
 TEST(Policies, CoordinatedSchedulesDaemons)
 {
-    auto spec = core::RunSpec{};
+    auto spec = core::Scenario{};
     spec.approach = core::Approach::Coordinated;
     spec.fast_bytes = 8 * mem::mib;
     spec.slow_bytes = 32 * mem::mib;

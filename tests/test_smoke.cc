@@ -13,26 +13,19 @@ namespace {
 
 using namespace hos;
 
-core::RunSpec
-tinySpec(core::Approach a)
+core::Scenario
+tinyScenario(core::Approach a)
 {
-    core::RunSpec spec;
-    spec.approach = a;
-    spec.fast_bytes = 256 * mem::mib;
-    spec.slow_bytes = 1 * mem::gib;
-    spec.scale = 0.02;
-    return spec;
+    return core::Scenario{}
+        .withApproach(a)
+        .withCapacity(256 * mem::mib, 1 * mem::gib)
+        .withScale(0.02);
 }
 
 TEST(Smoke, EveryApproachRunsGraphChi)
 {
-    for (core::Approach a :
-         {core::Approach::SlowMemOnly, core::Approach::FastMemOnly,
-          core::Approach::Random, core::Approach::NumaPreferred,
-          core::Approach::HeapOd, core::Approach::HeapIoSlabOd,
-          core::Approach::HeteroLru, core::Approach::VmmExclusive,
-          core::Approach::Coordinated}) {
-        auto res = core::runApp(workload::AppId::GraphChi, tinySpec(a));
+    for (core::Approach a : core::allApproaches) {
+        auto res = core::run(tinyScenario(a));
         EXPECT_GT(res.elapsed, 0u) << core::approachName(a);
         EXPECT_GT(res.phases, 0u) << core::approachName(a);
     }
@@ -41,17 +34,16 @@ TEST(Smoke, EveryApproachRunsGraphChi)
 TEST(Smoke, EveryAppRunsUnderHeteroLru)
 {
     for (workload::AppId app : workload::allApps) {
-        auto res = core::runApp(app, tinySpec(core::Approach::HeteroLru));
+        auto res = core::run(
+            tinyScenario(core::Approach::HeteroLru).withApp(app));
         EXPECT_GT(res.elapsed, 0u) << workload::appName(app);
     }
 }
 
 TEST(Smoke, FastMemOnlyBeatsSlowMemOnly)
 {
-    auto fast = core::runApp(workload::AppId::GraphChi,
-                             tinySpec(core::Approach::FastMemOnly));
-    auto slow = core::runApp(workload::AppId::GraphChi,
-                             tinySpec(core::Approach::SlowMemOnly));
+    auto fast = core::run(tinyScenario(core::Approach::FastMemOnly));
+    auto slow = core::run(tinyScenario(core::Approach::SlowMemOnly));
     EXPECT_LT(fast.elapsed, slow.elapsed);
     EXPECT_GT(core::slowdownFactor(fast, slow), 1.05);
 }

@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Scenario & Sweep API: JSON round-trips, cartesian expansion order,
+ * the parallel runner's bit-identity guarantee, and per-system trace
+ * sink isolation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/experiment.hh"
+#include "core/sweep.hh"
+#include "sim/rng.hh"
+#include "test_helpers.hh"
+#include "trace/trace.hh"
+
+namespace {
+
+using namespace hos;
+
+core::Scenario
+tinyBase()
+{
+    return core::Scenario{}
+        .withCapacity(128 * mem::mib, 512 * mem::mib)
+        .withScale(0.02);
+}
+
+TEST(Scenario, JsonRoundTripPreservesEveryField)
+{
+    auto s = core::Scenario{}
+                 .withApp(workload::AppId::Redis)
+                 .withApproach(core::Approach::Coordinated)
+                 .withThrottle(3.0, 7.0)
+                 .withCapacity(1 * mem::gib, 1024 * mem::gib)
+                 .withLlcBytes(48 * mem::mib)
+                 .withScale(0.37)
+                 .withSeed(12345)
+                 .withCpus(8)
+                 .withName("round-trip");
+
+    std::string error;
+    const auto doc = sim::jsonParse(core::scenarioToJson(s), &error);
+    ASSERT_TRUE(doc) << error;
+    const auto back = core::scenarioFromJson(*doc, &error);
+    ASSERT_TRUE(back) << error;
+
+    EXPECT_EQ(back->app, s.app);
+    EXPECT_EQ(back->approach, s.approach);
+    EXPECT_DOUBLE_EQ(back->slow_lat_factor, s.slow_lat_factor);
+    EXPECT_DOUBLE_EQ(back->slow_bw_factor, s.slow_bw_factor);
+    // 1 TiB has 13 decimal digits — catches float-formatted sizes.
+    EXPECT_EQ(back->fast_bytes, s.fast_bytes);
+    EXPECT_EQ(back->slow_bytes, s.slow_bytes);
+    EXPECT_EQ(back->llc_bytes, s.llc_bytes);
+    EXPECT_DOUBLE_EQ(back->scale, s.scale);
+    EXPECT_EQ(back->seed, s.seed);
+    EXPECT_EQ(back->cpus, s.cpus);
+    EXPECT_EQ(back->name, s.name);
+    EXPECT_FALSE(back->slow_override);
+
+    // And a second serialization is byte-identical.
+    EXPECT_EQ(core::scenarioToJson(*back), core::scenarioToJson(s));
+}
+
+TEST(Scenario, SlowOverrideRoundTrips)
+{
+    auto nvm = mem::throttledSpec(5.0, 8.0, 0);
+    nvm.name = "NVM";
+    const auto s = tinyBase().withSlowSpec(nvm);
+
+    std::string error;
+    const auto doc = sim::jsonParse(core::scenarioToJson(s), &error);
+    ASSERT_TRUE(doc) << error;
+    const auto back = core::scenarioFromJson(*doc, &error);
+    ASSERT_TRUE(back) << error;
+    ASSERT_TRUE(back->slow_override);
+    EXPECT_EQ(back->slow_override->name, "NVM");
+    EXPECT_DOUBLE_EQ(back->slow_override->load_latency_ns,
+                     nvm.load_latency_ns);
+    EXPECT_DOUBLE_EQ(back->slow_override->bandwidth_gbps,
+                     nvm.bandwidth_gbps);
+
+    // The override drives the host's slow tier; capacity still comes
+    // from slow_bytes.
+    const auto host = back->host();
+    EXPECT_EQ(host.slow.name, "NVM");
+    EXPECT_EQ(host.slow.capacity_bytes, back->slow_bytes);
+}
+
+TEST(Scenario, LoadScenarioAcceptsCommentsAndTrailingCommas)
+{
+    const std::string path = "scenario_tmp_test.json";
+    {
+        std::ofstream os(path);
+        os << "// tiny testbed\n"
+              "{\n"
+              "  \"app\": \"leveldb\",\n"
+              "  \"approach\": \"coord\",\n"
+              "  \"scale\": 0.05,\n"
+              "}\n";
+    }
+    std::string error;
+    const auto s = core::loadScenario(path, &error);
+    std::remove(path.c_str());
+    ASSERT_TRUE(s) << error;
+    EXPECT_EQ(s->app, workload::AppId::LevelDb);
+    EXPECT_EQ(s->approach, core::Approach::Coordinated);
+    EXPECT_DOUBLE_EQ(s->scale, 0.05);
+}
+
+TEST(Scenario, BadParamsAreRejectedWithContext)
+{
+    core::Scenario s;
+    std::string error;
+    EXPECT_FALSE(core::applyScenarioParam(s, "no_such_key", "1", &error));
+    EXPECT_NE(error.find("no_such_key"), std::string::npos);
+    EXPECT_FALSE(core::applyScenarioParam(s, "approach", "bogus", &error));
+    EXPECT_FALSE(core::applyScenarioParam(s, "scale", "fast", &error));
+    // The failed applications left the scenario untouched.
+    EXPECT_DOUBLE_EQ(s.scale, 1.0);
+    EXPECT_EQ(s.approach, core::Approach::HeteroLru);
+}
+
+TEST(Sweep, ExpansionIsRowMajor)
+{
+    core::Sweep sweep(tinyBase());
+    sweep.approaches({core::Approach::SlowMemOnly,
+                      core::Approach::HeteroLru})
+        .axis("slow_lat_factor", std::vector<double>{2.0, 5.0, 8.0});
+
+    EXPECT_EQ(sweep.numPoints(), 6u);
+    std::string error;
+    const auto points = sweep.points(&error);
+    ASSERT_EQ(points.size(), 6u) << error;
+
+    // First axis varies slowest: slow×{2,5,8}, then lru×{2,5,8}.
+    EXPECT_EQ(points[0].scenario.approach, core::Approach::SlowMemOnly);
+    EXPECT_DOUBLE_EQ(points[0].scenario.slow_lat_factor, 2.0);
+    EXPECT_DOUBLE_EQ(points[2].scenario.slow_lat_factor, 8.0);
+    EXPECT_EQ(points[3].scenario.approach, core::Approach::HeteroLru);
+    EXPECT_DOUBLE_EQ(points[3].scenario.slow_lat_factor, 2.0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        EXPECT_EQ(points[i].index, i);
+        ASSERT_EQ(points[i].params.size(), 2u);
+        EXPECT_EQ(points[i].params[0].first, "approach");
+        EXPECT_EQ(points[i].params[1].first, "slow_lat_factor");
+    }
+}
+
+TEST(Sweep, ReplicasAddDerivedSeedAxis)
+{
+    core::Sweep sweep(tinyBase().withSeed(7));
+    sweep.replicas(3);
+    ASSERT_EQ(sweep.axes().size(), 1u);
+    EXPECT_EQ(sweep.axes()[0].key, "seed");
+    ASSERT_EQ(sweep.axes()[0].values.size(), 3u);
+
+    std::string error;
+    const auto points = sweep.points(&error);
+    ASSERT_EQ(points.size(), 3u) << error;
+    for (unsigned r = 0; r < 3; ++r)
+        EXPECT_EQ(points[r].scenario.seed, sim::deriveSeed(7, r));
+    EXPECT_NE(points[0].scenario.seed, points[1].scenario.seed);
+}
+
+TEST(Sweep, UnknownAxisKeyFailsExpansion)
+{
+    core::Sweep sweep(tinyBase());
+    sweep.axis("not_a_field", std::vector<std::string>{"1", "2"});
+    std::string error;
+    EXPECT_TRUE(sweep.points(&error).empty());
+    EXPECT_NE(error.find("not_a_field"), std::string::npos);
+}
+
+TEST(Sweep, JsonRoundTrip)
+{
+    core::Sweep sweep(tinyBase().withApp(workload::AppId::Metis));
+    sweep.approaches({core::Approach::HeteroLru,
+                      core::Approach::Coordinated})
+        .axis("scale", std::vector<double>{0.02, 0.04});
+
+    std::ostringstream os;
+    {
+        sim::JsonWriter w(os);
+        core::sweepToJson(w, sweep);
+    }
+    std::string error;
+    const auto doc = sim::jsonParse(os.str(), &error);
+    ASSERT_TRUE(doc) << error;
+    const auto back = core::sweepFromJson(*doc, &error);
+    ASSERT_TRUE(back) << error;
+
+    EXPECT_EQ(back->base().app, workload::AppId::Metis);
+    ASSERT_EQ(back->axes().size(), 2u);
+    EXPECT_EQ(back->axes()[0].key, "approach");
+    EXPECT_EQ(back->axes()[1].key, "scale");
+    EXPECT_EQ(back->numPoints(), 4u);
+
+    std::ostringstream os2;
+    {
+        sim::JsonWriter w(os2);
+        core::sweepToJson(w, *back);
+    }
+    EXPECT_EQ(os2.str(), os.str());
+}
+
+/**
+ * The tentpole invariant: a 12-point sweep on 8 threads produces the
+ * same bytes as the serial run — every RunRecord, in the same order.
+ */
+TEST(SweepRunner, ParallelRunIsBitIdenticalToSerial)
+{
+    core::Sweep sweep(tinyBase());
+    sweep.apps({workload::AppId::GraphChi, workload::AppId::Redis})
+        .approaches({core::Approach::SlowMemOnly,
+                     core::Approach::HeteroLru,
+                     core::Approach::Coordinated})
+        .axis("slow_lat_factor", std::vector<double>{2.0, 5.0});
+    ASSERT_EQ(sweep.numPoints(), 12u);
+
+    core::SweepRunner runner(sweep);
+    const auto serial = runner.run(1);
+    const auto parallel = runner.run(8);
+    ASSERT_EQ(serial.size(), 12u);
+    ASSERT_EQ(parallel.size(), 12u);
+
+    std::ostringstream serial_os, parallel_os;
+    core::writeSweepResultsJson(serial_os, sweep, serial);
+    core::writeSweepResultsJson(parallel_os, sweep, parallel);
+    EXPECT_GT(serial_os.str().size(), 100u);
+    EXPECT_EQ(serial_os.str(), parallel_os.str())
+        << "parallel execution must not change a single byte";
+    EXPECT_TRUE(hos::test::jsonWellFormed(serial_os.str()));
+}
+
+TEST(SweepRunner, ProgressCallbackSeesEveryPoint)
+{
+    core::Sweep sweep(tinyBase());
+    sweep.approaches({core::Approach::SlowMemOnly,
+                      core::Approach::HeteroLru});
+    core::SweepRunner runner(sweep);
+    std::vector<std::size_t> seen;
+    runner.onPointDone([&](const core::SweepResult &r) {
+        seen.push_back(r.point.index);
+    });
+    const auto results = runner.run(2);
+    ASSERT_EQ(results.size(), 2u);
+    std::sort(seen.begin(), seen.end());
+    EXPECT_EQ(seen, (std::vector<std::size_t>{0, 1}));
+}
+
+/**
+ * Satellite (c): two systems in one process must not interleave trace
+ * events. Tracing is per-system opt-in; the global tracer stays cold.
+ */
+TEST(TraceIsolation, PerSystemSinksDoNotInterleave)
+{
+    const auto global_before = trace::tracer().recorded();
+
+    auto traced_spec = tinyBase().withApproach(core::Approach::HeteroLru);
+    auto quiet_spec = traced_spec;
+
+    auto traced = core::systemFor(traced_spec);
+    auto quiet = core::systemFor(quiet_spec);
+    traced->enableTracing();
+    EXPECT_TRUE(traced->tracingEnabled());
+    EXPECT_FALSE(quiet->tracingEnabled());
+
+    traced->runOne(traced->slot(0),
+                   workload::makeApp(workload::AppId::GraphChi, 0.02));
+    quiet->runOne(quiet->slot(0),
+                  workload::makeApp(workload::AppId::GraphChi, 0.02));
+
+    EXPECT_GT(traced->traceSink().recorded(), 0u)
+        << "the opted-in system captured its own events";
+    EXPECT_EQ(quiet->traceSink().recorded(), 0u)
+        << "the quiet system stayed quiet";
+    EXPECT_EQ(trace::tracer().recorded(), global_before)
+        << "per-system tracing never leaks into the process tracer";
+}
+
+TEST(TraceIsolation, ScopedSinkNestsAndRestores)
+{
+    const auto all = static_cast<std::uint32_t>(trace::Category::All);
+    trace::Tracer outer, inner;
+    outer.enable(all);
+    inner.enable(all);
+    {
+        trace::ScopedSink a(&outer);
+        trace::emit(trace::EventType::PageAlloc, 1);
+        {
+            trace::ScopedSink b(&inner);
+            trace::emit(trace::EventType::PageAlloc, 2);
+        }
+        trace::emit(trace::EventType::PageAlloc, 3);
+    }
+    EXPECT_EQ(outer.recorded(), 2u);
+    EXPECT_EQ(inner.recorded(), 1u);
+}
+
+} // namespace

@@ -17,20 +17,18 @@ namespace {
 
 using namespace hos;
 
-core::RunSpec
-smallSpec(core::Approach a)
+core::Scenario
+smallScenario(core::Approach a)
 {
-    core::RunSpec spec;
-    spec.approach = a;
-    spec.fast_bytes = 96 * mem::mib;
-    spec.slow_bytes = 512 * mem::mib;
-    spec.scale = 0.04;
-    return spec;
+    return core::Scenario{}
+        .withApproach(a)
+        .withCapacity(96 * mem::mib, 512 * mem::mib)
+        .withScale(0.04);
 }
 
 TEST(SystemIntegration, FrameConservation)
 {
-    auto sys = core::systemFor(smallSpec(core::Approach::HeteroLru));
+    auto sys = core::systemFor(smallScenario(core::Approach::HeteroLru));
     auto &slot = sys->slot(0);
     sys->runOne(slot, workload::makeApp(workload::AppId::GraphChi, 0.04));
 
@@ -50,7 +48,7 @@ TEST(SystemIntegration, FrameConservation)
 
 TEST(SystemIntegration, GuestPageAccountingHolds)
 {
-    auto sys = core::systemFor(smallSpec(core::Approach::HeteroLru));
+    auto sys = core::systemFor(smallScenario(core::Approach::HeteroLru));
     auto &slot = sys->slot(0);
     sys->runOne(slot, workload::makeApp(workload::AppId::LevelDb, 0.04));
 
@@ -71,12 +69,12 @@ TEST(SystemIntegration, GuestPageAccountingHolds)
 
 TEST(SystemIntegration, PolicyOrderingEndToEnd)
 {
-    const auto slow = core::runApp(workload::AppId::GraphChi,
-                                   smallSpec(core::Approach::SlowMemOnly));
-    const auto fast = core::runApp(workload::AppId::GraphChi,
-                                   smallSpec(core::Approach::FastMemOnly));
-    const auto od = core::runApp(workload::AppId::GraphChi,
-                                 smallSpec(core::Approach::HeapIoSlabOd));
+    const auto slow =
+        core::run(smallScenario(core::Approach::SlowMemOnly));
+    const auto fast =
+        core::run(smallScenario(core::Approach::FastMemOnly));
+    const auto od =
+        core::run(smallScenario(core::Approach::HeapIoSlabOd));
 
     EXPECT_LE(fast.elapsed, od.elapsed);
     EXPECT_LT(od.elapsed, slow.elapsed);
@@ -112,10 +110,11 @@ TEST(SystemIntegration, MultiVmLockstepRunsBothToCompletion)
 
 TEST(SystemIntegration, ContentionSlowsSharedRuns)
 {
-    auto solo_spec = smallSpec(core::Approach::HeteroLru);
-    const auto solo = core::runApp(workload::AppId::Redis, solo_spec);
+    auto solo_spec = smallScenario(core::Approach::HeteroLru)
+                         .withApp(workload::AppId::Redis);
+    const auto solo = core::run(solo_spec);
 
-    core::HostConfig host = core::hostFor(solo_spec);
+    core::HostConfig host = solo_spec.host();
     core::HeteroSystem sys(host);
     core::GuestSizing sizing;
     sizing.fast_initial = host.fast.capacity_bytes / 2;
@@ -134,7 +133,7 @@ TEST(SystemIntegration, ContentionSlowsSharedRuns)
 
 TEST(SystemIntegration, OverheadAccountsArePopulated)
 {
-    auto spec = smallSpec(core::Approach::Coordinated);
+    auto spec = smallScenario(core::Approach::Coordinated);
     spec.scale = 0.12; // long enough for the 100 ms scan cadence
     auto sys = core::systemFor(spec);
     auto &slot = sys->slot(0);
@@ -147,9 +146,9 @@ TEST(SystemIntegration, OverheadAccountsArePopulated)
 
 TEST(SystemIntegration, VmmExclusiveMigratesDuringRun)
 {
-    auto spec = smallSpec(core::Approach::VmmExclusive);
+    auto spec = smallScenario(core::Approach::VmmExclusive);
     spec.scale = 0.15; // enough runtime for heat to build up
-    auto sys = std::make_unique<core::HeteroSystem>(core::hostFor(spec));
+    auto sys = std::make_unique<core::HeteroSystem>(spec.host());
     auto policy = core::makePolicy(core::Approach::VmmExclusive);
     auto *raw =
         dynamic_cast<policy::VmmExclusivePolicy *>(policy.get());

@@ -15,15 +15,13 @@ namespace {
 
 using namespace hos;
 
-core::RunSpec
+core::Scenario
 tiny(core::Approach a)
 {
-    core::RunSpec spec;
-    spec.approach = a;
-    spec.fast_bytes = 128 * mem::mib;
-    spec.slow_bytes = 512 * mem::mib;
-    spec.scale = 0.02;
-    return spec;
+    return core::Scenario{}
+        .withApproach(a)
+        .withCapacity(128 * mem::mib, 512 * mem::mib)
+        .withScale(0.02);
 }
 
 TEST(Workloads, LifecycleAndResultFields)
@@ -51,7 +49,8 @@ TEST(Workloads, EveryAppHasASensibleMetric)
                               "requests/sec",       "requests/sec"};
     std::size_t i = 0;
     for (auto app : workload::allApps) {
-        auto res = core::runApp(app, tiny(core::Approach::HeapIoSlabOd));
+        auto res =
+            core::run(tiny(core::Approach::HeapIoSlabOd).withApp(app));
         EXPECT_EQ(res.metric_name, expected[i++])
             << workload::appName(app);
         EXPECT_GT(res.metric, 0.0);
@@ -60,19 +59,17 @@ TEST(Workloads, EveryAppHasASensibleMetric)
 
 TEST(Workloads, SlowMemHurtsMemoryBoundApps)
 {
-    auto fast = core::runApp(workload::AppId::GraphChi,
-                             tiny(core::Approach::FastMemOnly));
-    auto slow = core::runApp(workload::AppId::GraphChi,
-                             tiny(core::Approach::SlowMemOnly));
+    auto fast = core::run(tiny(core::Approach::FastMemOnly));
+    auto slow = core::run(tiny(core::Approach::SlowMemOnly));
     EXPECT_GT(slow.elapsed, fast.elapsed);
 }
 
 TEST(Workloads, NginxIsInsensitive)
 {
-    auto fast = core::runApp(workload::AppId::Nginx,
-                             tiny(core::Approach::FastMemOnly));
-    auto slow = core::runApp(workload::AppId::Nginx,
-                             tiny(core::Approach::SlowMemOnly));
+    auto fast = core::run(
+        tiny(core::Approach::FastMemOnly).withApp(workload::AppId::Nginx));
+    auto slow = core::run(
+        tiny(core::Approach::SlowMemOnly).withApp(workload::AppId::Nginx));
     const double slowdown = static_cast<double>(slow.elapsed) /
                             static_cast<double>(fast.elapsed);
     EXPECT_LT(slowdown, 1.5) << "the paper reports <10% at full scale";
@@ -82,10 +79,9 @@ TEST(Workloads, MpkiOrderingMatchesTable4)
 {
     // Graph apps must be markedly more memory-intensive than the
     // serving apps (Table 4's ordering, loosely).
-    auto graphchi = core::runApp(workload::AppId::GraphChi,
-                                 tiny(core::Approach::FastMemOnly));
-    auto nginx = core::runApp(workload::AppId::Nginx,
-                              tiny(core::Approach::FastMemOnly));
+    auto graphchi = core::run(tiny(core::Approach::FastMemOnly));
+    auto nginx = core::run(
+        tiny(core::Approach::FastMemOnly).withApp(workload::AppId::Nginx));
     EXPECT_GT(graphchi.mpki, 2.0 * nginx.mpki);
 }
 
@@ -111,16 +107,13 @@ TEST(Workloads, PageMixMatchesCharacterization)
 TEST(Workloads, MemlatLatencyTracksBackingTier)
 {
     auto run = [&](core::Approach a) {
-        auto spec = tiny(a);
-        return core::runFactory(
-            [](workload::VmEnv env) {
-                workload::MemlatBenchmark::Params p;
-                p.wss_bytes = 64 * mem::mib;
-                p.phases = 6;
-                return std::make_unique<workload::MemlatBenchmark>(
-                    std::move(env), p);
-            },
-            spec);
+        return core::run(tiny(a), [](workload::VmEnv env) {
+            workload::MemlatBenchmark::Params p;
+            p.wss_bytes = 64 * mem::mib;
+            p.phases = 6;
+            return std::make_unique<workload::MemlatBenchmark>(
+                std::move(env), p);
+        });
     };
     const auto fast = run(core::Approach::FastMemOnly);
     const auto slow = run(core::Approach::SlowMemOnly);
@@ -131,16 +124,13 @@ TEST(Workloads, MemlatLatencyTracksBackingTier)
 TEST(Workloads, StreamBandwidthTracksBackingTier)
 {
     auto run = [&](core::Approach a) {
-        auto spec = tiny(a);
-        return core::runFactory(
-            [](workload::VmEnv env) {
-                workload::StreamBenchmark::Params p;
-                p.wss_bytes = 64 * mem::mib;
-                p.sweeps = 6;
-                return std::make_unique<workload::StreamBenchmark>(
-                    std::move(env), p);
-            },
-            spec);
+        return core::run(tiny(a), [](workload::VmEnv env) {
+            workload::StreamBenchmark::Params p;
+            p.wss_bytes = 64 * mem::mib;
+            p.sweeps = 6;
+            return std::make_unique<workload::StreamBenchmark>(
+                std::move(env), p);
+        });
     };
     const auto fast = run(core::Approach::FastMemOnly);
     const auto slow = run(core::Approach::SlowMemOnly);
@@ -150,10 +140,10 @@ TEST(Workloads, StreamBandwidthTracksBackingTier)
 
 TEST(Workloads, DeterministicAcrossRuns)
 {
-    const auto a = core::runApp(workload::AppId::Redis,
-                                tiny(core::Approach::HeteroLru));
-    const auto b = core::runApp(workload::AppId::Redis,
-                                tiny(core::Approach::HeteroLru));
+    const auto a = core::run(
+        tiny(core::Approach::HeteroLru).withApp(workload::AppId::Redis));
+    const auto b = core::run(
+        tiny(core::Approach::HeteroLru).withApp(workload::AppId::Redis));
     EXPECT_EQ(a.elapsed, b.elapsed) << "same seed, same result";
 }
 
