@@ -1,0 +1,39 @@
+#include "check/audit_daemon.hh"
+
+#include "sim/log.hh"
+
+namespace hos::check {
+
+AuditDaemon::AuditDaemon(vmm::Vmm &vmm, sim::EventQueue &queue,
+                         sim::Duration interval,
+                         sim::StatRegistry *registry)
+    : vmm_(vmm), queue_(queue), interval_(interval), registry_(registry)
+{
+    hos_assert(interval_ > 0, "audit interval must be non-zero");
+}
+
+void
+AuditDaemon::start()
+{
+    if (started_)
+        return;
+    started_ = true;
+    queue_.schedulePeriodic(interval_, [this](sim::Duration period) {
+        AuditResult r = runOnce();
+        if (enforce_)
+            enforce(r);
+        return period;
+    });
+}
+
+AuditResult
+AuditDaemon::runOnce()
+{
+    AuditResult r = auditVmm(vmm_, registry_);
+    ++audits_run_;
+    checks_run_ += r.checks;
+    failures_found_ += r.failures.size();
+    return r;
+}
+
+} // namespace hos::check

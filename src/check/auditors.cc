@@ -1,0 +1,531 @@
+#include "check/auditors.hh"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <utility>
+
+#include "check/page_state.hh"
+#include "guestos/page_types.hh"
+#include "sim/log.hh"
+#include "sim/time.hh"
+
+namespace hos::check {
+
+using guestos::Gpfn;
+using guestos::invalidGpfn;
+using guestos::LruState;
+using guestos::Page;
+using guestos::PageArray;
+using guestos::PageList;
+using guestos::PageType;
+
+void
+AuditResult::merge(AuditResult &&other)
+{
+    checks += other.checks;
+    for (auto &f : other.failures)
+        failures.push_back(std::move(f));
+}
+
+void
+AuditResult::addFailure(CheckKind kind, std::uint64_t subject,
+                        std::string where, std::string what)
+{
+    CheckFailure f;
+    f.kind = kind;
+    f.tick = sim::currentTick();
+    f.subject = subject;
+    f.where = std::move(where);
+    f.what = std::move(what);
+    failures.push_back(std::move(f));
+}
+
+AuditResult
+auditList(const PageArray &pages, const PageList &list,
+          const std::string &where)
+{
+    AuditResult r;
+
+    Gpfn prev = invalidGpfn;
+    Gpfn cur = list.head();
+    std::uint64_t walked = 0;
+    while (cur != invalidGpfn && walked <= list.size()) {
+        if (cur >= pages.size()) {
+            r.addFailure(CheckKind::ListIntegrity, cur, where,
+                         "list link points outside the page array");
+            return r;
+        }
+        const Page &p = pages.page(cur);
+        r.checks += 2;
+        if (p.on_list != list.tag()) {
+            r.addFailure(CheckKind::ListIntegrity, cur, where,
+                         "member carries list tag " +
+                             std::to_string(p.on_list) + ", expected " +
+                             std::to_string(list.tag()));
+            // The links are untrustworthy past a tag mismatch.
+            return r;
+        }
+        if (p.link_prev != prev) {
+            r.addFailure(CheckKind::ListIntegrity, cur, where,
+                         "broken back-link (prev points elsewhere)");
+            return r;
+        }
+        prev = cur;
+        cur = p.link_next;
+        ++walked;
+    }
+
+    r.checks += 3;
+    if (cur != invalidGpfn) {
+        r.addFailure(CheckKind::ListIntegrity, cur, where,
+                     "cycle or overrun: walked past the stored count (" +
+                         std::to_string(list.size()) + ")");
+        return r;
+    }
+    if (walked != list.size()) {
+        r.addFailure(CheckKind::ListIntegrity, invalidSubject, where,
+                     "stored count " + std::to_string(list.size()) +
+                         " != walked length " + std::to_string(walked));
+    }
+    if (prev != list.tail()) {
+        r.addFailure(CheckKind::ListIntegrity,
+                     prev == invalidGpfn ? invalidSubject : prev, where,
+                     "tail index does not match the last walked member");
+    }
+    return r;
+}
+
+namespace {
+
+/** Audit one zone's buddy allocator: lists, block state, accounting. */
+AuditResult
+auditBuddy(const PageArray &pages, const guestos::BuddyAllocator &buddy,
+           const std::string &where)
+{
+    AuditResult r;
+    std::uint64_t listed_free = 0;
+
+    for (unsigned o = 0; o < guestos::BuddyAllocator::maxOrder; ++o) {
+        const PageList &fl = buddy.freeList(o);
+        const std::string lw = where + ".order" + std::to_string(o);
+        r.merge(auditList(pages, fl, lw));
+
+        const std::uint64_t block = std::uint64_t(1) << o;
+        for (Gpfn head = fl.head();
+             head != invalidGpfn && head < pages.size();
+             head = pages.page(head).link_next) {
+            const Page &hp = pages.page(head);
+            if (hp.on_list != guestos::listBuddy)
+                break; // auditList already reported; links unsafe
+            r.checks += 3;
+            if (!hp.in_buddy || hp.buddy_order != o) {
+                r.addFailure(CheckKind::ZoneAccounting, head, lw,
+                             "free-list head lost its in_buddy/order "
+                             "marking");
+            }
+            if ((head - buddy.base()) % block != 0) {
+                r.addFailure(CheckKind::ZoneAccounting, head, lw,
+                             "free block head misaligned for its order");
+            }
+            const Gpfn end = std::min<Gpfn>(head + block, pages.size());
+            for (Gpfn pfn = head; pfn < end; ++pfn) {
+                const Page &p = pages.page(pfn);
+                r.checks += 3;
+                if (p.allocated) {
+                    r.addFailure(
+                        CheckKind::ZoneAccounting, pfn, lw,
+                        "allocated page inside a buddy free block");
+                }
+                if (p.type != PageType::Free) {
+                    r.addFailure(CheckKind::ZoneAccounting, pfn, lw,
+                                 "free-block page still typed " +
+                                     std::string(pageTypeName(p.type)));
+                }
+                if (pfn != head && (p.in_buddy ||
+                                    p.on_list != guestos::listNone)) {
+                    r.addFailure(CheckKind::ZoneAccounting, pfn, lw,
+                                 "interior free-block page marked as a "
+                                 "block head or linked on a list");
+                }
+            }
+            listed_free += block;
+        }
+    }
+
+    r.checks += 1;
+    if (listed_free != buddy.freePages()) {
+        r.addFailure(CheckKind::ZoneAccounting, invalidSubject, where,
+                     "free_pages counter " +
+                         std::to_string(buddy.freePages()) +
+                         " != pages on free lists " +
+                         std::to_string(listed_free));
+    }
+    return r;
+}
+
+/** Audit one zone's split LRU: list health plus per-member state. */
+AuditResult
+auditZoneLru(const PageArray &pages, const guestos::SplitLru &lru,
+             const std::string &where)
+{
+    AuditResult r;
+
+    const std::array<std::pair<const PageList *, LruState>, 2> lists = {
+        std::make_pair(&lru.activeList(), LruState::Active),
+        std::make_pair(&lru.inactiveList(), LruState::Inactive),
+    };
+    for (const auto &[list, state] : lists) {
+        const std::string lw =
+            where + (state == LruState::Active ? ".active" : ".inactive");
+        r.merge(auditList(pages, *list, lw));
+        for (Gpfn pfn = list->head();
+             pfn != invalidGpfn && pfn < pages.size();
+             pfn = pages.page(pfn).link_next) {
+            const Page &p = pages.page(pfn);
+            if (p.on_list != list->tag())
+                break; // links unsafe past a reported tag mismatch
+            r.checks += 3;
+            if (p.lru != state) {
+                r.addFailure(CheckKind::Lru, pfn, lw,
+                             "page's lru state disagrees with the list "
+                             "it sits on");
+            }
+            if (!p.allocated) {
+                r.addFailure(CheckKind::Lru, pfn, lw,
+                             "unallocated page resident on an LRU");
+            }
+            if (!lruManagedType(p.type)) {
+                r.addFailure(CheckKind::PageState, pfn, lw,
+                             "LRU-resident page retyped to non-LRU type " +
+                                 std::string(pageTypeName(p.type)));
+            }
+        }
+    }
+    return r;
+}
+
+} // namespace
+
+AuditResult
+auditKernel(guestos::GuestKernel &kernel)
+{
+    AuditResult r;
+    const PageArray &pages = kernel.pages();
+    guestos::PerCpuPageLists &percpu = kernel.percpu();
+
+    for (unsigned n = 0; n < kernel.numNodes(); ++n) {
+        guestos::NumaNode &node = kernel.node(n);
+        const std::string nw = kernel.name() + ".node" + std::to_string(n);
+
+        std::uint64_t lru_total = 0;
+        for (std::size_t z = 0; z < node.numZones(); ++z) {
+            const guestos::Zone &zone = node.zone(z);
+            const std::string zw =
+                nw + "." + guestos::zoneKindName(zone.kind());
+            r.merge(auditBuddy(pages, zone.buddy(), zw + ".buddy"));
+            r.merge(auditZoneLru(pages, zone.lru(), zw + ".lru"));
+            lru_total += zone.lru().totalCount();
+        }
+
+        // Per-CPU caches holding this node's pages.
+        for (unsigned cpu = 0; cpu < percpu.cpus(); ++cpu) {
+            const PageList &cache = percpu.cacheList(cpu, n);
+            const std::string cw = nw + ".percpu" + std::to_string(cpu);
+            r.merge(auditList(pages, cache, cw));
+            for (Gpfn pfn = cache.head();
+                 pfn != invalidGpfn && pfn < pages.size();
+                 pfn = pages.page(pfn).link_next) {
+                const Page &p = pages.page(pfn);
+                if (p.on_list != guestos::listPerCpu)
+                    break;
+                r.checks += 2;
+                if (p.allocated || p.type != PageType::Free ||
+                    p.lru != LruState::None) {
+                    r.addFailure(CheckKind::PageState, pfn, cw,
+                                 "per-CPU cached page is not in the "
+                                 "free state");
+                }
+                if (p.numa_node != n) {
+                    r.addFailure(CheckKind::ZoneAccounting, pfn, cw,
+                                 "page cached under the wrong node");
+                }
+            }
+        }
+
+        // Span walk: allocated census + per-page placement rules.
+        std::uint64_t allocated = 0;
+        std::uint64_t on_lru = 0;
+        for (Gpfn pfn = node.base(); pfn < node.base() + node.spanPages();
+             ++pfn) {
+            const Page &p = pages.page(pfn);
+            r.checks += 2;
+            if (p.allocated)
+                ++allocated;
+            if (p.lru != LruState::None)
+                ++on_lru;
+            // NetBuf is exempt: skbuffs are slab-backed and pinned
+            // by design; the cache types must stay evictable here.
+            if (p.allocated && (p.type == PageType::PageCache ||
+                                p.type == PageType::BufferCache) &&
+                p.unevictable && p.mem_type == mem::MemType::FastMem) {
+                r.addFailure(CheckKind::Placement, pfn, nw,
+                             "I/O cache page pinned in FastMem");
+            }
+            if (p.lru != LruState::None && !p.allocated) {
+                r.addFailure(CheckKind::PageState, pfn, nw,
+                             "unallocated page claims LRU residence");
+            }
+        }
+
+        r.checks += 2;
+        if (on_lru != lru_total) {
+            r.addFailure(CheckKind::Lru, invalidSubject, nw,
+                         "pages marked LRU-resident (" +
+                             std::to_string(on_lru) +
+                             ") != zone LRU membership (" +
+                             std::to_string(lru_total) + ")");
+        }
+
+        // The node-level conservation identity. Every managed page is
+        // in exactly one of: a buddy free list, a per-CPU cache, or
+        // allocated to a user.
+        const std::uint64_t cached = percpu.cachedOnNode(n);
+        const std::uint64_t expected =
+            node.freePages() + cached + allocated;
+        if (node.managedPages() != expected) {
+            r.addFailure(
+                CheckKind::ZoneAccounting, invalidSubject, nw,
+                "managed " + std::to_string(node.managedPages()) +
+                    " != free " + std::to_string(node.freePages()) +
+                    " + cached " + std::to_string(cached) +
+                    " + allocated " + std::to_string(allocated));
+        }
+    }
+    return r;
+}
+
+AuditResult
+auditStats(guestos::GuestKernel &kernel, sim::StatRegistry &registry)
+{
+    AuditResult r;
+    const std::string &gname = kernel.stats().name();
+
+    sim::StatGroup *group = registry.find(gname);
+    r.checks += 1;
+    if (group == nullptr) {
+        r.addFailure(CheckKind::StatDrift, invalidSubject, gname,
+                     "kernel stat group is not registered");
+        return r;
+    }
+
+    registry.refreshAll();
+
+    // Recompute the node gauges exactly as syncStats() publishes them
+    // (last node of a type wins when types repeat).
+    std::map<std::string, std::int64_t> expected;
+    for (unsigned n = 0; n < kernel.numNodes(); ++n) {
+        guestos::NumaNode &node = kernel.node(n);
+        const std::string prefix =
+            std::string("node.") + mem::memTypeName(node.memType());
+        expected[prefix + ".free_pages"] =
+            static_cast<std::int64_t>(node.freePages());
+        expected[prefix + ".managed_pages"] =
+            static_cast<std::int64_t>(node.managedPages());
+    }
+
+    for (const auto &[stat, want] : expected) {
+        r.checks += 1;
+        if (!group->hasGauge(stat)) {
+            r.addFailure(CheckKind::StatDrift, invalidSubject,
+                         gname + "." + stat,
+                         "gauge missing after a registry refresh "
+                         "(dead refresh hook?)");
+            continue;
+        }
+        const std::int64_t got = group->findGauge(stat).value();
+        if (got != want) {
+            r.addFailure(CheckKind::StatDrift, invalidSubject,
+                         gname + "." + stat,
+                         "gauge reads " + std::to_string(got) +
+                             " but live state says " +
+                             std::to_string(want));
+        }
+    }
+    return r;
+}
+
+AuditResult
+auditP2m(vmm::VmContext &vm, mem::MachineMemory &machine)
+{
+    AuditResult r;
+    guestos::GuestKernel &kernel = vm.kernel();
+    const vmm::P2m &p2m = vm.p2m();
+    const PageArray &pages = kernel.pages();
+    const std::string where = kernel.name() + ".p2m";
+
+    r.checks += 1;
+    if (p2m.size() != pages.size()) {
+        r.addFailure(CheckKind::P2m, invalidSubject, where,
+                     "P2M covers " + std::to_string(p2m.size()) +
+                         " gpfns but the guest has " +
+                         std::to_string(pages.size()));
+    }
+
+    std::unordered_set<mem::Mfn> seen;
+    std::array<std::uint64_t, mem::numMemTypes> tally{};
+    std::uint64_t populated = 0;
+    const Gpfn limit = std::min<Gpfn>(p2m.size(), pages.size());
+
+    for (Gpfn gpfn = 0; gpfn < limit; ++gpfn) {
+        const bool pop = p2m.populated(gpfn);
+        r.checks += 2;
+        if (pop != pages.page(gpfn).populated) {
+            r.addFailure(CheckKind::P2m, gpfn, where,
+                         pop ? "P2M maps a gpfn the guest believes "
+                               "unpopulated"
+                             : "guest believes the gpfn populated but "
+                               "the P2M has no mapping");
+        }
+        if (!pop) {
+            if (vm.fastBacked().count(gpfn) != 0) {
+                r.addFailure(CheckKind::P2m, gpfn, where,
+                             "unpopulated gpfn listed as FastMem-backed");
+            }
+            continue;
+        }
+        ++populated;
+
+        const mem::Mfn mfn = p2m.mfnOf(gpfn);
+        r.checks += 4;
+        if (!seen.insert(mfn).second) {
+            r.addFailure(CheckKind::P2m, gpfn, where,
+                         "machine frame double-mapped (mfn " +
+                             std::to_string(mfn) + ")");
+            continue;
+        }
+
+        mem::MachineNode *mnode = nullptr;
+        for (unsigned i = 0; i < machine.numNodes(); ++i) {
+            if (machine.node(i).containsMfn(mfn)) {
+                mnode = &machine.node(i);
+                break;
+            }
+        }
+        if (mnode == nullptr) {
+            r.addFailure(CheckKind::P2m, gpfn, where,
+                         "mapped mfn " + std::to_string(mfn) +
+                             " belongs to no machine node");
+            continue;
+        }
+        if (mnode->frameOwner(mfn) != vm.owner()) {
+            r.addFailure(CheckKind::P2m, gpfn, where,
+                         "backing frame owned by " +
+                             std::to_string(mnode->frameOwner(mfn)) +
+                             ", not this VM");
+        }
+
+        const mem::MemType tier = p2m.tierOf(gpfn);
+        if (tier != mnode->type()) {
+            r.addFailure(CheckKind::P2m, gpfn, where,
+                         "P2M tier cache says " +
+                             std::string(mem::memTypeName(tier)) +
+                             " but the frame lives in " +
+                             mem::memTypeName(mnode->type()));
+        }
+        tally[static_cast<std::size_t>(mnode->type())] += 1;
+
+        const bool fast = vm.fastBacked().count(gpfn) != 0;
+        if (fast != (mnode->type() == mem::MemType::FastMem)) {
+            r.addFailure(CheckKind::P2m, gpfn, where,
+                         "fast-backed set disagrees with the backing "
+                         "tier");
+        }
+
+        // For heterogeneity-aware VMs the guest node type must match
+        // the real backing tier; hidden VMs see a nominal type.
+        if (!vm.config().hide_heterogeneity) {
+            r.checks += 1;
+            guestos::NumaNode *gnode = nullptr;
+            for (unsigned i = 0; i < kernel.numNodes(); ++i) {
+                if (kernel.node(i).containsGpfn(gpfn)) {
+                    gnode = &kernel.node(i);
+                    break;
+                }
+            }
+            if (gnode == nullptr) {
+                r.addFailure(CheckKind::P2m, gpfn, where,
+                             "populated gpfn outside every guest node");
+            } else if (gnode->memType() != mnode->type()) {
+                r.addFailure(CheckKind::P2m, gpfn, where,
+                             "guest node advertises " +
+                                 std::string(mem::memTypeName(
+                                     gnode->memType())) +
+                                 " but the frame lives in " +
+                                 mem::memTypeName(mnode->type()));
+            }
+        }
+    }
+
+    for (std::size_t t = 0; t < mem::numMemTypes; ++t) {
+        const auto type = static_cast<mem::MemType>(t);
+        r.checks += 1;
+        if (p2m.populatedOfTier(type) != tally[t]) {
+            r.addFailure(CheckKind::P2m, invalidSubject, where,
+                         std::string("per-tier tally for ") +
+                             mem::memTypeName(type) + " reads " +
+                             std::to_string(p2m.populatedOfTier(type)) +
+                             " but the walk counted " +
+                             std::to_string(tally[t]));
+        }
+    }
+    r.checks += 2;
+    if (p2m.populatedCount() != populated) {
+        r.addFailure(CheckKind::P2m, invalidSubject, where,
+                     "populated_count " +
+                         std::to_string(p2m.populatedCount()) +
+                         " != mapped gpfns " + std::to_string(populated));
+    }
+
+    // Leak check: every machine frame this VM owns must be reachable
+    // through its P2M.
+    std::uint64_t owned = 0;
+    for (unsigned i = 0; i < machine.numNodes(); ++i)
+        owned += machine.node(i).framesOwnedBy(vm.owner());
+    if (owned != populated) {
+        r.addFailure(CheckKind::P2m, invalidSubject, where,
+                     "VM owns " + std::to_string(owned) +
+                         " machine frames but maps " +
+                         std::to_string(populated) +
+                         " (leaked or stolen frames)");
+    }
+    return r;
+}
+
+AuditResult
+auditVmm(vmm::Vmm &vmm, sim::StatRegistry *registry)
+{
+    AuditResult r;
+    for (vmm::VmId id = 0; id < vmm.numVms(); ++id) {
+        vmm::VmContext &vm = vmm.vm(id);
+        r.merge(auditKernel(vm.kernel()));
+        r.merge(auditP2m(vm, vmm.machine()));
+        if (registry != nullptr)
+            r.merge(auditStats(vm.kernel(), *registry));
+    }
+    return r;
+}
+
+void
+enforce(const AuditResult &result)
+{
+    if (result.ok())
+        return;
+    for (std::size_t i = 1; i < result.failures.size(); ++i)
+        report(result.failures[i]);
+    fail(result.failures.front());
+}
+
+} // namespace hos::check

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Cross-layer audit walkers.
+ *
+ * Where the page-state validator (page_state.hh) checks one page at
+ * one transition, the auditors reconcile whole structures against
+ * each other — the redundant bookkeeping HeteroOS keeps at every
+ * layer is exactly what makes corruption detectable:
+ *
+ *  - intrusive list integrity: links, ownership tags, counts, cycles
+ *    (buddy free lists, per-CPU caches, zone LRUs);
+ *  - zone accounting: buddy free counts vs walked free blocks vs the
+ *    managed = free + per-CPU-cached + allocated identity;
+ *  - LRU state: per-page lru bits vs actual list membership, and
+ *    page types legal for LRU residence (catches mid-residence
+ *    retyping);
+ *  - StatRegistry gauges vs live zone state (refresh-hook wiring);
+ *  - guest P2M vs VMM machine-frame ownership: per-gpfn owner/tier
+ *    agreement, populated-flag agreement, per-tier tallies, no
+ *    double-mapped frames, no leaked frames.
+ *
+ * Walkers *collect* structured CheckFailure records instead of
+ * terminating, so tests can seed a corruption and assert exactly
+ * which validator caught it; enforce() turns a non-empty result into
+ * a check::fail. The audit daemon (audit_daemon.hh) runs these every
+ * N sim-ticks; HeteroSystem wires that up automatically in
+ * HOS_CHECK=full builds.
+ */
+
+#ifndef HOS_CHECK_AUDITORS_HH
+#define HOS_CHECK_AUDITORS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/check.hh"
+#include "guestos/kernel.hh"
+#include "sim/stats.hh"
+#include "vmm/vmm.hh"
+
+namespace hos::check {
+
+/** Outcome of one audit pass. */
+struct AuditResult
+{
+    std::uint64_t checks = 0; ///< individual invariants evaluated
+    std::vector<CheckFailure> failures;
+
+    bool ok() const { return failures.empty(); }
+    void merge(AuditResult &&other);
+
+    /** Append a failure stamped with the current sim tick. */
+    void addFailure(CheckKind kind, std::uint64_t subject,
+                    std::string where, std::string what);
+};
+
+/**
+ * Walk one intrusive page list: every link bidirectional, every
+ * member carrying the list's ownership tag, walked length equal to
+ * the stored count, head/tail consistent, no cycles.
+ */
+AuditResult auditList(const guestos::PageArray &pages,
+                      const guestos::PageList &list,
+                      const std::string &where);
+
+/**
+ * Full guest-kernel audit: buddy free lists and accounting, per-CPU
+ * caches, zone LRUs, per-page state over every node span, and the
+ * managed = free + cached + allocated identity.
+ */
+AuditResult auditKernel(guestos::GuestKernel &kernel);
+
+/**
+ * Reconcile the kernel's StatRegistry gauges against live zone
+ * state: refreshes the registry (running the refresh hooks as the
+ * snapshot daemon would), then recomputes node free/managed counts
+ * independently. Catches dead or mis-wired refresh hooks.
+ */
+AuditResult auditStats(guestos::GuestKernel &kernel,
+                       sim::StatRegistry &registry);
+
+/**
+ * Reconcile one VM's guest P2M against VMM machine-memory ownership.
+ */
+AuditResult auditP2m(vmm::VmContext &vm, mem::MachineMemory &machine);
+
+/** Audit every VM of a VMM (kernel + P2M [+ stats]) and the machine. */
+AuditResult auditVmm(vmm::Vmm &vmm,
+                     sim::StatRegistry *registry = nullptr);
+
+/**
+ * Report every failure in `result` through hos::trace and terminate
+ * (abort or throw CheckError carrying the first failure) when the
+ * audit found anything. No-op on a clean result.
+ */
+void enforce(const AuditResult &result);
+
+} // namespace hos::check
+
+#endif // HOS_CHECK_AUDITORS_HH

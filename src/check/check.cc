@@ -1,0 +1,66 @@
+#include "check/check.hh"
+
+#include <cstdio>
+
+#include "sim/log.hh"
+#include "trace/trace.hh"
+
+namespace hos::check {
+
+namespace {
+std::uint64_t g_failures_reported = 0;
+} // namespace
+
+const char *
+levelName()
+{
+    switch (compiledLevel) {
+      case 0:
+        return "off";
+      case 1:
+        return "cheap";
+      default:
+        return "full";
+    }
+}
+
+std::uint64_t
+failuresReported()
+{
+    return g_failures_reported;
+}
+
+void
+report(const CheckFailure &failure)
+{
+    ++g_failures_reported;
+    trace::emit(trace::EventType::CheckFailure, failure.tick,
+                static_cast<std::uint64_t>(failure.kind),
+                failure.subject);
+    sim::warn("check: %s", failure.describe().c_str());
+}
+
+void
+fail(CheckFailure failure)
+{
+    report(failure);
+    if (failureMode() == FailureMode::Throw)
+        throw CheckError(std::move(failure));
+    std::fprintf(stderr, "check: fatal invariant violation, aborting\n");
+    std::abort();
+}
+
+void
+fail(CheckKind kind, std::uint64_t subject, std::string where,
+     std::string what)
+{
+    CheckFailure f;
+    f.kind = kind;
+    f.tick = sim::currentTick();
+    f.subject = subject;
+    f.where = std::move(where);
+    f.what = std::move(what);
+    fail(std::move(f));
+}
+
+} // namespace hos::check

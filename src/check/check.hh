@@ -1,0 +1,107 @@
+/**
+ * @file
+ * hos::check — cross-layer invariant auditing.
+ *
+ * HeteroOS's correctness rests on guest and VMM state staying mutually
+ * consistent: page-type exception lists (paper §4.1), guest P2M vs VMM
+ * machine ownership, and the zone/LRU accounting that drives
+ * HeteroOS-LRU placement. This subsystem catches state corruption at
+ * the moment it happens instead of as a mangled results curve ten
+ * thousand ticks later, in the spirit of the Linux kernel's
+ * CONFIG_DEBUG_VM self-checks. Three pillars:
+ *
+ *  1. A page-state machine validator (page_state.hh) invoked from
+ *     guestos transition points behind compile-time check levels.
+ *  2. Cross-layer audit walkers (auditors.hh) that reconcile buddy /
+ *     zone / per-CPU / LRU / StatRegistry / P2M state on demand or
+ *     periodically (audit_daemon.hh).
+ *  3. Toolchain wiring (.clang-tidy, tools/lint.sh, TSan CI).
+ *
+ * Check levels — fixed at compile time via -DHOS_CHECK=off/cheap/full
+ * (the CMake option maps to the HOS_CHECK_LEVEL macro):
+ *
+ *   off   (0)  validators compile to nothing; zero cost.
+ *   cheap (1)  O(1) transition-point checks. The default: invariants
+ *              in the memory-management state machines are cheap
+ *              relative to simulation work.
+ *   full  (2)  cheap plus periodic + end-of-run audit walks wired
+ *              into HeteroSystem runs.
+ *
+ * Failures are structured CheckFailure records (check_error.hh),
+ * reported through hos::trace with sim-tick provenance, then either
+ * abort the process or throw check::CheckError (FailureMode).
+ */
+
+#ifndef HOS_CHECK_CHECK_HH
+#define HOS_CHECK_CHECK_HH
+
+#include "check/check_error.hh"
+
+namespace hos::check {
+
+#ifndef HOS_CHECK_LEVEL
+#define HOS_CHECK_LEVEL 1
+#endif
+
+/** The compiled-in check level (0 = off, 1 = cheap, 2 = full). */
+constexpr int compiledLevel = HOS_CHECK_LEVEL;
+
+constexpr bool cheapChecksEnabled = HOS_CHECK_LEVEL >= 1;
+constexpr bool fullChecksEnabled = HOS_CHECK_LEVEL >= 2;
+
+/** Printable name of the compiled level ("off"/"cheap"/"full"). */
+const char *levelName();
+
+/**
+ * Report one failure: emits a trace::EventType::CheckFailure record
+ * (sim-tick timestamped), prints the description, then aborts or
+ * throws per failureMode(). The [[noreturn]]-ness is conditional on
+ * the mode, so this is not annotated; callers must not assume
+ * continuation.
+ */
+void fail(CheckFailure failure);
+
+/** Convenience: build the failure in place and fail() it. */
+void fail(CheckKind kind, std::uint64_t subject, std::string where,
+          std::string what);
+
+/**
+ * Report a failure without terminating: trace record + warn(). Audit
+ * walkers use this for every finding before their caller decides
+ * whether the batch is fatal.
+ */
+void report(const CheckFailure &failure);
+
+/** Check failures reported (trace + fail) since process start. */
+std::uint64_t failuresReported();
+
+} // namespace hos::check
+
+/**
+ * Run a validator statement only at check level >= cheap. The
+ * statement disappears entirely (not even evaluated) in off builds.
+ */
+#if HOS_CHECK_LEVEL >= 1
+#define HOS_CHECK_CHEAP(...)                                               \
+    do {                                                                   \
+        __VA_ARGS__;                                                       \
+    } while (0)
+#else
+#define HOS_CHECK_CHEAP(...)                                               \
+    do {                                                                   \
+    } while (0)
+#endif
+
+/** Run a validator statement only at check level full. */
+#if HOS_CHECK_LEVEL >= 2
+#define HOS_CHECK_FULL(...)                                                \
+    do {                                                                   \
+        __VA_ARGS__;                                                       \
+    } while (0)
+#else
+#define HOS_CHECK_FULL(...)                                                \
+    do {                                                                   \
+    } while (0)
+#endif
+
+#endif // HOS_CHECK_CHECK_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Page-state machine validator.
+ *
+ * Encodes the legal PageType × location × list-membership transitions
+ * of the guest OS and checks them at the moment a page changes hands:
+ *
+ *  - A page's use type only changes through Free: Free → Anon/Slab/…
+ *    at allocation, X → Free at release. Retyping a live page (Anon
+ *    page suddenly claiming to be Slab) is always a bug — there is no
+ *    kernel path that does it legitimately.
+ *  - Migration-exception types (paper §4.1: PageTable, Dma) never
+ *    move tiers, and pinned or in-flight-I/O pages never migrate.
+ *  - I/O cache pages (PageCache/BufferCache) are never pinned
+ *    (unevictable) in FastMem — they are released right after the
+ *    I/O completes, so pinning them in the scarce tier means the
+ *    eager-eviction design broke. (NetBuf is exempt: skbuffs are
+ *    slab-backed and slab pages are pinned by design.)
+ *  - Only LRU-managed types (Anon + the I/O types) may enter an LRU.
+ *
+ * Validators fail via check::fail with kind PageState / Placement /
+ * Lru. Call sites wrap them in HOS_CHECK_CHEAP so off-level builds
+ * compile them away entirely.
+ */
+
+#ifndef HOS_CHECK_PAGE_STATE_HH
+#define HOS_CHECK_PAGE_STATE_HH
+
+#include "check/check.hh"
+#include "guestos/page.hh"
+#include "mem/mem_spec.hh"
+
+namespace hos::check {
+
+/** True when a live page of type `from` may become `to` directly. */
+constexpr bool
+legalTypeTransition(guestos::PageType from, guestos::PageType to)
+{
+    return from == to || from == guestos::PageType::Free ||
+           to == guestos::PageType::Free;
+}
+
+/** Types that may sit on a zone LRU (reclaimable user/IO memory). */
+constexpr bool
+lruManagedType(guestos::PageType t)
+{
+    return t == guestos::PageType::Anon ||
+           t == guestos::PageType::PageCache ||
+           t == guestos::PageType::BufferCache ||
+           t == guestos::PageType::NetBuf;
+}
+
+/** A page leaving the allocator fast path, about to become `to`. */
+void validateAlloc(const guestos::Page &p, guestos::PageType to,
+                   const char *where);
+
+/** A page entering the free path (must be live and off every list). */
+void validateFree(const guestos::Page &p, const char *where);
+
+/** An in-place retype request (only legal through Free). */
+void validateTypeChange(const guestos::Page &p, guestos::PageType to,
+                        const char *where);
+
+/** A page selected to migrate to tier `dst`. */
+void validateMigration(const guestos::Page &p, mem::MemType dst,
+                       const char *where);
+
+/** A page's type/pin/tier combination after placement decisions. */
+void validatePlacement(const guestos::Page &p, const char *where);
+
+/** A page about to be inserted into a zone LRU. */
+void validateLruInsert(const guestos::Page &p, const char *where);
+
+} // namespace hos::check
+
+#endif // HOS_CHECK_PAGE_STATE_HH

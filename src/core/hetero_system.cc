@@ -1,10 +1,22 @@
 #include "core/hetero_system.hh"
 
 #include <algorithm>
+#include <optional>
 
+#include "check/audit_daemon.hh"
 #include "sim/log.hh"
 
 namespace hos::core {
+
+namespace {
+
+/**
+ * Sim-time between periodic cross-layer audits in HOS_CHECK=full
+ * builds. Coarse on purpose: each pass walks every page of every VM.
+ */
+constexpr sim::Duration kAuditInterval = sim::milliseconds(100);
+
+} // namespace
 
 HeteroSystem::HeteroSystem(HostConfig cfg) : cfg_(std::move(cfg))
 {
@@ -120,8 +132,20 @@ HeteroSystem::runOne(VmSlot &slot, const workload::WorkloadFactory &factory)
 {
     trace::ScopedSink sink(trace_enabled_ ? &tracer_ : nullptr);
     active_vms_ = 1;
+
+    std::optional<check::AuditDaemon> audit;
+    if (check::fullChecksEnabled) {
+        audit.emplace(*vmm_, slot.kernel->events(), kAuditInterval,
+                      &registry_);
+        audit->start();
+    }
+
     auto wl = factory(envFor(slot));
-    return wl->run();
+    auto result = wl->run();
+
+    if (check::fullChecksEnabled)
+        check::enforce(check::auditVmm(*vmm_, &registry_));
+    return result;
 }
 
 std::vector<workload::Workload::Result>
@@ -130,6 +154,14 @@ HeteroSystem::runMany(
         &pairs)
 {
     trace::ScopedSink sink(trace_enabled_ ? &tracer_ : nullptr);
+
+    std::optional<check::AuditDaemon> audit;
+    if (check::fullChecksEnabled && !pairs.empty()) {
+        audit.emplace(*vmm_, pairs.front().first->kernel->events(),
+                      kAuditInterval, &registry_);
+        audit->start();
+    }
+
     std::vector<std::unique_ptr<workload::Workload>> wls;
     wls.reserve(pairs.size());
     for (const auto &[slot, factory] : pairs) {
@@ -161,6 +193,9 @@ HeteroSystem::runMany(
     results.reserve(wls.size());
     for (auto &wl : wls)
         results.push_back(wl->finish());
+
+    if (check::fullChecksEnabled)
+        check::enforce(check::auditVmm(*vmm_, &registry_));
     return results;
 }
 

@@ -67,6 +67,13 @@ class BuddyAllocator
     /** Free pages currently available at exactly this order. */
     std::uint64_t freeBlocks(unsigned order) const;
 
+    /** Read-only view of one order's free list (audit walkers). */
+    const PageList &freeList(unsigned order) const
+    {
+        hos_assert(order < free_area_.size(), "order out of range");
+        return free_area_[order];
+    }
+
     /** Verify internal invariants (test support); panics on violation. */
     void checkInvariants() const;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/page_state.hh"
 #include "guestos/kernel.hh"
 #include "sim/log.hh"
 #include "trace/trace.hh"
@@ -222,6 +223,8 @@ HeteroAllocator::allocPage(const AllocRequest &req)
     oom_strikes_ = 0;
 
     Page &p = kernel_.pageMeta(pfn);
+    HOS_CHECK_CHEAP(
+        check::validateAlloc(p, req.type, "hetero_allocator.allocPage"));
     p.type = req.type;
     p.owner_process = req.process;
     p.vaddr = req.vaddr;
@@ -242,6 +245,8 @@ void
 HeteroAllocator::freePage(Gpfn pfn, unsigned cpu)
 {
     Page &p = kernel_.pageMeta(pfn);
+    HOS_CHECK_CHEAP(
+        check::validateFree(p, "hetero_allocator.freePage"));
     hos_assert(p.allocated, "freeing unallocated page");
     trace::emit(trace::EventType::PageFree, kernel_.events().now(), pfn,
                 static_cast<std::uint64_t>(p.mem_type));

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/page_state.hh"
 #include "sim/log.hh"
 
 namespace hos::guestos {
@@ -178,6 +179,8 @@ GuestKernel::allocPageOnNode(unsigned node_id, PageType type,
     if (pfn == invalidGpfn)
         return invalidGpfn;
     Page &p = pages_.page(pfn);
+    HOS_CHECK_CHEAP(
+        check::validateAlloc(p, type, "kernel.allocPageOnNode"));
     p.type = type;
     return pfn;
 }

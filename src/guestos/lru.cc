@@ -1,5 +1,7 @@
 #include "guestos/lru.hh"
 
+#include "check/page_state.hh"
+
 namespace hos::guestos {
 
 SplitLru::SplitLru(PageArray &pages)
@@ -12,6 +14,7 @@ void
 SplitLru::addPage(Gpfn pfn)
 {
     Page &p = pages_.page(pfn);
+    HOS_CHECK_CHEAP(check::validateLruInsert(p, "lru.addPage"));
     hos_assert(p.lru == LruState::None, "page already on an LRU");
     p.lru = LruState::Inactive;
     p.referenced = false;
@@ -22,6 +25,7 @@ void
 SplitLru::addPageActive(Gpfn pfn)
 {
     Page &p = pages_.page(pfn);
+    HOS_CHECK_CHEAP(check::validateLruInsert(p, "lru.addPageActive"));
     hos_assert(p.lru == LruState::None, "page already on an LRU");
     p.lru = LruState::Active;
     p.referenced = false;

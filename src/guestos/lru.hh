@@ -80,6 +80,10 @@ class SplitLru
     /** Pages scanned by reclaim since construction (cost accounting). */
     std::uint64_t scanned() const { return scanned_.value(); }
 
+    /** Read-only views of the underlying lists (audit walkers). */
+    const PageList &activeList() const { return active_; }
+    const PageList &inactiveList() const { return inactive_; }
+
   private:
     PageArray &pages_;
     PageList active_;

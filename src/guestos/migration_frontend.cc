@@ -1,5 +1,6 @@
 #include "guestos/migration_frontend.hh"
 
+#include "check/page_state.hh"
 #include "guestos/kernel.hh"
 #include "sim/log.hh"
 #include "trace/trace.hh"
@@ -33,6 +34,11 @@ MigrationFrontend::migrateOne(Gpfn pfn, mem::MemType dst,
     }
     if (p.mem_type == dst)
         return false; // already there; not an error, just nothing to do
+
+    // Backstop behind the skip checks above: a page reaching the
+    // actual move must satisfy the migration rules.
+    HOS_CHECK_CHEAP(
+        check::validateMigration(p, dst, "migration_frontend.migrateOne"));
 
     NumaNode *target = kernel_.nodeFor(dst);
     if (!target) {

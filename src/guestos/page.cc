@@ -2,30 +2,6 @@
 
 namespace hos::guestos {
 
-const char *
-pageTypeName(PageType t)
-{
-    switch (t) {
-      case PageType::Free:
-        return "free";
-      case PageType::Anon:
-        return "heap/anon";
-      case PageType::PageCache:
-        return "io-cache";
-      case PageType::BufferCache:
-        return "buffer-cache";
-      case PageType::Slab:
-        return "slab";
-      case PageType::NetBuf:
-        return "nw-buff";
-      case PageType::PageTable:
-        return "pagetable";
-      case PageType::Dma:
-        return "dma";
-    }
-    return "?";
-}
-
 PageArray::PageArray(std::uint64_t num_pages) : pages_(num_pages)
 {
     for (std::uint64_t i = 0; i < num_pages; ++i)

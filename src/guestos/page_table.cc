@@ -46,22 +46,8 @@ PageTable::PageTable(TableAccounting accounting)
 
 PageTable::~PageTable()
 {
-    // Nodes are freed by unique_ptr recursion below (children are
-    // owned raw pointers inside slots, released here).
-    std::function<void(Node *, unsigned)> destroy =
-        [&](Node *n, unsigned level) {
-            if (level == 0)
-                return;
-            for (auto slot : n->slots) {
-                if (slot & bitPresent) {
-                    Node *child =
-                        reinterpret_cast<Node *>(slot & ptrMask);
-                    destroy(child, level - 1);
-                    delete child;
-                }
-            }
-        };
-    destroy(root_.get(), levels - 1);
+    // Non-root nodes are owned by node_pool_; slots only carry
+    // encoded borrows.
     if (accounting_)
         accounting_(-static_cast<std::int64_t>(node_count_));
 }
@@ -88,7 +74,8 @@ PageTable::ensureChild(Node &n, unsigned idx)
 {
     if (Node *c = childOf(n, idx))
         return c;
-    Node *c = new Node();
+    node_pool_.push_back(std::make_unique<Node>());
+    Node *c = node_pool_.back().get();
     n.slots[idx] =
         (reinterpret_cast<std::uint64_t>(c) & ptrMask) | bitPresent;
     ++n.used;

@@ -122,6 +122,12 @@ class PageTable
 
     TableAccounting accounting_;
     std::unique_ptr<Node> root_;
+    /**
+     * Owns every non-root node. Slots still hold encoded raw child
+     * pointers (they model packed PTEs), but lifetime lives here, not
+     * in a hand-rolled destructor recursion.
+     */
+    std::vector<std::unique_ptr<Node>> node_pool_;
     std::uint64_t mapped_ = 0;
     std::uint64_t node_count_ = 0;
 };

@@ -32,7 +32,29 @@ enum class PageType : std::uint8_t {
 constexpr std::size_t numPageTypes = 8;
 
 /** Printable name for a page type. */
-const char *pageTypeName(PageType t);
+constexpr const char *
+pageTypeName(PageType t)
+{
+    switch (t) {
+      case PageType::Free:
+        return "free";
+      case PageType::Anon:
+        return "heap/anon";
+      case PageType::PageCache:
+        return "io-cache";
+      case PageType::BufferCache:
+        return "buffer-cache";
+      case PageType::Slab:
+        return "slab";
+      case PageType::NetBuf:
+        return "nw-buff";
+      case PageType::PageTable:
+        return "pagetable";
+      case PageType::Dma:
+        return "dma";
+    }
+    return "?";
+}
 
 /** Index helper for per-type arrays. */
 constexpr std::size_t

@@ -1,5 +1,7 @@
 #include "guestos/percpu_lists.hh"
 
+#include "check/page_state.hh"
+
 namespace hos::guestos {
 
 PerCpuPageLists::PerCpuPageLists(PageArray &pages, unsigned cpus,
@@ -58,6 +60,7 @@ PerCpuPageLists::free(unsigned cpu, NumaNode &node, Gpfn pfn)
 {
     PageList &list = listFor(cpu, node.id());
     Page &p = pages_.page(pfn);
+    HOS_CHECK_CHEAP(check::validateFree(p, "percpu.free"));
     hos_assert(p.allocated, "per-cpu free of non-allocated page");
     // Reset as the buddy would; the page stays out of the buddy while
     // cached here.

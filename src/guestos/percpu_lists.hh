@@ -61,6 +61,12 @@ class PerCpuPageLists
     std::uint64_t fastPathHits() const { return hits_.value(); }
     std::uint64_t refills() const { return refills_.value(); }
 
+    /** Read-only view of one (cpu, node) cache (audit walkers). */
+    const PageList &cacheList(unsigned cpu, unsigned node) const
+    {
+        return listFor(cpu, node);
+    }
+
   private:
     PageList &listFor(unsigned cpu, unsigned node);
     const PageList &listFor(unsigned cpu, unsigned node) const;

@@ -2,6 +2,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+
+#include "check/check_error.hh"
 
 namespace hos::sim {
 
@@ -65,13 +68,28 @@ void
 assertFail(const char *cond, const char *file, int line, const char *fmt,
            ...)
 {
-    std::fprintf(stderr, "panic: assertion '%s' failed at %s:%d: ", cond,
-                 file, line);
+    char msg[512];
     va_list ap;
     va_start(ap, fmt);
-    std::vfprintf(stderr, fmt, ap);
+    std::vsnprintf(msg, sizeof(msg), fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "\n");
+
+    // Failed asserts are check failures of kind Assert: same sim-tick
+    // provenance, same abort-or-throw discipline as the validators.
+    if (check::failureMode() == check::FailureMode::Throw) {
+        check::CheckFailure f;
+        f.kind = check::CheckKind::Assert;
+        f.tick = t_current_tick;
+        f.where = std::string(file) + ":" + std::to_string(line);
+        f.what =
+            std::string("assertion '") + cond + "' failed: " + msg;
+        throw check::CheckError(std::move(f));
+    }
+
+    std::fprintf(stderr,
+                 "panic: [t=%lluns] assertion '%s' failed at %s:%d: %s\n",
+                 static_cast<unsigned long long>(t_current_tick), cond,
+                 file, line, msg);
     std::abort();
 }
 

@@ -54,7 +54,12 @@ void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 /** Print a debug message (only at log level >= 2). */
 void debug(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
-/** hos_assert's slow path: report the failed condition and abort. */
+/**
+ * hos_assert's slow path: report the failed condition (stamped with
+ * the current sim tick) and abort — or throw check::CheckError of
+ * kind Assert when the check failure mode is Throw (HOS_CHECK_THROW
+ * builds, or check::setFailureMode at runtime).
+ */
 [[noreturn]] void assertFail(const char *cond, const char *file, int line,
                              const char *fmt, ...)
     __attribute__((format(printf, 4, 5)));

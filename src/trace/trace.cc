@@ -37,6 +37,7 @@ constexpr std::array<EventTypeInfo, numEventTypes> kEventInfo = {{
      "reclaimed"},
     {"device_batch", Category::Device, "loads", "stores", "bytes"},
     {"stats_snapshot", Category::Stats, "index", "groups", ""},
+    {"check_failure", Category::Check, "kind", "subject", ""},
 }};
 
 struct CategoryName
@@ -50,7 +51,7 @@ constexpr CategoryName kCategoryNames[] = {
     {"scan", Category::Scan},           {"balloon", Category::Balloon},
     {"swap", Category::Swap},           {"hypercall", Category::Hypercall},
     {"fairness", Category::Fairness},   {"device", Category::Device},
-    {"stats", Category::Stats},
+    {"stats", Category::Stats},         {"check", Category::Check},
 };
 
 } // namespace

@@ -51,7 +51,8 @@ enum class Category : std::uint32_t {
     Fairness = 1u << 6,  ///< DRF reallocation decisions
     Device = 1u << 7,    ///< memory-device service batches
     Stats = 1u << 8,     ///< periodic stats snapshots
-    All = 0x1ffu,
+    Check = 1u << 9,     ///< invariant-check failures (hos::check)
+    All = 0x3ffu,
 };
 
 /** Typed event records. The a0/a1/a2 meanings are per-type. */
@@ -72,9 +73,10 @@ enum class EventType : std::uint16_t {
     DrfReclaim,         ///< a0=victim vm, a1=tier, a2=reclaimed
     DeviceBatch,        ///< a0=loads, a1=stores, a2=bytes
     StatsSnapshot,      ///< a0=snapshot index, a1=groups sampled
+    CheckFailure,       ///< a0=CheckKind, a1=subject pfn/mfn
 };
 
-constexpr std::size_t numEventTypes = 16;
+constexpr std::size_t numEventTypes = 17;
 
 /** Static description of one event type. */
 struct EventTypeInfo

@@ -14,6 +14,8 @@ P2m::set(Gpfn gpfn, mem::Mfn mfn, mem::MemType tier)
 {
     hos_assert(gpfn < map_.size(), "gpfn out of P2M range");
     hos_assert(mfn != mem::invalidMfn, "mapping invalid MFN");
+    hos_assert(static_cast<std::size_t>(tier) < tier_count_.size(),
+               "bad memory tier %u", static_cast<unsigned>(tier));
     if (map_[gpfn] == mem::invalidMfn) {
         ++populated_count_;
     } else {

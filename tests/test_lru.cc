@@ -16,6 +16,16 @@ struct LruFixture : ::testing::Test
 {
     PageArray pages{256};
     SplitLru lru{pages};
+
+    LruFixture()
+    {
+        // Only live, LRU-managed pages may enter an LRU (hos::check
+        // page-state validator); stand in for the allocator here.
+        for (Gpfn p = 0; p < pages.size(); ++p) {
+            pages.page(p).allocated = true;
+            pages.page(p).type = PageType::Anon;
+        }
+    }
 };
 
 TEST_F(LruFixture, NewPagesStartInactive)

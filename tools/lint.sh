@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+#
+# Static hygiene gate for the HeteroOS simulator.
+#
+#   tools/lint.sh          run every check
+#   tools/lint.sh --fast   skip the header self-sufficiency compiles
+#
+# Checks:
+#   1. Banned constructs in src/:
+#        - raw assert()        -> use hos_assert (active in release,
+#                                 sim-tick stamped, throwable)
+#        - naked new           -> use std::make_unique / containers
+#        - wall-clock calls    -> simulation code must use sim time
+#                                 (sim::currentTick / EventQueue) only,
+#                                 or parallel-vs-serial runs diverge
+#   2. clang-tidy over src/ when a compile database and clang-tidy
+#      exist (skipped with a note otherwise; CI installs it).
+#   3. Header self-sufficiency: every header under src/ compiles as a
+#      standalone translation unit.
+#
+# Exit status: 0 clean, 1 findings.
+
+set -u
+cd "$(dirname "$0")/.."
+
+FAST=0
+[ "${1:-}" = "--fast" ] && FAST=1
+
+fail=0
+red() { printf '\033[31m%s\033[0m\n' "$*"; }
+note() { printf '%s\n' "$*"; }
+
+findings() {
+    # findings <label> <matches>
+    if [ -n "$2" ]; then
+        red "lint: $1"
+        printf '%s\n' "$2"
+        fail=1
+    fi
+}
+
+# --- 1. Banned constructs -------------------------------------------------
+
+# Raw assert(): hos_assert only (static_assert is fine).
+matches=$(grep -rnE '(^|[^_a-zA-Z.])assert\(' src \
+    --include='*.cc' --include='*.hh' \
+    | grep -vE 'hos_assert|static_assert|assertFail|//|\*' || true)
+findings "raw assert() — use hos_assert" "$matches"
+
+# Naked new: ownership must be typed (make_unique, containers).
+matches=$(grep -rnE '(=|return)[[:space:]]+new[[:space:]]' src \
+    --include='*.cc' --include='*.hh' || true)
+findings "naked new — use std::make_unique" "$matches"
+
+# Wall-clock time in simulation code: nondeterminism under the
+# parallel sweep runner. (Anchored on full names; "synchronous"
+# contains "chrono".)
+matches=$(grep -rnE \
+    'std::chrono|gettimeofday|clock_gettime|[^_a-zA-Z]time\(NULL\)|[^_a-zA-Z]time\(nullptr\)|[^_a-zA-Z]time\(0\)' \
+    src --include='*.cc' --include='*.hh' || true)
+findings "wall-clock call in sim code — use sim time" "$matches"
+
+# --- 2. clang-tidy --------------------------------------------------------
+
+if command -v clang-tidy >/dev/null 2>&1; then
+    if [ -f build/compile_commands.json ]; then
+        note "lint: running clang-tidy (this can take a while)"
+        if ! find src -name '*.cc' -print0 \
+            | xargs -0 -P "$(nproc)" -n 4 clang-tidy -p build --quiet \
+                2>/dev/null; then
+            red "lint: clang-tidy reported findings"
+            fail=1
+        fi
+    else
+        note "lint: skipping clang-tidy (no build/compile_commands.json;" \
+             "configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)"
+    fi
+else
+    note "lint: skipping clang-tidy (not installed)"
+fi
+
+# --- 3. Header self-sufficiency -------------------------------------------
+
+if [ "$FAST" -eq 0 ]; then
+    cxx=${CXX:-c++}
+    tmpdir=$(mktemp -d)
+    trap 'rm -rf "$tmpdir"' EXIT
+    note "lint: checking header self-sufficiency with $cxx"
+    while IFS= read -r hdr; do
+        rel=${hdr#src/}
+        printf '#include "%s"\n' "$rel" > "$tmpdir/tu.cc"
+        if ! "$cxx" -std=c++20 -fsyntax-only -Isrc "$tmpdir/tu.cc" \
+            2> "$tmpdir/err"; then
+            red "lint: header is not self-sufficient: $hdr"
+            cat "$tmpdir/err"
+            fail=1
+        fi
+    done < <(find src -name '*.hh' | sort)
+fi
+
+if [ "$fail" -ne 0 ]; then
+    red "lint: FAILED"
+    exit 1
+fi
+note "lint: OK"
