@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Simulator self-performance benchmark (host wall-clock, not
+ * simulated time).
+ *
+ * Where every other bench reproduces a paper figure, this one
+ * measures the simulator itself: how many simulated nanoseconds each
+ * end-to-end scenario advances per host second. Three scenarios
+ * cover the three hot regimes:
+ *
+ *  - coordinated: single-VM HeteroOS-coordinated run (guest/VMM
+ *    coordination loop, guided scans, placement sampling);
+ *  - two_vm_drf: two VMs (GraphChi + Metis) sharing a host under
+ *    weighted-DRF arbitration (ballooning, overcommit churn);
+ *  - full_vm_sweep: VMM-exclusive management (full-VM hotness sweeps
+ *    over the guest's entire gpfn space).
+ *
+ * The coordinated and full-VM-sweep scenarios also run in "legacy"
+ * mode — placement sampling answered by walking region pages instead
+ * of the ResidencyIndex, and sweeps probing every free descriptor
+ * instead of skipping runs — which is the pre-optimization ("before")
+ * implementation retained as a cross-check. Simulated results are
+ * bit-identical between the modes (enforced by
+ * test_golden_determinism); only the host-time cost differs, and the
+ * recorded before/after pair is the speedup evidence.
+ *
+ * Output: google-benchmark console output, plus a machine-readable
+ * summary written to BENCH_selfperf.json (override the path with
+ * HOS_SELFPERF_OUT). Reduce iteration time for smoke runs with
+ * --benchmark_min_time and HOS_BENCH_SCALE as usual.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "policy/vmm_exclusive.hh"
+#include "sim/json.hh"
+#include "vmm/drf.hh"
+
+using namespace hos;
+
+namespace {
+
+/** Simulated seconds advanced by the runs of one benchmark. */
+void
+recordSimTime(benchmark::State &state, double sim_seconds)
+{
+    state.counters["sim_ns_per_host_s"] = benchmark::Counter(
+        sim_seconds * 1e9, benchmark::Counter::kIsRate);
+    state.counters["sim_s"] = benchmark::Counter(
+        sim_seconds, benchmark::Counter::kAvgIterations);
+}
+
+void
+BM_Coordinated(benchmark::State &state, bool legacy)
+{
+    const core::Scenario s =
+        bench::paperScenario(core::Approach::Coordinated)
+            .withLegacySampling(legacy)
+            .withName(legacy ? "selfperf-coordinated-legacy"
+                             : "selfperf-coordinated");
+    double sim_seconds = 0.0;
+    for (auto _ : state) {
+        const auto r = core::run(s);
+        sim_seconds += r.seconds();
+        benchmark::DoNotOptimize(r.phases);
+    }
+    recordSimTime(state, sim_seconds);
+}
+
+void
+BM_FullVmSweep(benchmark::State &state, bool legacy)
+{
+    // VMM-exclusive over the paper host: the tracker sweeps the whole
+    // guest gpfn space every interval. Legacy mode disables the
+    // free-run skip, probing every descriptor as the pre-optimization
+    // walk did; the system is assembled by hand because that knob
+    // lives in the policy's HotnessConfig, not the Scenario.
+    const core::Scenario s =
+        bench::paperScenario(core::Approach::VmmExclusive);
+    const workload::WorkloadFactory factory =
+        workload::makeApp(s.app, s.scale);
+    double sim_seconds = 0.0;
+    for (auto _ : state) {
+        core::HeteroSystem sys(s.host());
+        sys.setLegacyPlacementSampling(legacy);
+        vmm::HotnessConfig hotness;
+        hotness.free_run_skip = !legacy;
+        auto &slot = sys.addVm(
+            std::make_unique<policy::VmmExclusivePolicy>(hotness),
+            s.sizing());
+        const auto r = sys.runOne(slot, factory);
+        sim_seconds += r.seconds();
+        benchmark::DoNotOptimize(r.phases);
+    }
+    recordSimTime(state, sim_seconds);
+}
+
+void
+BM_TwoVmDrf(benchmark::State &state)
+{
+    // Two coordinated VMs overcommitting a shared host under
+    // weighted DRF — the heaviest steady-state configuration: two
+    // kernels, ballooning, and cross-VM arbitration.
+    const double scale = bench::benchScale();
+    double sim_seconds = 0.0;
+    for (auto _ : state) {
+        core::HostConfig host;
+        host.fast = mem::dramSpec(bench::scaledBytes(4 * mem::gib));
+        host.slow =
+            mem::defaultSlowMemSpec(bench::scaledBytes(8 * mem::gib));
+        core::HeteroSystem sys(host);
+        sys.vmm().setFairness(std::make_unique<vmm::DrfFairness>());
+
+        core::GuestSizing g;
+        g.name = "graphchi-vm";
+        g.fast_max = bench::scaledBytes(4 * mem::gib);
+        g.fast_initial = bench::scaledBytes(1 * mem::gib);
+        g.slow_max = bench::scaledBytes(8 * mem::gib);
+        g.slow_initial = bench::scaledBytes(4 * mem::gib);
+
+        core::GuestSizing m = g;
+        m.name = "metis-vm";
+        m.fast_initial = bench::scaledBytes(3 * mem::gib);
+        m.seed = 7;
+
+        auto &g_slot = sys.addVm(
+            core::makePolicy(core::Approach::Coordinated), g);
+        auto &m_slot = sys.addVm(
+            core::makePolicy(core::Approach::Coordinated), m);
+        const auto results = sys.runMany(
+            {{&g_slot, workload::makeGraphchiTwitter(scale)},
+             {&m_slot, workload::makeMetisLarge(scale)}});
+        for (const auto &r : results)
+            sim_seconds += r.seconds();
+        benchmark::DoNotOptimize(results.size());
+    }
+    recordSimTime(state, sim_seconds);
+}
+
+/**
+ * Console reporter that also captures per-benchmark wall time so the
+ * exit hook can write BENCH_selfperf.json, including the before/after
+ * (legacy vs optimized) speedups.
+ */
+class SelfperfReporter final : public benchmark::ConsoleReporter
+{
+  public:
+    struct Run
+    {
+        double real_s = 0.0; ///< host seconds per iteration
+        double sim_ns_per_host_s = 0.0;
+    };
+
+    void
+    ReportRuns(const std::vector<benchmark::BenchmarkReporter::Run>
+                   &report) override
+    {
+        for (const auto &r : report) {
+            if (r.error_occurred)
+                continue;
+            Run run;
+            const double iters =
+                r.iterations > 0 ? static_cast<double>(r.iterations)
+                                 : 1.0;
+            run.real_s = r.real_accumulated_time / iters;
+            auto it = r.counters.find("sim_ns_per_host_s");
+            if (it != r.counters.end())
+                run.sim_ns_per_host_s = it->second.value;
+            runs_[r.benchmark_name()] = run;
+        }
+        benchmark::ConsoleReporter::ReportRuns(report);
+    }
+
+    const std::map<std::string, Run> &runs() const { return runs_; }
+
+  private:
+    std::map<std::string, Run> runs_;
+};
+
+void
+writeJson(const SelfperfReporter &rep, const char *path)
+{
+    std::ofstream os(path);
+    if (!os) {
+        std::fprintf(stderr, "selfperf: cannot write %s\n", path);
+        return;
+    }
+    sim::JsonWriter w(os);
+    w.beginObject();
+    w.kv("schema", "hos-selfperf-1");
+    w.key("runs");
+    w.beginObject();
+    for (const auto &[name, run] : rep.runs()) {
+        w.key(name);
+        w.beginObject();
+        w.kv("real_time_s", run.real_s);
+        w.kv("sim_ns_per_host_s", run.sim_ns_per_host_s);
+        w.endObject();
+    }
+    w.endObject();
+
+    // Before/after pairs: <name>/legacy is the pre-optimization
+    // implementation (retained in-tree as a cross-check), <name> the
+    // optimized one. Speedup is legacy wall time over optimized wall
+    // time for the same simulated work.
+    w.key("speedups");
+    w.beginObject();
+    const auto &runs = rep.runs();
+    for (const auto &[name, run] : runs) {
+        const auto it = runs.find(name + "/legacy");
+        if (it == runs.end() || run.real_s <= 0.0)
+            continue;
+        w.key(name);
+        w.beginObject();
+        w.kv("before_real_time_s", it->second.real_s);
+        w.kv("after_real_time_s", run.real_s);
+        w.kv("speedup", it->second.real_s / run.real_s);
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+    os << "\n";
+    std::printf("selfperf: wrote %s\n", path);
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(BM_Coordinated, , false)
+    ->Name("coordinated")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Coordinated, , true)
+    ->Name("coordinated/legacy")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_FullVmSweep, , false)
+    ->Name("full_vm_sweep")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_FullVmSweep, , true)
+    ->Name("full_vm_sweep/legacy")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TwoVmDrf)
+    ->Name("two_vm_drf")
+    ->Unit(benchmark::kMillisecond);
+
+int
+main(int argc, char **argv)
+{
+    bench::banner("simulator self-performance");
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    SelfperfReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    const char *out = std::getenv("HOS_SELFPERF_OUT");
+    writeJson(reporter, out ? out : "BENCH_selfperf.json");
+    benchmark::Shutdown();
+    return 0;
+}

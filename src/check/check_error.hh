@@ -31,9 +31,10 @@ enum class CheckKind : std::uint8_t {
     Lru,            ///< LRU state bits disagree with list membership
     P2m,            ///< guest P2M vs VMM machine-frame ownership drift
     StatDrift,      ///< StatRegistry gauge disagrees with live state
+    Residency,      ///< ResidencyIndex disagrees with recomputed truth
 };
 
-constexpr std::size_t numCheckKinds = 8;
+constexpr std::size_t numCheckKinds = 9;
 
 constexpr const char *
 checkKindName(CheckKind k)
@@ -55,6 +56,8 @@ checkKindName(CheckKind k)
         return "p2m";
       case CheckKind::StatDrift:
         return "stat-drift";
+      case CheckKind::Residency:
+        return "residency";
     }
     return "?";
 }

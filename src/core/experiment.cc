@@ -40,6 +40,7 @@ std::unique_ptr<HeteroSystem>
 systemFor(const Scenario &s)
 {
     auto sys = std::make_unique<HeteroSystem>(s.host());
+    sys->setLegacyPlacementSampling(s.legacy_placement_sampling);
     sys->addVm(makePolicy(s.approach), s.sizing());
     return sys;
 }

@@ -117,6 +117,7 @@ HeteroSystem::envFor(VmSlot &slot)
     env.report_misses = [this, id](std::uint64_t misses) {
         vmm_->vm(id).reportLlcMisses(misses);
     };
+    env.legacy_placement_sampling = legacy_placement_sampling_;
     return env;
 }
 

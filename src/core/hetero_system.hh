@@ -113,6 +113,20 @@ class HeteroSystem
     /** This system's private trace ring (see enableTracing). */
     trace::Tracer &traceSink() { return tracer_; }
 
+    /**
+     * Run workloads with the legacy per-phase placement sampling
+     * instead of the ResidencyIndex (bit-identical cross-check path).
+     * Must be set before workloads are created via envFor/runOne.
+     */
+    void setLegacyPlacementSampling(bool on)
+    {
+        legacy_placement_sampling_ = on;
+    }
+    bool legacyPlacementSampling() const
+    {
+        return legacy_placement_sampling_;
+    }
+
     /** Build the workload environment for a VM. */
     workload::VmEnv envFor(VmSlot &slot);
 
@@ -137,6 +151,7 @@ class HeteroSystem
     sim::StatRegistry registry_;
     trace::Tracer tracer_;
     bool trace_enabled_ = false;
+    bool legacy_placement_sampling_ = false;
     unsigned active_vms_ = 1;
 };
 

@@ -192,6 +192,9 @@ scenarioToJson(sim::JsonWriter &w, const Scenario &s)
     w.kv("scale", s.scale);
     w.kv("seed", s.seed);
     w.kv("cpus", static_cast<std::uint64_t>(s.cpus));
+    // Emitted only when set so existing scenario JSON stays stable.
+    if (s.legacy_placement_sampling)
+        w.kv("legacy_placement_sampling", true);
     if (!s.name.empty())
         w.kv("name", s.name);
     if (s.slow_override) {
@@ -282,6 +285,17 @@ applyScenarioParam(Scenario &s, const std::string &key,
     }
     if (key == "name") {
         s.name = value;
+        return true;
+    }
+    if (key == "legacy_placement_sampling") {
+        if (value == "true" || value == "1") {
+            s.legacy_placement_sampling = true;
+        } else if (value == "false" || value == "0") {
+            s.legacy_placement_sampling = false;
+        } else {
+            return setError(error, "bad value '" + value +
+                                       "' for 'legacy_placement_sampling'");
+        }
         return true;
     }
 

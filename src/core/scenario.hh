@@ -97,6 +97,14 @@ struct Scenario
      */
     std::optional<mem::MemTierSpec> slow_override;
 
+    /**
+     * Run the workload engine's legacy per-phase placement sampling
+     * instead of the incremental ResidencyIndex. Bit-identical by
+     * construction; kept as the cross-check the golden-determinism
+     * test and perf benchmarks compare against.
+     */
+    bool legacy_placement_sampling = false;
+
     /** Optional label carried into results ("" = derived). */
     std::string name;
 
@@ -124,6 +132,11 @@ struct Scenario
     Scenario &withSlowSpec(mem::MemTierSpec spec)
     {
         slow_override = std::move(spec);
+        return *this;
+    }
+    Scenario &withLegacySampling(bool on = true)
+    {
+        legacy_placement_sampling = on;
         return *this;
     }
     Scenario &withName(std::string n) { name = std::move(n); return *this; }

@@ -71,7 +71,7 @@ BuddyAllocator::addFreeRange(Gpfn pfn, std::uint64_t count)
         // Mark allocated so free() passes its sanity checks.
         for (std::uint64_t i = 0; i < (1ull << order); ++i) {
             Page &p = pages_.page(pfn + i);
-            p.allocated = true;
+            pages_.setAllocated(p, true);
             p.in_buddy = false;
         }
         free(pfn, order);
@@ -102,7 +102,7 @@ BuddyAllocator::alloc(unsigned order)
     for (std::uint64_t i = 0; i < (1ull << order); ++i) {
         Page &p = pages_.page(pfn + i);
         hos_assert(!p.allocated, "allocating an allocated page");
-        p.allocated = true;
+        pages_.setAllocated(p, true);
         p.in_buddy = false;
     }
     return pfn;
@@ -121,7 +121,7 @@ BuddyAllocator::free(Gpfn pfn, unsigned order)
         hos_assert(p.allocated, "double free of page %llu",
                    static_cast<unsigned long long>(pfn + i));
         hos_assert(!p.in_buddy, "freeing a page still in buddy");
-        p.allocated = false;
+        pages_.setAllocated(p, false);
         p.type = PageType::Free;
         p.dirty = false;
         p.referenced = false;
@@ -157,7 +157,7 @@ BuddyAllocator::removeFreePage()
         for (unsigned s = 0; s < o; ++s)
             insertBlock(pfn + (1ull << s), s);
         Page &p = pages_.page(pfn);
-        p.allocated = false;
+        pages_.setAllocated(p, false);
         p.in_buddy = false;
         hos_assert(managed_pages_ > 0, "removing from empty allocator");
         --managed_pages_;

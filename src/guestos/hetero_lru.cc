@@ -89,6 +89,7 @@ HeteroLru::demotePage(Gpfn pfn)
         d.vaddr = p.vaddr;
         d.dirty = p.dirty;
         as.pageTable().remap(p.vaddr, dst);
+        kernel_.residency().onRemap(p.owner_process, p.vaddr, dst);
 
         const bool was_on_lru = p.lru != LruState::None;
         if (was_on_lru)

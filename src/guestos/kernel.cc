@@ -83,26 +83,10 @@ GuestKernel::GuestKernel(GuestConfig cfg)
     slab_ = std::make_unique<SlabAllocator>(*this);
     swap_ = std::make_unique<SwapDevice>(
         disk_, mem::bytesToPages(cfg_.swap_bytes));
+    residency_ = std::make_unique<ResidencyIndex>(*this);
 }
 
 GuestKernel::~GuestKernel() = default;
-
-NumaNode &
-GuestKernel::node(unsigned id)
-{
-    hos_assert(id < nodes_.size(), "bad node id");
-    return *nodes_[id];
-}
-
-NumaNode *
-GuestKernel::nodeFor(mem::MemType type)
-{
-    for (auto &n : nodes_) {
-        if (n->memType() == type)
-            return n.get();
-    }
-    return nullptr;
-}
 
 bool
 GuestKernel::hasType(mem::MemType type) const
@@ -112,19 +96,6 @@ GuestKernel::hasType(mem::MemType type) const
             return true;
     }
     return false;
-}
-
-NumaNode &
-GuestKernel::nodeOf(Gpfn pfn)
-{
-    const Page &p = pages_.page(pfn);
-    return node(p.numa_node);
-}
-
-Zone &
-GuestKernel::zoneOf(Gpfn pfn)
-{
-    return nodeOf(pfn).zoneOf(pfn);
 }
 
 std::uint64_t
@@ -211,14 +182,6 @@ GuestKernel::returnUnpopulatedGpfns(unsigned node_id,
                    "returning a populated gpfn");
         stack.push_back(pfn);
     }
-}
-
-mem::MemType
-GuestKernel::backingOf(Gpfn pfn) const
-{
-    if (backing_oracle_)
-        return backing_oracle_(pfn);
-    return pages_.page(pfn).mem_type;
 }
 
 void

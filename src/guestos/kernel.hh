@@ -34,6 +34,7 @@
 #include "guestos/page.hh"
 #include "guestos/page_cache.hh"
 #include "guestos/percpu_lists.hh"
+#include "guestos/residency.hh"
 #include "guestos/slab.hh"
 #include "guestos/swap.hh"
 #include "mem/tlb_model.hh"
@@ -101,12 +102,29 @@ class GuestKernel final : public MmBacking,
     {
         return static_cast<unsigned>(nodes_.size());
     }
-    NumaNode &node(unsigned id);
+    // node/nodeOf/zoneOf run on every page alloc, free, and LRU
+    // rotation; they are defined inline for the same reason the
+    // PageList operations are.
+    NumaNode &node(unsigned id)
+    {
+        hos_assert(id < nodes_.size(), "bad node id");
+        return *nodes_[id];
+    }
     /** First node of the type, or nullptr if the guest has none. */
-    NumaNode *nodeFor(mem::MemType type);
+    NumaNode *nodeFor(mem::MemType type)
+    {
+        for (auto &n : nodes_) {
+            if (n->memType() == type)
+                return n.get();
+        }
+        return nullptr;
+    }
     bool hasType(mem::MemType type) const;
-    NumaNode &nodeOf(Gpfn pfn);
-    Zone &zoneOf(Gpfn pfn);
+    NumaNode &nodeOf(Gpfn pfn)
+    {
+        return node(pages_.page(pfn).numa_node);
+    }
+    Zone &zoneOf(Gpfn pfn) { return nodeOf(pfn).zoneOf(pfn); }
 
     /**
      * Pages allocatable from a node right now: buddy free pages plus
@@ -126,6 +144,7 @@ class GuestKernel final : public MmBacking,
     PageCache &pageCache() { return *page_cache_; }
     SlabAllocator &slab() { return *slab_; }
     SwapDevice &swap() { return *swap_; }
+    ResidencyIndex &residency() { return *residency_; }
     BlockDevice &disk() { return disk_; }
     PerCpuPageLists &percpu() { return *percpu_; }
     sim::EventQueue &events() { return events_; }
@@ -165,9 +184,19 @@ class GuestKernel final : public MmBacking,
      * Which memory tier actually backs this gpfn. Defaults to the
      * guest node's type (identity backing); a VMM-exclusive policy
      * overrides it with a P2M lookup, since there the guest's view
-     * is a lie.
+     * is a lie. Inline: the workload engine calls this in per-page
+     * loops, and the identity path is two loads.
      */
-    mem::MemType backingOf(Gpfn pfn) const;
+    mem::MemType backingOf(Gpfn pfn) const
+    {
+        if (backing_oracle_)
+            return backing_oracle_(pfn);
+        return pages_.page(pfn).mem_type;
+    }
+    bool hasBackingOracle() const
+    {
+        return static_cast<bool>(backing_oracle_);
+    }
     void setBackingOracle(std::function<mem::MemType(Gpfn)> oracle)
     {
         backing_oracle_ = std::move(oracle);
@@ -247,6 +276,7 @@ class GuestKernel final : public MmBacking,
     std::unique_ptr<PageCache> page_cache_;
     std::unique_ptr<SlabAllocator> slab_;
     std::unique_ptr<SwapDevice> swap_;
+    std::unique_ptr<ResidencyIndex> residency_;
 
     std::function<mem::MemType(Gpfn)> backing_oracle_;
 

@@ -95,44 +95,6 @@ SplitLru::contains(Gpfn pfn) const
 }
 
 std::uint64_t
-SplitLru::scanInactive(std::uint64_t nscan,
-                       const std::function<bool(Page &)> &reclaim)
-{
-    std::uint64_t reclaimed = 0;
-    for (std::uint64_t i = 0; i < nscan && !inactive_.empty(); ++i) {
-        const Gpfn pfn = inactive_.tail();
-        Page &p = pages_.page(pfn);
-        scanned_.inc();
-
-        if (p.under_io || p.unevictable) {
-            inactive_.moveToFront(pfn);
-            continue;
-        }
-        if (p.referenced) {
-            // Second chance: promote to active, as Linux's
-            // shrink_inactive does for referenced+accessed pages.
-            p.referenced = false;
-            inactive_.remove(pfn);
-            p.lru = LruState::Active;
-            active_.pushFront(pfn);
-            continue;
-        }
-
-        inactive_.remove(pfn);
-        p.lru = LruState::None;
-        if (reclaim(p)) {
-            ++reclaimed;
-        } else {
-            // Taker declined (e.g., dirty page pending writeback):
-            // rotate back to the inactive head.
-            p.lru = LruState::Inactive;
-            inactive_.pushFront(pfn);
-        }
-    }
-    return reclaimed;
-}
-
-std::uint64_t
 SplitLru::balance(double target_ratio, std::uint64_t nscan)
 {
     std::uint64_t demoted = 0;

@@ -62,10 +62,49 @@ class SplitLru
      * if it took the page (the scan removes it from the LRU first).
      * Pages under I/O or unevictable are rotated.
      *
+     * A template rather than std::function: reclaim fires per page
+     * on the memory-pressure path, where the erased indirect call is
+     * measurable.
+     *
      * @return number of pages reclaimed.
      */
-    std::uint64_t scanInactive(std::uint64_t nscan,
-                               const std::function<bool(Page &)> &reclaim);
+    template <typename Reclaim>
+    std::uint64_t scanInactive(std::uint64_t nscan, Reclaim &&reclaim)
+    {
+        std::uint64_t reclaimed = 0;
+        for (std::uint64_t i = 0; i < nscan && !inactive_.empty();
+             ++i) {
+            const Gpfn pfn = inactive_.tail();
+            Page &p = pages_.page(pfn);
+            scanned_.inc();
+
+            if (p.under_io || p.unevictable) {
+                inactive_.moveToFront(pfn);
+                continue;
+            }
+            if (p.referenced) {
+                // Second chance: promote to active, as Linux's
+                // shrink_inactive does for referenced+accessed pages.
+                p.referenced = false;
+                inactive_.remove(pfn);
+                p.lru = LruState::Active;
+                active_.pushFront(pfn);
+                continue;
+            }
+
+            inactive_.remove(pfn);
+            p.lru = LruState::None;
+            if (reclaim(p)) {
+                ++reclaimed;
+            } else {
+                // Taker declined (e.g., dirty page pending
+                // writeback): rotate back to the inactive head.
+                p.lru = LruState::Inactive;
+                inactive_.pushFront(pfn);
+            }
+        }
+        return reclaimed;
+    }
 
     /**
      * Rebalance: demote pages from the active tail to inactive until

@@ -70,6 +70,7 @@ MigrationFrontend::migrateOne(Gpfn pfn, mem::MemType dst,
         d.dirty = p.dirty;
         d.pte_accessed = p.pte_accessed;
         as.pageTable().remap(p.vaddr, newp);
+        kernel_.residency().onRemap(p.owner_process, p.vaddr, newp);
 
         if (p.lru != LruState::None)
             kernel_.lruRemove(pfn);

@@ -30,13 +30,9 @@ NumaNode::NumaNode(unsigned id, mem::MemType type, PageArray &pages,
     }
 }
 
-Zone &
-NumaNode::zoneOf(Gpfn pfn)
+void
+NumaNode::zoneOfMiss(Gpfn pfn) const
 {
-    for (auto &z : zones_) {
-        if (z->containsGpfn(pfn))
-            return *z;
-    }
     sim::panic("gpfn %llu not in node %u",
                static_cast<unsigned long long>(pfn), id_);
 }

@@ -48,7 +48,16 @@ class NumaNode
     const Zone &zone(std::size_t i) const { return *zones_[i]; }
 
     /** Zone containing a gpfn; panics if outside the node. */
-    Zone &zoneOf(Gpfn pfn);
+    Zone &zoneOf(Gpfn pfn)
+    {
+        // At most two zones per node (DMA + Normal/Unified), checked
+        // newest-first: user allocations live in the last zone.
+        for (auto it = zones_.rbegin(); it != zones_.rend(); ++it) {
+            if ((*it)->containsGpfn(pfn))
+                return **it;
+        }
+        zoneOfMiss(pfn);
+    }
 
     /** The zone user allocations come from (Unified or Normal). */
     Zone &primaryZone();
@@ -69,6 +78,7 @@ class NumaNode
     void freeBlock(Gpfn pfn, unsigned order);
 
   private:
+    [[noreturn]] void zoneOfMiss(Gpfn pfn) const;
     unsigned id_;
     mem::MemType type_;
     Gpfn base_;

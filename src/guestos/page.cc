@@ -1,107 +1,40 @@
 #include "guestos/page.hh"
 
+#include <algorithm>
+
 namespace hos::guestos {
 
-PageArray::PageArray(std::uint64_t num_pages) : pages_(num_pages)
+PageArray::PageArray(std::uint64_t num_pages)
+    : chunk_allocated_((num_pages + chunkPages - 1) >> chunkShift, 0)
 {
-    for (std::uint64_t i = 0; i < num_pages; ++i)
-        pages_[i].pfn = i;
+    // Construct descriptors in one pass with the pfn set, instead of
+    // value-initializing the whole array and then re-walking it to
+    // stamp pfns — mem_map construction is pure memory bandwidth and
+    // shows up in every experiment's start-up time.
+    pages_.reserve(num_pages);
+    for (std::uint64_t i = 0; i < num_pages; ++i) {
+        pages_.emplace_back();
+        pages_.back().pfn = i;
+    }
 }
 
-void
-PageList::pushFront(Gpfn pfn)
+std::uint64_t
+PageArray::freeRunLength(Gpfn from, std::uint64_t max) const
 {
-    Page &p = pages_->page(pfn);
-    hos_assert(p.on_list == listNone, "page %llu already on list %u",
-               static_cast<unsigned long long>(pfn), p.on_list);
-    p.on_list = tag_;
-    p.link_prev = invalidGpfn;
-    p.link_next = head_;
-    if (head_ != invalidGpfn)
-        pages_->page(head_).link_prev = pfn;
-    head_ = pfn;
-    if (tail_ == invalidGpfn)
-        tail_ = pfn;
-    ++count_;
-}
-
-void
-PageList::pushBack(Gpfn pfn)
-{
-    Page &p = pages_->page(pfn);
-    hos_assert(p.on_list == listNone, "page %llu already on list %u",
-               static_cast<unsigned long long>(pfn), p.on_list);
-    p.on_list = tag_;
-    p.link_next = invalidGpfn;
-    p.link_prev = tail_;
-    if (tail_ != invalidGpfn)
-        pages_->page(tail_).link_next = pfn;
-    tail_ = pfn;
-    if (head_ == invalidGpfn)
-        head_ = pfn;
-    ++count_;
-}
-
-void
-PageList::remove(Gpfn pfn)
-{
-    Page &p = pages_->page(pfn);
-    hos_assert(p.on_list == tag_, "page %llu on list %u, not %u",
-               static_cast<unsigned long long>(pfn), p.on_list, tag_);
-    if (p.link_prev != invalidGpfn)
-        pages_->page(p.link_prev).link_next = p.link_next;
-    else
-        head_ = p.link_next;
-    if (p.link_next != invalidGpfn)
-        pages_->page(p.link_next).link_prev = p.link_prev;
-    else
-        tail_ = p.link_prev;
-    p.link_prev = invalidGpfn;
-    p.link_next = invalidGpfn;
-    p.on_list = listNone;
-    hos_assert(count_ > 0, "list count underflow");
-    --count_;
-}
-
-Gpfn
-PageList::popFront()
-{
-    if (head_ == invalidGpfn)
-        return invalidGpfn;
-    const Gpfn pfn = head_;
-    remove(pfn);
-    return pfn;
-}
-
-Gpfn
-PageList::popBack()
-{
-    if (tail_ == invalidGpfn)
-        return invalidGpfn;
-    const Gpfn pfn = tail_;
-    remove(pfn);
-    return pfn;
-}
-
-void
-PageList::moveToFront(Gpfn pfn)
-{
-    remove(pfn);
-    pushFront(pfn);
-}
-
-bool
-PageList::contains(Gpfn pfn) const
-{
-    const Page &p = pages_->page(pfn);
-    if (p.on_list != tag_)
-        return false;
-    // Tags are unique per list *kind* but a node may have several
-    // lists with the same tag (per-zone LRUs); walk links only when
-    // disambiguation matters. Membership by tag is sufficient for the
-    // single-instance lists used in the allocator; LRU uses per-page
-    // LruState for exactness.
-    return true;
+    const Gpfn end = std::min<Gpfn>(pages_.size(), from + max);
+    Gpfn pfn = from;
+    while (pfn < end) {
+        if (chunk_allocated_[pfn >> chunkShift] == 0) {
+            // Whole chunk free: jump to the next chunk boundary.
+            const Gpfn next = ((pfn >> chunkShift) + 1) << chunkShift;
+            pfn = std::min<Gpfn>(end, next);
+            continue;
+        }
+        if (pages_[pfn].allocated)
+            break;
+        ++pfn;
+    }
+    return pfn - from;
 }
 
 } // namespace hos::guestos

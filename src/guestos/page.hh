@@ -138,10 +138,20 @@ class PageList
 
 /**
  * The guest's mem_map: one Page per gpfn, plus per-node gpfn ranges.
+ *
+ * Alongside the descriptors it keeps a coarse allocated-range hint:
+ * one allocated-page counter per chunk of 2^chunkShift gpfns. Every
+ * `allocated` flip goes through setAllocated() so the counters stay
+ * exact, letting sweep-style walkers (HotnessTracker's full-VM scan)
+ * skip whole free chunks instead of probing each descriptor.
  */
 class PageArray
 {
   public:
+    /** log2 pages per allocated-hint chunk (4096 pages = 16 MiB). */
+    static constexpr unsigned chunkShift = 12;
+    static constexpr std::uint64_t chunkPages = std::uint64_t(1) << chunkShift;
+
     explicit PageArray(std::uint64_t num_pages);
 
     std::uint64_t size() const { return pages_.size(); }
@@ -158,9 +168,137 @@ class PageArray
         return pages_[pfn];
     }
 
+    /** Flip p.allocated, keeping the per-chunk counters exact. */
+    void setAllocated(Page &p, bool v)
+    {
+        if (p.allocated == v)
+            return;
+        p.allocated = v;
+        if (v)
+            ++chunk_allocated_[p.pfn >> chunkShift];
+        else
+            --chunk_allocated_[p.pfn >> chunkShift];
+    }
+
+    /**
+     * Length of the run of unallocated pages starting at `from`,
+     * capped at `max` and at the end of the array (no wrap). Fully
+     * free chunks are skipped via the counters; partial chunks are
+     * probed per descriptor. Returns 0 if `from` is allocated.
+     */
+    std::uint64_t freeRunLength(Gpfn from, std::uint64_t max) const;
+
+    std::uint64_t numChunks() const { return chunk_allocated_.size(); }
+    std::uint32_t allocatedInChunk(std::uint64_t c) const
+    {
+        return chunk_allocated_[c];
+    }
+
   private:
     std::vector<Page> pages_;
+    std::vector<std::uint32_t> chunk_allocated_;
 };
+
+// The list operations are a few loads and stores each but run tens of
+// millions of times per simulated second (every LRU rotation, buddy
+// merge, and per-CPU cache refill goes through them), so they are
+// defined inline here, after PageArray, rather than out of line.
+
+inline void
+PageList::pushFront(Gpfn pfn)
+{
+    Page &p = pages_->page(pfn);
+    hos_assert(p.on_list == listNone, "page %llu already on list %u",
+               static_cast<unsigned long long>(pfn), p.on_list);
+    p.on_list = tag_;
+    p.link_prev = invalidGpfn;
+    p.link_next = head_;
+    if (head_ != invalidGpfn)
+        pages_->page(head_).link_prev = pfn;
+    head_ = pfn;
+    if (tail_ == invalidGpfn)
+        tail_ = pfn;
+    ++count_;
+}
+
+inline void
+PageList::pushBack(Gpfn pfn)
+{
+    Page &p = pages_->page(pfn);
+    hos_assert(p.on_list == listNone, "page %llu already on list %u",
+               static_cast<unsigned long long>(pfn), p.on_list);
+    p.on_list = tag_;
+    p.link_next = invalidGpfn;
+    p.link_prev = tail_;
+    if (tail_ != invalidGpfn)
+        pages_->page(tail_).link_next = pfn;
+    tail_ = pfn;
+    if (head_ == invalidGpfn)
+        head_ = pfn;
+    ++count_;
+}
+
+inline void
+PageList::remove(Gpfn pfn)
+{
+    Page &p = pages_->page(pfn);
+    hos_assert(p.on_list == tag_, "page %llu on list %u, not %u",
+               static_cast<unsigned long long>(pfn), p.on_list, tag_);
+    if (p.link_prev != invalidGpfn)
+        pages_->page(p.link_prev).link_next = p.link_next;
+    else
+        head_ = p.link_next;
+    if (p.link_next != invalidGpfn)
+        pages_->page(p.link_next).link_prev = p.link_prev;
+    else
+        tail_ = p.link_prev;
+    p.link_prev = invalidGpfn;
+    p.link_next = invalidGpfn;
+    p.on_list = listNone;
+    hos_assert(count_ > 0, "list count underflow");
+    --count_;
+}
+
+inline Gpfn
+PageList::popFront()
+{
+    if (head_ == invalidGpfn)
+        return invalidGpfn;
+    const Gpfn pfn = head_;
+    remove(pfn);
+    return pfn;
+}
+
+inline Gpfn
+PageList::popBack()
+{
+    if (tail_ == invalidGpfn)
+        return invalidGpfn;
+    const Gpfn pfn = tail_;
+    remove(pfn);
+    return pfn;
+}
+
+inline void
+PageList::moveToFront(Gpfn pfn)
+{
+    remove(pfn);
+    pushFront(pfn);
+}
+
+inline bool
+PageList::contains(Gpfn pfn) const
+{
+    const Page &p = pages_->page(pfn);
+    if (p.on_list != tag_)
+        return false;
+    // Tags are unique per list *kind* but a node may have several
+    // lists with the same tag (per-zone LRUs); walk links only when
+    // disambiguation matters. Membership by tag is sufficient for the
+    // single-instance lists used in the allocator; LRU uses per-page
+    // LruState for exactness.
+    return true;
+}
 
 } // namespace hos::guestos
 

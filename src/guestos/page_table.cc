@@ -85,15 +85,29 @@ PageTable::ensureChild(Node &n, unsigned idx)
     return c;
 }
 
-std::uint64_t *
-PageTable::leafSlot(std::uint64_t vaddr) const
+PageTable::Node *
+PageTable::leafNode(std::uint64_t vaddr) const
 {
+    const std::uint64_t tag = vaddr >> (mem::pageShift + bitsPerLevel);
+    if (tag == leaf_tag_)
+        return leaf_node_;
     Node *n = root_.get();
     for (unsigned level = levels - 1; level > 0; --level) {
         n = childOf(*n, levelIndex(vaddr, level));
         if (!n)
             return nullptr;
     }
+    leaf_tag_ = tag;
+    leaf_node_ = n;
+    return n;
+}
+
+std::uint64_t *
+PageTable::leafSlot(std::uint64_t vaddr) const
+{
+    Node *n = leafNode(vaddr);
+    if (!n)
+        return nullptr;
     return &n->slots[levelIndex(vaddr, 0)];
 }
 
@@ -101,9 +115,17 @@ void
 PageTable::map(std::uint64_t vaddr, Gpfn pfn, bool writable)
 {
     hos_assert(vaddr < vaSpan, "vaddr outside table span");
-    Node *n = root_.get();
-    for (unsigned level = levels - 1; level > 0; --level)
-        n = ensureChild(*n, levelIndex(vaddr, level));
+    const std::uint64_t tag = vaddr >> (mem::pageShift + bitsPerLevel);
+    Node *n;
+    if (tag == leaf_tag_) {
+        n = leaf_node_;
+    } else {
+        n = root_.get();
+        for (unsigned level = levels - 1; level > 0; --level)
+            n = ensureChild(*n, levelIndex(vaddr, level));
+        leaf_tag_ = tag;
+        leaf_node_ = n;
+    }
     std::uint64_t &slot = n->slots[levelIndex(vaddr, 0)];
     hos_assert(!(slot & bitPresent), "overmapping vaddr");
     slot = makeLeaf(pfn, writable);

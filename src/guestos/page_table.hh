@@ -112,6 +112,7 @@ class PageTable
     Node *childOf(const Node &n, unsigned idx) const;
     Node *ensureChild(Node &n, unsigned idx);
     std::uint64_t *leafSlot(std::uint64_t vaddr) const;
+    Node *leafNode(std::uint64_t vaddr) const;
 
     std::uint64_t scanNode(Node &node, unsigned level,
                            std::uint64_t va_base, std::uint64_t va_lo,
@@ -130,6 +131,17 @@ class PageTable
     std::vector<std::unique_ptr<Node>> node_pool_;
     std::uint64_t mapped_ = 0;
     std::uint64_t node_count_ = 0;
+
+    /**
+     * One-entry translation cache: the last level-1 node reached by a
+     * walk, tagged by vaddr >> (pageShift + bitsPerLevel). Nodes are
+     * never reclaimed while the table lives (unmap only clears leaf
+     * slots), so a hit can never be stale. Accesses cluster within a
+     * 2 MiB leaf span, which makes the upper three levels of most
+     * walks redundant.
+     */
+    mutable std::uint64_t leaf_tag_ = ~std::uint64_t(0);
+    mutable Node *leaf_node_ = nullptr;
 };
 
 } // namespace hos::guestos

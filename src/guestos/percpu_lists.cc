@@ -7,7 +7,8 @@ namespace hos::guestos {
 PerCpuPageLists::PerCpuPageLists(PageArray &pages, unsigned cpus,
                                  unsigned nodes, unsigned batch,
                                  unsigned high)
-    : pages_(pages), cpus_(cpus), nodes_(nodes), batch_(batch), high_(high)
+    : pages_(pages), cpus_(cpus), nodes_(nodes), batch_(batch), high_(high),
+      cached_per_node_(nodes, 0)
 {
     hos_assert(cpus > 0 && nodes > 0, "need cpus and nodes");
     lists_.reserve(static_cast<std::size_t>(cpus) * nodes);
@@ -36,7 +37,8 @@ PerCpuPageLists::alloc(unsigned cpu, NumaNode &node)
     if (!list.empty()) {
         hits_.inc();
         const Gpfn pfn = list.popFront();
-        pages_.page(pfn).allocated = true;
+        --cached_per_node_[node.id()];
+        pages_.setAllocated(pages_.page(pfn), true);
         return pfn;
     }
     // Refill a batch from the buddy; hand out the first page.
@@ -49,8 +51,9 @@ PerCpuPageLists::alloc(unsigned cpu, NumaNode &node)
         if (pfn == invalidGpfn)
             break;
         Page &p = pages_.page(pfn);
-        p.allocated = false; // parked in the per-CPU cache
+        pages_.setAllocated(p, false); // parked in the per-CPU cache
         list.pushBack(pfn);
+        ++cached_per_node_[node.id()];
     }
     return first;
 }
@@ -64,7 +67,7 @@ PerCpuPageLists::free(unsigned cpu, NumaNode &node, Gpfn pfn)
     hos_assert(p.allocated, "per-cpu free of non-allocated page");
     // Reset as the buddy would; the page stays out of the buddy while
     // cached here.
-    p.allocated = false;
+    pages_.setAllocated(p, false);
     p.type = PageType::Free;
     p.dirty = false;
     p.referenced = false;
@@ -72,13 +75,15 @@ PerCpuPageLists::free(unsigned cpu, NumaNode &node, Gpfn pfn)
     p.heat = 0; // a recycled frame is not the hot page it backed
     p.owner_process = noProcess;
     list.pushFront(pfn);
+    ++cached_per_node_[node.id()];
 
     if (list.size() > high_) {
         // Drain half back to the buddy (from the cold end).
         const std::uint64_t target = high_ / 2;
         while (list.size() > target) {
             const Gpfn cold = list.popBack();
-            pages_.page(cold).allocated = true; // satisfy buddy sanity
+            --cached_per_node_[node.id()];
+            pages_.setAllocated(pages_.page(cold), true); // satisfy buddy sanity
             node.freeBlock(cold, 0);
         }
     }
@@ -91,7 +96,8 @@ PerCpuPageLists::drainNode(NumaNode &node)
         PageList &list = listFor(cpu, node.id());
         while (!list.empty()) {
             const Gpfn pfn = list.popBack();
-            pages_.page(pfn).allocated = true;
+            --cached_per_node_[node.id()];
+            pages_.setAllocated(pages_.page(pfn), true);
             node.freeBlock(pfn, 0);
         }
     }
@@ -101,15 +107,6 @@ std::uint64_t
 PerCpuPageLists::cached(unsigned cpu, unsigned node) const
 {
     return listFor(cpu, node).size();
-}
-
-std::uint64_t
-PerCpuPageLists::cachedOnNode(unsigned node) const
-{
-    std::uint64_t n = 0;
-    for (unsigned cpu = 0; cpu < cpus_; ++cpu)
-        n += listFor(cpu, node).size();
-    return n;
 }
 
 std::uint64_t

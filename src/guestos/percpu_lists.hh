@@ -55,8 +55,16 @@ class PerCpuPageLists
     std::uint64_t cached(unsigned cpu, unsigned node) const;
     std::uint64_t totalCached() const;
 
-    /** Pages cached for one node across all CPUs. */
-    std::uint64_t cachedOnNode(unsigned node) const;
+    /**
+     * Pages cached for one node across all CPUs. O(1): watermark
+     * checks consult this on every allocation, so the per-node total
+     * is maintained incrementally rather than summed over CPUs.
+     */
+    std::uint64_t cachedOnNode(unsigned node) const
+    {
+        hos_assert(node < nodes_, "bad node id");
+        return cached_per_node_[node];
+    }
 
     std::uint64_t fastPathHits() const { return hits_.value(); }
     std::uint64_t refills() const { return refills_.value(); }
@@ -77,6 +85,7 @@ class PerCpuPageLists
     unsigned batch_;
     unsigned high_;
     std::vector<PageList> lists_;
+    std::vector<std::uint64_t> cached_per_node_;
     sim::Counter hits_;
     sim::Counter refills_;
 };

@@ -1,0 +1,192 @@
+#include "guestos/residency.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "guestos/kernel.hh"
+
+namespace hos::guestos {
+
+RegionHandle
+ResidencyIndex::registerRegion(ProcessId pid, std::uint64_t vma_start)
+{
+    RegionHandle h;
+    if (!free_handles_.empty()) {
+        h = free_handles_.back();
+        free_handles_.pop_back();
+    } else {
+        h = static_cast<RegionHandle>(regions_.size());
+        regions_.emplace_back();
+    }
+    RegionRec &r = regions_[h];
+    r.pid = pid;
+    r.vma_start = vma_start;
+    r.live = true;
+    r.bound.clear();
+    r.bits.clear();
+    r.fast_total = 0;
+    by_pid_[pid].push_back(h);
+    return h;
+}
+
+void
+ResidencyIndex::unregisterRegion(RegionHandle h)
+{
+    RegionRec &r = rec(h);
+    if (tier_notify_) {
+        for (std::uint64_t idx = 0; idx < r.bound.size(); ++idx)
+            unobserve(h, idx, r.bound[idx]);
+    }
+    auto &list = by_pid_[r.pid];
+    for (std::size_t i = 0; i < list.size(); ++i) {
+        if (list[i] == h) {
+            list[i] = list.back();
+            list.pop_back();
+            break;
+        }
+    }
+    r.live = false;
+    r.bound.clear();
+    r.bound.shrink_to_fit();
+    r.bits.clear();
+    r.bits.shrink_to_fit();
+    r.fast_total = 0;
+    free_handles_.push_back(h);
+}
+
+void
+ResidencyIndex::appendPage(RegionHandle h, Gpfn pfn)
+{
+    RegionRec &r = rec(h);
+    const std::uint64_t idx = r.bound.size();
+    r.bound.push_back(pfn);
+    if ((idx >> 6) >= r.bits.size())
+        r.bits.push_back(0);
+    setBit(r, idx, kernel_.backingOf(pfn) == mem::MemType::FastMem);
+    if (tier_notify_)
+        observe(h, idx, pfn);
+}
+
+void
+ResidencyIndex::onRemap(ProcessId pid, std::uint64_t vaddr, Gpfn new_pfn)
+{
+    auto it = by_pid_.find(pid);
+    if (it == by_pid_.end())
+        return;
+    for (RegionHandle h : it->second) {
+        RegionRec &r = regions_[h];
+        if (vaddr < r.vma_start)
+            continue;
+        const std::uint64_t idx = (vaddr - r.vma_start) >> mem::pageShift;
+        if (idx >= r.bound.size())
+            continue;
+        const Gpfn old = r.bound[idx];
+        if (old != new_pfn) {
+            if (tier_notify_) {
+                unobserve(h, idx, old);
+                observe(h, idx, new_pfn);
+            }
+            r.bound[idx] = new_pfn;
+        }
+        setBit(r, idx,
+               kernel_.backingOf(new_pfn) == mem::MemType::FastMem);
+        return;
+    }
+}
+
+void
+ResidencyIndex::onTierChange(Gpfn pfn, mem::MemType effective)
+{
+    if (!tier_notify_)
+        return;
+    const bool fast = effective == mem::MemType::FastMem;
+    auto range = observers_.equal_range(pfn);
+    for (auto it = range.first; it != range.second; ++it)
+        setBit(regions_[it->second.first], it->second.second, fast);
+}
+
+void
+ResidencyIndex::enableTierNotifications()
+{
+    if (tier_notify_)
+        return;
+    tier_notify_ = true;
+    for (RegionHandle h = 0; h < regions_.size(); ++h) {
+        const RegionRec &r = regions_[h];
+        if (!r.live)
+            continue;
+        for (std::uint64_t idx = 0; idx < r.bound.size(); ++idx)
+            observe(h, idx, r.bound[idx]);
+    }
+}
+
+std::uint64_t
+ResidencyIndex::fastInRange(RegionHandle h, std::uint64_t start,
+                            std::uint64_t count) const
+{
+    const RegionRec &r = rec(h);
+    const std::uint64_t size = r.bound.size();
+    hos_assert(start < size && count <= size, "residency range invalid");
+
+    auto popRange = [&r](std::uint64_t from, std::uint64_t len) {
+        std::uint64_t total = 0;
+        std::uint64_t word = from >> 6;
+        std::uint64_t bit = from & 63;
+        while (len > 0) {
+            const std::uint64_t take = std::min<std::uint64_t>(64 - bit,
+                                                               len);
+            std::uint64_t mask = r.bits[word] >> bit;
+            if (take < 64)
+                mask &= (std::uint64_t(1) << take) - 1;
+            total += static_cast<std::uint64_t>(std::popcount(mask));
+            len -= take;
+            ++word;
+            bit = 0;
+        }
+        return total;
+    };
+
+    if (count == size)
+        return r.fast_total;
+    if (start + count <= size)
+        return popRange(start, count);
+    const std::uint64_t head = size - start;
+    return popRange(start, head) + popRange(0, count - head);
+}
+
+void
+ResidencyIndex::setBit(RegionRec &r, std::uint64_t idx, bool fast)
+{
+    std::uint64_t &word = r.bits[idx >> 6];
+    const std::uint64_t mask = std::uint64_t(1) << (idx & 63);
+    if (fast) {
+        if (!(word & mask)) {
+            word |= mask;
+            ++r.fast_total;
+        }
+    } else if (word & mask) {
+        word &= ~mask;
+        --r.fast_total;
+    }
+}
+
+void
+ResidencyIndex::observe(RegionHandle h, std::uint64_t idx, Gpfn pfn)
+{
+    observers_.emplace(pfn,
+                       std::make_pair(h, static_cast<std::uint32_t>(idx)));
+}
+
+void
+ResidencyIndex::unobserve(RegionHandle h, std::uint64_t idx, Gpfn pfn)
+{
+    auto range = observers_.equal_range(pfn);
+    for (auto it = range.first; it != range.second; ++it) {
+        if (it->second.first == h && it->second.second == idx) {
+            observers_.erase(it);
+            return;
+        }
+    }
+}
+
+} // namespace hos::guestos

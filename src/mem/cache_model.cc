@@ -18,7 +18,8 @@ CacheConfig::efficiency() const
     return 1.0 - 0.30 / std::sqrt(a);
 }
 
-CacheModel::CacheModel(CacheConfig cfg) : cfg_(cfg)
+CacheModel::CacheModel(CacheConfig cfg)
+    : cfg_(cfg), efficiency_(cfg.efficiency())
 {
     hos_assert(cfg_.size_bytes > 0, "cache needs capacity");
     hos_assert(cfg_.associativity > 0, "cache needs associativity");
@@ -28,17 +29,32 @@ double
 CacheModel::hitRatio(const RegionLocality &region,
                      std::uint64_t llc_claim_bytes) const
 {
-    const double t = std::clamp(region.temporal, 0.0, 1.0);
     if (region.wss_bytes == 0)
         return 1.0;
 
     const std::uint64_t claim =
         llc_claim_bytes == 0 ? cfg_.size_bytes : llc_claim_bytes;
-    const double usable =
-        static_cast<double>(claim) * cfg_.efficiency();
+    for (const HitMemo &m : memo_) {
+        if (m.valid && m.wss_bytes == region.wss_bytes &&
+            m.temporal == region.temporal && m.claim == claim) {
+            return m.hit;
+        }
+    }
+
+    const double t = std::clamp(region.temporal, 0.0, 1.0);
+    const double usable = static_cast<double>(claim) * efficiency_;
     const double coverage =
         std::min(1.0, usable / static_cast<double>(region.wss_bytes));
-    return t + (1.0 - t) * coverage;
+    const double hit = t + (1.0 - t) * coverage;
+
+    HitMemo &slot = memo_[memo_next_];
+    memo_next_ = (memo_next_ + 1) % memoSlots;
+    slot.wss_bytes = region.wss_bytes;
+    slot.temporal = region.temporal;
+    slot.claim = claim;
+    slot.hit = hit;
+    slot.valid = true;
+    return hit;
 }
 
 std::uint64_t

@@ -89,7 +89,27 @@ class CacheModel
     void resetStats();
 
   private:
+    /**
+     * Memoized hit-ratio curve points. Workload phases evaluate the
+     * same handful of (wss, temporal, claim) triples thousands of
+     * times; caching the exact doubles keeps results bit-identical
+     * while skipping the recomputation (and its divide). Entries are
+     * invalidated by replacement when any key component changes.
+     */
+    struct HitMemo
+    {
+        std::uint64_t wss_bytes = 0;
+        double temporal = 0.0;
+        std::uint64_t claim = 0;
+        double hit = 0.0;
+        bool valid = false;
+    };
+    static constexpr std::size_t memoSlots = 8;
+
     CacheConfig cfg_;
+    double efficiency_; ///< cfg_.efficiency(), fixed at construction
+    mutable HitMemo memo_[memoSlots];
+    mutable std::size_t memo_next_ = 0;
     sim::Counter accesses_;
     sim::Counter misses_;
 };

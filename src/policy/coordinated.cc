@@ -73,6 +73,7 @@ CoordinatedPolicy::attach(vmm::Vmm &vmm, vmm::VmId id,
             // Step 6: hot pages into the shared ring — only pages the
             // guest placed in SlowMem are promotion candidates.
             std::vector<guestos::Gpfn> candidates;
+            candidates.reserve(scan.hot.size());
             for (guestos::Gpfn pfn : scan.hot) {
                 if (kernel.pageMeta(pfn).mem_type ==
                     mem::MemType::SlowMem) {

@@ -18,11 +18,6 @@ splitMix64(std::uint64_t &x)
     return z ^ (z >> 31);
 }
 
-std::uint64_t
-rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
 
 } // namespace
 
@@ -33,60 +28,10 @@ Rng::Rng(std::uint64_t seed)
         s = splitMix64(sm);
 }
 
-std::uint64_t
-Rng::next()
-{
-    const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
-    const std::uint64_t t = state[1] << 17;
 
-    state[2] ^= state[0];
-    state[3] ^= state[1];
-    state[1] ^= state[2];
-    state[0] ^= state[3];
-    state[2] ^= t;
-    state[3] = rotl(state[3], 45);
 
-    return result;
-}
 
-std::uint64_t
-Rng::uniformInt(std::uint64_t bound)
-{
-    hos_assert(bound > 0, "uniformInt bound must be positive");
-    // Multiply-shift bounded rejection (Lemire); bias is eliminated by
-    // rejecting the small sliver of values that would wrap.
-    const std::uint64_t threshold = (-bound) % bound;
-    for (;;) {
-        const std::uint64_t r = next();
-        const __uint128_t m = static_cast<__uint128_t>(r) * bound;
-        if (static_cast<std::uint64_t>(m) >= threshold)
-            return static_cast<std::uint64_t>(m >> 64);
-    }
-}
 
-std::uint64_t
-Rng::uniformRange(std::uint64_t lo, std::uint64_t hi)
-{
-    hos_assert(lo <= hi, "uniformRange lo > hi");
-    return lo + uniformInt(hi - lo + 1);
-}
-
-double
-Rng::uniformDouble()
-{
-    // 53 high-quality bits into the mantissa.
-    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
-}
-
-bool
-Rng::chance(double p)
-{
-    if (p <= 0.0)
-        return false;
-    if (p >= 1.0)
-        return true;
-    return uniformDouble() < p;
-}
 
 std::uint64_t
 deriveSeed(std::uint64_t base, std::uint64_t stream)

@@ -14,6 +14,8 @@
 
 #include <cstdint>
 
+#include "sim/log.hh"
+
 namespace hos::sim {
 
 /** Deterministic xoshiro256** pseudo-random generator. */
@@ -22,6 +24,10 @@ class Rng
   public:
     /** Seed via SplitMix64 expansion of a single 64-bit seed. */
     explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    // next/uniformInt/uniformDouble/chance sit on the workload inner
+    // loop (every modelled access draws at least once), so they are
+    // defined inline below the class.
 
     /** Next raw 64-bit value. */
     std::uint64_t next();
@@ -47,8 +53,68 @@ class Rng
     std::uint64_t zipf(std::uint64_t n, double s);
 
   private:
+    static std::uint64_t rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
     std::uint64_t state[4];
 };
+
+inline std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+    const std::uint64_t t = state[1] << 17;
+
+    state[2] ^= state[0];
+    state[3] ^= state[1];
+    state[1] ^= state[2];
+    state[0] ^= state[3];
+    state[2] ^= t;
+    state[3] = rotl(state[3], 45);
+
+    return result;
+}
+
+inline std::uint64_t
+Rng::uniformInt(std::uint64_t bound)
+{
+    hos_assert(bound > 0, "uniformInt bound must be positive");
+    // Multiply-shift bounded rejection (Lemire); bias is eliminated by
+    // rejecting the small sliver of values that would wrap.
+    const std::uint64_t threshold = (-bound) % bound;
+    for (;;) {
+        const std::uint64_t r = next();
+        const __uint128_t m = static_cast<__uint128_t>(r) * bound;
+        if (static_cast<std::uint64_t>(m) >= threshold)
+            return static_cast<std::uint64_t>(m >> 64);
+    }
+}
+
+inline std::uint64_t
+Rng::uniformRange(std::uint64_t lo, std::uint64_t hi)
+{
+    hos_assert(lo <= hi, "uniformRange lo > hi");
+    return lo + uniformInt(hi - lo + 1);
+}
+
+inline double
+Rng::uniformDouble()
+{
+    // 53 high-quality bits into the mantissa.
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+inline bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniformDouble() < p;
+}
 
 /**
  * Derive an independent seed from a base seed and a stream index.

@@ -29,6 +29,9 @@ HotnessTracker::scanOnce()
     ScanResult res;
     auto &kernel = vm_.kernel();
     auto &pages = kernel.pages();
+    // Adaptive reservation: hot counts are stable scan to scan, so
+    // last scan's size (plus slack) kills the reallocation churn.
+    res.hot.reserve(last_hot_ + 64);
 
     if (ring_ && ring_->hasDirectives()) {
         // OS-guided: walk only the tracking-list VMA ranges through
@@ -90,15 +93,33 @@ HotnessTracker::scanOnce()
     } else {
         // Full-VM sweep: the VMM has no idea what the pages are, so
         // it walks everything, pages_per_scan at a time (HeteroVisor).
+        // Free pfns count against `step` but not `visited` (the scan
+        // budget is real work, the span bound is one lap); runs of
+        // them are skipped via the allocated-range hint at the cost
+        // the one-at-a-time walk would have paid in steps.
         const std::uint64_t span = pages.size();
         std::uint64_t visited = 0;
-        for (std::uint64_t step = 0;
-             step < span && visited < cfg_.pages_per_scan; ++step) {
-            const Gpfn pfn = cursor_;
-            cursor_ = (cursor_ + 1) % span;
-            guestos::Page &p = pages.page(pfn);
-            if (!p.allocated)
+        std::uint64_t step = 0;
+        while (step < span && visited < cfg_.pages_per_scan) {
+            guestos::Page &p = pages.page(cursor_);
+            if (!p.allocated) {
+                // Skipping a free run of length L consumes exactly L
+                // steps, so cursor and visited counts match the
+                // page-at-a-time walk (free_run_skip=false) bit for
+                // bit.
+                const std::uint64_t run =
+                    cfg_.free_run_skip
+                        ? pages.freeRunLength(cursor_, span - step)
+                        : 1;
+                step += run;
+                cursor_ += run; // freeRunLength stops at the array end
+                if (cursor_ == span)
+                    cursor_ = 0;
                 continue;
+            }
+            ++step;
+            if (++cursor_ == span)
+                cursor_ = 0;
             ++visited;
             const bool accessed = p.pte_accessed;
             p.pte_accessed = false;
@@ -118,6 +139,7 @@ HotnessTracker::scanOnce()
 
     scans_.inc();
     scanned_.inc(res.pages_scanned);
+    last_hot_ = res.hot.size();
     total_cost_ += res.cost;
     trace::emit(trace::EventType::HotnessScan, kernel.events().now(),
                 res.pages_scanned, res.accessed, res.hot.size(),

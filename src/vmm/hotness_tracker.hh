@@ -64,6 +64,14 @@ struct HotnessConfig
         return static_cast<std::uint64_t>(
             promote_rate_pps * sim::toSeconds(interval));
     }
+    /**
+     * Skip free-page runs in full-VM sweeps via the PageArray's
+     * per-chunk allocated counters. Observationally identical to the
+     * page-at-a-time walk (a skipped run advances cursor and step
+     * exactly as the walk would); off = legacy walk, kept as a
+     * performance cross-check.
+     */
+    bool free_run_skip = true;
     /** Equation 1 adaptive interval. */
     bool adaptive = false;
     sim::Duration min_interval = sim::milliseconds(50);
@@ -125,6 +133,7 @@ class HotnessTracker
     std::uint64_t directives_version_ = 0;
     std::uint64_t last_llc_misses_ = 0;
     std::uint64_t last_epoch_misses_ = 0;
+    std::uint64_t last_hot_ = 0;        ///< ScanResult::hot reservation
     sim::Counter scanned_;
     sim::Counter scans_;
     sim::Duration total_cost_ = 0;

@@ -15,6 +15,7 @@ constexpr std::uint64_t placementSample = 512;
 
 Workload::Workload(VmEnv env, std::string name)
     : env_(std::move(env)), name_(std::move(name)),
+      legacy_sampling_(env_.legacy_placement_sampling),
       rng_(env_.kernel->config().seed ^ 0x3017ull)
 {
     hos_assert(env_.kernel && env_.llc && env_.device,
@@ -108,6 +109,8 @@ Workload::makeAnonRegion(const std::string &name, std::uint64_t bytes,
     r.wss_pages = mem::bytesToPages(wss_bytes);
     r.vma_start = mainProcess().mmap(bytes, guestos::VmaKind::Anon, hint,
                                      guestos::noFile, 0, name);
+    r.residency = kernel().residency().registerRegion(
+        mainProcess().pid(), r.vma_start);
     return r;
 }
 
@@ -135,12 +138,17 @@ Workload::growRegion(Region &r, std::uint64_t bytes)
             break;
         }
         r.pages.push_back(pfn);
+        kernel().residency().appendPage(r.residency, pfn);
     }
 }
 
 void
 Workload::releaseRegion(Region &r)
 {
+    if (r.residency != guestos::invalidRegionHandle) {
+        kernel().residency().unregisterRegion(r.residency);
+        r.residency = guestos::invalidRegionHandle;
+    }
     if (r.vma_start != 0)
         mainProcess().munmap(r.vma_start);
     r.pages.clear();
@@ -150,6 +158,17 @@ Workload::releaseRegion(Region &r)
 guestos::Gpfn
 Workload::regionPage(Region &r, std::uint64_t idx)
 {
+    if (!legacy_sampling_ && r.type == guestos::PageType::Anon &&
+        r.residency != guestos::invalidRegionHandle) {
+        // The residency index re-points bindings eagerly at every
+        // remap, with the same stale-on-unmap semantics as the lazy
+        // refresh below — one vector read replaces the descriptor
+        // checks and occasional page-table walk.
+        const guestos::Gpfn pfn =
+            kernel().residency().binding(r.residency, idx);
+        r.pages[idx] = pfn;
+        return pfn;
+    }
     guestos::Gpfn pfn = r.pages[idx];
     if (r.type != guestos::PageType::Anon)
         return pfn;
@@ -172,18 +191,50 @@ Workload::sampleWindowFast(Region &r, std::uint64_t start,
 {
     if (count == 0 || r.pages.empty())
         return 0.0;
+    const std::uint64_t size = r.pages.size();
     const std::uint64_t n =
         std::min<std::uint64_t>(placementSample, count);
     std::uint64_t fast = 0;
-    for (std::uint64_t i = 0; i < n; ++i) {
-        // Even sampling keeps the estimate deterministic and
-        // unbiased w.r.t. migrations. The window is circular over
-        // the region (hot sets drift).
-        const std::uint64_t idx =
-            (start + (i * count) / n) % r.pages.size();
-        if (kernel().backingOf(regionPage(r, idx)) ==
-            mem::MemType::FastMem) {
-            ++fast;
+    if (!legacy_sampling_ && r.type == guestos::PageType::Anon &&
+        r.residency != guestos::invalidRegionHandle) {
+        auto &res = kernel().residency();
+        if (n == count) {
+            // Exhaustive window: the even sampling visits exactly
+            // the consecutive circular range [start, start+count),
+            // which the index answers with masked popcounts.
+            fast = res.fastInRange(r.residency, start % size, count);
+        } else {
+            for (std::uint64_t i = 0; i < n; ++i) {
+                const std::uint64_t idx =
+                    (start + (i * count) / n) % size;
+                fast += res.fastBit(r.residency, idx) ? 1 : 0;
+            }
+        }
+    } else {
+        if (n == count) {
+            // Exhaustive window: consecutive indices, so the modulo
+            // reduces to a conditional wrap.
+            std::uint64_t idx = start % size;
+            for (std::uint64_t i = 0; i < n; ++i) {
+                if (kernel().backingOf(regionPage(r, idx)) ==
+                    mem::MemType::FastMem) {
+                    ++fast;
+                }
+                if (++idx == size)
+                    idx = 0;
+            }
+        } else {
+            for (std::uint64_t i = 0; i < n; ++i) {
+                // Even sampling keeps the estimate deterministic and
+                // unbiased w.r.t. migrations. The window is circular
+                // over the region (hot sets drift).
+                const std::uint64_t idx =
+                    (start + (i * count) / n) % size;
+                if (kernel().backingOf(regionPage(r, idx)) ==
+                    mem::MemType::FastMem) {
+                    ++fast;
+                }
+            }
         }
     }
     return static_cast<double>(fast) / static_cast<double>(n);
@@ -226,16 +277,21 @@ Workload::markRegionAccessed(Region &r)
                                 static_cast<std::uint64_t>(
                                     static_cast<double>(hot) *
                                     r.core_frac));
+    // window_start stays < size (it is only ever assigned mod size),
+    // so the circular walks below wrap with a compare instead of a
+    // per-iteration modulo.
+    const std::uint64_t size = r.pages.size();
+    std::uint64_t idx = r.window_start;
     for (std::uint64_t i = 0; i < hot; ++i) {
         const bool in_core = i >= hot - core;
-        if (!in_core && !rng_.chance(r.ref_chance))
-            continue;
-        const std::uint64_t idx =
-            (r.window_start + i) % r.pages.size();
-        guestos::Page &p = kernel().pageMeta(regionPage(r, idx));
-        p.pte_accessed = true;
-        p.referenced = true;
-        p.last_touch = elapsed_ + 1;
+        if (in_core || rng_.chance(r.ref_chance)) {
+            guestos::Page &p = kernel().pageMeta(regionPage(r, idx));
+            p.pte_accessed = true;
+            p.referenced = true;
+            p.last_touch = elapsed_ + 1;
+        }
+        if (++idx == size)
+            idx = 0;
     }
 
     // LRU references and leaf-PTE touches are charged on a rotating
@@ -243,14 +299,17 @@ Workload::markRegionAccessed(Region &r)
     const std::uint64_t n = std::min<std::uint64_t>(markSlice, hot);
     auto &as = mainProcess();
     const bool write = rng_.chance(r.write_frac);
+    idx = r.window_start + r.mark_cursor;
+    if (idx >= size)
+        idx -= size; // both terms are < size
     for (std::uint64_t i = 0; i < n; ++i) {
-        const std::uint64_t idx =
-            (r.window_start + r.mark_cursor + i) % r.pages.size();
         const guestos::Gpfn pfn = regionPage(r, idx);
         guestos::Page &p = kernel().pageMeta(pfn);
         kernel().lruTouch(pfn);
         if (r.type == guestos::PageType::Anon && p.vaddr != 0)
             as.pageTable().touch(p.vaddr, write);
+        if (++idx == size)
+            idx = 0;
     }
     r.mark_cursor = (r.mark_cursor + n) % std::max<std::uint64_t>(1, hot);
 }

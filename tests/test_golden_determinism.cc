@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Golden determinism: the ResidencyIndex fast path, the legacy
+ * placement-sampling path, and the free-run sweep skip must all
+ * produce bit-identical simulated results — the optimizations change
+ * host time only. A pinned scenario matrix is run in every mode and
+ * the full Result (elapsed ticks, phases, metric, instruction and
+ * LLC-miss counts) compared field for field. Double runs of the same
+ * mode pin plain determinism too.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "policy/vmm_exclusive.hh"
+
+namespace {
+
+using namespace hos;
+
+/** Every simulated field of a Result, rendered exactly. */
+std::string
+fingerprint(const workload::Workload::Result &r)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << r.workload << '|' << r.elapsed << '|' << r.phases << '|'
+       << r.metric << '|' << r.metric_name << '|' << r.instructions
+       << '|' << r.llc_misses << '|' << r.mpki;
+    return os.str();
+}
+
+/** The pinned matrix: one scenario per approach under test. */
+std::vector<core::Scenario>
+goldenMatrix()
+{
+    std::vector<core::Scenario> matrix;
+    for (const core::Approach a :
+         {core::Approach::HeteroLru, core::Approach::VmmExclusive,
+          core::Approach::Coordinated}) {
+        matrix.push_back(core::Scenario{}
+                             .withApp(workload::AppId::GraphChi)
+                             .withApproach(a)
+                             .withScale(0.02)
+                             .withCapacity(24 * mem::mib, 96 * mem::mib)
+                             .withSeed(3));
+    }
+    return matrix;
+}
+
+TEST(GoldenDeterminism, SameScenarioTwiceIsBitIdentical)
+{
+    for (const core::Scenario &s : goldenMatrix()) {
+        const auto first = core::run(s);
+        const auto second = core::run(s);
+        EXPECT_EQ(fingerprint(first), fingerprint(second))
+            << "non-deterministic: " << s.label();
+    }
+}
+
+TEST(GoldenDeterminism, LegacySamplingIsBitIdentical)
+{
+    for (const core::Scenario &s : goldenMatrix()) {
+        const auto optimized = core::run(s);
+        core::Scenario legacy = s;
+        legacy.withLegacySampling(true);
+        const auto sampled = core::run(legacy);
+        EXPECT_EQ(fingerprint(optimized), fingerprint(sampled))
+            << "residency index diverges from legacy sampling: "
+            << s.label();
+    }
+}
+
+TEST(GoldenDeterminism, FreeRunSkipIsBitIdentical)
+{
+    // The sweep's free-run skip only matters under full-VM scanning
+    // (VMM-exclusive); compare a hand-assembled system with the skip
+    // on against one probing every descriptor.
+    const core::Scenario s =
+        goldenMatrix()[1]; // the VmmExclusive entry
+    ASSERT_EQ(s.approach, core::Approach::VmmExclusive);
+    const auto factory = workload::makeApp(s.app, s.scale);
+
+    auto runWith = [&](bool skip) {
+        core::HeteroSystem sys(s.host());
+        vmm::HotnessConfig hotness;
+        hotness.free_run_skip = skip;
+        auto &slot = sys.addVm(
+            std::make_unique<policy::VmmExclusivePolicy>(hotness),
+            s.sizing());
+        return sys.runOne(slot, factory);
+    };
+    EXPECT_EQ(fingerprint(runWith(true)), fingerprint(runWith(false)))
+        << "free-run skip changed the simulated sweep";
+}
+
+} // namespace
