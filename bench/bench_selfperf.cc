@@ -42,6 +42,8 @@
 
 #include "bench_common.hh"
 #include "policy/vmm_exclusive.hh"
+#include "prof/prof.hh"
+#include "prof/report.hh"
 #include "sim/json.hh"
 #include "vmm/drf.hh"
 
@@ -232,6 +234,97 @@ writeJson(const SelfperfReporter &rep, const char *path)
     std::printf("selfperf: wrote %s\n", path);
 }
 
+/**
+ * One extra profiled run per bench scenario, after the timed
+ * iterations (spans cost a little host time, so they stay out of the
+ * measured loops). The ledgers answer "where does each regime spend
+ * its simulated time" next to the wall-clock numbers.
+ */
+void
+writeProfileJson(const char *path)
+{
+    if (!prof::profilingCompiled) {
+        std::fprintf(stderr,
+                     "selfperf: HOS_PROF=off, skipping %s\n", path);
+        return;
+    }
+
+    std::vector<std::pair<std::string, prof::ProfileReport>> profiles;
+
+    {
+        const core::Scenario s =
+            bench::paperScenario(core::Approach::Coordinated)
+                .withProfiling()
+                .withName("coordinated");
+        auto sys = core::systemFor(s);
+        sys->runOne(sys->slot(0), workload::makeApp(s.app, s.scale));
+        profiles.emplace_back("coordinated", sys->profiler().report());
+    }
+
+    {
+        const core::Scenario s =
+            bench::paperScenario(core::Approach::VmmExclusive);
+        core::HeteroSystem sys(s.host());
+        sys.enableProfiling();
+        vmm::HotnessConfig hotness;
+        hotness.free_run_skip = true;
+        auto &slot = sys.addVm(
+            std::make_unique<policy::VmmExclusivePolicy>(hotness),
+            s.sizing());
+        sys.runOne(slot, workload::makeApp(s.app, s.scale));
+        profiles.emplace_back("full_vm_sweep", sys.profiler().report());
+    }
+
+    {
+        const double scale = bench::benchScale();
+        core::HostConfig host;
+        host.fast = mem::dramSpec(bench::scaledBytes(4 * mem::gib));
+        host.slow =
+            mem::defaultSlowMemSpec(bench::scaledBytes(8 * mem::gib));
+        core::HeteroSystem sys(host);
+        sys.enableProfiling();
+        sys.vmm().setFairness(std::make_unique<vmm::DrfFairness>());
+
+        core::GuestSizing g;
+        g.name = "graphchi-vm";
+        g.fast_max = bench::scaledBytes(4 * mem::gib);
+        g.fast_initial = bench::scaledBytes(1 * mem::gib);
+        g.slow_max = bench::scaledBytes(8 * mem::gib);
+        g.slow_initial = bench::scaledBytes(4 * mem::gib);
+        core::GuestSizing m = g;
+        m.name = "metis-vm";
+        m.fast_initial = bench::scaledBytes(3 * mem::gib);
+        m.seed = 7;
+
+        auto &g_slot = sys.addVm(
+            core::makePolicy(core::Approach::Coordinated), g);
+        auto &m_slot = sys.addVm(
+            core::makePolicy(core::Approach::Coordinated), m);
+        sys.runMany({{&g_slot, workload::makeGraphchiTwitter(scale)},
+                     {&m_slot, workload::makeMetisLarge(scale)}});
+        profiles.emplace_back("two_vm_drf", sys.profiler().report());
+    }
+
+    std::ofstream os(path);
+    if (!os) {
+        std::fprintf(stderr, "selfperf: cannot write %s\n", path);
+        return;
+    }
+    sim::JsonWriter w(os);
+    w.beginObject();
+    w.kv("schema", "hos-selfperf-prof-1");
+    w.key("scenarios");
+    w.beginObject();
+    for (const auto &[name, report] : profiles) {
+        w.key(name);
+        prof::writeProfileReport(w, report);
+    }
+    w.endObject();
+    w.endObject();
+    os << "\n";
+    std::printf("selfperf: wrote %s\n", path);
+}
+
 } // namespace
 
 BENCHMARK_CAPTURE(BM_Coordinated, , false)
@@ -261,6 +354,9 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks(&reporter);
     const char *out = std::getenv("HOS_SELFPERF_OUT");
     writeJson(reporter, out ? out : "BENCH_selfperf.json");
+    const char *prof_out = std::getenv("HOS_SELFPERF_PROF_OUT");
+    writeProfileJson(prof_out ? prof_out
+                              : "BENCH_selfperf_profile.json");
     benchmark::Shutdown();
     return 0;
 }

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_drf.dir/bench_ablation_drf.cc.o"
+  "CMakeFiles/bench_ablation_drf.dir/bench_ablation_drf.cc.o.d"
+  "bench_ablation_drf"
+  "bench_ablation_drf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_drf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

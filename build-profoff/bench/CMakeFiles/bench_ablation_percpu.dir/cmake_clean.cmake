@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_percpu.dir/bench_ablation_percpu.cc.o"
+  "CMakeFiles/bench_ablation_percpu.dir/bench_ablation_percpu.cc.o.d"
+  "bench_ablation_percpu"
+  "bench_ablation_percpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_percpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_datastructures.dir/bench_micro_datastructures.cc.o"
+  "CMakeFiles/bench_micro_datastructures.dir/bench_micro_datastructures.cc.o.d"
+  "bench_micro_datastructures"
+  "bench_micro_datastructures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_datastructures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

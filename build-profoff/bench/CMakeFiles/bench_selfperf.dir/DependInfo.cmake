@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_selfperf.cc" "bench/CMakeFiles/bench_selfperf.dir/bench_selfperf.cc.o" "gcc" "bench/CMakeFiles/bench_selfperf.dir/bench_selfperf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-profoff/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build-profoff/src/CMakeFiles/hos_core.dir/DependInfo.cmake"
+  "/root/repo/build-profoff/src/CMakeFiles/hos_policy.dir/DependInfo.cmake"
+  "/root/repo/build-profoff/src/CMakeFiles/hos_workload.dir/DependInfo.cmake"
+  "/root/repo/build-profoff/src/CMakeFiles/hos_audit.dir/DependInfo.cmake"
+  "/root/repo/build-profoff/src/CMakeFiles/hos_vmm.dir/DependInfo.cmake"
+  "/root/repo/build-profoff/src/CMakeFiles/hos_guestos.dir/DependInfo.cmake"
+  "/root/repo/build-profoff/src/CMakeFiles/hos_check.dir/DependInfo.cmake"
+  "/root/repo/build-profoff/src/CMakeFiles/hos_mem.dir/DependInfo.cmake"
+  "/root/repo/build-profoff/src/CMakeFiles/hos_prof.dir/DependInfo.cmake"
+  "/root/repo/build-profoff/src/CMakeFiles/hos_trace.dir/DependInfo.cmake"
+  "/root/repo/build-profoff/src/CMakeFiles/hos_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

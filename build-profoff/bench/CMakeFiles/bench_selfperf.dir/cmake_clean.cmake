@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_selfperf.dir/bench_selfperf.cc.o"
+  "CMakeFiles/bench_selfperf.dir/bench_selfperf.cc.o.d"
+  "bench_selfperf"
+  "bench_selfperf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_selfperf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

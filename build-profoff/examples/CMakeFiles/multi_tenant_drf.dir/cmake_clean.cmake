@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_tenant_drf.dir/multi_tenant_drf.cc.o"
+  "CMakeFiles/multi_tenant_drf.dir/multi_tenant_drf.cc.o.d"
+  "multi_tenant_drf"
+  "multi_tenant_drf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tenant_drf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

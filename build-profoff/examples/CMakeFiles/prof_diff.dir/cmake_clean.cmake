@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prof_diff.dir/prof_diff.cc.o"
+  "CMakeFiles/prof_diff.dir/prof_diff.cc.o.d"
+  "hos-profdiff"
+  "hos-profdiff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prof_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

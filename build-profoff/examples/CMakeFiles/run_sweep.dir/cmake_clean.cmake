@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_sweep.dir/run_sweep.cc.o"
+  "CMakeFiles/run_sweep.dir/run_sweep.cc.o.d"
+  "run_sweep"
+  "run_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

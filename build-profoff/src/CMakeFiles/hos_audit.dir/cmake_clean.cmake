@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hos_audit.dir/check/audit_daemon.cc.o"
+  "CMakeFiles/hos_audit.dir/check/audit_daemon.cc.o.d"
+  "CMakeFiles/hos_audit.dir/check/auditors.cc.o"
+  "CMakeFiles/hos_audit.dir/check/auditors.cc.o.d"
+  "libhos_audit.a"
+  "libhos_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hos_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

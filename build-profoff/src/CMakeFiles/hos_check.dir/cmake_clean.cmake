@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hos_check.dir/check/check.cc.o"
+  "CMakeFiles/hos_check.dir/check/check.cc.o.d"
+  "CMakeFiles/hos_check.dir/check/page_state.cc.o"
+  "CMakeFiles/hos_check.dir/check/page_state.cc.o.d"
+  "libhos_check.a"
+  "libhos_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hos_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

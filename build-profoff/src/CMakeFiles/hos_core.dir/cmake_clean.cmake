@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hos_core.dir/core/experiment.cc.o"
+  "CMakeFiles/hos_core.dir/core/experiment.cc.o.d"
+  "CMakeFiles/hos_core.dir/core/hetero_system.cc.o"
+  "CMakeFiles/hos_core.dir/core/hetero_system.cc.o.d"
+  "CMakeFiles/hos_core.dir/core/report.cc.o"
+  "CMakeFiles/hos_core.dir/core/report.cc.o.d"
+  "CMakeFiles/hos_core.dir/core/scenario.cc.o"
+  "CMakeFiles/hos_core.dir/core/scenario.cc.o.d"
+  "CMakeFiles/hos_core.dir/core/sweep.cc.o"
+  "CMakeFiles/hos_core.dir/core/sweep.cc.o.d"
+  "libhos_core.a"
+  "libhos_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hos_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

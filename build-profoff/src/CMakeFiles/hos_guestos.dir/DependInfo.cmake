@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/guestos/address_space.cc" "src/CMakeFiles/hos_guestos.dir/guestos/address_space.cc.o" "gcc" "src/CMakeFiles/hos_guestos.dir/guestos/address_space.cc.o.d"
+  "/root/repo/src/guestos/balloon_frontend.cc" "src/CMakeFiles/hos_guestos.dir/guestos/balloon_frontend.cc.o" "gcc" "src/CMakeFiles/hos_guestos.dir/guestos/balloon_frontend.cc.o.d"
+  "/root/repo/src/guestos/blockdev.cc" "src/CMakeFiles/hos_guestos.dir/guestos/blockdev.cc.o" "gcc" "src/CMakeFiles/hos_guestos.dir/guestos/blockdev.cc.o.d"
+  "/root/repo/src/guestos/buddy_allocator.cc" "src/CMakeFiles/hos_guestos.dir/guestos/buddy_allocator.cc.o" "gcc" "src/CMakeFiles/hos_guestos.dir/guestos/buddy_allocator.cc.o.d"
+  "/root/repo/src/guestos/hetero_allocator.cc" "src/CMakeFiles/hos_guestos.dir/guestos/hetero_allocator.cc.o" "gcc" "src/CMakeFiles/hos_guestos.dir/guestos/hetero_allocator.cc.o.d"
+  "/root/repo/src/guestos/hetero_lru.cc" "src/CMakeFiles/hos_guestos.dir/guestos/hetero_lru.cc.o" "gcc" "src/CMakeFiles/hos_guestos.dir/guestos/hetero_lru.cc.o.d"
+  "/root/repo/src/guestos/kernel.cc" "src/CMakeFiles/hos_guestos.dir/guestos/kernel.cc.o" "gcc" "src/CMakeFiles/hos_guestos.dir/guestos/kernel.cc.o.d"
+  "/root/repo/src/guestos/lru.cc" "src/CMakeFiles/hos_guestos.dir/guestos/lru.cc.o" "gcc" "src/CMakeFiles/hos_guestos.dir/guestos/lru.cc.o.d"
+  "/root/repo/src/guestos/migration_frontend.cc" "src/CMakeFiles/hos_guestos.dir/guestos/migration_frontend.cc.o" "gcc" "src/CMakeFiles/hos_guestos.dir/guestos/migration_frontend.cc.o.d"
+  "/root/repo/src/guestos/numa.cc" "src/CMakeFiles/hos_guestos.dir/guestos/numa.cc.o" "gcc" "src/CMakeFiles/hos_guestos.dir/guestos/numa.cc.o.d"
+  "/root/repo/src/guestos/page.cc" "src/CMakeFiles/hos_guestos.dir/guestos/page.cc.o" "gcc" "src/CMakeFiles/hos_guestos.dir/guestos/page.cc.o.d"
+  "/root/repo/src/guestos/page_cache.cc" "src/CMakeFiles/hos_guestos.dir/guestos/page_cache.cc.o" "gcc" "src/CMakeFiles/hos_guestos.dir/guestos/page_cache.cc.o.d"
+  "/root/repo/src/guestos/page_table.cc" "src/CMakeFiles/hos_guestos.dir/guestos/page_table.cc.o" "gcc" "src/CMakeFiles/hos_guestos.dir/guestos/page_table.cc.o.d"
+  "/root/repo/src/guestos/percpu_lists.cc" "src/CMakeFiles/hos_guestos.dir/guestos/percpu_lists.cc.o" "gcc" "src/CMakeFiles/hos_guestos.dir/guestos/percpu_lists.cc.o.d"
+  "/root/repo/src/guestos/residency.cc" "src/CMakeFiles/hos_guestos.dir/guestos/residency.cc.o" "gcc" "src/CMakeFiles/hos_guestos.dir/guestos/residency.cc.o.d"
+  "/root/repo/src/guestos/slab.cc" "src/CMakeFiles/hos_guestos.dir/guestos/slab.cc.o" "gcc" "src/CMakeFiles/hos_guestos.dir/guestos/slab.cc.o.d"
+  "/root/repo/src/guestos/swap.cc" "src/CMakeFiles/hos_guestos.dir/guestos/swap.cc.o" "gcc" "src/CMakeFiles/hos_guestos.dir/guestos/swap.cc.o.d"
+  "/root/repo/src/guestos/vma.cc" "src/CMakeFiles/hos_guestos.dir/guestos/vma.cc.o" "gcc" "src/CMakeFiles/hos_guestos.dir/guestos/vma.cc.o.d"
+  "/root/repo/src/guestos/zone.cc" "src/CMakeFiles/hos_guestos.dir/guestos/zone.cc.o" "gcc" "src/CMakeFiles/hos_guestos.dir/guestos/zone.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-profoff/src/CMakeFiles/hos_mem.dir/DependInfo.cmake"
+  "/root/repo/build-profoff/src/CMakeFiles/hos_check.dir/DependInfo.cmake"
+  "/root/repo/build-profoff/src/CMakeFiles/hos_prof.dir/DependInfo.cmake"
+  "/root/repo/build-profoff/src/CMakeFiles/hos_trace.dir/DependInfo.cmake"
+  "/root/repo/build-profoff/src/CMakeFiles/hos_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for hos_guestos.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/cache_model.cc" "src/CMakeFiles/hos_mem.dir/mem/cache_model.cc.o" "gcc" "src/CMakeFiles/hos_mem.dir/mem/cache_model.cc.o.d"
+  "/root/repo/src/mem/machine_memory.cc" "src/CMakeFiles/hos_mem.dir/mem/machine_memory.cc.o" "gcc" "src/CMakeFiles/hos_mem.dir/mem/machine_memory.cc.o.d"
+  "/root/repo/src/mem/mem_device.cc" "src/CMakeFiles/hos_mem.dir/mem/mem_device.cc.o" "gcc" "src/CMakeFiles/hos_mem.dir/mem/mem_device.cc.o.d"
+  "/root/repo/src/mem/mem_spec.cc" "src/CMakeFiles/hos_mem.dir/mem/mem_spec.cc.o" "gcc" "src/CMakeFiles/hos_mem.dir/mem/mem_spec.cc.o.d"
+  "/root/repo/src/mem/tlb_model.cc" "src/CMakeFiles/hos_mem.dir/mem/tlb_model.cc.o" "gcc" "src/CMakeFiles/hos_mem.dir/mem/tlb_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-profoff/src/CMakeFiles/hos_sim.dir/DependInfo.cmake"
+  "/root/repo/build-profoff/src/CMakeFiles/hos_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hos_mem.dir/mem/cache_model.cc.o"
+  "CMakeFiles/hos_mem.dir/mem/cache_model.cc.o.d"
+  "CMakeFiles/hos_mem.dir/mem/machine_memory.cc.o"
+  "CMakeFiles/hos_mem.dir/mem/machine_memory.cc.o.d"
+  "CMakeFiles/hos_mem.dir/mem/mem_device.cc.o"
+  "CMakeFiles/hos_mem.dir/mem/mem_device.cc.o.d"
+  "CMakeFiles/hos_mem.dir/mem/mem_spec.cc.o"
+  "CMakeFiles/hos_mem.dir/mem/mem_spec.cc.o.d"
+  "CMakeFiles/hos_mem.dir/mem/tlb_model.cc.o"
+  "CMakeFiles/hos_mem.dir/mem/tlb_model.cc.o.d"
+  "libhos_mem.a"
+  "libhos_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hos_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/baselines.cc" "src/CMakeFiles/hos_policy.dir/policy/baselines.cc.o" "gcc" "src/CMakeFiles/hos_policy.dir/policy/baselines.cc.o.d"
+  "/root/repo/src/policy/coordinated.cc" "src/CMakeFiles/hos_policy.dir/policy/coordinated.cc.o" "gcc" "src/CMakeFiles/hos_policy.dir/policy/coordinated.cc.o.d"
+  "/root/repo/src/policy/heap_io_slab_od.cc" "src/CMakeFiles/hos_policy.dir/policy/heap_io_slab_od.cc.o" "gcc" "src/CMakeFiles/hos_policy.dir/policy/heap_io_slab_od.cc.o.d"
+  "/root/repo/src/policy/heap_od.cc" "src/CMakeFiles/hos_policy.dir/policy/heap_od.cc.o" "gcc" "src/CMakeFiles/hos_policy.dir/policy/heap_od.cc.o.d"
+  "/root/repo/src/policy/hetero_lru_policy.cc" "src/CMakeFiles/hos_policy.dir/policy/hetero_lru_policy.cc.o" "gcc" "src/CMakeFiles/hos_policy.dir/policy/hetero_lru_policy.cc.o.d"
+  "/root/repo/src/policy/vmm_exclusive.cc" "src/CMakeFiles/hos_policy.dir/policy/vmm_exclusive.cc.o" "gcc" "src/CMakeFiles/hos_policy.dir/policy/vmm_exclusive.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-profoff/src/CMakeFiles/hos_vmm.dir/DependInfo.cmake"
+  "/root/repo/build-profoff/src/CMakeFiles/hos_guestos.dir/DependInfo.cmake"
+  "/root/repo/build-profoff/src/CMakeFiles/hos_check.dir/DependInfo.cmake"
+  "/root/repo/build-profoff/src/CMakeFiles/hos_mem.dir/DependInfo.cmake"
+  "/root/repo/build-profoff/src/CMakeFiles/hos_prof.dir/DependInfo.cmake"
+  "/root/repo/build-profoff/src/CMakeFiles/hos_trace.dir/DependInfo.cmake"
+  "/root/repo/build-profoff/src/CMakeFiles/hos_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

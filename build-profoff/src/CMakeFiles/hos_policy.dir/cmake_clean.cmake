@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hos_policy.dir/policy/baselines.cc.o"
+  "CMakeFiles/hos_policy.dir/policy/baselines.cc.o.d"
+  "CMakeFiles/hos_policy.dir/policy/coordinated.cc.o"
+  "CMakeFiles/hos_policy.dir/policy/coordinated.cc.o.d"
+  "CMakeFiles/hos_policy.dir/policy/heap_io_slab_od.cc.o"
+  "CMakeFiles/hos_policy.dir/policy/heap_io_slab_od.cc.o.d"
+  "CMakeFiles/hos_policy.dir/policy/heap_od.cc.o"
+  "CMakeFiles/hos_policy.dir/policy/heap_od.cc.o.d"
+  "CMakeFiles/hos_policy.dir/policy/hetero_lru_policy.cc.o"
+  "CMakeFiles/hos_policy.dir/policy/hetero_lru_policy.cc.o.d"
+  "CMakeFiles/hos_policy.dir/policy/vmm_exclusive.cc.o"
+  "CMakeFiles/hos_policy.dir/policy/vmm_exclusive.cc.o.d"
+  "libhos_policy.a"
+  "libhos_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hos_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prof/diff.cc" "src/CMakeFiles/hos_prof.dir/prof/diff.cc.o" "gcc" "src/CMakeFiles/hos_prof.dir/prof/diff.cc.o.d"
+  "/root/repo/src/prof/prof.cc" "src/CMakeFiles/hos_prof.dir/prof/prof.cc.o" "gcc" "src/CMakeFiles/hos_prof.dir/prof/prof.cc.o.d"
+  "/root/repo/src/prof/report.cc" "src/CMakeFiles/hos_prof.dir/prof/report.cc.o" "gcc" "src/CMakeFiles/hos_prof.dir/prof/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-profoff/src/CMakeFiles/hos_trace.dir/DependInfo.cmake"
+  "/root/repo/build-profoff/src/CMakeFiles/hos_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hos_prof.dir/prof/diff.cc.o"
+  "CMakeFiles/hos_prof.dir/prof/diff.cc.o.d"
+  "CMakeFiles/hos_prof.dir/prof/prof.cc.o"
+  "CMakeFiles/hos_prof.dir/prof/prof.cc.o.d"
+  "CMakeFiles/hos_prof.dir/prof/report.cc.o"
+  "CMakeFiles/hos_prof.dir/prof/report.cc.o.d"
+  "libhos_prof.a"
+  "libhos_prof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hos_prof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

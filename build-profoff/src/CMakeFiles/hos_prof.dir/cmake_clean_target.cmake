@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhos_prof.a"
+)

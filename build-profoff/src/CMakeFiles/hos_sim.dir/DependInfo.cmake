@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/hos_sim.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/hos_sim.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/json.cc" "src/CMakeFiles/hos_sim.dir/sim/json.cc.o" "gcc" "src/CMakeFiles/hos_sim.dir/sim/json.cc.o.d"
+  "/root/repo/src/sim/log.cc" "src/CMakeFiles/hos_sim.dir/sim/log.cc.o" "gcc" "src/CMakeFiles/hos_sim.dir/sim/log.cc.o.d"
+  "/root/repo/src/sim/rng.cc" "src/CMakeFiles/hos_sim.dir/sim/rng.cc.o" "gcc" "src/CMakeFiles/hos_sim.dir/sim/rng.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/hos_sim.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/hos_sim.dir/sim/stats.cc.o.d"
+  "/root/repo/src/sim/table.cc" "src/CMakeFiles/hos_sim.dir/sim/table.cc.o" "gcc" "src/CMakeFiles/hos_sim.dir/sim/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

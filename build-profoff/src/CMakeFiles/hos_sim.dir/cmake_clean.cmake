@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hos_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/hos_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/hos_sim.dir/sim/json.cc.o"
+  "CMakeFiles/hos_sim.dir/sim/json.cc.o.d"
+  "CMakeFiles/hos_sim.dir/sim/log.cc.o"
+  "CMakeFiles/hos_sim.dir/sim/log.cc.o.d"
+  "CMakeFiles/hos_sim.dir/sim/rng.cc.o"
+  "CMakeFiles/hos_sim.dir/sim/rng.cc.o.d"
+  "CMakeFiles/hos_sim.dir/sim/stats.cc.o"
+  "CMakeFiles/hos_sim.dir/sim/stats.cc.o.d"
+  "CMakeFiles/hos_sim.dir/sim/table.cc.o"
+  "CMakeFiles/hos_sim.dir/sim/table.cc.o.d"
+  "libhos_sim.a"
+  "libhos_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hos_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/exporters.cc" "src/CMakeFiles/hos_trace.dir/trace/exporters.cc.o" "gcc" "src/CMakeFiles/hos_trace.dir/trace/exporters.cc.o.d"
+  "/root/repo/src/trace/stats_snapshot.cc" "src/CMakeFiles/hos_trace.dir/trace/stats_snapshot.cc.o" "gcc" "src/CMakeFiles/hos_trace.dir/trace/stats_snapshot.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/CMakeFiles/hos_trace.dir/trace/trace.cc.o" "gcc" "src/CMakeFiles/hos_trace.dir/trace/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-profoff/src/CMakeFiles/hos_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hos_trace.dir/trace/exporters.cc.o"
+  "CMakeFiles/hos_trace.dir/trace/exporters.cc.o.d"
+  "CMakeFiles/hos_trace.dir/trace/stats_snapshot.cc.o"
+  "CMakeFiles/hos_trace.dir/trace/stats_snapshot.cc.o.d"
+  "CMakeFiles/hos_trace.dir/trace/trace.cc.o"
+  "CMakeFiles/hos_trace.dir/trace/trace.cc.o.d"
+  "libhos_trace.a"
+  "libhos_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hos_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

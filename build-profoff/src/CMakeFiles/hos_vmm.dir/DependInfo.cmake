@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vmm/ballooning.cc" "src/CMakeFiles/hos_vmm.dir/vmm/ballooning.cc.o" "gcc" "src/CMakeFiles/hos_vmm.dir/vmm/ballooning.cc.o.d"
+  "/root/repo/src/vmm/drf.cc" "src/CMakeFiles/hos_vmm.dir/vmm/drf.cc.o" "gcc" "src/CMakeFiles/hos_vmm.dir/vmm/drf.cc.o.d"
+  "/root/repo/src/vmm/hotness_tracker.cc" "src/CMakeFiles/hos_vmm.dir/vmm/hotness_tracker.cc.o" "gcc" "src/CMakeFiles/hos_vmm.dir/vmm/hotness_tracker.cc.o.d"
+  "/root/repo/src/vmm/max_min.cc" "src/CMakeFiles/hos_vmm.dir/vmm/max_min.cc.o" "gcc" "src/CMakeFiles/hos_vmm.dir/vmm/max_min.cc.o.d"
+  "/root/repo/src/vmm/migration_engine.cc" "src/CMakeFiles/hos_vmm.dir/vmm/migration_engine.cc.o" "gcc" "src/CMakeFiles/hos_vmm.dir/vmm/migration_engine.cc.o.d"
+  "/root/repo/src/vmm/p2m.cc" "src/CMakeFiles/hos_vmm.dir/vmm/p2m.cc.o" "gcc" "src/CMakeFiles/hos_vmm.dir/vmm/p2m.cc.o.d"
+  "/root/repo/src/vmm/shared_ring.cc" "src/CMakeFiles/hos_vmm.dir/vmm/shared_ring.cc.o" "gcc" "src/CMakeFiles/hos_vmm.dir/vmm/shared_ring.cc.o.d"
+  "/root/repo/src/vmm/vmm.cc" "src/CMakeFiles/hos_vmm.dir/vmm/vmm.cc.o" "gcc" "src/CMakeFiles/hos_vmm.dir/vmm/vmm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-profoff/src/CMakeFiles/hos_guestos.dir/DependInfo.cmake"
+  "/root/repo/build-profoff/src/CMakeFiles/hos_check.dir/DependInfo.cmake"
+  "/root/repo/build-profoff/src/CMakeFiles/hos_mem.dir/DependInfo.cmake"
+  "/root/repo/build-profoff/src/CMakeFiles/hos_prof.dir/DependInfo.cmake"
+  "/root/repo/build-profoff/src/CMakeFiles/hos_trace.dir/DependInfo.cmake"
+  "/root/repo/build-profoff/src/CMakeFiles/hos_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hos_vmm.dir/vmm/ballooning.cc.o"
+  "CMakeFiles/hos_vmm.dir/vmm/ballooning.cc.o.d"
+  "CMakeFiles/hos_vmm.dir/vmm/drf.cc.o"
+  "CMakeFiles/hos_vmm.dir/vmm/drf.cc.o.d"
+  "CMakeFiles/hos_vmm.dir/vmm/hotness_tracker.cc.o"
+  "CMakeFiles/hos_vmm.dir/vmm/hotness_tracker.cc.o.d"
+  "CMakeFiles/hos_vmm.dir/vmm/max_min.cc.o"
+  "CMakeFiles/hos_vmm.dir/vmm/max_min.cc.o.d"
+  "CMakeFiles/hos_vmm.dir/vmm/migration_engine.cc.o"
+  "CMakeFiles/hos_vmm.dir/vmm/migration_engine.cc.o.d"
+  "CMakeFiles/hos_vmm.dir/vmm/p2m.cc.o"
+  "CMakeFiles/hos_vmm.dir/vmm/p2m.cc.o.d"
+  "CMakeFiles/hos_vmm.dir/vmm/shared_ring.cc.o"
+  "CMakeFiles/hos_vmm.dir/vmm/shared_ring.cc.o.d"
+  "CMakeFiles/hos_vmm.dir/vmm/vmm.cc.o"
+  "CMakeFiles/hos_vmm.dir/vmm/vmm.cc.o.d"
+  "libhos_vmm.a"
+  "libhos_vmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hos_vmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hos_workload.dir/workload/apps.cc.o"
+  "CMakeFiles/hos_workload.dir/workload/apps.cc.o.d"
+  "CMakeFiles/hos_workload.dir/workload/memlat.cc.o"
+  "CMakeFiles/hos_workload.dir/workload/memlat.cc.o.d"
+  "CMakeFiles/hos_workload.dir/workload/stream.cc.o"
+  "CMakeFiles/hos_workload.dir/workload/stream.cc.o.d"
+  "CMakeFiles/hos_workload.dir/workload/workload.cc.o"
+  "CMakeFiles/hos_workload.dir/workload/workload.cc.o.d"
+  "libhos_workload.a"
+  "libhos_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hos_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_address_space.cc" "tests/CMakeFiles/hos_tests.dir/test_address_space.cc.o" "gcc" "tests/CMakeFiles/hos_tests.dir/test_address_space.cc.o.d"
+  "/root/repo/tests/test_balloon.cc" "tests/CMakeFiles/hos_tests.dir/test_balloon.cc.o" "gcc" "tests/CMakeFiles/hos_tests.dir/test_balloon.cc.o.d"
+  "/root/repo/tests/test_buddy_allocator.cc" "tests/CMakeFiles/hos_tests.dir/test_buddy_allocator.cc.o" "gcc" "tests/CMakeFiles/hos_tests.dir/test_buddy_allocator.cc.o.d"
+  "/root/repo/tests/test_cache_model.cc" "tests/CMakeFiles/hos_tests.dir/test_cache_model.cc.o" "gcc" "tests/CMakeFiles/hos_tests.dir/test_cache_model.cc.o.d"
+  "/root/repo/tests/test_check.cc" "tests/CMakeFiles/hos_tests.dir/test_check.cc.o" "gcc" "tests/CMakeFiles/hos_tests.dir/test_check.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/hos_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/hos_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_fairness.cc" "tests/CMakeFiles/hos_tests.dir/test_fairness.cc.o" "gcc" "tests/CMakeFiles/hos_tests.dir/test_fairness.cc.o.d"
+  "/root/repo/tests/test_golden_determinism.cc" "tests/CMakeFiles/hos_tests.dir/test_golden_determinism.cc.o" "gcc" "tests/CMakeFiles/hos_tests.dir/test_golden_determinism.cc.o.d"
+  "/root/repo/tests/test_hetero_allocator.cc" "tests/CMakeFiles/hos_tests.dir/test_hetero_allocator.cc.o" "gcc" "tests/CMakeFiles/hos_tests.dir/test_hetero_allocator.cc.o.d"
+  "/root/repo/tests/test_hetero_lru.cc" "tests/CMakeFiles/hos_tests.dir/test_hetero_lru.cc.o" "gcc" "tests/CMakeFiles/hos_tests.dir/test_hetero_lru.cc.o.d"
+  "/root/repo/tests/test_hotness_tracker.cc" "tests/CMakeFiles/hos_tests.dir/test_hotness_tracker.cc.o" "gcc" "tests/CMakeFiles/hos_tests.dir/test_hotness_tracker.cc.o.d"
+  "/root/repo/tests/test_io_devices.cc" "tests/CMakeFiles/hos_tests.dir/test_io_devices.cc.o" "gcc" "tests/CMakeFiles/hos_tests.dir/test_io_devices.cc.o.d"
+  "/root/repo/tests/test_lru.cc" "tests/CMakeFiles/hos_tests.dir/test_lru.cc.o" "gcc" "tests/CMakeFiles/hos_tests.dir/test_lru.cc.o.d"
+  "/root/repo/tests/test_machine_memory.cc" "tests/CMakeFiles/hos_tests.dir/test_machine_memory.cc.o" "gcc" "tests/CMakeFiles/hos_tests.dir/test_machine_memory.cc.o.d"
+  "/root/repo/tests/test_mem_device.cc" "tests/CMakeFiles/hos_tests.dir/test_mem_device.cc.o" "gcc" "tests/CMakeFiles/hos_tests.dir/test_mem_device.cc.o.d"
+  "/root/repo/tests/test_migration_cost.cc" "tests/CMakeFiles/hos_tests.dir/test_migration_cost.cc.o" "gcc" "tests/CMakeFiles/hos_tests.dir/test_migration_cost.cc.o.d"
+  "/root/repo/tests/test_migration_engine.cc" "tests/CMakeFiles/hos_tests.dir/test_migration_engine.cc.o" "gcc" "tests/CMakeFiles/hos_tests.dir/test_migration_engine.cc.o.d"
+  "/root/repo/tests/test_migration_frontend.cc" "tests/CMakeFiles/hos_tests.dir/test_migration_frontend.cc.o" "gcc" "tests/CMakeFiles/hos_tests.dir/test_migration_frontend.cc.o.d"
+  "/root/repo/tests/test_multitier.cc" "tests/CMakeFiles/hos_tests.dir/test_multitier.cc.o" "gcc" "tests/CMakeFiles/hos_tests.dir/test_multitier.cc.o.d"
+  "/root/repo/tests/test_p2m.cc" "tests/CMakeFiles/hos_tests.dir/test_p2m.cc.o" "gcc" "tests/CMakeFiles/hos_tests.dir/test_p2m.cc.o.d"
+  "/root/repo/tests/test_page_cache.cc" "tests/CMakeFiles/hos_tests.dir/test_page_cache.cc.o" "gcc" "tests/CMakeFiles/hos_tests.dir/test_page_cache.cc.o.d"
+  "/root/repo/tests/test_page_list.cc" "tests/CMakeFiles/hos_tests.dir/test_page_list.cc.o" "gcc" "tests/CMakeFiles/hos_tests.dir/test_page_list.cc.o.d"
+  "/root/repo/tests/test_page_table.cc" "tests/CMakeFiles/hos_tests.dir/test_page_table.cc.o" "gcc" "tests/CMakeFiles/hos_tests.dir/test_page_table.cc.o.d"
+  "/root/repo/tests/test_percpu_lists.cc" "tests/CMakeFiles/hos_tests.dir/test_percpu_lists.cc.o" "gcc" "tests/CMakeFiles/hos_tests.dir/test_percpu_lists.cc.o.d"
+  "/root/repo/tests/test_policies.cc" "tests/CMakeFiles/hos_tests.dir/test_policies.cc.o" "gcc" "tests/CMakeFiles/hos_tests.dir/test_policies.cc.o.d"
+  "/root/repo/tests/test_prof.cc" "tests/CMakeFiles/hos_tests.dir/test_prof.cc.o" "gcc" "tests/CMakeFiles/hos_tests.dir/test_prof.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/hos_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/hos_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_residency.cc" "tests/CMakeFiles/hos_tests.dir/test_residency.cc.o" "gcc" "tests/CMakeFiles/hos_tests.dir/test_residency.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/hos_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/hos_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_shared_ring.cc" "tests/CMakeFiles/hos_tests.dir/test_shared_ring.cc.o" "gcc" "tests/CMakeFiles/hos_tests.dir/test_shared_ring.cc.o.d"
+  "/root/repo/tests/test_slab.cc" "tests/CMakeFiles/hos_tests.dir/test_slab.cc.o" "gcc" "tests/CMakeFiles/hos_tests.dir/test_slab.cc.o.d"
+  "/root/repo/tests/test_smoke.cc" "tests/CMakeFiles/hos_tests.dir/test_smoke.cc.o" "gcc" "tests/CMakeFiles/hos_tests.dir/test_smoke.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/hos_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/hos_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_stats_snapshot.cc" "tests/CMakeFiles/hos_tests.dir/test_stats_snapshot.cc.o" "gcc" "tests/CMakeFiles/hos_tests.dir/test_stats_snapshot.cc.o.d"
+  "/root/repo/tests/test_sweep.cc" "tests/CMakeFiles/hos_tests.dir/test_sweep.cc.o" "gcc" "tests/CMakeFiles/hos_tests.dir/test_sweep.cc.o.d"
+  "/root/repo/tests/test_system_integration.cc" "tests/CMakeFiles/hos_tests.dir/test_system_integration.cc.o" "gcc" "tests/CMakeFiles/hos_tests.dir/test_system_integration.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/hos_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/hos_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_vmm.cc" "tests/CMakeFiles/hos_tests.dir/test_vmm.cc.o" "gcc" "tests/CMakeFiles/hos_tests.dir/test_vmm.cc.o.d"
+  "/root/repo/tests/test_workload_engine.cc" "tests/CMakeFiles/hos_tests.dir/test_workload_engine.cc.o" "gcc" "tests/CMakeFiles/hos_tests.dir/test_workload_engine.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/hos_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/hos_tests.dir/test_workloads.cc.o.d"
+  "/root/repo/tests/test_zone_numa.cc" "tests/CMakeFiles/hos_tests.dir/test_zone_numa.cc.o" "gcc" "tests/CMakeFiles/hos_tests.dir/test_zone_numa.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-profoff/src/CMakeFiles/hos_core.dir/DependInfo.cmake"
+  "/root/repo/build-profoff/src/CMakeFiles/hos_policy.dir/DependInfo.cmake"
+  "/root/repo/build-profoff/src/CMakeFiles/hos_workload.dir/DependInfo.cmake"
+  "/root/repo/build-profoff/src/CMakeFiles/hos_audit.dir/DependInfo.cmake"
+  "/root/repo/build-profoff/src/CMakeFiles/hos_vmm.dir/DependInfo.cmake"
+  "/root/repo/build-profoff/src/CMakeFiles/hos_guestos.dir/DependInfo.cmake"
+  "/root/repo/build-profoff/src/CMakeFiles/hos_check.dir/DependInfo.cmake"
+  "/root/repo/build-profoff/src/CMakeFiles/hos_mem.dir/DependInfo.cmake"
+  "/root/repo/build-profoff/src/CMakeFiles/hos_prof.dir/DependInfo.cmake"
+  "/root/repo/build-profoff/src/CMakeFiles/hos_trace.dir/DependInfo.cmake"
+  "/root/repo/build-profoff/src/CMakeFiles/hos_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

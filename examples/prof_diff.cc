@@ -1,0 +1,177 @@
+/**
+ * @file
+ * hos-profdiff: compare the span-profiler ledgers of two runs and
+ * gate on regressions.
+ *
+ * Usage:
+ *   hos-profdiff [options] BEFORE.json AFTER.json
+ *
+ *   BEFORE/AFTER  results JSON from `run_experiment --prof --results=`
+ *                 (top-level "profile" object) or a sweep aggregate
+ *                 ("runs"[]."record"."profile" — summed across runs)
+ *
+ * Options:
+ *   --threshold=PCT  fail (exit 1) when any per-kind sim-time total
+ *                    grew by more than PCT percent (default 5)
+ *   --exact          fail on ANY sim-time difference — the CI
+ *                    determinism gate (same scenario run twice must
+ *                    produce bit-identical ledgers)
+ *   --json=FILE      also write the diff as hos-profdiff-1 JSON
+ *
+ * Exit codes: 0 within threshold, 1 regression (or any difference
+ * under --exact), 2 usage or load error.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "prof/diff.hh"
+#include "prof/report.hh"
+#include "sim/json.hh"
+
+using namespace hos;
+
+namespace {
+
+void
+usage()
+{
+    std::puts(
+        "usage: hos-profdiff [options] BEFORE.json AFTER.json\n"
+        "options:\n"
+        "  --threshold=PCT  max allowed per-kind growth in percent "
+        "(default 5)\n"
+        "  --exact          fail on any sim-time difference\n"
+        "  --json=FILE      write the diff as JSON");
+}
+
+/**
+ * Pull the profile ledger out of a results file: either a single
+ * record's top-level "profile", or the sum over a sweep aggregate's
+ * "runs"[]."record"."profile".
+ */
+bool
+loadProfile(const std::string &path, prof::ProfileReport &out,
+            std::string &error)
+{
+    const auto doc = sim::jsonParseFile(path, &error);
+    if (!doc)
+        return false;
+    if (!doc->isObject()) {
+        error = "top level is not an object";
+        return false;
+    }
+
+    if (const auto *profile = doc->find("profile")) {
+        out = prof::profileReportFromJson(*profile, &error);
+        return error.empty();
+    }
+
+    if (const auto *runs = doc->find("runs")) {
+        if (!runs->isArray()) {
+            error = "\"runs\" is not an array";
+            return false;
+        }
+        bool found = false;
+        for (const auto &run : runs->array) {
+            const auto *record = run.find("record");
+            const auto *profile =
+                record != nullptr ? record->find("profile") : nullptr;
+            if (profile == nullptr)
+                continue;
+            auto one = prof::profileReportFromJson(*profile, &error);
+            if (!error.empty())
+                return false;
+            prof::mergeInto(out, one);
+            found = true;
+        }
+        if (!found) {
+            error = "no run in \"runs\" carries a profile "
+                    "(was the sweep run with profiling on?)";
+            return false;
+        }
+        return true;
+    }
+
+    error = "no \"profile\" object and no \"runs\" array "
+            "(produce input with run_experiment --prof --results=...)";
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double threshold_pct = 5.0;
+    bool exact = false;
+    std::string json_file;
+
+    int arg = 1;
+    for (; arg < argc && std::strncmp(argv[arg], "--", 2) == 0; ++arg) {
+        const std::string a = argv[arg];
+        if (a.rfind("--threshold=", 0) == 0) {
+            threshold_pct = std::atof(a.c_str() + 12);
+            if (threshold_pct < 0.0) {
+                std::fprintf(stderr, "bad threshold '%s'\n",
+                             argv[arg]);
+                return 2;
+            }
+        } else if (a == "--exact") {
+            exact = true;
+        } else if (a.rfind("--json=", 0) == 0) {
+            json_file = a.substr(7);
+        } else {
+            usage();
+            return 2;
+        }
+    }
+    if (argc - arg != 2) {
+        usage();
+        return 2;
+    }
+
+    prof::ProfileReport before, after;
+    std::string error;
+    if (!loadProfile(argv[arg], before, error)) {
+        std::fprintf(stderr, "%s: %s\n", argv[arg], error.c_str());
+        return 2;
+    }
+    if (!loadProfile(argv[arg + 1], after, error)) {
+        std::fprintf(stderr, "%s: %s\n", argv[arg + 1], error.c_str());
+        return 2;
+    }
+
+    const auto diff = prof::diffProfiles(before, after);
+    prof::printDiff(diff, std::cout);
+
+    if (!json_file.empty()) {
+        std::ofstream os(json_file);
+        if (!os) {
+            std::fprintf(stderr, "cannot open '%s'\n",
+                         json_file.c_str());
+            return 2;
+        }
+        prof::writeDiffJson(diff, threshold_pct, os);
+    }
+
+    if (exact) {
+        if (!diff.identical()) {
+            std::printf("FAIL: ledgers differ (--exact)\n");
+            return 1;
+        }
+        std::printf("OK: ledgers identical\n");
+        return 0;
+    }
+    if (prof::hasRegression(diff, threshold_pct)) {
+        std::printf("FAIL: per-kind growth exceeds %.1f%%\n",
+                    threshold_pct);
+        return 1;
+    }
+    std::printf("OK: within %.1f%% threshold\n", threshold_pct);
+    return 0;
+}

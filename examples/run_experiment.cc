@@ -23,6 +23,13 @@
  *                           (default stats_timeseries.json)
  *   --results=FILE          machine-readable results JSON
  *   --log-level=N           0 quiet, 1 inform, 2 debug (tick-stamped)
+ *
+ * Profiling options (need -DHOS_PROF=sim or host):
+ *   --prof                  span profiler: per-subsystem cost ledger,
+ *                           printed after the run and embedded in
+ *                           --results output under "profile"
+ *   --prof-collapsed=FILE   collapsed-stack export for flamegraph.pl
+ *                           or speedscope (implies --prof)
  */
 
 #include <cstdio>
@@ -34,6 +41,8 @@
 
 #include "core/experiment.hh"
 #include "core/report.hh"
+#include "prof/prof.hh"
+#include "prof/report.hh"
 #include "sim/log.hh"
 #include "sim/table.hh"
 #include "trace/exporters.hh"
@@ -63,7 +72,9 @@ usage()
         "  --stats-out=FILE        snapshot JSON "
         "(default stats_timeseries.json)\n"
         "  --results=FILE          results JSON\n"
-        "  --log-level=N           0 quiet, 1 inform, 2 debug");
+        "  --log-level=N           0 quiet, 1 inform, 2 debug\n"
+        "  --prof                  span-profiler cost attribution\n"
+        "  --prof-collapsed=FILE   flamegraph collapsed-stack export");
 }
 
 /** The observability flags, parsed off the front of argv. */
@@ -75,6 +86,8 @@ struct Options
     double stats_interval_ms = 0.0;
     std::string stats_out = "stats_timeseries.json";
     std::string results_file;
+    bool prof = false;
+    std::string prof_collapsed_file;
 };
 
 /** Consume every leading --flag; returns false on a bad one. */
@@ -105,6 +118,10 @@ parseOptions(int &argc, char **&argv, Options &opt)
             // handled
         } else if (eat("--results=", opt.results_file)) {
             // handled
+        } else if (arg == "--prof") {
+            opt.prof = true;
+        } else if (eat("--prof-collapsed=", opt.prof_collapsed_file)) {
+            opt.prof = true;
         } else if (eat("--log-level=", interval)) {
             sim::setLogLevel(std::atoi(interval.c_str()));
         } else {
@@ -151,11 +168,19 @@ main(int argc, char **argv)
         scale * 8.0 * static_cast<double>(mem::gib));
     spec.fast_bytes = static_cast<std::uint64_t>(
         static_cast<double>(spec.slow_bytes) * ratio);
+    if (opt.prof) {
+        if (!prof::profilingCompiled)
+            std::fprintf(stderr,
+                         "warning: built with -DHOS_PROF=off; "
+                         "--prof output will be empty\n");
+        spec.profiling = true;
+    }
 
     // Baseline for the gain column (runs untraced — its events would
     // only pollute the main run's timeline).
     auto base_spec = spec;
     base_spec.approach = core::Approach::SlowMemOnly;
+    base_spec.profiling = false;
     const auto base = core::run(base_spec);
 
     const bool tracing =
@@ -215,6 +240,25 @@ main(int argc, char **argv)
             sim::Table::num(k.allocator().overallFastMissRatio(), 3)});
     pg.print();
 
+    prof::ProfileReport profile;
+    if (opt.prof) {
+        profile = sys->profiler().report();
+        sim::Table pt("Span-profiler cost attribution");
+        pt.header({"subsystem", "ms", "share"});
+        const double total =
+            static_cast<double>(profile.simGrandTotal());
+        for (const auto &[kind, sim_ns] : profile.kindTotals()) {
+            const double ms =
+                sim::toMilliseconds(static_cast<sim::Duration>(sim_ns));
+            const double share =
+                total > 0.0 ? static_cast<double>(sim_ns) / total * 100.0
+                            : 0.0;
+            pt.row({kind, sim::Table::num(ms, 2),
+                    sim::Table::pct(share)});
+        }
+        pt.print();
+    }
+
     // --- Observability exports -------------------------------------
     trace::Tracer &sink = sys->traceSink();
     if (!opt.trace_file.empty() &&
@@ -227,6 +271,12 @@ main(int argc, char **argv)
     if (!opt.trace_csv_file.empty() &&
         trace::writeCsv(sink, opt.trace_csv_file)) {
         std::printf("trace csv: %s\n", opt.trace_csv_file.c_str());
+    }
+    if (!opt.prof_collapsed_file.empty() &&
+        prof::writeCollapsed(profile, opt.prof_collapsed_file)) {
+        std::printf("prof collapsed: %s (%zu rows)\n",
+                    opt.prof_collapsed_file.c_str(),
+                    profile.entries.size());
     }
     if (snapshotter && snapshotter->writeJson(opt.stats_out)) {
         std::printf("stats: %s (%llu snapshots)\n", opt.stats_out.c_str(),
@@ -247,6 +297,7 @@ main(int argc, char **argv)
         }
         record.extra.emplace_back("fast_miss_ratio",
                                   k.allocator().overallFastMissRatio());
+        record.profile = profile;
         if (core::writeResultsJson(opt.results_file, record))
             std::printf("results: %s\n", opt.results_file.c_str());
     }

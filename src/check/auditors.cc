@@ -612,6 +612,30 @@ auditVmm(vmm::Vmm &vmm, sim::StatRegistry *registry)
     return r;
 }
 
+AuditResult
+auditProf(const prof::Profiler &profiler)
+{
+    AuditResult r;
+    ++r.checks;
+    if (profiler.depth() != 0) {
+        r.addFailure(CheckKind::Prof, invalidSubject, "prof.stack",
+                     std::to_string(profiler.depth()) +
+                         " span(s) still open at audit");
+    }
+    ++r.checks;
+    if (profiler.spansOpened() != profiler.spansClosed() &&
+        profiler.depth() == 0) {
+        // depth != 0 already reported above; this catches hand-driven
+        // begin/end misuse where the stack emptied but counts drifted.
+        r.addFailure(CheckKind::Prof, invalidSubject, "prof.counters",
+                     "spans opened " +
+                         std::to_string(profiler.spansOpened()) +
+                         " != closed " +
+                         std::to_string(profiler.spansClosed()));
+    }
+    return r;
+}
+
 void
 enforce(const AuditResult &result)
 {

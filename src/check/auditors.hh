@@ -36,6 +36,7 @@
 
 #include "check/check.hh"
 #include "guestos/kernel.hh"
+#include "prof/prof.hh"
 #include "sim/stats.hh"
 #include "vmm/vmm.hh"
 
@@ -100,6 +101,13 @@ AuditResult auditP2m(vmm::VmContext &vm, mem::MachineMemory &machine);
 /** Audit every VM of a VMM (kernel + P2M [+ stats]) and the machine. */
 AuditResult auditVmm(vmm::Vmm &vmm,
                      sim::StatRegistry *registry = nullptr);
+
+/**
+ * End-of-run profiler balance audit: every opened span must have been
+ * closed (RAII makes this structural, so a failure means a span
+ * leaked across an exception or a begin/end was called by hand).
+ */
+AuditResult auditProf(const prof::Profiler &profiler);
 
 /**
  * Report every failure in `result` through hos::trace and terminate

@@ -32,9 +32,10 @@ enum class CheckKind : std::uint8_t {
     P2m,            ///< guest P2M vs VMM machine-frame ownership drift
     StatDrift,      ///< StatRegistry gauge disagrees with live state
     Residency,      ///< ResidencyIndex disagrees with recomputed truth
+    Prof,           ///< profiler span stack imbalance (hos::prof)
 };
 
-constexpr std::size_t numCheckKinds = 9;
+constexpr std::size_t numCheckKinds = 10;
 
 constexpr const char *
 checkKindName(CheckKind k)
@@ -58,6 +59,8 @@ checkKindName(CheckKind k)
         return "stat-drift";
       case CheckKind::Residency:
         return "residency";
+      case CheckKind::Prof:
+        return "prof";
     }
     return "?";
 }

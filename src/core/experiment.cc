@@ -41,6 +41,8 @@ systemFor(const Scenario &s)
 {
     auto sys = std::make_unique<HeteroSystem>(s.host());
     sys->setLegacyPlacementSampling(s.legacy_placement_sampling);
+    if (s.profiling)
+        sys->enableProfiling();
     sys->addVm(makePolicy(s.approach), s.sizing());
     return sys;
 }

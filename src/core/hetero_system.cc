@@ -128,10 +128,23 @@ HeteroSystem::enableTracing(std::uint32_t mask)
     tracer_.enable(mask);
 }
 
+void
+HeteroSystem::enableProfiling()
+{
+    if (prof_enabled_)
+        return;
+    prof_enabled_ = true;
+    profiler_.enable();
+    registry_.add(&profiler_.stats(),
+                  [this] { profiler_.syncStats(); });
+}
+
 workload::Workload::Result
 HeteroSystem::runOne(VmSlot &slot, const workload::WorkloadFactory &factory)
 {
     trace::ScopedSink sink(trace_enabled_ ? &tracer_ : nullptr);
+    prof::ScopedProfiler prof_guard(prof_enabled_ ? &profiler_
+                                                  : nullptr);
     active_vms_ = 1;
 
     std::optional<check::AuditDaemon> audit;
@@ -146,6 +159,8 @@ HeteroSystem::runOne(VmSlot &slot, const workload::WorkloadFactory &factory)
 
     if (check::fullChecksEnabled)
         check::enforce(check::auditVmm(*vmm_, &registry_));
+    if (prof_enabled_)
+        check::enforce(check::auditProf(profiler_));
     return result;
 }
 
@@ -155,6 +170,8 @@ HeteroSystem::runMany(
         &pairs)
 {
     trace::ScopedSink sink(trace_enabled_ ? &tracer_ : nullptr);
+    prof::ScopedProfiler prof_guard(prof_enabled_ ? &profiler_
+                                                  : nullptr);
 
     std::optional<check::AuditDaemon> audit;
     if (check::fullChecksEnabled && !pairs.empty()) {
@@ -197,6 +214,8 @@ HeteroSystem::runMany(
 
     if (check::fullChecksEnabled)
         check::enforce(check::auditVmm(*vmm_, &registry_));
+    if (prof_enabled_)
+        check::enforce(check::auditProf(profiler_));
     return results;
 }
 

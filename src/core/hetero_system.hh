@@ -23,6 +23,7 @@
 #include "mem/cache_model.hh"
 #include "mem/machine_memory.hh"
 #include "policy/placement_policy.hh"
+#include "prof/prof.hh"
 #include "sim/stats.hh"
 #include "trace/trace.hh"
 #include "vmm/vmm.hh"
@@ -114,6 +115,20 @@ class HeteroSystem
     trace::Tracer &traceSink() { return tracer_; }
 
     /**
+     * Opt this system into span profiling: while runOne/runMany
+     * execute, HOS_PROF_SPAN spans and kernel charges on the running
+     * thread attribute into profiler() (a per-system ledger, isolated
+     * exactly like the trace sink). Registers the "prof" stat group
+     * with statRegistry(). No-op in HOS_PROF=off builds beyond the
+     * bookkeeping flag.
+     */
+    void enableProfiling();
+    bool profilingEnabled() const { return prof_enabled_; }
+
+    /** This system's span ledger (see enableProfiling). */
+    prof::Profiler &profiler() { return profiler_; }
+
+    /**
      * Run workloads with the legacy per-phase placement sampling
      * instead of the ResidencyIndex (bit-identical cross-check path).
      * Must be set before workloads are created via envFor/runOne.
@@ -150,7 +165,9 @@ class HeteroSystem
     std::vector<std::unique_ptr<VmSlot>> slots_;
     sim::StatRegistry registry_;
     trace::Tracer tracer_;
+    prof::Profiler profiler_;
     bool trace_enabled_ = false;
+    bool prof_enabled_ = false;
     bool legacy_placement_sampling_ = false;
     unsigned active_vms_ = 1;
 };

@@ -63,6 +63,10 @@ writeRunRecord(sim::JsonWriter &w, const RunRecord &record)
     for (const auto &[name, value] : record.extra)
         w.kv(name, value);
     w.endObject();
+    if (!record.profile.empty()) {
+        w.key("profile");
+        prof::writeProfileReport(w, record.profile);
+    }
     w.endObject();
 }
 

@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "prof/report.hh"
 #include "sim/json.hh"
 #include "workload/workload.hh"
 
@@ -45,6 +46,12 @@ struct RunRecord
     std::uint64_t instructions = 0;
     std::uint64_t llc_misses = 0;
     std::vector<std::pair<std::string, double>> extra;
+    /**
+     * Span-profiler attribution ledger, filled only for profiled runs
+     * (Scenario::withProfiling). Empty reports are not emitted, so
+     * prof-off results.json stays byte-identical to older versions.
+     */
+    prof::ProfileReport profile;
 };
 
 /** Fill the workload-derived fields of a record from a result. */

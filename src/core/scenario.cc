@@ -195,6 +195,8 @@ scenarioToJson(sim::JsonWriter &w, const Scenario &s)
     // Emitted only when set so existing scenario JSON stays stable.
     if (s.legacy_placement_sampling)
         w.kv("legacy_placement_sampling", true);
+    if (s.profiling)
+        w.kv("profiling", true);
     if (!s.name.empty())
         w.kv("name", s.name);
     if (s.slow_override) {
@@ -295,6 +297,17 @@ applyScenarioParam(Scenario &s, const std::string &key,
         } else {
             return setError(error, "bad value '" + value +
                                        "' for 'legacy_placement_sampling'");
+        }
+        return true;
+    }
+    if (key == "profiling") {
+        if (value == "true" || value == "1") {
+            s.profiling = true;
+        } else if (value == "false" || value == "0") {
+            s.profiling = false;
+        } else {
+            return setError(error,
+                            "bad value '" + value + "' for 'profiling'");
         }
         return true;
     }

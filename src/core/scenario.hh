@@ -105,6 +105,14 @@ struct Scenario
      */
     bool legacy_placement_sampling = false;
 
+    /**
+     * Enable hos::prof span profiling for the run: the system gets a
+     * per-run attribution ledger and the resulting ProfileReport is
+     * embedded into the RunRecord. Simulation output is bit-identical
+     * either way (profiling observes charges, never creates them).
+     */
+    bool profiling = false;
+
     /** Optional label carried into results ("" = derived). */
     std::string name;
 
@@ -137,6 +145,11 @@ struct Scenario
     Scenario &withLegacySampling(bool on = true)
     {
         legacy_placement_sampling = on;
+        return *this;
+    }
+    Scenario &withProfiling(bool on = true)
+    {
+        profiling = on;
         return *this;
     }
     Scenario &withName(std::string n) { name = std::move(n); return *this; }

@@ -222,9 +222,22 @@ executePoint(const SweepPoint &point)
     SweepResult r;
     r.point = point;
 
-    const auto result = core::run(point.scenario);
-    r.record =
-        makeRunRecord(result, approachName(point.scenario.approach));
+    if (point.scenario.profiling) {
+        // Keep the system alive past the run so its span ledger can
+        // be harvested into the record.
+        auto sys = systemFor(point.scenario);
+        const auto result =
+            sys->runOne(sys->slot(0),
+                        workload::makeApp(point.scenario.app,
+                                          point.scenario.scale));
+        r.record = makeRunRecord(result,
+                                 approachName(point.scenario.approach));
+        r.record.profile = sys->profiler().report();
+    } else {
+        const auto result = core::run(point.scenario);
+        r.record = makeRunRecord(result,
+                                 approachName(point.scenario.approach));
+    }
 
     // Numeric axis values ride along as extras so plots can read the
     // coordinates straight out of the record.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "guestos/kernel.hh"
+#include "prof/prof.hh"
 #include "sim/log.hh"
 #include "trace/trace.hh"
 
@@ -70,6 +71,9 @@ BalloonFrontend::requestPages(mem::MemType type, std::uint64_t pages)
     if (!node)
         return 0;
 
+    HOS_PROF_SPAN(balloon_span, prof::SpanKind::BalloonOp,
+                  kernel_.events(), 0,
+                  static_cast<std::uint8_t>(type));
     requested_.inc(pages);
     auto gpfns = kernel_.takeUnpopulatedGpfns(node->id(), pages);
     if (gpfns.empty())
@@ -164,6 +168,9 @@ BalloonFrontend::surrenderPages(mem::MemType type, std::uint64_t pages)
                 return true;
             });
             if (swapped > 0) {
+                HOS_PROF_SPAN(swap_span, prof::SpanKind::SwapOp,
+                              kernel_.events(), 0,
+                              static_cast<std::uint8_t>(type));
                 kernel_.charge(OverheadKind::Swap,
                                kernel_.swap().swapOut(swapped));
                 need -= std::min(need, swapped);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "guestos/kernel.hh"
+#include "prof/prof.hh"
 #include "sim/log.hh"
 #include "trace/trace.hh"
 
@@ -147,6 +148,9 @@ HeteroLru::reclaimFastMem(std::uint64_t target_pages)
     if (kernel_.events().now() == 0)
         return 0;
 
+    HOS_PROF_SPAN(reclaim_span, prof::SpanKind::ReclaimPass,
+                  kernel_.events(), 0,
+                  static_cast<std::uint8_t>(mem::MemType::FastMem));
     ++stats_.reclaim_passes;
     std::uint64_t freed = 0;
     std::uint64_t scanned_total = 0;
@@ -228,6 +232,8 @@ HeteroLru::reclaimFastMem(std::uint64_t target_pages)
 std::uint64_t
 HeteroLru::directReclaim(std::uint64_t target_pages)
 {
+    HOS_PROF_SPAN(reclaim_span, prof::SpanKind::ReclaimPass,
+                  kernel_.events());
     std::uint64_t freed = 0;
     std::uint64_t scanned_total = 0;
     PageCache &cache = kernel_.pageCache();
@@ -256,6 +262,8 @@ HeteroLru::directReclaim(std::uint64_t target_pages)
         }
         if (freed < target_pages) {
             // Nothing clean left: push dirty pages out and retry.
+            HOS_PROF_SPAN(wb_span, prof::SpanKind::WritebackPass,
+                          kernel_.events());
             kernel_.charge(OverheadKind::Writeback,
                            cache.writeback(target_pages * 2));
         }

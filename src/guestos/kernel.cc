@@ -3,9 +3,24 @@
 #include <algorithm>
 
 #include "check/page_state.hh"
+#include "prof/prof.hh"
 #include "sim/log.hh"
 
 namespace hos::guestos {
+
+namespace {
+
+/**
+ * The overheadKindName table in index order, handed to hos::prof so
+ * profile reports can label charge rows without prof depending on
+ * guestos (test_prof.cc pins the two tables against each other).
+ */
+constexpr const char *kOverheadNamesForProf[numOverheadKinds] = {
+    "alloc",     "reclaim",   "migration", "hotscan",
+    "balloon",   "writeback", "io",        "swap",
+};
+
+} // namespace
 
 const char *
 overheadKindName(OverheadKind k)
@@ -49,6 +64,9 @@ GuestKernel::GuestKernel(GuestConfig cfg)
       tlb_(cfg_.tlb), disk_(cfg_.disk), pages_(totalMaxPages(cfg_))
 {
     hos_assert(!cfg_.nodes.empty(), "guest needs at least one node");
+
+    prof::registerCostKindNames(kOverheadNamesForProf,
+                                numOverheadKinds);
 
     // Lay out nodes back to back in the gpfn space and stamp each
     // page with its node identity.
@@ -213,6 +231,10 @@ GuestKernel::charge(OverheadKind kind, sim::Duration d)
 {
     overhead_total_[static_cast<std::size_t>(kind)] += d;
     pending_overhead_ += d;
+    // Attribute to the innermost open profiler span (no-op when
+    // profiling is off or compiled out). Observation only: the
+    // counters above are the simulation's source of truth.
+    prof::onCharge(static_cast<std::uint8_t>(kind), d);
 }
 
 sim::Duration
@@ -255,13 +277,13 @@ GuestKernel::startDaemons()
                                  });
     }
     // Dirty page flusher (kupdate-style, 500 ms).
-    events_.schedulePeriodic(sim::milliseconds(500),
-                             [this](sim::Duration p) {
-                                 const auto t =
-                                     page_cache_->writeback(4096);
-                                 charge(OverheadKind::Writeback, t / 4);
-                                 return p;
-                             });
+    events_.schedulePeriodic(
+        sim::milliseconds(500), [this](sim::Duration p) {
+            HOS_PROF_SPAN(span, prof::SpanKind::WritebackPass, events_);
+            const auto t = page_cache_->writeback(4096);
+            charge(OverheadKind::Writeback, t / 4);
+            return p;
+        });
 }
 
 void

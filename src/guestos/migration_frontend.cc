@@ -2,6 +2,7 @@
 
 #include "check/page_state.hh"
 #include "guestos/kernel.hh"
+#include "prof/prof.hh"
 #include "sim/log.hh"
 #include "trace/trace.hh"
 
@@ -130,12 +131,19 @@ MigrationFrontend::migratePages(const std::vector<Gpfn> &pfns,
 {
     MigrationOutcome out;
     out.attempted = pfns.size();
+    const auto dst_tier = static_cast<std::uint8_t>(dst);
+    HOS_PROF_SPAN(epoch_span, prof::SpanKind::MigrationEpoch,
+                  kernel_.events(), 0, dst_tier);
     trace::emit(trace::EventType::MigrationStart,
                 kernel_.events().now(), out.attempted,
                 static_cast<std::uint64_t>(dst));
-    for (Gpfn pfn : pfns) {
-        if (migrateOne(pfn, dst, out))
-            ++out.migrated;
+    {
+        HOS_PROF_SPAN(remap_span, prof::SpanKind::Remap,
+                      kernel_.events(), 0, dst_tier);
+        for (Gpfn pfn : pfns) {
+            if (migrateOne(pfn, dst, out))
+                ++out.migrated;
+        }
     }
     migrated_.inc(out.migrated);
     skipped_.inc(out.attempted - out.migrated);
@@ -145,11 +153,24 @@ MigrationFrontend::migratePages(const std::vector<Gpfn> &pfns,
         // Guest-internal moves: copy + PTE remap + targeted
         // shootdown, batched. Much cheaper than the VMM path
         // (Table 6) because the guest validates and remaps its own
-        // mappings directly — the design point of Section 4.1.
-        cost = static_cast<sim::Duration>(
+        // mappings directly — the design point of Section 4.1. Copy
+        // and shootdown are charged under their own spans; the sum is
+        // unchanged.
+        const auto copy_cost = static_cast<sim::Duration>(
             static_cast<double>(out.migrated) * 3000.0);
-        cost += kernel_.tlb().shootdownCost(out.migrated);
-        kernel_.charge(OverheadKind::Migration, cost);
+        const sim::Duration shootdown_cost =
+            kernel_.tlb().shootdownCost(out.migrated);
+        {
+            HOS_PROF_SPAN(copy_span, prof::SpanKind::BatchCopy,
+                          kernel_.events(), 0, dst_tier);
+            kernel_.charge(OverheadKind::Migration, copy_cost);
+        }
+        {
+            HOS_PROF_SPAN(tlb_span, prof::SpanKind::TlbShootdown,
+                          kernel_.events(), 0, dst_tier);
+            kernel_.charge(OverheadKind::Migration, shootdown_cost);
+        }
+        cost = copy_cost + shootdown_cost;
     }
     trace::emit(trace::EventType::MigrationComplete,
                 kernel_.events().now(), out.migrated,

@@ -1,0 +1,195 @@
+#include "prof/diff.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace hos::prof {
+
+namespace {
+
+std::string
+cellKey(const ProfileEntry &e)
+{
+    return "vm" + std::to_string(e.vm) + "|" + e.path + "|" + e.tier +
+           "|" + e.kind;
+}
+
+/** Align two (key -> sim_ns) maps into DiffEntry rows, sorted by key. */
+std::vector<DiffEntry>
+align(const std::map<std::string, std::uint64_t> &before,
+      const std::map<std::string, std::uint64_t> &after)
+{
+    std::vector<DiffEntry> rows;
+    for (const auto &[key, b] : before) {
+        DiffEntry e;
+        e.key = key;
+        e.before = b;
+        auto it = after.find(key);
+        e.after = it == after.end() ? 0 : it->second;
+        rows.push_back(std::move(e));
+    }
+    for (const auto &[key, a] : after) {
+        if (before.count(key) != 0)
+            continue;
+        DiffEntry e;
+        e.key = key;
+        e.after = a;
+        rows.push_back(std::move(e));
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const DiffEntry &a, const DiffEntry &b) {
+                  return a.key < b.key;
+              });
+    return rows;
+}
+
+} // namespace
+
+double
+DiffEntry::growthPct() const
+{
+    if (before == 0)
+        return after == 0 ? 0.0 : 1e9; // appeared from nothing
+    return (static_cast<double>(after) / static_cast<double>(before) -
+            1.0) *
+           100.0;
+}
+
+bool
+ProfileDiff::identical() const
+{
+    const auto changed = [](const DiffEntry &e) {
+        return e.before != e.after;
+    };
+    return std::none_of(kinds.begin(), kinds.end(), changed) &&
+           std::none_of(cells.begin(), cells.end(), changed);
+}
+
+double
+ProfileDiff::maxKindGrowthPct() const
+{
+    double max_growth = 0.0;
+    for (const DiffEntry &e : kinds)
+        max_growth = std::max(max_growth, e.growthPct());
+    return max_growth;
+}
+
+ProfileDiff
+diffProfiles(const ProfileReport &before, const ProfileReport &after)
+{
+    ProfileDiff diff;
+
+    std::map<std::string, std::uint64_t> cells_before, cells_after;
+    for (const ProfileEntry &e : before.entries) {
+        if (e.kind != "-")
+            cells_before[cellKey(e)] += e.sim_ns;
+    }
+    for (const ProfileEntry &e : after.entries) {
+        if (e.kind != "-")
+            cells_after[cellKey(e)] += e.sim_ns;
+    }
+
+    std::map<std::string, std::uint64_t> kt_before, kt_after;
+    for (const auto &[kind, total] : before.kindTotals())
+        kt_before[kind] = total;
+    for (const auto &[kind, total] : after.kindTotals())
+        kt_after[kind] = total;
+
+    diff.kinds = align(kt_before, kt_after);
+    diff.cells = align(cells_before, cells_after);
+    diff.before_total = before.simGrandTotal();
+    diff.after_total = after.simGrandTotal();
+    return diff;
+}
+
+bool
+hasRegression(const ProfileDiff &diff, double threshold_pct)
+{
+    for (const DiffEntry &e : diff.kinds) {
+        if (e.after > e.before && e.growthPct() > threshold_pct)
+            return true;
+    }
+    return false;
+}
+
+void
+printDiff(const ProfileDiff &diff, std::ostream &os)
+{
+    char line[256];
+    os << "per-kind simulated-time totals:\n";
+    std::snprintf(line, sizeof(line), "  %-12s %16s %16s %10s\n",
+                  "kind", "before_ns", "after_ns", "growth");
+    os << line;
+    for (const DiffEntry &e : diff.kinds) {
+        std::snprintf(line, sizeof(line),
+                      "  %-12s %16llu %16llu %+9.2f%%\n", e.key.c_str(),
+                      static_cast<unsigned long long>(e.before),
+                      static_cast<unsigned long long>(e.after),
+                      e.growthPct());
+        os << line;
+    }
+    std::snprintf(line, sizeof(line), "  %-12s %16llu %16llu\n",
+                  "total",
+                  static_cast<unsigned long long>(diff.before_total),
+                  static_cast<unsigned long long>(diff.after_total));
+    os << line;
+
+    std::size_t changed = 0;
+    for (const DiffEntry &e : diff.cells) {
+        if (e.before != e.after)
+            ++changed;
+    }
+    os << "changed cells: " << changed << " of " << diff.cells.size()
+       << '\n';
+    for (const DiffEntry &e : diff.cells) {
+        if (e.before == e.after)
+            continue;
+        std::snprintf(line, sizeof(line), "  %s: %llu -> %llu\n",
+                      e.key.c_str(),
+                      static_cast<unsigned long long>(e.before),
+                      static_cast<unsigned long long>(e.after));
+        os << line;
+    }
+}
+
+void
+writeDiffJson(const ProfileDiff &diff, double threshold_pct,
+              std::ostream &os)
+{
+    sim::JsonWriter w(os);
+    w.beginObject();
+    w.kv("schema", "hos-profdiff-1");
+    w.kv("threshold_pct", threshold_pct);
+    w.kv("identical", diff.identical());
+    w.kv("regression", hasRegression(diff, threshold_pct));
+    w.kv("before_total_ns", diff.before_total);
+    w.kv("after_total_ns", diff.after_total);
+    w.key("kinds");
+    w.beginArray();
+    for (const DiffEntry &e : diff.kinds) {
+        w.beginObject();
+        w.kv("kind", e.key);
+        w.kv("before_ns", e.before);
+        w.kv("after_ns", e.after);
+        w.kv("growth_pct", e.growthPct());
+        w.endObject();
+    }
+    w.endArray();
+    w.key("changed_cells");
+    w.beginArray();
+    for (const DiffEntry &e : diff.cells) {
+        if (e.before == e.after)
+            continue;
+        w.beginObject();
+        w.kv("cell", e.key);
+        w.kv("before_ns", e.before);
+        w.kv("after_ns", e.after);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << '\n';
+}
+
+} // namespace hos::prof

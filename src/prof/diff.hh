@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Profile diffing for regression gating (hos-profdiff).
+ *
+ * Two reports are aligned two ways: coarse per-kind totals (the
+ * paper's Table 6 rows — what CI thresholds gate on) and fine
+ * per-cell (path, vm, tier, kind) rows (what --exact compares for the
+ * determinism gate). Growth is after/before as a ratio; cells present
+ * on only one side compare against 0.
+ */
+
+#ifndef HOS_PROF_DIFF_HH
+#define HOS_PROF_DIFF_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "prof/prof.hh"
+#include "sim/json.hh"
+
+namespace hos::prof {
+
+/** One aligned row: a kind total or a ledger cell. */
+struct DiffEntry
+{
+    std::string key;            ///< kind label, or "vmN|path|tier|kind"
+    std::uint64_t before = 0;   ///< sim_ns on the before side
+    std::uint64_t after = 0;    ///< sim_ns on the after side
+
+    std::int64_t delta() const
+    {
+        return static_cast<std::int64_t>(after) -
+               static_cast<std::int64_t>(before);
+    }
+    /** Relative growth in percent; +inf-ish capped when before == 0. */
+    double growthPct() const;
+};
+
+/** The full comparison of two reports. */
+struct ProfileDiff
+{
+    std::vector<DiffEntry> kinds; ///< per-OverheadKind totals
+    std::vector<DiffEntry> cells; ///< per-(path,vm,tier,kind) rows
+    std::uint64_t before_total = 0;
+    std::uint64_t after_total = 0;
+
+    /** No differing cell anywhere (counts ignored, sim_ns compared). */
+    bool identical() const;
+    /** Largest per-kind growthPct() over kinds that grew. */
+    double maxKindGrowthPct() const;
+};
+
+ProfileDiff diffProfiles(const ProfileReport &before,
+                         const ProfileReport &after);
+
+/** True when any kind total grew by more than threshold_pct. */
+bool hasRegression(const ProfileDiff &diff, double threshold_pct);
+
+/** Human-readable table (kind totals, then changed cells). */
+void printDiff(const ProfileDiff &diff, std::ostream &os);
+
+/** Machine-readable form (schema "hos-profdiff-1"). */
+void writeDiffJson(const ProfileDiff &diff, double threshold_pct,
+                   std::ostream &os);
+
+} // namespace hos::prof
+
+#endif // HOS_PROF_DIFF_HH

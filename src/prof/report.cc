@@ -1,0 +1,137 @@
+#include "prof/report.hh"
+
+#include <algorithm>
+#include <fstream>
+
+#include "sim/log.hh"
+
+namespace hos::prof {
+
+void
+writeProfileReport(sim::JsonWriter &w, const ProfileReport &report,
+                   bool include_host)
+{
+    w.beginObject();
+    w.kv("schema", "hos-prof-1");
+    w.key("entries");
+    w.beginArray();
+    for (const ProfileEntry &e : report.entries) {
+        w.beginObject();
+        w.kv("path", e.path);
+        w.kv("vm", static_cast<std::uint64_t>(e.vm));
+        w.kv("tier", e.tier);
+        w.kv("kind", e.kind);
+        w.kv("count", e.count);
+        w.kv("sim_ns", e.sim_ns);
+        if (include_host)
+            w.kv("host_ns", e.host_ns);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("kind_totals");
+    w.beginObject();
+    for (const auto &[kind, total] : report.kindTotals())
+        w.kv(kind, total);
+    w.endObject();
+    w.endObject();
+}
+
+ProfileReport
+profileReportFromJson(const sim::JsonValue &v, std::string *error)
+{
+    ProfileReport report;
+    const auto fail = [&](const std::string &what) {
+        if (error != nullptr)
+            *error = what;
+        return ProfileReport{};
+    };
+
+    if (!v.isObject())
+        return fail("profile is not an object");
+    const sim::JsonValue *schema = v.find("schema");
+    if (schema == nullptr || schema->asString() != "hos-prof-1")
+        return fail("unknown profile schema '" +
+                    (schema ? schema->asString() : std::string{}) + "'");
+    const sim::JsonValue *entries = v.find("entries");
+    if (entries == nullptr || !entries->isArray())
+        return fail("profile has no entries array");
+
+    for (const sim::JsonValue &ev : entries->array) {
+        if (!ev.isObject())
+            return fail("profile entry is not an object");
+        ProfileEntry e;
+        const sim::JsonValue *path = ev.find("path");
+        const sim::JsonValue *kind = ev.find("kind");
+        if (path == nullptr || kind == nullptr)
+            return fail("profile entry missing path/kind");
+        e.path = path->asString();
+        e.kind = kind->asString();
+        if (const sim::JsonValue *vm = ev.find("vm"))
+            e.vm = static_cast<std::uint16_t>(vm->asU64());
+        if (const sim::JsonValue *tier = ev.find("tier"))
+            e.tier = tier->asString();
+        if (const sim::JsonValue *count = ev.find("count"))
+            e.count = count->asU64();
+        if (const sim::JsonValue *sim_ns = ev.find("sim_ns"))
+            e.sim_ns = sim_ns->asU64();
+        if (const sim::JsonValue *host_ns = ev.find("host_ns"))
+            e.host_ns = host_ns->asU64();
+        report.entries.push_back(std::move(e));
+    }
+    return report;
+}
+
+void
+mergeInto(ProfileReport &dst, const ProfileReport &src)
+{
+    for (const ProfileEntry &e : src.entries) {
+        auto it = std::find_if(
+            dst.entries.begin(), dst.entries.end(),
+            [&](const ProfileEntry &d) {
+                return d.path == e.path && d.vm == e.vm &&
+                       d.tier == e.tier && d.kind == e.kind;
+            });
+        if (it == dst.entries.end()) {
+            dst.entries.push_back(e);
+        } else {
+            it->count += e.count;
+            it->sim_ns += e.sim_ns;
+            it->host_ns += e.host_ns;
+        }
+    }
+    std::sort(dst.entries.begin(), dst.entries.end(),
+              [](const ProfileEntry &a, const ProfileEntry &b) {
+                  if (a.path != b.path)
+                      return a.path < b.path;
+                  if (a.vm != b.vm)
+                      return a.vm < b.vm;
+                  if (a.tier != b.tier)
+                      return a.tier < b.tier;
+                  return a.kind < b.kind;
+              });
+}
+
+void
+writeCollapsed(const ProfileReport &report, std::ostream &os)
+{
+    for (const ProfileEntry &e : report.entries) {
+        if (e.kind == "-")
+            continue; // span-occurrence rows carry no charged time
+        os << "vm" << e.vm << ';' << e.path << ';' << e.kind << ' '
+           << e.sim_ns << '\n';
+    }
+}
+
+bool
+writeCollapsed(const ProfileReport &report, const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os) {
+        sim::warn("cannot open collapsed-stack file '%s'", path.c_str());
+        return false;
+    }
+    writeCollapsed(report, os);
+    return os.good();
+}
+
+} // namespace hos::prof

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * ProfileReport serialization: deterministic JSON embedding (schema
+ * "hos-prof-1") for core::RunRecord / results.json, the matching
+ * parser used by hos-profdiff, and the collapsed-stack exporter for
+ * flamegraph.pl / speedscope.
+ *
+ * Host time is deliberately excluded from the default JSON so the
+ * profile block stays bit-identical across runs; pass
+ * include_host=true only for human-facing diagnostics.
+ */
+
+#ifndef HOS_PROF_REPORT_HH
+#define HOS_PROF_REPORT_HH
+
+#include <ostream>
+#include <string>
+
+#include "prof/prof.hh"
+#include "sim/json.hh"
+
+namespace hos::prof {
+
+/**
+ * Write one report as a JSON object:
+ *
+ *   { "schema": "hos-prof-1",
+ *     "entries": [ {"path": ..., "vm": N, "tier": ..., "kind": ...,
+ *                   "count": N, "sim_ns": N}, ... ],
+ *     "kind_totals": { "migration": N, ... } }
+ *
+ * Entries are already sorted by Profiler::report(); the writer adds
+ * nothing nondeterministic.
+ */
+void writeProfileReport(sim::JsonWriter &w, const ProfileReport &report,
+                        bool include_host = false);
+
+/**
+ * Rebuild a report from its JSON form. Returns an empty report and
+ * sets `error` (when given) on schema mismatch or malformed entries.
+ */
+ProfileReport profileReportFromJson(const sim::JsonValue &v,
+                                    std::string *error = nullptr);
+
+/** Accumulate `src` entries into `dst`, merging identical keys. */
+void mergeInto(ProfileReport &dst, const ProfileReport &src);
+
+/**
+ * Collapsed-stack export: one line per charge row,
+ *
+ *   vm<id>;<span;path>;<kind> <sim_ns>
+ *
+ * directly consumable by flamegraph.pl or speedscope.
+ */
+void writeCollapsed(const ProfileReport &report, std::ostream &os);
+
+/** As above, writing to `path`; false when the file can't be opened. */
+bool writeCollapsed(const ProfileReport &report, const std::string &path);
+
+} // namespace hos::prof
+
+#endif // HOS_PROF_REPORT_HH

@@ -45,6 +45,15 @@ writeArg(sim::JsonWriter &w, const char *name, std::uint64_t v)
         w.kv(name, v);
 }
 
+/** Display name for a span record: resolved kind, else "span_<a0>". */
+std::string
+spanDisplayName(const Record &r)
+{
+    if (const char *name = spanName(r.a0))
+        return name;
+    return "span_" + std::to_string(r.a0);
+}
+
 } // namespace
 
 void
@@ -64,15 +73,26 @@ writeChromeJson(const Tracer &tracer, std::ostream &os)
     w.beginArray();
     for (const Record &r : records) {
         const EventTypeInfo &info = eventTypeInfo(r.type);
+        const bool is_span = r.type == EventType::SpanBegin ||
+                             r.type == EventType::SpanEnd;
         w.beginObject();
-        w.kv("name", info.name);
-        w.kv("cat", categoryName(info.category));
-        w.kv("ph", r.dur > 0 ? "X" : "i");
-        w.kv("ts", toChromeUs(r.ts));
-        if (r.dur > 0)
-            w.kv("dur", toChromeUs(r.dur));
-        else
-            w.kv("s", "t"); // instant scope: thread
+        if (is_span) {
+            // Profiler spans become nested duration pairs so trace
+            // viewers render them as a flame-chart.
+            w.kv("name", spanDisplayName(r));
+            w.kv("cat", categoryName(info.category));
+            w.kv("ph", r.type == EventType::SpanBegin ? "B" : "E");
+            w.kv("ts", toChromeUs(r.ts));
+        } else {
+            w.kv("name", info.name);
+            w.kv("cat", categoryName(info.category));
+            w.kv("ph", r.dur > 0 ? "X" : "i");
+            w.kv("ts", toChromeUs(r.ts));
+            if (r.dur > 0)
+                w.kv("dur", toChromeUs(r.dur));
+            else
+                w.kv("s", "t"); // instant scope: thread
+        }
         w.kv("pid", std::uint64_t(0));
         w.kv("tid", static_cast<std::uint64_t>(r.vm));
         w.key("args");

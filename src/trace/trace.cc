@@ -1,6 +1,7 @@
 #include "trace/trace.hh"
 
 #include <array>
+#include <atomic>
 
 #include "sim/log.hh"
 
@@ -38,7 +39,15 @@ constexpr std::array<EventTypeInfo, numEventTypes> kEventInfo = {{
     {"device_batch", Category::Device, "loads", "stores", "bytes"},
     {"stats_snapshot", Category::Stats, "index", "groups", ""},
     {"check_failure", Category::Check, "kind", "subject", ""},
+    {"span_begin", Category::Prof, "kind", "depth", ""},
+    {"span_end", Category::Prof, "kind", "depth", ""},
 }};
+
+/**
+ * Span-name hook registered by hos::prof (atomic: sweep workers may
+ * construct profilers while another thread exports a trace).
+ */
+std::atomic<const char *(*)(std::uint64_t)> g_span_resolver{nullptr};
 
 struct CategoryName
 {
@@ -52,6 +61,7 @@ constexpr CategoryName kCategoryNames[] = {
     {"swap", Category::Swap},           {"hypercall", Category::Hypercall},
     {"fairness", Category::Fairness},   {"device", Category::Device},
     {"stats", Category::Stats},         {"check", Category::Check},
+    {"prof", Category::Prof},
 };
 
 } // namespace
@@ -72,6 +82,20 @@ categoryName(Category single_bit)
             return e.name;
     }
     return "?";
+}
+
+void
+setSpanNameResolver(const char *(*resolver)(std::uint64_t))
+{
+    g_span_resolver.store(resolver, std::memory_order_release);
+}
+
+const char *
+spanName(std::uint64_t kind)
+{
+    if (auto *resolver = g_span_resolver.load(std::memory_order_acquire))
+        return resolver(kind);
+    return nullptr;
 }
 
 std::uint32_t

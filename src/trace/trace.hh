@@ -52,7 +52,8 @@ enum class Category : std::uint32_t {
     Device = 1u << 7,    ///< memory-device service batches
     Stats = 1u << 8,     ///< periodic stats snapshots
     Check = 1u << 9,     ///< invariant-check failures (hos::check)
-    All = 0x3ffu,
+    Prof = 1u << 10,     ///< profiler span begin/end (hos::prof)
+    All = 0x7ffu,
 };
 
 /** Typed event records. The a0/a1/a2 meanings are per-type. */
@@ -74,9 +75,11 @@ enum class EventType : std::uint16_t {
     DeviceBatch,        ///< a0=loads, a1=stores, a2=bytes
     StatsSnapshot,      ///< a0=snapshot index, a1=groups sampled
     CheckFailure,       ///< a0=CheckKind, a1=subject pfn/mfn
+    SpanBegin,          ///< a0=prof::SpanKind, a1=depth after open
+    SpanEnd,            ///< a0=prof::SpanKind, a1=depth before close
 };
 
-constexpr std::size_t numEventTypes = 17;
+constexpr std::size_t numEventTypes = 19;
 
 /** Static description of one event type. */
 struct EventTypeInfo
@@ -88,6 +91,17 @@ struct EventTypeInfo
 
 const EventTypeInfo &eventTypeInfo(EventType t);
 const char *categoryName(Category single_bit);
+
+/**
+ * Install the hook that turns a SpanBegin/SpanEnd a0 value back into
+ * a span name. hos::prof sits above trace, so trace cannot name
+ * prof::SpanKind itself; the profiler registers its table here and
+ * exporters call spanName(). Idempotent and thread-safe.
+ */
+void setSpanNameResolver(const char *(*resolver)(std::uint64_t));
+
+/** Span name for a SpanBegin/SpanEnd a0, or nullptr if unresolved. */
+const char *spanName(std::uint64_t kind);
 
 /**
  * Parse a comma-separated category list ("migration,scan,balloon")

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "prof/prof.hh"
 #include "trace/trace.hh"
 
 namespace hos::vmm {
@@ -40,6 +41,10 @@ balloonReclaim(Vmm &vmm, VmContext &victim, mem::MemType t,
     if (n == 0)
         return 0;
 
+    HOS_PROF_SPAN(balloon_span, prof::SpanKind::BalloonOp,
+                  victim.kernel().events(),
+                  static_cast<std::uint16_t>(victim.id()),
+                  static_cast<std::uint8_t>(t));
     const std::uint64_t free_before = vmm.freeFrames(t);
     auto &balloon = victim.kernel().balloon();
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "prof/prof.hh"
 #include "trace/trace.hh"
 #include "vmm/ballooning.hh"
 
@@ -33,6 +34,11 @@ std::uint64_t
 DrfFairness::approve(Vmm &vmm, VmContext &requester, mem::MemType t,
                      std::uint64_t n)
 {
+    HOS_PROF_SPAN(drf_span, prof::SpanKind::DrfRound,
+                  requester.kernel().events(),
+                  static_cast<std::uint16_t>(requester.id()),
+                  static_cast<std::uint8_t>(t));
+
     // Basic (minimum) share is sacrosanct: grant it outright,
     // reclaiming from any overcommitted neighbour.
     const std::uint64_t have = requester.framesOf(t);
@@ -42,6 +48,10 @@ DrfFairness::approve(Vmm &vmm, VmContext &requester, mem::MemType t,
     std::uint64_t deficit =
         n > vmm.freeFrames(t) ? n - vmm.freeFrames(t) : 0;
 
+    HOS_PROF_SPAN(realloc_span, prof::SpanKind::Reallocation,
+                  requester.kernel().events(),
+                  static_cast<std::uint16_t>(requester.id()),
+                  static_cast<std::uint8_t>(t));
     while (deficit > 0) {
         // Algorithm 1: service the lowest dominant share first. As a
         // reclamation rule that inverts to: take overcommit back from

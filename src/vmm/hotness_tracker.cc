@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "prof/prof.hh"
 #include "sim/log.hh"
 #include "trace/trace.hh"
 
@@ -29,6 +30,9 @@ HotnessTracker::scanOnce()
     ScanResult res;
     auto &kernel = vm_.kernel();
     auto &pages = kernel.pages();
+    const auto vm_id = static_cast<std::uint16_t>(vm_.id());
+    HOS_PROF_SPAN(scan_span, prof::SpanKind::ScanPass, kernel.events(),
+                  vm_id);
     // Adaptive reservation: hot counts are stable scan to scan, so
     // last scan's size (plus slack) kills the reallocation churn.
     res.hot.reserve(last_hot_ + 64);
@@ -48,6 +52,8 @@ HotnessTracker::scanOnce()
         while (!d.ranges.empty() &&
                res.pages_scanned < cfg_.pages_per_scan &&
                ranges_stepped < d.ranges.size()) {
+            HOS_PROF_SPAN(chunk_span, prof::SpanKind::ChunkWalk,
+                          kernel.events(), vm_id);
             if (range_cursor_ >= d.ranges.size()) {
                 range_cursor_ = 0;
                 va_cursor_ = 0;
@@ -100,6 +106,8 @@ HotnessTracker::scanOnce()
         const std::uint64_t span = pages.size();
         std::uint64_t visited = 0;
         std::uint64_t step = 0;
+        HOS_PROF_SPAN(chunk_span, prof::SpanKind::ChunkWalk,
+                      kernel.events(), vm_id);
         while (step < span && visited < cfg_.pages_per_scan) {
             guestos::Page &p = pages.page(cursor_);
             if (!p.allocated) {
@@ -129,13 +137,21 @@ HotnessTracker::scanOnce()
     }
 
     // Charge: per-PTE software cost plus the forced TLB invalidation
-    // (needed so access bits get re-set by the hardware).
+    // (needed so access bits get re-set by the hardware). The two
+    // parts are charged separately — PTE walking under the scan span,
+    // flush under a TlbShootdown child — summing to the same total.
     const double scan_ns =
         static_cast<double>(res.pages_scanned) * cfg_.per_pte_ns;
-    res.cost = static_cast<sim::Duration>(scan_ns);
-    res.cost += kernel.tlb().scanFlushCost(res.pages_scanned,
-                                           res.accessed);
-    kernel.charge(guestos::OverheadKind::HotScan, res.cost);
+    const auto walk_cost = static_cast<sim::Duration>(scan_ns);
+    const sim::Duration flush_cost =
+        kernel.tlb().scanFlushCost(res.pages_scanned, res.accessed);
+    kernel.charge(guestos::OverheadKind::HotScan, walk_cost);
+    {
+        HOS_PROF_SPAN(tlb_span, prof::SpanKind::TlbShootdown,
+                      kernel.events(), vm_id);
+        kernel.charge(guestos::OverheadKind::HotScan, flush_cost);
+    }
+    res.cost = walk_cost + flush_cost;
 
     scans_.inc();
     scanned_.inc(res.pages_scanned);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "mem/migration_cost.hh"
+#include "prof/prof.hh"
 #include "sim/log.hh"
 #include "trace/trace.hh"
 
@@ -22,34 +23,56 @@ MigrationEngine::migrateBacking(VmContext &vm,
         return res;
     mem::MachineNode &dst_node = machine.nodeByType(dst);
 
+    const auto vm_id = static_cast<std::uint16_t>(vm.id());
+    const auto dst_tier = static_cast<std::uint8_t>(dst);
+
     trace::emit(trace::EventType::MigrationStart,
                 vm.kernel().events().now(), gpfns.size(),
-                static_cast<std::uint64_t>(dst), 0, 0,
-                static_cast<std::uint16_t>(vm.id()));
-    for (Gpfn gpfn : gpfns) {
-        if (!p2m.populated(gpfn))
-            continue; // ballooned away since the candidate was chosen
-        if (p2m.tierOf(gpfn) == dst)
-            continue;
-        auto frame = dst_node.allocFrame(vm.owner());
-        if (!frame) {
-            ++res.no_frames;
-            continue;
+                static_cast<std::uint64_t>(dst), 0, 0, vm_id);
+    {
+        HOS_PROF_SPAN(remap_span, prof::SpanKind::Remap,
+                      vm.kernel().events(), vm_id, dst_tier);
+        for (Gpfn gpfn : gpfns) {
+            if (!p2m.populated(gpfn))
+                continue; // ballooned away since the candidate was chosen
+            if (p2m.tierOf(gpfn) == dst)
+                continue;
+            auto frame = dst_node.allocFrame(vm.owner());
+            if (!frame) {
+                ++res.no_frames;
+                continue;
+            }
+            const mem::Mfn old = p2m.mfnOf(gpfn);
+            machine.nodeOfMfn(old).freeFrame(old);
+            p2m.set(gpfn, *frame, dst);
+            if (dst == mem::MemType::FastMem)
+                vm.fastBacked().insert(gpfn);
+            else
+                vm.fastBacked().erase(gpfn);
+            ++res.migrated;
         }
-        const mem::Mfn old = p2m.mfnOf(gpfn);
-        machine.nodeOfMfn(old).freeFrame(old);
-        p2m.set(gpfn, *frame, dst);
-        if (dst == mem::MemType::FastMem)
-            vm.fastBacked().insert(gpfn);
-        else
-            vm.fastBacked().erase(gpfn);
-        ++res.migrated;
     }
 
     if (res.migrated > 0) {
-        res.cost = mem::MigrationCostModel::batchCost(res.migrated);
-        res.cost += vm.kernel().tlb().shootdownCost(res.migrated);
-        vm.kernel().charge(guestos::OverheadKind::Migration, res.cost);
+        // Charge copy and shootdown separately so each lands in its
+        // own span cell; the integer sum (and res.cost) is unchanged.
+        const sim::Duration copy_cost =
+            mem::MigrationCostModel::batchCost(res.migrated);
+        const sim::Duration shootdown_cost =
+            vm.kernel().tlb().shootdownCost(res.migrated);
+        {
+            HOS_PROF_SPAN(copy_span, prof::SpanKind::BatchCopy,
+                          vm.kernel().events(), vm_id, dst_tier);
+            vm.kernel().charge(guestos::OverheadKind::Migration,
+                               copy_cost);
+        }
+        {
+            HOS_PROF_SPAN(tlb_span, prof::SpanKind::TlbShootdown,
+                          vm.kernel().events(), vm_id, dst_tier);
+            vm.kernel().charge(guestos::OverheadKind::Migration,
+                               shootdown_cost);
+        }
+        res.cost = copy_cost + shootdown_cost;
         migrated_.inc(res.migrated);
     }
     trace::emit(trace::EventType::MigrationComplete,
@@ -109,18 +132,27 @@ MigrationEngine::promoteWithEviction(VmContext &vm,
                                      std::uint64_t budget)
 {
     VmmMigrationResult total;
+    const auto vm_id = static_cast<std::uint16_t>(vm.id());
+    constexpr auto fast_tier =
+        static_cast<std::uint8_t>(mem::MemType::FastMem);
+    HOS_PROF_SPAN(epoch_span, prof::SpanKind::MigrationEpoch,
+                  vm.kernel().events(), vm_id, fast_tier);
 
     // Promotion candidates: hot pages not already fast-backed. The
     // rate-limit budget applies to *useful* candidates only.
     std::vector<Gpfn> promote;
     promote.reserve(std::min<std::size_t>(hot.size(), budget));
     const P2m &p2m = vm.p2m();
-    for (Gpfn pfn : hot) {
-        if (promote.size() >= budget)
-            break;
-        if (p2m.populated(pfn) &&
-            p2m.tierOf(pfn) != mem::MemType::FastMem) {
-            promote.push_back(pfn);
+    {
+        HOS_PROF_SPAN(select_span, prof::SpanKind::CandidateSelect,
+                      vm.kernel().events(), vm_id, fast_tier);
+        for (Gpfn pfn : hot) {
+            if (promote.size() >= budget)
+                break;
+            if (p2m.populated(pfn) &&
+                p2m.tierOf(pfn) != mem::MemType::FastMem) {
+                promote.push_back(pfn);
+            }
         }
     }
     if (promote.empty())
@@ -147,34 +179,58 @@ MigrationEngine::promoteWithEviction(VmContext &vm,
     // works even when both tiers are fully committed). Skip victims
     // that are themselves hot — no churn for nothing.
     if (idx < promote.size()) {
-        auto victims = coldestFastBacked(vm, promote.size() - idx);
+        std::vector<Gpfn> victims;
+        {
+            HOS_PROF_SPAN(select_span, prof::SpanKind::CandidateSelect,
+                          vm.kernel().events(), vm_id, fast_tier);
+            victims = coldestFastBacked(vm, promote.size() - idx);
+        }
         auto &pages = vm.kernel().pages();
         std::uint64_t exchanged = 0;
-        for (Gpfn victim : victims) {
-            if (idx >= promote.size())
-                break;
-            if (pages.page(victim).heat >=
-                pages.page(promote[idx]).heat) {
-                continue; // eviction would hurt more than it helps
-            }
-            if (exchangeBacking(vm, promote[idx], victim)) {
-                ++idx;
-                ++exchanged;
+        {
+            HOS_PROF_SPAN(remap_span, prof::SpanKind::Remap,
+                          vm.kernel().events(), vm_id, fast_tier);
+            for (Gpfn victim : victims) {
+                if (idx >= promote.size())
+                    break;
+                if (pages.page(victim).heat >=
+                    pages.page(promote[idx]).heat) {
+                    continue; // eviction would hurt more than it helps
+                }
+                if (exchangeBacking(vm, promote[idx], victim)) {
+                    ++idx;
+                    ++exchanged;
+                }
             }
         }
         if (exchanged > 0) {
-            // Each exchange is two page moves plus shootdowns.
-            sim::Duration cost =
+            // Each exchange is two page moves plus shootdowns; copy
+            // and shootdown are charged under their own spans so the
+            // ledger splits them, summing to the same total.
+            const sim::Duration copy_cost =
                 mem::MigrationCostModel::batchCost(exchanged * 2);
-            cost += vm.kernel().tlb().shootdownCost(exchanged * 2);
-            vm.kernel().charge(guestos::OverheadKind::Migration, cost);
+            const sim::Duration shootdown_cost =
+                vm.kernel().tlb().shootdownCost(exchanged * 2);
+            {
+                HOS_PROF_SPAN(copy_span, prof::SpanKind::BatchCopy,
+                              vm.kernel().events(), vm_id, fast_tier);
+                vm.kernel().charge(guestos::OverheadKind::Migration,
+                                   copy_cost);
+            }
+            {
+                HOS_PROF_SPAN(tlb_span, prof::SpanKind::TlbShootdown,
+                              vm.kernel().events(), vm_id, fast_tier);
+                vm.kernel().charge(guestos::OverheadKind::Migration,
+                                   shootdown_cost);
+            }
+            const sim::Duration cost = copy_cost + shootdown_cost;
             migrated_.inc(exchanged * 2);
             total.migrated += exchanged * 2;
             total.cost += cost;
             trace::emit(trace::EventType::MigrationComplete,
                         vm.kernel().events().now(), exchanged * 2, 0,
                         static_cast<std::uint64_t>(mem::MemType::FastMem),
-                        cost, static_cast<std::uint16_t>(vm.id()));
+                        cost, vm_id);
         }
         total.no_frames = promote.size() - idx;
     }

@@ -18,6 +18,7 @@
 #include "check/page_state.hh"
 #include "guestos/kernel.hh"
 #include "mem/machine_memory.hh"
+#include "prof/prof.hh"
 #include "vmm/vmm.hh"
 
 #include "test_helpers.hh"
@@ -406,6 +407,38 @@ TEST_F(P2mAuditFixture, DoubleMappedFrameIsP2m)
     const AuditResult r = check::auditP2m(*vm, machine);
     ASSERT_FALSE(r.ok());
     EXPECT_GE(countKind(r, CheckKind::P2m), 1u);
+}
+
+// --- Profiler span-stack auditor -------------------------------------
+
+TEST(ProfAudit, BalancedSpansAuditClean)
+{
+    // Positive control: every opened span closed by end-of-run.
+    prof::Profiler profiler;
+    profiler.beginSpan(prof::SpanKind::MigrationEpoch, 0, 0,
+                       prof::noTier);
+    profiler.beginSpan(prof::SpanKind::BatchCopy, 10, 0, prof::noTier);
+    profiler.endSpan(20);
+    profiler.endSpan(30);
+    const AuditResult r = check::auditProf(profiler);
+    EXPECT_TRUE(r.ok()) << (r.failures.empty()
+                                ? ""
+                                : r.failures.front().describe());
+    EXPECT_GT(r.checks, 0u);
+}
+
+TEST(ProfAudit, LeakedSpanIsProf)
+{
+    // The corruption: a span opened by hand and never closed — the
+    // shape a thrown exception skipping a non-RAII end would leave.
+    prof::Profiler profiler;
+    profiler.beginSpan(prof::SpanKind::ScanPass, 0, 0, prof::noTier);
+
+    const AuditResult r = check::auditProf(profiler);
+    ASSERT_FALSE(r.ok());
+    EXPECT_GE(countKind(r, CheckKind::Prof), 1u);
+    expectCheckFailure(CheckKind::Prof,
+                       [&] { check::enforce(check::auditProf(profiler)); });
 }
 
 // --- enforce() and the audit daemon ----------------------------------

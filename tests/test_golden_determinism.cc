@@ -17,6 +17,7 @@
 
 #include "core/experiment.hh"
 #include "policy/vmm_exclusive.hh"
+#include "prof/report.hh"
 
 namespace {
 
@@ -72,6 +73,39 @@ TEST(GoldenDeterminism, LegacySamplingIsBitIdentical)
         EXPECT_EQ(fingerprint(optimized), fingerprint(sampled))
             << "residency index diverges from legacy sampling: "
             << s.label();
+    }
+}
+
+TEST(GoldenDeterminism, ProfilingIsBitIdentical)
+{
+    // The span profiler observes charges; it must never create,
+    // reorder, or resize them. Prof-on and prof-off runs of the
+    // matrix must agree on every simulated field, and two prof-on
+    // runs must serialize identical ledgers.
+    for (const core::Scenario &s : goldenMatrix()) {
+        const auto plain = core::run(s);
+
+        auto profiled = [&] {
+            core::Scenario p = s;
+            p.withProfiling();
+            auto sys = core::systemFor(p);
+            auto result = sys->runOne(
+                sys->slot(0), workload::makeApp(p.app, p.scale));
+            std::ostringstream os;
+            sim::JsonWriter w(os);
+            prof::writeProfileReport(w, sys->profiler().report());
+            return std::make_pair(fingerprint(result), os.str());
+        };
+
+        const auto first = profiled();
+        EXPECT_EQ(fingerprint(plain), first.first)
+            << "profiling perturbed the simulation: " << s.label();
+
+        const auto second = profiled();
+        EXPECT_EQ(first.first, second.first)
+            << "profiled run non-deterministic: " << s.label();
+        EXPECT_EQ(first.second, second.second)
+            << "ledger non-deterministic: " << s.label();
     }
 }
 

@@ -54,11 +54,23 @@ findings "naked new — use std::make_unique" "$matches"
 
 # Wall-clock time in simulation code: nondeterminism under the
 # parallel sweep runner. (Anchored on full names; "synchronous"
-# contains "chrono".)
+# contains "chrono".) src/prof is the one sanctioned wall-clock site:
+# prof.cc samples steady_clock for host-time span costs at
+# HOS_PROF=host, and that time never enters determinism-checked
+# output (see prof/report.cc).
 matches=$(grep -rnE \
     'std::chrono|gettimeofday|clock_gettime|[^_a-zA-Z]time\(NULL\)|[^_a-zA-Z]time\(nullptr\)|[^_a-zA-Z]time\(0\)' \
-    src --include='*.cc' --include='*.hh' || true)
+    src --include='*.cc' --include='*.hh' \
+    | grep -v '^src/prof/' || true)
 findings "wall-clock call in sim code — use sim time" "$matches"
+
+# Clock types by name, in case they arrive without the std::chrono
+# qualifier (using-directives, aliases).
+matches=$(grep -rnE \
+    'steady_clock|system_clock|high_resolution_clock' \
+    src --include='*.cc' --include='*.hh' \
+    | grep -v '^src/prof/' || true)
+findings "host clock outside src/prof/ — use sim time" "$matches"
 
 # --- 2. clang-tidy --------------------------------------------------------
 
