@@ -26,8 +26,11 @@
  *
  * Output: google-benchmark console output, plus a machine-readable
  * summary written to BENCH_selfperf.json (override the path with
- * HOS_SELFPERF_OUT). Reduce iteration time for smoke runs with
- * --benchmark_min_time and HOS_BENCH_SCALE as usual.
+ * HOS_SELFPERF_OUT). The file is not overwritten blindly: an existing
+ * summary's record is appended to a `history` array before the fresh
+ * numbers take the top level, so the checked-in file accumulates the
+ * per-PR self-performance trajectory. Reduce iteration time for smoke
+ * runs with --benchmark_min_time and HOS_BENCH_SCALE as usual.
  */
 
 #include <benchmark/benchmark.h>
@@ -188,9 +191,85 @@ class SelfperfReporter final : public benchmark::ConsoleReporter
     std::map<std::string, Run> runs_;
 };
 
+/**
+ * Re-emit a parsed JSON node verbatim — history records are carried
+ * forward untouched, whatever fields past PRs recorded. Integer
+ * lexemes re-render through the exact source text (doubles would
+ * corrupt 64-bit counts); nulls never occur in selfperf summaries.
+ */
+void
+emitValue(sim::JsonWriter &w, const sim::JsonValue &v)
+{
+    using Kind = sim::JsonValue::Kind;
+    switch (v.kind) {
+    case Kind::Null:
+        w.value("null");
+        break;
+    case Kind::Bool:
+        w.value(v.boolean);
+        break;
+    case Kind::Number:
+        if (v.number_text.find_first_of(".eE") == std::string::npos) {
+            if (!v.number_text.empty() && v.number_text[0] == '-')
+                w.value(static_cast<std::int64_t>(v.asDouble()));
+            else
+                w.value(v.asU64());
+        } else {
+            w.value(v.asDouble());
+        }
+        break;
+    case Kind::String:
+        w.value(v.string);
+        break;
+    case Kind::Array:
+        w.beginArray();
+        for (const auto &e : v.array)
+            emitValue(w, e);
+        w.endArray();
+        break;
+    case Kind::Object:
+        w.beginObject();
+        for (const auto &[k, e] : v.object) {
+            w.key(k);
+            emitValue(w, e);
+        }
+        w.endObject();
+        break;
+    }
+}
+
+/**
+ * The prior summary at `path`, split into the records to carry into
+ * the new file's `history`: first the old file's own history entries
+ * (schema 2), then its top-level record (everything but "schema" and
+ * "history" — a schema-1 file contributes its whole body). Missing or
+ * malformed files yield an empty history.
+ */
+std::vector<sim::JsonValue>
+priorHistory(const char *path)
+{
+    std::vector<sim::JsonValue> history;
+    const auto prior = sim::jsonParseFile(path);
+    if (!prior || !prior->isObject())
+        return history;
+    if (const auto *h = prior->find("history"); h && h->isArray())
+        history = h->array;
+    sim::JsonValue latest;
+    latest.kind = sim::JsonValue::Kind::Object;
+    for (const auto &[k, v] : prior->object) {
+        if (k == "schema" || k == "history")
+            continue;
+        latest.object.emplace_back(k, v);
+    }
+    if (!latest.object.empty())
+        history.push_back(std::move(latest));
+    return history;
+}
+
 void
 writeJson(const SelfperfReporter &rep, const char *path)
 {
+    const std::vector<sim::JsonValue> history = priorHistory(path);
     std::ofstream os(path);
     if (!os) {
         std::fprintf(stderr, "selfperf: cannot write %s\n", path);
@@ -198,7 +277,7 @@ writeJson(const SelfperfReporter &rep, const char *path)
     }
     sim::JsonWriter w(os);
     w.beginObject();
-    w.kv("schema", "hos-selfperf-1");
+    w.kv("schema", "hos-selfperf-2");
     w.key("runs");
     w.beginObject();
     for (const auto &[name, run] : rep.runs()) {
@@ -229,9 +308,18 @@ writeJson(const SelfperfReporter &rep, const char *path)
         w.endObject();
     }
     w.endObject();
+
+    // Oldest first; the record that was this file's top level last
+    // run is the final entry.
+    w.key("history");
+    w.beginArray();
+    for (const auto &record : history)
+        emitValue(w, record);
+    w.endArray();
     w.endObject();
     os << "\n";
-    std::printf("selfperf: wrote %s\n", path);
+    std::printf("selfperf: wrote %s (history of %zu)\n", path,
+                history.size());
 }
 
 /**

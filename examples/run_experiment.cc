@@ -30,6 +30,12 @@
  *                           --results output under "profile"
  *   --prof-collapsed=FILE   collapsed-stack export for flamegraph.pl
  *                           or speedscope (implies --prof)
+ *
+ * Placement telemetry (needs -DHOS_XRAY=sampled or full):
+ *   --xray                  placement-quality x-ray: misplaced-hotness
+ *                           summary printed after the run and the full
+ *                           report embedded in --results output under
+ *                           "xray" (feed that file to hos-explain)
  */
 
 #include <cstdio>
@@ -48,6 +54,8 @@
 #include "trace/exporters.hh"
 #include "trace/stats_snapshot.hh"
 #include "trace/trace.hh"
+#include "xray/report.hh"
+#include "xray/xray.hh"
 
 using namespace hos;
 
@@ -74,7 +82,9 @@ usage()
         "  --results=FILE          results JSON\n"
         "  --log-level=N           0 quiet, 1 inform, 2 debug\n"
         "  --prof                  span-profiler cost attribution\n"
-        "  --prof-collapsed=FILE   flamegraph collapsed-stack export");
+        "  --prof-collapsed=FILE   flamegraph collapsed-stack export\n"
+        "  --xray                  placement-quality telemetry "
+        "(hos-explain input)");
 }
 
 /** The observability flags, parsed off the front of argv. */
@@ -88,6 +98,7 @@ struct Options
     std::string results_file;
     bool prof = false;
     std::string prof_collapsed_file;
+    bool xray = false;
 };
 
 /** Consume every leading --flag; returns false on a bad one. */
@@ -122,6 +133,8 @@ parseOptions(int &argc, char **&argv, Options &opt)
             opt.prof = true;
         } else if (eat("--prof-collapsed=", opt.prof_collapsed_file)) {
             opt.prof = true;
+        } else if (arg == "--xray") {
+            opt.xray = true;
         } else if (eat("--log-level=", interval)) {
             sim::setLogLevel(std::atoi(interval.c_str()));
         } else {
@@ -175,12 +188,20 @@ main(int argc, char **argv)
                          "--prof output will be empty\n");
         spec.profiling = true;
     }
+    if (opt.xray) {
+        if (!xray::xrayCompiled)
+            std::fprintf(stderr,
+                         "warning: built with -DHOS_XRAY=off; "
+                         "--xray output will be empty\n");
+        spec.xray = true;
+    }
 
     // Baseline for the gain column (runs untraced — its events would
     // only pollute the main run's timeline).
     auto base_spec = spec;
     base_spec.approach = core::Approach::SlowMemOnly;
     base_spec.profiling = false;
+    base_spec.xray = false;
     const auto base = core::run(base_spec);
 
     const bool tracing =
@@ -259,6 +280,22 @@ main(int argc, char **argv)
         pt.print();
     }
 
+    xray::XrayReport xr_report;
+    if (opt.xray) {
+        xr_report = sys->xrayRecorder().report();
+        sim::Table xt("Placement x-ray (per VM)");
+        xt.header({"vm", "hot", "hot misplaced", "cold in fast",
+                   "ping-pongs"});
+        for (const auto &vm : xr_report.vms) {
+            xt.row({sim::Table::num(std::uint64_t{vm.vm}),
+                    sim::Table::num(vm.hotTotal()),
+                    sim::Table::num(vm.hotMisplaced()),
+                    sim::Table::num(vm.coldInFast()),
+                    sim::Table::num(vm.pingpong_events)});
+        }
+        xt.print();
+    }
+
     // --- Observability exports -------------------------------------
     trace::Tracer &sink = sys->traceSink();
     if (!opt.trace_file.empty() &&
@@ -298,6 +335,7 @@ main(int argc, char **argv)
         record.extra.emplace_back("fast_miss_ratio",
                                   k.allocator().overallFastMissRatio());
         record.profile = profile;
+        record.xray = xr_report;
         if (core::writeResultsJson(opt.results_file, record))
             std::printf("results: %s\n", opt.results_file.c_str());
     }

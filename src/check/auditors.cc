@@ -613,6 +613,140 @@ auditVmm(vmm::Vmm &vmm, sim::StatRegistry *registry)
 }
 
 AuditResult
+auditXray(vmm::Vmm &vmm, const xray::Recorder &recorder)
+{
+    AuditResult r;
+    // No hooks fired at HOS_XRAY=off (or on a disabled recorder):
+    // the shadow is legitimately empty, not corrupt.
+    if (!xray::xrayCompiled || !recorder.enabled())
+        return r;
+    for (vmm::VmId id = 0; id < vmm.numVms(); ++id) {
+        guestos::GuestKernel &kernel = vmm.vm(id).kernel();
+        const PageArray &pages = kernel.pages();
+        const std::string where = kernel.name() + ".xray";
+        const auto vm = static_cast<std::uint16_t>(id);
+        const std::uint16_t threshold = recorder.thresholdOf(vm);
+
+        std::uint64_t tier_pages[xray::numTiers] = {};
+        std::uint64_t tier_hot[xray::numTiers] = {};
+        std::uint64_t tier_heat[xray::numTiers] = {};
+        std::uint64_t tier_hot_heat[xray::numTiers] = {};
+
+        for (Gpfn pfn = 0; pfn < pages.size(); ++pfn) {
+            const Page &p = pages.page(pfn);
+            if (!p.allocated) {
+                ++r.checks;
+                if (recorder.live(vm, pfn)) {
+                    r.addFailure(CheckKind::Xray, pfn, where,
+                                 "shadow still tracks a page the guest "
+                                 "freed");
+                }
+                continue;
+            }
+            r.checks += 3;
+            if (!recorder.live(vm, pfn)) {
+                r.addFailure(CheckKind::Xray, pfn, where,
+                             "allocated page missing from the shadow");
+                continue;
+            }
+            if (recorder.shadowHeat(vm, pfn) != p.heat) {
+                r.addFailure(
+                    CheckKind::Xray, pfn, where,
+                    "shadow heat " +
+                        std::to_string(recorder.shadowHeat(vm, pfn)) +
+                        " != tracker heat " + std::to_string(p.heat));
+            }
+            const auto tier = static_cast<std::uint8_t>(
+                kernel.backingOf(pfn));
+            if (recorder.shadowTier(vm, pfn) != tier) {
+                r.addFailure(
+                    CheckKind::Xray, pfn, where,
+                    std::string("shadow tier ") +
+                        xray::tierName(recorder.shadowTier(vm, pfn)) +
+                        " != effective backing tier " +
+                        xray::tierName(tier));
+            }
+            if (tier >= xray::numTiers)
+                continue;
+            ++tier_pages[tier];
+            tier_heat[tier] += p.heat;
+            if (p.heat >= threshold) {
+                ++tier_hot[tier];
+                tier_hot_heat[tier] += p.heat;
+            }
+        }
+
+        for (std::size_t t = 0; t < xray::numTiers; ++t) {
+            const auto tier = static_cast<std::uint8_t>(t);
+            const std::string tw =
+                where + "." + xray::tierName(tier);
+            r.checks += 4;
+            if (recorder.pagesIn(vm, tier) != tier_pages[t]) {
+                r.addFailure(CheckKind::Xray, invalidSubject, tw,
+                             "page count " +
+                                 std::to_string(recorder.pagesIn(vm,
+                                                                 tier)) +
+                                 " != walked " +
+                                 std::to_string(tier_pages[t]));
+            }
+            if (recorder.hotIn(vm, tier) != tier_hot[t]) {
+                r.addFailure(CheckKind::Xray, invalidSubject, tw,
+                             "hot count " +
+                                 std::to_string(recorder.hotIn(vm,
+                                                               tier)) +
+                                 " != walked " +
+                                 std::to_string(tier_hot[t]));
+            }
+            if (recorder.heatMassIn(vm, tier) != tier_heat[t]) {
+                r.addFailure(
+                    CheckKind::Xray, invalidSubject, tw,
+                    "heat mass " +
+                        std::to_string(recorder.heatMassIn(vm, tier)) +
+                        " != walked " + std::to_string(tier_heat[t]));
+            }
+            if (recorder.hotHeatMassIn(vm, tier) != tier_hot_heat[t]) {
+                r.addFailure(
+                    CheckKind::Xray, invalidSubject, tw,
+                    "hot heat mass " +
+                        std::to_string(
+                            recorder.hotHeatMassIn(vm, tier)) +
+                        " != walked " +
+                        std::to_string(tier_hot_heat[t]));
+            }
+        }
+
+        // The derived misplacement metrics are linear combinations of
+        // the per-tier aggregates; re-derive them from the walk so a
+        // broken combination cannot hide behind correct per-tier rows.
+        std::uint64_t hot_total = 0, misplaced_mass = 0;
+        for (std::size_t t = 0; t < xray::numTiers; ++t) {
+            hot_total += tier_hot[t];
+            if (t != xray::fastTier)
+                misplaced_mass += tier_hot_heat[t];
+        }
+        r.checks += 2;
+        if (recorder.hotMisplaced(vm) !=
+            hot_total - tier_hot[xray::fastTier]) {
+            r.addFailure(CheckKind::Xray, invalidSubject, where,
+                         "hot_misplaced " +
+                             std::to_string(recorder.hotMisplaced(vm)) +
+                             " != walked " +
+                             std::to_string(
+                                 hot_total -
+                                 tier_hot[xray::fastTier]));
+        }
+        if (recorder.misplacedHeatMass(vm) != misplaced_mass) {
+            r.addFailure(
+                CheckKind::Xray, invalidSubject, where,
+                "misplaced heat mass " +
+                    std::to_string(recorder.misplacedHeatMass(vm)) +
+                    " != walked " + std::to_string(misplaced_mass));
+        }
+    }
+    return r;
+}
+
+AuditResult
 auditProf(const prof::Profiler &profiler)
 {
     AuditResult r;

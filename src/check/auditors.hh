@@ -39,6 +39,7 @@
 #include "prof/prof.hh"
 #include "sim/stats.hh"
 #include "vmm/vmm.hh"
+#include "xray/xray.hh"
 
 namespace hos::check {
 
@@ -108,6 +109,17 @@ AuditResult auditVmm(vmm::Vmm &vmm,
  * leaked across an exception or a begin/end was called by hand).
  */
 AuditResult auditProf(const prof::Profiler &profiler);
+
+/**
+ * Reconcile an xray Recorder's shadow state and placement-quality
+ * counters against ground truth with an exhaustive walk: every
+ * allocated guest page must be live in the shadow with the same heat
+ * and the same effective backing tier (placement oracle), freed pages
+ * must not linger, and the per-tier page / hot / heat-mass /
+ * hot-heat-mass aggregates recomputed from the page array must equal
+ * the Recorder's incrementally-maintained counters bit for bit.
+ */
+AuditResult auditXray(vmm::Vmm &vmm, const xray::Recorder &recorder);
 
 /**
  * Report every failure in `result` through hos::trace and terminate

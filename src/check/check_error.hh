@@ -33,9 +33,10 @@ enum class CheckKind : std::uint8_t {
     StatDrift,      ///< StatRegistry gauge disagrees with live state
     Residency,      ///< ResidencyIndex disagrees with recomputed truth
     Prof,           ///< profiler span stack imbalance (hos::prof)
+    Xray,           ///< xray shadow state disagrees with page truth
 };
 
-constexpr std::size_t numCheckKinds = 10;
+constexpr std::size_t numCheckKinds = 11;
 
 constexpr const char *
 checkKindName(CheckKind k)
@@ -61,6 +62,8 @@ checkKindName(CheckKind k)
         return "residency";
       case CheckKind::Prof:
         return "prof";
+      case CheckKind::Xray:
+        return "xray";
     }
     return "?";
 }

@@ -43,6 +43,8 @@ systemFor(const Scenario &s)
     sys->setLegacyPlacementSampling(s.legacy_placement_sampling);
     if (s.profiling)
         sys->enableProfiling();
+    if (s.xray)
+        sys->enableXray();
     sys->addVm(makePolicy(s.approach), s.sizing());
     return sys;
 }

@@ -82,9 +82,14 @@ HeteroSystem::addVm(std::unique_ptr<policy::ManagementPolicy> policy,
     vcfg.name = gcfg.name;
     slot->policy->configureVm(vcfg);
     slot->id = vmm_->registerVm(*slot->kernel, std::move(vcfg));
+    // Guest-side xray hooks tag their records with the VMM id, so
+    // guest and VMM provenance land in the same per-VM shadow.
+    slot->kernel->setVmTag(static_cast<std::uint16_t>(slot->id));
     slot->policy->attach(*vmm_, slot->id, *slot->kernel);
 
     slots_.push_back(std::move(slot));
+    if (xray_enabled_)
+        seedXray(*slots_.back());
 
     guestos::GuestKernel *kernel = slots_.back()->kernel.get();
     registry_.add(&kernel->stats(), [kernel] { kernel->syncStats(); });
@@ -139,12 +144,49 @@ HeteroSystem::enableProfiling()
                   [this] { profiler_.syncStats(); });
 }
 
+void
+HeteroSystem::enableXray(xray::XrayConfig cfg)
+{
+    // At HOS_XRAY=off the hooks compile away, so the shadow could
+    // never match ground truth: stay disabled (empty report, no
+    // audit) rather than arm an audit that must fail.
+    if (!xray::xrayCompiled || xray_enabled_)
+        return;
+    xray_enabled_ = true;
+    xray_.enable(cfg);
+    registry_.add(&xray_.stats(), [this] { xray_.syncStats(); });
+    for (auto &s : slots_)
+        seedXray(*s);
+}
+
+void
+HeteroSystem::seedXray(VmSlot &slot)
+{
+    if (!xray::xrayCompiled)
+        return;
+    // Pages allocated before enableXray (boot slabs, early heap)
+    // enter the shadow here; onAlloc ignores already-live pages, so
+    // re-seeding is harmless.
+    guestos::GuestKernel &kernel = *slot.kernel;
+    const std::uint16_t vm = kernel.vmTag();
+    const sim::Tick now = kernel.events().now();
+    auto &pages = kernel.pages();
+    for (std::uint64_t pfn = 0; pfn < pages.size(); ++pfn) {
+        if (!pages.page(pfn).allocated)
+            continue;
+        xray_.onAlloc(
+            vm, pfn,
+            static_cast<std::uint8_t>(kernel.backingOf(pfn)), now);
+    }
+}
+
 workload::Workload::Result
 HeteroSystem::runOne(VmSlot &slot, const workload::WorkloadFactory &factory)
 {
     trace::ScopedSink sink(trace_enabled_ ? &tracer_ : nullptr);
     prof::ScopedProfiler prof_guard(prof_enabled_ ? &profiler_
                                                   : nullptr);
+    xray::ScopedRecorder xray_guard(xray_enabled_ ? &xray_ : nullptr);
     active_vms_ = 1;
 
     std::optional<check::AuditDaemon> audit;
@@ -161,6 +203,8 @@ HeteroSystem::runOne(VmSlot &slot, const workload::WorkloadFactory &factory)
         check::enforce(check::auditVmm(*vmm_, &registry_));
     if (prof_enabled_)
         check::enforce(check::auditProf(profiler_));
+    if (xray_enabled_)
+        check::enforce(check::auditXray(*vmm_, xray_));
     return result;
 }
 
@@ -172,6 +216,7 @@ HeteroSystem::runMany(
     trace::ScopedSink sink(trace_enabled_ ? &tracer_ : nullptr);
     prof::ScopedProfiler prof_guard(prof_enabled_ ? &profiler_
                                                   : nullptr);
+    xray::ScopedRecorder xray_guard(xray_enabled_ ? &xray_ : nullptr);
 
     std::optional<check::AuditDaemon> audit;
     if (check::fullChecksEnabled && !pairs.empty()) {
@@ -216,6 +261,8 @@ HeteroSystem::runMany(
         check::enforce(check::auditVmm(*vmm_, &registry_));
     if (prof_enabled_)
         check::enforce(check::auditProf(profiler_));
+    if (xray_enabled_)
+        check::enforce(check::auditXray(*vmm_, xray_));
     return results;
 }
 

@@ -28,6 +28,7 @@
 #include "trace/trace.hh"
 #include "vmm/vmm.hh"
 #include "workload/workload.hh"
+#include "xray/xray.hh"
 
 namespace hos::core {
 
@@ -129,6 +130,22 @@ class HeteroSystem
     prof::Profiler &profiler() { return profiler_; }
 
     /**
+     * Opt this system into placement x-ray telemetry: while
+     * runOne/runMany execute, the xray hooks on the running thread
+     * feed xrayRecorder() (per-system, isolated like the trace sink
+     * and profiler). Existing VMs' live pages are seeded into the
+     * shadow immediately; VMs added later seed on creation. Registers
+     * the "xray" stat group with statRegistry() and cross-checks the
+     * shadow against page truth (check::auditXray) after every run.
+     * No-op beyond the flag in HOS_XRAY=off builds.
+     */
+    void enableXray(xray::XrayConfig cfg = {});
+    bool xrayEnabled() const { return xray_enabled_; }
+
+    /** This system's placement recorder (see enableXray). */
+    xray::Recorder &xrayRecorder() { return xray_; }
+
+    /**
      * Run workloads with the legacy per-phase placement sampling
      * instead of the ResidencyIndex (bit-identical cross-check path).
      * Must be set before workloads are created via envFor/runOne.
@@ -163,11 +180,16 @@ class HeteroSystem
     mem::MachineMemory machine_;
     std::unique_ptr<vmm::Vmm> vmm_;
     std::vector<std::unique_ptr<VmSlot>> slots_;
+    /** Seed a VM's live pages into the xray shadow (idempotent). */
+    void seedXray(VmSlot &slot);
+
     sim::StatRegistry registry_;
     trace::Tracer tracer_;
     prof::Profiler profiler_;
+    xray::Recorder xray_;
     bool trace_enabled_ = false;
     bool prof_enabled_ = false;
+    bool xray_enabled_ = false;
     bool legacy_placement_sampling_ = false;
     unsigned active_vms_ = 1;
 };

@@ -67,6 +67,10 @@ writeRunRecord(sim::JsonWriter &w, const RunRecord &record)
         w.key("profile");
         prof::writeProfileReport(w, record.profile);
     }
+    if (!record.xray.empty()) {
+        w.key("xray");
+        xray::writeXrayReport(w, record.xray);
+    }
     w.endObject();
 }
 

@@ -15,6 +15,7 @@
 #include "prof/report.hh"
 #include "sim/json.hh"
 #include "workload/workload.hh"
+#include "xray/report.hh"
 
 namespace hos::core {
 
@@ -52,6 +53,12 @@ struct RunRecord
      * prof-off results.json stays byte-identical to older versions.
      */
     prof::ProfileReport profile;
+    /**
+     * Placement-quality telemetry, filled only for x-rayed runs
+     * (Scenario::withXray). Same emission rule as `profile`: empty
+     * reports are omitted so xray-off results.json is byte-identical.
+     */
+    xray::XrayReport xray;
 };
 
 /** Fill the workload-derived fields of a record from a result. */

@@ -197,6 +197,8 @@ scenarioToJson(sim::JsonWriter &w, const Scenario &s)
         w.kv("legacy_placement_sampling", true);
     if (s.profiling)
         w.kv("profiling", true);
+    if (s.xray)
+        w.kv("xray", true);
     if (!s.name.empty())
         w.kv("name", s.name);
     if (s.slow_override) {
@@ -308,6 +310,17 @@ applyScenarioParam(Scenario &s, const std::string &key,
         } else {
             return setError(error,
                             "bad value '" + value + "' for 'profiling'");
+        }
+        return true;
+    }
+    if (key == "xray") {
+        if (value == "true" || value == "1") {
+            s.xray = true;
+        } else if (value == "false" || value == "0") {
+            s.xray = false;
+        } else {
+            return setError(error,
+                            "bad value '" + value + "' for 'xray'");
         }
         return true;
     }

@@ -113,6 +113,15 @@ struct Scenario
      */
     bool profiling = false;
 
+    /**
+     * Enable hos::xray placement telemetry for the run: the system
+     * shadows every page's (heat, tier), records migration decision
+     * provenance, and embeds the resulting XrayReport into the
+     * RunRecord. Simulation output is bit-identical either way (xray
+     * observes decisions, never makes them).
+     */
+    bool xray = false;
+
     /** Optional label carried into results ("" = derived). */
     std::string name;
 
@@ -150,6 +159,11 @@ struct Scenario
     Scenario &withProfiling(bool on = true)
     {
         profiling = on;
+        return *this;
+    }
+    Scenario &withXray(bool on = true)
+    {
+        xray = on;
         return *this;
     }
     Scenario &withName(std::string n) { name = std::move(n); return *this; }

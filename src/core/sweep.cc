@@ -222,9 +222,9 @@ executePoint(const SweepPoint &point)
     SweepResult r;
     r.point = point;
 
-    if (point.scenario.profiling) {
-        // Keep the system alive past the run so its span ledger can
-        // be harvested into the record.
+    if (point.scenario.profiling || point.scenario.xray) {
+        // Keep the system alive past the run so its span ledger and
+        // placement shadow can be harvested into the record.
         auto sys = systemFor(point.scenario);
         const auto result =
             sys->runOne(sys->slot(0),
@@ -232,7 +232,10 @@ executePoint(const SweepPoint &point)
                                           point.scenario.scale));
         r.record = makeRunRecord(result,
                                  approachName(point.scenario.approach));
-        r.record.profile = sys->profiler().report();
+        if (point.scenario.profiling)
+            r.record.profile = sys->profiler().report();
+        if (point.scenario.xray)
+            r.record.xray = sys->xrayRecorder().report();
     } else {
         const auto result = core::run(point.scenario);
         r.record = makeRunRecord(result,

@@ -6,6 +6,7 @@
 #include "prof/prof.hh"
 #include "sim/log.hh"
 #include "trace/trace.hh"
+#include "xray/xray.hh"
 
 namespace hos::guestos {
 
@@ -163,6 +164,11 @@ BalloonFrontend::surrenderPages(mem::MemType type, std::uint64_t pages)
                     return false;
                 as.pageTable().unmap(p.vaddr);
                 p.owner_process = noProcess;
+                if (auto *xr = xray::active()) {
+                    xr->onTransition(kernel_.vmTag(), p.pfn,
+                                     xray::EventKind::SwapOut,
+                                     kernel_.events().now());
+                }
                 kernel_.freePage(p.pfn);
                 ++swapped;
                 return true;
@@ -196,6 +202,10 @@ BalloonFrontend::surrenderPages(mem::MemType type, std::uint64_t pages)
                 kernel_.events().now(),
                 static_cast<std::uint64_t>(type), pages,
                 victims.size());
+    if (auto *xr = xray::active()) {
+        xr->onVmEvent(kernel_.vmTag(), xray::EventKind::BalloonOut, 0,
+                      victims.size(), pages, kernel_.events().now());
+    }
     kernel_.charge(OverheadKind::Balloon,
                    static_cast<sim::Duration>(
                        hypercallNs +

@@ -6,6 +6,7 @@
 #include "guestos/kernel.hh"
 #include "sim/log.hh"
 #include "trace/trace.hh"
+#include "xray/xray.hh"
 
 namespace hos::guestos {
 
@@ -238,6 +239,11 @@ HeteroAllocator::allocPage(const AllocRequest &req)
     }
     trace::emit(trace::EventType::PageAlloc, kernel_.events().now(), ti,
                 pfn, static_cast<std::uint64_t>(p.mem_type));
+    if (auto *xr = xray::active()) {
+        xr->onAlloc(kernel_.vmTag(), pfn,
+                    static_cast<std::uint8_t>(kernel_.backingOf(pfn)),
+                    kernel_.events().now());
+    }
     return pfn;
 }
 

@@ -6,6 +6,7 @@
 #include "prof/prof.hh"
 #include "sim/log.hh"
 #include "trace/trace.hh"
+#include "xray/xray.hh"
 
 namespace {
 
@@ -98,6 +99,12 @@ HeteroLru::demotePage(Gpfn pfn)
         kernel_.lruAdd(dst); // demoted pages start inactive
         p.dirty = false;
         p.owner_process = noProcess;
+        if (auto *xr = xray::active()) {
+            xr->onGuestMove(
+                kernel_.vmTag(), pfn, dst,
+                static_cast<std::uint8_t>(kernel_.backingOf(dst)),
+                p.heat, 0, kernel_.events().now());
+        }
         kernel_.freePage(pfn);
         ++stats_.demoted_anon;
         return 1;
@@ -125,6 +132,12 @@ HeteroLru::demotePage(Gpfn pfn)
         if (p.lru != LruState::None)
             kernel_.lruRemove(pfn);
         kernel_.lruAdd(dst);
+        if (auto *xr = xray::active()) {
+            xr->onGuestMove(
+                kernel_.vmTag(), pfn, dst,
+                static_cast<std::uint8_t>(kernel_.backingOf(dst)),
+                p.heat, 0, kernel_.events().now());
+        }
         kernel_.freePage(pfn);
         ++stats_.demoted_cache;
         return 1;

@@ -5,6 +5,7 @@
 #include "check/page_state.hh"
 #include "prof/prof.hh"
 #include "sim/log.hh"
+#include "xray/xray.hh"
 
 namespace hos::guestos {
 
@@ -156,6 +157,8 @@ GuestKernel::freePage(Gpfn pfn, unsigned cpu)
     Page &p = pages_.page(pfn);
     hos_assert(p.lru == LruState::None,
                "freeing a page still on the LRU");
+    if (auto *xr = xray::active())
+        xr->onFree(vm_tag_, pfn, events_.now());
     allocator_->freePage(pfn, cpu);
 }
 
@@ -171,6 +174,11 @@ GuestKernel::allocPageOnNode(unsigned node_id, PageType type,
     HOS_CHECK_CHEAP(
         check::validateAlloc(p, type, "kernel.allocPageOnNode"));
     p.type = type;
+    if (auto *xr = xray::active()) {
+        xr->onAlloc(vm_tag_, pfn,
+                    static_cast<std::uint8_t>(backingOf(pfn)),
+                    events_.now());
+    }
     return pfn;
 }
 
@@ -460,6 +468,15 @@ GuestKernel::touchIoPage(Gpfn pfn, bool write)
 void
 GuestKernel::onIoComplete(const std::vector<Gpfn> &pages, IoKind kind)
 {
+    if (kind == IoKind::Writeback) {
+        if (auto *xr = xray::active()) {
+            for (Gpfn pfn : pages) {
+                xr->onTransition(vm_tag_, pfn,
+                                 xray::EventKind::Writeback,
+                                 events_.now());
+            }
+        }
+    }
     hetero_lru_->onIoComplete(pages, kind == IoKind::Writeback);
 }
 

@@ -97,6 +97,14 @@ class GuestKernel final : public MmBacking,
     const GuestConfig &config() const { return cfg_; }
     const std::string &name() const { return cfg_.name; }
 
+    /**
+     * VM id this kernel is attributed to in xray telemetry. Set by
+     * HeteroSystem::addVm from the VMM slot id; standalone kernels
+     * (unit tests) keep the default 0.
+     */
+    void setVmTag(std::uint16_t vm) { vm_tag_ = vm; }
+    std::uint16_t vmTag() const { return vm_tag_; }
+
     // --- Topology -------------------------------------------------
     unsigned numNodes() const
     {
@@ -258,6 +266,7 @@ class GuestKernel final : public MmBacking,
 
   private:
     GuestConfig cfg_;
+    std::uint16_t vm_tag_ = 0;
     sim::StatGroup stats_;
     sim::Rng rng_;
     sim::EventQueue events_;

@@ -5,6 +5,7 @@
 #include "prof/prof.hh"
 #include "sim/log.hh"
 #include "trace/trace.hh"
+#include "xray/xray.hh"
 
 namespace hos::guestos {
 
@@ -18,19 +19,32 @@ MigrationFrontend::migrateOne(Gpfn pfn, mem::MemType dst,
                               MigrationOutcome &out)
 {
     Page &p = kernel_.pageMeta(pfn);
+    auto *xr = xray::active();
+    const std::uint16_t vm = kernel_.vmTag();
+    const sim::Tick now = kernel_.events().now();
 
     if (!p.allocated) {
         // Released since the candidate list was built: the guest-side
         // check the VMM cannot do (Section 4.1, "page state").
         ++out.skipped_unmapped;
+        if (xr)
+            xr->onSkip(vm, pfn, xray::EventKind::SkipUnmapped, 0, 0, now);
         return false;
     }
     if (p.under_io) {
         ++out.skipped_under_io;
+        if (xr) {
+            xr->onSkip(vm, pfn, xray::EventKind::SkipUnderIo, p.heat, 0,
+                       now);
+        }
         return false;
     }
     if (isMigrationException(p.type) || p.unevictable) {
         ++out.skipped_pinned;
+        if (xr) {
+            xr->onSkip(vm, pfn, xray::EventKind::SkipPinned, p.heat, 0,
+                       now);
+        }
         return false;
     }
     if (p.mem_type == dst)
@@ -44,6 +58,10 @@ MigrationFrontend::migrateOne(Gpfn pfn, mem::MemType dst,
     NumaNode *target = kernel_.nodeFor(dst);
     if (!target) {
         ++out.skipped_no_memory;
+        if (xr) {
+            xr->onSkip(vm, pfn, xray::EventKind::SkipNoMemory, p.heat, 0,
+                       now);
+        }
         return false;
     }
 
@@ -52,17 +70,29 @@ MigrationFrontend::migrateOne(Gpfn pfn, mem::MemType dst,
         if (p.owner_process == noProcess ||
             !kernel_.hasProcess(p.owner_process)) {
             ++out.skipped_unmapped;
+            if (xr) {
+                xr->onSkip(vm, pfn, xray::EventKind::SkipUnmapped,
+                           p.heat, 0, now);
+            }
             return false;
         }
         AddressSpace &as = kernel_.process(p.owner_process);
         auto mapped = as.translate(p.vaddr);
         if (!mapped || *mapped != pfn) {
             ++out.skipped_unmapped;
+            if (xr) {
+                xr->onSkip(vm, pfn, xray::EventKind::SkipUnmapped,
+                           p.heat, 0, now);
+            }
             return false;
         }
         const Gpfn newp = kernel_.allocPageOnNode(target->id(), p.type);
         if (newp == invalidGpfn) {
             ++out.skipped_no_memory;
+            if (xr) {
+                xr->onSkip(vm, pfn, xray::EventKind::SkipNoMemory,
+                           p.heat, 0, now);
+            }
             return false;
         }
         Page &d = kernel_.pageMeta(newp);
@@ -83,6 +113,12 @@ MigrationFrontend::migrateOne(Gpfn pfn, mem::MemType dst,
             kernel_.lruAdd(newp);
         p.dirty = false;
         p.owner_process = noProcess;
+        if (xr) {
+            xr->onGuestMove(
+                vm, pfn, newp,
+                static_cast<std::uint8_t>(kernel_.backingOf(newp)),
+                p.heat, 0, now);
+        }
         kernel_.freePage(pfn);
         return true;
       }
@@ -98,15 +134,27 @@ MigrationFrontend::migrateOne(Gpfn pfn, mem::MemType dst,
             // overhead (Section 4.1); they are about to be written
             // back and evicted anyway.
             ++out.skipped_dirty_io;
+            if (xr) {
+                xr->onSkip(vm, pfn, xray::EventKind::SkipDirtyIo,
+                           p.heat, 0, now);
+            }
             return false;
         }
         if (p.dirty && dst != mem::MemType::FastMem) {
             ++out.skipped_dirty_io;
+            if (xr) {
+                xr->onSkip(vm, pfn, xray::EventKind::SkipDirtyIo,
+                           p.heat, 0, now);
+            }
             return false;
         }
         const Gpfn newp = kernel_.allocPageOnNode(target->id(), p.type);
         if (newp == invalidGpfn) {
             ++out.skipped_no_memory;
+            if (xr) {
+                xr->onSkip(vm, pfn, xray::EventKind::SkipNoMemory,
+                           p.heat, 0, now);
+            }
             return false;
         }
         cache.remapPage(pfn, newp);
@@ -116,11 +164,21 @@ MigrationFrontend::migrateOne(Gpfn pfn, mem::MemType dst,
             kernel_.lruAddActive(newp);
         else
             kernel_.lruAdd(newp);
+        if (xr) {
+            xr->onGuestMove(
+                vm, pfn, newp,
+                static_cast<std::uint8_t>(kernel_.backingOf(newp)),
+                p.heat, 0, now);
+        }
         kernel_.freePage(pfn);
         return true;
       }
       default:
         ++out.skipped_pinned;
+        if (xr) {
+            xr->onSkip(vm, pfn, xray::EventKind::SkipPinned, p.heat, 0,
+                       now);
+        }
         return false;
     }
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/log.hh"
+#include "xray/xray.hh"
 
 namespace hos::policy {
 
@@ -88,8 +89,15 @@ CoordinatedPolicy::attach(vmm::Vmm &vmm, vmm::VmId id,
             auto hot = ring_.drainHotPages();
             const std::uint64_t budget =
                 cfg_.hotness.promoteBudget(tracker_->interval());
-            if (hot.size() > budget)
+            if (hot.size() > budget) {
+                if (auto *xr = xray::active()) {
+                    xr->onVmEvent(kernel.vmTag(),
+                                  xray::EventKind::Throttle, 0,
+                                  hot.size(), budget,
+                                  kernel.events().now());
+                }
                 hot.resize(budget);
+            }
             if (!hot.empty()) {
                 auto *fast = kernel.nodeFor(mem::MemType::FastMem);
                 if (fast && fast->freePages() < hot.size()) {

@@ -41,6 +41,10 @@ constexpr std::array<EventTypeInfo, numEventTypes> kEventInfo = {{
     {"check_failure", Category::Check, "kind", "subject", ""},
     {"span_begin", Category::Prof, "kind", "depth", ""},
     {"span_end", Category::Prof, "kind", "depth", ""},
+    {"xray_hot_cross", Category::Xray, "gpfn", "heat", "threshold"},
+    {"xray_move", Category::Xray, "kind", "gpfn", "heat"},
+    {"xray_ping_pong", Category::Xray, "gpfn", "bounces", "gap_ns"},
+    {"xray_decision", Category::Xray, "kind", "a0", "a1"},
 }};
 
 /**
@@ -61,7 +65,7 @@ constexpr CategoryName kCategoryNames[] = {
     {"swap", Category::Swap},           {"hypercall", Category::Hypercall},
     {"fairness", Category::Fairness},   {"device", Category::Device},
     {"stats", Category::Stats},         {"check", Category::Check},
-    {"prof", Category::Prof},
+    {"prof", Category::Prof},           {"xray", Category::Xray},
 };
 
 } // namespace

@@ -53,7 +53,8 @@ enum class Category : std::uint32_t {
     Stats = 1u << 8,     ///< periodic stats snapshots
     Check = 1u << 9,     ///< invariant-check failures (hos::check)
     Prof = 1u << 10,     ///< profiler span begin/end (hos::prof)
-    All = 0x7ffu,
+    Xray = 1u << 11,     ///< placement-quality telemetry (hos::xray)
+    All = 0xfffu,
 };
 
 /** Typed event records. The a0/a1/a2 meanings are per-type. */
@@ -77,9 +78,13 @@ enum class EventType : std::uint16_t {
     CheckFailure,       ///< a0=CheckKind, a1=subject pfn/mfn
     SpanBegin,          ///< a0=prof::SpanKind, a1=depth after open
     SpanEnd,            ///< a0=prof::SpanKind, a1=depth before close
+    XrayHotCross,       ///< a0=gpfn, a1=heat, a2=threshold
+    XrayMove,           ///< a0=xray::EventKind, a1=gpfn, a2=heat
+    XrayPingPong,       ///< a0=gpfn, a1=bounces, a2=gap ns
+    XrayDecision,       ///< a0=xray::EventKind, a1/a2=kind-specific
 };
 
-constexpr std::size_t numEventTypes = 19;
+constexpr std::size_t numEventTypes = 23;
 
 /** Static description of one event type. */
 struct EventTypeInfo

@@ -5,6 +5,7 @@
 #include "prof/prof.hh"
 #include "trace/trace.hh"
 #include "vmm/ballooning.hh"
+#include "xray/xray.hh"
 
 namespace hos::vmm {
 
@@ -83,6 +84,19 @@ DrfFairness::approve(Vmm &vmm, VmContext &requester, mem::MemType t,
                     requester.kernel().events().now(), victim->id(),
                     static_cast<std::uint64_t>(t), got, 0,
                     static_cast<std::uint16_t>(requester.id()));
+        if (auto *xr = xray::active()) {
+            // Decision inputs: both dominant shares, in ppm, packed
+            // into a1 (requester high, victim low).
+            const auto ppm = [](double s) {
+                return static_cast<std::uint64_t>(s * 1e6);
+            };
+            xr->onVmEvent(
+                static_cast<std::uint16_t>(requester.id()),
+                xray::EventKind::DrfReclaim,
+                static_cast<std::uint32_t>(victim->id()), got,
+                (ppm(s_req) << 32) | ppm(worst),
+                requester.kernel().events().now());
+        }
         deficit -= std::min(deficit, got);
     }
 

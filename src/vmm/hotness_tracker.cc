@@ -5,6 +5,7 @@
 #include "prof/prof.hh"
 #include "sim/log.hh"
 #include "trace/trace.hh"
+#include "xray/xray.hh"
 
 namespace hos::vmm {
 
@@ -22,6 +23,10 @@ HotnessTracker::heatPage(guestos::Page &p, bool accessed, ScanResult &res)
         ++res.accessed;
     if (p.heat >= cfg_.hot_threshold)
         res.hot.push_back(p.pfn);
+    if (auto *xr = xray::active()) {
+        xr->onHeat(static_cast<std::uint16_t>(vm_.id()), p.pfn, p.heat,
+                   cfg_.hot_threshold, vm_.kernel().events().now());
+    }
 }
 
 ScanResult

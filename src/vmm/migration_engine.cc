@@ -6,6 +6,7 @@
 #include "prof/prof.hh"
 #include "sim/log.hh"
 #include "trace/trace.hh"
+#include "xray/xray.hh"
 
 namespace hos::vmm {
 
@@ -32,7 +33,11 @@ MigrationEngine::migrateBacking(VmContext &vm,
     {
         HOS_PROF_SPAN(remap_span, prof::SpanKind::Remap,
                       vm.kernel().events(), vm_id, dst_tier);
+        auto *xr = xray::active();
+        const sim::Tick now = vm.kernel().events().now();
+        std::uint32_t rank = 0;
         for (Gpfn gpfn : gpfns) {
+            const std::uint32_t my_rank = rank++;
             if (!p2m.populated(gpfn))
                 continue; // ballooned away since the candidate was chosen
             if (p2m.tierOf(gpfn) == dst)
@@ -40,6 +45,12 @@ MigrationEngine::migrateBacking(VmContext &vm,
             auto frame = dst_node.allocFrame(vm.owner());
             if (!frame) {
                 ++res.no_frames;
+                if (xr) {
+                    xr->onSkip(vm_id, gpfn,
+                               xray::EventKind::SkipNoFrames,
+                               vm.kernel().pages().page(gpfn).heat,
+                               my_rank, now);
+                }
                 continue;
             }
             const mem::Mfn old = p2m.mfnOf(gpfn);
@@ -50,6 +61,10 @@ MigrationEngine::migrateBacking(VmContext &vm,
             else
                 vm.fastBacked().erase(gpfn);
             ++res.migrated;
+            if (xr) {
+                xr->stageRank(my_rank);
+                xr->onTierChange(vm_id, gpfn, dst_tier, now);
+            }
         }
     }
 
@@ -123,6 +138,17 @@ MigrationEngine::exchangeBacking(VmContext &vm, Gpfn promote, Gpfn evict)
     p2m.set(evict, slow_mfn, slow_tier);
     vm.fastBacked().insert(promote);
     vm.fastBacked().erase(evict);
+    if (auto *xr = xray::active()) {
+        // The promote leg consumes any rank the caller staged; the
+        // evicted victim's demotion carries no candidate rank.
+        const auto vm_id = static_cast<std::uint16_t>(vm.id());
+        const sim::Tick now = vm.kernel().events().now();
+        xr->onTierChange(
+            vm_id, promote,
+            static_cast<std::uint8_t>(mem::MemType::FastMem), now);
+        xr->onTierChange(vm_id, evict,
+                         static_cast<std::uint8_t>(slow_tier), now);
+    }
     return true;
 }
 
@@ -143,16 +169,31 @@ MigrationEngine::promoteWithEviction(VmContext &vm,
     std::vector<Gpfn> promote;
     promote.reserve(std::min<std::size_t>(hot.size(), budget));
     const P2m &p2m = vm.p2m();
+    auto *xr = xray::active();
     {
         HOS_PROF_SPAN(select_span, prof::SpanKind::CandidateSelect,
                       vm.kernel().events(), vm_id, fast_tier);
+        const sim::Tick now = vm.kernel().events().now();
         for (Gpfn pfn : hot) {
-            if (promote.size() >= budget)
-                break;
-            if (p2m.populated(pfn) &&
-                p2m.tierOf(pfn) != mem::MemType::FastMem) {
-                promote.push_back(pfn);
+            const bool candidate =
+                p2m.populated(pfn) &&
+                p2m.tierOf(pfn) != mem::MemType::FastMem;
+            if (promote.size() >= budget) {
+                if (!xr)
+                    break;
+                // Still-hot candidates cut by the rate-limit budget:
+                // the provenance the lag histograms need to explain.
+                if (candidate) {
+                    xr->onSkip(vm_id, pfn, xray::EventKind::SkipBudget,
+                               vm.kernel().pages().page(pfn).heat,
+                               static_cast<std::uint32_t>(
+                                   promote.size()),
+                               now);
+                }
+                continue;
             }
+            if (candidate)
+                promote.push_back(pfn);
         }
     }
     if (promote.empty())
@@ -190,16 +231,35 @@ MigrationEngine::promoteWithEviction(VmContext &vm,
         {
             HOS_PROF_SPAN(remap_span, prof::SpanKind::Remap,
                           vm.kernel().events(), vm_id, fast_tier);
+            const sim::Tick now = vm.kernel().events().now();
             for (Gpfn victim : victims) {
                 if (idx >= promote.size())
                     break;
                 if (pages.page(victim).heat >=
                     pages.page(promote[idx]).heat) {
+                    if (xr) {
+                        xr->onSkip(vm_id, promote[idx],
+                                   xray::EventKind::SkipVictimHot,
+                                   pages.page(promote[idx]).heat,
+                                   static_cast<std::uint32_t>(idx),
+                                   now);
+                    }
                     continue; // eviction would hurt more than it helps
                 }
+                if (xr)
+                    xr->stageRank(static_cast<std::uint32_t>(idx));
                 if (exchangeBacking(vm, promote[idx], victim)) {
                     ++idx;
                     ++exchanged;
+                }
+            }
+            if (xr) {
+                // Candidates left behind when the victim pool ran dry.
+                for (std::size_t i = idx; i < promote.size(); ++i) {
+                    xr->onSkip(vm_id, promote[i],
+                               xray::EventKind::SkipNoFrames,
+                               pages.page(promote[i]).heat,
+                               static_cast<std::uint32_t>(i), now);
                 }
             }
         }

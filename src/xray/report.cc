@@ -1,0 +1,394 @@
+#include "xray/report.hh"
+
+#include <string>
+
+namespace hos::xray {
+
+std::uint64_t
+XrayVm::hotTotal() const
+{
+    std::uint64_t n = 0;
+    for (const auto &t : tiers)
+        n += t.hot_pages;
+    return n;
+}
+
+std::uint64_t
+XrayVm::hotMisplaced() const
+{
+    return hotTotal() - tiers[fastTier].hot_pages;
+}
+
+std::uint64_t
+XrayVm::coldInFast() const
+{
+    return tiers[fastTier].pages - tiers[fastTier].hot_pages;
+}
+
+std::uint64_t
+XrayVm::heatMassTotal() const
+{
+    std::uint64_t n = 0;
+    for (const auto &t : tiers)
+        n += t.heat_mass;
+    return n;
+}
+
+std::uint64_t
+XrayVm::misplacedHeatMass() const
+{
+    std::uint64_t n = 0;
+    for (std::size_t t = 0; t < numTiers; ++t) {
+        if (t != fastTier)
+            n += tiers[t].hot_heat_mass;
+    }
+    return n;
+}
+
+namespace {
+
+constexpr const char *kSchema = "hos-xray-1";
+
+double
+ratio(std::uint64_t num, std::uint64_t den)
+{
+    return den == 0 ? 0.0
+                    : static_cast<double>(num) /
+                          static_cast<double>(den);
+}
+
+void
+writeEvent(sim::JsonWriter &w, const Event &e)
+{
+    w.beginObject();
+    w.kv("t", e.tick);
+    w.kv("kind", eventKindName(e.kind));
+    if (e.tier_from != noTier)
+        w.kv("from", tierName(e.tier_from));
+    if (e.tier_to != noTier)
+        w.kv("to", tierName(e.tier_to));
+    w.kv("heat", static_cast<std::uint64_t>(e.heat));
+    w.kv("threshold", static_cast<std::uint64_t>(e.threshold));
+    w.kv("rank", static_cast<std::uint64_t>(e.rank));
+    if (e.a0 != 0)
+        w.kv("a0", e.a0);
+    if (e.a1 != 0)
+        w.kv("a1", e.a1);
+    w.endObject();
+}
+
+void
+writeLag(
+    sim::JsonWriter &w, const std::string &key,
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>> &lag)
+{
+    w.key(key);
+    w.beginArray();
+    for (const auto &[lo, count] : lag) {
+        w.beginArray();
+        w.value(lo);
+        w.value(count);
+        w.endArray();
+    }
+    w.endArray();
+}
+
+std::uint8_t
+tierFromName(const std::string &name)
+{
+    for (std::uint8_t t = 0; t < numTiers; ++t) {
+        if (name == tierName(t))
+            return t;
+    }
+    return noTier;
+}
+
+bool
+kindFromName(const std::string &name, EventKind &out)
+{
+    for (std::size_t k = 0; k < numEventKinds; ++k) {
+        if (name == eventKindName(static_cast<EventKind>(k))) {
+            out = static_cast<EventKind>(k);
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+parseEvent(const sim::JsonValue &v, Event &e, std::string *error)
+{
+    if (!v.isObject()) {
+        if (error)
+            *error = "xray event must be an object";
+        return false;
+    }
+    if (const auto *p = v.find("t"))
+        e.tick = p->asU64();
+    EventKind kind = EventKind::Alloc;
+    const auto *kp = v.find("kind");
+    if (kp == nullptr || !kindFromName(kp->asString(), kind)) {
+        if (error)
+            *error = "xray event with missing or unknown kind";
+        return false;
+    }
+    e.kind = kind;
+    if (const auto *p = v.find("from"))
+        e.tier_from = tierFromName(p->asString());
+    if (const auto *p = v.find("to"))
+        e.tier_to = tierFromName(p->asString());
+    if (const auto *p = v.find("heat"))
+        e.heat = static_cast<std::uint16_t>(p->asU64());
+    if (const auto *p = v.find("threshold"))
+        e.threshold = static_cast<std::uint16_t>(p->asU64());
+    if (const auto *p = v.find("rank"))
+        e.rank = static_cast<std::uint32_t>(p->asU64());
+    if (const auto *p = v.find("a0"))
+        e.a0 = p->asU64();
+    if (const auto *p = v.find("a1"))
+        e.a1 = p->asU64();
+    return true;
+}
+
+void
+parseLag(const sim::JsonValue *v,
+         std::vector<std::pair<std::uint64_t, std::uint64_t>> &out)
+{
+    if (v == nullptr || !v->isArray())
+        return;
+    for (const auto &pair : v->array) {
+        if (pair.isArray() && pair.array.size() == 2) {
+            out.emplace_back(pair.array[0].asU64(),
+                             pair.array[1].asU64());
+        }
+    }
+}
+
+} // namespace
+
+void
+writeXrayReport(sim::JsonWriter &w, const XrayReport &report)
+{
+    w.beginObject();
+    w.kv("schema", kSchema);
+    w.kv("pingpong_window_ns", report.pingpong_window_ns);
+    w.kv("ring_depth",
+         static_cast<std::uint64_t>(report.ring_depth));
+    w.key("vms");
+    w.beginArray();
+    for (const XrayVm &v : report.vms) {
+        w.beginObject();
+        w.kv("vm", static_cast<std::uint64_t>(v.vm));
+        w.kv("threshold", static_cast<std::uint64_t>(v.threshold));
+
+        w.key("tiers");
+        w.beginObject();
+        for (std::uint8_t t = 0; t < numTiers; ++t) {
+            w.key(tierName(t));
+            w.beginObject();
+            w.kv("pages", v.tiers[t].pages);
+            w.kv("hot_pages", v.tiers[t].hot_pages);
+            w.kv("heat_mass", v.tiers[t].heat_mass);
+            w.kv("hot_heat_mass", v.tiers[t].hot_heat_mass);
+            w.endObject();
+        }
+        w.endObject();
+
+        const std::uint64_t hot_total = v.hotTotal();
+        const std::uint64_t live = v.tiers[fastTier].pages +
+                                   v.tiers[slowTier].pages +
+                                   v.tiers[mediumTier].pages;
+        w.key("quality");
+        w.beginObject();
+        w.kv("live_pages", live);
+        w.kv("hot_total", hot_total);
+        w.kv("hot_misplaced", v.hotMisplaced());
+        w.kv("hot_misplaced_frac",
+             ratio(v.hotMisplaced(), hot_total));
+        w.kv("cold_in_fast", v.coldInFast());
+        w.kv("cold_in_fast_frac",
+             ratio(v.coldInFast(), v.tiers[fastTier].pages));
+        w.kv("heat_mass", v.heatMassTotal());
+        w.kv("misplaced_heat_mass", v.misplacedHeatMass());
+        w.kv("misplaced_heat_frac",
+             ratio(v.misplacedHeatMass(),
+                   v.tiers[fastTier].hot_heat_mass +
+                       v.misplacedHeatMass()));
+        w.endObject();
+
+        w.key("decisions");
+        w.beginObject();
+        for (std::size_t k = 0; k < numEventKinds; ++k) {
+            if (v.kind_counts[k] != 0) {
+                w.kv(eventKindName(static_cast<EventKind>(k)),
+                     v.kind_counts[k]);
+            }
+        }
+        w.endObject();
+
+        w.key("pingpong");
+        w.beginObject();
+        w.kv("events", v.pingpong_events);
+        w.kv("pages", v.pingpong_pages);
+        w.endObject();
+
+        writeLag(w, "promote_lag_ns", v.promote_lag);
+        writeLag(w, "demote_lag_ns", v.demote_lag);
+
+        w.key("top_misplaced");
+        w.beginArray();
+        for (const XrayTopPage &p : v.top_misplaced) {
+            w.beginObject();
+            w.kv("gpfn", p.gpfn);
+            w.kv("heat", static_cast<std::uint64_t>(p.heat));
+            w.kv("tier", tierName(p.tier));
+            w.endObject();
+        }
+        w.endArray();
+
+        w.kv("pages_ringed", v.pages_ringed);
+        w.key("pages");
+        w.beginArray();
+        for (const XrayPage &p : v.pages) {
+            w.beginObject();
+            w.kv("gpfn", p.gpfn);
+            w.kv("total_events", p.total_events);
+            w.key("events");
+            w.beginArray();
+            for (const Event &e : p.events)
+                writeEvent(w, e);
+            w.endArray();
+            w.endObject();
+        }
+        w.endArray();
+
+        w.kv("vm_events_total", v.vm_events_total);
+        w.key("vm_events");
+        w.beginArray();
+        for (const Event &e : v.vm_events)
+            writeEvent(w, e);
+        w.endArray();
+
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+XrayReport
+xrayReportFromJson(const sim::JsonValue &v, std::string *error)
+{
+    XrayReport rep;
+    if (!v.isObject()) {
+        if (error)
+            *error = "xray report must be a JSON object";
+        return rep;
+    }
+    const auto *schema = v.find("schema");
+    if (schema == nullptr || schema->asString() != kSchema) {
+        if (error)
+            *error = "xray report schema mismatch (want " +
+                     std::string(kSchema) + ")";
+        return rep;
+    }
+    if (const auto *p = v.find("pingpong_window_ns"))
+        rep.pingpong_window_ns = p->asU64();
+    if (const auto *p = v.find("ring_depth"))
+        rep.ring_depth = static_cast<std::uint32_t>(p->asU64());
+
+    const auto *vms = v.find("vms");
+    if (vms == nullptr || !vms->isArray())
+        return rep;
+    for (const auto &vv : vms->array) {
+        if (!vv.isObject())
+            continue;
+        XrayVm vm;
+        if (const auto *p = vv.find("vm"))
+            vm.vm = static_cast<std::uint16_t>(p->asU64());
+        if (const auto *p = vv.find("threshold"))
+            vm.threshold = static_cast<std::uint16_t>(p->asU64());
+        if (const auto *tiers = vv.find("tiers")) {
+            for (std::uint8_t t = 0; t < numTiers; ++t) {
+                const auto *tv = tiers->find(tierName(t));
+                if (tv == nullptr)
+                    continue;
+                if (const auto *p = tv->find("pages"))
+                    vm.tiers[t].pages = p->asU64();
+                if (const auto *p = tv->find("hot_pages"))
+                    vm.tiers[t].hot_pages = p->asU64();
+                if (const auto *p = tv->find("heat_mass"))
+                    vm.tiers[t].heat_mass = p->asU64();
+                if (const auto *p = tv->find("hot_heat_mass"))
+                    vm.tiers[t].hot_heat_mass = p->asU64();
+            }
+        }
+        if (const auto *dec = vv.find("decisions");
+            dec != nullptr && dec->isObject()) {
+            for (const auto &[key, val] : dec->object) {
+                EventKind k = EventKind::Alloc;
+                if (kindFromName(key, k)) {
+                    vm.kind_counts[static_cast<std::size_t>(k)] =
+                        val.asU64();
+                }
+            }
+        }
+        if (const auto *pp = vv.find("pingpong")) {
+            if (const auto *p = pp->find("events"))
+                vm.pingpong_events = p->asU64();
+            if (const auto *p = pp->find("pages"))
+                vm.pingpong_pages = p->asU64();
+        }
+        parseLag(vv.find("promote_lag_ns"), vm.promote_lag);
+        parseLag(vv.find("demote_lag_ns"), vm.demote_lag);
+        if (const auto *top = vv.find("top_misplaced");
+            top != nullptr && top->isArray()) {
+            for (const auto &tv : top->array) {
+                XrayTopPage p;
+                if (const auto *g = tv.find("gpfn"))
+                    p.gpfn = g->asU64();
+                if (const auto *h = tv.find("heat"))
+                    p.heat = static_cast<std::uint16_t>(h->asU64());
+                if (const auto *t = tv.find("tier"))
+                    p.tier = tierFromName(t->asString());
+                vm.top_misplaced.push_back(p);
+            }
+        }
+        if (const auto *p = vv.find("pages_ringed"))
+            vm.pages_ringed = p->asU64();
+        if (const auto *pages = vv.find("pages");
+            pages != nullptr && pages->isArray()) {
+            for (const auto &pv : pages->array) {
+                XrayPage pg;
+                if (const auto *g = pv.find("gpfn"))
+                    pg.gpfn = g->asU64();
+                if (const auto *t = pv.find("total_events"))
+                    pg.total_events = t->asU64();
+                if (const auto *evs = pv.find("events");
+                    evs != nullptr && evs->isArray()) {
+                    for (const auto &ev : evs->array) {
+                        Event e;
+                        if (!parseEvent(ev, e, error))
+                            return XrayReport{};
+                        pg.events.push_back(e);
+                    }
+                }
+                vm.pages.push_back(std::move(pg));
+            }
+        }
+        if (const auto *p = vv.find("vm_events_total"))
+            vm.vm_events_total = p->asU64();
+        if (const auto *evs = vv.find("vm_events");
+            evs != nullptr && evs->isArray()) {
+            for (const auto &ev : evs->array) {
+                Event e;
+                if (!parseEvent(ev, e, error))
+                    return XrayReport{};
+                vm.vm_events.push_back(e);
+            }
+        }
+        rep.vms.push_back(std::move(vm));
+    }
+    return rep;
+}
+
+} // namespace hos::xray

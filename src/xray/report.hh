@@ -1,0 +1,119 @@
+/**
+ * @file
+ * XrayReport: the deterministic, serializable form of a Recorder's
+ * telemetry (schema "hos-xray-1") embedded in core::RunRecord /
+ * results.json and consumed by the hos-explain CLI.
+ *
+ * Everything here is integer state plus count ratios; two runs of
+ * the same scenario serialize byte-identically.
+ */
+
+#ifndef HOS_XRAY_REPORT_HH
+#define HOS_XRAY_REPORT_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/json.hh"
+#include "xray/xray.hh"
+
+namespace hos::xray {
+
+/** Per-tier placement aggregates of one VM. */
+struct XrayTier
+{
+    std::uint64_t pages = 0;
+    std::uint64_t hot_pages = 0;
+    std::uint64_t heat_mass = 0;
+    std::uint64_t hot_heat_mass = 0;
+};
+
+/** One entry of the top-misplaced list. */
+struct XrayTopPage
+{
+    std::uint64_t gpfn = 0;
+    std::uint16_t heat = 0;
+    std::uint8_t tier = noTier;
+};
+
+/** One exported lifecycle ring. */
+struct XrayPage
+{
+    std::uint64_t gpfn = 0;
+    std::uint64_t total_events = 0; ///< including dropped-by-depth
+    std::vector<Event> events;      ///< oldest first
+};
+
+/** Everything recorded for one VM. */
+struct XrayVm
+{
+    std::uint16_t vm = 0;
+    std::uint16_t threshold = 0;
+    XrayTier tiers[numTiers];
+    std::uint64_t kind_counts[numEventKinds] = {};
+    std::uint64_t pingpong_events = 0;
+    std::uint64_t pingpong_pages = 0;
+    /** Nonzero log2 buckets as (bucket_lo_ns, count), ascending. */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> promote_lag;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> demote_lag;
+    std::vector<XrayTopPage> top_misplaced;
+    std::vector<XrayPage> pages; ///< exported rings, gpfn ascending
+    std::uint64_t pages_ringed = 0; ///< rings kept (before export cut)
+    std::vector<Event> vm_events;
+    std::uint64_t vm_events_total = 0;
+
+    std::uint64_t count(EventKind k) const
+    {
+        return kind_counts[static_cast<std::size_t>(k)];
+    }
+    std::uint64_t hotTotal() const;
+    std::uint64_t hotMisplaced() const;
+    std::uint64_t coldInFast() const;
+    std::uint64_t heatMassTotal() const;
+    std::uint64_t misplacedHeatMass() const;
+};
+
+/** The full report (one VM entry per guest that saw any activity). */
+struct XrayReport
+{
+    std::uint64_t pingpong_window_ns = 0;
+    std::uint32_t ring_depth = 0;
+    std::vector<XrayVm> vms;
+
+    bool empty() const { return vms.empty(); }
+};
+
+/**
+ * Write one report as a JSON object:
+ *
+ *   { "schema": "hos-xray-1",
+ *     "pingpong_window_ns": N, "ring_depth": N,
+ *     "vms": [ { "vm": N, "threshold": N,
+ *                "tiers": { "fast": {...}, "slow": {...}, ... },
+ *                "quality": { "hot_total": N, "hot_misplaced": N, ...},
+ *                "decisions": { "promote": N, ... (nonzero only) },
+ *                "pingpong": { "events": N, "pages": N },
+ *                "promote_lag_ns": [[lo, count], ...],
+ *                "demote_lag_ns": [[lo, count], ...],
+ *                "top_misplaced": [ {"gpfn": N, "heat": N,
+ *                                    "tier": "slow"}, ... ],
+ *                "pages": [ {"gpfn": N, "total_events": N,
+ *                            "events": [...]}, ... ],
+ *                "vm_events": [...], "vm_events_total": N }, ... ] }
+ *
+ * Ordering is fixed by the Recorder; the writer adds nothing
+ * nondeterministic.
+ */
+void writeXrayReport(sim::JsonWriter &w, const XrayReport &report);
+
+/**
+ * Rebuild a report from its JSON form. Returns an empty report and
+ * sets `error` (when given) on schema mismatch or malformed entries.
+ */
+XrayReport xrayReportFromJson(const sim::JsonValue &v,
+                              std::string *error = nullptr);
+
+} // namespace hos::xray
+
+#endif // HOS_XRAY_REPORT_HH

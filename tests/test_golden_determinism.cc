@@ -18,6 +18,7 @@
 #include "core/experiment.hh"
 #include "policy/vmm_exclusive.hh"
 #include "prof/report.hh"
+#include "xray/report.hh"
 
 namespace {
 
@@ -106,6 +107,38 @@ TEST(GoldenDeterminism, ProfilingIsBitIdentical)
             << "profiled run non-deterministic: " << s.label();
         EXPECT_EQ(first.second, second.second)
             << "ledger non-deterministic: " << s.label();
+    }
+}
+
+TEST(GoldenDeterminism, XrayIsBitIdentical)
+{
+    // xray shadows decisions; it must never make them. Xray-on and
+    // xray-off runs of the matrix must agree on every simulated
+    // field, and two xray-on runs must serialize identical reports.
+    for (const core::Scenario &s : goldenMatrix()) {
+        const auto plain = core::run(s);
+
+        auto xrayed = [&] {
+            core::Scenario x = s;
+            x.withXray();
+            auto sys = core::systemFor(x);
+            auto result = sys->runOne(
+                sys->slot(0), workload::makeApp(x.app, x.scale));
+            std::ostringstream os;
+            sim::JsonWriter w(os);
+            xray::writeXrayReport(w, sys->xrayRecorder().report());
+            return std::make_pair(fingerprint(result), os.str());
+        };
+
+        const auto first = xrayed();
+        EXPECT_EQ(fingerprint(plain), first.first)
+            << "xray perturbed the simulation: " << s.label();
+
+        const auto second = xrayed();
+        EXPECT_EQ(first.first, second.first)
+            << "xrayed run non-deterministic: " << s.label();
+        EXPECT_EQ(first.second, second.second)
+            << "xray report non-deterministic: " << s.label();
     }
 }
 

@@ -101,12 +101,27 @@ if [ "$FAST" -eq 0 ]; then
     while IFS= read -r hdr; do
         rel=${hdr#src/}
         printf '#include "%s"\n' "$rel" > "$tmpdir/tu.cc"
-        if ! "$cxx" -std=c++20 -fsyntax-only -Isrc "$tmpdir/tu.cc" \
-            2> "$tmpdir/err"; then
-            red "lint: header is not self-sufficient: $hdr"
-            cat "$tmpdir/err"
-            fail=1
-        fi
+        # src/xray headers gate their API on HOS_XRAY_LEVEL; they must
+        # be self-sufficient at every compiled level, not just the
+        # in-header default.
+        case $hdr in
+        src/xray/*) levels="0 1 2" ;;
+        *) levels="default" ;;
+        esac
+        for level in $levels; do
+            if [ "$level" = "default" ]; then
+                leveldef=""
+            else
+                leveldef="-DHOS_XRAY_LEVEL=$level"
+            fi
+            # shellcheck disable=SC2086
+            if ! "$cxx" -std=c++20 -fsyntax-only -Isrc $leveldef \
+                "$tmpdir/tu.cc" 2> "$tmpdir/err"; then
+                red "lint: header is not self-sufficient: $hdr${leveldef:+ ($leveldef)}"
+                cat "$tmpdir/err"
+                fail=1
+            fi
+        done
     done < <(find src -name '*.hh' | sort)
 fi
 
