@@ -22,6 +22,10 @@
  *   --stats-out=FILE        snapshot time-series JSON
  *                           (default stats_timeseries.json)
  *   --results=FILE          machine-readable results JSON
+ *   --set=KEY=VALUE         scenario override (repeatable): any
+ *                           applyScenarioParam key, including the
+ *                           dotted hotness spec, e.g.
+ *                           --set=hotness.backend=region
  *   --log-level=N           0 quiet, 1 inform, 2 debug (tick-stamped)
  *
  * Profiling options (need -DHOS_PROF=sim or host):
@@ -44,6 +48,8 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/experiment.hh"
 #include "core/report.hh"
@@ -80,6 +86,8 @@ usage()
         "  --stats-out=FILE        snapshot JSON "
         "(default stats_timeseries.json)\n"
         "  --results=FILE          results JSON\n"
+        "  --set=KEY=VALUE         scenario override (repeatable), e.g.\n"
+        "                          --set=hotness.backend=region\n"
         "  --log-level=N           0 quiet, 1 inform, 2 debug\n"
         "  --prof                  span-profiler cost attribution\n"
         "  --prof-collapsed=FILE   flamegraph collapsed-stack export\n"
@@ -99,6 +107,8 @@ struct Options
     bool prof = false;
     std::string prof_collapsed_file;
     bool xray = false;
+    /** --set=KEY=VALUE scenario overrides, applied in order. */
+    std::vector<std::pair<std::string, std::string>> sets;
 };
 
 /** Consume every leading --flag; returns false on a bad one. */
@@ -135,6 +145,14 @@ parseOptions(int &argc, char **&argv, Options &opt)
             opt.prof = true;
         } else if (arg == "--xray") {
             opt.xray = true;
+        } else if (eat("--set=", interval)) {
+            const auto eq = interval.find('=');
+            if (eq == std::string::npos || eq == 0) {
+                std::fprintf(stderr, "--set wants KEY=VALUE\n");
+                return false;
+            }
+            opt.sets.emplace_back(interval.substr(0, eq),
+                                  interval.substr(eq + 1));
         } else if (eat("--log-level=", interval)) {
             sim::setLogLevel(std::atoi(interval.c_str()));
         } else {
@@ -195,6 +213,16 @@ main(int argc, char **argv)
                          "--xray output will be empty\n");
         spec.xray = true;
     }
+    // Scenario overrides land after the positionals so --set wins
+    // (e.g. --set=hotness.backend=region swaps the tracker backend).
+    for (const auto &[key, value] : opt.sets) {
+        std::string err;
+        if (!core::applyScenarioParam(spec, key, value, &err)) {
+            std::fprintf(stderr, "--set=%s=%s: %s\n", key.c_str(),
+                         value.c_str(), err.c_str());
+            return 1;
+        }
+    }
 
     // Baseline for the gain column (runs untraced — its events would
     // only pollute the main run's timeline).
@@ -223,10 +251,10 @@ main(int argc, char **argv)
     }
 
     const auto res =
-        sys->runOne(slot, workload::makeApp(*app, spec.scale));
+        sys->runOne(slot, workload::makeApp(spec.app, spec.scale));
 
     sim::Table t("Result: " + res.workload + " under " +
-                 core::approachName(*approach));
+                 core::approachName(spec.approach));
     t.header({"metric", "value"});
     t.row({"runtime (s)", sim::Table::num(res.seconds())});
     t.row({res.metric_name, sim::Table::num(res.metric)});
@@ -322,7 +350,7 @@ main(int argc, char **argv)
     }
     if (!opt.results_file.empty()) {
         auto record =
-            core::makeRunRecord(res, core::approachName(*approach));
+            core::makeRunRecord(res, core::approachName(spec.approach));
         record.gain_pct = core::gainPercent(base, res);
         for (int i = 0; i < static_cast<int>(guestos::numOverheadKinds);
              ++i) {

@@ -59,7 +59,14 @@ listKeys()
 {
     std::puts("scenario keys (all sweepable via --axis / --set):\n"
               "  app approach slow_lat_factor slow_bw_factor fast_bytes\n"
-              "  slow_bytes llc_bytes scale seed cpus name");
+              "  slow_bytes llc_bytes scale seed cpus name\n"
+              "hotness spec keys (hotness.<key>):\n"
+              "  backend (pte_scan|region) interval_ms pages_per_scan\n"
+              "  hot_threshold adaptive free_run_skip region_min\n"
+              "  region_max region_probes region_min_pages\n"
+              "  region_split_threshold region_merge_heat_delta\n"
+              "  legacy_placement_sampling\n"
+              "  e.g. --axis=hotness.backend=pte_scan,region");
     std::fputs("approaches:", stdout);
     for (core::Approach a : core::allApproaches)
         std::printf(" %s", core::approachKey(a));

@@ -36,16 +36,38 @@ makePolicy(Approach a)
     sim::panic("unknown approach");
 }
 
+std::unique_ptr<policy::ManagementPolicy>
+makePolicy(const Scenario &s)
+{
+    switch (s.approach) {
+      case Approach::VmmExclusive:
+        return std::make_unique<policy::VmmExclusivePolicy>(
+            s.hotness.apply(vmm::HotnessConfig{}));
+      case Approach::Coordinated: {
+        policy::CoordinatedConfig cfg;
+        cfg.hotness =
+            s.hotness.apply(policy::CoordinatedConfig::defaultHotness());
+        // The ablation switch and the hotness knob are the same bit;
+        // an explicit hotness.adaptive override wins.
+        cfg.adaptive_interval = cfg.hotness.adaptive;
+        return std::make_unique<policy::CoordinatedPolicy>(cfg);
+      }
+      default:
+        return makePolicy(s.approach);
+    }
+}
+
 std::unique_ptr<HeteroSystem>
 systemFor(const Scenario &s)
 {
     auto sys = std::make_unique<HeteroSystem>(s.host());
-    sys->setLegacyPlacementSampling(s.legacy_placement_sampling);
+    sys->setLegacyPlacementSampling(
+        s.hotness.legacy_placement_sampling);
     if (s.profiling)
         sys->enableProfiling();
     if (s.xray)
         sys->enableXray();
-    sys->addVm(makePolicy(s.approach), s.sizing());
+    sys->addVm(makePolicy(s), s.sizing());
     return sys;
 }
 

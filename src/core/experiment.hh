@@ -20,8 +20,15 @@
 
 namespace hos::core {
 
-/** Policy factory. */
+/** Policy factory with the approach's stock configuration. */
 std::unique_ptr<policy::ManagementPolicy> makePolicy(Approach a);
+
+/**
+ * Policy factory honoring the scenario's hotness spec: the tracking
+ * backend and overridden knobs are overlaid onto the approach's own
+ * defaults (approaches without a hotness tracker ignore the spec).
+ */
+std::unique_ptr<policy::ManagementPolicy> makePolicy(const Scenario &s);
 
 /** Build a single-VM system + policy for a scenario; slot 0 is the VM. */
 std::unique_ptr<HeteroSystem> systemFor(const Scenario &s);
@@ -32,35 +39,6 @@ workload::Workload::Result run(const Scenario &s);
 /** Run a custom workload factory under the scenario's host/approach. */
 workload::Workload::Result run(const Scenario &s,
                                const workload::WorkloadFactory &factory);
-
-// --- Deprecated pre-Scenario names ---------------------------------
-//
-// RunSpec and its free functions were replaced by Scenario (a strict
-// field superset) and the run() overloads. These shims keep
-// out-of-tree code compiling with a warning; they will be removed.
-
-using RunSpec [[deprecated("use core::Scenario")]] = Scenario;
-
-[[deprecated("use scenario.host()")]] inline HostConfig
-hostFor(const Scenario &s)
-{
-    return s.host();
-}
-
-[[deprecated("use core::run(scenario)")]] inline workload::Workload::Result
-runApp(workload::AppId app, const Scenario &s)
-{
-    Scenario with_app = s;
-    with_app.app = app;
-    return run(with_app);
-}
-
-[[deprecated("use core::run(scenario, factory)")]] inline workload::
-    Workload::Result
-    runFactory(const workload::WorkloadFactory &factory, const Scenario &s)
-{
-    return run(s, factory);
-}
 
 } // namespace hos::core
 

@@ -77,7 +77,84 @@ exactU64(const std::string &text, double num)
     return static_cast<std::uint64_t>(num);
 }
 
+/**
+ * One-time deprecation notice for the pre-`hotness` loose keys. The
+ * keys keep parsing forever; the nag tells scenario authors where the
+ * knob lives now.
+ */
+void
+warnLooseHotnessKey(const std::string &key, const char *new_key)
+{
+    static bool warned = false;
+    if (warned)
+        return;
+    warned = true;
+    sim::warn("scenario key '%s' is deprecated; set it inside the "
+              "structured 'hotness' object (hotness.%s)",
+              key.c_str(), new_key);
+}
+
+bool
+parseBool(const std::string &value, bool &out)
+{
+    if (value == "true" || value == "1") {
+        out = true;
+        return true;
+    }
+    if (value == "false" || value == "0") {
+        out = false;
+        return true;
+    }
+    return false;
+}
+
 } // namespace
+
+bool
+HotnessSpec::isDefault() const
+{
+    return backend == "pte_scan" && !interval_ms && !pages_per_scan &&
+           !hot_threshold && !adaptive && !free_run_skip &&
+           !region_min && !region_max && !region_probes &&
+           !region_min_pages && !region_split_threshold &&
+           !region_merge_heat_delta && !legacy_placement_sampling;
+}
+
+vmm::HotnessConfig
+HotnessSpec::apply(vmm::HotnessConfig base) const
+{
+    const auto b = vmm::parseHotnessBackend(backend);
+    // Unknown backend strings are rejected at parse time
+    // (applyScenarioParam); a hand-built spec gets the same check here.
+    if (!b)
+        sim::panic("unknown hotness backend '%s'", backend.c_str());
+    base.backend = *b;
+    if (interval_ms)
+        base.interval = sim::milliseconds(*interval_ms);
+    if (pages_per_scan)
+        base.pages_per_scan = *pages_per_scan;
+    if (hot_threshold)
+        base.hot_threshold = static_cast<std::uint16_t>(*hot_threshold);
+    if (adaptive)
+        base.adaptive = *adaptive;
+    if (free_run_skip)
+        base.free_run_skip = *free_run_skip;
+    if (region_min)
+        base.region_min = *region_min;
+    if (region_max)
+        base.region_max = *region_max;
+    if (region_probes)
+        base.region_probes = *region_probes;
+    if (region_min_pages)
+        base.region_min_pages = *region_min_pages;
+    if (region_split_threshold)
+        base.region_split_threshold = *region_split_threshold;
+    if (region_merge_heat_delta) {
+        base.region_merge_heat_delta =
+            static_cast<std::uint16_t>(*region_merge_heat_delta);
+    }
+    return base;
+}
 
 const char *
 approachName(Approach a)
@@ -193,8 +270,43 @@ scenarioToJson(sim::JsonWriter &w, const Scenario &s)
     w.kv("seed", s.seed);
     w.kv("cpus", static_cast<std::uint64_t>(s.cpus));
     // Emitted only when set so existing scenario JSON stays stable.
-    if (s.legacy_placement_sampling)
-        w.kv("legacy_placement_sampling", true);
+    if (!s.hotness.isDefault()) {
+        const HotnessSpec &h = s.hotness;
+        w.key("hotness");
+        w.beginObject();
+        if (h.backend != "pte_scan")
+            w.kv("backend", h.backend);
+        if (h.interval_ms)
+            w.kv("interval_ms", *h.interval_ms);
+        if (h.pages_per_scan)
+            w.kv("pages_per_scan", *h.pages_per_scan);
+        if (h.hot_threshold)
+            w.kv("hot_threshold",
+                 static_cast<std::uint64_t>(*h.hot_threshold));
+        if (h.adaptive)
+            w.kv("adaptive", *h.adaptive);
+        if (h.free_run_skip)
+            w.kv("free_run_skip", *h.free_run_skip);
+        if (h.region_min)
+            w.kv("region_min",
+                 static_cast<std::uint64_t>(*h.region_min));
+        if (h.region_max)
+            w.kv("region_max",
+                 static_cast<std::uint64_t>(*h.region_max));
+        if (h.region_probes)
+            w.kv("region_probes",
+                 static_cast<std::uint64_t>(*h.region_probes));
+        if (h.region_min_pages)
+            w.kv("region_min_pages", *h.region_min_pages);
+        if (h.region_split_threshold)
+            w.kv("region_split_threshold", *h.region_split_threshold);
+        if (h.region_merge_heat_delta)
+            w.kv("region_merge_heat_delta",
+                 static_cast<std::uint64_t>(*h.region_merge_heat_delta));
+        if (h.legacy_placement_sampling)
+            w.kv("legacy_placement_sampling", true);
+        w.endObject();
+    }
     if (s.profiling)
         w.kv("profiling", true);
     if (s.xray)
@@ -251,6 +363,21 @@ scenarioFromJson(const sim::JsonValue &v, std::string *error)
             s.slow_override = spec;
             continue;
         }
+        if (key == "hotness") {
+            if (!val.isObject()) {
+                setError(error, "hotness must be an object");
+                return std::nullopt;
+            }
+            for (const auto &[hkey, hval] : val.object) {
+                std::string perr;
+                if (!applyScenarioParam(s, "hotness." + hkey,
+                                        hval.scalarText(), &perr)) {
+                    setError(error, perr);
+                    return std::nullopt;
+                }
+            }
+            continue;
+        }
         std::string perr;
         if (!applyScenarioParam(s, key, val.scalarText(), &perr)) {
             setError(error, perr);
@@ -291,16 +418,77 @@ applyScenarioParam(Scenario &s, const std::string &key,
         s.name = value;
         return true;
     }
-    if (key == "legacy_placement_sampling") {
-        if (value == "true" || value == "1") {
-            s.legacy_placement_sampling = true;
-        } else if (value == "false" || value == "0") {
-            s.legacy_placement_sampling = false;
+    // --- Structured hotness spec (dotted keys = sweep axes) --------
+    if (key.rfind("hotness.", 0) == 0) {
+        const std::string sub = key.substr(8);
+        HotnessSpec &h = s.hotness;
+        if (sub == "backend") {
+            if (!vmm::parseHotnessBackend(value)) {
+                return setError(error, "unknown hotness backend '" +
+                                           value + "'");
+            }
+            h.backend = value;
+            return true;
+        }
+        if (sub == "adaptive" || sub == "free_run_skip" ||
+            sub == "legacy_placement_sampling") {
+            bool on = false;
+            if (!parseBool(value, on)) {
+                return setError(
+                    error, "bad value '" + value + "' for '" + key + "'");
+            }
+            if (sub == "adaptive")
+                h.adaptive = on;
+            else if (sub == "free_run_skip")
+                h.free_run_skip = on;
+            else
+                h.legacy_placement_sampling = on;
+            return true;
+        }
+        double num = 0.0;
+        if (!parseNumber(value, num)) {
+            return setError(error,
+                            "bad value '" + value + "' for '" + key + "'");
+        }
+        if (sub == "interval_ms") {
+            h.interval_ms = num;
+        } else if (sub == "pages_per_scan") {
+            h.pages_per_scan = exactU64(value, num);
+        } else if (sub == "hot_threshold") {
+            h.hot_threshold = static_cast<std::uint32_t>(num);
+        } else if (sub == "region_min") {
+            h.region_min = static_cast<std::uint32_t>(num);
+        } else if (sub == "region_max") {
+            h.region_max = static_cast<std::uint32_t>(num);
+        } else if (sub == "region_probes") {
+            h.region_probes = static_cast<std::uint32_t>(num);
+        } else if (sub == "region_min_pages") {
+            h.region_min_pages = exactU64(value, num);
+        } else if (sub == "region_split_threshold") {
+            h.region_split_threshold = num;
+        } else if (sub == "region_merge_heat_delta") {
+            h.region_merge_heat_delta = static_cast<std::uint32_t>(num);
         } else {
-            return setError(error, "bad value '" + value +
-                                       "' for 'legacy_placement_sampling'");
+            return setError(error,
+                            "unknown hotness key '" + sub + "'");
         }
         return true;
+    }
+
+    // --- Deprecated loose hotness keys (pre-`hotness` spellings) ---
+    if (key == "legacy_placement_sampling" || key == "adaptive" ||
+        key == "free_run_skip") {
+        warnLooseHotnessKey(key, key.c_str());
+        return applyScenarioParam(s, "hotness." + key, value, error);
+    }
+    if (key == "interval") {
+        warnLooseHotnessKey(key, "interval_ms");
+        return applyScenarioParam(s, "hotness.interval_ms", value,
+                                  error);
+    }
+    if (key == "pages_per_scan" || key == "hot_threshold") {
+        warnLooseHotnessKey(key, key.c_str());
+        return applyScenarioParam(s, "hotness." + key, value, error);
     }
     if (key == "profiling") {
         if (value == "true" || value == "1") {

@@ -5,9 +5,8 @@
  * A Scenario is a plain value describing one complete experiment:
  * host tiers (FastMem capacity, SlowMem throttle factors or an
  * explicit tier spec), the shared LLC, guest sizing, the management
- * approach under test, and the workload. It replaces the old
- * RunSpec/HostConfig/GuestSizing triplication — benches and tests
- * build one Scenario and hand it to core::run() or a core::Sweep.
+ * approach under test, and the workload. Benches and tests build one
+ * Scenario and hand it to core::run() or a core::Sweep.
  *
  * Scenarios are fluently buildable,
  *
@@ -30,6 +29,7 @@
 
 #include "core/hetero_system.hh"
 #include "sim/json.hh"
+#include "vmm/hotness_tracker.hh"
 #include "workload/apps.hh"
 
 namespace hos::core {
@@ -65,6 +65,49 @@ const char *appKey(workload::AppId id);
 std::optional<workload::AppId> parseApp(const std::string &key);
 
 /**
+ * Structured hotness-tracking selection and tuning — the scenario's
+ * `hotness` JSON object and the `hotness.*` sweep-axis keys.
+ *
+ * Every knob is optional: an unset field keeps the approach's own
+ * default (VMM-exclusive and coordinated ship different scan budgets
+ * and per-PTE costs), so `{}` changes nothing and a spec carrying only
+ * `backend` swaps the tracker without disturbing the approach tuning.
+ */
+struct HotnessSpec
+{
+    /** Tracker backend key: "pte_scan" (default) or "region". */
+    std::string backend = "pte_scan";
+
+    std::optional<double> interval_ms;
+    std::optional<std::uint64_t> pages_per_scan;
+    std::optional<std::uint32_t> hot_threshold;
+    std::optional<bool> adaptive;
+    std::optional<bool> free_run_skip;
+
+    // Region-backend knobs (see vmm::HotnessConfig for semantics).
+    std::optional<std::uint32_t> region_min;
+    std::optional<std::uint32_t> region_max;
+    std::optional<std::uint32_t> region_probes;
+    std::optional<std::uint64_t> region_min_pages;
+    std::optional<double> region_split_threshold;
+    std::optional<std::uint32_t> region_merge_heat_delta;
+
+    /**
+     * Run the workload engine's legacy per-phase placement sampling
+     * instead of the incremental ResidencyIndex. Bit-identical by
+     * construction; kept as the cross-check the golden-determinism
+     * test and perf benchmarks compare against.
+     */
+    bool legacy_placement_sampling = false;
+
+    /** True when nothing deviates from the defaults (JSON elision). */
+    bool isDefault() const;
+
+    /** Overlay the set fields onto an approach's base config. */
+    vmm::HotnessConfig apply(vmm::HotnessConfig base) const;
+};
+
+/**
  * One complete experiment description. Field defaults encode the
  * paper's Section 5.1 testbed: 4 GiB DRAM FastMem, 8 GiB L:5,B:9
  * throttled SlowMem, 16 MiB LLC, HeteroOS-LRU on GraphChi.
@@ -98,12 +141,11 @@ struct Scenario
     std::optional<mem::MemTierSpec> slow_override;
 
     /**
-     * Run the workload engine's legacy per-phase placement sampling
-     * instead of the incremental ResidencyIndex. Bit-identical by
-     * construction; kept as the cross-check the golden-determinism
-     * test and perf benchmarks compare against.
+     * Hotness-tracking backend selection and tuning. The default spec
+     * is "whatever the approach would do on its own" — serialized
+     * scenarios only carry it when something was overridden.
      */
-    bool legacy_placement_sampling = false;
+    HotnessSpec hotness;
 
     /**
      * Enable hos::prof span profiling for the run: the system gets a
@@ -151,9 +193,19 @@ struct Scenario
         slow_override = std::move(spec);
         return *this;
     }
+    Scenario &withHotness(HotnessSpec spec)
+    {
+        hotness = std::move(spec);
+        return *this;
+    }
+    Scenario &withHotnessBackend(std::string backend)
+    {
+        hotness.backend = std::move(backend);
+        return *this;
+    }
     Scenario &withLegacySampling(bool on = true)
     {
-        legacy_placement_sampling = on;
+        hotness.legacy_placement_sampling = on;
         return *this;
     }
     Scenario &withProfiling(bool on = true)

@@ -52,7 +52,7 @@ CoordinatedPolicy::attach(vmm::Vmm &vmm, vmm::VmId id,
                           guestos::GuestKernel &kernel)
 {
     auto &vm = vmm.vm(id);
-    tracker_ = std::make_unique<vmm::HotnessTracker>(vm, cfg_.hotness);
+    tracker_ = vmm::makeHotnessTracker(vm, cfg_.hotness);
     if (cfg_.os_guided) {
         tracker_->guideWith(&ring_);
         publishDirectives(kernel);

@@ -44,7 +44,7 @@ VmmExclusivePolicy::attach(vmm::Vmm &vmm, vmm::VmId id,
                            guestos::GuestKernel &kernel)
 {
     auto &vm = vmm.vm(id);
-    tracker_ = std::make_unique<vmm::HotnessTracker>(vm, hotness_);
+    tracker_ = vmm::makeHotnessTracker(vm, hotness_);
     engine_ = std::make_unique<vmm::MigrationEngine>(vmm);
 
     // The guest's view of node types is a lie; truth is the P2M.

@@ -33,7 +33,7 @@ constexpr const char *kSpanNames[numSpanKinds] = {
     "remap",           "tlb_shootdown",    "scan_pass",
     "chunk_walk",      "reclaim_pass",     "writeback_pass",
     "drf_round",       "reallocation",     "balloon_op",
-    "swap_op",
+    "swap_op",         "region_sample",    "region_adjust",
 };
 
 /**

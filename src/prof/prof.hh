@@ -81,9 +81,11 @@ enum class SpanKind : std::uint8_t {
     Reallocation,       ///< DRF reclaim loop redistributing frames
     BalloonOp,          ///< one balloon inflate/deflate/reclaim op
     SwapOp,             ///< swap-out fallback inside a balloon op
+    RegionSample,       ///< region-backend probe sampling inside a scan
+    RegionAdjust,       ///< region split/merge bookkeeping inside a scan
 };
 
-constexpr std::size_t numSpanKinds = 13;
+constexpr std::size_t numSpanKinds = 15;
 
 /** Stable lower-case name ("migration_epoch"), used in span paths. */
 const char *spanKindName(SpanKind k);

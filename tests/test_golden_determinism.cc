@@ -54,6 +54,33 @@ goldenMatrix()
     return matrix;
 }
 
+TEST(GoldenDeterminism, PteScanMatchesPrePluggableBackends)
+{
+    // Fingerprints captured at the commit immediately before the
+    // HotnessTracker interface extraction. The pte_scan backend is a
+    // pure code motion of the old concrete tracker, so the refactor
+    // (and backend selection via the scenario hotness spec) must not
+    // move a single bit of any golden-matrix result.
+    const char *pinned[] = {
+        "GraphChi|34468671|8|0.034468670999999999|time(sec)"
+        "|240000000|317304|1.3221000000000001",
+        "GraphChi|45152182|8|0.045152181999999999|time(sec)"
+        "|240000000|317304|1.3221000000000001",
+        "GraphChi|34468671|8|0.034468670999999999|time(sec)"
+        "|240000000|317304|1.3221000000000001",
+    };
+    const auto matrix = goldenMatrix();
+    ASSERT_EQ(matrix.size(), std::size(pinned));
+    for (std::size_t i = 0; i < matrix.size(); ++i) {
+        core::Scenario s = matrix[i];
+        // Selecting pte_scan explicitly must be a no-op vs default.
+        s.withHotnessBackend("pte_scan");
+        EXPECT_EQ(fingerprint(core::run(s)), pinned[i])
+            << "pte_scan diverged from the pre-interface tracker: "
+            << s.label();
+    }
+}
+
 TEST(GoldenDeterminism, SameScenarioTwiceIsBitIdentical)
 {
     for (const core::Scenario &s : goldenMatrix()) {

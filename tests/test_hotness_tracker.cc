@@ -1,15 +1,16 @@
 /**
  * @file
- * HotnessTracker: full-VM sweeps, heat EWMA, hot thresholding,
+ * PteScanTracker: full-VM sweeps, heat EWMA, hot thresholding,
  * OS-guided scanning with exception lists, cost charging, and the
- * Equation 1 adaptive interval.
+ * Equation 1 adaptive interval (base-class behavior shared by every
+ * HotnessTracker backend).
  */
 
 #include <gtest/gtest.h>
 
 #include "guestos/kernel.hh"
 #include "mem/machine_memory.hh"
-#include "vmm/hotness_tracker.hh"
+#include "vmm/hotness_pte.hh"
 #include "vmm/vmm.hh"
 
 namespace {
@@ -60,7 +61,7 @@ TEST_F(TrackerFixture, HeatRisesOnRepeatedAccess)
     auto pages = allocPages(64, guestos::MemHint::SlowMem);
     vmm::HotnessConfig cfg;
     cfg.pages_per_scan = 100000;
-    vmm::HotnessTracker tracker(hypervisor->vm(id), cfg);
+    vmm::PteScanTracker tracker(hypervisor->vm(id), cfg);
 
     for (int round = 0; round < 3; ++round) {
         for (auto pfn : pages)
@@ -79,7 +80,7 @@ TEST_F(TrackerFixture, ColdPagesNeverGetHot)
     allocPages(64, guestos::MemHint::SlowMem);
     vmm::HotnessConfig cfg;
     cfg.pages_per_scan = 100000;
-    vmm::HotnessTracker tracker(hypervisor->vm(id), cfg);
+    vmm::PteScanTracker tracker(hypervisor->vm(id), cfg);
     for (int round = 0; round < 4; ++round) {
         auto res = tracker.scanOnce();
         EXPECT_EQ(res.hot.size(), 0u);
@@ -89,7 +90,7 @@ TEST_F(TrackerFixture, ColdPagesNeverGetHot)
 TEST_F(TrackerFixture, ScanChargesCostToTheVm)
 {
     allocPages(256, guestos::MemHint::SlowMem);
-    vmm::HotnessTracker tracker(hypervisor->vm(id), {});
+    vmm::PteScanTracker tracker(hypervisor->vm(id), {});
     const auto before =
         guest->overheadTotal(guestos::OverheadKind::HotScan);
     auto res = tracker.scanOnce();
@@ -103,7 +104,7 @@ TEST_F(TrackerFixture, BatchLimitSweepsWithCursor)
     allocPages(300, guestos::MemHint::SlowMem);
     vmm::HotnessConfig cfg;
     cfg.pages_per_scan = 100;
-    vmm::HotnessTracker tracker(hypervisor->vm(id), cfg);
+    vmm::PteScanTracker tracker(hypervisor->vm(id), cfg);
     auto r1 = tracker.scanOnce();
     EXPECT_EQ(r1.pages_scanned, 100u);
     tracker.scanOnce();
@@ -130,7 +131,7 @@ TEST_F(TrackerFixture, GuidedScanHonorsRangesAndExceptions)
 
     vmm::HotnessConfig cfg;
     cfg.pages_per_scan = 100000;
-    vmm::HotnessTracker tracker(hypervisor->vm(id), cfg);
+    vmm::PteScanTracker tracker(hypervisor->vm(id), cfg);
     tracker.guideWith(&ring);
 
     for (auto pfn : pages)
@@ -146,7 +147,7 @@ TEST_F(TrackerFixture, AdaptiveIntervalFollowsEquationOne)
     vmm::HotnessConfig cfg;
     cfg.adaptive = true;
     cfg.interval = sim::milliseconds(100);
-    vmm::HotnessTracker tracker(hypervisor->vm(id), cfg);
+    vmm::PteScanTracker tracker(hypervisor->vm(id), cfg);
     auto &vm = hypervisor->vm(id);
 
     // Warm up the epoch-miss baseline.
@@ -175,7 +176,7 @@ TEST_F(TrackerFixture, AdaptiveIntervalClamps)
     cfg.adaptive = true;
     cfg.interval = sim::milliseconds(100);
     cfg.min_interval = sim::milliseconds(50);
-    vmm::HotnessTracker tracker(hypervisor->vm(id), cfg);
+    vmm::PteScanTracker tracker(hypervisor->vm(id), cfg);
     auto &vm = hypervisor->vm(id);
     std::uint64_t cum = 1000;
     vm.reportLlcMisses(cum);

@@ -72,6 +72,15 @@ matches=$(grep -rnE \
     | grep -v '^src/prof/' || true)
 findings "host clock outside src/prof/ — use sim time" "$matches"
 
+# Retired pre-Scenario API names: the deprecated RunSpec/runApp/
+# runFactory/hostFor shims were deleted; nothing may reintroduce them.
+# (-w: whole words, so benchmark::RunSpecifiedBenchmarks is fine.)
+matches=$(grep -rnwE 'RunSpec|runApp|runFactory|hostFor' \
+    src tests bench examples \
+    --include='*.cc' --include='*.hh' || true)
+findings "retired pre-Scenario API name — use core::Scenario/run()" \
+    "$matches"
+
 # --- 2. clang-tidy --------------------------------------------------------
 
 if command -v clang-tidy >/dev/null 2>&1; then
