@@ -325,6 +325,9 @@ HeteroLru::onIoComplete(const std::vector<Gpfn> &pages, bool writeback)
     // left alone.
     if (!writeback)
         return;
+    HOS_PROF_SPAN(reclaim_span, prof::SpanKind::ReclaimPass,
+                  kernel_.events(), 0,
+                  static_cast<std::uint8_t>(mem::MemType::FastMem));
     const bool pressure = fastMemUnderPressure();
     std::uint64_t demoted = 0;
     for (Gpfn pfn : pages) {
@@ -353,6 +356,9 @@ HeteroLru::onUnmapRelease(const std::vector<Gpfn> &file_pages)
         return;
     // Rule 1: a munmap released a contiguous region; its still-cached
     // file pages are deactivated and aggressively pushed to SlowMem.
+    HOS_PROF_SPAN(reclaim_span, prof::SpanKind::ReclaimPass,
+                  kernel_.events(), 0,
+                  static_cast<std::uint8_t>(mem::MemType::FastMem));
     std::uint64_t demoted = 0;
     for (Gpfn pfn : file_pages) {
         Page &p = kernel_.pageMeta(pfn);

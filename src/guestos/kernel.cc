@@ -388,6 +388,7 @@ GuestKernel::fileBackedPage(FileId file, std::uint64_t offset,
 {
     (void)process;
     (void)vaddr;
+    HOS_PROF_SPAN(io_span, prof::SpanKind::IoFill, events_);
     sim::Duration io_time = 0;
     const Gpfn pfn = page_cache_->mapPage(file, offset, hint, io_time);
     charge(OverheadKind::Io, io_time);

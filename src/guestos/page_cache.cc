@@ -36,8 +36,8 @@ PageCache::populate(FileMeta &meta, FileId file, std::uint64_t first_page,
     // (the device model rewards sequential transfers).
     std::vector<std::uint64_t> missing;
     for (std::uint64_t idx = first_page; idx <= last_page; ++idx) {
-        auto it = meta.pages.find(idx);
-        if (it != meta.pages.end()) {
+        auto it = meta.by_index_.find(idx);
+        if (it != meta.by_index_.end()) {
             hits_.inc();
             backing_.touchIoPage(it->second, for_write);
             res.pages.push_back(it->second);
@@ -63,7 +63,7 @@ PageCache::populate(FileMeta &meta, FileId file, std::uint64_t first_page,
                 res.disk_time += disk_.read(mem::pageSize, false);
             continue;
         }
-        meta.pages.emplace(idx, pfn);
+        meta.by_index_.emplace(idx, pfn);
         reverse_.emplace(pfn, ReverseEntry{file, idx});
         Page &p = pages_.page(pfn);
         p.under_io = true;
@@ -155,8 +155,8 @@ PageCache::mapPage(FileId file, std::uint64_t offset, MemHint hint,
     FileMeta &meta = files_[file];
     const std::uint64_t idx = offset / mem::pageSize;
 
-    auto it = meta.pages.find(idx);
-    if (it != meta.pages.end()) {
+    auto it = meta.by_index_.find(idx);
+    if (it != meta.by_index_.end()) {
         hits_.inc();
         backing_.touchIoPage(it->second, false);
         return it->second;
@@ -165,8 +165,8 @@ PageCache::mapPage(FileId file, std::uint64_t offset, MemHint hint,
     IoResult res;
     populate(meta, file, idx, idx, hint, res, false);
     io_time += res.disk_time;
-    auto again = meta.pages.find(idx);
-    return again == meta.pages.end() ? invalidGpfn : again->second;
+    auto again = meta.by_index_.find(idx);
+    return again == meta.by_index_.end() ? invalidGpfn : again->second;
 }
 
 sim::Duration
@@ -205,7 +205,7 @@ PageCache::evictPage(Gpfn pfn)
         return false;
 
     FileMeta &meta = files_[it->second.file];
-    meta.pages.erase(it->second.page_index);
+    meta.by_index_.erase(it->second.page_index);
     reverse_.erase(it);
     backing_.freeIoPage(pfn);
     return true;
@@ -220,7 +220,7 @@ PageCache::remapPage(Gpfn old_pfn, Gpfn new_pfn)
     reverse_.erase(it);
 
     FileMeta &meta = files_[entry.file];
-    meta.pages[entry.page_index] = new_pfn;
+    meta.by_index_[entry.page_index] = new_pfn;
     reverse_.emplace(new_pfn, entry);
 
     Page &oldp = pages_.page(old_pfn);

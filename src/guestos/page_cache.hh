@@ -141,7 +141,7 @@ class PageCache
         std::uint64_t size = 0;
         /** sequential-pattern detector; ~0 = no read yet */
         std::uint64_t last_read_end = ~std::uint64_t(0);
-        std::unordered_map<std::uint64_t, Gpfn> pages; ///< page idx -> gpfn
+        std::unordered_map<std::uint64_t, Gpfn> by_index_; ///< page idx -> gpfn
     };
 
     struct ReverseEntry

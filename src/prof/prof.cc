@@ -34,6 +34,7 @@ constexpr const char *kSpanNames[numSpanKinds] = {
     "chunk_walk",      "reclaim_pass",     "writeback_pass",
     "drf_round",       "reallocation",     "balloon_op",
     "swap_op",         "region_sample",    "region_adjust",
+    "io_fill",
 };
 
 /**

@@ -83,9 +83,10 @@ enum class SpanKind : std::uint8_t {
     SwapOp,             ///< swap-out fallback inside a balloon op
     RegionSample,       ///< region-backend probe sampling inside a scan
     RegionAdjust,       ///< region split/merge bookkeeping inside a scan
+    IoFill,             ///< file-backed page fill from modelled storage
 };
 
-constexpr std::size_t numSpanKinds = 15;
+constexpr std::size_t numSpanKinds = 16;
 
 /** Stable lower-case name ("migration_epoch"), used in span paths. */
 const char *spanKindName(SpanKind k);

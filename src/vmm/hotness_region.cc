@@ -317,6 +317,9 @@ RegionTracker::emitCandidates(ScanResult &res)
     const std::uint64_t budget = cfg_.promoteBudget(interval_);
     if (budget == 0 || regions_.empty())
         return 0;
+    HOS_PROF_SPAN(select_span, prof::SpanKind::CandidateSelect,
+                  kernel.events(),
+                  static_cast<std::uint16_t>(vm_.id()));
     // Materializing candidates means walking descriptors/PTEs inside
     // hot regions; bound that walk by configuration (not footprint) so
     // the backend's flat-cost contract holds even when hot regions are

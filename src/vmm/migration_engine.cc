@@ -108,6 +108,10 @@ MigrationEngine::coldestFastBacked(VmContext &vm, std::uint64_t n)
     std::vector<Gpfn> sample;
     const std::uint64_t sample_cap = std::max<std::uint64_t>(n * 4, 1024);
     sample.reserve(std::min<std::uint64_t>(sample_cap, fast.size()));
+    // The sample is fully re-sorted by heat below; bucket order only
+    // picks *which* pages get sampled, and the golden determinism
+    // suite pins that choice.
+    // hos-analyze: ordered-insensitive (re-sorted; goldens pin it)
     for (Gpfn pfn : fast) {
         sample.push_back(pfn);
         if (sample.size() >= sample_cap)

@@ -184,6 +184,10 @@ Vmm::populatePages(VmContext &vm, unsigned guest_node,
         if (frames.empty())
             break;
         for (mem::Mfn mfn : frames) {
+            // Populate, not a retarget: the guest rings xray via
+            // onAlloc when it hands the frame out, and the recorder
+            // skips frames it is not tracking.
+            // hos-analyze: tier-xray (populate; guest onAlloc rings)
             vm.p2m_.set(gpfns[idx], mfn, tier);
             if (tier == mem::MemType::FastMem)
                 vm.fast_backed_.insert(gpfns[idx]);
@@ -210,6 +214,9 @@ Vmm::unpopulatePages(VmContext &vm, unsigned guest_node,
         machine_.nodeOfMfn(mfn).freeFrame(mfn);
         if (vm.p2m_.tierOf(gpfn) == mem::MemType::FastMem)
             vm.fast_backed_.erase(gpfn);
+        // Unpopulate, not a retarget: the guest rang xray via onFree
+        // before releasing the frame.
+        // hos-analyze: tier-xray (unpopulate; guest onFree rang)
         vm.p2m_.clear(gpfn);
     }
     trace::emit(trace::EventType::HypercallUnpopulate,

@@ -49,12 +49,12 @@ namespace {
 
 constexpr const char *kSchema = "hos-xray-1";
 
-double
-ratio(std::uint64_t num, std::uint64_t den)
+/** num/den in basis points (1/10000), integer-exact: src/xray emits
+ *  no floating point, so reports are byte-identical across builds. */
+std::uint64_t
+ratioBp(std::uint64_t num, std::uint64_t den)
 {
-    return den == 0 ? 0.0
-                    : static_cast<double>(num) /
-                          static_cast<double>(den);
+    return den == 0 ? 0 : num * 10000 / den;
 }
 
 void
@@ -203,17 +203,17 @@ writeXrayReport(sim::JsonWriter &w, const XrayReport &report)
         w.kv("live_pages", live);
         w.kv("hot_total", hot_total);
         w.kv("hot_misplaced", v.hotMisplaced());
-        w.kv("hot_misplaced_frac",
-             ratio(v.hotMisplaced(), hot_total));
+        w.kv("hot_misplaced_bp",
+             ratioBp(v.hotMisplaced(), hot_total));
         w.kv("cold_in_fast", v.coldInFast());
-        w.kv("cold_in_fast_frac",
-             ratio(v.coldInFast(), v.tiers[fastTier].pages));
+        w.kv("cold_in_fast_bp",
+             ratioBp(v.coldInFast(), v.tiers[fastTier].pages));
         w.kv("heat_mass", v.heatMassTotal());
         w.kv("misplaced_heat_mass", v.misplacedHeatMass());
-        w.kv("misplaced_heat_frac",
-             ratio(v.misplacedHeatMass(),
-                   v.tiers[fastTier].hot_heat_mass +
-                       v.misplacedHeatMass()));
+        w.kv("misplaced_heat_bp",
+             ratioBp(v.misplacedHeatMass(),
+                     v.tiers[fastTier].hot_heat_mass +
+                         v.misplacedHeatMass()));
         w.endObject();
 
         w.key("decisions");

@@ -1,0 +1,11 @@
+// Fixture: charge-span. A kernel charge with no HOS_PROF_SPAN
+// anywhere in the enclosing function. Never compiled.
+struct Kernel;
+enum class OverheadKind { Io };
+void charge(Kernel &k, OverheadKind kind, long cost);
+
+void
+fillPage(Kernel &kernel)
+{
+    kernel.charge(OverheadKind::Io, 125);
+}

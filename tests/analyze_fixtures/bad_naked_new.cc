@@ -1,0 +1,13 @@
+// Fixture: naked-new. Raw owning new instead of make_unique. Never
+// compiled.
+struct Tracker {
+    int x = 0;
+};
+
+Tracker *
+makeTracker()
+{
+    Tracker *t = new Tracker();
+    (void)t;
+    return new Tracker();
+}

@@ -1,0 +1,12 @@
+// Fixture: ptr-hash. Hashing a pointer hashes its address. Never
+// compiled.
+#include <cstddef>
+#include <functional>
+
+struct Page;
+
+std::size_t
+hashPage(Page *p)
+{
+    return std::hash<Page *>{}(p);
+}

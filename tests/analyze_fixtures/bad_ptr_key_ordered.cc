@@ -1,0 +1,7 @@
+// Fixture: ptr-key-ordered. std::map keyed on a raw pointer orders by
+// allocation address. Never compiled.
+#include <map>
+
+struct Vm;
+
+std::map<Vm *, int> runnable_;

@@ -1,0 +1,9 @@
+// Fixture: raw-assert. assert() compiles out under NDEBUG; sim code
+// must use hos_assert. Never compiled.
+#include <cassert>
+
+void
+checkFrames(int frames)
+{
+    assert(frames >= 0);
+}

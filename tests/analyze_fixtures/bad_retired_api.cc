@@ -1,0 +1,9 @@
+// Fixture: retired-api. Pre-Scenario API names that were removed in
+// the Scenario redesign. Never compiled.
+struct RunSpec;
+
+void
+launch(RunSpec &spec)
+{
+    runApp(spec);
+}

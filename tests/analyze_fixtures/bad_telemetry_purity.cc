@@ -1,0 +1,17 @@
+// Fixture: telemetry-purity. Mutating calls in telemetry-only
+// regions: a HOS_XRAY_LEVEL preprocessor guard and an
+// xray::active() observation block. Never compiled.
+struct Kernel;
+enum class OverheadKind { HotScan };
+
+void
+observe(Kernel &kernel)
+{
+    HOS_PROF_SPAN(span, prof::SpanKind::ScanPass, kernel.events());
+#if HOS_XRAY_LEVEL >= 1
+    kernel.charge(OverheadKind::HotScan, 7);
+#endif
+    if (xray::active()) {
+        kernel.demotePage(42);
+    }
+}

@@ -1,0 +1,11 @@
+// Fixture: tier-xray. A P2M retarget with no onTierChange/onGuestMove
+// in the enclosing function. Never compiled.
+struct P2m;
+struct VmContext;
+
+void
+retargetOne(VmContext &vm, unsigned long gpfn, unsigned long mfn,
+            int tier)
+{
+    vm.p2m_.set(gpfn, mfn, tier);
+}

@@ -1,0 +1,15 @@
+// Fixture: unordered-iter. Range-for over a local std::unordered_map
+// and an explicit .begin() on it. Never compiled.
+#include <unordered_map>
+
+int
+sumAll()
+{
+    std::unordered_map<int, int> counts;
+    int total = 0;
+    for (auto &kv : counts)
+        total += kv.second;
+    auto it = counts.begin();
+    (void)it;
+    return total;
+}

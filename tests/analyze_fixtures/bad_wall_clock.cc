@@ -1,0 +1,11 @@
+// Fixture: wall-clock. Host clocks in simulation code diverge under
+// the parallel sweep runner. Never compiled.
+#include <chrono>
+#include <cstdint>
+
+std::uint64_t
+stampNow()
+{
+    const auto t = std::chrono::steady_clock::now();
+    return static_cast<std::uint64_t>(t.time_since_epoch().count());
+}

@@ -1,0 +1,9 @@
+// Fixture: xray-int. Floating point in src/xray (the test lexes this
+// under a virtual src/xray/ path). Never compiled.
+double
+misplacedFrac(unsigned long num, unsigned long den)
+{
+    return den == 0 ? 0.0
+                    : static_cast<double>(num) /
+                          static_cast<float>(den);
+}

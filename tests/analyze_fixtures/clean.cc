@@ -1,0 +1,67 @@
+// Fixture: the near-misses. Every pattern here is legal and must not
+// trip any rule — ordered iteration, declaration shapes that look
+// like calls, structured hotness keys, spanned charges. Never
+// compiled.
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+struct Kernel;
+enum class OverheadKind { Io };
+
+// A charge *declaration* binds a parameter, not an enumerator: not a
+// call site, must not trip charge-span.
+void charge(OverheadKind kind, long cost);
+
+struct Tracker {
+    int x = 0;
+};
+
+int
+orderedWalk()
+{
+    std::map<int, int> counts;
+    int total = 0;
+    for (auto &kv : counts)
+        total += kv.second;
+    return total;
+}
+
+int
+pointLookups()
+{
+    // Unordered state is fine as long as nothing iterates it.
+    std::unordered_map<int, int> heat;
+    heat[3] = 7;
+    auto it = heat.find(3);
+    return it == heat.end() ? 0 : it->second;
+}
+
+std::unique_ptr<Tracker>
+makeTracker()
+{
+    hos_assert(true, "ownership is typed");
+    return std::make_unique<Tracker>();
+}
+
+void
+spannedCharge(Kernel &kernel)
+{
+    HOS_PROF_SPAN(span, prof::SpanKind::IoFill, kernel.events());
+    kernel.charge(OverheadKind::Io, 125);
+}
+
+void
+rungRetarget(VmContext &vm, unsigned long gpfn, unsigned long mfn,
+             int tier)
+{
+    vm.p2m_.set(gpfn, mfn, tier);
+    vm.xray().onTierChange(gpfn, tier);
+}
+
+const char *
+structuredKeys()
+{
+    // Structured spellings and longer words that embed a loose key.
+    return "hotness.interval_ms=75 scan_interval=5 --stats-interval=9";
+}

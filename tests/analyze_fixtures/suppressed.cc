@@ -1,0 +1,17 @@
+// Fixture: real violations silenced by suppression comments — both
+// the preceding-line and same-line forms, plus the
+// ordered-insensitive alias for unordered-iter. Never compiled.
+#include <cassert>
+#include <unordered_map>
+
+int
+sampleAny()
+{
+    std::unordered_map<int, int> counts;
+    int total = 0;
+    // hos-analyze: ordered-insensitive (fixture: order truly unused)
+    for (auto &kv : counts)
+        total += kv.second;
+    assert(total >= 0); // hos-analyze: raw-assert (fixture)
+    return total;
+}

@@ -333,21 +333,27 @@ TEST(HotnessSpec, SweepAxisKeysAndDeprecatedShims)
         core::applyScenarioParam(s, "hotness.bogus", "1", &err));
 
     // Deprecated loose keys still parse, into the structured spec.
+    // This block deliberately exercises the compatibility shims.
     core::Scenario old;
     EXPECT_TRUE(core::applyScenarioParam(
+        // hos-analyze: loose-hotness-key (shim under test)
         old, "legacy_placement_sampling", "1", &err));
     EXPECT_TRUE(old.hotness.legacy_placement_sampling);
+    // hos-analyze: loose-hotness-key (shim under test)
     EXPECT_TRUE(core::applyScenarioParam(old, "interval", "75", &err));
     ASSERT_TRUE(old.hotness.interval_ms.has_value());
     EXPECT_DOUBLE_EQ(*old.hotness.interval_ms, 75.0);
     EXPECT_TRUE(
+        // hos-analyze: loose-hotness-key (shim under test)
         core::applyScenarioParam(old, "hot_threshold", "90", &err));
     EXPECT_EQ(old.hotness.hot_threshold, 90u);
+    // hos-analyze: loose-hotness-key (shim under test)
     EXPECT_TRUE(core::applyScenarioParam(old, "adaptive", "true", &err));
     EXPECT_EQ(old.hotness.adaptive, true);
 
     // And the old top-level JSON shape still loads.
     const auto doc = sim::jsonParse(
+        // hos-analyze: loose-hotness-key (old JSON shape under test)
         R"({"app": "graphchi", "legacy_placement_sampling": true})");
     ASSERT_TRUE(doc.has_value());
     const auto parsed = core::scenarioFromJson(*doc, &err);

@@ -1,0 +1,446 @@
+#include "lexer.hh"
+
+#include <cctype>
+
+namespace hos::analyze {
+
+namespace {
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** One rule id: lower-case letters, digits, dashes. */
+bool
+isRuleId(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    for (char c : s) {
+        if (!(std::islower(static_cast<unsigned char>(c)) ||
+              std::isdigit(static_cast<unsigned char>(c)) || c == '-')) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = s.find_first_not_of(" \t");
+    if (b == std::string::npos)
+        return "";
+    std::size_t e = s.find_last_not_of(" \t");
+    return s.substr(b, e - b + 1);
+}
+
+/**
+ * Incremental lexer state. Walks the raw text once; lines, tokens,
+ * suppressions, and the preprocessor stack are built in the same
+ * pass so every token is stamped with line/column/guard.
+ */
+class Lexer
+{
+  public:
+    Lexer(std::string path, const std::string &text)
+        : text_(text)
+    {
+        out_.path = std::move(path);
+        out_.guards.push_back({}); // guard 0: empty stack
+        splitLines();
+    }
+
+    LexedFile run()
+    {
+        while (pos_ < text_.size())
+            step();
+        return std::move(out_);
+    }
+
+  private:
+    void splitLines()
+    {
+        std::string cur;
+        for (char c : text_) {
+            if (c == '\n') {
+                out_.lines.push_back(cur);
+                cur.clear();
+            } else {
+                cur += c;
+            }
+        }
+        if (!cur.empty())
+            out_.lines.push_back(cur);
+    }
+
+    char peek(std::size_t ahead = 0) const
+    {
+        return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+    }
+
+    char take()
+    {
+        char c = text_[pos_++];
+        if (c == '\n') {
+            ++line_;
+            col_ = 1;
+        } else {
+            ++col_;
+        }
+        return c;
+    }
+
+    std::uint32_t guardId()
+    {
+        if (stack_dirty_) {
+            // Intern the current stack (linear scan; stacks are tiny
+            // and distinct stacks per file are few).
+            for (std::size_t i = 0; i < out_.guards.size(); ++i) {
+                if (out_.guards[i] == cond_stack_) {
+                    guard_id_ = static_cast<std::uint32_t>(i);
+                    stack_dirty_ = false;
+                    return guard_id_;
+                }
+            }
+            out_.guards.push_back(cond_stack_);
+            guard_id_ =
+                static_cast<std::uint32_t>(out_.guards.size() - 1);
+            stack_dirty_ = false;
+        }
+        return guard_id_;
+    }
+
+    void emit(Token::Kind k, std::string text, int line, int col)
+    {
+        Token t;
+        t.kind = k;
+        t.text = std::move(text);
+        t.line = line;
+        t.col = col;
+        t.guard = guardId();
+        out_.tokens.push_back(std::move(t));
+    }
+
+    /** Record `hos-analyze:` markers found in comment text. Rule ids
+     *  are read until the first word that is not a bare id, so a
+     *  trailing `(rationale ...)` never parses as a rule name. */
+    void recordSuppressions(const std::string &comment, int line)
+    {
+        const std::string marker = "hos-analyze:";
+        std::size_t at = comment.find(marker);
+        if (at == std::string::npos)
+            return;
+        std::size_t p = at + marker.size();
+        std::set<std::string> &ids = out_.suppressions[line];
+        while (p < comment.size()) {
+            while (p < comment.size() &&
+                   (comment[p] == ' ' || comment[p] == ',' ||
+                    comment[p] == '\t')) {
+                ++p;
+            }
+            std::size_t e = p;
+            while (e < comment.size() && comment[e] != ' ' &&
+                   comment[e] != ',' && comment[e] != '\t') {
+                ++e;
+            }
+            if (e == p)
+                break;
+            std::string id = comment.substr(p, e - p);
+            if (!isRuleId(id))
+                break; // rationale text starts here
+            if (id == "ordered-insensitive")
+                id = "unordered-iter";
+            ids.insert(id);
+            p = e;
+        }
+        if (ids.empty())
+            out_.suppressions.erase(line);
+    }
+
+    void lineComment()
+    {
+        const int start = line_;
+        std::string body;
+        take(); // '/'
+        take(); // '/'
+        while (pos_ < text_.size() && peek() != '\n')
+            body += take();
+        recordSuppressions(body, start);
+    }
+
+    void blockComment()
+    {
+        const int start = line_;
+        std::string body;
+        take(); // '/'
+        take(); // '*'
+        while (pos_ < text_.size()) {
+            if (peek() == '*' && peek(1) == '/') {
+                take();
+                take();
+                break;
+            }
+            body += take();
+        }
+        recordSuppressions(body, start);
+    }
+
+    void stringLit()
+    {
+        const int line = line_, col = col_;
+        std::string body;
+        take(); // opening quote
+        while (pos_ < text_.size()) {
+            char c = peek();
+            if (c == '\\') {
+                body += take();
+                if (pos_ < text_.size())
+                    body += take();
+                continue;
+            }
+            if (c == '"') {
+                take();
+                break;
+            }
+            body += take();
+        }
+        emit(Token::Kind::Str, body, line, col);
+    }
+
+    void rawStringLit()
+    {
+        const int line = line_, col = col_;
+        take(); // 'R'
+        take(); // '"'
+        std::string delim;
+        while (pos_ < text_.size() && peek() != '(')
+            delim += take();
+        if (pos_ < text_.size())
+            take(); // '('
+        const std::string close = ")" + delim + "\"";
+        std::string body;
+        while (pos_ < text_.size()) {
+            if (text_.compare(pos_, close.size(), close) == 0) {
+                for (std::size_t i = 0; i < close.size(); ++i)
+                    take();
+                break;
+            }
+            body += take();
+        }
+        emit(Token::Kind::Str, body, line, col);
+    }
+
+    void charLit()
+    {
+        const int line = line_, col = col_;
+        std::string body;
+        take(); // opening quote
+        while (pos_ < text_.size()) {
+            char c = peek();
+            if (c == '\\') {
+                body += take();
+                if (pos_ < text_.size())
+                    body += take();
+                continue;
+            }
+            if (c == '\'') {
+                take();
+                break;
+            }
+            body += take();
+        }
+        emit(Token::Kind::CharLit, body, line, col);
+    }
+
+    /** Consume one logical preprocessor line (with continuations) and
+     *  update the conditional stack. Directive tokens are not emitted:
+     *  rules reason about compiled code, not macro bodies. */
+    void directive()
+    {
+        std::string body;
+        while (pos_ < text_.size()) {
+            char c = peek();
+            if (c == '\\' && peek(1) == '\n') {
+                take();
+                take();
+                body += ' ';
+                continue;
+            }
+            if (c == '\n')
+                break;
+            // Strip comments inside the directive.
+            if (c == '/' && peek(1) == '/') {
+                lineComment();
+                break;
+            }
+            if (c == '/' && peek(1) == '*') {
+                blockComment();
+                body += ' ';
+                continue;
+            }
+            body += take();
+        }
+        body = trim(body);
+        if (body.empty() || body[0] != '#')
+            return;
+        std::string rest = trim(body.substr(1));
+        auto word = [&](const std::string &w) {
+            return rest.compare(0, w.size(), w) == 0 &&
+                   (rest.size() == w.size() ||
+                    !identChar(rest[w.size()]));
+        };
+        auto arg = [&](std::size_t skip) {
+            return trim(rest.substr(skip));
+        };
+        if (word("ifdef")) {
+            push("defined(" + arg(5) + ")");
+        } else if (word("ifndef")) {
+            push("!defined(" + arg(6) + ")");
+        } else if (word("if")) {
+            push(arg(2));
+        } else if (word("elif")) {
+            replaceTop(arg(4));
+        } else if (word("else")) {
+            if (!cond_stack_.empty())
+                replaceTop("!(" + cond_stack_.back() + ")");
+        } else if (word("endif")) {
+            if (!cond_stack_.empty()) {
+                cond_stack_.pop_back();
+                stack_dirty_ = true;
+            }
+        }
+    }
+
+    void push(std::string cond)
+    {
+        cond_stack_.push_back(std::move(cond));
+        stack_dirty_ = true;
+    }
+
+    void replaceTop(std::string cond)
+    {
+        if (cond_stack_.empty())
+            cond_stack_.push_back(std::move(cond));
+        else
+            cond_stack_.back() = std::move(cond);
+        stack_dirty_ = true;
+    }
+
+    void step()
+    {
+        char c = peek();
+        if (c == '/' && peek(1) == '/') {
+            lineComment();
+            return;
+        }
+        if (c == '/' && peek(1) == '*') {
+            blockComment();
+            return;
+        }
+        if (c == '#' && at_line_start_token_) {
+            directive();
+            return;
+        }
+        if (c == '"') {
+            stringLit();
+            at_line_start_token_ = false;
+            return;
+        }
+        if (c == 'R' && peek(1) == '"') {
+            rawStringLit();
+            at_line_start_token_ = false;
+            return;
+        }
+        if (c == '\'') {
+            charLit();
+            at_line_start_token_ = false;
+            return;
+        }
+        if (c == '\n') {
+            take();
+            at_line_start_token_ = true;
+            return;
+        }
+        if (c == ' ' || c == '\t' || c == '\r') {
+            take();
+            return;
+        }
+        at_line_start_token_ = false;
+        if (identStart(c)) {
+            const int line = line_, col = col_;
+            std::string id;
+            while (pos_ < text_.size() && identChar(peek()))
+                id += take();
+            emit(Token::Kind::Ident, std::move(id), line, col);
+            return;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' &&
+             std::isdigit(static_cast<unsigned char>(peek(1))))) {
+            const int line = line_, col = col_;
+            std::string num;
+            while (pos_ < text_.size() &&
+                   (identChar(peek()) || peek() == '.' ||
+                    ((peek() == '+' || peek() == '-') && !num.empty() &&
+                     (num.back() == 'e' || num.back() == 'E' ||
+                      num.back() == 'p' || num.back() == 'P')))) {
+                num += take();
+            }
+            emit(Token::Kind::Number, std::move(num), line, col);
+            return;
+        }
+        // Punctuation. `::` is kept whole (rules match qualified
+        // names constantly); everything else is a single character.
+        const int line = line_, col = col_;
+        if (c == ':' && peek(1) == ':') {
+            take();
+            take();
+            emit(Token::Kind::Punct, "::", line, col);
+            return;
+        }
+        emit(Token::Kind::Punct, std::string(1, take()), line, col);
+    }
+
+    const std::string &text_;
+    LexedFile out_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+    int col_ = 1;
+    bool at_line_start_token_ = true;
+    std::vector<std::string> cond_stack_;
+    bool stack_dirty_ = true;
+    std::uint32_t guard_id_ = 0;
+};
+
+} // namespace
+
+bool
+LexedFile::guardMentions(const Token &t, const std::string &macro) const
+{
+    if (t.guard >= guards.size())
+        return false;
+    for (const std::string &cond : guards[t.guard]) {
+        if (cond.empty() || cond[0] == '!')
+            continue; // negated branch: the telemetry-OFF side
+        if (cond.find(macro) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+LexedFile
+lex(std::string path, const std::string &text)
+{
+    return Lexer(std::move(path), text).run();
+}
+
+} // namespace hos::analyze

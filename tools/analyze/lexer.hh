@@ -1,0 +1,79 @@
+/**
+ * @file
+ * C++ tokenizer for hos-analyze.
+ *
+ * A real lexer, not a grep: comments, string/char literals (including
+ * raw strings), and preprocessor directives are recognized, so rules
+ * never fire on text inside a comment or a string, and never miss a
+ * construct because of line-wrapping. Three side channels ride along
+ * with the token stream:
+ *
+ *  - suppressions: `// hos-analyze: <rule>[, <rule>...] (rationale)`
+ *    comments, recorded per line. A finding is suppressed when its
+ *    line or the line above carries a matching rule id (or `all`).
+ *    `ordered-insensitive` is an alias for `unordered-iter`, matching
+ *    the annotation language used in sim-state code.
+ *  - preprocessor conditionals: every token knows the stack of
+ *    `#if`/`#ifdef` conditions that guard it, so rules can reason
+ *    about telemetry-gated regions (HOS_PROF_LEVEL and friends).
+ *  - source lines: kept verbatim for excerpts in findings.
+ *
+ * Deliberately dependency-free (standard library only) so the gate
+ * can be bootstrapped by compiling the three .cc files with a bare
+ * `c++ -std=c++20` — no configure step needed.
+ */
+
+#ifndef HOS_TOOLS_ANALYZE_LEXER_HH
+#define HOS_TOOLS_ANALYZE_LEXER_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace hos::analyze {
+
+struct Token {
+    enum class Kind : std::uint8_t {
+        Ident,   ///< identifiers and keywords
+        Number,  ///< numeric literals
+        Str,     ///< string literal; text holds the *contents*
+        CharLit, ///< character literal
+        Punct,   ///< punctuation; `::` is one token, others one char
+    };
+
+    Kind kind;
+    std::string text;
+    int line = 0; ///< 1-based
+    int col = 0;  ///< 1-based
+    /** Index into LexedFile::guards for the active #if stack. */
+    std::uint32_t guard = 0;
+};
+
+struct LexedFile {
+    /** Path relative to the repo root ("src/vmm/vmm.cc"). */
+    std::string path;
+    std::vector<std::string> lines;
+    std::vector<Token> tokens;
+    /** line -> rule ids suppressed on that line. */
+    std::map<int, std::set<std::string>> suppressions;
+    /**
+     * Interned #if-condition stacks; guards[0] is the empty stack.
+     * Conditions are normalized text: `#ifdef X` -> "defined(X)",
+     * `#ifndef X` -> "!defined(X)", `#else` of C -> "!(C)".
+     */
+    std::vector<std::vector<std::string>> guards;
+
+    /** True when any condition guarding `t` mentions `macro` without
+     *  leading negation (i.e. the telemetry-ON branch). */
+    bool guardMentions(const Token &t, const std::string &macro) const;
+};
+
+/** Tokenize one translation unit. `path` is the repo-relative name
+ *  used in findings and for path-scoped rules. */
+LexedFile lex(std::string path, const std::string &text);
+
+} // namespace hos::analyze
+
+#endif // HOS_TOOLS_ANALYZE_LEXER_HH

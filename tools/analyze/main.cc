@@ -1,0 +1,337 @@
+/**
+ * @file
+ * hos-analyze — codebase-aware static analyzer for the HeteroOS
+ * simulator. See rules.hh for the rule catalog and DESIGN.md
+ * ("Static analysis") for rationale, suppression, and baseline
+ * policy.
+ *
+ * Usage:
+ *   hos-analyze [options] [paths...]
+ *     --root=DIR             repo root (default: .)
+ *     --json[=FILE]          emit the hos-analyze-1 JSON report
+ *                            (stdout when FILE is omitted)
+ *     --baseline=FILE        grandfathered findings to ignore
+ *     --write-baseline=FILE  write current findings as a baseline
+ *     --disable=RULE[,RULE]  switch rules off (fixture tests use this
+ *                            to prove each rule is live)
+ *     --list-rules           print rule ids and exit
+ *     -q                     suppress the per-finding text report
+ *
+ * With no paths, scans src/, tests/, bench/, examples/ under --root
+ * (tests/analyze_fixtures/ is skipped: those files are deliberately
+ * bad). Exit status: 0 clean, 1 findings, 2 usage/IO error.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rules.hh"
+
+namespace fs = std::filesystem;
+using namespace hos::analyze;
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+bool
+readFile(const fs::path &p, std::string &out)
+{
+    std::ifstream in(p, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+bool
+isSourceFile(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".hh";
+}
+
+/** Repo-relative path with '/' separators. */
+std::string
+relPath(const fs::path &p, const fs::path &root)
+{
+    std::string s = fs::relative(p, root).generic_string();
+    return s;
+}
+
+void
+gather(const fs::path &dir, const fs::path &root,
+       std::vector<fs::path> &out)
+{
+    if (!fs::exists(dir))
+        return;
+    for (auto it = fs::recursive_directory_iterator(dir);
+         it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_directory()) {
+            const std::string name = it->path().filename().string();
+            if (name == "analyze_fixtures" || name[0] == '.' ||
+                name.rfind("build", 0) == 0) {
+                it.disable_recursion_pending();
+            }
+            continue;
+        }
+        if (it->is_regular_file() && isSourceFile(it->path()))
+            out.push_back(it->path());
+    }
+    (void)root;
+}
+
+struct Args {
+    fs::path root = ".";
+    bool json = false;
+    std::string json_file;   // empty = stdout
+    std::string baseline;    // file to read
+    std::string write_baseline;
+    std::set<std::string> disabled;
+    bool quiet = false;
+    bool list_rules = false;
+    std::vector<std::string> paths;
+};
+
+bool
+parseArgs(int argc, char **argv, Args &a)
+{
+    auto eat = [](const std::string &arg, const char *prefix,
+                  std::string &out) {
+        const std::size_t n = std::string(prefix).size();
+        if (arg.compare(0, n, prefix) == 0) {
+            out = arg.substr(n);
+            return true;
+        }
+        return false;
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::string v;
+        if (eat(arg, "--root=", v)) {
+            a.root = v;
+        } else if (arg == "--json") {
+            a.json = true;
+        } else if (eat(arg, "--json=", v)) {
+            a.json = true;
+            a.json_file = v;
+        } else if (eat(arg, "--baseline=", v)) {
+            a.baseline = v;
+        } else if (eat(arg, "--write-baseline=", v)) {
+            a.write_baseline = v;
+        } else if (eat(arg, "--disable=", v)) {
+            std::size_t b = 0;
+            while (b < v.size()) {
+                std::size_t e = v.find(',', b);
+                if (e == std::string::npos)
+                    e = v.size();
+                if (e > b)
+                    a.disabled.insert(v.substr(b, e - b));
+                b = e + 1;
+            }
+        } else if (arg == "--list-rules") {
+            a.list_rules = true;
+        } else if (arg == "-q") {
+            a.quiet = true;
+        } else if (arg.size() > 1 && arg[0] == '-') {
+            std::fprintf(stderr, "hos-analyze: unknown option %s\n",
+                         arg.c_str());
+            return false;
+        } else {
+            a.paths.push_back(arg);
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args;
+    if (!parseArgs(argc, argv, args))
+        return 2;
+    if (args.list_rules) {
+        for (const std::string &r : ruleIds())
+            std::printf("%s\n", r.c_str());
+        return 0;
+    }
+
+    Options opts;
+    opts.disabled = args.disabled;
+    for (const std::string &r : opts.disabled) {
+        if (std::find(ruleIds().begin(), ruleIds().end(), r) ==
+            ruleIds().end()) {
+            std::fprintf(stderr, "hos-analyze: unknown rule '%s'\n",
+                         r.c_str());
+            return 2;
+        }
+    }
+
+    std::vector<fs::path> files;
+    if (args.paths.empty()) {
+        for (const char *d : {"src", "tests", "bench", "examples"})
+            gather(args.root / d, args.root, files);
+    } else {
+        for (const std::string &p : args.paths) {
+            const fs::path fp = args.root / p;
+            if (fs::is_directory(fp))
+                gather(fp, args.root, files);
+            else
+                files.push_back(fp);
+        }
+    }
+    std::sort(files.begin(), files.end());
+
+    std::vector<LexedFile> lexed;
+    lexed.reserve(files.size());
+    for (const fs::path &p : files) {
+        std::string text;
+        if (!readFile(p, text)) {
+            std::fprintf(stderr, "hos-analyze: cannot read %s\n",
+                         p.string().c_str());
+            return 2;
+        }
+        lexed.push_back(lex(relPath(p, args.root), text));
+    }
+
+    const GlobalNames names = collectNames(lexed);
+    std::vector<Finding> findings;
+    for (const LexedFile &f : lexed) {
+        auto fs_ = analyzeFile(f, names, opts);
+        findings.insert(findings.end(), fs_.begin(), fs_.end());
+    }
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  if (a.col != b.col)
+                      return a.col < b.col;
+                  return a.rule < b.rule;
+              });
+
+    std::set<std::string> baseline;
+    if (!args.baseline.empty()) {
+        std::string text;
+        if (!readFile(args.baseline, text)) {
+            std::fprintf(stderr, "hos-analyze: cannot read baseline %s\n",
+                         args.baseline.c_str());
+            return 2;
+        }
+        baseline = parseBaseline(text);
+    }
+
+    std::vector<const Finding *> active;
+    std::size_t grandfathered = 0;
+    for (const Finding &f : findings) {
+        if (baseline.count(baselineKey(f))) {
+            ++grandfathered;
+        } else {
+            active.push_back(&f);
+        }
+    }
+
+    if (!args.write_baseline.empty()) {
+        std::ofstream out(args.write_baseline);
+        if (!out) {
+            std::fprintf(stderr, "hos-analyze: cannot write %s\n",
+                         args.write_baseline.c_str());
+            return 2;
+        }
+        out << "# hos-analyze baseline: grandfathered findings.\n"
+            << "# One `rule|file|excerpt` key per line; remove lines\n"
+            << "# as the findings they cover are fixed.\n";
+        for (const Finding &f : findings)
+            out << baselineKey(f) << "\n";
+    }
+
+    if (!args.quiet) {
+        for (const Finding *f : active) {
+            std::printf("%s:%d:%d: [%s] %s\n    %s\n", f->file.c_str(),
+                        f->line, f->col, f->rule.c_str(),
+                        f->message.c_str(), f->excerpt.c_str());
+        }
+        std::printf("hos-analyze: %zu file(s), %zu finding(s)",
+                    lexed.size(), active.size());
+        if (grandfathered > 0)
+            std::printf(" (+%zu grandfathered)", grandfathered);
+        std::printf("\n");
+    }
+
+    if (args.json) {
+        std::map<std::string, std::size_t> counts;
+        for (const Finding *f : active)
+            ++counts[f->rule];
+        std::ostringstream j;
+        j << "{\n  \"schema\": \"hos-analyze-1\",\n";
+        j << "  \"files_scanned\": " << lexed.size() << ",\n";
+        j << "  \"grandfathered\": " << grandfathered << ",\n";
+        j << "  \"counts\": {";
+        bool first = true;
+        for (const auto &kv : counts) {
+            j << (first ? "" : ", ") << "\"" << jsonEscape(kv.first)
+              << "\": " << kv.second;
+            first = false;
+        }
+        j << "},\n  \"findings\": [";
+        first = true;
+        for (const Finding *f : active) {
+            j << (first ? "\n" : ",\n");
+            first = false;
+            j << "    {\"rule\": \"" << jsonEscape(f->rule)
+              << "\", \"file\": \"" << jsonEscape(f->file)
+              << "\", \"line\": " << f->line << ", \"col\": " << f->col
+              << ", \"message\": \"" << jsonEscape(f->message)
+              << "\", \"excerpt\": \"" << jsonEscape(f->excerpt)
+              << "\"}";
+        }
+        j << (active.empty() ? "" : "\n  ") << "]\n}\n";
+        if (args.json_file.empty()) {
+            std::fputs(j.str().c_str(), stdout);
+        } else {
+            std::ofstream out(args.json_file);
+            if (!out) {
+                std::fprintf(stderr, "hos-analyze: cannot write %s\n",
+                             args.json_file.c_str());
+                return 2;
+            }
+            out << j.str();
+        }
+    }
+
+    return active.empty() ? 0 : 1;
+}

@@ -6,13 +6,13 @@
 #   tools/lint.sh --fast   skip the header self-sufficiency compiles
 #
 # Checks:
-#   1. Banned constructs in src/:
-#        - raw assert()        -> use hos_assert (active in release,
-#                                 sim-tick stamped, throwable)
-#        - naked new           -> use std::make_unique / containers
-#        - wall-clock calls    -> simulation code must use sim time
-#                                 (sim::currentTick / EventQueue) only,
-#                                 or parallel-vs-serial runs diverge
+#   1. hos-analyze (tools/analyze/): the codebase-specific analyzer.
+#      This replaced the old grep-based banned-construct section —
+#      raw assert(), naked new, wall-clock calls, and retired API
+#      names are now token-aware rules there, alongside the
+#      determinism, instrumentation-completeness, and telemetry-purity
+#      rules greps could never express. See DESIGN.md "Static
+#      analysis" for the catalog.
 #   2. clang-tidy over src/ when a compile database and clang-tidy
 #      exist (skipped with a note otherwise; CI installs it).
 #   3. Header self-sufficiency: every header under src/ compiles as a
@@ -30,56 +30,39 @@ fail=0
 red() { printf '\033[31m%s\033[0m\n' "$*"; }
 note() { printf '%s\n' "$*"; }
 
-findings() {
-    # findings <label> <matches>
-    if [ -n "$2" ]; then
-        red "lint: $1"
-        printf '%s\n' "$2"
+# --- 1. hos-analyze -------------------------------------------------------
+
+cxx=${CXX:-c++}
+analyzer=""
+for candidate in build/tools/analyze/hos-analyze \
+                 build*/tools/analyze/hos-analyze; do
+    if [ -x "$candidate" ]; then
+        analyzer=$candidate
+        break
+    fi
+done
+if [ -z "$analyzer" ]; then
+    # No configured build yet: the analyzer is dependency-free by
+    # design, so bootstrap it with the bare compiler.
+    bootdir=$(mktemp -d)
+    trap 'rm -rf "$bootdir"' EXIT
+    note "lint: bootstrapping hos-analyze with $cxx"
+    if "$cxx" -std=c++20 -O1 -Itools/analyze \
+        tools/analyze/lexer.cc tools/analyze/rules.cc \
+        tools/analyze/main.cc -o "$bootdir/hos-analyze"; then
+        analyzer=$bootdir/hos-analyze
+    else
+        red "lint: could not build hos-analyze"
         fail=1
     fi
-}
-
-# --- 1. Banned constructs -------------------------------------------------
-
-# Raw assert(): hos_assert only (static_assert is fine).
-matches=$(grep -rnE '(^|[^_a-zA-Z.])assert\(' src \
-    --include='*.cc' --include='*.hh' \
-    | grep -vE 'hos_assert|static_assert|assertFail|//|\*' || true)
-findings "raw assert() — use hos_assert" "$matches"
-
-# Naked new: ownership must be typed (make_unique, containers).
-matches=$(grep -rnE '(=|return)[[:space:]]+new[[:space:]]' src \
-    --include='*.cc' --include='*.hh' || true)
-findings "naked new — use std::make_unique" "$matches"
-
-# Wall-clock time in simulation code: nondeterminism under the
-# parallel sweep runner. (Anchored on full names; "synchronous"
-# contains "chrono".) src/prof is the one sanctioned wall-clock site:
-# prof.cc samples steady_clock for host-time span costs at
-# HOS_PROF=host, and that time never enters determinism-checked
-# output (see prof/report.cc).
-matches=$(grep -rnE \
-    'std::chrono|gettimeofday|clock_gettime|[^_a-zA-Z]time\(NULL\)|[^_a-zA-Z]time\(nullptr\)|[^_a-zA-Z]time\(0\)' \
-    src --include='*.cc' --include='*.hh' \
-    | grep -v '^src/prof/' || true)
-findings "wall-clock call in sim code — use sim time" "$matches"
-
-# Clock types by name, in case they arrive without the std::chrono
-# qualifier (using-directives, aliases).
-matches=$(grep -rnE \
-    'steady_clock|system_clock|high_resolution_clock' \
-    src --include='*.cc' --include='*.hh' \
-    | grep -v '^src/prof/' || true)
-findings "host clock outside src/prof/ — use sim time" "$matches"
-
-# Retired pre-Scenario API names: the deprecated RunSpec/runApp/
-# runFactory/hostFor shims were deleted; nothing may reintroduce them.
-# (-w: whole words, so benchmark::RunSpecifiedBenchmarks is fine.)
-matches=$(grep -rnwE 'RunSpec|runApp|runFactory|hostFor' \
-    src tests bench examples \
-    --include='*.cc' --include='*.hh' || true)
-findings "retired pre-Scenario API name — use core::Scenario/run()" \
-    "$matches"
+fi
+if [ -n "$analyzer" ]; then
+    note "lint: running hos-analyze"
+    if ! "$analyzer" --root=.; then
+        red "lint: hos-analyze reported findings"
+        fail=1
+    fi
+fi
 
 # --- 2. clang-tidy --------------------------------------------------------
 
@@ -103,9 +86,8 @@ fi
 # --- 3. Header self-sufficiency -------------------------------------------
 
 if [ "$FAST" -eq 0 ]; then
-    cxx=${CXX:-c++}
     tmpdir=$(mktemp -d)
-    trap 'rm -rf "$tmpdir"' EXIT
+    trap 'rm -rf "$tmpdir" ${bootdir:-}' EXIT
     note "lint: checking header self-sufficiency with $cxx"
     while IFS= read -r hdr; do
         rel=${hdr#src/}
