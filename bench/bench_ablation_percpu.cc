@@ -31,7 +31,7 @@ allocRate(bool use_percpu, std::uint64_t rounds)
         auto &node = kernel.node(nid);
         auto gpfns = kernel.takeUnpopulatedGpfns(nid, node.spanPages());
         for (guestos::Gpfn pfn : gpfns) {
-            kernel.pageMeta(pfn).populated = true;
+            kernel.pageMeta(pfn).setPopulated(true);
             node.zoneOf(pfn).buddy().addFreeRange(pfn, 1);
         }
     }

@@ -13,6 +13,7 @@
 #include "guestos/page.hh"
 #include "guestos/page_table.hh"
 #include "mem/migration_cost.hh"
+#include "sim/event_queue.hh"
 
 using namespace hos;
 using namespace hos::guestos;
@@ -118,5 +119,88 @@ BM_MigrationCostModel(benchmark::State &state)
     }
 }
 BENCHMARK(BM_MigrationCostModel);
+
+void
+BM_BitmapFreeRunScan(benchmark::State &state)
+{
+    // The SoA allocated bitmap's word-at-a-time run scan, on a
+    // half-full array with alternating 64-page runs — the shape the
+    // full-VM hotness sweep hops across.
+    constexpr std::uint64_t n = 1 << 18;
+    PageArray pages(n);
+    for (Gpfn pfn = 0; pfn < n; ++pfn) {
+        if ((pfn >> 6) & 1)
+            pages.setAllocated(pfn, true);
+    }
+    for (auto _ : state) {
+        std::uint64_t free_pages = 0;
+        Gpfn pfn = 0;
+        while (pfn < n) {
+            const std::uint64_t run = pages.freeRunLength(pfn, n - pfn);
+            if (run > 0) {
+                free_pages += run;
+                pfn += run;
+            } else {
+                ++pfn;
+            }
+        }
+        benchmark::DoNotOptimize(free_pages);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BitmapFreeRunScan);
+
+void
+BM_PageRefFieldAccess(benchmark::State &state)
+{
+    // Field reads through the PageRef facade over the SoA columns —
+    // the inner loop of every scan and audit after the migration
+    // from the 80-byte struct Page.
+    constexpr std::uint64_t n = 1 << 16;
+    PageArray pages(n);
+    for (Gpfn pfn = 0; pfn < n; ++pfn) {
+        pages.setAllocated(pfn, true);
+        PageRef p = pages.page(pfn);
+        p.setType(PageType::Anon);
+        p.setHeat(static_cast<std::uint16_t>(pfn & 0xff));
+        p.setPteAccessed((pfn & 3) == 0);
+    }
+    for (auto _ : state) {
+        std::uint64_t hot = 0, accessed = 0;
+        for (Gpfn pfn = 0; pfn < n; ++pfn) {
+            const PageRef p = pages.page(pfn);
+            if (!p.allocated() || p.lru() != LruState::None)
+                continue;
+            if (p.pte_accessed())
+                ++accessed;
+            if (p.heat() >= 96)
+                ++hot;
+        }
+        benchmark::DoNotOptimize(hot + accessed);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PageRefFieldAccess);
+
+void
+BM_TimerWheelScheduleDispatch(benchmark::State &state)
+{
+    // The event queue's steady state: a few periodic daemons
+    // rescheduling themselves while the clock advances in chunks.
+    for (auto _ : state) {
+        sim::EventQueue q;
+        std::uint64_t fired = 0;
+        for (sim::Duration period : {250, 1000, 4096, 50000})
+            q.schedulePeriodic(period, [&fired](sim::Duration p) {
+                ++fired;
+                return p;
+            });
+        for (sim::Tick t = 100000; t <= 2000000; t += 100000)
+            q.runUntil(t);
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TimerWheelScheduleDispatch);
 
 } // namespace

@@ -110,11 +110,14 @@ BM_FullVmSweep(benchmark::State &state, bool legacy)
 }
 
 void
-BM_TwoVmDrf(benchmark::State &state)
+BM_TwoVmDrf(benchmark::State &state, bool legacy)
 {
     // Two coordinated VMs overcommitting a shared host under
     // weighted DRF — the heaviest steady-state configuration: two
-    // kernels, ballooning, and cross-VM arbitration.
+    // kernels, ballooning, and cross-VM arbitration. Legacy mode
+    // routes balloon grows through the pre-SoA take/return protocol
+    // (a gpfn vector materialized per hypercall) instead of the
+    // lazy-reversal peek/commit stack.
     const double scale = bench::benchScale();
     double sim_seconds = 0.0;
     for (auto _ : state) {
@@ -123,6 +126,7 @@ BM_TwoVmDrf(benchmark::State &state)
         host.slow =
             mem::defaultSlowMemSpec(bench::scaledBytes(8 * mem::gib));
         core::HeteroSystem sys(host);
+        sys.setLegacyBalloonPath(legacy);
         sys.vmm().setFairness(std::make_unique<vmm::DrfFairness>());
 
         core::GuestSizing g;
@@ -427,8 +431,11 @@ BENCHMARK_CAPTURE(BM_FullVmSweep, , false)
 BENCHMARK_CAPTURE(BM_FullVmSweep, , true)
     ->Name("full_vm_sweep/legacy")
     ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_TwoVmDrf)
+BENCHMARK_CAPTURE(BM_TwoVmDrf, , false)
     ->Name("two_vm_drf")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_TwoVmDrf, , true)
+    ->Name("two_vm_drf/legacy")
     ->Unit(benchmark::kMillisecond);
 
 int

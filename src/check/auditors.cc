@@ -17,7 +17,7 @@ namespace hos::check {
 using guestos::Gpfn;
 using guestos::invalidGpfn;
 using guestos::LruState;
-using guestos::Page;
+using guestos::PageRef;
 using guestos::PageArray;
 using guestos::PageList;
 using guestos::PageType;
@@ -58,23 +58,26 @@ auditList(const PageArray &pages, const PageList &list,
                          "list link points outside the page array");
             return r;
         }
-        const Page &p = pages.page(cur);
+        const PageRef p = pages.page(cur);
         r.checks += 2;
-        if (p.on_list != list.tag()) {
+        if (p.list_id() != list.id()) {
             r.addFailure(CheckKind::ListIntegrity, cur, where,
-                         "member carries list tag " +
-                             std::to_string(p.on_list) + ", expected " +
-                             std::to_string(list.tag()));
-            // The links are untrustworthy past a tag mismatch.
+                         "member carries list id " +
+                             std::to_string(p.list_id()) + " (tag " +
+                             std::to_string(p.on_list()) +
+                             "), expected id " +
+                             std::to_string(list.id()) + " (tag " +
+                             std::to_string(list.tag()) + ")");
+            // The links are untrustworthy past an id mismatch.
             return r;
         }
-        if (p.link_prev != prev) {
+        if (p.link_prev() != prev) {
             r.addFailure(CheckKind::ListIntegrity, cur, where,
                          "broken back-link (prev points elsewhere)");
             return r;
         }
         prev = cur;
-        cur = p.link_next;
+        cur = p.link_next();
         ++walked;
     }
 
@@ -116,12 +119,12 @@ auditBuddy(const PageArray &pages, const guestos::BuddyAllocator &buddy,
         const std::uint64_t block = std::uint64_t(1) << o;
         for (Gpfn head = fl.head();
              head != invalidGpfn && head < pages.size();
-             head = pages.page(head).link_next) {
-            const Page &hp = pages.page(head);
-            if (hp.on_list != guestos::listBuddy)
+             head = pages.page(head).link_next()) {
+            const PageRef hp = pages.page(head);
+            if (hp.list_id() != fl.id())
                 break; // auditList already reported; links unsafe
             r.checks += 3;
-            if (!hp.in_buddy || hp.buddy_order != o) {
+            if (!hp.in_buddy() || hp.buddy_order() != o) {
                 r.addFailure(CheckKind::ZoneAccounting, head, lw,
                              "free-list head lost its in_buddy/order "
                              "marking");
@@ -132,20 +135,20 @@ auditBuddy(const PageArray &pages, const guestos::BuddyAllocator &buddy,
             }
             const Gpfn end = std::min<Gpfn>(head + block, pages.size());
             for (Gpfn pfn = head; pfn < end; ++pfn) {
-                const Page &p = pages.page(pfn);
+                const PageRef p = pages.page(pfn);
                 r.checks += 3;
-                if (p.allocated) {
+                if (p.allocated()) {
                     r.addFailure(
                         CheckKind::ZoneAccounting, pfn, lw,
                         "allocated page inside a buddy free block");
                 }
-                if (p.type != PageType::Free) {
+                if (p.type() != PageType::Free) {
                     r.addFailure(CheckKind::ZoneAccounting, pfn, lw,
                                  "free-block page still typed " +
-                                     std::string(pageTypeName(p.type)));
+                                     std::string(pageTypeName(p.type())));
                 }
-                if (pfn != head && (p.in_buddy ||
-                                    p.on_list != guestos::listNone)) {
+                if (pfn != head && (p.in_buddy() ||
+                                    p.list_id() != guestos::noListId)) {
                     r.addFailure(CheckKind::ZoneAccounting, pfn, lw,
                                  "interior free-block page marked as a "
                                  "block head or linked on a list");
@@ -183,24 +186,24 @@ auditZoneLru(const PageArray &pages, const guestos::SplitLru &lru,
         r.merge(auditList(pages, *list, lw));
         for (Gpfn pfn = list->head();
              pfn != invalidGpfn && pfn < pages.size();
-             pfn = pages.page(pfn).link_next) {
-            const Page &p = pages.page(pfn);
-            if (p.on_list != list->tag())
-                break; // links unsafe past a reported tag mismatch
+             pfn = pages.page(pfn).link_next()) {
+            const PageRef p = pages.page(pfn);
+            if (p.list_id() != list->id())
+                break; // links unsafe past a reported id mismatch
             r.checks += 3;
-            if (p.lru != state) {
+            if (p.lru() != state) {
                 r.addFailure(CheckKind::Lru, pfn, lw,
                              "page's lru state disagrees with the list "
                              "it sits on");
             }
-            if (!p.allocated) {
+            if (!p.allocated()) {
                 r.addFailure(CheckKind::Lru, pfn, lw,
                              "unallocated page resident on an LRU");
             }
-            if (!lruManagedType(p.type)) {
+            if (!lruManagedType(p.type())) {
                 r.addFailure(CheckKind::PageState, pfn, lw,
                              "LRU-resident page retyped to non-LRU type " +
-                                 std::string(pageTypeName(p.type)));
+                                 std::string(pageTypeName(p.type())));
             }
         }
     }
@@ -237,18 +240,18 @@ auditKernel(guestos::GuestKernel &kernel)
             r.merge(auditList(pages, cache, cw));
             for (Gpfn pfn = cache.head();
                  pfn != invalidGpfn && pfn < pages.size();
-                 pfn = pages.page(pfn).link_next) {
-                const Page &p = pages.page(pfn);
-                if (p.on_list != guestos::listPerCpu)
+                 pfn = pages.page(pfn).link_next()) {
+                const PageRef p = pages.page(pfn);
+                if (p.list_id() != cache.id())
                     break;
                 r.checks += 2;
-                if (p.allocated || p.type != PageType::Free ||
-                    p.lru != LruState::None) {
+                if (p.allocated() || p.type() != PageType::Free ||
+                    p.lru() != LruState::None) {
                     r.addFailure(CheckKind::PageState, pfn, cw,
                                  "per-CPU cached page is not in the "
                                  "free state");
                 }
-                if (p.numa_node != n) {
+                if (p.numa_node() != n) {
                     r.addFailure(CheckKind::ZoneAccounting, pfn, cw,
                                  "page cached under the wrong node");
                 }
@@ -260,21 +263,21 @@ auditKernel(guestos::GuestKernel &kernel)
         std::uint64_t on_lru = 0;
         for (Gpfn pfn = node.base(); pfn < node.base() + node.spanPages();
              ++pfn) {
-            const Page &p = pages.page(pfn);
+            const PageRef p = pages.page(pfn);
             r.checks += 2;
-            if (p.allocated)
+            if (p.allocated())
                 ++allocated;
-            if (p.lru != LruState::None)
+            if (p.lru() != LruState::None)
                 ++on_lru;
             // NetBuf is exempt: skbuffs are slab-backed and pinned
             // by design; the cache types must stay evictable here.
-            if (p.allocated && (p.type == PageType::PageCache ||
-                                p.type == PageType::BufferCache) &&
-                p.unevictable && p.mem_type == mem::MemType::FastMem) {
+            if (p.allocated() && (p.type() == PageType::PageCache ||
+                                  p.type() == PageType::BufferCache) &&
+                p.unevictable() && p.mem_type() == mem::MemType::FastMem) {
                 r.addFailure(CheckKind::Placement, pfn, nw,
                              "I/O cache page pinned in FastMem");
             }
-            if (p.lru != LruState::None && !p.allocated) {
+            if (p.lru() != LruState::None && !p.allocated()) {
                 r.addFailure(CheckKind::PageState, pfn, nw,
                              "unallocated page claims LRU residence");
             }
@@ -305,14 +308,15 @@ auditKernel(guestos::GuestKernel &kernel)
         }
     }
 
-    // Allocated-range hint: the per-chunk counters must equal a fresh
-    // census of the descriptors (the sweep skip relies on zero
-    // meaning "whole chunk free").
+    // Allocated-range hint: the popcount aggregation over the
+    // allocated bitmap must equal a per-bit census (the sweep skip
+    // relies on zero meaning "whole chunk free"; this catches word-
+    // range bugs in allocatedInChunk and stray bits past size()).
     {
         const std::string cw = kernel.name() + ".chunk_hint";
         std::vector<std::uint32_t> census(pages.numChunks(), 0);
         for (Gpfn pfn = 0; pfn < pages.size(); ++pfn) {
-            if (pages.page(pfn).allocated)
+            if (pages.page(pfn).allocated())
                 ++census[pfn >> PageArray::chunkShift];
         }
         for (std::uint64_t c = 0; c < pages.numChunks(); ++c) {
@@ -365,9 +369,9 @@ auditResidency(guestos::GuestKernel &kernel)
             // ask the page table; keep the stale gpfn when the va is
             // unmapped (balloon swap-out).
             Gpfn effective = bound;
-            const Page &p = pages.page(bound);
-            if (!p.allocated || p.vaddr != va ||
-                p.owner_process != pid) {
+            const PageRef p = pages.page(bound);
+            if (!p.allocated() || p.vaddr() != va ||
+                p.owner_process() != pid) {
                 if (auto cur = as.translate(va))
                     effective = *cur;
             }
@@ -476,7 +480,7 @@ auditP2m(vmm::VmContext &vm, mem::MachineMemory &machine)
     for (Gpfn gpfn = 0; gpfn < limit; ++gpfn) {
         const bool pop = p2m.populated(gpfn);
         r.checks += 2;
-        if (pop != pages.page(gpfn).populated) {
+        if (pop != pages.page(gpfn).populated()) {
             r.addFailure(CheckKind::P2m, gpfn, where,
                          pop ? "P2M maps a gpfn the guest believes "
                                "unpopulated"
@@ -633,8 +637,8 @@ auditXray(vmm::Vmm &vmm, const xray::Recorder &recorder)
         std::uint64_t tier_hot_heat[xray::numTiers] = {};
 
         for (Gpfn pfn = 0; pfn < pages.size(); ++pfn) {
-            const Page &p = pages.page(pfn);
-            if (!p.allocated) {
+            const PageRef p = pages.page(pfn);
+            if (!p.allocated()) {
                 ++r.checks;
                 if (recorder.live(vm, pfn)) {
                     r.addFailure(CheckKind::Xray, pfn, where,
@@ -649,12 +653,12 @@ auditXray(vmm::Vmm &vmm, const xray::Recorder &recorder)
                              "allocated page missing from the shadow");
                 continue;
             }
-            if (recorder.shadowHeat(vm, pfn) != p.heat) {
+            if (recorder.shadowHeat(vm, pfn) != p.heat()) {
                 r.addFailure(
                     CheckKind::Xray, pfn, where,
                     "shadow heat " +
                         std::to_string(recorder.shadowHeat(vm, pfn)) +
-                        " != tracker heat " + std::to_string(p.heat));
+                        " != tracker heat " + std::to_string(p.heat()));
             }
             const auto tier = static_cast<std::uint8_t>(
                 kernel.backingOf(pfn));
@@ -669,10 +673,10 @@ auditXray(vmm::Vmm &vmm, const xray::Recorder &recorder)
             if (tier >= xray::numTiers)
                 continue;
             ++tier_pages[tier];
-            tier_heat[tier] += p.heat;
-            if (p.heat >= threshold) {
+            tier_heat[tier] += p.heat();
+            if (p.heat() >= threshold) {
                 ++tier_hot[tier];
-                tier_hot_heat[tier] += p.heat;
+                tier_hot_heat[tier] += p.heat();
             }
         }
 

@@ -4,7 +4,7 @@
 
 namespace hos::check {
 
-using guestos::Page;
+using guestos::PageRef;
 using guestos::PageType;
 
 namespace {
@@ -18,123 +18,125 @@ typeName(PageType t)
 } // namespace
 
 void
-validateAlloc(const Page &p, PageType to, const char *where)
+validateAlloc(const PageRef &p, PageType to, const char *where)
 {
-    if (!p.allocated) {
-        fail(CheckKind::PageState, p.pfn, where,
+    if (!p.allocated()) {
+        fail(CheckKind::PageState, p.pfn(), where,
              "allocator handed out a page not marked allocated");
     }
-    if (p.type != PageType::Free) {
-        fail(CheckKind::PageState, p.pfn, where,
-             "allocating a page still typed " + typeName(p.type) +
+    if (p.type() != PageType::Free) {
+        fail(CheckKind::PageState, p.pfn(), where,
+             "allocating a page still typed " + typeName(p.type()) +
                  " (double allocation?)");
     }
-    if (p.lru != guestos::LruState::None) {
-        fail(CheckKind::PageState, p.pfn, where,
+    if (p.lru() != guestos::LruState::None) {
+        fail(CheckKind::PageState, p.pfn(), where,
              "allocating a page still on an LRU list");
     }
-    if (p.on_list != guestos::listNone) {
-        fail(CheckKind::PageState, p.pfn, where,
-             "allocating a page still linked on list tag " +
-                 std::to_string(p.on_list));
+    if (p.on_list() != guestos::listNone) {
+        fail(CheckKind::PageState, p.pfn(), where,
+             "allocating a page still linked on list id " +
+                 std::to_string(p.list_id()) + " (tag " +
+                 std::to_string(p.on_list()) + ")");
     }
-    if (p.in_buddy) {
-        fail(CheckKind::PageState, p.pfn, where,
+    if (p.in_buddy()) {
+        fail(CheckKind::PageState, p.pfn(), where,
              "allocating a page still heading a buddy free block");
     }
     if (!legalTypeTransition(PageType::Free, to)) {
-        fail(CheckKind::PageState, p.pfn, where,
+        fail(CheckKind::PageState, p.pfn(), where,
              "illegal transition free -> " + typeName(to));
     }
 }
 
 void
-validateFree(const Page &p, const char *where)
+validateFree(const PageRef &p, const char *where)
 {
-    if (!p.allocated) {
-        fail(CheckKind::PageState, p.pfn, where,
+    if (!p.allocated()) {
+        fail(CheckKind::PageState, p.pfn(), where,
              "double free: page is not allocated");
     }
-    if (p.in_buddy) {
-        fail(CheckKind::PageState, p.pfn, where,
+    if (p.in_buddy()) {
+        fail(CheckKind::PageState, p.pfn(), where,
              "freeing a page already heading a buddy free block");
     }
-    if (p.lru != guestos::LruState::None) {
-        fail(CheckKind::PageState, p.pfn, where,
+    if (p.lru() != guestos::LruState::None) {
+        fail(CheckKind::PageState, p.pfn(), where,
              "freeing a page still on an LRU list");
     }
-    if (p.on_list != guestos::listNone) {
-        fail(CheckKind::PageState, p.pfn, where,
-             "freeing a page still linked on list tag " +
-                 std::to_string(p.on_list));
+    if (p.on_list() != guestos::listNone) {
+        fail(CheckKind::PageState, p.pfn(), where,
+             "freeing a page still linked on list id " +
+                 std::to_string(p.list_id()) + " (tag " +
+                 std::to_string(p.on_list()) + ")");
     }
-    if (p.under_io) {
-        fail(CheckKind::PageState, p.pfn, where,
+    if (p.under_io()) {
+        fail(CheckKind::PageState, p.pfn(), where,
              "freeing a page with I/O in flight");
     }
 }
 
 void
-validateTypeChange(const Page &p, PageType to, const char *where)
+validateTypeChange(const PageRef &p, PageType to, const char *where)
 {
-    if (!legalTypeTransition(p.type, to)) {
-        fail(CheckKind::PageState, p.pfn, where,
-             "illegal retype " + typeName(p.type) + " -> " +
+    if (!legalTypeTransition(p.type(), to)) {
+        fail(CheckKind::PageState, p.pfn(), where,
+             "illegal retype " + typeName(p.type()) + " -> " +
                  typeName(to) + " of a live page");
     }
 }
 
 void
-validateMigration(const Page &p, mem::MemType dst, const char *where)
+validateMigration(const PageRef &p, mem::MemType dst, const char *where)
 {
-    if (!p.allocated) {
-        fail(CheckKind::PageState, p.pfn, where,
+    if (!p.allocated()) {
+        fail(CheckKind::PageState, p.pfn(), where,
              "migrating a page that is not allocated");
     }
-    if (guestos::isMigrationException(p.type)) {
-        fail(CheckKind::Placement, p.pfn, where,
-             "migration-exception page (" + typeName(p.type) +
+    if (guestos::isMigrationException(p.type())) {
+        fail(CheckKind::Placement, p.pfn(), where,
+             "migration-exception page (" + typeName(p.type()) +
                  ") selected to move to " + mem::memTypeName(dst));
     }
-    if (p.unevictable) {
-        fail(CheckKind::Placement, p.pfn, where,
+    if (p.unevictable()) {
+        fail(CheckKind::Placement, p.pfn(), where,
              "migrating a pinned (unevictable) page");
     }
-    if (p.under_io) {
-        fail(CheckKind::Placement, p.pfn, where,
+    if (p.under_io()) {
+        fail(CheckKind::Placement, p.pfn(), where,
              "migrating a page with I/O in flight");
     }
 }
 
 void
-validatePlacement(const Page &p, const char *where)
+validatePlacement(const PageRef &p, const char *where)
 {
     // NetBuf is exempt: skbuffs are slab-backed and slab pages are
     // pinned by design; only the LRU-managed I/O cache types must
     // stay evictable in the scarce tier.
-    if ((p.type == PageType::PageCache ||
-         p.type == PageType::BufferCache) &&
-        p.unevictable && p.mem_type == mem::MemType::FastMem) {
-        fail(CheckKind::Placement, p.pfn, where,
-             "short-lived I/O page (" + typeName(p.type) +
+    if ((p.type() == PageType::PageCache ||
+         p.type() == PageType::BufferCache) &&
+        p.unevictable() && p.mem_type() == mem::MemType::FastMem) {
+        fail(CheckKind::Placement, p.pfn(), where,
+             "short-lived I/O page (" + typeName(p.type()) +
                  ") pinned in FastMem");
     }
 }
 
 void
-validateLruInsert(const Page &p, const char *where)
+validateLruInsert(const PageRef &p, const char *where)
 {
-    if (!p.allocated) {
-        fail(CheckKind::Lru, p.pfn, where,
+    if (!p.allocated()) {
+        fail(CheckKind::Lru, p.pfn(), where,
              "inserting an unallocated page into an LRU");
     }
-    if (!lruManagedType(p.type)) {
-        fail(CheckKind::Lru, p.pfn, where,
-             "inserting a page of non-LRU type " + typeName(p.type) +
+    if (!lruManagedType(p.type())) {
+        fail(CheckKind::Lru, p.pfn(), where,
+             "inserting a page of non-LRU type " + typeName(p.type()) +
                  " into an LRU");
     }
-    if (p.lru != guestos::LruState::None) {
-        fail(CheckKind::Lru, p.pfn, where,
+    if (p.lru() != guestos::LruState::None) {
+        fail(CheckKind::Lru, p.pfn(), where,
              "inserting a page already on an LRU");
     }
 }

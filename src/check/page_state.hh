@@ -51,25 +51,25 @@ lruManagedType(guestos::PageType t)
 }
 
 /** A page leaving the allocator fast path, about to become `to`. */
-void validateAlloc(const guestos::Page &p, guestos::PageType to,
+void validateAlloc(const guestos::PageRef &p, guestos::PageType to,
                    const char *where);
 
 /** A page entering the free path (must be live and off every list). */
-void validateFree(const guestos::Page &p, const char *where);
+void validateFree(const guestos::PageRef &p, const char *where);
 
 /** An in-place retype request (only legal through Free). */
-void validateTypeChange(const guestos::Page &p, guestos::PageType to,
+void validateTypeChange(const guestos::PageRef &p, guestos::PageType to,
                         const char *where);
 
 /** A page selected to migrate to tier `dst`. */
-void validateMigration(const guestos::Page &p, mem::MemType dst,
+void validateMigration(const guestos::PageRef &p, mem::MemType dst,
                        const char *where);
 
 /** A page's type/pin/tier combination after placement decisions. */
-void validatePlacement(const guestos::Page &p, const char *where);
+void validatePlacement(const guestos::PageRef &p, const char *where);
 
 /** A page about to be inserted into a zone LRU. */
-void validateLruInsert(const guestos::Page &p, const char *where);
+void validateLruInsert(const guestos::PageRef &p, const char *where);
 
 } // namespace hos::check
 

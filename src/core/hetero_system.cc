@@ -77,6 +77,7 @@ HeteroSystem::addVm(std::unique_ptr<policy::ManagementPolicy> policy,
     auto slot = std::make_unique<VmSlot>();
     slot->policy = std::move(policy);
     slot->kernel = std::make_unique<guestos::GuestKernel>(gcfg);
+    slot->kernel->balloon().setLegacyPath(legacy_balloon_path_);
 
     vmm::VmConfig vcfg;
     vcfg.name = gcfg.name;
@@ -172,7 +173,7 @@ HeteroSystem::seedXray(VmSlot &slot)
     const sim::Tick now = kernel.events().now();
     auto &pages = kernel.pages();
     for (std::uint64_t pfn = 0; pfn < pages.size(); ++pfn) {
-        if (!pages.page(pfn).allocated)
+        if (!pages.page(pfn).allocated())
             continue;
         xray_.onAlloc(
             vm, pfn,

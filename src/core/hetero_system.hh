@@ -159,6 +159,15 @@ class HeteroSystem
         return legacy_placement_sampling_;
     }
 
+    /**
+     * Route balloon grows through the pre-SoA take/return hypercall
+     * protocol instead of peek/commit (bit-identical cross-check
+     * path; see BalloonFrontend::setLegacyPath). Applies to VMs added
+     * after the call.
+     */
+    void setLegacyBalloonPath(bool on) { legacy_balloon_path_ = on; }
+    bool legacyBalloonPath() const { return legacy_balloon_path_; }
+
     /** Build the workload environment for a VM. */
     workload::VmEnv envFor(VmSlot &slot);
 
@@ -191,6 +200,7 @@ class HeteroSystem
     bool prof_enabled_ = false;
     bool xray_enabled_ = false;
     bool legacy_placement_sampling_ = false;
+    bool legacy_balloon_path_ = false;
     unsigned active_vms_ = 1;
 };
 

@@ -29,12 +29,13 @@ BalloonFrontend::bootPopulate(unsigned node_id, std::uint64_t pages)
     if (pages == 0)
         return 0;
     auto gpfns = kernel_.takeUnpopulatedGpfns(node_id, pages);
-    const std::uint64_t granted = backend_->populatePages(node_id, gpfns);
+    const std::uint64_t granted =
+        backend_->populatePages(node_id, UnpopulatedView(gpfns));
     hos_assert(granted <= gpfns.size(), "back-end over-granted");
 
     NumaNode &node = kernel_.node(node_id);
     for (std::uint64_t i = 0; i < granted; ++i) {
-        kernel_.pageMeta(gpfns[i]).populated = true;
+        kernel_.pageMeta(gpfns[i]).setPopulated(true);
         // Boot pages arrive in ascending order; donate them in runs
         // for fast coalescing.
     }
@@ -76,21 +77,40 @@ BalloonFrontend::requestPages(mem::MemType type, std::uint64_t pages)
                   kernel_.events(), 0,
                   static_cast<std::uint8_t>(type));
     requested_.inc(pages);
-    auto gpfns = kernel_.takeUnpopulatedGpfns(node->id(), pages);
-    if (gpfns.empty())
-        return 0; // reservation already at the node ceiling
-
-    const std::uint64_t granted =
-        backend_->populatePages(node->id(), gpfns);
-    for (std::uint64_t i = 0; i < granted; ++i) {
-        kernel_.pageMeta(gpfns[i]).populated = true;
-        Zone &z = node->zoneOf(gpfns[i]);
-        z.buddy().addFreeRange(gpfns[i], 1);
-    }
-    if (granted < gpfns.size()) {
-        kernel_.returnUnpopulatedGpfns(
-            node->id(), std::vector<Gpfn>(gpfns.begin() + granted,
-                                          gpfns.end()));
+    std::uint64_t granted = 0;
+    if (legacy_path_) {
+        auto gpfns = kernel_.takeUnpopulatedGpfns(node->id(), pages);
+        if (gpfns.empty())
+            return 0; // reservation already at the node ceiling
+        granted = backend_->populatePages(node->id(),
+                                          UnpopulatedView(gpfns));
+        for (std::uint64_t i = 0; i < granted; ++i) {
+            kernel_.pageMeta(gpfns[i]).setPopulated(true);
+            Zone &z = node->zoneOf(gpfns[i]);
+            z.buddy().addFreeRange(gpfns[i], 1);
+        }
+        if (granted < gpfns.size()) {
+            kernel_.returnUnpopulatedGpfns(
+                node->id(), std::vector<Gpfn>(gpfns.begin() + granted,
+                                              gpfns.end()));
+        }
+    } else {
+        // Hot path: no gpfn vector materializes. The back-end reads
+        // straight off the unpopulated stack through a view, and the
+        // commit settles take+return in O(1) when nothing (the DRF
+        // pressure storm) or a clean prefix was granted.
+        const UnpopulatedView view =
+            kernel_.peekUnpopulatedGpfns(node->id(), pages);
+        if (view.empty())
+            return 0; // reservation already at the node ceiling
+        granted = backend_->populatePages(node->id(), view);
+        for (std::uint64_t i = 0; i < granted; ++i) {
+            const Gpfn pfn = view[i];
+            kernel_.pageMeta(pfn).setPopulated(true);
+            node->zoneOf(pfn).buddy().addFreeRange(pfn, 1);
+        }
+        kernel_.commitUnpopulatedGpfns(node->id(), view.size(),
+                                       granted);
     }
     for (std::size_t zi = 0; zi < node->numZones(); ++zi)
         node->zone(zi).updateWatermarks();
@@ -151,25 +171,25 @@ BalloonFrontend::surrenderPages(mem::MemType type, std::uint64_t pages)
              zi < node->numZones() && need > 0; ++zi) {
             SplitLru &lru = node->zone(zi).lru();
             std::uint64_t swapped = 0;
-            lru.scanInactive(need * 4, [&](Page &p) {
-                if (p.type != PageType::Anon || swapped >= need)
+            lru.scanInactive(need * 4, [&](PageRef &p) {
+                if (p.type() != PageType::Anon || swapped >= need)
                     return false;
-                if (p.owner_process == noProcess ||
-                    !kernel_.hasProcess(p.owner_process)) {
+                if (p.owner_process() == noProcess ||
+                    !kernel_.hasProcess(p.owner_process())) {
                     return false;
                 }
-                AddressSpace &as = kernel_.process(p.owner_process);
-                auto mapped = as.translate(p.vaddr);
-                if (!mapped || *mapped != p.pfn)
+                AddressSpace &as = kernel_.process(p.owner_process());
+                auto mapped = as.translate(p.vaddr());
+                if (!mapped || *mapped != p.pfn())
                     return false;
-                as.pageTable().unmap(p.vaddr);
-                p.owner_process = noProcess;
+                as.pageTable().unmap(p.vaddr());
+                p.setOwnerProcess(noProcess);
                 if (auto *xr = xray::active()) {
-                    xr->onTransition(kernel_.vmTag(), p.pfn,
+                    xr->onTransition(kernel_.vmTag(), p.pfn(),
                                      xray::EventKind::SwapOut,
                                      kernel_.events().now());
                 }
-                kernel_.freePage(p.pfn);
+                kernel_.freePage(p.pfn());
                 ++swapped;
                 return true;
             });
@@ -189,7 +209,7 @@ BalloonFrontend::surrenderPages(mem::MemType type, std::uint64_t pages)
 
     // Hand the harvested frames back.
     for (Gpfn pfn : victims)
-        kernel_.pageMeta(pfn).populated = false;
+        kernel_.pageMeta(pfn).setPopulated(false);
     backend_->unpopulatePages(node->id(), victims);
     kernel_.returnUnpopulatedGpfns(node->id(), victims);
     populated_[node->id()] -= victims.size();

@@ -29,9 +29,9 @@ BuddyAllocator::blockInRange(Gpfn pfn, unsigned order) const
 void
 BuddyAllocator::insertBlock(Gpfn pfn, unsigned order)
 {
-    Page &head = pages_.page(pfn);
-    head.in_buddy = true;
-    head.buddy_order = static_cast<std::uint8_t>(order);
+    PageRef head = pages_.page(pfn);
+    head.setInBuddy(true);
+    head.setBuddyOrder(static_cast<std::uint8_t>(order));
     // FIFO free lists: allocation proceeds from the lowest addresses
     // donated first (boot memory is handed out bottom-up, as real
     // kernels do), which matters when the VMM backs a guest's frames
@@ -43,12 +43,12 @@ BuddyAllocator::insertBlock(Gpfn pfn, unsigned order)
 void
 BuddyAllocator::removeBlock(Gpfn pfn, unsigned order)
 {
-    Page &head = pages_.page(pfn);
-    hos_assert(head.in_buddy && head.buddy_order == order,
+    PageRef head = pages_.page(pfn);
+    hos_assert(head.in_buddy() && head.buddy_order() == order,
                "block %llu not free at order %u",
                static_cast<unsigned long long>(pfn), order);
     free_area_[order].remove(pfn);
-    head.in_buddy = false;
+    head.setInBuddy(false);
     free_pages_ -= 1ull << order;
 }
 
@@ -70,9 +70,9 @@ BuddyAllocator::addFreeRange(Gpfn pfn, std::uint64_t count)
         }
         // Mark allocated so free() passes its sanity checks.
         for (std::uint64_t i = 0; i < (1ull << order); ++i) {
-            Page &p = pages_.page(pfn + i);
+            PageRef p = pages_.page(pfn + i);
             pages_.setAllocated(p, true);
-            p.in_buddy = false;
+            p.setInBuddy(false);
         }
         free(pfn, order);
         pfn += 1ull << order;
@@ -100,10 +100,10 @@ BuddyAllocator::alloc(unsigned order)
     }
 
     for (std::uint64_t i = 0; i < (1ull << order); ++i) {
-        Page &p = pages_.page(pfn + i);
-        hos_assert(!p.allocated, "allocating an allocated page");
+        PageRef p = pages_.page(pfn + i);
+        hos_assert(!p.allocated(), "allocating an allocated page");
         pages_.setAllocated(p, true);
-        p.in_buddy = false;
+        p.setInBuddy(false);
     }
     return pfn;
 }
@@ -117,17 +117,17 @@ BuddyAllocator::free(Gpfn pfn, unsigned order)
                "freeing misaligned block");
 
     for (std::uint64_t i = 0; i < (1ull << order); ++i) {
-        Page &p = pages_.page(pfn + i);
-        hos_assert(p.allocated, "double free of page %llu",
+        PageRef p = pages_.page(pfn + i);
+        hos_assert(p.allocated(), "double free of page %llu",
                    static_cast<unsigned long long>(pfn + i));
-        hos_assert(!p.in_buddy, "freeing a page still in buddy");
+        hos_assert(!p.in_buddy(), "freeing a page still in buddy");
         pages_.setAllocated(p, false);
-        p.type = PageType::Free;
-        p.dirty = false;
-        p.referenced = false;
-        p.pte_accessed = false;
-        p.heat = 0; // a recycled frame is not the hot page it backed
-        p.owner_process = noProcess;
+        p.setType(PageType::Free);
+        p.setDirty(false);
+        p.setReferenced(false);
+        p.setPteAccessed(false);
+        p.setHeat(0); // a recycled frame is not the hot page it backed
+        p.setOwnerProcess(noProcess);
     }
 
     // Coalesce upward while the buddy block is free at the same order.
@@ -135,8 +135,8 @@ BuddyAllocator::free(Gpfn pfn, unsigned order)
         const Gpfn buddy = buddyOf(pfn, order);
         if (!blockInRange(buddy, order))
             break;
-        Page &bp = pages_.page(buddy);
-        if (!bp.in_buddy || bp.buddy_order != order)
+        const PageRef bp = pages_.page(buddy);
+        if (!bp.in_buddy() || bp.buddy_order() != order)
             break;
         removeBlock(buddy, order);
         pfn = std::min(pfn, buddy);
@@ -156,9 +156,9 @@ BuddyAllocator::removeFreePage()
         // Return all but the first page to the free lists.
         for (unsigned s = 0; s < o; ++s)
             insertBlock(pfn + (1ull << s), s);
-        Page &p = pages_.page(pfn);
+        PageRef p = pages_.page(pfn);
         pages_.setAllocated(p, false);
-        p.in_buddy = false;
+        p.setInBuddy(false);
         hos_assert(managed_pages_ > 0, "removing from empty allocator");
         --managed_pages_;
         return pfn;
@@ -180,17 +180,17 @@ BuddyAllocator::checkInvariants() const
     for (unsigned o = 0; o < maxOrder; ++o) {
         Gpfn pfn = free_area_[o].head();
         while (pfn != invalidGpfn) {
-            const Page &p = pages_.page(pfn);
-            hos_assert(p.in_buddy && p.buddy_order == o,
+            const PageRef p = pages_.page(pfn);
+            hos_assert(p.in_buddy() && p.buddy_order() == o,
                        "free-list page with wrong order");
             hos_assert((pfn - base_) % (1ull << o) == 0,
                        "misaligned free block");
             for (std::uint64_t i = 0; i < (1ull << o); ++i) {
-                hos_assert(!pages_.page(pfn + i).allocated,
+                hos_assert(!pages_.page(pfn + i).allocated(),
                            "allocated page inside a free block");
             }
             counted += 1ull << o;
-            pfn = p.link_next;
+            pfn = p.link_next();
         }
     }
     hos_assert(counted == free_pages_, "free page accounting drift");

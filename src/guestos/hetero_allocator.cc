@@ -223,22 +223,22 @@ HeteroAllocator::allocPage(const AllocRequest &req)
     }
     oom_strikes_ = 0;
 
-    Page &p = kernel_.pageMeta(pfn);
+    PageRef p = kernel_.pageMeta(pfn);
     HOS_CHECK_CHEAP(
         check::validateAlloc(p, req.type, "hetero_allocator.allocPage"));
-    p.type = req.type;
-    p.owner_process = req.process;
-    p.vaddr = req.vaddr;
+    p.setType(req.type);
+    p.setOwnerProcess(req.process);
+    p.setVaddr(req.vaddr);
 
     total_allocs_[ti].inc();
-    if (p.mem_type == mem::MemType::FastMem) {
+    if (p.mem_type() == mem::MemType::FastMem) {
         window_[ti].fast_hits += 1;
     } else {
         window_[ti].fast_misses += 1;
         total_fast_misses_.inc();
     }
     trace::emit(trace::EventType::PageAlloc, kernel_.events().now(), ti,
-                pfn, static_cast<std::uint64_t>(p.mem_type));
+                pfn, static_cast<std::uint64_t>(p.mem_type()));
     if (auto *xr = xray::active()) {
         xr->onAlloc(kernel_.vmTag(), pfn,
                     static_cast<std::uint8_t>(kernel_.backingOf(pfn)),
@@ -250,12 +250,12 @@ HeteroAllocator::allocPage(const AllocRequest &req)
 void
 HeteroAllocator::freePage(Gpfn pfn, unsigned cpu)
 {
-    Page &p = kernel_.pageMeta(pfn);
+    const PageRef p = kernel_.pageMeta(pfn);
     HOS_CHECK_CHEAP(
         check::validateFree(p, "hetero_allocator.freePage"));
-    hos_assert(p.allocated, "freeing unallocated page");
+    hos_assert(p.allocated(), "freeing unallocated page");
     trace::emit(trace::EventType::PageFree, kernel_.events().now(), pfn,
-                static_cast<std::uint64_t>(p.mem_type));
+                static_cast<std::uint64_t>(p.mem_type()));
     kernel_.percpu().free(cpu, kernel_.nodeOf(pfn), pfn);
 }
 

@@ -52,10 +52,10 @@ HeteroLru::fastMemUnderPressure() const
 std::uint64_t
 HeteroLru::demotePage(Gpfn pfn)
 {
-    Page &p = kernel_.pageMeta(pfn);
-    if (p.mem_type != mem::MemType::FastMem)
+    PageRef p = kernel_.pageMeta(pfn);
+    if (p.mem_type() != mem::MemType::FastMem)
         return 0;
-    if (p.under_io || p.unevictable)
+    if (p.under_io() || p.unevictable())
         return 0;
 
     // Demotion target: heap pages step one level at a time (high
@@ -63,47 +63,47 @@ HeteroLru::demotePage(Gpfn pfn)
     // finished I/O pages go straight to the large-but-slowest tier —
     // the page-type-specific demotion policies of paper Section 4.3.
     NumaNode *slow = nullptr;
-    if (p.type == PageType::Anon)
+    if (p.type() == PageType::Anon)
         slow = kernel_.nodeFor(mem::MemType::MediumMem);
     if (!slow)
         slow = kernel_.nodeFor(mem::MemType::SlowMem);
     if (!slow)
         return 0;
 
-    switch (p.type) {
+    switch (p.type()) {
       case PageType::Anon: {
         // Must still be mapped; the owner's PTE gets remapped.
-        if (p.owner_process == noProcess ||
-            !kernel_.hasProcess(p.owner_process)) {
+        if (p.owner_process() == noProcess ||
+            !kernel_.hasProcess(p.owner_process())) {
             return 0;
         }
-        AddressSpace &as = kernel_.process(p.owner_process);
-        auto mapped = as.translate(p.vaddr);
+        AddressSpace &as = kernel_.process(p.owner_process());
+        auto mapped = as.translate(p.vaddr());
         if (!mapped || *mapped != pfn)
             return 0; // released or remapped since: skip
 
         const Gpfn dst =
-            kernel_.allocPageOnNode(slow->id(), p.type);
+            kernel_.allocPageOnNode(slow->id(), p.type());
         if (dst == invalidGpfn)
             return 0;
-        Page &d = kernel_.pageMeta(dst);
-        d.owner_process = p.owner_process;
-        d.vaddr = p.vaddr;
-        d.dirty = p.dirty;
-        as.pageTable().remap(p.vaddr, dst);
-        kernel_.residency().onRemap(p.owner_process, p.vaddr, dst);
+        PageRef d = kernel_.pageMeta(dst);
+        d.setOwnerProcess(p.owner_process());
+        d.setVaddr(p.vaddr());
+        d.setDirty(p.dirty());
+        as.pageTable().remap(p.vaddr(), dst);
+        kernel_.residency().onRemap(p.owner_process(), p.vaddr(), dst);
 
-        const bool was_on_lru = p.lru != LruState::None;
+        const bool was_on_lru = p.lru() != LruState::None;
         if (was_on_lru)
             kernel_.lruRemove(pfn);
         kernel_.lruAdd(dst); // demoted pages start inactive
-        p.dirty = false;
-        p.owner_process = noProcess;
+        p.setDirty(false);
+        p.setOwnerProcess(noProcess);
         if (auto *xr = xray::active()) {
             xr->onGuestMove(
                 kernel_.vmTag(), pfn, dst,
                 static_cast<std::uint8_t>(kernel_.backingOf(dst)),
-                p.heat, 0, kernel_.events().now());
+                p.heat(), 0, kernel_.events().now());
         }
         kernel_.freePage(pfn);
         ++stats_.demoted_anon;
@@ -114,11 +114,11 @@ HeteroLru::demotePage(Gpfn pfn)
         PageCache &cache = kernel_.pageCache();
         if (!cache.owns(pfn))
             return 0;
-        if (p.dirty)
+        if (p.dirty())
             return 0; // write back first; the flusher will get to it
 
         const Gpfn dst =
-            kernel_.allocPageOnNode(slow->id(), p.type);
+            kernel_.allocPageOnNode(slow->id(), p.type());
         if (dst == invalidGpfn) {
             // No SlowMem either: drop the clean page entirely. The
             // LRU membership is released by evictPage -> freeIoPage.
@@ -129,14 +129,14 @@ HeteroLru::demotePage(Gpfn pfn)
             return 0;
         }
         cache.remapPage(pfn, dst);
-        if (p.lru != LruState::None)
+        if (p.lru() != LruState::None)
             kernel_.lruRemove(pfn);
         kernel_.lruAdd(dst);
         if (auto *xr = xray::active()) {
             xr->onGuestMove(
                 kernel_.vmTag(), pfn, dst,
                 static_cast<std::uint8_t>(kernel_.backingOf(dst)),
-                p.heat, 0, kernel_.events().now());
+                p.heat(), 0, kernel_.events().now());
         }
         kernel_.freePage(pfn);
         ++stats_.demoted_cache;
@@ -192,18 +192,18 @@ HeteroLru::reclaimFastMem(std::uint64_t target_pages)
                 const std::uint64_t got = lru.scanInactive(
                     std::min<std::uint64_t>(cfg_.scan_batch,
                                             target_pages - freed),
-                    [&](Page &page) {
-                        if (heat_aware && page.heat >= 96)
+                    [&](PageRef &page) {
+                        if (heat_aware && page.heat() >= 96)
                             return false; // proven hot: keep it
-                        if (heat_aware && page.type == PageType::Anon &&
-                            page.last_touch == 0) {
+                        if (heat_aware && page.type() == PageType::Anon &&
+                            page.last_touch() == 0) {
                             // Allocated but never used: its first
                             // touch is imminent (allocation bursts
                             // look like this); demoting it for
                             // another allocation is a pure loss.
                             return false;
                         }
-                        return demotePage(page.pfn) > 0;
+                        return demotePage(page.pfn()) > 0;
                     });
                 const std::uint64_t looked = lru.scanned() - before;
                 scanned_total += looked;
@@ -263,12 +263,12 @@ HeteroLru::directReclaim(std::uint64_t target_pages)
                 }
                 const std::uint64_t before = lru.scanned();
                 freed += lru.scanInactive(
-                    cfg_.scan_batch * 4, [&](Page &p) {
-                        if (!isShortLivedIo(p.type))
+                    cfg_.scan_batch * 4, [&](PageRef &p) {
+                        if (!isShortLivedIo(p.type()))
                             return false;
-                        if (p.dirty || !cache.owns(p.pfn))
+                        if (p.dirty() || !cache.owns(p.pfn()))
                             return false;
-                        return cache.evictPage(p.pfn);
+                        return cache.evictPage(p.pfn());
                     });
                 scanned_total += lru.scanned() - before;
             }
@@ -331,14 +331,14 @@ HeteroLru::onIoComplete(const std::vector<Gpfn> &pages, bool writeback)
     const bool pressure = fastMemUnderPressure();
     std::uint64_t demoted = 0;
     for (Gpfn pfn : pages) {
-        Page &p = kernel_.pageMeta(pfn);
-        if (p.mem_type != mem::MemType::FastMem)
+        PageRef p = kernel_.pageMeta(pfn);
+        if (p.mem_type() != mem::MemType::FastMem)
             continue;
-        if (!isShortLivedIo(p.type))
+        if (!isShortLivedIo(p.type()))
             continue;
-        if (p.lru == LruState::Active)
+        if (p.lru() == LruState::Active)
             kernel_.zoneOf(pfn).lru().deactivate(pfn);
-        p.referenced = false;
+        p.setReferenced(false);
         if (pressure)
             demoted += demotePage(pfn);
     }
@@ -361,10 +361,10 @@ HeteroLru::onUnmapRelease(const std::vector<Gpfn> &file_pages)
                   static_cast<std::uint8_t>(mem::MemType::FastMem));
     std::uint64_t demoted = 0;
     for (Gpfn pfn : file_pages) {
-        Page &p = kernel_.pageMeta(pfn);
-        if (p.lru == LruState::Active)
+        PageRef p = kernel_.pageMeta(pfn);
+        if (p.lru() == LruState::Active)
             kernel_.zoneOf(pfn).lru().deactivate(pfn);
-        if (p.mem_type == mem::MemType::FastMem)
+        if (p.mem_type() == mem::MemType::FastMem)
             demoted += demotePage(pfn);
     }
     if (demoted > 0) {

@@ -78,15 +78,15 @@ GuestKernel::GuestKernel(GuestConfig cfg)
         nodes_.push_back(std::make_unique<NumaNode>(id, nc.type, pages_,
                                                     base, span));
         for (Gpfn pfn = base; pfn < base + span; ++pfn) {
-            Page &p = pages_.page(pfn);
-            p.numa_node = static_cast<std::uint8_t>(id);
-            p.mem_type = nc.type;
+            PageRef p = pages_.page(pfn);
+            p.setNumaNode(static_cast<std::uint8_t>(id));
+            p.setMemType(nc.type);
         }
         // Every gpfn starts unpopulated; LIFO so low gpfns pop first.
         auto &unpop = unpopulated_.emplace_back();
-        unpop.reserve(span);
+        unpop.v.reserve(span);
         for (Gpfn pfn = base + span; pfn-- > base;)
-            unpop.push_back(pfn);
+            unpop.v.push_back(pfn);
         base += span;
     }
 
@@ -154,8 +154,8 @@ GuestKernel::allocPage(const AllocRequest &req)
 void
 GuestKernel::freePage(Gpfn pfn, unsigned cpu)
 {
-    Page &p = pages_.page(pfn);
-    hos_assert(p.lru == LruState::None,
+    const PageRef p = pages_.page(pfn);
+    hos_assert(p.lru() == LruState::None,
                "freeing a page still on the LRU");
     if (auto *xr = xray::active())
         xr->onFree(vm_tag_, pfn, events_.now());
@@ -170,10 +170,10 @@ GuestKernel::allocPageOnNode(unsigned node_id, PageType type,
     const Gpfn pfn = percpu_->alloc(cpu, n);
     if (pfn == invalidGpfn)
         return invalidGpfn;
-    Page &p = pages_.page(pfn);
+    PageRef p = pages_.page(pfn);
     HOS_CHECK_CHEAP(
         check::validateAlloc(p, type, "kernel.allocPageOnNode"));
-    p.type = type;
+    p.setType(type);
     if (auto *xr = xray::active()) {
         xr->onAlloc(vm_tag_, pfn,
                     static_cast<std::uint8_t>(backingOf(pfn)),
@@ -187,12 +187,13 @@ GuestKernel::takeUnpopulatedGpfns(unsigned node_id, std::uint64_t n)
 {
     hos_assert(node_id < unpopulated_.size(), "bad node id");
     auto &stack = unpopulated_[node_id];
+    stack.materialize();
     std::vector<Gpfn> out;
     const std::uint64_t take = std::min<std::uint64_t>(n, stack.size());
     out.reserve(take);
     for (std::uint64_t i = 0; i < take; ++i) {
-        out.push_back(stack.back());
-        stack.pop_back();
+        out.push_back(stack.v.back());
+        stack.v.pop_back();
     }
     return out;
 }
@@ -203,11 +204,52 @@ GuestKernel::returnUnpopulatedGpfns(unsigned node_id,
 {
     hos_assert(node_id < unpopulated_.size(), "bad node id");
     auto &stack = unpopulated_[node_id];
+    stack.materialize();
     for (Gpfn pfn : gpfns) {
-        hos_assert(!pages_.page(pfn).populated,
+        hos_assert(!pages_.page(pfn).populated(),
                    "returning a populated gpfn");
-        stack.push_back(pfn);
+        stack.v.push_back(pfn);
     }
+}
+
+UnpopulatedView
+GuestKernel::peekUnpopulatedGpfns(unsigned node_id,
+                                  std::uint64_t n) const
+{
+    hos_assert(node_id < unpopulated_.size(), "bad node id");
+    const auto &stack = unpopulated_[node_id];
+    return {stack.v.data(), stack.size(), stack.rev,
+            std::min<std::uint64_t>(n, stack.size())};
+}
+
+void
+GuestKernel::commitUnpopulatedGpfns(unsigned node_id,
+                                    std::uint64_t peeked,
+                                    std::uint64_t granted)
+{
+    hos_assert(node_id < unpopulated_.size(), "bad node id");
+    auto &stack = unpopulated_[node_id];
+    hos_assert(peeked <= stack.size() && granted <= peeked,
+               "balloon commit out of range");
+    if (stack.rev == peeked) {
+        // The peeked window is exactly the reversed one: its granted
+        // prefix sits at the window's physical start, and dropping it
+        // leaves the remainder already in post-return order.
+        const auto base = static_cast<std::ptrdiff_t>(
+            stack.size() - peeked);
+        stack.v.erase(stack.v.begin() + base,
+                      stack.v.begin() + base +
+                          static_cast<std::ptrdiff_t>(granted));
+        stack.rev = 0;
+        return;
+    }
+    stack.materialize();
+    // Physical top-of-stack order: the granted prefix of the peek is
+    // the physical tail; the ungranted remainder comes back reversed.
+    stack.v.resize(stack.size() - granted);
+    stack.rev = peeked - granted;
+    if (stack.rev <= 1)
+        stack.rev = 0; // a 1-entry reversal is the identity
 }
 
 void
@@ -365,9 +407,9 @@ GuestKernel::allocUserPage(PageType type, MemHint hint, ProcessId process,
     const Gpfn pfn = allocator_->allocPage(req);
     if (pfn == invalidGpfn)
         return invalidGpfn;
-    Page &p = pages_.page(pfn);
-    p.owner_process = process;
-    p.vaddr = vaddr;
+    PageRef p = pages_.page(pfn);
+    p.setOwnerProcess(process);
+    p.setVaddr(vaddr);
     lruAdd(pfn);
     return pfn;
 }
@@ -375,8 +417,8 @@ GuestKernel::allocUserPage(PageType type, MemHint hint, ProcessId process,
 void
 GuestKernel::freeUserPage(Gpfn pfn)
 {
-    Page &p = pages_.page(pfn);
-    if (p.lru != LruState::None)
+    const PageRef p = pages_.page(pfn);
+    if (p.lru() != LruState::None)
         lruRemove(pfn);
     freePage(pfn);
 }
@@ -415,7 +457,7 @@ GuestKernel::onPageTablePages(std::int64_t delta)
                 ++pt_unbacked_;
                 continue;
             }
-            pages_.page(pfn).unevictable = true;
+            pages_.page(pfn).setUnevictable(true);
             pt_pages_.push_back(pfn);
         }
     } else {
@@ -428,7 +470,7 @@ GuestKernel::onPageTablePages(std::int64_t delta)
                 break;
             const Gpfn pfn = pt_pages_.back();
             pt_pages_.pop_back();
-            pages_.page(pfn).unevictable = false;
+            pages_.page(pfn).setUnevictable(false);
             freePage(pfn);
         }
     }
@@ -452,8 +494,8 @@ GuestKernel::allocIoPage(PageType type, MemHint hint)
 void
 GuestKernel::freeIoPage(Gpfn pfn)
 {
-    Page &p = pages_.page(pfn);
-    if (p.lru != LruState::None)
+    const PageRef p = pages_.page(pfn);
+    if (p.lru() != LruState::None)
         lruRemove(pfn);
     freePage(pfn);
 }
@@ -463,7 +505,7 @@ GuestKernel::touchIoPage(Gpfn pfn, bool write)
 {
     (void)write; // dirtiness is tracked by the page cache itself
     lruTouch(pfn);
-    pages_.page(pfn).pte_accessed = true; // I/O touches are references
+    pages_.page(pfn).setPteAccessed(true); // I/O touches are references
 }
 
 void
@@ -494,21 +536,21 @@ GuestKernel::allocSlabPage(PageType type, MemHint hint)
         return invalidGpfn;
     // Slab pages hold kernel objects referenced by pointer: pinned,
     // never on the LRU, reclaimed only when the slab page empties.
-    pages_.page(pfn).unevictable = true;
+    pages_.page(pfn).setUnevictable(true);
     return pfn;
 }
 
 void
 GuestKernel::freeSlabPage(Gpfn pfn)
 {
-    pages_.page(pfn).unevictable = false;
+    pages_.page(pfn).setUnevictable(false);
     freePage(pfn);
 }
 
 void
 GuestKernel::touchSlabPage(Gpfn pfn)
 {
-    pages_.page(pfn).pte_accessed = true;
+    pages_.page(pfn).setPteAccessed(true);
 }
 
 } // namespace hos::guestos

@@ -17,6 +17,7 @@
 #ifndef HOS_GUESTOS_KERNEL_HH
 #define HOS_GUESTOS_KERNEL_HH
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <functional>
@@ -130,7 +131,7 @@ class GuestKernel final : public MmBacking,
     bool hasType(mem::MemType type) const;
     NumaNode &nodeOf(Gpfn pfn)
     {
-        return node(pages_.page(pfn).numa_node);
+        return node(pages_.page(pfn).numa_node());
     }
     Zone &zoneOf(Gpfn pfn) { return nodeOf(pfn).zoneOf(pfn); }
 
@@ -142,7 +143,7 @@ class GuestKernel final : public MmBacking,
      */
     std::uint64_t effectiveFreePages(NumaNode &node);
     PageArray &pages() { return pages_; }
-    Page &pageMeta(Gpfn pfn) { return pages_.page(pfn); }
+    PageRef pageMeta(Gpfn pfn) { return pages_.page(pfn); }
 
     // --- Subsystems -----------------------------------------------
     HeteroAllocator &allocator() { return *allocator_; }
@@ -186,6 +187,24 @@ class GuestKernel final : public MmBacking,
     /** Return gpfns whose population was refused or undone. */
     void returnUnpopulatedGpfns(unsigned node_id,
                                 const std::vector<Gpfn> &gpfns);
+    /**
+     * Zero-copy view of the top `n` unpopulated gpfns of a node, in
+     * the exact order takeUnpopulatedGpfns would pop them. Valid
+     * until the next mutation of the node's stack (commit/take/
+     * return). Pair with commitUnpopulatedGpfns.
+     */
+    UnpopulatedView peekUnpopulatedGpfns(unsigned node_id,
+                                         std::uint64_t n) const;
+    /**
+     * Settle a populate attempt made over a peeked view of `peeked`
+     * entries whose first `granted` were taken (now populated).
+     * Equivalent to takeUnpopulatedGpfns(peeked) followed by
+     * returning the ungranted tail — including the tail's order
+     * reversal — but O(1) in the common cases (nothing granted, or
+     * a grant against an unreversed top).
+     */
+    void commitUnpopulatedGpfns(unsigned node_id, std::uint64_t peeked,
+                                std::uint64_t granted);
 
     // --- Placement oracle ------------------------------------------
     /**
@@ -199,7 +218,7 @@ class GuestKernel final : public MmBacking,
     {
         if (backing_oracle_)
             return backing_oracle_(pfn);
-        return pages_.page(pfn).mem_type;
+        return pages_.page(pfn).mem_type();
     }
     bool hasBackingOracle() const
     {
@@ -265,6 +284,39 @@ class GuestKernel final : public MmBacking,
     void touchSlabPage(Gpfn pfn) override;
 
   private:
+    /**
+     * Per-node LIFO of unpopulated gpfns whose top `rev` entries are
+     * stored in reversed order. The balloon populate protocol pops
+     * the top k, gets a strict prefix g granted, and pushes the
+     * remainder back — which nets out to "drop g, reverse the new
+     * top k-g". Keeping that reversal as a lazy window makes the
+     * dominant futile round trip (g == 0, the DRF pressure storm)
+     * cancel in O(1) instead of copying k gpfns twice.
+     */
+    struct UnpopulatedStack
+    {
+        std::vector<Gpfn> v;
+        std::uint64_t rev = 0; ///< top `rev` entries stored reversed
+
+        std::uint64_t size() const { return v.size(); }
+        /** i-th entry from the logical top (i < size()). */
+        Gpfn fromTop(std::uint64_t i) const
+        {
+            return i < rev ? v[v.size() - rev + i]
+                           : v[v.size() - 1 - i];
+        }
+        /** Rewrite the reversed window in physical order. */
+        void materialize()
+        {
+            if (rev > 0) {
+                std::reverse(
+                    v.end() - static_cast<std::ptrdiff_t>(rev),
+                    v.end());
+                rev = 0;
+            }
+        }
+    };
+
     GuestConfig cfg_;
     std::uint16_t vm_tag_ = 0;
     sim::StatGroup stats_;
@@ -275,7 +327,7 @@ class GuestKernel final : public MmBacking,
 
     PageArray pages_;
     std::vector<std::unique_ptr<NumaNode>> nodes_;
-    std::vector<std::vector<Gpfn>> unpopulated_; ///< per node, LIFO
+    std::vector<UnpopulatedStack> unpopulated_; ///< per node
 
     std::unique_ptr<PerCpuPageLists> percpu_;
     std::unique_ptr<HeteroAllocator> allocator_;

@@ -13,30 +13,30 @@ SplitLru::SplitLru(PageArray &pages)
 void
 SplitLru::addPage(Gpfn pfn)
 {
-    Page &p = pages_.page(pfn);
+    PageRef p = pages_.page(pfn);
     HOS_CHECK_CHEAP(check::validateLruInsert(p, "lru.addPage"));
-    hos_assert(p.lru == LruState::None, "page already on an LRU");
-    p.lru = LruState::Inactive;
-    p.referenced = false;
+    hos_assert(p.lru() == LruState::None, "page already on an LRU");
+    p.setLru(LruState::Inactive);
+    p.setReferenced(false);
     inactive_.pushFront(pfn);
 }
 
 void
 SplitLru::addPageActive(Gpfn pfn)
 {
-    Page &p = pages_.page(pfn);
+    PageRef p = pages_.page(pfn);
     HOS_CHECK_CHEAP(check::validateLruInsert(p, "lru.addPageActive"));
-    hos_assert(p.lru == LruState::None, "page already on an LRU");
-    p.lru = LruState::Active;
-    p.referenced = false;
+    hos_assert(p.lru() == LruState::None, "page already on an LRU");
+    p.setLru(LruState::Active);
+    p.setReferenced(false);
     active_.pushFront(pfn);
 }
 
 void
 SplitLru::removePage(Gpfn pfn)
 {
-    Page &p = pages_.page(pfn);
-    switch (p.lru) {
+    PageRef p = pages_.page(pfn);
+    switch (p.lru()) {
       case LruState::Active:
         active_.remove(pfn);
         break;
@@ -47,28 +47,28 @@ SplitLru::removePage(Gpfn pfn)
         sim::panic("removing page %llu not on an LRU",
                    static_cast<unsigned long long>(pfn));
     }
-    p.lru = LruState::None;
-    p.referenced = false;
+    p.setLru(LruState::None);
+    p.setReferenced(false);
 }
 
 void
 SplitLru::touch(Gpfn pfn)
 {
-    Page &p = pages_.page(pfn);
-    switch (p.lru) {
+    PageRef p = pages_.page(pfn);
+    switch (p.lru()) {
       case LruState::Inactive:
-        if (p.referenced) {
+        if (p.referenced()) {
             // Second touch: promote (mark_page_accessed semantics).
             inactive_.remove(pfn);
-            p.lru = LruState::Active;
-            p.referenced = false;
+            p.setLru(LruState::Active);
+            p.setReferenced(false);
             active_.pushFront(pfn);
         } else {
-            p.referenced = true;
+            p.setReferenced(true);
         }
         break;
       case LruState::Active:
-        p.referenced = true;
+        p.setReferenced(true);
         break;
       case LruState::None:
         break; // not managed (e.g., pagetable pages)
@@ -78,20 +78,20 @@ SplitLru::touch(Gpfn pfn)
 void
 SplitLru::deactivate(Gpfn pfn)
 {
-    Page &p = pages_.page(pfn);
-    if (p.lru == LruState::Inactive)
+    PageRef p = pages_.page(pfn);
+    if (p.lru() == LruState::Inactive)
         return;
-    hos_assert(p.lru == LruState::Active, "deactivating non-LRU page");
+    hos_assert(p.lru() == LruState::Active, "deactivating non-LRU page");
     active_.remove(pfn);
-    p.lru = LruState::Inactive;
-    p.referenced = false;
+    p.setLru(LruState::Inactive);
+    p.setReferenced(false);
     inactive_.pushFront(pfn);
 }
 
 bool
 SplitLru::contains(Gpfn pfn) const
 {
-    return pages_.page(pfn).lru != LruState::None;
+    return pages_.page(pfn).lru() != LruState::None;
 }
 
 std::uint64_t
@@ -105,15 +105,15 @@ SplitLru::balance(double target_ratio, std::uint64_t nscan)
             break;
         }
         const Gpfn pfn = active_.tail();
-        Page &p = pages_.page(pfn);
+        PageRef p = pages_.page(pfn);
         scanned_.inc();
-        if (p.referenced) {
-            p.referenced = false;
+        if (p.referenced()) {
+            p.setReferenced(false);
             active_.moveToFront(pfn);
             continue;
         }
         active_.remove(pfn);
-        p.lru = LruState::Inactive;
+        p.setLru(LruState::Inactive);
         inactive_.pushFront(pfn);
         ++demoted;
     }

@@ -75,31 +75,31 @@ class SplitLru
         for (std::uint64_t i = 0; i < nscan && !inactive_.empty();
              ++i) {
             const Gpfn pfn = inactive_.tail();
-            Page &p = pages_.page(pfn);
+            PageRef p = pages_.page(pfn);
             scanned_.inc();
 
-            if (p.under_io || p.unevictable) {
+            if (p.under_io() || p.unevictable()) {
                 inactive_.moveToFront(pfn);
                 continue;
             }
-            if (p.referenced) {
+            if (p.referenced()) {
                 // Second chance: promote to active, as Linux's
                 // shrink_inactive does for referenced+accessed pages.
-                p.referenced = false;
+                p.setReferenced(false);
                 inactive_.remove(pfn);
-                p.lru = LruState::Active;
+                p.setLru(LruState::Active);
                 active_.pushFront(pfn);
                 continue;
             }
 
             inactive_.remove(pfn);
-            p.lru = LruState::None;
+            p.setLru(LruState::None);
             if (reclaim(p)) {
                 ++reclaimed;
             } else {
                 // Taker declined (e.g., dirty page pending
                 // writeback): rotate back to the inactive head.
-                p.lru = LruState::Inactive;
+                p.setLru(LruState::Inactive);
                 inactive_.pushFront(pfn);
             }
         }

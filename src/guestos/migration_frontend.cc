@@ -18,12 +18,12 @@ bool
 MigrationFrontend::migrateOne(Gpfn pfn, mem::MemType dst,
                               MigrationOutcome &out)
 {
-    Page &p = kernel_.pageMeta(pfn);
+    PageRef p = kernel_.pageMeta(pfn);
     auto *xr = xray::active();
     const std::uint16_t vm = kernel_.vmTag();
     const sim::Tick now = kernel_.events().now();
 
-    if (!p.allocated) {
+    if (!p.allocated()) {
         // Released since the candidate list was built: the guest-side
         // check the VMM cannot do (Section 4.1, "page state").
         ++out.skipped_unmapped;
@@ -31,23 +31,23 @@ MigrationFrontend::migrateOne(Gpfn pfn, mem::MemType dst,
             xr->onSkip(vm, pfn, xray::EventKind::SkipUnmapped, 0, 0, now);
         return false;
     }
-    if (p.under_io) {
+    if (p.under_io()) {
         ++out.skipped_under_io;
         if (xr) {
-            xr->onSkip(vm, pfn, xray::EventKind::SkipUnderIo, p.heat, 0,
+            xr->onSkip(vm, pfn, xray::EventKind::SkipUnderIo, p.heat(), 0,
                        now);
         }
         return false;
     }
-    if (isMigrationException(p.type) || p.unevictable) {
+    if (isMigrationException(p.type()) || p.unevictable()) {
         ++out.skipped_pinned;
         if (xr) {
-            xr->onSkip(vm, pfn, xray::EventKind::SkipPinned, p.heat, 0,
+            xr->onSkip(vm, pfn, xray::EventKind::SkipPinned, p.heat(), 0,
                        now);
         }
         return false;
     }
-    if (p.mem_type == dst)
+    if (p.mem_type() == dst)
         return false; // already there; not an error, just nothing to do
 
     // Backstop behind the skip checks above: a page reaching the
@@ -59,51 +59,51 @@ MigrationFrontend::migrateOne(Gpfn pfn, mem::MemType dst,
     if (!target) {
         ++out.skipped_no_memory;
         if (xr) {
-            xr->onSkip(vm, pfn, xray::EventKind::SkipNoMemory, p.heat, 0,
+            xr->onSkip(vm, pfn, xray::EventKind::SkipNoMemory, p.heat(), 0,
                        now);
         }
         return false;
     }
 
-    switch (p.type) {
+    switch (p.type()) {
       case PageType::Anon: {
-        if (p.owner_process == noProcess ||
-            !kernel_.hasProcess(p.owner_process)) {
+        if (p.owner_process() == noProcess ||
+            !kernel_.hasProcess(p.owner_process())) {
             ++out.skipped_unmapped;
             if (xr) {
                 xr->onSkip(vm, pfn, xray::EventKind::SkipUnmapped,
-                           p.heat, 0, now);
+                           p.heat(), 0, now);
             }
             return false;
         }
-        AddressSpace &as = kernel_.process(p.owner_process);
-        auto mapped = as.translate(p.vaddr);
+        AddressSpace &as = kernel_.process(p.owner_process());
+        auto mapped = as.translate(p.vaddr());
         if (!mapped || *mapped != pfn) {
             ++out.skipped_unmapped;
             if (xr) {
                 xr->onSkip(vm, pfn, xray::EventKind::SkipUnmapped,
-                           p.heat, 0, now);
+                           p.heat(), 0, now);
             }
             return false;
         }
-        const Gpfn newp = kernel_.allocPageOnNode(target->id(), p.type);
+        const Gpfn newp = kernel_.allocPageOnNode(target->id(), p.type());
         if (newp == invalidGpfn) {
             ++out.skipped_no_memory;
             if (xr) {
                 xr->onSkip(vm, pfn, xray::EventKind::SkipNoMemory,
-                           p.heat, 0, now);
+                           p.heat(), 0, now);
             }
             return false;
         }
-        Page &d = kernel_.pageMeta(newp);
-        d.owner_process = p.owner_process;
-        d.vaddr = p.vaddr;
-        d.dirty = p.dirty;
-        d.pte_accessed = p.pte_accessed;
-        as.pageTable().remap(p.vaddr, newp);
-        kernel_.residency().onRemap(p.owner_process, p.vaddr, newp);
+        PageRef d = kernel_.pageMeta(newp);
+        d.setOwnerProcess(p.owner_process());
+        d.setVaddr(p.vaddr());
+        d.setDirty(p.dirty());
+        d.setPteAccessed(p.pte_accessed());
+        as.pageTable().remap(p.vaddr(), newp);
+        kernel_.residency().onRemap(p.owner_process(), p.vaddr(), newp);
 
-        if (p.lru != LruState::None)
+        if (p.lru() != LruState::None)
             kernel_.lruRemove(pfn);
         // Promotions carry proven heat: land active. Demotions start
         // inactive so they are first out again under pressure.
@@ -111,13 +111,13 @@ MigrationFrontend::migrateOne(Gpfn pfn, mem::MemType dst,
             kernel_.lruAddActive(newp);
         else
             kernel_.lruAdd(newp);
-        p.dirty = false;
-        p.owner_process = noProcess;
+        p.setDirty(false);
+        p.setOwnerProcess(noProcess);
         if (xr) {
             xr->onGuestMove(
                 vm, pfn, newp,
                 static_cast<std::uint8_t>(kernel_.backingOf(newp)),
-                p.heat, 0, now);
+                p.heat(), 0, now);
         }
         kernel_.freePage(pfn);
         return true;
@@ -129,36 +129,36 @@ MigrationFrontend::migrateOne(Gpfn pfn, mem::MemType dst,
             ++out.skipped_unmapped;
             return false;
         }
-        if (p.dirty && dst == mem::MemType::FastMem) {
+        if (p.dirty() && dst == mem::MemType::FastMem) {
             // Dirty short-lived I/O pages: migrating them only adds
             // overhead (Section 4.1); they are about to be written
             // back and evicted anyway.
             ++out.skipped_dirty_io;
             if (xr) {
                 xr->onSkip(vm, pfn, xray::EventKind::SkipDirtyIo,
-                           p.heat, 0, now);
+                           p.heat(), 0, now);
             }
             return false;
         }
-        if (p.dirty && dst != mem::MemType::FastMem) {
+        if (p.dirty() && dst != mem::MemType::FastMem) {
             ++out.skipped_dirty_io;
             if (xr) {
                 xr->onSkip(vm, pfn, xray::EventKind::SkipDirtyIo,
-                           p.heat, 0, now);
+                           p.heat(), 0, now);
             }
             return false;
         }
-        const Gpfn newp = kernel_.allocPageOnNode(target->id(), p.type);
+        const Gpfn newp = kernel_.allocPageOnNode(target->id(), p.type());
         if (newp == invalidGpfn) {
             ++out.skipped_no_memory;
             if (xr) {
                 xr->onSkip(vm, pfn, xray::EventKind::SkipNoMemory,
-                           p.heat, 0, now);
+                           p.heat(), 0, now);
             }
             return false;
         }
         cache.remapPage(pfn, newp);
-        if (p.lru != LruState::None)
+        if (p.lru() != LruState::None)
             kernel_.lruRemove(pfn);
         if (dst == mem::MemType::FastMem)
             kernel_.lruAddActive(newp);
@@ -168,7 +168,7 @@ MigrationFrontend::migrateOne(Gpfn pfn, mem::MemType dst,
             xr->onGuestMove(
                 vm, pfn, newp,
                 static_cast<std::uint8_t>(kernel_.backingOf(newp)),
-                p.heat, 0, now);
+                p.heat(), 0, now);
         }
         kernel_.freePage(pfn);
         return true;
@@ -176,7 +176,7 @@ MigrationFrontend::migrateOne(Gpfn pfn, mem::MemType dst,
       default:
         ++out.skipped_pinned;
         if (xr) {
-            xr->onSkip(vm, pfn, xray::EventKind::SkipPinned, p.heat, 0,
+            xr->onSkip(vm, pfn, xray::EventKind::SkipPinned, p.heat(), 0,
                        now);
         }
         return false;

@@ -1,40 +1,61 @@
 #include "guestos/page.hh"
 
 #include <algorithm>
+#include <bit>
 
 namespace hos::guestos {
 
 PageArray::PageArray(std::uint64_t num_pages)
-    : chunk_allocated_((num_pages + chunkPages - 1) >> chunkShift, 0)
+    : size_(num_pages), pte_accessed_((num_pages + 63) >> 6, 0),
+      allocated_((num_pages + 63) >> 6, 0),
+      populated_((num_pages + 63) >> 6, 0), heat_(num_pages, 0),
+      last_touch_(num_pages, 0), meta_(num_pages), rmap_(num_pages)
 {
-    // Construct descriptors in one pass with the pfn set, instead of
-    // value-initializing the whole array and then re-walking it to
-    // stamp pfns — mem_map construction is pure memory bandwidth and
-    // shows up in every experiment's start-up time.
-    pages_.reserve(num_pages);
-    for (std::uint64_t i = 0; i < num_pages; ++i) {
-        pages_.emplace_back();
-        pages_.back().pfn = i;
-    }
+    // Id 0 is reserved for "not on any list".
+    list_tags_.push_back(listNone);
+}
+
+ListId
+PageArray::registerList(ListTag tag)
+{
+    hos_assert(list_tags_.size() < 0xffffu, "list-id space exhausted");
+    list_tags_.push_back(tag);
+    return static_cast<ListId>(list_tags_.size() - 1);
 }
 
 std::uint64_t
 PageArray::freeRunLength(Gpfn from, std::uint64_t max) const
 {
-    const Gpfn end = std::min<Gpfn>(pages_.size(), from + max);
+    const Gpfn end = std::min<Gpfn>(size_, from + max);
+    if (from >= end)
+        return 0;
+    // First word: ignore bits below `from`.
     Gpfn pfn = from;
-    while (pfn < end) {
-        if (chunk_allocated_[pfn >> chunkShift] == 0) {
-            // Whole chunk free: jump to the next chunk boundary.
-            const Gpfn next = ((pfn >> chunkShift) + 1) << chunkShift;
-            pfn = std::min<Gpfn>(end, next);
-            continue;
-        }
-        if (pages_[pfn].allocated)
-            break;
-        ++pfn;
+    std::uint64_t word =
+        allocated_[pfn >> 6] & (~std::uint64_t(0) << (pfn & 63));
+    while (word == 0) {
+        pfn = (pfn | 63) + 1; // next word boundary
+        if (pfn >= end)
+            return end - from;
+        word = allocated_[pfn >> 6];
     }
-    return pfn - from;
+    const Gpfn first_set =
+        (pfn & ~Gpfn(63)) + static_cast<unsigned>(std::countr_zero(word));
+    return std::min<Gpfn>(first_set, end) - from;
+}
+
+std::uint32_t
+PageArray::allocatedInChunk(std::uint64_t c) const
+{
+    // chunkShift >= 6, so chunks are whole bitmap words; the trailing
+    // partial word of the array is zero-padded past size_.
+    const std::uint64_t lo_word = (c << chunkShift) >> 6;
+    const std::uint64_t hi_word = std::min<std::uint64_t>(
+        allocated_.size(), ((c + 1) << chunkShift) >> 6);
+    std::uint32_t n = 0;
+    for (std::uint64_t w = lo_word; w < hi_word; ++w)
+        n += static_cast<std::uint32_t>(std::popcount(allocated_[w]));
+    return n;
 }
 
 } // namespace hos::guestos

@@ -65,8 +65,7 @@ PageCache::populate(FileMeta &meta, FileId file, std::uint64_t first_page,
         }
         meta.by_index_.emplace(idx, pfn);
         reverse_.emplace(pfn, ReverseEntry{file, idx});
-        Page &p = pages_.page(pfn);
-        p.under_io = true;
+        pages_.page(pfn).setUnderIo(true);
         filled.push_back(pfn);
         res.pages.push_back(pfn);
         misses_.inc();
@@ -82,11 +81,11 @@ PageCache::populate(FileMeta &meta, FileId file, std::uint64_t first_page,
                 disk_.read(filled.size() * mem::pageSize, seq);
         }
         for (Gpfn pfn : filled) {
-            Page &p = pages_.page(pfn);
-            p.under_io = false;
+            PageRef p = pages_.page(pfn);
+            p.setUnderIo(false);
             if (for_write) {
-                if (!p.dirty) {
-                    p.dirty = true;
+                if (!p.dirty()) {
+                    p.setDirty(true);
                     ++dirty_count_;
                     dirty_fifo_.push_back(pfn);
                 }
@@ -137,9 +136,9 @@ PageCache::write(FileId file, std::uint64_t offset, std::uint64_t len,
     populate(meta, file, first, last, hint, res, true);
     // Dirty every page touched by the write (hits included).
     for (Gpfn pfn : res.pages) {
-        Page &p = pages_.page(pfn);
-        if (!p.dirty) {
-            p.dirty = true;
+        PageRef p = pages_.page(pfn);
+        if (!p.dirty()) {
+            p.setDirty(true);
             ++dirty_count_;
             dirty_fifo_.push_back(pfn);
         }
@@ -178,10 +177,10 @@ PageCache::writeback(std::uint64_t max_pages)
         dirty_fifo_.pop_front();
         if (!owns(pfn))
             continue; // evicted since queued
-        Page &p = pages_.page(pfn);
-        if (!p.dirty)
+        PageRef p = pages_.page(pfn);
+        if (!p.dirty())
             continue; // already cleaned
-        p.dirty = false;
+        p.setDirty(false);
         hos_assert(dirty_count_ > 0, "dirty count underflow");
         --dirty_count_;
         cleaned.push_back(pfn);
@@ -200,8 +199,8 @@ PageCache::evictPage(Gpfn pfn)
 {
     auto it = reverse_.find(pfn);
     hos_assert(it != reverse_.end(), "evicting a non-cache page");
-    Page &p = pages_.page(pfn);
-    if (p.dirty || p.under_io)
+    const PageRef p = pages_.page(pfn);
+    if (p.dirty() || p.under_io())
         return false;
 
     FileMeta &meta = files_[it->second.file];
@@ -223,14 +222,14 @@ PageCache::remapPage(Gpfn old_pfn, Gpfn new_pfn)
     meta.by_index_[entry.page_index] = new_pfn;
     reverse_.emplace(new_pfn, entry);
 
-    Page &oldp = pages_.page(old_pfn);
-    Page &newp = pages_.page(new_pfn);
-    newp.dirty = oldp.dirty;
-    newp.under_io = oldp.under_io;
-    if (oldp.dirty) {
+    PageRef oldp = pages_.page(old_pfn);
+    PageRef newp = pages_.page(new_pfn);
+    newp.setDirty(oldp.dirty());
+    newp.setUnderIo(oldp.under_io());
+    if (oldp.dirty()) {
         // The dirty FIFO entry for the old frame is skipped lazily
         // (owns() check in writeback); queue the new frame.
-        oldp.dirty = false;
+        oldp.setDirty(false);
         dirty_fifo_.push_back(new_pfn);
     }
 }

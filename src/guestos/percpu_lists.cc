@@ -50,7 +50,7 @@ PerCpuPageLists::alloc(unsigned cpu, NumaNode &node)
         const Gpfn pfn = node.allocBlock(0);
         if (pfn == invalidGpfn)
             break;
-        Page &p = pages_.page(pfn);
+        PageRef p = pages_.page(pfn);
         pages_.setAllocated(p, false); // parked in the per-CPU cache
         list.pushBack(pfn);
         ++cached_per_node_[node.id()];
@@ -62,18 +62,18 @@ void
 PerCpuPageLists::free(unsigned cpu, NumaNode &node, Gpfn pfn)
 {
     PageList &list = listFor(cpu, node.id());
-    Page &p = pages_.page(pfn);
+    PageRef p = pages_.page(pfn);
     HOS_CHECK_CHEAP(check::validateFree(p, "percpu.free"));
-    hos_assert(p.allocated, "per-cpu free of non-allocated page");
+    hos_assert(p.allocated(), "per-cpu free of non-allocated page");
     // Reset as the buddy would; the page stays out of the buddy while
     // cached here.
     pages_.setAllocated(p, false);
-    p.type = PageType::Free;
-    p.dirty = false;
-    p.referenced = false;
-    p.pte_accessed = false;
-    p.heat = 0; // a recycled frame is not the hot page it backed
-    p.owner_process = noProcess;
+    p.setType(PageType::Free);
+    p.setDirty(false);
+    p.setReferenced(false);
+    p.setPteAccessed(false);
+    p.setHeat(0); // a recycled frame is not the hot page it backed
+    p.setOwnerProcess(noProcess);
     list.pushFront(pfn);
     ++cached_per_node_[node.id()];
 

@@ -40,9 +40,9 @@ CoordinatedPolicy::publishDirectives(guestos::GuestKernel &kernel)
     }
     // Exception list: short-lived I/O pages (evicted eagerly by
     // HeteroOS-LRU anyway) and unmigratable page-table/DMA pages.
-    d.exception = [](const guestos::Page &p) {
-        return guestos::isShortLivedIo(p.type) ||
-               guestos::isMigrationException(p.type);
+    d.exception = [](const guestos::PageRef &p) {
+        return guestos::isShortLivedIo(p.type()) ||
+               guestos::isMigrationException(p.type());
     };
     ring_.publishDirectives(std::move(d));
 }
@@ -76,7 +76,7 @@ CoordinatedPolicy::attach(vmm::Vmm &vmm, vmm::VmId id,
             std::vector<guestos::Gpfn> candidates;
             candidates.reserve(scan.hot.size());
             for (guestos::Gpfn pfn : scan.hot) {
-                if (kernel.pageMeta(pfn).mem_type ==
+                if (kernel.pageMeta(pfn).mem_type() ==
                     mem::MemType::SlowMem) {
                     candidates.push_back(pfn);
                 }

@@ -6,27 +6,31 @@
  * time in chunks), but periodic daemons — hotness-tracking scans, LRU
  * reclaim passes, balloon adjustments, writeback — are scheduled as
  * events so their cadence interleaves correctly with workload progress.
+ *
+ * The scheduler is a hierarchical timer wheel over an intrusive slab
+ * of event nodes rather than a binary heap: the steady state here is
+ * a handful of periodic daemons rescheduling themselves every epoch,
+ * and a wheel makes that reschedule an O(1) list push with no
+ * per-event allocation (freed nodes recycle through a free list,
+ * reusing their std::function capacity). Same-tick events dispatch as
+ * one batch, ordered by their schedule sequence number, so the
+ * observable firing order is bit-identical to the former heap's
+ * (when, seq) order.
  */
 
 #ifndef HOS_SIM_EVENT_QUEUE_HH
 #define HOS_SIM_EVENT_QUEUE_HH
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "sim/time.hh"
 
 namespace hos::sim {
-
-/** An event: a callback due at a simulated tick. */
-struct Event
-{
-    Tick when;
-    std::uint64_t seq;  ///< tie-breaker: FIFO among same-tick events
-    std::function<void()> action;
-};
 
 /**
  * A minimal discrete-event scheduler.
@@ -38,7 +42,7 @@ struct Event
 class EventQueue
 {
   public:
-    EventQueue() = default;
+    EventQueue() { resetWheel(); }
 
     /** Current simulated time. */
     Tick now() const { return now_; }
@@ -61,25 +65,54 @@ class EventQueue
     void runUntil(Tick t);
 
     /** Number of pending events. */
-    std::size_t pending() const { return heap_.size(); }
+    std::size_t pending() const { return pending_; }
 
     /** Drop all pending events (end of run). */
     void clear();
 
   private:
-    struct Later
+    /// 64 slots per level; 11 levels * 6 bits cover the full Tick
+    /// range (the top level absorbs any remaining high bits).
+    static constexpr unsigned slotBits = 6;
+    static constexpr unsigned numSlots = 1u << slotBits;
+    static constexpr unsigned numLevels = 11;
+    static constexpr std::uint32_t npos = 0xffffffffu;
+
+    /** Slab-resident event node, chained intrusively per slot. */
+    struct Node
     {
-        bool operator()(const Event &a, const Event &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
+        Tick when = 0;
+        std::uint64_t seq = 0; ///< FIFO tie-break among same-tick events
+        std::function<void()> action;
+        std::uint32_t next = npos; ///< slot chain / free list link
     };
+
+    /// Tick shifted by a possibly >= 64 bit count (level 10 uses 66).
+    static Tick shr(Tick x, unsigned bits)
+    {
+        return bits >= 64 ? 0 : x >> bits;
+    }
+
+    std::uint32_t allocNode();
+    void freeNode(std::uint32_t idx);
+    /** File a node into the wheel relative to the current now_. */
+    void placeNode(std::uint32_t idx);
+    /**
+     * Move now_ to `nt` and cascade each level's newly-current slot
+     * down so lower levels regain their "due soon" resolution.
+     */
+    void advanceTo(Tick nt);
+    /** Earliest pending event time, or false if the wheel is empty. */
+    bool earliestEvent(Tick &out) const;
+    void resetWheel();
 
     Tick now_ = 0;
     std::uint64_t next_seq_ = 0;
-    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    std::size_t pending_ = 0;
+    std::vector<Node> slab_;
+    std::uint32_t free_ = npos;
+    std::array<std::uint64_t, numLevels> occupied_;
+    std::array<std::array<std::uint32_t, numSlots>, numLevels> slots_;
 };
 
 } // namespace hos::sim

@@ -63,12 +63,12 @@ PteScanTracker::scanOnce()
                 lo, r.va_hi,
                 [&](std::uint64_t va, const guestos::PteView &pte) {
                     last_va = va;
-                    guestos::Page &p = pages.page(pte.pfn);
+                    guestos::PageRef p = pages.page(pte.pfn);
                     if (d.exception && d.exception(p))
                         return;
                     const bool accessed =
-                        pte.accessed || p.pte_accessed;
-                    p.pte_accessed = false;
+                        pte.accessed || p.pte_accessed();
+                    p.setPteAccessed(false);
                     heatPage(p, accessed, res);
                 },
                 /*clear_accessed=*/true, budget);
@@ -95,8 +95,8 @@ PteScanTracker::scanOnce()
         HOS_PROF_SPAN(chunk_span, prof::SpanKind::ChunkWalk,
                       kernel.events(), vm_id);
         while (step < span && visited < cfg_.pages_per_scan) {
-            guestos::Page &p = pages.page(cursor_);
-            if (!p.allocated) {
+            guestos::PageRef p = pages.page(cursor_);
+            if (!p.allocated()) {
                 // Skipping a free run of length L consumes exactly L
                 // steps, so cursor and visited counts match the
                 // page-at-a-time walk (free_run_skip=false) bit for
@@ -115,8 +115,8 @@ PteScanTracker::scanOnce()
             if (++cursor_ == span)
                 cursor_ = 0;
             ++visited;
-            const bool accessed = p.pte_accessed;
-            p.pte_accessed = false;
+            const bool accessed = p.pte_accessed();
+            p.setPteAccessed(false);
             heatPage(p, accessed, res);
         }
         res.pages_scanned = visited;

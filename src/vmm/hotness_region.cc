@@ -158,10 +158,10 @@ RegionTracker::probeRegion(HotRegion &r, ScanResult &res)
         bool hit = false;
         if (r.pid == guestos::noProcess) {
             // Full-VM scope: pn is a gpfn; read the descriptor.
-            guestos::Page &p = pages.page(pn);
-            if (p.allocated) {
-                const bool accessed = p.pte_accessed;
-                p.pte_accessed = false;
+            guestos::PageRef p = pages.page(pn);
+            if (p.allocated()) {
+                const bool accessed = p.pte_accessed();
+                p.setPteAccessed(false);
                 hit = accessed;
                 probeHeat(p, accessed);
             }
@@ -175,12 +175,12 @@ RegionTracker::probeRegion(HotRegion &r, ScanResult &res)
             as.pageTable().scanRange(
                 va, va + mem::pageSize,
                 [&](std::uint64_t, const guestos::PteView &pte) {
-                    guestos::Page &p = pages.page(pte.pfn);
+                    guestos::PageRef p = pages.page(pte.pfn);
                     if (d.exception && d.exception(p))
                         return;
                     const bool accessed =
-                        pte.accessed || p.pte_accessed;
-                    p.pte_accessed = false;
+                        pte.accessed || p.pte_accessed();
+                    p.setPteAccessed(false);
                     hit = accessed;
                     probeHeat(p, accessed);
                 },
@@ -344,8 +344,8 @@ RegionTracker::emitCandidates(ScanResult &res)
                 r.lo + (r.emit_cursor + steps) % len;
             ++examined;
             if (r.pid == guestos::noProcess) {
-                guestos::Page &p = pages.page(pn);
-                if (!p.allocated)
+                guestos::PageRef p = pages.page(pn);
+                if (!p.allocated())
                     continue;
                 // Candidates must actually live in SlowMem; under a
                 // hidden topology the guest-visible type is a lie and
@@ -354,11 +354,11 @@ RegionTracker::emitCandidates(ScanResult &res)
                     hidden ? (vm_.p2m().populated(pn)
                                   ? vm_.p2m().tierOf(pn)
                                   : mem::MemType::SlowMem)
-                           : p.mem_type;
+                           : p.mem_type();
                 if (tier != mem::MemType::SlowMem)
                     continue;
                 raiseHeat(p, r.heat);
-                res.hot.push_back(p.pfn);
+                res.hot.push_back(p.pfn());
             } else {
                 if (!kernel.hasProcess(r.pid))
                     break;
@@ -367,14 +367,14 @@ RegionTracker::emitCandidates(ScanResult &res)
                     kernel.process(r.pid).pageTable().lookup(va);
                 if (!pte)
                     continue;
-                guestos::Page &p = pages.page(pte->pfn);
+                guestos::PageRef p = pages.page(pte->pfn);
                 const TrackingDirectives &d = ring_->directives();
                 if (d.exception && d.exception(p))
                     continue;
-                if (p.mem_type != mem::MemType::SlowMem)
+                if (p.mem_type() != mem::MemType::SlowMem)
                     continue;
                 raiseHeat(p, r.heat);
-                res.hot.push_back(p.pfn);
+                res.hot.push_back(p.pfn());
             }
         }
         r.emit_cursor = (r.emit_cursor + steps) % len;

@@ -38,39 +38,44 @@ HotnessTracker::HotnessTracker(VmContext &vm, HotnessConfig cfg)
 }
 
 void
-HotnessTracker::heatPage(guestos::Page &p, bool accessed, ScanResult &res)
+HotnessTracker::heatPage(guestos::PageRef &p, bool accessed,
+                         ScanResult &res)
 {
     // Exponentially decaying heat: halve, then add for a fresh touch.
-    p.heat = static_cast<std::uint16_t>(p.heat / 2 + (accessed ? 64 : 0));
+    const auto heat =
+        static_cast<std::uint16_t>(p.heat() / 2 + (accessed ? 64 : 0));
+    p.setHeat(heat);
     if (accessed)
         ++res.accessed;
-    if (p.heat >= cfg_.hot_threshold)
-        res.hot.push_back(p.pfn);
+    if (heat >= cfg_.hot_threshold)
+        res.hot.push_back(p.pfn());
     if (auto *xr = xray::active()) {
-        xr->onHeat(static_cast<std::uint16_t>(vm_.id()), p.pfn, p.heat,
+        xr->onHeat(static_cast<std::uint16_t>(vm_.id()), p.pfn(), heat,
                    cfg_.hot_threshold, vm_.kernel().events().now());
     }
 }
 
 std::uint16_t
-HotnessTracker::probeHeat(guestos::Page &p, bool accessed)
+HotnessTracker::probeHeat(guestos::PageRef &p, bool accessed)
 {
-    p.heat = static_cast<std::uint16_t>(p.heat / 2 + (accessed ? 64 : 0));
+    const auto heat =
+        static_cast<std::uint16_t>(p.heat() / 2 + (accessed ? 64 : 0));
+    p.setHeat(heat);
     if (auto *xr = xray::active()) {
-        xr->onHeat(static_cast<std::uint16_t>(vm_.id()), p.pfn, p.heat,
+        xr->onHeat(static_cast<std::uint16_t>(vm_.id()), p.pfn(), heat,
                    cfg_.hot_threshold, vm_.kernel().events().now());
     }
-    return p.heat;
+    return heat;
 }
 
 void
-HotnessTracker::raiseHeat(guestos::Page &p, std::uint16_t floor)
+HotnessTracker::raiseHeat(guestos::PageRef &p, std::uint16_t floor)
 {
-    if (p.heat >= floor)
+    if (p.heat() >= floor)
         return;
-    p.heat = floor;
+    p.setHeat(floor);
     if (auto *xr = xray::active()) {
-        xr->onHeat(static_cast<std::uint16_t>(vm_.id()), p.pfn, p.heat,
+        xr->onHeat(static_cast<std::uint16_t>(vm_.id()), p.pfn(), floor,
                    cfg_.hot_threshold, vm_.kernel().events().now());
     }
 }

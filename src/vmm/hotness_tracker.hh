@@ -187,20 +187,20 @@ class HotnessTracker
      * Update one page's heat from its harvested access bit, counting
      * it hot when over threshold (the per-PTE path's inner loop).
      */
-    void heatPage(guestos::Page &p, bool accessed, ScanResult &res);
+    void heatPage(guestos::PageRef &p, bool accessed, ScanResult &res);
 
     /**
      * EWMA-update one page's heat without hot-candidate collection
      * (the region backend's probe path). Keeps the xray heat shadow
      * exact. Returns the new heat.
      */
-    std::uint16_t probeHeat(guestos::Page &p, bool accessed);
+    std::uint16_t probeHeat(guestos::PageRef &p, bool accessed);
 
     /**
      * Raise one page's heat to at least `floor` (region-level heat
      * applied to an emitted candidate), keeping the xray shadow exact.
      */
-    void raiseHeat(guestos::Page &p, std::uint16_t floor);
+    void raiseHeat(guestos::PageRef &p, std::uint16_t floor);
 
     /**
      * Close out a scan: record counters, accumulate cost, and emit

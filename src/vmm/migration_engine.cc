@@ -48,7 +48,7 @@ MigrationEngine::migrateBacking(VmContext &vm,
                 if (xr) {
                     xr->onSkip(vm_id, gpfn,
                                xray::EventKind::SkipNoFrames,
-                               vm.kernel().pages().page(gpfn).heat,
+                               vm.kernel().pages().page(gpfn).heat(),
                                my_rank, now);
                 }
                 continue;
@@ -118,7 +118,7 @@ MigrationEngine::coldestFastBacked(VmContext &vm, std::uint64_t n)
             break;
     }
     std::sort(sample.begin(), sample.end(), [&](Gpfn a, Gpfn b) {
-        return pages.page(a).heat < pages.page(b).heat;
+        return pages.page(a).heat() < pages.page(b).heat();
     });
     if (sample.size() > n)
         sample.resize(n);
@@ -189,7 +189,7 @@ MigrationEngine::promoteWithEviction(VmContext &vm,
                 // the provenance the lag histograms need to explain.
                 if (candidate) {
                     xr->onSkip(vm_id, pfn, xray::EventKind::SkipBudget,
-                               vm.kernel().pages().page(pfn).heat,
+                               vm.kernel().pages().page(pfn).heat(),
                                static_cast<std::uint32_t>(
                                    promote.size()),
                                now);
@@ -239,12 +239,12 @@ MigrationEngine::promoteWithEviction(VmContext &vm,
             for (Gpfn victim : victims) {
                 if (idx >= promote.size())
                     break;
-                if (pages.page(victim).heat >=
-                    pages.page(promote[idx]).heat) {
+                if (pages.page(victim).heat() >=
+                    pages.page(promote[idx]).heat()) {
                     if (xr) {
                         xr->onSkip(vm_id, promote[idx],
                                    xray::EventKind::SkipVictimHot,
-                                   pages.page(promote[idx]).heat,
+                                   pages.page(promote[idx]).heat(),
                                    static_cast<std::uint32_t>(idx),
                                    now);
                     }
@@ -262,7 +262,7 @@ MigrationEngine::promoteWithEviction(VmContext &vm,
                 for (std::size_t i = idx; i < promote.size(); ++i) {
                     xr->onSkip(vm_id, promote[i],
                                xray::EventKind::SkipNoFrames,
-                               pages.page(promote[i]).heat,
+                               pages.page(promote[i]).heat(),
                                static_cast<std::uint32_t>(i), now);
                 }
             }

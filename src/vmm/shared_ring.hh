@@ -38,7 +38,7 @@ struct TrackingDirectives
      * Defaults (installed by the coordinated policy) exclude
      * short-lived I/O pages and unmigratable page-table/DMA pages.
      */
-    std::function<bool(const guestos::Page &)> exception;
+    std::function<bool(const guestos::PageRef &)> exception;
     std::uint64_t version = 0;
 };
 

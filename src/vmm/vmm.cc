@@ -152,13 +152,13 @@ Vmm::backingTier(const VmContext &vm, unsigned guest_node) const
 
 std::uint64_t
 Vmm::populatePages(VmContext &vm, unsigned guest_node,
-                   const std::vector<Gpfn> &gpfns)
+                   const guestos::UnpopulatedView &gpfns)
 {
     if (gpfns.empty())
         return 0;
 
     std::uint64_t granted_total = 0;
-    std::size_t idx = 0;
+    std::uint64_t idx = 0;
 
     // Hidden VMs may need to split a request across tiers as one runs
     // out; visible VMs resolve to a single tier.

@@ -153,7 +153,7 @@ class Vmm
      * gated by the fairness policy. Returns frames granted (prefix).
      */
     std::uint64_t populatePages(VmContext &vm, unsigned guest_node,
-                                const std::vector<Gpfn> &gpfns);
+                                const guestos::UnpopulatedView &gpfns);
 
     /** Release the machine frames behind `gpfns`. */
     void unpopulatePages(VmContext &vm, unsigned guest_node,
@@ -185,7 +185,7 @@ class Vmm
 
         std::uint64_t
         populatePages(unsigned guest_node,
-                      const std::vector<Gpfn> &gpfns) override
+                      const guestos::UnpopulatedView &gpfns) override
         {
             return vmm_.populatePages(vmm_.vm(id_), guest_node, gpfns);
         }

@@ -173,9 +173,9 @@ Workload::regionPage(Region &r, std::uint64_t idx)
     if (r.type != guestos::PageType::Anon)
         return pfn;
     const std::uint64_t va = r.vma_start + idx * mem::pageSize;
-    const guestos::Page &p = kernel().pageMeta(pfn);
-    if (!p.allocated || p.vaddr != va ||
-        p.owner_process != mainProcess().pid()) {
+    const guestos::PageRef p = kernel().pageMeta(pfn);
+    if (!p.allocated() || p.vaddr() != va ||
+        p.owner_process() != mainProcess().pid()) {
         // Stale: the page was demoted/promoted to a different frame.
         if (auto cur = mainProcess().translate(va)) {
             r.pages[idx] = *cur;
@@ -285,10 +285,10 @@ Workload::markRegionAccessed(Region &r)
     for (std::uint64_t i = 0; i < hot; ++i) {
         const bool in_core = i >= hot - core;
         if (in_core || rng_.chance(r.ref_chance)) {
-            guestos::Page &p = kernel().pageMeta(regionPage(r, idx));
-            p.pte_accessed = true;
-            p.referenced = true;
-            p.last_touch = elapsed_ + 1;
+            guestos::PageRef p = kernel().pageMeta(regionPage(r, idx));
+            p.setPteAccessed(true);
+            p.setReferenced(true);
+            p.setLastTouch(elapsed_ + 1);
         }
         if (++idx == size)
             idx = 0;
@@ -304,10 +304,10 @@ Workload::markRegionAccessed(Region &r)
         idx -= size; // both terms are < size
     for (std::uint64_t i = 0; i < n; ++i) {
         const guestos::Gpfn pfn = regionPage(r, idx);
-        guestos::Page &p = kernel().pageMeta(pfn);
+        const guestos::PageRef p = kernel().pageMeta(pfn);
         kernel().lruTouch(pfn);
-        if (r.type == guestos::PageType::Anon && p.vaddr != 0)
-            as.pageTable().touch(p.vaddr, write);
+        if (r.type == guestos::PageType::Anon && p.vaddr() != 0)
+            as.pageTable().touch(p.vaddr(), write);
         if (++idx == size)
             idx = 0;
     }
@@ -395,11 +395,11 @@ Workload::accessPages(const std::vector<guestos::Gpfn> &pages,
     std::uint64_t fast = 0;
     std::uint64_t lru_budget = markSlice;
     for (guestos::Gpfn pfn : pages) {
-        guestos::Page &p = kernel().pageMeta(pfn);
-        p.pte_accessed = true;
-        p.referenced = true;
-        p.last_touch = elapsed_ + 1;
-        if (lru_budget > 0 && p.lru != guestos::LruState::None) {
+        guestos::PageRef p = kernel().pageMeta(pfn);
+        p.setPteAccessed(true);
+        p.setReferenced(true);
+        p.setLastTouch(elapsed_ + 1);
+        if (lru_budget > 0 && p.lru() != guestos::LruState::None) {
             kernel().lruTouch(pfn);
             --lru_budget;
         }

@@ -1,0 +1,15 @@
+// Fixture: soa-field-write. Page metadata writes that bypass the
+// PageRef facade — AoS-style member assignments to retired Page
+// fields and direct indexing of PageArray's SoA columns. Never
+// compiled.
+struct FakePage;
+
+void
+corrupt(FakePage &p, FakePage *q)
+{
+    p.pte_accessed = true;        // member write through retired field
+    q->last_touch = 7;            // arrow form
+    p.buddy_order += 1;           // compound assignment
+    heat_[42] = 9;                // direct SoA column indexing
+    meta_[7].list_id = 0;         // column indexing + field write
+}

@@ -59,6 +59,22 @@ rungRetarget(VmContext &vm, unsigned long gpfn, unsigned long mfn,
     vm.xray().onTierChange(gpfn, tier);
 }
 
+void
+facadeWrites(PageArrayLike &pages)
+{
+    // Page state through the facade: setters and reads are fine, as
+    // are comparisons against the retired field names.
+    auto p = pages.page(7);
+    p.setPteAccessed(true);
+    p.setLastTouch(9);
+    pages.setAllocated(7, true);
+    if (p.last_touch() == 9 && p.list_id() != 0)
+        p.setHeat(42);
+    // Same-name members of unrelated types are not page state.
+    int last_touched_row = 3;
+    (void)last_touched_row;
+}
+
 const char *
 structuredKeys()
 {

@@ -44,11 +44,11 @@ TEST_F(AsFixture, TouchFaultsInOnce)
     EXPECT_EQ(as->touch(va, false), first) << "no refault";
     EXPECT_EQ(as->mappedPages(), 1u);
 
-    const Page &p = kernel->pageMeta(first);
-    EXPECT_EQ(p.type, PageType::Anon);
-    EXPECT_EQ(p.owner_process, as->pid());
-    EXPECT_EQ(p.vaddr, va);
-    EXPECT_EQ(p.lru, LruState::Inactive);
+    const PageRef p = kernel->pageMeta(first);
+    EXPECT_EQ(p.type(), PageType::Anon);
+    EXPECT_EQ(p.owner_process(), as->pid());
+    EXPECT_EQ(p.vaddr(), va);
+    EXPECT_EQ(p.lru(), LruState::Inactive);
 }
 
 TEST_F(AsFixture, TouchSetsPteBits)
@@ -79,7 +79,7 @@ TEST_F(AsFixture, MunmapFreesPages)
     EXPECT_EQ(as->mappedPages(), 0u);
     EXPECT_EQ(as->vmaCount(), 0u);
     for (Gpfn pfn : pfns)
-        EXPECT_FALSE(kernel->pageMeta(pfn).allocated);
+        EXPECT_FALSE(kernel->pageMeta(pfn).allocated());
 }
 
 TEST_F(AsFixture, FileBackedFaultsThroughPageCache)
@@ -89,7 +89,7 @@ TEST_F(AsFixture, FileBackedFaultsThroughPageCache)
     const Gpfn pfn = as->touch(va, false);
     ASSERT_NE(pfn, invalidGpfn);
     EXPECT_TRUE(kernel->pageCache().owns(pfn));
-    EXPECT_EQ(kernel->pageMeta(pfn).type, PageType::PageCache);
+    EXPECT_EQ(kernel->pageMeta(pfn).type(), PageType::PageCache);
 
     // A second process view of the same offset shares the page.
     auto &as2 = kernel->createProcess("proc2");
@@ -131,8 +131,8 @@ TEST_F(AsFixture, MemHintRoutesPlacement)
         as->mmap(mem::pageSize, VmaKind::Anon, MemHint::SlowMem);
     const Gpfn fp = as->touch(fast_va, true);
     const Gpfn sp = as->touch(slow_va, true);
-    EXPECT_EQ(kernel->pageMeta(fp).mem_type, mem::MemType::FastMem);
-    EXPECT_EQ(kernel->pageMeta(sp).mem_type, mem::MemType::SlowMem);
+    EXPECT_EQ(kernel->pageMeta(fp).mem_type(), mem::MemType::FastMem);
+    EXPECT_EQ(kernel->pageMeta(sp).mem_type(), mem::MemType::SlowMem);
 }
 
 } // namespace

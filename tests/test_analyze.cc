@@ -75,11 +75,12 @@ const Case kCases[] = {
     {"bad_xray_int.cc", "xray-int", "src/xray/fix.cc"},
     {"bad_loose_hotness_key.cc", "loose-hotness-key", "tests/fix.cc"},
     {"bad_retired_api.cc", "retired-api", "src/fix.cc"},
+    {"bad_soa_field_write.cc", "soa-field-write", "src/fix.cc"},
 };
 
-TEST(Analyze, CatalogHasTwelveRules)
+TEST(Analyze, CatalogHasThirteenRules)
 {
-    EXPECT_EQ(ruleIds().size(), 12u);
+    EXPECT_EQ(ruleIds().size(), 13u);
     // Every fixture case names a cataloged rule.
     for (const Case &c : kCases) {
         EXPECT_NE(std::find(ruleIds().begin(), ruleIds().end(),

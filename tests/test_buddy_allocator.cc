@@ -42,7 +42,7 @@ TEST_F(BuddyFixture, AllocMarksPagesAllocated)
     ASSERT_NE(pfn, invalidGpfn);
     EXPECT_EQ(pfn % 8, 0u) << "order-3 block must be aligned";
     for (int i = 0; i < 8; ++i)
-        EXPECT_TRUE(pages.page(pfn + i).allocated);
+        EXPECT_TRUE(pages.page(pfn + i).allocated());
     EXPECT_EQ(buddy.freePages(), span - 8);
     buddy.checkInvariants();
 }

@@ -79,19 +79,18 @@ TEST(PageStateMachine, TypeTransitionsOnlyThroughFree)
 
 TEST(PageStateMachine, DoubleFreeIsPageState)
 {
-    guestos::Page p;
-    p.pfn = 7;
-    p.allocated = false; // already freed
+    guestos::PageArray pa(8);
+    const guestos::PageRef p = pa.page(7); // allocated bit clear
     expectCheckFailure(CheckKind::PageState,
                        [&] { check::validateFree(p, "test"); });
 }
 
 TEST(PageStateMachine, DoubleAllocationIsPageState)
 {
-    guestos::Page p;
-    p.pfn = 7;
-    p.allocated = true;
-    p.type = PageType::Anon; // still live
+    guestos::PageArray pa(8);
+    guestos::PageRef p = pa.page(7);
+    pa.setAllocated(p, true);
+    p.setType(PageType::Anon); // still live
     expectCheckFailure(CheckKind::PageState, [&] {
         check::validateAlloc(p, PageType::Slab, "test");
     });
@@ -99,10 +98,10 @@ TEST(PageStateMachine, DoubleAllocationIsPageState)
 
 TEST(PageStateMachine, LiveRetypeIsPageState)
 {
-    guestos::Page p;
-    p.pfn = 7;
-    p.allocated = true;
-    p.type = PageType::Anon;
+    guestos::PageArray pa(8);
+    guestos::PageRef p = pa.page(7);
+    pa.setAllocated(p, true);
+    p.setType(PageType::Anon);
     expectCheckFailure(CheckKind::PageState, [&] {
         check::validateTypeChange(p, PageType::Slab, "test");
     });
@@ -110,10 +109,10 @@ TEST(PageStateMachine, LiveRetypeIsPageState)
 
 TEST(PageStateMachine, MigratingExceptionTypeIsPlacement)
 {
-    guestos::Page p;
-    p.pfn = 7;
-    p.allocated = true;
-    p.type = PageType::PageTable; // §4.1 migration exception
+    guestos::PageArray pa(8);
+    guestos::PageRef p = pa.page(7);
+    pa.setAllocated(p, true);
+    p.setType(PageType::PageTable); // §4.1 migration exception
     expectCheckFailure(CheckKind::Placement, [&] {
         check::validateMigration(p, mem::MemType::SlowMem, "test");
     });
@@ -121,22 +120,22 @@ TEST(PageStateMachine, MigratingExceptionTypeIsPlacement)
 
 TEST(PageStateMachine, PinnedIoPageInFastMemIsPlacement)
 {
-    guestos::Page p;
-    p.pfn = 7;
-    p.allocated = true;
-    p.type = PageType::PageCache;
-    p.unevictable = true;
-    p.mem_type = mem::MemType::FastMem;
+    guestos::PageArray pa(8);
+    guestos::PageRef p = pa.page(7);
+    pa.setAllocated(p, true);
+    p.setType(PageType::PageCache);
+    p.setUnevictable(true);
+    p.setMemType(mem::MemType::FastMem);
     expectCheckFailure(CheckKind::Placement,
                        [&] { check::validatePlacement(p, "test"); });
 }
 
 TEST(PageStateMachine, NonManagedTypeOnLruIsLru)
 {
-    guestos::Page p;
-    p.pfn = 7;
-    p.allocated = true;
-    p.type = PageType::Slab;
+    guestos::PageArray pa(8);
+    guestos::PageRef p = pa.page(7);
+    pa.setAllocated(p, true);
+    p.setType(PageType::Slab);
     expectCheckFailure(CheckKind::Lru,
                        [&] { check::validateLruInsert(p, "test"); });
 }
@@ -176,7 +175,7 @@ TEST(KernelTransitions, MigrationFrontendSkipsPinnedPages)
     const Gpfn pfn = kernel->allocPageOnNode(
         kernel->nodeFor(mem::MemType::SlowMem)->id(), PageType::Anon);
     ASSERT_NE(pfn, guestos::invalidGpfn);
-    kernel->pageMeta(pfn).unevictable = true;
+    kernel->pageMeta(pfn).setUnevictable(true);
     const auto out =
         kernel->migrator().migratePages({pfn}, mem::MemType::FastMem);
     EXPECT_EQ(out.migrated, 0u);
@@ -215,7 +214,7 @@ TEST_F(AuditFixture, RetypeMidLruResidenceIsPageState)
     kernel->lruAdd(pfn);
 
     // The corruption: a live LRU-resident page silently becomes Slab.
-    kernel->pageMeta(pfn).type = PageType::Slab;
+    kernel->pageMeta(pfn).setType(PageType::Slab);
 
     const AuditResult r = check::auditKernel(*kernel);
     ASSERT_FALSE(r.ok());
@@ -238,7 +237,7 @@ TEST_F(AuditFixture, BrokenLruLinkIsListIntegrity)
     }
     // The corruption: the middle element forgets its list ownership,
     // as if a racing remove() half-completed.
-    kernel->pageMeta(held[1]).on_list = guestos::listNone;
+    kernel->pageMeta(held[1]).setListId(guestos::noListId);
 
     const AuditResult r = check::auditKernel(*kernel);
     ASSERT_FALSE(r.ok());
@@ -259,7 +258,7 @@ TEST_F(AuditFixture, AllocatedPageInFreeBlockIsZoneAccounting)
 
     // The corruption: a page sitting on a buddy free list claims to
     // be allocated (lost free / use-after-free shape).
-    kernel->pageMeta(victim).allocated = true;
+    kernel->pages().setAllocated(victim, true);
 
     const AuditResult r = check::auditKernel(*kernel);
     ASSERT_FALSE(r.ok());
@@ -276,7 +275,7 @@ TEST_F(AuditFixture, ConservationIdentityBreakIsZoneAccounting)
     // The corruption: the allocated bit vanishes while the buddy and
     // per-CPU counters still believe the page is out — the node-level
     // managed = free + cached + allocated identity no longer holds.
-    kernel->pageMeta(pfn).allocated = false;
+    kernel->pages().setAllocated(pfn, false);
 
     const AuditResult r = check::auditKernel(*kernel);
     ASSERT_FALSE(r.ok());

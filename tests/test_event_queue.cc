@@ -79,6 +79,50 @@ TEST(EventQueue, PeriodicCanAdaptAndStop)
     EXPECT_EQ(at[1], 30u);
 }
 
+TEST(EventQueue, CoarseEventOutranksLaterFineEvent)
+{
+    // An event filed while the clock was far away lands in a coarse
+    // wheel level. After the clock advances into its block, a newer
+    // event filed at fine granularity must not shadow it.
+    EventQueue q;
+    std::vector<Tick> fired;
+    q.runUntil(100);
+    q.schedule(4100, [&] { fired.push_back(4100); }); // coarse level
+    q.runUntil(4097); // enter the 4096-block without dispatching
+    q.schedule(4200, [&] { fired.push_back(4200); }); // fine level
+    q.runUntil(5000);
+    EXPECT_EQ(fired, (std::vector<Tick>{4100, 4200}));
+}
+
+TEST(EventQueue, FarJumpsAcrossLevels)
+{
+    EventQueue q;
+    std::vector<Tick> fired;
+    const std::vector<Tick> when = {20000000, 1, 300000, 70, 5000};
+    for (Tick w : when)
+        q.schedule(w, [&fired, w] { fired.push_back(w); });
+    q.runUntil(30000000);
+    EXPECT_EQ(fired, (std::vector<Tick>{1, 70, 5000, 300000, 20000000}));
+    EXPECT_EQ(q.pending(), 0u);
+    EXPECT_EQ(q.now(), 30000000u);
+}
+
+TEST(EventQueue, SameTickRescheduleFiresWithinTick)
+{
+    // An action that schedules for the current tick must still fire
+    // inside the same runUntil, after the already-queued batch.
+    EventQueue q;
+    std::vector<int> fired;
+    q.schedule(10, [&] {
+        fired.push_back(0);
+        q.scheduleAfter(0, [&] { fired.push_back(2); });
+    });
+    q.schedule(10, [&] { fired.push_back(1); });
+    q.runUntil(10);
+    EXPECT_EQ(fired, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(q.now(), 10u);
+}
+
 TEST(EventQueue, PastEventsClampToNow)
 {
     EventQueue q;

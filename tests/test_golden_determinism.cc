@@ -18,6 +18,8 @@
 #include "core/experiment.hh"
 #include "policy/vmm_exclusive.hh"
 #include "prof/report.hh"
+#include "vmm/drf.hh"
+#include "workload/apps.hh"
 #include "xray/report.hh"
 
 namespace {
@@ -79,6 +81,73 @@ TEST(GoldenDeterminism, PteScanMatchesPrePluggableBackends)
             << "pte_scan diverged from the pre-interface tracker: "
             << s.label();
     }
+}
+
+TEST(GoldenDeterminism, SoaPageMetadataMatchesPreSoaStruct)
+{
+    // Fingerprints captured at the commit immediately before the
+    // struct-of-arrays PageArray conversion (equal to the
+    // pre-pluggable-backend pins above: every intervening PR held
+    // the matrix bit-stable). The SoA columns, the PageRef accessor
+    // facade, the lazy-reversal balloon stack, and the timer-wheel
+    // event queue change memory layout and host time only — not one
+    // bit of any simulated result.
+    const char *pinned[] = {
+        "GraphChi|34468671|8|0.034468670999999999|time(sec)"
+        "|240000000|317304|1.3221000000000001",
+        "GraphChi|45152182|8|0.045152181999999999|time(sec)"
+        "|240000000|317304|1.3221000000000001",
+        "GraphChi|34468671|8|0.034468670999999999|time(sec)"
+        "|240000000|317304|1.3221000000000001",
+    };
+    const auto matrix = goldenMatrix();
+    ASSERT_EQ(matrix.size(), std::size(pinned));
+    for (std::size_t i = 0; i < matrix.size(); ++i) {
+        EXPECT_EQ(fingerprint(core::run(matrix[i])), pinned[i])
+            << "SoA page metadata diverged from the AoS layout: "
+            << matrix[i].label();
+    }
+}
+
+TEST(GoldenDeterminism, BalloonPeekCommitIsBitIdentical)
+{
+    // The lazy-reversal unpopulated stack (peek/commit) must grant
+    // the same gpfns in the same order as the take/return protocol
+    // it replaced. Ballooning only churns under overcommit, so this
+    // runs the two-VM DRF configuration both ways.
+    auto runPair = [&](bool legacy) {
+        core::HostConfig host;
+        host.fast = mem::dramSpec(24 * mem::mib);
+        host.slow = mem::defaultSlowMemSpec(96 * mem::mib);
+        core::HeteroSystem sys(host);
+        sys.setLegacyBalloonPath(legacy);
+        sys.vmm().setFairness(std::make_unique<vmm::DrfFairness>());
+
+        core::GuestSizing g;
+        g.name = "graphchi-vm";
+        g.fast_max = 24 * mem::mib;
+        g.fast_initial = 8 * mem::mib;
+        g.slow_max = 96 * mem::mib;
+        g.slow_initial = 48 * mem::mib;
+        core::GuestSizing m = g;
+        m.name = "metis-vm";
+        m.fast_initial = 16 * mem::mib;
+        m.seed = 7;
+
+        auto &g_slot = sys.addVm(
+            core::makePolicy(core::Approach::Coordinated), g);
+        auto &m_slot = sys.addVm(
+            core::makePolicy(core::Approach::Coordinated), m);
+        const auto results = sys.runMany(
+            {{&g_slot, workload::makeGraphchiTwitter(0.02)},
+             {&m_slot, workload::makeMetisLarge(0.02)}});
+        std::string f;
+        for (const auto &r : results)
+            f += fingerprint(r) + ";";
+        return f;
+    };
+    EXPECT_EQ(runPair(false), runPair(true))
+        << "peek/commit balloon path diverges from take/return";
 }
 
 TEST(GoldenDeterminism, SameScenarioTwiceIsBitIdentical)

@@ -89,7 +89,7 @@ standaloneGuest(std::uint64_t fast_bytes = 64 * mem::mib,
         auto gpfns =
             kernel->takeUnpopulatedGpfns(nid, node.spanPages());
         for (guestos::Gpfn pfn : gpfns) {
-            kernel->pageMeta(pfn).populated = true;
+            kernel->pageMeta(pfn).setPopulated(true);
             node.zoneOf(pfn).buddy().addFreeRange(pfn, 1);
         }
         for (std::size_t zi = 0; zi < node.numZones(); ++zi)

@@ -34,7 +34,7 @@ TEST(HeteroAllocator, SlowOnlyNeverTouchesFast)
     for (int i = 0; i < 1000; ++i) {
         const Gpfn pfn = allocOf(*k, PageType::Anon);
         ASSERT_NE(pfn, invalidGpfn);
-        EXPECT_EQ(k->pageMeta(pfn).mem_type, mem::MemType::SlowMem);
+        EXPECT_EQ(k->pageMeta(pfn).mem_type(), mem::MemType::SlowMem);
     }
 }
 
@@ -47,7 +47,7 @@ TEST(HeteroAllocator, FastPreferredFillsFastThenSpills)
     for (int i = 0; i < 3000; ++i) {
         const Gpfn pfn = allocOf(*k, PageType::Anon);
         ASSERT_NE(pfn, invalidGpfn);
-        (k->pageMeta(pfn).mem_type == mem::MemType::FastMem ? fast
+        (k->pageMeta(pfn).mem_type() == mem::MemType::FastMem ? fast
                                                             : slow)++;
     }
     EXPECT_GT(fast, 900u) << "the 1024-page fast node fills first";
@@ -60,8 +60,8 @@ TEST(HeteroAllocator, OnDemandEligibilityGates)
                                    heapOdConfig(), false);
     const Gpfn heap = allocOf(*k, PageType::Anon);
     const Gpfn cache = allocOf(*k, PageType::PageCache);
-    EXPECT_EQ(k->pageMeta(heap).mem_type, mem::MemType::FastMem);
-    EXPECT_EQ(k->pageMeta(cache).mem_type, mem::MemType::SlowMem)
+    EXPECT_EQ(k->pageMeta(heap).mem_type(), mem::MemType::FastMem);
+    EXPECT_EQ(k->pageMeta(cache).mem_type(), mem::MemType::SlowMem)
         << "Heap-OD sends ineligible types to SlowMem";
     k->freePage(heap);
     k->freePage(cache);
@@ -76,7 +76,7 @@ TEST(HeteroAllocator, HeapIoSlabOdAdmitsIoTypes)
                        PageType::NetBuf}) {
         const Gpfn pfn = allocOf(*k, t);
         ASSERT_NE(pfn, invalidGpfn);
-        EXPECT_EQ(k->pageMeta(pfn).mem_type, mem::MemType::FastMem)
+        EXPECT_EQ(k->pageMeta(pfn).mem_type(), mem::MemType::FastMem)
             << pageTypeName(t);
         k->freePage(pfn);
     }
@@ -120,7 +120,7 @@ TEST(HeteroAllocator, HintsOverridePolicy)
     auto k = test::standaloneGuest(16 * mem::mib, 64 * mem::mib, c,
                                    false);
     const Gpfn pfn = allocOf(*k, PageType::Anon, MemHint::FastMem);
-    EXPECT_EQ(k->pageMeta(pfn).mem_type, mem::MemType::FastMem)
+    EXPECT_EQ(k->pageMeta(pfn).mem_type(), mem::MemType::FastMem)
         << "...but the explicit mmap flag wins";
 }
 

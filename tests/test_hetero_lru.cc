@@ -34,10 +34,10 @@ struct HeteroLruFixture : ::testing::Test
         const auto va =
             as->mmap(mem::pageSize, VmaKind::Anon, MemHint::FastMem);
         const Gpfn pfn = as->touch(va, true);
-        EXPECT_EQ(kernel->pageMeta(pfn).mem_type,
+        EXPECT_EQ(kernel->pageMeta(pfn).mem_type(),
                   mem::MemType::FastMem);
         // Mark it used once so the never-touched guard doesn't apply.
-        kernel->pageMeta(pfn).last_touch = 1;
+        kernel->pageMeta(pfn).setLastTouch(1);
         return pfn;
     }
 };
@@ -45,15 +45,15 @@ struct HeteroLruFixture : ::testing::Test
 TEST_F(HeteroLruFixture, AnonDemotionKeepsMappingUsable)
 {
     const Gpfn pfn = fastAnonPage();
-    const std::uint64_t va = kernel->pageMeta(pfn).vaddr;
+    const std::uint64_t va = kernel->pageMeta(pfn).vaddr();
     ASSERT_EQ(kernel->heteroLru().demotePage(pfn), 1u);
 
     auto now = as->translate(va);
     ASSERT_TRUE(now.has_value());
     EXPECT_NE(*now, pfn);
-    EXPECT_EQ(kernel->pageMeta(*now).mem_type, mem::MemType::SlowMem);
-    EXPECT_EQ(kernel->pageMeta(*now).vaddr, va);
-    EXPECT_FALSE(kernel->pageMeta(pfn).allocated);
+    EXPECT_EQ(kernel->pageMeta(*now).mem_type(), mem::MemType::SlowMem);
+    EXPECT_EQ(kernel->pageMeta(*now).vaddr(), va);
+    EXPECT_FALSE(kernel->pageMeta(pfn).allocated());
 }
 
 TEST_F(HeteroLruFixture, CacheDemotionStaysCached)
@@ -63,12 +63,12 @@ TEST_F(HeteroLruFixture, CacheDemotionStaysCached)
                                       MemHint::FastMem);
     ASSERT_EQ(r.pages.size(), 1u);
     const Gpfn pfn = r.pages[0];
-    ASSERT_EQ(kernel->pageMeta(pfn).mem_type, mem::MemType::FastMem);
+    ASSERT_EQ(kernel->pageMeta(pfn).mem_type(), mem::MemType::FastMem);
 
     ASSERT_EQ(kernel->heteroLru().demotePage(pfn), 1u);
     auto again = kernel->pageCache().read(f, 0, 4 * mem::kib);
     EXPECT_EQ(again.pages_missed, 0u) << "still cached after demotion";
-    EXPECT_EQ(kernel->pageMeta(again.pages[0]).mem_type,
+    EXPECT_EQ(kernel->pageMeta(again.pages[0]).mem_type(),
               mem::MemType::SlowMem);
 }
 
@@ -97,8 +97,8 @@ TEST_F(HeteroLruFixture, ReclaimFreesFastMem)
     for (std::uint64_t off = 0; off < 4 * mem::mib;
          off += mem::pageSize) {
         const Gpfn pfn = as->touch(va + off, true);
-        kernel->pageMeta(pfn).last_touch = 1;
-        kernel->pageMeta(pfn).referenced = false;
+        kernel->pageMeta(pfn).setLastTouch(1);
+        kernel->pageMeta(pfn).setReferenced(false);
         pfns.push_back(pfn);
     }
     auto *fast = kernel->nodeFor(mem::MemType::FastMem);
@@ -126,7 +126,7 @@ TEST_F(HeteroLruFixture, NeverTouchedPagesAreVictimsOfLastResort)
     for (int i = 0; i < 128; ++i) {
         const Gpfn pfn = as->touch(va + i * mem::pageSize, true);
         if (i < 64) {
-            kernel->pageMeta(pfn).last_touch = 1;
+            kernel->pageMeta(pfn).setLastTouch(1);
             touched.push_back(pfn);
         }
     }
@@ -135,8 +135,8 @@ TEST_F(HeteroLruFixture, NeverTouchedPagesAreVictimsOfLastResort)
     // At least some of the proven-cold group was demoted.
     std::uint64_t touched_remaining = 0;
     for (Gpfn pfn : touched) {
-        if (kernel->pageMeta(pfn).allocated &&
-            kernel->pageMeta(pfn).mem_type == mem::MemType::FastMem) {
+        if (kernel->pageMeta(pfn).allocated() &&
+            kernel->pageMeta(pfn).mem_type() == mem::MemType::FastMem) {
             ++touched_remaining;
         }
     }
@@ -155,7 +155,7 @@ TEST_F(HeteroLruFixture, WritebackCompletionTriggersEagerDemotion)
     // Count how many of the written pages sit in FastMem.
     std::uint64_t in_fast = 0;
     for (Gpfn pfn : w.pages) {
-        if (kernel->pageMeta(pfn).mem_type == mem::MemType::FastMem)
+        if (kernel->pageMeta(pfn).mem_type() == mem::MemType::FastMem)
             ++in_fast;
     }
     if (in_fast == 0)
@@ -165,7 +165,7 @@ TEST_F(HeteroLruFixture, WritebackCompletionTriggersEagerDemotion)
     const FileId f2 = f;
     auto again = kernel->pageCache().read(f2, 0, 16 * mem::kib);
     for (Gpfn pfn : again.pages) {
-        EXPECT_EQ(kernel->pageMeta(pfn).mem_type,
+        EXPECT_EQ(kernel->pageMeta(pfn).mem_type(),
                   mem::MemType::SlowMem);
     }
 }

@@ -108,7 +108,7 @@ TEST(RegionTracker, SplitsWhereAccessPatternsDisagree)
     std::uint64_t splits = 0;
     for (int round = 0; round < 12; ++round) {
         for (std::uint64_t i = 0; i < 1024; ++i)
-            f.guest->pageMeta(pages[i]).pte_accessed = true;
+            f.guest->pageMeta(pages[i]).setPteAccessed(true);
         auto res = tracker.scanOnce();
         splits += res.splits;
         expectTilesFullVm(tracker, f.guest->pages().size(), cfg);
@@ -126,7 +126,7 @@ TEST(RegionTracker, MergesWhenPatternsAgreeAgain)
 
     for (int round = 0; round < 12; ++round) {
         for (std::uint64_t i = 0; i < 1024; ++i)
-            f.guest->pageMeta(pages[i]).pte_accessed = true;
+            f.guest->pageMeta(pages[i]).setPteAccessed(true);
         tracker.scanOnce();
     }
     const std::size_t grown = tracker.regions().size();
@@ -205,7 +205,7 @@ TEST(RegionTracker, GuidedRegionsSurviveDirectiveRepublish)
     // Build up split structure under a skewed pattern.
     for (int round = 0; round < 12; ++round) {
         for (std::uint64_t i = 0; i < 512; ++i)
-            f.guest->pageMeta(pages[i]).pte_accessed = true;
+            f.guest->pageMeta(pages[i]).setPteAccessed(true);
         tracker.scanOnce();
     }
     auto boundaries = [&] {
@@ -220,7 +220,7 @@ TEST(RegionTracker, GuidedRegionsSurviveDirectiveRepublish)
     // 200ms; the version bumps but the learned regions must survive.
     publish();
     for (std::uint64_t i = 0; i < 512; ++i)
-        f.guest->pageMeta(pages[i]).pte_accessed = true;
+        f.guest->pageMeta(pages[i]).setPteAccessed(true);
     auto res = tracker.scanOnce();
     EXPECT_EQ(res.splits + res.merges, 0u)
         << "republish wiped adaptation state";
@@ -239,13 +239,13 @@ TEST(RegionTracker, EmitsHotRegionPagesWithinBudget)
     const std::uint64_t budget = cfg.promoteBudget(tracker.interval());
     for (int round = 0; round < 10; ++round) {
         for (auto pfn : pages)
-            f.guest->pageMeta(pfn).pte_accessed = true;
+            f.guest->pageMeta(pfn).setPteAccessed(true);
         auto res = tracker.scanOnce();
         EXPECT_LE(res.hot.size(), budget);
         for (auto pfn : res.hot) {
-            const auto &p = f.guest->pageMeta(pfn);
-            EXPECT_TRUE(p.allocated);
-            EXPECT_GE(p.heat, cfg.hot_threshold);
+            const auto p = f.guest->pageMeta(pfn);
+            EXPECT_TRUE(p.allocated());
+            EXPECT_GE(p.heat(), cfg.hot_threshold);
         }
         emitted += res.hot.size();
     }

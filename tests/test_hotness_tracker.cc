@@ -65,7 +65,7 @@ TEST_F(TrackerFixture, HeatRisesOnRepeatedAccess)
 
     for (int round = 0; round < 3; ++round) {
         for (auto pfn : pages)
-            guest->pageMeta(pfn).pte_accessed = true;
+            guest->pageMeta(pfn).setPteAccessed(true);
         auto res = tracker.scanOnce();
         EXPECT_GE(res.accessed, 64u);
         if (round >= 1) {
@@ -124,8 +124,8 @@ TEST_F(TrackerFixture, GuidedScanHonorsRangesAndExceptions)
     guest->process(0).forEachVma([&](const guestos::Vma &vma) {
         d.ranges.push_back({0, vma.start, vma.end()});
     });
-    d.exception = [](const guestos::Page &p) {
-        return guestos::isShortLivedIo(p.type);
+    d.exception = [](const guestos::PageRef &p) {
+        return guestos::isShortLivedIo(p.type());
     };
     ring.publishDirectives(std::move(d));
 
@@ -135,7 +135,7 @@ TEST_F(TrackerFixture, GuidedScanHonorsRangesAndExceptions)
     tracker.guideWith(&ring);
 
     for (auto pfn : pages)
-        guest->pageMeta(pfn).pte_accessed = true;
+        guest->pageMeta(pfn).setPteAccessed(true);
     auto res = tracker.scanOnce();
     // Only the anon VMA's 64 pages are visited; cache pages are not.
     EXPECT_EQ(res.pages_scanned, 64u);

@@ -22,8 +22,8 @@ struct LruFixture : ::testing::Test
         // Only live, LRU-managed pages may enter an LRU (hos::check
         // page-state validator); stand in for the allocator here.
         for (Gpfn p = 0; p < pages.size(); ++p) {
-            pages.page(p).allocated = true;
-            pages.page(p).type = PageType::Anon;
+            pages.setAllocated(p, true);
+            pages.page(p).setType(PageType::Anon);
         }
     }
 };
@@ -33,7 +33,7 @@ TEST_F(LruFixture, NewPagesStartInactive)
     lru.addPage(1);
     EXPECT_EQ(lru.inactiveCount(), 1u);
     EXPECT_EQ(lru.activeCount(), 0u);
-    EXPECT_EQ(pages.page(1).lru, LruState::Inactive);
+    EXPECT_EQ(pages.page(1).lru(), LruState::Inactive);
 }
 
 TEST_F(LruFixture, TwoTouchPromotion)
@@ -43,7 +43,7 @@ TEST_F(LruFixture, TwoTouchPromotion)
     EXPECT_EQ(lru.activeCount(), 0u);
     lru.touch(1); // promotes
     EXPECT_EQ(lru.activeCount(), 1u);
-    EXPECT_EQ(pages.page(1).lru, LruState::Active);
+    EXPECT_EQ(pages.page(1).lru(), LruState::Active);
 }
 
 TEST_F(LruFixture, ReclaimTakesColdTailFirst)
@@ -52,13 +52,13 @@ TEST_F(LruFixture, ReclaimTakesColdTailFirst)
         lru.addPage(p);
     // Page 1 is oldest (tail). Reclaim one page:
     std::vector<Gpfn> taken;
-    lru.scanInactive(1, [&](Page &pg) {
-        taken.push_back(pg.pfn);
+    lru.scanInactive(1, [&](PageRef &pg) {
+        taken.push_back(pg.pfn());
         return true;
     });
     ASSERT_EQ(taken.size(), 1u);
     EXPECT_EQ(taken[0], 1u);
-    EXPECT_EQ(pages.page(1).lru, LruState::None);
+    EXPECT_EQ(pages.page(1).lru(), LruState::None);
 }
 
 TEST_F(LruFixture, ReferencedPagesGetSecondChance)
@@ -67,32 +67,32 @@ TEST_F(LruFixture, ReferencedPagesGetSecondChance)
     lru.addPage(2);
     lru.touch(1); // referenced (tail page)
     std::vector<Gpfn> taken;
-    lru.scanInactive(2, [&](Page &pg) {
-        taken.push_back(pg.pfn);
+    lru.scanInactive(2, [&](PageRef &pg) {
+        taken.push_back(pg.pfn());
         return true;
     });
     // Page 1 was referenced: promoted to active instead of reclaimed.
     ASSERT_EQ(taken.size(), 1u);
     EXPECT_EQ(taken[0], 2u);
-    EXPECT_EQ(pages.page(1).lru, LruState::Active);
+    EXPECT_EQ(pages.page(1).lru(), LruState::Active);
 }
 
 TEST_F(LruFixture, DeclinedPagesRotateBack)
 {
     lru.addPage(1);
-    const auto got = lru.scanInactive(1, [](Page &) { return false; });
+    const auto got = lru.scanInactive(1, [](PageRef &) { return false; });
     EXPECT_EQ(got, 0u);
     EXPECT_EQ(lru.inactiveCount(), 1u);
-    EXPECT_EQ(pages.page(1).lru, LruState::Inactive);
+    EXPECT_EQ(pages.page(1).lru(), LruState::Inactive);
 }
 
 TEST_F(LruFixture, UnderIoAndUnevictableAreSkipped)
 {
     lru.addPage(1);
     lru.addPage(2);
-    pages.page(1).under_io = true;
-    pages.page(2).unevictable = true;
-    const auto got = lru.scanInactive(4, [](Page &) { return true; });
+    pages.page(1).setUnderIo(true);
+    pages.page(2).setUnevictable(true);
+    const auto got = lru.scanInactive(4, [](PageRef &) { return true; });
     EXPECT_EQ(got, 0u);
     EXPECT_EQ(lru.inactiveCount(), 2u);
 }
@@ -125,8 +125,8 @@ TEST_F(LruFixture, RemoveFromEitherList)
     lru.removePage(1);
     lru.removePage(2);
     EXPECT_EQ(lru.totalCount(), 0u);
-    EXPECT_EQ(pages.page(1).lru, LruState::None);
-    EXPECT_EQ(pages.page(2).lru, LruState::None);
+    EXPECT_EQ(pages.page(1).lru(), LruState::None);
+    EXPECT_EQ(pages.page(2).lru(), LruState::None);
 }
 
 TEST_F(LruFixture, DeactivateMovesToInactive)

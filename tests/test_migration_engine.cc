@@ -84,13 +84,13 @@ TEST_F(EngineFixture, ColdestFastBackedSortsByHeat)
     auto it = vm.fastBacked().begin();
     const guestos::Gpfn hotp = *it++;
     const guestos::Gpfn coldp = *it;
-    guest->pageMeta(hotp).heat = 120;
-    guest->pageMeta(coldp).heat = 0;
+    guest->pageMeta(hotp).setHeat(120);
+    guest->pageMeta(coldp).setHeat(0);
 
     auto victims = engine.coldestFastBacked(vm, 4);
     ASSERT_GE(victims.size(), 2u);
-    EXPECT_LE(guest->pageMeta(victims.front()).heat,
-              guest->pageMeta(victims.back()).heat);
+    EXPECT_LE(guest->pageMeta(victims.front()).heat(),
+              guest->pageMeta(victims.back()).heat());
 }
 
 TEST_F(EngineFixture, PromoteWithEvictionMovesHotIn)
@@ -102,7 +102,7 @@ TEST_F(EngineFixture, PromoteWithEvictionMovesHotIn)
     std::vector<guestos::Gpfn> hot = {0, 1, 2};
     for (auto pfn : hot) {
         ASSERT_EQ(vm.p2m().tierOf(pfn), mem::MemType::SlowMem);
-        guest->pageMeta(pfn).heat = 120;
+        guest->pageMeta(pfn).setHeat(120);
     }
     const auto before =
         guest->overheadTotal(guestos::OverheadKind::Migration);
@@ -119,8 +119,8 @@ TEST_F(EngineFixture, PromoteSkipsWhenVictimsAreHotter)
     auto &vm = hypervisor->vm(id);
     vmm::MigrationEngine engine(*hypervisor);
     for (auto pfn : vm.fastBacked())
-        guest->pageMeta(pfn).heat = 127; // everything resident is hot
-    guest->pageMeta(0).heat = 100;       // candidate is cooler
+        guest->pageMeta(pfn).setHeat(127); // everything resident is hot
+    guest->pageMeta(0).setHeat(100);       // candidate is cooler
     auto res = engine.promoteWithEviction(vm, {0});
     EXPECT_EQ(res.migrated, 0u) << "no exchange that loses heat";
     EXPECT_EQ(vm.p2m().tierOf(0), mem::MemType::SlowMem);
@@ -131,7 +131,7 @@ TEST_F(EngineFixture, AlreadyFastPagesAreNotCandidates)
     auto &vm = hypervisor->vm(id);
     vmm::MigrationEngine engine(*hypervisor);
     const guestos::Gpfn fastpage = *vm.fastBacked().begin();
-    guest->pageMeta(fastpage).heat = 127;
+    guest->pageMeta(fastpage).setHeat(127);
     auto res = engine.promoteWithEviction(vm, {fastpage});
     EXPECT_EQ(res.migrated, 0u);
 }

@@ -42,9 +42,9 @@ TEST_F(MigrationFixture, PromotesSlowAnonPages)
     for (int i = 0; i < 8; ++i) {
         auto cur = as->translate(va + i * mem::pageSize);
         ASSERT_TRUE(cur.has_value());
-        EXPECT_EQ(kernel->pageMeta(*cur).mem_type,
+        EXPECT_EQ(kernel->pageMeta(*cur).mem_type(),
                   mem::MemType::FastMem);
-        EXPECT_EQ(kernel->pageMeta(*cur).lru, LruState::Active)
+        EXPECT_EQ(kernel->pageMeta(*cur).lru(), LruState::Active)
             << "promotions land on the active list";
     }
     EXPECT_GT(kernel->overheadTotal(OverheadKind::Migration), 0u);
@@ -83,7 +83,7 @@ TEST_F(MigrationFixture, MigratesCleanCachePages)
     EXPECT_EQ(out.migrated, 1u);
     auto again = kernel->pageCache().read(f, 0, 4 * mem::kib);
     EXPECT_EQ(again.pages_missed, 0u);
-    EXPECT_EQ(kernel->pageMeta(again.pages[0]).mem_type,
+    EXPECT_EQ(kernel->pageMeta(again.pages[0]).mem_type(),
               mem::MemType::FastMem);
 }
 
@@ -124,7 +124,7 @@ TEST_F(MigrationFixture, StalePfnAfterReuseIsSkipped)
     auto out =
         kernel->migrator().migratePages({pfn}, mem::MemType::FastMem);
     EXPECT_EQ(out.migrated, 1u);
-    EXPECT_EQ(kernel->pageMeta(*as->translate(va2)).mem_type,
+    EXPECT_EQ(kernel->pageMeta(*as->translate(va2)).mem_type(),
               mem::MemType::FastMem);
 }
 

@@ -34,7 +34,7 @@ threeTierGuest()
         auto &node = kernel->node(nid);
         auto gpfns = kernel->takeUnpopulatedGpfns(nid, node.spanPages());
         for (Gpfn pfn : gpfns) {
-            kernel->pageMeta(pfn).populated = true;
+            kernel->pageMeta(pfn).setPopulated(true);
             node.zoneOf(pfn).buddy().addFreeRange(pfn, 1);
         }
         for (std::size_t zi = 0; zi < node.numZones(); ++zi)
@@ -61,13 +61,13 @@ TEST(MultiTier, HeapDemotesOneLevelAtATime)
     const auto va = as.mmap(mem::pageSize, VmaKind::Anon,
                             MemHint::FastMem);
     const Gpfn pfn = as.touch(va, true);
-    k->pageMeta(pfn).last_touch = 1;
-    ASSERT_EQ(k->pageMeta(pfn).mem_type, mem::MemType::FastMem);
+    k->pageMeta(pfn).setLastTouch(1);
+    ASSERT_EQ(k->pageMeta(pfn).mem_type(), mem::MemType::FastMem);
 
     ASSERT_EQ(k->heteroLru().demotePage(pfn), 1u);
     auto now = as.translate(va);
     ASSERT_TRUE(now.has_value());
-    EXPECT_EQ(k->pageMeta(*now).mem_type, mem::MemType::MediumMem)
+    EXPECT_EQ(k->pageMeta(*now).mem_type(), mem::MemType::MediumMem)
         << "heap pages have high reuse: one level at a time";
 }
 
@@ -78,12 +78,12 @@ TEST(MultiTier, IoPagesSkipToSlowest)
     auto r = k->pageCache().read(f, 0, 4 * mem::kib, MemHint::FastMem);
     ASSERT_EQ(r.pages.size(), 1u);
     const Gpfn pfn = r.pages[0];
-    ASSERT_EQ(k->pageMeta(pfn).mem_type, mem::MemType::FastMem);
+    ASSERT_EQ(k->pageMeta(pfn).mem_type(), mem::MemType::FastMem);
 
     ASSERT_EQ(k->heteroLru().demotePage(pfn), 1u);
     auto again = k->pageCache().read(f, 0, 4 * mem::kib);
     EXPECT_EQ(again.pages_missed, 0u);
-    EXPECT_EQ(k->pageMeta(again.pages[0]).mem_type,
+    EXPECT_EQ(k->pageMeta(again.pages[0]).mem_type(),
               mem::MemType::SlowMem)
         << "finished I/O pages are mostly dead: straight to the "
            "largest tier";

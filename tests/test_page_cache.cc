@@ -81,7 +81,7 @@ TEST_F(CacheFixture, EvictRefusesDirtyAcceptsClean)
     pc->writeback(10);
     EXPECT_TRUE(pc->evictPage(pfn));
     EXPECT_FALSE(pc->owns(pfn));
-    EXPECT_FALSE(kernel->pageMeta(pfn).allocated);
+    EXPECT_FALSE(kernel->pageMeta(pfn).allocated());
 }
 
 TEST_F(CacheFixture, MapPageSharesWithBufferedPath)
@@ -122,10 +122,10 @@ TEST_F(CacheFixture, RemapCarriesDirtyState)
     const Gpfn new_pfn =
         kernel->allocPageOnNode(slow->id(), PageType::PageCache);
     pc->remapPage(old_pfn, new_pfn);
-    EXPECT_TRUE(kernel->pageMeta(new_pfn).dirty);
+    EXPECT_TRUE(kernel->pageMeta(new_pfn).dirty());
     EXPECT_EQ(pc->dirtyPages(), 1u);
     pc->writeback(10);
-    EXPECT_FALSE(kernel->pageMeta(new_pfn).dirty);
+    EXPECT_FALSE(kernel->pageMeta(new_pfn).dirty());
 }
 
 TEST_F(CacheFixture, StatsTrackHitsAndMisses)

@@ -79,7 +79,7 @@ TEST_F(PageListFixture, MembershipTagTracking)
     EXPECT_FALSE(list.contains(8));
     list.remove(9);
     EXPECT_FALSE(list.contains(9));
-    EXPECT_EQ(pages.page(9).on_list, listNone);
+    EXPECT_EQ(pages.page(9).on_list(), listNone);
 }
 
 TEST_F(PageListFixture, DoubleInsertPanics)

@@ -32,7 +32,7 @@ TEST_F(PerCpuFixture, FirstAllocRefillsBatch)
 {
     const Gpfn pfn = pcp.alloc(0, fast);
     ASSERT_NE(pfn, invalidGpfn);
-    EXPECT_TRUE(pages.page(pfn).allocated);
+    EXPECT_TRUE(pages.page(pfn).allocated());
     EXPECT_EQ(pcp.refills(), 1u);
     EXPECT_GT(pcp.cached(0, 0), 0u);
 }

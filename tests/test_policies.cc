@@ -93,7 +93,7 @@ TEST(Policies, VmmExclusiveInstallsBackingOracle)
     auto &vm = sys->vmm().vm(slot.id);
     ASSERT_FALSE(vm.fastBacked().empty());
     const guestos::Gpfn fast_backed = *vm.fastBacked().begin();
-    EXPECT_EQ(slot.kernel->pageMeta(fast_backed).mem_type,
+    EXPECT_EQ(slot.kernel->pageMeta(fast_backed).mem_type(),
               mem::MemType::SlowMem)
         << "the guest believes everything is one type";
     EXPECT_EQ(slot.kernel->backingOf(fast_backed),

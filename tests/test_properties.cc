@@ -86,7 +86,7 @@ TEST_P(GuestChurn, PageConservationUnderRandomTraffic)
         std::uint64_t allocated = 0;
         for (Gpfn pfn = node.base(); pfn < node.base() + node.spanPages();
              ++pfn) {
-            if (k->pageMeta(pfn).allocated)
+            if (k->pageMeta(pfn).allocated())
                 ++allocated;
         }
         EXPECT_EQ(allocated + k->effectiveFreePages(node),

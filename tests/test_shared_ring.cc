@@ -53,15 +53,16 @@ TEST(SharedRing, ExceptionPredicateTravels)
 {
     SharedRing ring;
     TrackingDirectives d;
-    d.exception = [](const guestos::Page &p) {
-        return p.type == guestos::PageType::PageCache;
+    d.exception = [](const guestos::PageRef &p) {
+        return p.type() == guestos::PageType::PageCache;
     };
     ring.publishDirectives(std::move(d));
 
-    guestos::Page cache_page;
-    cache_page.type = guestos::PageType::PageCache;
-    guestos::Page anon_page;
-    anon_page.type = guestos::PageType::Anon;
+    guestos::PageArray pa(2);
+    guestos::PageRef cache_page = pa.page(0);
+    cache_page.setType(guestos::PageType::PageCache);
+    guestos::PageRef anon_page = pa.page(1);
+    anon_page.setType(guestos::PageType::Anon);
     ASSERT_TRUE(static_cast<bool>(ring.directives().exception));
     EXPECT_TRUE(ring.directives().exception(cache_page));
     EXPECT_FALSE(ring.directives().exception(anon_page));

@@ -52,11 +52,11 @@ TEST_F(SlabFixture, EmptySlabPageReturnsToKernel)
     auto a = slab->alloc(c);
     auto b = slab->alloc(c);
     ASSERT_EQ(a.pfn, b.pfn);
-    EXPECT_TRUE(kernel->pageMeta(a.pfn).allocated);
+    EXPECT_TRUE(kernel->pageMeta(a.pfn).allocated());
     slab->free(c, a);
-    EXPECT_TRUE(kernel->pageMeta(b.pfn).allocated);
+    EXPECT_TRUE(kernel->pageMeta(b.pfn).allocated());
     slab->free(c, b);
-    EXPECT_FALSE(kernel->pageMeta(b.pfn).allocated)
+    EXPECT_FALSE(kernel->pageMeta(b.pfn).allocated())
         << "empty slab page freed";
 }
 
@@ -79,8 +79,8 @@ TEST_F(SlabFixture, CachesAreIsolated)
     auto o1 = slab->alloc(c1);
     auto o2 = slab->alloc(c2);
     EXPECT_NE(o1.pfn, o2.pfn);
-    EXPECT_EQ(kernel->pageMeta(o1.pfn).type, PageType::Slab);
-    EXPECT_EQ(kernel->pageMeta(o2.pfn).type, PageType::NetBuf);
+    EXPECT_EQ(kernel->pageMeta(o1.pfn).type(), PageType::Slab);
+    EXPECT_EQ(kernel->pageMeta(o2.pfn).type(), PageType::NetBuf);
     EXPECT_EQ(slab->cacheName(c1), "dentry");
 }
 
@@ -88,9 +88,9 @@ TEST_F(SlabFixture, SlabPagesAreUnevictable)
 {
     const auto c = slab->createCache("pinned", 256);
     auto o = slab->alloc(c);
-    EXPECT_TRUE(kernel->pageMeta(o.pfn).unevictable);
+    EXPECT_TRUE(kernel->pageMeta(o.pfn).unevictable());
     slab->free(c, o);
-    EXPECT_FALSE(kernel->pageMeta(o.pfn).unevictable);
+    EXPECT_FALSE(kernel->pageMeta(o.pfn).unevictable());
 }
 
 TEST_F(SlabFixture, WrongCacheFreePanics)

@@ -58,7 +58,7 @@ TEST(SystemIntegration, GuestPageAccountingHolds)
         std::uint64_t allocated = 0;
         for (guestos::Gpfn pfn = node.base();
              pfn < node.base() + node.spanPages(); ++pfn) {
-            if (k.pageMeta(pfn).allocated)
+            if (k.pageMeta(pfn).allocated())
                 ++allocated;
         }
         EXPECT_EQ(allocated + k.effectiveFreePages(node),

@@ -82,7 +82,7 @@ TEST_F(WorkloadEngineFixture, GrowRegionFaultsRealPages)
               (8 * mem::mib) / mem::pageSize);
     auto &k = *slot->kernel;
     for (guestos::Gpfn pfn : wl->heap.pages)
-        EXPECT_TRUE(k.pageMeta(pfn).allocated);
+        EXPECT_TRUE(k.pageMeta(pfn).allocated());
 }
 
 TEST_F(WorkloadEngineFixture, AccessRegionMarksHotWindow)
@@ -91,7 +91,7 @@ TEST_F(WorkloadEngineFixture, AccessRegionMarksHotWindow)
     auto &k = *slot->kernel;
     std::uint64_t accessed = 0;
     for (guestos::Gpfn pfn : wl->heap.pages)
-        accessed += k.pageMeta(pfn).pte_accessed ? 1 : 0;
+        accessed += k.pageMeta(pfn).pte_accessed() ? 1 : 0;
     // The window covers wss = half the region; the very hot core is
     // always marked, the rest probabilistically.
     EXPECT_GT(accessed, wl->heap.wss_pages / 3);
@@ -116,21 +116,21 @@ TEST_F(WorkloadEngineFixture, RegionPageRefreshesAfterDemotion)
     std::size_t idx = 0;
     guestos::Gpfn victim = guestos::invalidGpfn;
     for (std::size_t i = 0; i < wl->heap.pages.size(); ++i) {
-        auto &p = k.pageMeta(wl->heap.pages[i]);
-        if (p.mem_type == mem::MemType::FastMem) {
+        const auto p = k.pageMeta(wl->heap.pages[i]);
+        if (p.mem_type() == mem::MemType::FastMem) {
             idx = i;
             victim = wl->heap.pages[i];
             break;
         }
     }
     ASSERT_NE(victim, guestos::invalidGpfn);
-    k.pageMeta(victim).last_touch = 1;
+    k.pageMeta(victim).setLastTouch(1);
     k.events().runUntil(sim::milliseconds(1)); // leave boot time
     ASSERT_EQ(k.heteroLru().demotePage(victim), 1u);
 
     const guestos::Gpfn current = wl->regionPage(wl->heap, idx);
     EXPECT_NE(current, victim) << "stale gpfn was refreshed";
-    EXPECT_EQ(k.pageMeta(current).mem_type, mem::MemType::SlowMem);
+    EXPECT_EQ(k.pageMeta(current).mem_type(), mem::MemType::SlowMem);
     EXPECT_EQ(wl->heap.pages[idx], current) << "cache updated in place";
 }
 

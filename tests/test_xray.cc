@@ -51,7 +51,7 @@ void
 seedShadow(xray::Recorder &rec, guestos::GuestKernel &kernel)
 {
     for (std::uint64_t pfn = 0; pfn < kernel.pages().size(); ++pfn) {
-        if (!kernel.pages().page(pfn).allocated)
+        if (!kernel.pages().page(pfn).allocated())
             continue;
         rec.onAlloc(0, pfn,
                     static_cast<std::uint8_t>(kernel.backingOf(pfn)),
@@ -246,14 +246,14 @@ TEST(Xray, AuditCatchesSeededCorruption)
     // walk must pin it as a CheckKind::Xray failure.
     auto &kernel = *sys->slot(0).kernel;
     for (std::uint64_t pfn = 0; pfn < kernel.pages().size(); ++pfn) {
-        if (!kernel.pages().page(pfn).allocated)
+        if (!kernel.pages().page(pfn).allocated())
             continue;
-        kernel.pageMeta(pfn).heat += 1;
+        kernel.pageMeta(pfn).setHeat(kernel.pageMeta(pfn).heat() + 1);
         const auto audit =
             check::auditXray(sys->vmm(), sys->xrayRecorder());
         ASSERT_FALSE(audit.ok());
         EXPECT_EQ(audit.failures.front().kind, check::CheckKind::Xray);
-        kernel.pageMeta(pfn).heat -= 1;
+        kernel.pageMeta(pfn).setHeat(kernel.pageMeta(pfn).heat() - 1);
         break;
     }
     EXPECT_TRUE(

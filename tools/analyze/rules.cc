@@ -16,6 +16,7 @@ const std::vector<std::string> kRuleIds = {
     "raw-assert",       "naked-new",         "wall-clock",
     "charge-span",      "tier-xray",         "telemetry-purity",
     "xray-int",         "loose-hotness-key", "retired-api",
+    "soa-field-write",
 };
 
 const std::array<const char *, 4> kUnorderedContainers = {
@@ -45,6 +46,20 @@ const std::array<LooseKey, 6> kLooseKeys = {{
 
 const std::array<const char *, 4> kRetiredApis = {"RunSpec", "runApp",
                                                  "runFactory", "hostFor"};
+
+/**
+ * PageArray's SoA columns (trailing-underscore members) and the page
+ * fields they own. Writes go through PageRef setters (or
+ * PageArray::setAllocated); only guestos/page.{hh,cc} may touch the
+ * columns directly.
+ */
+const std::array<const char *, 6> kSoaColumns = {
+    "pte_accessed_", "allocated_", "heat_",
+    "last_touch_",   "meta_",      "rmap_"};
+const std::array<const char *, 12> kSoaFields = {
+    "pte_accessed", "last_touch",  "on_list",   "in_buddy",
+    "buddy_order",  "under_io",    "unevictable", "owner_process",
+    "link_next",    "link_prev",   "list_id",   "mem_type"};
 
 bool
 startsWith(const std::string &s, const std::string &prefix)
@@ -326,6 +341,8 @@ class FileAnalysis
             looseHotnessKey();
         if (on("retired-api"))
             retiredApi();
+        if (on("soa-field-write"))
+            soaFieldWrite();
         std::sort(out_.begin(), out_.end(),
                   [](const Finding &a, const Finding &b) {
                       if (a.line != b.line)
@@ -911,6 +928,62 @@ class FileAnalysis
         }
     }
 
+    void soaFieldWrite()
+    {
+        const TokVec &t = ts();
+        for (std::size_t i = 0; i < t.size(); ++i) {
+            if (t[i].kind != Token::Kind::Ident)
+                continue;
+            // Direct indexing of a PageArray SoA column.
+            for (const char *col : kSoaColumns) {
+                if (t[i].text == col && i + 1 < t.size() &&
+                    isPunct(t[i + 1], "[")) {
+                    emit("soa-field-write", t[i],
+                         std::string("direct access to SoA column '") +
+                             col +
+                             "'; page state goes through PageRef "
+                             "accessors (or PageArray::setAllocated)");
+                    break;
+                }
+            }
+            // AoS-style member write through a retired Page field:
+            // `x.field =`, `x->field =`, and compound assignments.
+            if (i == 0 || i + 1 >= t.size())
+                continue;
+            const bool member =
+                isPunct(t[i - 1], ".") ||
+                (isPunct(t[i - 1], ">") && i >= 2 &&
+                 isPunct(t[i - 2], "-"));
+            if (!member)
+                continue;
+            bool writes = false;
+            if (isPunct(t[i + 1], "=") &&
+                !(i + 2 < t.size() && isPunct(t[i + 2], "="))) {
+                writes = true; // plain `=` but not `==`
+            } else if (i + 2 < t.size() && isPunct(t[i + 2], "=") &&
+                       (isPunct(t[i + 1], "+") ||
+                        isPunct(t[i + 1], "-") ||
+                        isPunct(t[i + 1], "|") ||
+                        isPunct(t[i + 1], "&") ||
+                        isPunct(t[i + 1], "^"))) {
+                writes = true; // compound assignment
+            }
+            if (!writes)
+                continue;
+            for (const char *field : kSoaFields) {
+                if (t[i].text == field) {
+                    emit("soa-field-write", t[i],
+                         std::string("direct write to page field '") +
+                             field +
+                             "'; use the PageRef setter (set" +
+                             "...) so the SoA layout stays owned "
+                             "by guestos/page.hh");
+                    break;
+                }
+            }
+        }
+    }
+
     const LexedFile &f_;
     const GlobalNames &names_;
     const Options &opts_;
@@ -942,6 +1015,10 @@ ruleAppliesTo(const std::string &rule, const std::string &path)
         return in_harness;
     if (rule == "retired-api")
         return in_src || in_harness;
+    if (rule == "soa-field-write")
+        return (in_src || in_harness) &&
+               path != "src/guestos/page.hh" &&
+               path != "src/guestos/page.cc";
     if (rule == "wall-clock")
         return in_src && !startsWith(path, "src/prof/");
     return in_src;

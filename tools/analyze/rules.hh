@@ -2,7 +2,7 @@
  * @file
  * Rule catalog and analysis driver for hos-analyze.
  *
- * Twelve codebase-specific rules over the token stream, grouped by
+ * Thirteen codebase-specific rules over the token stream, grouped by
  * the invariant they defend (see DESIGN.md "Static analysis"):
  *
  * Determinism (bit-identical serial/parallel sweeps):
@@ -25,6 +25,9 @@
  *   loose-hotness-key deprecated loose hotness keys in scenario
  *                     literals (tests/bench/examples)
  *   retired-api      retired pre-Scenario API names anywhere
+ *   soa-field-write  page-metadata writes bypassing the PageRef
+ *                    facade (direct SoA column access or AoS-style
+ *                    field assignment)
  *
  * Rules are path-scoped (ruleAppliesTo), individually disableable
  * (Options::disabled — how fixture tests prove each rule is live),
