@@ -33,12 +33,14 @@
  * build with -DHOS_XRAY=full for per-page history of everything.
  */
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "sim/json.hh"
 #include "xray/report.hh"
@@ -61,6 +63,50 @@ usage()
         "  --promoted    all recorded promotions with decision inputs\n"
         "  --demoted     all recorded demotions with decision inputs\n"
         "  --run=N       sweep aggregate: which run to read (default 0)");
+}
+
+const char *const kKnownFlags[] = {
+    "--page=", "--vm=", "--at=", "--top=", "--top",
+    "--promoted", "--demoted", "--run=",
+};
+
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diag = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t up = row[j];
+            const std::size_t sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1, sub});
+            diag = up;
+        }
+    }
+    return row[b.size()];
+}
+
+/** The known flag nearest to `arg` (compared on the name, sans '='). */
+std::string
+nearestFlag(const std::string &arg)
+{
+    const std::string name = arg.substr(0, arg.find('='));
+    std::string best;
+    std::size_t best_d = ~std::size_t(0);
+    for (const char *f : kKnownFlags) {
+        std::string fname = f;
+        if (!fname.empty() && fname.back() == '=')
+            fname.pop_back();
+        const std::size_t d = editDistance(name, fname);
+        if (d < best_d) {
+            best_d = d;
+            best = fname;
+        }
+    }
+    return best;
 }
 
 bool
@@ -376,6 +422,9 @@ main(int argc, char **argv)
         } else if (a.rfind("--run=", 0) == 0) {
             run_idx = std::strtoull(a.c_str() + 6, nullptr, 0);
         } else {
+            std::fprintf(stderr,
+                         "unknown option '%s' (did you mean '%s'?)\n",
+                         argv[arg], nearestFlag(a).c_str());
             usage();
             return 2;
         }

@@ -40,8 +40,18 @@
  *                           summary printed after the run and the full
  *                           report embedded in --results output under
  *                           "xray" (feed that file to hos-explain)
+ *
+ * Windowed metrics (needs -DHOS_METRICS=on, the default):
+ *   --metrics               per-VM windowed series + slowdown SLO
+ *                           percentiles, printed after the run and
+ *                           embedded in --results output under
+ *                           "metrics" (feed that file to hos-timeline)
+ *
+ * Unknown or misplaced --flags anywhere on the command line fail with
+ * exit status 2 and a nearest-valid-flag suggestion.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -53,6 +63,8 @@
 
 #include "core/experiment.hh"
 #include "core/report.hh"
+#include "metrics/metrics.hh"
+#include "metrics/report.hh"
 #include "prof/prof.hh"
 #include "prof/report.hh"
 #include "sim/log.hh"
@@ -92,7 +104,67 @@ usage()
         "  --prof                  span-profiler cost attribution\n"
         "  --prof-collapsed=FILE   flamegraph collapsed-stack export\n"
         "  --xray                  placement-quality telemetry "
-        "(hos-explain input)");
+        "(hos-explain input)\n"
+        "  --metrics               windowed series + slowdown SLO "
+        "(hos-timeline input)");
+}
+
+/** Every flag this tool understands ('=' marks value-taking forms). */
+const char *const kKnownFlags[] = {
+    "--trace=",      "--trace-csv=",      "--trace-categories=",
+    "--stats-interval=", "--stats-out=",  "--results=",
+    "--set=",        "--log-level=",      "--prof",
+    "--prof-collapsed=", "--xray",        "--metrics",
+    "--list",
+};
+
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diag = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t up = row[j];
+            const std::size_t sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1, sub});
+            diag = up;
+        }
+    }
+    return row[b.size()];
+}
+
+/** The known flag nearest to `arg` (compared on the name, sans '='). */
+std::string
+nearestFlag(const std::string &arg)
+{
+    const std::string name = arg.substr(0, arg.find('='));
+    std::string best;
+    std::size_t best_d = ~std::size_t(0);
+    for (const char *f : kKnownFlags) {
+        std::string fname = f;
+        if (!fname.empty() && fname.back() == '=')
+            fname.pop_back();
+        const std::size_t d = editDistance(name, fname);
+        if (d < best_d) {
+            best_d = d;
+            best = fname;
+        }
+    }
+    return best;
+}
+
+/** Exit status 2 with a did-you-mean hint — unknown/misplaced flags. */
+int
+rejectFlag(const char *arg, const char *why)
+{
+    std::fprintf(stderr, "%s '%s' (did you mean '%s'?)\n", why, arg,
+                 nearestFlag(arg).c_str());
+    usage();
+    return 2;
 }
 
 /** The observability flags, parsed off the front of argv. */
@@ -107,12 +179,13 @@ struct Options
     bool prof = false;
     std::string prof_collapsed_file;
     bool xray = false;
+    bool metrics = false;
     /** --set=KEY=VALUE scenario overrides, applied in order. */
     std::vector<std::pair<std::string, std::string>> sets;
 };
 
-/** Consume every leading --flag; returns false on a bad one. */
-bool
+/** Consume every leading --flag; returns 0, or an exit status. */
+int
 parseOptions(int &argc, char **&argv, Options &opt)
 {
     while (argc > 1 && std::strncmp(argv[1], "--", 2) == 0 &&
@@ -132,9 +205,23 @@ parseOptions(int &argc, char **&argv, Options &opt)
             eat("--trace-categories=", opt.trace_categories)) {
             // handled
         } else if (eat("--stats-interval=", interval)) {
+            static bool warned = false;
+            if (!warned) {
+                warned = true;
+                std::fprintf(stderr,
+                             "warning: --stats-interval is deprecated; "
+                             "the snapshotter now rides the shared "
+                             "windowed-series clock (prefer --metrics "
+                             "for per-VM telemetry)\n");
+            }
             opt.stats_interval_ms = std::atof(interval.c_str());
-            if (opt.stats_interval_ms <= 0.0)
-                return false;
+            if (opt.stats_interval_ms <= 0.0) {
+                std::fprintf(stderr,
+                             "--stats-interval wants a positive ms "
+                             "value\n");
+                usage();
+                return 1;
+            }
         } else if (eat("--stats-out=", opt.stats_out)) {
             // handled
         } else if (eat("--results=", opt.results_file)) {
@@ -145,24 +232,35 @@ parseOptions(int &argc, char **&argv, Options &opt)
             opt.prof = true;
         } else if (arg == "--xray") {
             opt.xray = true;
+        } else if (arg == "--metrics") {
+            opt.metrics = true;
         } else if (eat("--set=", interval)) {
             const auto eq = interval.find('=');
             if (eq == std::string::npos || eq == 0) {
                 std::fprintf(stderr, "--set wants KEY=VALUE\n");
-                return false;
+                usage();
+                return 1;
             }
             opt.sets.emplace_back(interval.substr(0, eq),
                                   interval.substr(eq + 1));
         } else if (eat("--log-level=", interval)) {
             sim::setLogLevel(std::atoi(interval.c_str()));
         } else {
-            std::fprintf(stderr, "unknown option '%s'\n", argv[1]);
-            return false;
+            return rejectFlag(argv[1], "unknown option");
         }
         --argc;
         ++argv;
     }
-    return true;
+    // A --flag after the first positional never reached the loop
+    // above; accepting it silently would drop the user's request.
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--", 2) == 0 &&
+            std::strcmp(argv[i], "--list") != 0) {
+            return rejectFlag(argv[i],
+                              "option after positional arguments");
+        }
+    }
+    return 0;
 }
 
 } // namespace
@@ -171,10 +269,8 @@ int
 main(int argc, char **argv)
 {
     Options opt;
-    if (!parseOptions(argc, argv, opt)) {
-        usage();
-        return 1;
-    }
+    if (const int status = parseOptions(argc, argv, opt))
+        return status;
     if (argc > 1 && std::strcmp(argv[1], "--list") == 0) {
         usage();
         return 0;
@@ -213,6 +309,13 @@ main(int argc, char **argv)
                          "--xray output will be empty\n");
         spec.xray = true;
     }
+    if (opt.metrics) {
+        if (!metrics::metricsCompiled)
+            std::fprintf(stderr,
+                         "warning: built with -DHOS_METRICS=off; "
+                         "--metrics output will be empty\n");
+        spec.metrics = true;
+    }
     // Scenario overrides land after the positionals so --set wins
     // (e.g. --set=hotness.backend=region swaps the tracker backend).
     for (const auto &[key, value] : opt.sets) {
@@ -230,6 +333,7 @@ main(int argc, char **argv)
     base_spec.approach = core::Approach::SlowMemOnly;
     base_spec.profiling = false;
     base_spec.xray = false;
+    base_spec.metrics = false;
     const auto base = core::run(base_spec);
 
     const bool tracing =
@@ -324,6 +428,33 @@ main(int argc, char **argv)
         xt.print();
     }
 
+    metrics::MetricsReport mx_report;
+    if (opt.metrics) {
+        mx_report = sys->metricsCollector().report();
+    }
+    if (!mx_report.empty()) {
+        sim::Table mt("Windowed metrics: slowdown vs all-fast ideal");
+        mt.header({"vm", "windows", "p50", "p99", "max", "overhead ms"});
+        for (const auto &vm : mx_report.vms) {
+            const auto x = [](std::uint64_t ppm) {
+                return sim::Table::num(
+                    static_cast<double>(ppm) /
+                        static_cast<double>(metrics::ppmScale),
+                    3);
+            };
+            mt.row({sim::Table::num(std::uint64_t{vm.vm}),
+                    sim::Table::num(vm.windows),
+                    x(vm.slowdown.valueAtPermyriad(5000)),
+                    x(vm.slowdown.valueAtPermyriad(9900)),
+                    x(vm.slowdown.maxValue()),
+                    sim::Table::num(
+                        sim::toMilliseconds(static_cast<sim::Duration>(
+                            vm.overhead_ns)),
+                        2)});
+        }
+        mt.print();
+    }
+
     // --- Observability exports -------------------------------------
     trace::Tracer &sink = sys->traceSink();
     if (!opt.trace_file.empty() &&
@@ -364,6 +495,7 @@ main(int argc, char **argv)
                                   k.allocator().overallFastMissRatio());
         record.profile = profile;
         record.xray = xr_report;
+        record.metrics = mx_report;
         if (core::writeResultsJson(opt.results_file, record))
             std::printf("results: %s\n", opt.results_file.c_str());
     }

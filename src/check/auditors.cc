@@ -751,6 +751,84 @@ auditXray(vmm::Vmm &vmm, const xray::Recorder &recorder)
 }
 
 AuditResult
+auditMetrics(vmm::Vmm &vmm, const metrics::Collector &collector)
+{
+    AuditResult r;
+    // No hooks fired at HOS_METRICS=off (or on a disabled collector):
+    // empty aggregates are legitimate, not corrupt.
+    if (!metrics::metricsCompiled || !collector.enabled())
+        return r;
+
+    // Every tracked VM tag must name a live kernel.
+    for (std::size_t i = 0; i < collector.numVms(); ++i) {
+        const std::uint16_t tag = collector.vmAt(i);
+        ++r.checks;
+        if (tag >= vmm.numVms()) {
+            r.addFailure(CheckKind::Metrics, invalidSubject, "metrics",
+                         "collector tracks VM tag " +
+                             std::to_string(tag) + " but the VMM has " +
+                             std::to_string(vmm.numVms()) + " VM(s)");
+        }
+    }
+
+    for (vmm::VmId id = 0; id < vmm.numVms(); ++id) {
+        guestos::GuestKernel &kernel = vmm.vm(id).kernel();
+        const auto vm = static_cast<std::uint16_t>(id);
+        const std::string where = kernel.name() + ".metrics";
+        if (!collector.tracks(vm))
+            continue;
+
+        // Overhead reconciliation: the collector sees each kernel
+        // drain exactly once (Workload::step is the sole drainer), so
+        // its running total plus the not-yet-drained remainder must
+        // equal the kernel's grand total — integer equality.
+        const std::uint64_t drained =
+            static_cast<std::uint64_t>(kernel.overheadGrandTotal()) -
+            static_cast<std::uint64_t>(kernel.pendingOverhead());
+        ++r.checks;
+        if (collector.totalOverheadNs(vm) != drained) {
+            r.addFailure(CheckKind::Metrics, invalidSubject, where,
+                         "drained overhead " +
+                             std::to_string(
+                                 collector.totalOverheadNs(vm)) +
+                             "ns != kernel accounts " +
+                             std::to_string(drained) + "ns");
+        }
+
+        const metrics::HdrHistogram *hist =
+            collector.slowdownHistogram(vm);
+        ++r.checks;
+        if (hist == nullptr) {
+            r.addFailure(CheckKind::Metrics, invalidSubject, where,
+                         "tracked VM has no slowdown histogram");
+            continue;
+        }
+
+        // Window reconciliation: one histogram observation per closed
+        // window, and the histogram's exact value sum must match the
+        // running ppm sum (sum preservation through the log buckets).
+        r.checks += 2;
+        if (hist->totalCount() != collector.windowsClosed(vm)) {
+            r.addFailure(CheckKind::Metrics, invalidSubject, where,
+                         "histogram count " +
+                             std::to_string(hist->totalCount()) +
+                             " != closed windows " +
+                             std::to_string(
+                                 collector.windowsClosed(vm)));
+        }
+        if (hist->valueSum() != collector.slowdownPpmSum(vm)) {
+            r.addFailure(CheckKind::Metrics, invalidSubject, where,
+                         "histogram value sum " +
+                             std::to_string(hist->valueSum()) +
+                             " != slowdown ppm sum " +
+                             std::to_string(
+                                 collector.slowdownPpmSum(vm)));
+        }
+    }
+    return r;
+}
+
+AuditResult
 auditProf(const prof::Profiler &profiler)
 {
     AuditResult r;

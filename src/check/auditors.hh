@@ -36,6 +36,7 @@
 
 #include "check/check.hh"
 #include "guestos/kernel.hh"
+#include "metrics/metrics.hh"
 #include "prof/prof.hh"
 #include "sim/stats.hh"
 #include "vmm/vmm.hh"
@@ -120,6 +121,20 @@ AuditResult auditProf(const prof::Profiler &profiler);
  * the Recorder's incrementally-maintained counters bit for bit.
  */
 AuditResult auditXray(vmm::Vmm &vmm, const xray::Recorder &recorder);
+
+/**
+ * Reconcile a metrics Collector's windowed aggregates against kernel
+ * ground truth: per VM, the collector's drained-overhead total must
+ * equal the kernel's overhead grand total minus the not-yet-drained
+ * remainder (integer equality — the collector sees every drain
+ * exactly once), the slowdown histogram's observation count must
+ * equal the number of closed windows, its exact value sum must equal
+ * the running slowdown-ppm sum (sum preservation through the
+ * log-bucketed layout), and every tracked VM tag must correspond to a
+ * live kernel.
+ */
+AuditResult auditMetrics(vmm::Vmm &vmm,
+                         const metrics::Collector &collector);
 
 /**
  * Report every failure in `result` through hos::trace and terminate

@@ -34,9 +34,10 @@ enum class CheckKind : std::uint8_t {
     Residency,      ///< ResidencyIndex disagrees with recomputed truth
     Prof,           ///< profiler span stack imbalance (hos::prof)
     Xray,           ///< xray shadow state disagrees with page truth
+    Metrics,        ///< metrics aggregates disagree with kernel truth
 };
 
-constexpr std::size_t numCheckKinds = 11;
+constexpr std::size_t numCheckKinds = 12;
 
 constexpr const char *
 checkKindName(CheckKind k)
@@ -64,6 +65,8 @@ checkKindName(CheckKind k)
         return "prof";
       case CheckKind::Xray:
         return "xray";
+      case CheckKind::Metrics:
+        return "metrics";
     }
     return "?";
 }

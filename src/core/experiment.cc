@@ -67,6 +67,8 @@ systemFor(const Scenario &s)
         sys->enableProfiling();
     if (s.xray)
         sys->enableXray();
+    if (s.metrics)
+        sys->enableMetrics();
     sys->addVm(makePolicy(s), s.sizing());
     return sys;
 }

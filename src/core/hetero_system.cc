@@ -5,6 +5,7 @@
 
 #include "check/audit_daemon.hh"
 #include "sim/log.hh"
+#include "vmm/drf.hh"
 
 namespace hos::core {
 
@@ -91,6 +92,8 @@ HeteroSystem::addVm(std::unique_ptr<policy::ManagementPolicy> policy,
     slots_.push_back(std::move(slot));
     if (xray_enabled_)
         seedXray(*slots_.back());
+    if (metrics_enabled_)
+        seedMetrics(*slots_.back());
 
     guestos::GuestKernel *kernel = slots_.back()->kernel.get();
     registry_.add(&kernel->stats(), [kernel] { kernel->syncStats(); });
@@ -161,6 +164,101 @@ HeteroSystem::enableXray(xray::XrayConfig cfg)
 }
 
 void
+HeteroSystem::enableMetrics(metrics::MetricsConfig cfg)
+{
+    // At HOS_METRICS=off the workload hooks compile away, so the
+    // slowdown accounts could never reconcile: stay disabled (empty
+    // report, no audit) rather than arm an audit that must fail.
+    if (!metrics::metricsCompiled || metrics_enabled_)
+        return;
+    metrics_enabled_ = true;
+    metrics_.enable(cfg);
+    registry_.add(&metrics_.stats(), [this] { metrics_.syncStats(); });
+    for (auto &s : slots_)
+        seedMetrics(*s);
+}
+
+void
+HeteroSystem::seedMetrics(VmSlot &slot)
+{
+    if (!metrics::metricsCompiled)
+        return;
+    guestos::GuestKernel *kernel = slot.kernel.get();
+    const std::uint16_t vm = kernel->vmTag();
+    const vmm::VmId id = slot.id;
+
+    // Occupancy gauges: machine frames backing the guest per tier,
+    // plus the placement-oracle view of fast-backed guest pages.
+    metrics_.registerSignal(
+        vm, "fast_frames", metrics::SignalKind::Gauge, [this, id] {
+            return static_cast<std::int64_t>(
+                vmm_->vm(id).framesOf(mem::MemType::FastMem));
+        });
+    metrics_.registerSignal(
+        vm, "slow_frames", metrics::SignalKind::Gauge, [this, id] {
+            return static_cast<std::int64_t>(
+                vmm_->vm(id).framesOf(mem::MemType::SlowMem));
+        });
+    metrics_.registerSignal(
+        vm, "fast_backed", metrics::SignalKind::Gauge, [this, id] {
+            return static_cast<std::int64_t>(
+                vmm_->vm(id).fastBacked().size());
+        });
+
+    // Management-cost rates: per-window deltas of the kernel's
+    // overhead accounts (ns of migration, hotness scanning, balloon
+    // work, reclaim, and the all-kinds total).
+    auto rate = [&](const char *name, guestos::OverheadKind kind) {
+        metrics_.registerSignal(
+            vm, name, metrics::SignalKind::Rate, [kernel, kind] {
+                return static_cast<std::int64_t>(
+                    kernel->overheadTotal(kind));
+            });
+    };
+    rate("migration_ns", guestos::OverheadKind::Migration);
+    rate("hot_scan_ns", guestos::OverheadKind::HotScan);
+    rate("balloon_ns", guestos::OverheadKind::Balloon);
+    rate("reclaim_ns", guestos::OverheadKind::Reclaim);
+    metrics_.registerSignal(
+        vm, "overhead_ns", metrics::SignalKind::Rate, [kernel] {
+            return static_cast<std::int64_t>(
+                kernel->overheadGrandTotal());
+        });
+
+    // Fairness: DRF dominant share in ppm (integer telemetry of the
+    // fairness objective the coordinated policy balances).
+    metrics_.registerSignal(
+        vm, "drf_share_ppm", metrics::SignalKind::Gauge, [this, id] {
+            return static_cast<std::int64_t>(
+                vmm::DrfFairness::dominantShare(*vmm_, vmm_->vm(id)) *
+                static_cast<double>(metrics::ppmScale));
+        });
+
+    // Placement quality, when the xray shadow is live too.
+    if (xray_enabled_) {
+        metrics_.registerSignal(
+            vm, "misplaced_heat", metrics::SignalKind::Gauge,
+            [this, vm] {
+                return static_cast<std::int64_t>(
+                    xray_.misplacedHeatMass(vm));
+            });
+    }
+
+    // The periodic sampler rides the VM's own event queue, so samples
+    // land at deterministic sim-times interleaved with the daemons.
+    // Sampling is read-only; it shifts no simulation state.
+    sim::EventQueue &events = kernel->events();
+    events.schedulePeriodic(
+        metrics_.config().sample_interval,
+        [this, vm, &events](sim::Duration period) {
+            if (!metrics_.enabled())
+                return sim::Duration{0};
+            metrics_.sampleVm(vm, events.now());
+            return period;
+        });
+}
+
+void
 HeteroSystem::seedXray(VmSlot &slot)
 {
     if (!xray::xrayCompiled)
@@ -188,6 +286,8 @@ HeteroSystem::runOne(VmSlot &slot, const workload::WorkloadFactory &factory)
     prof::ScopedProfiler prof_guard(prof_enabled_ ? &profiler_
                                                   : nullptr);
     xray::ScopedRecorder xray_guard(xray_enabled_ ? &xray_ : nullptr);
+    metrics::ScopedCollector metrics_guard(
+        metrics_enabled_ ? &metrics_ : nullptr);
     active_vms_ = 1;
 
     std::optional<check::AuditDaemon> audit;
@@ -206,6 +306,8 @@ HeteroSystem::runOne(VmSlot &slot, const workload::WorkloadFactory &factory)
         check::enforce(check::auditProf(profiler_));
     if (xray_enabled_)
         check::enforce(check::auditXray(*vmm_, xray_));
+    if (metrics_enabled_)
+        check::enforce(check::auditMetrics(*vmm_, metrics_));
     return result;
 }
 
@@ -218,6 +320,8 @@ HeteroSystem::runMany(
     prof::ScopedProfiler prof_guard(prof_enabled_ ? &profiler_
                                                   : nullptr);
     xray::ScopedRecorder xray_guard(xray_enabled_ ? &xray_ : nullptr);
+    metrics::ScopedCollector metrics_guard(
+        metrics_enabled_ ? &metrics_ : nullptr);
 
     std::optional<check::AuditDaemon> audit;
     if (check::fullChecksEnabled && !pairs.empty()) {
@@ -264,6 +368,8 @@ HeteroSystem::runMany(
         check::enforce(check::auditProf(profiler_));
     if (xray_enabled_)
         check::enforce(check::auditXray(*vmm_, xray_));
+    if (metrics_enabled_)
+        check::enforce(check::auditMetrics(*vmm_, metrics_));
     return results;
 }
 

@@ -22,6 +22,7 @@
 
 #include "mem/cache_model.hh"
 #include "mem/machine_memory.hh"
+#include "metrics/metrics.hh"
 #include "policy/placement_policy.hh"
 #include "prof/prof.hh"
 #include "sim/stats.hh"
@@ -146,6 +147,25 @@ class HeteroSystem
     xray::Recorder &xrayRecorder() { return xray_; }
 
     /**
+     * Opt this system into windowed metrics: registers ~10 per-VM
+     * signals (tier occupancy, migration/scan/balloon/reclaim cost
+     * rates, DRF dominant share, and — when xray is also enabled —
+     * misplaced heat mass) and arms a periodic sampler on each VM's
+     * event queue. While runOne/runMany execute, workload phase hooks
+     * feed metricsCollector() (per-system, isolated like the trace
+     * sink), building per-VM slowdown histograms; after every run
+     * check::auditMetrics reconciles the aggregates against the
+     * kernel's overhead accounts. The sampler actions are read-only,
+     * so simulation output is bit-identical with metrics on or off.
+     * No-op beyond the flag in HOS_METRICS=off builds.
+     */
+    void enableMetrics(metrics::MetricsConfig cfg = {});
+    bool metricsEnabled() const { return metrics_enabled_; }
+
+    /** This system's metrics collector (see enableMetrics). */
+    metrics::Collector &metricsCollector() { return metrics_; }
+
+    /**
      * Run workloads with the legacy per-phase placement sampling
      * instead of the ResidencyIndex (bit-identical cross-check path).
      * Must be set before workloads are created via envFor/runOne.
@@ -191,14 +211,18 @@ class HeteroSystem
     std::vector<std::unique_ptr<VmSlot>> slots_;
     /** Seed a VM's live pages into the xray shadow (idempotent). */
     void seedXray(VmSlot &slot);
+    /** Register a VM's signals and arm its periodic sampler. */
+    void seedMetrics(VmSlot &slot);
 
     sim::StatRegistry registry_;
     trace::Tracer tracer_;
     prof::Profiler profiler_;
     xray::Recorder xray_;
+    metrics::Collector metrics_;
     bool trace_enabled_ = false;
     bool prof_enabled_ = false;
     bool xray_enabled_ = false;
+    bool metrics_enabled_ = false;
     bool legacy_placement_sampling_ = false;
     bool legacy_balloon_path_ = false;
     unsigned active_vms_ = 1;

@@ -71,6 +71,10 @@ writeRunRecord(sim::JsonWriter &w, const RunRecord &record)
         w.key("xray");
         xray::writeXrayReport(w, record.xray);
     }
+    if (!record.metrics.empty()) {
+        w.key("metrics");
+        metrics::writeMetricsReport(w, record.metrics);
+    }
     w.endObject();
 }
 

@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "metrics/report.hh"
 #include "prof/report.hh"
 #include "sim/json.hh"
 #include "workload/workload.hh"
@@ -59,6 +60,13 @@ struct RunRecord
      * reports are omitted so xray-off results.json is byte-identical.
      */
     xray::XrayReport xray;
+    /**
+     * Windowed series + slowdown SLO telemetry, filled only for
+     * metric'd runs (Scenario::withMetrics). Same emission rule:
+     * empty reports are omitted so metrics-off results.json is
+     * byte-identical.
+     */
+    metrics::MetricsReport metrics;
 };
 
 /** Fill the workload-derived fields of a record from a result. */

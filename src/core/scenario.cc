@@ -311,6 +311,8 @@ scenarioToJson(sim::JsonWriter &w, const Scenario &s)
         w.kv("profiling", true);
     if (s.xray)
         w.kv("xray", true);
+    if (s.metrics)
+        w.kv("metrics", true);
     if (!s.name.empty())
         w.kv("name", s.name);
     if (s.slow_override) {
@@ -509,6 +511,17 @@ applyScenarioParam(Scenario &s, const std::string &key,
         } else {
             return setError(error,
                             "bad value '" + value + "' for 'xray'");
+        }
+        return true;
+    }
+    if (key == "metrics") {
+        if (value == "true" || value == "1") {
+            s.metrics = true;
+        } else if (value == "false" || value == "0") {
+            s.metrics = false;
+        } else {
+            return setError(error,
+                            "bad value '" + value + "' for 'metrics'");
         }
         return true;
     }

@@ -164,6 +164,13 @@ struct Scenario
      */
     bool xray = false;
 
+    /**
+     * Enable windowed metrics (HeteroSystem::enableMetrics) and embed
+     * the hos-metrics-1 section in the RunRecord. Simulation output is
+     * bit-identical either way (sampling observes, never steers).
+     */
+    bool metrics = false;
+
     /** Optional label carried into results ("" = derived). */
     std::string name;
 
@@ -216,6 +223,11 @@ struct Scenario
     Scenario &withXray(bool on = true)
     {
         xray = on;
+        return *this;
+    }
+    Scenario &withMetrics(bool on = true)
+    {
+        metrics = on;
         return *this;
     }
     Scenario &withName(std::string n) { name = std::move(n); return *this; }

@@ -222,9 +222,11 @@ executePoint(const SweepPoint &point)
     SweepResult r;
     r.point = point;
 
-    if (point.scenario.profiling || point.scenario.xray) {
-        // Keep the system alive past the run so its span ledger and
-        // placement shadow can be harvested into the record.
+    if (point.scenario.profiling || point.scenario.xray ||
+        point.scenario.metrics) {
+        // Keep the system alive past the run so its span ledger,
+        // placement shadow, and metrics series can be harvested into
+        // the record.
         auto sys = systemFor(point.scenario);
         const auto result =
             sys->runOne(sys->slot(0),
@@ -236,6 +238,8 @@ executePoint(const SweepPoint &point)
             r.record.profile = sys->profiler().report();
         if (point.scenario.xray)
             r.record.xray = sys->xrayRecorder().report();
+        if (point.scenario.metrics)
+            r.record.metrics = sys->metricsCollector().report();
     } else {
         const auto result = core::run(point.scenario);
         r.record = makeRunRecord(result,
@@ -326,6 +330,26 @@ writeSweepResultsJson(std::ostream &os, const Sweep &sweep,
         w.endObject();
     }
     w.endArray();
+    // Fleet rollup: the mergeable histogram layout makes cross-run
+    // percentiles a per-VM element-wise sum. Only present when some
+    // run carried metrics, so metrics-off sweeps stay byte-identical.
+    bool any_metrics = false;
+    for (const auto &r : results)
+        any_metrics = any_metrics || !r.record.metrics.empty();
+    if (any_metrics) {
+        metrics::MetricsReport fleet;
+        for (const auto &r : results)
+            metrics::mergeInto(fleet, r.record.metrics);
+        for (auto &vm : fleet.vms) {
+            // Time-series do not aggregate across runs; the rollup
+            // keeps only the additive totals and histograms.
+            vm.slowdown_series = metrics::MetricsSeries{};
+            vm.slowdown_series.name = "slowdown_ppm";
+            vm.series.clear();
+        }
+        w.key("metrics_fleet");
+        metrics::writeMetricsReport(w, fleet);
+    }
     w.endObject();
     os << '\n';
     hos_assert(w.balanced(), "unbalanced sweep results JSON");

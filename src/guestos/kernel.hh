@@ -239,6 +239,12 @@ class GuestKernel final : public MmBacking,
     void charge(OverheadKind kind, sim::Duration d);
     /** Overhead accumulated since the last drain (workload phases). */
     sim::Duration drainPendingOverhead();
+    /**
+     * Overhead charged but not yet drained into a workload phase.
+     * check::auditMetrics reconciles the metrics collector's drained
+     * totals against overheadGrandTotal() minus this remainder.
+     */
+    sim::Duration pendingOverhead() const { return pending_overhead_; }
     sim::Duration overheadTotal(OverheadKind kind) const;
     sim::Duration overheadGrandTotal() const;
 

@@ -15,13 +15,9 @@ MemDevice::MemDevice(MemTierSpec spec) : spec_(std::move(spec))
 }
 
 sim::Duration
-MemDevice::service(const AccessBatch &batch, unsigned sharers)
+MemDevice::estimate(const AccessBatch &batch, unsigned sharers) const
 {
     hos_assert(sharers >= 1, "at least one client");
-
-    loads_.inc(batch.loads);
-    stores_.inc(batch.stores);
-    bytes_.inc(batch.bytes);
 
     const double mlp = std::max(1.0, batch.mlp);
     const double lat_ns =
@@ -43,8 +39,17 @@ MemDevice::service(const AccessBatch &batch, unsigned sharers)
         const double util = std::min(1.0, bw_ns / t);
         t *= 1.0 + 0.75 * util * util * util;
     }
+    return static_cast<sim::Duration>(t);
+}
 
-    const auto d = static_cast<sim::Duration>(t);
+sim::Duration
+MemDevice::service(const AccessBatch &batch, unsigned sharers)
+{
+    loads_.inc(batch.loads);
+    stores_.inc(batch.stores);
+    bytes_.inc(batch.bytes);
+
+    const sim::Duration d = estimate(batch, sharers);
     busy_ns_ += d;
     // Devices have no clock of their own; the global tick is the
     // caller's (per-phase) simulated time.

@@ -56,6 +56,16 @@ class MemDevice
     sim::Duration service(const AccessBatch &batch, unsigned sharers = 1);
 
     /**
+     * The service time `service(batch, sharers)` would charge, without
+     * accumulating statistics or emitting trace events. The metrics
+     * layer prices counterfactual placements (the all-fast ideal
+     * baseline) through this, so telemetry never perturbs device
+     * state.
+     */
+    sim::Duration estimate(const AccessBatch &batch,
+                           unsigned sharers = 1) const;
+
+    /**
      * Effective (loaded) access latency at a given utilization in
      * [0,1) — the number Table 3 reports for each throttle setting.
      */

@@ -1,0 +1,345 @@
+#include "metrics/report.hh"
+
+#include <cstdlib>
+
+namespace hos::metrics {
+
+namespace {
+
+/**
+ * Integer read of a JSON number, signed. Goes through the exact
+ * source lexeme (number_text) so 64-bit values survive; the metrics
+ * layer never touches floating point.
+ */
+std::int64_t
+asI64(const sim::JsonValue &v)
+{
+    if (!v.isNumber() || v.number_text.empty())
+        return 0;
+    return std::strtoll(v.number_text.c_str(), nullptr, 10);
+}
+
+void
+writeSeries(sim::JsonWriter &w, const MetricsSeries &s)
+{
+    w.beginObject();
+    w.kv("name", s.name);
+    w.kv("kind", signalKindName(s.kind));
+    w.kv("stride", s.stride);
+    w.kv("offered", s.offered);
+    w.key("points");
+    w.beginArray();
+    for (const auto &[t, v] : s.points) {
+        w.beginArray();
+        w.value(static_cast<std::uint64_t>(t));
+        w.value(v);
+        w.endArray();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+void
+writeHistogram(sim::JsonWriter &w, const HdrHistogram &h)
+{
+    w.beginObject();
+    w.kv("total", h.totalCount());
+    w.kv("sum", h.valueSum());
+    w.kv("min", h.minValue());
+    w.kv("max", h.maxValue());
+    w.kv("p50", h.valueAtPermyriad(5000));
+    w.kv("p90", h.valueAtPermyriad(9000));
+    w.kv("p99", h.valueAtPermyriad(9900));
+    w.kv("p999", h.valueAtPermyriad(9990));
+    w.key("buckets");
+    w.beginArray();
+    for (const auto &[idx, count] : h.nonzero()) {
+        w.beginArray();
+        w.value(static_cast<std::uint64_t>(idx));
+        w.value(count);
+        w.endArray();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+bool
+readSeries(const sim::JsonValue &v, MetricsSeries &out,
+           std::string *error)
+{
+    if (!v.isObject()) {
+        if (error)
+            *error = "series entry must be an object";
+        return false;
+    }
+    if (const auto *name = v.find("name"))
+        out.name = name->asString();
+    if (const auto *kind = v.find("kind")) {
+        out.kind = kind->asString() == "rate" ? SignalKind::Rate
+                                              : SignalKind::Gauge;
+    }
+    if (const auto *stride = v.find("stride"))
+        out.stride = stride->asU64(1);
+    if (const auto *offered = v.find("offered"))
+        out.offered = offered->asU64();
+    if (const auto *points = v.find("points")) {
+        if (!points->isArray()) {
+            if (error)
+                *error = "series points must be an array";
+            return false;
+        }
+        for (const auto &p : points->array) {
+            if (!p.isArray() || p.array.size() != 2) {
+                if (error)
+                    *error = "series point must be [t_ns, value]";
+                return false;
+            }
+            out.points.emplace_back(p.array[0].asU64(),
+                                    asI64(p.array[1]));
+        }
+    }
+    return true;
+}
+
+bool
+readHistogram(const sim::JsonValue &v, HdrHistogram &out,
+              std::string *error)
+{
+    if (!v.isObject()) {
+        if (error)
+            *error = "histogram must be an object";
+        return false;
+    }
+    const auto *buckets = v.find("buckets");
+    if (buckets == nullptr || !buckets->isArray()) {
+        if (error)
+            *error = "histogram needs a buckets array";
+        return false;
+    }
+    std::vector<std::pair<std::size_t, std::uint64_t>> entries;
+    for (const auto &b : buckets->array) {
+        if (!b.isArray() || b.array.size() != 2) {
+            if (error)
+                *error = "histogram bucket must be [index, count]";
+            return false;
+        }
+        const std::uint64_t idx = b.array[0].asU64();
+        if (idx >= HdrHistogram::numBuckets) {
+            if (error)
+                *error = "histogram bucket index out of range";
+            return false;
+        }
+        entries.emplace_back(static_cast<std::size_t>(idx),
+                             b.array[1].asU64());
+    }
+    std::uint64_t sum = 0, min = 0, max = 0;
+    if (const auto *s = v.find("sum"))
+        sum = s->asU64();
+    if (const auto *m = v.find("min"))
+        min = m->asU64();
+    if (const auto *m = v.find("max"))
+        max = m->asU64();
+    out.restore(entries, sum, min, max);
+    return true;
+}
+
+} // namespace
+
+void
+writeMetricsReport(sim::JsonWriter &w, const MetricsReport &report)
+{
+    w.beginObject();
+    w.kv("schema", "hos-metrics-1");
+    w.kv("sample_interval_ns", report.sample_interval_ns);
+    w.key("vms");
+    w.beginArray();
+    for (const MetricsVm &vm : report.vms) {
+        w.beginObject();
+        w.kv("vm", static_cast<std::uint64_t>(vm.vm));
+        w.kv("samples", vm.samples);
+        w.kv("phases", vm.phases);
+        w.kv("windows", vm.windows);
+        w.kv("actual_ns", vm.actual_ns);
+        w.kv("ideal_ns", vm.ideal_ns);
+        w.kv("overhead_ns", vm.overhead_ns);
+        w.key("slowdown_ppm");
+        writeHistogram(w, vm.slowdown);
+        w.key("slowdown_series");
+        writeSeries(w, vm.slowdown_series);
+        w.key("series");
+        w.beginArray();
+        for (const MetricsSeries &s : vm.series)
+            writeSeries(w, s);
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+MetricsReport
+metricsReportFromJson(const sim::JsonValue &v, std::string *error)
+{
+    MetricsReport report;
+    if (!v.isObject()) {
+        if (error)
+            *error = "metrics report must be a JSON object";
+        return {};
+    }
+    const auto *schema = v.find("schema");
+    if (schema == nullptr || schema->asString() != "hos-metrics-1") {
+        if (error)
+            *error = "not a hos-metrics-1 report";
+        return {};
+    }
+    if (const auto *interval = v.find("sample_interval_ns"))
+        report.sample_interval_ns = interval->asU64();
+    const auto *vms = v.find("vms");
+    if (vms == nullptr || !vms->isArray()) {
+        if (error)
+            *error = "metrics report needs a vms array";
+        return {};
+    }
+    for (const auto &entry : vms->array) {
+        if (!entry.isObject()) {
+            if (error)
+                *error = "vm entry must be an object";
+            return {};
+        }
+        MetricsVm vm;
+        if (const auto *tag = entry.find("vm"))
+            vm.vm = static_cast<std::uint16_t>(tag->asU64());
+        if (const auto *n = entry.find("samples"))
+            vm.samples = n->asU64();
+        if (const auto *n = entry.find("phases"))
+            vm.phases = n->asU64();
+        if (const auto *n = entry.find("windows"))
+            vm.windows = n->asU64();
+        if (const auto *n = entry.find("actual_ns"))
+            vm.actual_ns = n->asU64();
+        if (const auto *n = entry.find("ideal_ns"))
+            vm.ideal_ns = n->asU64();
+        if (const auto *n = entry.find("overhead_ns"))
+            vm.overhead_ns = n->asU64();
+        if (const auto *h = entry.find("slowdown_ppm")) {
+            if (!readHistogram(*h, vm.slowdown, error))
+                return {};
+            if (const auto *sum = h->find("sum"))
+                vm.slowdown_ppm_sum = sum->asU64();
+        }
+        if (const auto *s = entry.find("slowdown_series")) {
+            if (!readSeries(*s, vm.slowdown_series, error))
+                return {};
+        }
+        if (const auto *arr = entry.find("series")) {
+            if (!arr->isArray()) {
+                if (error)
+                    *error = "series must be an array";
+                return {};
+            }
+            for (const auto &s : arr->array) {
+                MetricsSeries series;
+                if (!readSeries(s, series, error))
+                    return {};
+                vm.series.push_back(std::move(series));
+            }
+        }
+        report.vms.push_back(std::move(vm));
+    }
+    return report;
+}
+
+void
+mergeInto(MetricsReport &dst, const MetricsReport &src)
+{
+    if (dst.sample_interval_ns == 0)
+        dst.sample_interval_ns = src.sample_interval_ns;
+    for (const MetricsVm &svm : src.vms) {
+        MetricsVm *target = nullptr;
+        for (MetricsVm &dvm : dst.vms) {
+            if (dvm.vm == svm.vm) {
+                target = &dvm;
+                break;
+            }
+        }
+        if (target == nullptr) {
+            MetricsVm fresh;
+            fresh.vm = svm.vm;
+            dst.vms.push_back(std::move(fresh));
+            target = &dst.vms.back();
+        }
+        target->samples += svm.samples;
+        target->phases += svm.phases;
+        target->windows += svm.windows;
+        target->actual_ns += svm.actual_ns;
+        target->ideal_ns += svm.ideal_ns;
+        target->overhead_ns += svm.overhead_ns;
+        target->slowdown_ppm_sum += svm.slowdown_ppm_sum;
+        target->slowdown.merge(svm.slowdown);
+    }
+}
+
+void
+writeMetricsCsv(std::ostream &os, const MetricsReport &report)
+{
+    os << "vm,series,kind,t_ns,value\n";
+    const auto dump = [&os](std::uint16_t vm, const MetricsSeries &s) {
+        for (const auto &[t, v] : s.points) {
+            os << vm << ',' << s.name << ',' << signalKindName(s.kind)
+               << ',' << t << ',' << v << '\n';
+        }
+    };
+    for (const MetricsVm &vm : report.vms) {
+        dump(vm.vm, vm.slowdown_series);
+        for (const MetricsSeries &s : vm.series)
+            dump(vm.vm, s);
+    }
+}
+
+MetricsReport
+Collector::report() const
+{
+    MetricsReport out;
+    out.sample_interval_ns = cfg_.sample_interval;
+    for (const VmMetrics &s : vms_) {
+        // A VM with no samples, phases or signals recorded nothing;
+        // keep the report to VMs that saw activity (mirrors xray).
+        if (s.sample_count == 0 && s.phase_count == 0)
+            continue;
+        MetricsVm vm;
+        vm.vm = s.vm;
+        vm.samples = s.sample_count;
+        vm.phases = s.phase_count;
+        vm.windows = s.window_count;
+        vm.actual_ns = s.total_actual;
+        vm.ideal_ns = s.total_ideal;
+        vm.overhead_ns = s.total_overhead;
+        vm.slowdown_ppm_sum = s.slowdown_ppm_sum;
+        vm.slowdown = s.slowdown;
+        vm.slowdown_series.name = "slowdown_ppm";
+        vm.slowdown_series.kind = SignalKind::Gauge;
+        vm.slowdown_series.stride = s.slowdown_series.stride();
+        vm.slowdown_series.offered = s.slowdown_series.offered();
+        for (std::size_t i = 0; i < s.slowdown_series.size(); ++i) {
+            vm.slowdown_series.points.emplace_back(
+                s.slowdown_series.timeAt(i),
+                s.slowdown_series.valueAt(i));
+        }
+        for (const Signal &sig : s.signals) {
+            MetricsSeries series;
+            series.name = sig.name;
+            series.kind = sig.kind;
+            series.stride = sig.series.stride();
+            series.offered = sig.series.offered();
+            for (std::size_t i = 0; i < sig.series.size(); ++i) {
+                series.points.emplace_back(sig.series.timeAt(i),
+                                           sig.series.valueAt(i));
+            }
+            vm.series.push_back(std::move(series));
+        }
+        out.vms.push_back(std::move(vm));
+    }
+    return out;
+}
+
+} // namespace hos::metrics

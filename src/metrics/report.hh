@@ -1,0 +1,104 @@
+/**
+ * @file
+ * MetricsReport: the deterministic, serializable form of a Collector's
+ * telemetry (schema "hos-metrics-1") embedded in core::RunRecord /
+ * results.json and consumed by the hos-timeline CLI.
+ *
+ * Everything here is integer state; two runs of the same scenario
+ * serialize byte-identically. Histograms keep their mergeable sparse
+ * bucket layout so sweep aggregation and fleet rollups are
+ * element-wise addition.
+ */
+
+#ifndef HOS_METRICS_REPORT_HH
+#define HOS_METRICS_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "metrics/metrics.hh"
+#include "sim/json.hh"
+
+namespace hos::metrics {
+
+/** One exported signal series. */
+struct MetricsSeries
+{
+    std::string name;
+    SignalKind kind = SignalKind::Gauge;
+    std::uint64_t stride = 1;  ///< offered samples per retained point
+    std::uint64_t offered = 0; ///< samples offered before decimation
+    std::vector<std::pair<sim::Tick, std::int64_t>> points;
+};
+
+/** Everything recorded for one VM. */
+struct MetricsVm
+{
+    std::uint16_t vm = 0;
+    std::uint64_t samples = 0;
+    std::uint64_t phases = 0;
+    std::uint64_t windows = 0;
+    std::uint64_t actual_ns = 0;
+    std::uint64_t ideal_ns = 0;
+    std::uint64_t overhead_ns = 0;
+    std::uint64_t slowdown_ppm_sum = 0;
+    HdrHistogram slowdown;
+    MetricsSeries slowdown_series; ///< per-window slowdown (ppm)
+    std::vector<MetricsSeries> series;
+};
+
+/** The full report (one entry per VM that saw any activity). */
+struct MetricsReport
+{
+    std::uint64_t sample_interval_ns = 0;
+    std::vector<MetricsVm> vms;
+
+    bool empty() const { return vms.empty(); }
+};
+
+/**
+ * Write one report as a JSON object:
+ *
+ *   { "schema": "hos-metrics-1", "sample_interval_ns": N,
+ *     "vms": [ { "vm": N, "samples": N, "phases": N, "windows": N,
+ *                "actual_ns": N, "ideal_ns": N, "overhead_ns": N,
+ *                "slowdown_ppm": { "total": N, "sum": N, "min": N,
+ *                                  "max": N, "p50": N, "p90": N,
+ *                                  "p99": N, "p999": N,
+ *                                  "buckets": [[idx, count], ...] },
+ *                "slowdown_series": {...},
+ *                "series": [ { "name": "...", "kind": "gauge",
+ *                              "stride": N, "offered": N,
+ *                              "points": [[t_ns, v], ...] }, ... ] },
+ *              ... ] }
+ *
+ * The percentile fields are derived from the buckets at write time;
+ * ordering is fixed by the Collector.
+ */
+void writeMetricsReport(sim::JsonWriter &w, const MetricsReport &report);
+
+/**
+ * Rebuild a report from its JSON form. Returns an empty report and
+ * sets `error` (when given) on schema mismatch or malformed entries.
+ */
+MetricsReport metricsReportFromJson(const sim::JsonValue &v,
+                                    std::string *error = nullptr);
+
+/**
+ * Merge `src` into `dst` for fleet/sweep aggregation: histograms and
+ * totals accumulate per VM tag (new tags append); series are kept
+ * from `dst` only (time-series do not merge across runs).
+ */
+void mergeInto(MetricsReport &dst, const MetricsReport &src);
+
+/**
+ * Dump every series as CSV: vm,series,kind,t_ns,value — one row per
+ * retained point, in report order.
+ */
+void writeMetricsCsv(std::ostream &os, const MetricsReport &report);
+
+} // namespace hos::metrics
+
+#endif // HOS_METRICS_REPORT_HH

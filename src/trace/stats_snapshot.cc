@@ -10,8 +10,10 @@ namespace hos::trace {
 
 StatsSnapshotter::StatsSnapshotter(sim::StatRegistry &registry,
                                    sim::EventQueue &queue,
-                                   sim::Duration interval)
-    : registry_(registry), queue_(queue), interval_(interval)
+                                   sim::Duration interval,
+                                   std::size_t capacity)
+    : registry_(registry), queue_(queue), interval_(interval),
+      series_(capacity)
 {
     hos_assert(interval_ > 0, "snapshot interval must be nonzero");
 }
@@ -39,11 +41,12 @@ StatsSnapshotter::sampleNow()
             snap.values.emplace_back(g.name() + '.' + stat, v);
         });
     });
-    emit(EventType::StatsSnapshot, snap.t, snapshots_.size(), groups);
-    sim::inform("stats snapshot %zu: %zu stats from %llu groups",
-                snapshots_.size(), snap.values.size(),
+    emit(EventType::StatsSnapshot, snap.t, series_.offered(), groups);
+    sim::inform("stats snapshot %llu: %zu stats from %llu groups",
+                static_cast<unsigned long long>(series_.offered()),
+                snap.values.size(),
                 static_cast<unsigned long long>(groups));
-    snapshots_.push_back(std::move(snap));
+    series_.push(snap.t, std::move(snap));
 }
 
 void
@@ -52,10 +55,11 @@ StatsSnapshotter::writeJson(std::ostream &os) const
     sim::JsonWriter w(os);
     w.beginObject();
     w.kv("interval_ns", static_cast<std::uint64_t>(interval_));
-    w.kv("num_snapshots", static_cast<std::uint64_t>(snapshots_.size()));
+    w.kv("num_snapshots",
+         static_cast<std::uint64_t>(series_.values().size()));
     w.key("snapshots");
     w.beginArray();
-    for (const StatsSnapshot &s : snapshots_) {
+    for (const StatsSnapshot &s : series_.values()) {
         w.beginObject();
         w.kv("t_ns", static_cast<std::uint64_t>(s.t));
         w.kv("t_ms", sim::toMilliseconds(s.t));

@@ -10,6 +10,13 @@
  * into an in-memory time-series, exported as JSON. That is what lets
  * benches plot *convergence* — fastmem occupancy climbing, migration
  * rate decaying — rather than only end-of-run totals.
+ *
+ * Storage is a sim::WindowedSeries — the same bounded, stride-
+ * decimating ring the hos::metrics collector samples into — so every
+ * periodic sampler in the tree shares one clocking/retention
+ * primitive. At the default capacity the ring holds hours of
+ * simulated time before decimation engages, so existing cadence
+ * behavior (one snapshot per interval) is unchanged.
  */
 
 #ifndef HOS_TRACE_STATS_SNAPSHOT_HH
@@ -21,6 +28,7 @@
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "sim/series.hh"
 #include "sim/stats.hh"
 #include "sim/time.hh"
 
@@ -43,7 +51,8 @@ class StatsSnapshotter
      * scheduled until start().
      */
     StatsSnapshotter(sim::StatRegistry &registry, sim::EventQueue &queue,
-                     sim::Duration interval);
+                     sim::Duration interval,
+                     std::size_t capacity = 4096);
 
     /** Schedule the periodic sampling daemon (first sample after one
      *  interval). */
@@ -55,8 +64,10 @@ class StatsSnapshotter
     sim::Duration interval() const { return interval_; }
     const std::vector<StatsSnapshot> &snapshots() const
     {
-        return snapshots_;
+        return series_.values();
     }
+    /** Samples taken (>= snapshots().size() once decimation engages). */
+    std::uint64_t sampled() const { return series_.offered(); }
 
     /**
      * Export the time-series as JSON:
@@ -71,7 +82,7 @@ class StatsSnapshotter
     sim::StatRegistry &registry_;
     sim::EventQueue &queue_;
     sim::Duration interval_;
-    std::vector<StatsSnapshot> snapshots_;
+    sim::WindowedSeries<StatsSnapshot> series_;
 };
 
 } // namespace hos::trace

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "metrics/metrics.hh"
 #include "sim/log.hh"
 
 namespace hos::workload {
@@ -42,13 +43,25 @@ Workload::step()
     phase_cpu_ = 0;
     phase_mem_ = 0;
     phase_io_ = 0;
+    phase_mem_ideal_ = 0;
 
     const bool more = phase(phase_idx_);
     ++phase_idx_;
 
-    sim::Duration t = phase_cpu_ + phase_mem_ + phase_io_;
-    t += kernel().drainPendingOverhead();
+    const sim::Duration overhead = kernel().drainPendingOverhead();
+    const sim::Duration t =
+        phase_cpu_ + phase_mem_ + phase_io_ + overhead;
     elapsed_ += t;
+
+    // Progress telemetry: actual phase time vs the all-fast ideal
+    // (same CPU and I/O, counterfactual memory service, no management
+    // overhead). The collector windows these into per-VM slowdown
+    // percentiles; check::auditMetrics reconciles the overhead stream
+    // against the kernel's accounts.
+    if (auto *mx = metrics::active()) {
+        mx->onPhase(kernel().vmTag(), elapsed_, t,
+                    phase_cpu_ + phase_mem_ideal_ + phase_io_, overhead);
+    }
 
     // Let periodic daemons (epoch rotation, LRU, flusher, trackers)
     // catch up to the new simulated time. Their costs land in the
@@ -326,7 +339,15 @@ Workload::chargeMemTraffic(mem::MemType tier, std::uint64_t loads,
     batch.stores = stores;
     batch.bytes = bytes;
     batch.mlp = mlp;
-    phase_mem_ += env_.device(tier).service(batch, env_.sharers());
+    const unsigned sharers = env_.sharers();
+    phase_mem_ += env_.device(tier).service(batch, sharers);
+    if (metrics::active()) {
+        // All-fast counterfactual for the slowdown estimator. For
+        // fast-tier batches estimate() equals the service() charge,
+        // so ideal == actual whenever placement is already perfect.
+        phase_mem_ideal_ +=
+            env_.device(mem::MemType::FastMem).estimate(batch, sharers);
+    }
 }
 
 void

@@ -265,6 +265,14 @@ class Workload
     sim::Duration phase_cpu_ = 0;
     sim::Duration phase_mem_ = 0;
     sim::Duration phase_io_ = 0;
+    /**
+     * What phase_mem_ would have been with every page on the fast
+     * tier — the all-fast counterfactual the metrics slowdown
+     * estimator divides by. Only accumulated while a metrics
+     * collector is active (MemDevice::estimate is pure, so the
+     * accounting never perturbs device state).
+     */
+    sim::Duration phase_mem_ideal_ = 0;
     std::uint64_t instructions_ = 0;
 
     guestos::SlabCacheId skb_cache_ = 0;

@@ -73,14 +73,15 @@ const Case kCases[] = {
     {"bad_tier_xray.cc", "tier-xray", "src/fix.cc"},
     {"bad_telemetry_purity.cc", "telemetry-purity", "src/fix.cc"},
     {"bad_xray_int.cc", "xray-int", "src/xray/fix.cc"},
+    {"bad_metrics_purity.cc", "metrics-purity", "src/metrics/fix.cc"},
     {"bad_loose_hotness_key.cc", "loose-hotness-key", "tests/fix.cc"},
     {"bad_retired_api.cc", "retired-api", "src/fix.cc"},
     {"bad_soa_field_write.cc", "soa-field-write", "src/fix.cc"},
 };
 
-TEST(Analyze, CatalogHasThirteenRules)
+TEST(Analyze, CatalogHasFourteenRules)
 {
-    EXPECT_EQ(ruleIds().size(), 13u);
+    EXPECT_EQ(ruleIds().size(), 14u);
     // Every fixture case names a cataloged rule.
     for (const Case &c : kCases) {
         EXPECT_NE(std::find(ruleIds().begin(), ruleIds().end(),
@@ -147,6 +148,17 @@ TEST(Analyze, PathScopingConfinesRules)
     const auto xf =
         analyzeFixture("bad_xray_int.cc", "src/guestos/fix.cc");
     EXPECT_FALSE(hasRule(xf, "xray-int"));
+    // metrics-purity's float/double leg only fires under src/metrics;
+    // the guard/observation-block legs still fire anywhere in src.
+    const auto mf =
+        analyzeFixture("bad_metrics_purity.cc", "src/guestos/fix.cc");
+    for (const Finding &f : mf) {
+        if (f.rule == "metrics-purity") {
+            EXPECT_EQ(f.excerpt.find("double"), std::string::npos)
+                << "float ban escaped src/metrics scoping";
+        }
+    }
+    EXPECT_TRUE(hasRule(mf, "metrics-purity"));
     const auto lf =
         analyzeFixture("bad_loose_hotness_key.cc", "src/fix.cc");
     EXPECT_FALSE(hasRule(lf, "loose-hotness-key"));

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -105,6 +107,61 @@ TEST(EventQueue, FarJumpsAcrossLevels)
     EXPECT_EQ(fired, (std::vector<Tick>{1, 70, 5000, 300000, 20000000}));
     EXPECT_EQ(q.pending(), 0u);
     EXPECT_EQ(q.now(), 30000000u);
+}
+
+TEST(EventQueue, FarJumpWithPeriodicKeepsWhenSeqOrder)
+{
+    // A sampling daemon (periodic, fine cadence) coexists with
+    // one-shot events filed across several wheel levels, and the
+    // clock jumps far past all of them in a single runUntil — the
+    // cascade path that redistributes coarse blocks while a periodic
+    // event keeps refiling itself. Dispatch must stay in strict
+    // (when, seq) order: every firing time non-decreasing, the
+    // periodic hitting every multiple of its period exactly once, and
+    // one-shots landing at their scheduled ticks relative to the
+    // periodic stream.
+    EventQueue q;
+    std::vector<std::pair<Tick, int>> fired; // (when, source id)
+    q.schedulePeriodic(700, [&](Duration p) {
+        fired.emplace_back(q.now(), 0);
+        return p;
+    });
+    const std::vector<Tick> oneshots = {70000000, 1400, 3,
+                                        250000,   699,  4096};
+    for (Tick w : oneshots)
+        q.schedule(w, [&fired, w] { fired.emplace_back(w, 1); });
+
+    q.runUntil(70000001); // one jump across every wheel level
+
+    // Strictly time-ordered, with FIFO ties (periodic filed first
+    // fires before a one-shot at the same tick).
+    for (std::size_t i = 1; i < fired.size(); ++i)
+        ASSERT_LE(fired[i - 1].first, fired[i].first)
+            << "out of order at dispatch " << i;
+
+    Tick next_periodic = 700;
+    std::size_t next_oneshot = 0;
+    std::vector<Tick> sorted = oneshots;
+    std::sort(sorted.begin(), sorted.end());
+    for (const auto &[when, src] : fired) {
+        if (src == 0) {
+            ASSERT_EQ(when, next_periodic);
+            next_periodic += 700;
+        } else {
+            ASSERT_LT(next_oneshot, sorted.size());
+            ASSERT_EQ(when, sorted[next_oneshot]);
+            ++next_oneshot;
+            // The interleave is pinned: every strictly-earlier
+            // periodic tick already fired when a one-shot lands. At a
+            // shared tick the one-shot wins the FIFO tie — it was
+            // scheduled at t=0, before the periodic refiled itself —
+            // so the periodic's firing at `when` is still due.
+            EXPECT_GE(next_periodic, when);
+        }
+    }
+    EXPECT_EQ(next_oneshot, sorted.size());
+    EXPECT_EQ(next_periodic, 70000700u); // 100000 periodic firings
+    EXPECT_EQ(q.pending(), 1u);          // the refiled periodic
 }
 
 TEST(EventQueue, SameTickRescheduleFiresWithinTick)

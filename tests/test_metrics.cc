@@ -1,0 +1,319 @@
+/**
+ * @file
+ * hos::metrics: the telemetry layer must be exact and invisible. Each
+ * test pins one leg of that contract: the windowed-series decimation
+ * is a pure function of (capacity, offers), the HDR histogram is
+ * exact below its sub-bucket floor and sum-preserving above it, merge
+ * equals combined recording, the per-VM slowdown totals reconcile to
+ * the nanosecond with the kernel's overhead accounts, a metrics-on
+ * run is bit-identical to a metrics-off run, auditMetrics catches
+ * seeded corruption, and the report round-trips through JSON
+ * byte-for-byte.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/auditors.hh"
+#include "check/check.hh"
+#include "core/experiment.hh"
+#include "metrics/metrics.hh"
+#include "metrics/report.hh"
+#include "sim/series.hh"
+
+#include "test_helpers.hh"
+
+namespace {
+
+using namespace hos;
+
+core::Scenario
+metricsScenario()
+{
+    return core::Scenario{}
+        .withApp(workload::AppId::GraphChi)
+        .withApproach(core::Approach::Coordinated)
+        .withScale(0.02)
+        .withCapacity(24 * mem::mib, 96 * mem::mib)
+        .withSeed(3)
+        .withMetrics();
+}
+
+TEST(WindowedSeries, DecimationIsDeterministic)
+{
+    // The retained subset is a pure function of (capacity, offers):
+    // two series fed the same stream agree element-wise, every
+    // retained sample sits on the final stride, and the buffer never
+    // exceeds capacity.
+    sim::WindowedSeries<std::int64_t> a(16), b(16);
+    for (std::int64_t i = 0; i < 1000; ++i) {
+        a.push(static_cast<sim::Tick>(i * 10), i);
+        b.push(static_cast<sim::Tick>(i * 10), i);
+    }
+    EXPECT_EQ(a.offered(), 1000u);
+    EXPECT_EQ(a.stride(), b.stride());
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_LE(a.size(), a.capacity());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.timeAt(i), b.timeAt(i));
+        EXPECT_EQ(a.valueAt(i), b.valueAt(i));
+        // Retained sample k was offered at index k * stride.
+        EXPECT_EQ(a.valueAt(i),
+                  static_cast<std::int64_t>(i * a.stride()));
+    }
+    // Stride is the smallest power of two whose retained samples
+    // (indices 0, s, 2s, ...) fit 1000 offers in capacity: at 64 the
+    // 16 survivors are offers 0..960 and the ring is exactly full.
+    EXPECT_EQ(a.stride(), 64u);
+    EXPECT_EQ(a.size(), 16u);
+}
+
+TEST(HdrHistogram, ExactBelowSubBucketBoundedAbove)
+{
+    using H = metrics::HdrHistogram;
+    // Below 2^subBucketBits every value has its own bucket.
+    for (std::uint64_t v = 0; v < H::subBucketCount; ++v) {
+        EXPECT_EQ(H::bucketLow(H::bucketIndex(v)), v);
+        EXPECT_EQ(H::bucketHigh(H::bucketIndex(v)), v);
+    }
+    // Above, the bucket brackets the value with relative width
+    // bounded by 2^-subBucketBits.
+    for (std::uint64_t v : {37ull, 1000ull, 123456ull, 987654321ull,
+                            (1ull << 62) + 12345ull}) {
+        const std::size_t i = H::bucketIndex(v);
+        EXPECT_LE(H::bucketLow(i), v);
+        EXPECT_GE(H::bucketHigh(i), v);
+        EXPECT_LE(H::bucketHigh(i) - H::bucketLow(i),
+                  v >> (H::subBucketBits - 1));
+    }
+
+    H h;
+    h.record(7);
+    h.record(7);
+    h.record(9);
+    EXPECT_EQ(h.totalCount(), 3u);
+    EXPECT_EQ(h.valueSum(), 23u);
+    EXPECT_EQ(h.minValue(), 7u);
+    EXPECT_EQ(h.maxValue(), 9u);
+    // Small values are exact through the percentile query too.
+    EXPECT_EQ(h.valueAtPermyriad(5000), 7u);
+    EXPECT_EQ(h.valueAtPermyriad(9999), 9u);
+
+    // 1..1000 uniform: every percentile lands within one bucket width
+    // of the true order statistic, and the max is exact.
+    H u;
+    for (std::uint64_t v = 1; v <= 1000; ++v)
+        u.record(v);
+    EXPECT_EQ(u.valueSum(), 500500u);
+    const std::uint64_t p50 = u.valueAtPermyriad(5000);
+    EXPECT_GE(p50, 500u);
+    EXPECT_LE(p50, 500u + (500u >> (H::subBucketBits - 1)));
+    EXPECT_EQ(u.valueAtPermyriad(10000), 1000u);
+    EXPECT_EQ(u.maxValue(), 1000u);
+}
+
+TEST(HdrHistogram, MergeMatchesCombinedRecording)
+{
+    metrics::HdrHistogram a, b, combined;
+    for (std::uint64_t v = 1; v <= 500; ++v) {
+        a.record(v * 3);
+        combined.record(v * 3);
+    }
+    for (std::uint64_t v = 1; v <= 300; ++v) {
+        b.record(v * 7 + 1);
+        combined.record(v * 7 + 1);
+    }
+    a.merge(b);
+    EXPECT_TRUE(a == combined);
+    EXPECT_EQ(a.totalCount(), combined.totalCount());
+    EXPECT_EQ(a.valueSum(), combined.valueSum());
+    EXPECT_EQ(a.minValue(), combined.minValue());
+    EXPECT_EQ(a.maxValue(), combined.maxValue());
+    for (std::uint64_t q : {2500u, 5000u, 9000u, 9900u, 9990u})
+        EXPECT_EQ(a.valueAtPermyriad(q), combined.valueAtPermyriad(q));
+}
+
+TEST(Metrics, SlowdownReconcilesWithKernelOverhead)
+{
+    // The acceptance invariant: every nanosecond of management
+    // overhead the kernel charged is folded into exactly one phase
+    // observation — collector totals equal the kernel's grand total
+    // minus what is still pending, as integers, no slack.
+    if (!metrics::metricsCompiled)
+        GTEST_SKIP() << "hooks compiled out (HOS_METRICS=off)";
+    const core::Scenario s = metricsScenario();
+    auto sys = core::systemFor(s);
+    sys->runOne(sys->slot(0), workload::makeApp(s.app, s.scale));
+
+    const metrics::Collector &mx = sys->metricsCollector();
+    ASSERT_TRUE(mx.enabled());
+    ASSERT_EQ(mx.numVms(), 1u);
+    const std::uint16_t vm = mx.vmAt(0);
+    EXPECT_GT(mx.phases(vm), 0u);
+    EXPECT_GT(mx.samples(vm), 0u);
+    EXPECT_GT(mx.windowsClosed(vm), 0u);
+
+    auto &kernel = *sys->slot(0).kernel;
+    EXPECT_EQ(mx.totalOverheadNs(vm),
+              static_cast<std::uint64_t>(kernel.overheadGrandTotal()) -
+                  static_cast<std::uint64_t>(kernel.pendingOverhead()));
+
+    const metrics::HdrHistogram *hist = mx.slowdownHistogram(vm);
+    ASSERT_NE(hist, nullptr);
+    EXPECT_EQ(hist->totalCount(), mx.windowsClosed(vm));
+    EXPECT_EQ(hist->valueSum(), mx.slowdownPpmSum(vm));
+
+    // runOne already enforced auditMetrics; re-running it pins the
+    // reconciliation explicitly and counts the invariants evaluated.
+    const auto audit = check::auditMetrics(sys->vmm(), mx);
+    EXPECT_TRUE(audit.ok())
+        << (audit.failures.empty()
+                ? std::string()
+                : audit.failures.front().describe());
+    EXPECT_GT(audit.checks, 0u);
+}
+
+TEST(Metrics, OnRunIsBitIdenticalToOffRun)
+{
+    // Metrics observes, it never steers: the sampling daemon rides
+    // the guest event queue but its actions are read-only, so the
+    // simulation must not see it. Same scenario with and without the
+    // collector → identical elapsed ticks, phases and figures of
+    // merit.
+    core::Scenario off = metricsScenario();
+    off.metrics = false;
+    auto sys_off = core::systemFor(off);
+    const auto r_off =
+        sys_off->runOne(sys_off->slot(0), workload::makeApp(off.app, off.scale));
+
+    const core::Scenario on = metricsScenario();
+    auto sys_on = core::systemFor(on);
+    const auto r_on =
+        sys_on->runOne(sys_on->slot(0), workload::makeApp(on.app, on.scale));
+
+    EXPECT_EQ(r_off.elapsed, r_on.elapsed);
+    EXPECT_EQ(r_off.phases, r_on.phases);
+    EXPECT_EQ(r_off.instructions, r_on.instructions);
+    EXPECT_EQ(r_off.llc_misses, r_on.llc_misses);
+    EXPECT_EQ(r_off.metric, r_on.metric);
+}
+
+TEST(Metrics, AuditCatchesSeededCorruption)
+{
+    if (!metrics::metricsCompiled)
+        GTEST_SKIP() << "hooks compiled out (HOS_METRICS=off)";
+    const core::Scenario s = metricsScenario();
+    auto sys = core::systemFor(s);
+    sys->runOne(sys->slot(0), workload::makeApp(s.app, s.scale));
+    metrics::Collector &mx = sys->metricsCollector();
+    ASSERT_TRUE(check::auditMetrics(sys->vmm(), mx).ok());
+
+    // Feed one phantom phase behind the kernel's back: the drained-
+    // overhead reconciliation must pin it as CheckKind::Metrics.
+    const std::uint16_t vm = mx.vmAt(0);
+    mx.onPhase(vm, /*now=*/1, /*actual=*/100, /*ideal=*/50,
+               /*overhead=*/25);
+    const auto audit = check::auditMetrics(sys->vmm(), mx);
+    ASSERT_FALSE(audit.ok());
+    EXPECT_EQ(audit.failures.front().kind, check::CheckKind::Metrics);
+
+    // And enforce() must surface it as a typed CheckError.
+    check::ScopedThrowMode throw_mode;
+    try {
+        check::enforce(audit);
+        FAIL() << "enforce() let corrupted metrics pass";
+    } catch (const check::CheckError &e) {
+        EXPECT_EQ(e.kind(), check::CheckKind::Metrics);
+    }
+}
+
+TEST(Metrics, ReportRoundTripsThroughJson)
+{
+    if (!metrics::metricsCompiled)
+        GTEST_SKIP() << "hooks compiled out (HOS_METRICS=off)";
+    const core::Scenario s = metricsScenario();
+    auto sys = core::systemFor(s);
+    sys->runOne(sys->slot(0), workload::makeApp(s.app, s.scale));
+
+    const auto serialize = [](const metrics::MetricsReport &r) {
+        std::ostringstream os;
+        sim::JsonWriter w(os);
+        metrics::writeMetricsReport(w, r);
+        return os.str();
+    };
+    const auto report = sys->metricsCollector().report();
+    ASSERT_FALSE(report.empty());
+    const std::string json = serialize(report);
+    ASSERT_TRUE(test::jsonWellFormed(json));
+
+    std::string error;
+    const auto doc = sim::jsonParse(json, &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    const auto parsed = metrics::metricsReportFromJson(*doc, &error);
+    EXPECT_TRUE(error.empty()) << error;
+    EXPECT_EQ(serialize(parsed), json);
+    // The histogram survives with its exact aggregates, not just its
+    // bucket shape.
+    ASSERT_EQ(parsed.vms.size(), report.vms.size());
+    for (std::size_t i = 0; i < report.vms.size(); ++i) {
+        EXPECT_TRUE(parsed.vms[i].slowdown == report.vms[i].slowdown);
+        EXPECT_EQ(parsed.vms[i].slowdown_ppm_sum,
+                  report.vms[i].slowdown_ppm_sum);
+    }
+}
+
+TEST(Metrics, MergeAggregatesPerVmTag)
+{
+    // Fleet rollup: histograms and totals accumulate per VM tag, new
+    // tags append, series stay with the destination (time-series do
+    // not merge across runs).
+    metrics::MetricsReport a, b;
+    metrics::MetricsVm va;
+    va.vm = 0;
+    va.windows = 4;
+    va.slowdown_ppm_sum = 8000000;
+    va.slowdown.record(2000000, 4);
+    a.vms.push_back(va);
+
+    metrics::MetricsVm vb = va;
+    vb.windows = 2;
+    vb.slowdown_ppm_sum = 6000000;
+    vb.slowdown.clear();
+    vb.slowdown.record(3000000, 2);
+    metrics::MetricsVm vc;
+    vc.vm = 1;
+    vc.windows = 1;
+    vc.slowdown.record(1000000);
+    b.vms.push_back(vb);
+    b.vms.push_back(vc);
+
+    metrics::mergeInto(a, b);
+    ASSERT_EQ(a.vms.size(), 2u);
+    EXPECT_EQ(a.vms[0].windows, 6u);
+    EXPECT_EQ(a.vms[0].slowdown_ppm_sum, 14000000u);
+    EXPECT_EQ(a.vms[0].slowdown.totalCount(), 6u);
+    EXPECT_EQ(a.vms[0].slowdown.valueSum(), 14000000u);
+    EXPECT_EQ(a.vms[1].vm, 1u);
+    EXPECT_EQ(a.vms[1].slowdown.totalCount(), 1u);
+}
+
+TEST(Metrics, InactiveCollectorSeesNothing)
+{
+    // Without enableMetrics the hook sites see a null active()
+    // collector: a full run leaves the system's collector empty and
+    // the report empty (which is what keeps metrics-off results.json
+    // byte-identical — the "metrics" key is only emitted when the
+    // report is non-empty).
+    core::Scenario s = metricsScenario();
+    s.metrics = false;
+    auto sys = core::systemFor(s);
+    sys->runOne(sys->slot(0), workload::makeApp(s.app, s.scale));
+    EXPECT_FALSE(sys->metricsCollector().enabled());
+    EXPECT_EQ(sys->metricsCollector().numVms(), 0u);
+    EXPECT_TRUE(sys->metricsCollector().report().empty());
+}
+
+} // namespace

@@ -15,8 +15,8 @@ const std::vector<std::string> kRuleIds = {
     "unordered-iter",   "ptr-key-ordered",   "ptr-hash",
     "raw-assert",       "naked-new",         "wall-clock",
     "charge-span",      "tier-xray",         "telemetry-purity",
-    "xray-int",         "loose-hotness-key", "retired-api",
-    "soa-field-write",
+    "xray-int",         "metrics-purity",    "loose-hotness-key",
+    "retired-api",      "soa-field-write",
 };
 
 const std::array<const char *, 4> kUnorderedContainers = {
@@ -337,6 +337,8 @@ class FileAnalysis
             telemetryPurity();
         if (on("xray-int"))
             xrayInt();
+        if (on("metrics-purity"))
+            metricsPurity();
         if (on("loose-hotness-key"))
             looseHotnessKey();
         if (on("retired-api"))
@@ -865,6 +867,86 @@ class FileAnalysis
         }
     }
 
+    /**
+     * hos::metrics purity: the collector is integer-only (reports
+     * must serialize bit-identically across build flags) and its
+     * observation regions must never steer the simulation (the
+     * metrics-off results.json byte-identity gate depends on it).
+     */
+    void metricsPurity()
+    {
+        const TokVec &t = ts();
+        // (a) float/double anywhere under src/metrics.
+        if (startsWith(f_.path, "src/metrics/")) {
+            for (const Token &tok : t) {
+                if (tok.kind == Token::Kind::Ident &&
+                    (tok.text == "float" || tok.text == "double")) {
+                    emit("metrics-purity", tok,
+                         "src/metrics is integer-only: floating point "
+                         "breaks bit-identical report serialization; "
+                         "use ticks, counts, or ppm ratios");
+                }
+            }
+        }
+        // (b) mutating sim-state calls inside HOS_METRICS_LEVEL
+        // preprocessor guards.
+        for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+            if (t[i].kind != Token::Kind::Ident ||
+                !bannedMutator(t[i].text) || !isPunct(t[i + 1], "(")) {
+                continue;
+            }
+            if (f_.guardMentions(t[i], "HOS_METRICS_LEVEL")) {
+                emit("metrics-purity", t[i],
+                     "mutating call '" + t[i].text +
+                         "()' inside a HOS_METRICS_LEVEL guard: the "
+                         "metrics-off build would behave differently");
+            }
+        }
+        // (c) `if (... metrics::active() ...) { ... }` observation
+        // blocks — sampling must be read-only.
+        for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+            if (!isIdent(t[i], "if") || !isPunct(t[i + 1], "("))
+                continue;
+            const std::size_t close = matchForward(t, i + 1, "(", ")");
+            if (close >= t.size())
+                continue;
+            bool is_metrics_cond = false;
+            for (std::size_t k = i + 2; k + 2 < close; ++k) {
+                if (isIdent(t[k], "metrics") &&
+                    isPunct(t[k + 1], "::") &&
+                    isIdent(t[k + 2], "active")) {
+                    is_metrics_cond = true;
+                    break;
+                }
+            }
+            if (!is_metrics_cond || close + 1 >= t.size())
+                continue;
+            std::size_t body_end;
+            std::size_t body_begin = close + 1;
+            if (isPunct(t[body_begin], "{")) {
+                body_end = matchForward(t, body_begin, "{", "}");
+            } else {
+                body_end = body_begin;
+                while (body_end < t.size() &&
+                       !isPunct(t[body_end], ";")) {
+                    ++body_end;
+                }
+            }
+            for (std::size_t k = body_begin;
+                 k < std::min(body_end, t.size()); ++k) {
+                if (t[k].kind == Token::Kind::Ident &&
+                    bannedMutator(t[k].text) && k + 1 < t.size() &&
+                    isPunct(t[k + 1], "(")) {
+                    emit("metrics-purity", t[k],
+                         "mutating call '" + t[k].text +
+                             "()' inside a metrics::active() "
+                             "observation block: metrics observes "
+                             "the run, it never steers it");
+                }
+            }
+        }
+    }
+
     // ---- hygiene -------------------------------------------------
 
     void looseHotnessKey()
@@ -1011,6 +1093,8 @@ ruleAppliesTo(const std::string &rule, const std::string &path)
                             underDir(path, "examples");
     if (rule == "xray-int")
         return startsWith(path, "src/xray/");
+    if (rule == "metrics-purity")
+        return in_src;
     if (rule == "loose-hotness-key")
         return in_harness;
     if (rule == "retired-api")

@@ -2,7 +2,7 @@
  * @file
  * Rule catalog and analysis driver for hos-analyze.
  *
- * Thirteen codebase-specific rules over the token stream, grouped by
+ * Fourteen codebase-specific rules over the token stream, grouped by
  * the invariant they defend (see DESIGN.md "Static analysis"):
  *
  * Determinism (bit-identical serial/parallel sweeps):
@@ -20,6 +20,9 @@
  * Telemetry purity ("off" builds stay byte-identical):
  *   telemetry-purity mutating API call inside a telemetry-only region
  *   xray-int         float/double tokens inside src/xray
+ *   metrics-purity   float/double inside src/metrics, or mutating API
+ *                    calls under HOS_METRICS_LEVEL guards /
+ *                    metrics::active() observation blocks
  *
  * Hygiene (API lifecycle):
  *   loose-hotness-key deprecated loose hotness keys in scenario
